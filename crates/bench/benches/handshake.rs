@@ -1,0 +1,34 @@
+//! Authentication handshake cost (system evaluation, table S2):
+//! the improved 3-message protocol vs the legacy 5-message
+//! (pre-auth + 3-message) protocol, end to end over real crypto.
+//!
+//! Expected shape: the improved handshake is not slower than legacy —
+//! the hardening removed a round trip (the pre-auth exchange) while
+//! adding only one nonce to message 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enclaves_bench::{improved_handshake_once, legacy_handshake_once};
+use std::hint::black_box;
+
+fn bench_handshakes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_handshake");
+    group.sample_size(20);
+    let mut seed = 0u64;
+    group.bench_function("improved_3msg", |b| {
+        b.iter(|| {
+            seed += 1;
+            improved_handshake_once(black_box(seed));
+        });
+    });
+    let mut seed2 = 0u64;
+    group.bench_function("legacy_5msg", |b| {
+        b.iter(|| {
+            seed2 += 1;
+            legacy_handshake_once(black_box(seed2));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_handshakes);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Model-checking and verification harness cost (system evaluation,
+//! table S6): exploration throughput of the Section 4 model and the cost
+//! of the Section 5 checkers — the figures F2/F3/F4 reproduction engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enclaves_model::closure::{analz, parts, synth_contains};
+use enclaves_model::explore::{Bounds, Explorer, RandomWalker};
+use enclaves_model::field::{AgentId, Field, KeyId, NonceId};
+use enclaves_model::system::{Scenario, SystemState};
+use enclaves_verify::diagram::Diagram;
+use std::hint::black_box;
+
+fn bench_closure_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("term_closures");
+    // A representative trace-sized field set.
+    let pa = KeyId::LongTerm(AgentId::ALICE);
+    let ka = KeyId::Session(0);
+    let fields: Vec<Field> = (0..24)
+        .map(|i| {
+            Field::enc(
+                Field::concat(vec![
+                    Field::Agent(AgentId::LEADER),
+                    Field::Agent(AgentId::ALICE),
+                    Field::Nonce(NonceId(i)),
+                    Field::Nonce(NonceId(i + 100)),
+                    Field::Key(ka),
+                ]),
+                if i % 2 == 0 { pa } else { ka },
+            )
+        })
+        .collect();
+    group.bench_function("parts_24_messages", |b| {
+        b.iter(|| parts(black_box(&fields)));
+    });
+    group.bench_function("analz_24_messages", |b| {
+        b.iter(|| analz(black_box(&fields)));
+    });
+    let base = analz(&fields);
+    let target = Field::enc(Field::Nonce(NonceId(3)), ka);
+    group.bench_function("synth_membership", |b| {
+        b.iter(|| synth_contains(black_box(&base), black_box(&target)));
+    });
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_exploration");
+    group.sample_size(10);
+    for (name, scenario) in [
+        ("honest_pair", Scenario::honest_pair()),
+        ("with_insider", Scenario::tight()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("bfs_smoke", name), &scenario, |b, s| {
+            b.iter(|| {
+                let mut ex = Explorer::new(s.clone(), Bounds::smoke());
+                let stats = ex.run();
+                black_box(stats.states_visited)
+            });
+        });
+    }
+    group.bench_function("random_walk_20x40", |b| {
+        b.iter(|| {
+            let mut w = RandomWalker::new(Scenario::default(), 20, 40, 7);
+            black_box(w.run())
+        });
+    });
+    group.finish();
+}
+
+fn bench_diagram_eval(c: &mut Criterion) {
+    // Cost of evaluating the Figure 4 box predicates on a mid-session
+    // state.
+    let scenario = Scenario::honest_pair();
+    let mut state = SystemState::initial(&scenario);
+    // Drive a few steps to get trace content.
+    for _ in 0..6 {
+        let Some(mv) = state.enumerate_moves(&scenario).into_iter().next() else {
+            break;
+        };
+        state = state.apply(&scenario, &mv);
+    }
+    let diagram = Diagram::default();
+    c.bench_function("diagram_box_of", |b| {
+        b.iter(|| diagram.box_of(black_box(&state)).unwrap());
+    });
+}
+
+fn bench_state_ops(c: &mut Criterion) {
+    let scenario = Scenario::default();
+    let state = SystemState::initial(&scenario);
+    let mut mid = state.clone();
+    for _ in 0..8 {
+        let Some(mv) = mid.enumerate_moves(&scenario).into_iter().next() else {
+            break;
+        };
+        mid = mid.apply(&scenario, &mv);
+    }
+    let mut group = c.benchmark_group("state_ops");
+    group.bench_function("enumerate_moves_mid_session", |b| {
+        b.iter(|| black_box(mid.enumerate_moves(&scenario)).len());
+    });
+    group.bench_function("canonical_key_mid_session", |b| {
+        b.iter(|| black_box(mid.canonical_key()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closure_ops,
+    bench_exploration,
+    bench_diagram_eval,
+    bench_state_ops
+);
+criterion_main!(benches);

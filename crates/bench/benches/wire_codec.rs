@@ -1,0 +1,81 @@
+//! Wire codec cost (system evaluation, table S7): envelope encode/decode
+//! and sealed-message build/open, the per-message fixed costs of the
+//! hardened protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce};
+use enclaves_wire::codec::{decode, encode};
+use enclaves_wire::message::{
+    open, seal, AdminPayload, AdminPlain, Envelope, MsgType, NonceAckPlain,
+};
+use enclaves_wire::ActorId;
+use std::hint::black_box;
+
+fn ids() -> (ActorId, ActorId) {
+    (
+        ActorId::new("alice").unwrap(),
+        ActorId::new("leader").unwrap(),
+    )
+}
+
+fn bench_envelope_codec(c: &mut Criterion) {
+    let (alice, leader) = ids();
+    let mut group = c.benchmark_group("envelope_codec");
+    for size in [32usize, 256, 4096] {
+        let env = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: leader.clone(),
+            recipient: alice.clone(),
+            body: vec![0xAB; size],
+        };
+        let bytes = encode(&env);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &env, |b, env| {
+            b.iter(|| encode(black_box(env)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| decode::<Envelope>(black_box(bytes)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sealed_messages(c: &mut Criterion) {
+    let (alice, leader) = ids();
+    let key = [0x42u8; 32];
+    let nonce = AeadNonce::from_bytes([1; 12]);
+    let mut group = c.benchmark_group("sealed_messages");
+
+    let admin = AdminPlain {
+        leader: leader.clone(),
+        user: alice.clone(),
+        user_nonce: ProtocolNonce::from_bytes([2; 16]),
+        leader_nonce: ProtocolNonce::from_bytes([3; 16]),
+        payload: AdminPayload::NewGroupKey {
+            epoch: 7,
+            key: [9; 32],
+            iv: [1; 12],
+        },
+    };
+    group.bench_function("seal_admin_msg", |b| {
+        b.iter(|| seal(black_box(&key), nonce, b"hdr", black_box(&admin)));
+    });
+    let body = seal(&key, nonce, b"hdr", &admin);
+    group.bench_function("open_admin_msg", |b| {
+        b.iter(|| open::<AdminPlain>(black_box(&key), b"hdr", black_box(&body)).unwrap());
+    });
+
+    let ack = NonceAckPlain {
+        user: alice,
+        leader,
+        acked_nonce: ProtocolNonce::from_bytes([4; 16]),
+        next_nonce: ProtocolNonce::from_bytes([5; 16]),
+    };
+    group.bench_function("seal_ack", |b| {
+        b.iter(|| seal(black_box(&key), nonce, b"hdr", black_box(&ack)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_envelope_codec, bench_sealed_messages);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates the qualitative experiment tables of `EXPERIMENTS.md`:
+//!
+//! * the verification results table (F4, P1–P6 over the improved model;
+//!   attack searches over the legacy model);
+//! * the attack matrix (A1–A5 against both protocol implementations);
+//! * exploration statistics (the F2/F3 state machines driven
+//!   exhaustively).
+//!
+//! Run with `cargo run --release -p enclaves-bench --bin report`.
+
+use enclaves_core::attacks;
+use enclaves_model::explore::Bounds;
+use enclaves_verify::runner;
+
+fn main() {
+    let deep = std::env::args().any(|a| a == "--deep");
+    let bounds = if deep {
+        Bounds {
+            max_events: 11,
+            max_states: 5_000_000,
+        }
+    } else {
+        Bounds {
+            max_events: 9,
+            max_states: 500_000,
+        }
+    };
+
+    println!("================================================================");
+    println!(" Enclaves reproduction report (DSN 2001)");
+    println!("================================================================");
+    println!();
+    println!("-- Verification suite (Section 5, bounded model checking) ------");
+    println!("   bounds: max_events={} max_states={}", bounds.max_events, bounds.max_states);
+    println!();
+    let start = std::time::Instant::now();
+    let mut results = runner::run_full_suite(bounds);
+    if deep {
+        results.push(runner::verify_improved_parallel(
+            enclaves_model::system::Scenario::tight(),
+            enclaves_model::explore::Bounds {
+                max_events: bounds.max_events + 1,
+                max_states: bounds.max_states,
+            },
+            0,
+        ));
+    }
+    for r in &results {
+        println!("  {r}");
+    }
+    let all_passed = results.iter().all(|r| r.passed);
+    println!();
+    println!(
+        "  verification suite: {} in {:.1?}",
+        if all_passed { "ALL PASS" } else { "FAILURES" },
+        start.elapsed()
+    );
+    println!();
+
+    println!("-- Attack matrix (Section 2.3, byte-level implementations) -----");
+    println!();
+    println!("  {:4} {:38} {:9} {:10}", "id", "attack", "legacy", "improved");
+    let reports = attacks::run_all();
+    for pair in reports.chunks(2) {
+        let legacy = &pair[0];
+        let improved = &pair[1];
+        println!(
+            "  {:4} {:38} {:9} {:10}",
+            legacy.id,
+            legacy.name,
+            if legacy.succeeded { "BROKEN" } else { "held" },
+            if improved.succeeded { "BROKEN" } else { "resists" },
+        );
+    }
+    let matrix_ok = reports.iter().all(|r| match r.against {
+        attacks::ProtocolKind::Legacy => r.succeeded,
+        attacks::ProtocolKind::Improved => !r.succeeded,
+    });
+    println!();
+    println!(
+        "  attack matrix: {}",
+        if matrix_ok {
+            "matches the paper (legacy broken, improved resists)"
+        } else {
+            "MISMATCH with the paper"
+        }
+    );
+    println!();
+    println!("================================================================");
+    if !(all_passed && matrix_ok) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Workload builders shared by the Criterion benches and the report
+//! binary.
+//!
+//! Every experiment row in `EXPERIMENTS.md` maps to one function here plus
+//! one bench target; the report binary (`cargo run -p enclaves-bench --bin
+//! report`) regenerates the qualitative tables (verification results and
+//! the attack matrix), while `cargo bench` regenerates the quantitative
+//! series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use enclaves_core::config::{LeaderConfig, RekeyPolicy};
+use enclaves_core::directory::Directory;
+use enclaves_core::legacy::{LegacyLeaderCore, LegacyMemberSession};
+use enclaves_core::protocol::{LeaderCore, MemberSession};
+use enclaves_crypto::keys::LongTermKey;
+use enclaves_crypto::rng::SeededRng;
+use enclaves_wire::message::Envelope;
+use enclaves_wire::ActorId;
+
+/// Builds an actor id `m<i>`.
+///
+/// # Panics
+///
+/// Never for reasonable `i` (the generated name is always valid).
+#[must_use]
+pub fn member_id(i: usize) -> ActorId {
+    ActorId::new(format!("m{i}")).expect("valid id")
+}
+
+/// The leader id used by all workloads.
+///
+/// # Panics
+///
+/// Never (the name is statically valid).
+#[must_use]
+pub fn leader_id() -> ActorId {
+    ActorId::new("leader").expect("valid id")
+}
+
+/// Deterministic long-term key for member `i`.
+///
+/// # Panics
+///
+/// Propagates key-derivation failure (cannot happen with valid inputs).
+#[must_use]
+pub fn member_key(i: usize) -> LongTermKey {
+    LongTermKey::derive_from_password(&format!("pw-{i}"), &format!("m{i}")).expect("derive")
+}
+
+/// A fully joined improved-protocol world with `n` members.
+pub struct ImprovedGroup {
+    /// The leader core.
+    pub leader: LeaderCore,
+    /// Member sessions, index-aligned with [`member_id`].
+    pub members: Vec<MemberSession>,
+}
+
+impl ImprovedGroup {
+    /// Builds and fully joins an `n`-member group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deterministic handshake fails (a bug, not an input
+    /// condition).
+    #[must_use]
+    pub fn new(n: usize, policy: RekeyPolicy) -> Self {
+        let mut directory = Directory::new();
+        for i in 0..n {
+            directory.register_key(&member_id(i), member_key(i));
+        }
+        let mut leader = LeaderCore::with_rng(
+            leader_id(),
+            directory,
+            LeaderConfig {
+                rekey_policy: policy,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(42)),
+        );
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let (session, init) = MemberSession::start_with_key(
+                member_id(i),
+                leader_id(),
+                member_key(i),
+                Box::new(SeededRng::from_seed(1000 + i as u64)),
+            );
+            members.push(session);
+            pump(&mut leader, &mut members, init);
+        }
+        ImprovedGroup { leader, members }
+    }
+
+    /// Routes all outgoing leader traffic until quiescent (used after
+    /// broadcast/rekey operations in benches).
+    pub fn settle(&mut self, outgoing: Vec<Envelope>) {
+        let mut queue = outgoing;
+        while let Some(env) = queue.pop() {
+            if env.recipient == *self.leader.leader_id() {
+                if let Ok(out) = self.leader.handle(&env) {
+                    queue.extend(out.outgoing);
+                }
+            } else if let Some(idx) = index_of(&env.recipient) {
+                if idx < self.members.len() {
+                    if let Ok(out) = self.members[idx].handle(&env) {
+                        queue.extend(out.reply);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn index_of(id: &ActorId) -> Option<usize> {
+    id.as_str().strip_prefix('m')?.parse().ok()
+}
+
+/// Pumps envelopes between the leader and members until quiescent.
+pub fn pump(leader: &mut LeaderCore, members: &mut [MemberSession], first: Envelope) {
+    let mut queue = vec![first];
+    while let Some(env) = queue.pop() {
+        if env.recipient == *leader.leader_id() {
+            if let Ok(out) = leader.handle(&env) {
+                queue.extend(out.outgoing);
+            }
+        } else if let Some(idx) = index_of(&env.recipient) {
+            if idx < members.len() {
+                if let Ok(out) = members[idx].handle(&env) {
+                    queue.extend(out.reply);
+                }
+            }
+        }
+    }
+}
+
+/// A fully joined legacy world with `n` members.
+pub struct LegacyGroup {
+    /// The legacy leader core.
+    pub leader: LegacyLeaderCore,
+    /// Member sessions.
+    pub members: Vec<LegacyMemberSession>,
+}
+
+impl LegacyGroup {
+    /// Builds and fully joins an `n`-member legacy group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deterministic handshake fails.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let mut directory = Directory::new();
+        for i in 0..n {
+            directory.register_key(&member_id(i), member_key(i));
+        }
+        let mut leader = LegacyLeaderCore::with_rng(
+            leader_id(),
+            directory,
+            Box::new(SeededRng::from_seed(42)),
+        );
+        let mut members: Vec<LegacyMemberSession> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (session, open) = LegacyMemberSession::start(
+                member_id(i),
+                leader_id(),
+                member_key(i),
+                Box::new(SeededRng::from_seed(2000 + i as u64)),
+            );
+            members.push(session);
+            // Pump the legacy handshake.
+            let mut queue = vec![open];
+            while let Some(env) = queue.pop() {
+                if env.recipient == leader_id() {
+                    if let Ok(out) = leader.handle(&env) {
+                        queue.extend(out.outgoing);
+                    }
+                } else if let Some(idx) = index_of(&env.recipient) {
+                    if idx < members.len() {
+                        if let Ok(out) = members[idx].handle(&env) {
+                            queue.extend(out.reply);
+                        }
+                    }
+                }
+            }
+        }
+        LegacyGroup { leader, members }
+    }
+}
+
+/// Runs one complete improved-protocol join handshake (the "handshake
+/// latency" workload).
+///
+/// # Panics
+///
+/// Panics if the handshake fails.
+pub fn improved_handshake_once(seed: u64) {
+    let mut directory = Directory::new();
+    directory.register_key(&member_id(0), member_key(0));
+    let mut leader = LeaderCore::with_rng(
+        leader_id(),
+        directory,
+        LeaderConfig {
+            rekey_policy: RekeyPolicy::Manual,
+            ..LeaderConfig::default()
+        },
+        Box::new(SeededRng::from_seed(seed)),
+    );
+    let (session, init) = MemberSession::start_with_key(
+        member_id(0),
+        leader_id(),
+        member_key(0),
+        Box::new(SeededRng::from_seed(seed + 1)),
+    );
+    let mut members = vec![session];
+    pump(&mut leader, &mut members, init);
+    assert_eq!(leader.roster().len(), 1);
+}
+
+/// Runs one complete legacy join handshake.
+///
+/// # Panics
+///
+/// Panics if the handshake fails.
+pub fn legacy_handshake_once(seed: u64) {
+    let mut directory = Directory::new();
+    directory.register_key(&member_id(0), member_key(0));
+    let mut leader =
+        LegacyLeaderCore::with_rng(leader_id(), directory, Box::new(SeededRng::from_seed(seed)));
+    let (mut session, open) = LegacyMemberSession::start(
+        member_id(0),
+        leader_id(),
+        member_key(0),
+        Box::new(SeededRng::from_seed(seed + 1)),
+    );
+    let mut queue = vec![open];
+    while let Some(env) = queue.pop() {
+        if env.recipient == leader_id() {
+            if let Ok(out) = leader.handle(&env) {
+                queue.extend(out.outgoing);
+            }
+        } else if let Ok(out) = session.handle(&env) {
+            queue.extend(out.reply);
+        }
+    }
+    assert_eq!(leader.roster().len(), 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_group_builds_at_various_sizes() {
+        for n in [1usize, 2, 5, 9] {
+            let g = ImprovedGroup::new(n, RekeyPolicy::Manual);
+            assert_eq!(g.leader.roster().len(), n, "n={n}");
+            for (i, m) in g.members.iter().enumerate() {
+                assert_eq!(
+                    m.roster().len(),
+                    n,
+                    "member {i} sees wrong roster in group of {n}: {:?}",
+                    m.roster()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn improved_group_with_rekey_policy_converges() {
+        let g = ImprovedGroup::new(4, RekeyPolicy::OnJoin);
+        // After 4 joins with rekey-on-join (first join does not rekey),
+        // the epoch is 4; every member must hold it.
+        let epoch = g.leader.epoch().unwrap();
+        assert_eq!(epoch, 4);
+        for m in &g.members {
+            assert_eq!(m.group_epoch(), Some(epoch));
+        }
+    }
+
+    #[test]
+    fn legacy_group_builds() {
+        let g = LegacyGroup::new(3);
+        assert_eq!(g.leader.roster().len(), 3);
+    }
+
+    #[test]
+    fn handshakes_run() {
+        improved_handshake_once(7);
+        legacy_handshake_once(8);
+    }
+
+    #[test]
+    fn broadcast_and_settle() {
+        let mut g = ImprovedGroup::new(3, RekeyPolicy::Manual);
+        let out = g.leader.broadcast_admin_data(b"tick").unwrap();
+        g.settle(out.outgoing);
+        // Stop-and-wait: after settle, everything is acknowledged, so a
+        // second broadcast goes straight out to all members.
+        let out2 = g.leader.broadcast_admin_data(b"tock").unwrap();
+        assert_eq!(out2.outgoing.len(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Leader configuration: rekey policy and limits.
+
+/// When the leader generates and distributes a new group key (Section 2.1:
+//  "new keys can be generated when new members join, when members leave, or
+//  on a periodic basis").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RekeyPolicy {
+    /// Never rekey automatically (manual only).
+    Manual,
+    /// Rekey whenever a member joins.
+    OnJoin,
+    /// Rekey whenever a member leaves.
+    OnLeave,
+    /// Rekey on every membership change.
+    OnJoinAndLeave,
+    /// Rekey after every `n` relayed group-data messages.
+    EveryNMessages(u32),
+}
+
+impl RekeyPolicy {
+    /// Whether a join triggers a rekey.
+    #[must_use]
+    pub fn rekey_on_join(self) -> bool {
+        matches!(self, RekeyPolicy::OnJoin | RekeyPolicy::OnJoinAndLeave)
+    }
+
+    /// Whether a leave triggers a rekey.
+    #[must_use]
+    pub fn rekey_on_leave(self) -> bool {
+        matches!(self, RekeyPolicy::OnLeave | RekeyPolicy::OnJoinAndLeave)
+    }
+
+    /// Whether having relayed `count` messages since the last rekey
+    /// triggers one.
+    #[must_use]
+    pub fn rekey_on_traffic(self, count: u32) -> bool {
+        matches!(self, RekeyPolicy::EveryNMessages(n) if n > 0 && count >= n)
+    }
+}
+
+/// Leader configuration.
+#[derive(Clone, Debug)]
+pub struct LeaderConfig {
+    /// Rekey policy.
+    pub rekey_policy: RekeyPolicy,
+    /// Maximum number of concurrently connected members.
+    pub max_members: usize,
+    /// Maximum queued admin payloads per member before the oldest are
+    /// coalesced (a slow member must not exhaust leader memory).
+    pub max_pending_admin: usize,
+}
+
+impl Default for LeaderConfig {
+    /// Rekey on join and leave (the conservative policy), up to 1024
+    /// members, 256 queued admin messages per member.
+    fn default() -> Self {
+        LeaderConfig {
+            rekey_policy: RekeyPolicy::OnJoinAndLeave,
+            max_members: 1024,
+            max_pending_admin: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_triggers() {
+        assert!(RekeyPolicy::OnJoin.rekey_on_join());
+        assert!(!RekeyPolicy::OnJoin.rekey_on_leave());
+        assert!(RekeyPolicy::OnLeave.rekey_on_leave());
+        assert!(!RekeyPolicy::OnLeave.rekey_on_join());
+        assert!(RekeyPolicy::OnJoinAndLeave.rekey_on_join());
+        assert!(RekeyPolicy::OnJoinAndLeave.rekey_on_leave());
+        assert!(!RekeyPolicy::Manual.rekey_on_join());
+        assert!(!RekeyPolicy::Manual.rekey_on_leave());
+    }
+
+    #[test]
+    fn traffic_policy() {
+        assert!(RekeyPolicy::EveryNMessages(3).rekey_on_traffic(3));
+        assert!(RekeyPolicy::EveryNMessages(3).rekey_on_traffic(4));
+        assert!(!RekeyPolicy::EveryNMessages(3).rekey_on_traffic(2));
+        assert!(!RekeyPolicy::EveryNMessages(0).rekey_on_traffic(100));
+        assert!(!RekeyPolicy::Manual.rekey_on_traffic(100));
+    }
+
+    #[test]
+    fn default_config_is_conservative() {
+        let c = LeaderConfig::default();
+        assert_eq!(c.rekey_policy, RekeyPolicy::OnJoinAndLeave);
+        assert!(c.max_members >= 2);
+        assert!(c.max_pending_admin >= 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The leader's user directory.
+//!
+//! Enclaves assumes "each potential group member has a long-term password
+//! that must be known in advance to the group leader". The directory maps
+//! user identities to the password-derived long-term keys `P_a`.
+
+use crate::CoreError;
+use enclaves_crypto::keys::LongTermKey;
+use enclaves_crypto::x25519::{derive_long_term_key, PublicKey, StaticSecret};
+use enclaves_wire::ActorId;
+use std::collections::HashMap;
+
+/// The leader's registry of prospective members and their long-term keys.
+#[derive(Clone, Default)]
+pub struct Directory {
+    users: HashMap<ActorId, LongTermKey>,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&ActorId> = self.users.keys().collect();
+        names.sort();
+        f.debug_struct("Directory").field("users", &names).finish()
+    }
+}
+
+impl Directory {
+    /// An empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Directory {
+            users: HashMap::new(),
+        }
+    }
+
+    /// Registers a user with an explicit long-term key.
+    pub fn register_key(&mut self, user: &ActorId, key: LongTermKey) {
+        self.users.insert(user.clone(), key);
+    }
+
+    /// Registers a user by password, deriving `P_a` with PBKDF2 (salted by
+    /// the user identity, as the member side does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-derivation failures.
+    pub fn register_password(&mut self, user: &ActorId, password: &str) -> Result<(), CoreError> {
+        let key = LongTermKey::derive_from_password(password, user.as_str())?;
+        self.register_key(user, key);
+        Ok(())
+    }
+
+    /// Registers a user by X25519 public key — the paper's footnote-1
+    /// public-key authentication variant. The long-term key `P_a` is
+    /// derived from the static-static Diffie-Hellman shared secret between
+    /// the leader's key pair and the user's public key; the member side
+    /// derives the identical key from its secret and the leader's public
+    /// key, so no password ever needs to be shared.
+    ///
+    /// # Errors
+    ///
+    /// Rejects low-order public keys (RFC 7748 §6.1).
+    pub fn register_public_key(
+        &mut self,
+        user: &ActorId,
+        user_public: &PublicKey,
+        leader_secret: &StaticSecret,
+        leader_id: &ActorId,
+    ) -> Result<(), CoreError> {
+        let key = derive_long_term_key(
+            leader_secret,
+            user_public,
+            user.as_str(),
+            leader_id.as_str(),
+        )?;
+        self.register_key(user, key);
+        Ok(())
+    }
+
+    /// Looks up a user's long-term key.
+    #[must_use]
+    pub fn lookup(&self, user: &ActorId) -> Option<&LongTermKey> {
+        self.users.get(user)
+    }
+
+    /// Removes a user, returning whether it existed.
+    pub fn remove(&mut self, user: &ActorId) -> bool {
+        self.users.remove(user).is_some()
+    }
+
+    /// The number of registered users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True if no users are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut d = Directory::new();
+        assert!(d.is_empty());
+        d.register_password(&id("alice"), "pw-a").unwrap();
+        d.register_password(&id("bob"), "pw-b").unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.lookup(&id("alice")).is_some());
+        assert!(d.lookup(&id("carol")).is_none());
+    }
+
+    #[test]
+    fn password_derivation_matches_member_side() {
+        let mut d = Directory::new();
+        d.register_password(&id("alice"), "hunter2").unwrap();
+        let member_side = LongTermKey::derive_from_password("hunter2", "alice").unwrap();
+        assert_eq!(d.lookup(&id("alice")).unwrap(), &member_side);
+    }
+
+    #[test]
+    fn same_password_different_users_different_keys() {
+        let mut d = Directory::new();
+        d.register_password(&id("alice"), "shared").unwrap();
+        d.register_password(&id("bob"), "shared").unwrap();
+        assert_ne!(
+            d.lookup(&id("alice")).unwrap().as_bytes(),
+            d.lookup(&id("bob")).unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn remove_users() {
+        let mut d = Directory::new();
+        d.register_password(&id("alice"), "pw").unwrap();
+        assert!(d.remove(&id("alice")));
+        assert!(!d.remove(&id("alice")));
+        assert!(d.lookup(&id("alice")).is_none());
+    }
+
+    #[test]
+    fn public_key_registration_matches_member_derivation() {
+        use enclaves_crypto::rng::SeededRng;
+        let mut rng = SeededRng::from_seed(33);
+        let leader_secret = StaticSecret::generate(&mut rng);
+        let alice_secret = StaticSecret::generate(&mut rng);
+
+        let mut d = Directory::new();
+        d.register_public_key(
+            &id("alice"),
+            &alice_secret.public_key(),
+            &leader_secret,
+            &id("leader"),
+        )
+        .unwrap();
+
+        // The member derives P_a from the opposite direction.
+        let member_side = derive_long_term_key(
+            &alice_secret,
+            &leader_secret.public_key(),
+            "alice",
+            "leader",
+        )
+        .unwrap();
+        assert_eq!(d.lookup(&id("alice")).unwrap(), &member_side);
+    }
+
+    #[test]
+    fn low_order_public_key_rejected() {
+        use enclaves_crypto::rng::SeededRng;
+        let mut rng = SeededRng::from_seed(34);
+        let leader_secret = StaticSecret::generate(&mut rng);
+        let mut d = Directory::new();
+        assert!(d
+            .register_public_key(
+                &id("alice"),
+                &PublicKey::from_bytes([0; 32]),
+                &leader_secret,
+                &id("leader"),
+            )
+            .is_err());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn debug_lists_names_not_keys() {
+        let mut d = Directory::new();
+        d.register_password(&id("alice"), "pw").unwrap();
+        let dbg = format!("{d:?}");
+        assert!(dbg.contains("alice"));
+        assert!(!dbg.contains("pw"));
+    }
+}

@@ -1,0 +1,161 @@
+use enclaves_crypto::CryptoError;
+use enclaves_net::NetError;
+use enclaves_wire::message::OpenError;
+use enclaves_wire::WireError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the Enclaves protocol and runtime layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A message failed authentication or was malformed: it is *rejected*,
+    /// the session state is unchanged (intrusion tolerance: forged traffic
+    /// is dropped, not fatal).
+    Rejected(RejectReason),
+    /// The operation is invalid in the current session phase.
+    BadPhase {
+        /// What was attempted.
+        operation: &'static str,
+        /// The phase the session was in.
+        phase: &'static str,
+    },
+    /// The peer identity is not in the leader's directory.
+    UnknownUser(String),
+    /// A cryptographic primitive failed (e.g. nonce exhaustion).
+    Crypto(CryptoError),
+    /// A wire-format failure on an *outgoing* message (indicates a bug or
+    /// misconfiguration, not an attack).
+    Wire(WireError),
+    /// A transport failure.
+    Net(NetError),
+    /// The runtime worker is gone.
+    RuntimeGone,
+    /// Timed out waiting for a protocol step.
+    Timeout(&'static str),
+}
+
+/// Why an incoming message was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// AEAD authentication failed (wrong key, tampering, relabeling).
+    BadSeal,
+    /// The plaintext identities do not match the session peers.
+    WrongIdentity,
+    /// The embedded nonce is not the expected one (replay or stale).
+    StaleNonce,
+    /// The message type is not acceptable in the current state.
+    UnexpectedType,
+    /// The message could not be parsed.
+    Malformed,
+    /// A group-data message under an outdated group key epoch.
+    WrongEpoch,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::BadSeal => "authentication failure",
+            RejectReason::WrongIdentity => "identity mismatch",
+            RejectReason::StaleNonce => "stale or replayed nonce",
+            RejectReason::UnexpectedType => "unexpected message type",
+            RejectReason::Malformed => "malformed message",
+            RejectReason::WrongEpoch => "wrong group-key epoch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rejected(r) => write!(f, "message rejected: {r}"),
+            CoreError::BadPhase { operation, phase } => {
+                write!(f, "cannot {operation} while {phase}")
+            }
+            CoreError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            CoreError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            CoreError::Wire(e) => write!(f, "wire failure: {e}"),
+            CoreError::Net(e) => write!(f, "network failure: {e}"),
+            CoreError::RuntimeGone => write!(f, "runtime worker terminated"),
+            CoreError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<CryptoError> for CoreError {
+    fn from(e: CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+impl From<OpenError> for CoreError {
+    fn from(e: OpenError) -> Self {
+        match e {
+            OpenError::Crypto(_) => CoreError::Rejected(RejectReason::BadSeal),
+            OpenError::Malformed(_) => CoreError::Rejected(RejectReason::Malformed),
+        }
+    }
+}
+
+impl CoreError {
+    /// True if this error means an incoming message was dropped without
+    /// affecting session state — the expected outcome for attack traffic.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, CoreError::Rejected(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_classification() {
+        assert!(CoreError::Rejected(RejectReason::BadSeal).is_rejection());
+        assert!(!CoreError::RuntimeGone.is_rejection());
+        assert!(!CoreError::Timeout("join").is_rejection());
+    }
+
+    #[test]
+    fn open_error_maps_to_rejection() {
+        let e: CoreError = OpenError::Crypto(CryptoError::TagMismatch).into();
+        assert_eq!(e, CoreError::Rejected(RejectReason::BadSeal));
+        let e: CoreError = OpenError::Malformed(WireError::UnexpectedEnd).into();
+        assert_eq!(e, CoreError::Rejected(RejectReason::Malformed));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BadPhase {
+            operation: "send data",
+            phase: "waiting for key",
+        };
+        assert_eq!(e.to_string(), "cannot send data while waiting for key");
+        assert!(CoreError::UnknownUser("mallory".into())
+            .to_string()
+            .contains("mallory"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,274 @@
+//! Group state: roster, group-key epochs, and key history.
+//!
+//! The group key `K_g` is common to all members and rotated by the
+//! leader's [`crate::config::RekeyPolicy`]. Epochs increase monotonically;
+//! members reject group traffic under any epoch other than their current
+//! one, and — unlike the legacy protocol — can never be rolled back,
+//! because epoch changes only arrive through the authenticated, replay-
+//! protected `AdminMsg` channel.
+
+use enclaves_crypto::keys::GroupKey;
+use enclaves_crypto::rng::CryptoRng;
+use enclaves_wire::ActorId;
+use std::collections::BTreeSet;
+
+/// The group key together with its epoch and initialization vector.
+#[derive(Clone, Debug)]
+pub struct GroupEpoch {
+    /// Monotone epoch counter (starts at 1 for the first key).
+    pub epoch: u64,
+    /// The group key.
+    pub key: GroupKey,
+    /// The initialization vector distributed with the key.
+    pub iv: [u8; 12],
+}
+
+impl GroupEpoch {
+    /// Generates the next epoch with a fresh key and IV.
+    #[must_use]
+    pub fn next<R: CryptoRng + ?Sized>(&self, rng: &mut R) -> GroupEpoch {
+        let mut iv = [0u8; 12];
+        rng.fill_bytes(&mut iv);
+        GroupEpoch {
+            epoch: self.epoch + 1,
+            key: GroupKey::generate(rng),
+            iv,
+        }
+    }
+
+    /// Generates the first epoch.
+    #[must_use]
+    pub fn first<R: CryptoRng + ?Sized>(rng: &mut R) -> GroupEpoch {
+        let mut iv = [0u8; 12];
+        rng.fill_bytes(&mut iv);
+        GroupEpoch {
+            epoch: 1,
+            key: GroupKey::generate(rng),
+            iv,
+        }
+    }
+}
+
+/// The leader's view of the group.
+#[derive(Debug)]
+pub struct GroupState {
+    /// Current members.
+    roster: BTreeSet<ActorId>,
+    /// Current key epoch (generated lazily when the first member joins,
+    /// per Section 2.2: "the group leader generates a first group key when
+    /// the first member is accepted").
+    current: Option<GroupEpoch>,
+    /// Group-data messages relayed since the last rekey.
+    traffic_since_rekey: u32,
+}
+
+impl Default for GroupState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GroupState {
+    /// An empty group with no key yet.
+    #[must_use]
+    pub fn new() -> Self {
+        GroupState {
+            roster: BTreeSet::new(),
+            current: None,
+            traffic_since_rekey: 0,
+        }
+    }
+
+    /// The current members, sorted.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        self.roster.iter().cloned().collect()
+    }
+
+    /// True if `user` is currently a member.
+    #[must_use]
+    pub fn is_member(&self, user: &ActorId) -> bool {
+        self.roster.contains(user)
+    }
+
+    /// The number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roster.len()
+    }
+
+    /// True if the group has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roster.is_empty()
+    }
+
+    /// The current epoch, if a key exists.
+    #[must_use]
+    pub fn current_epoch(&self) -> Option<&GroupEpoch> {
+        self.current.as_ref()
+    }
+
+    /// Adds a member, creating the first group key if needed. Returns the
+    /// epoch in force after the join (before any policy-driven rekey).
+    pub fn join<R: CryptoRng + ?Sized>(&mut self, user: ActorId, rng: &mut R) -> &GroupEpoch {
+        self.roster.insert(user);
+        if self.current.is_none() {
+            self.current = Some(GroupEpoch::first(rng));
+        }
+        self.current.as_ref().expect("just created")
+    }
+
+    /// Removes a member; returns whether it was present.
+    pub fn leave(&mut self, user: &ActorId) -> bool {
+        self.roster.remove(user)
+    }
+
+    /// Rotates the group key. Returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key exists yet (no member ever joined).
+    pub fn rekey<R: CryptoRng + ?Sized>(&mut self, rng: &mut R) -> &GroupEpoch {
+        let next = self
+            .current
+            .as_ref()
+            .expect("rekey before first join")
+            .next(rng);
+        self.traffic_since_rekey = 0;
+        self.current = Some(next);
+        self.current.as_ref().expect("just set")
+    }
+
+    /// Records one relayed group-data message; returns the total since the
+    /// last rekey.
+    pub fn count_traffic(&mut self) -> u32 {
+        self.traffic_since_rekey += 1;
+        self.traffic_since_rekey
+    }
+}
+
+/// A member's view of the group key (epoch-checked).
+#[derive(Clone, Debug)]
+pub struct MemberGroupView {
+    /// The epoch the member currently holds.
+    pub epoch: u64,
+    /// The group key.
+    pub key: GroupKey,
+    /// The initialization vector.
+    pub iv: [u8; 12],
+}
+
+impl MemberGroupView {
+    /// Installs a newer key. Returns `false` (and changes nothing) if
+    /// `epoch` does not strictly increase — the rollback defense the legacy
+    /// protocol lacks.
+    pub fn install(&mut self, epoch: u64, key: GroupKey, iv: [u8; 12]) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        self.epoch = epoch;
+        self.key = key;
+        self.iv = iv;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_crypto::rng::SeededRng;
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    #[test]
+    fn first_join_creates_key() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        assert!(g.current_epoch().is_none());
+        let epoch = g.join(id("alice"), &mut rng).epoch;
+        assert_eq!(epoch, 1);
+        assert!(g.is_member(&id("alice")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn second_join_keeps_epoch() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        let epoch = g.join(id("bob"), &mut rng).epoch;
+        assert_eq!(epoch, 1, "join itself does not rekey; the policy does");
+    }
+
+    #[test]
+    fn rekey_rotates_key_and_epoch() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        let k1 = g.join(id("alice"), &mut rng).key.clone();
+        let e2 = g.rekey(&mut rng);
+        assert_eq!(e2.epoch, 2);
+        assert_ne!(&k1, &e2.key);
+    }
+
+    #[test]
+    #[should_panic(expected = "rekey before first join")]
+    fn rekey_without_key_panics() {
+        let mut rng = SeededRng::from_seed(1);
+        GroupState::new().rekey(&mut rng);
+    }
+
+    #[test]
+    fn leave_removes_member() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        assert!(g.leave(&id("alice")));
+        assert!(!g.leave(&id("alice")));
+        assert!(g.is_empty());
+        // The key survives an empty group (rejoin keeps epoch history).
+        assert!(g.current_epoch().is_some());
+    }
+
+    #[test]
+    fn traffic_counter_resets_on_rekey() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        assert_eq!(g.count_traffic(), 1);
+        assert_eq!(g.count_traffic(), 2);
+        g.rekey(&mut rng);
+        assert_eq!(g.count_traffic(), 1);
+    }
+
+    #[test]
+    fn member_view_rejects_rollback() {
+        let mut rng = SeededRng::from_seed(2);
+        let k1 = GroupKey::generate(&mut rng);
+        let k2 = GroupKey::generate(&mut rng);
+        let old = GroupKey::generate(&mut rng);
+        let mut view = MemberGroupView {
+            epoch: 1,
+            key: k1,
+            iv: [0; 12],
+        };
+        assert!(view.install(2, k2.clone(), [1; 12]));
+        assert_eq!(view.epoch, 2);
+        // Equal or older epochs are rejected — no rollback.
+        assert!(!view.install(2, old.clone(), [2; 12]));
+        assert!(!view.install(1, old, [3; 12]));
+        assert_eq!(view.key, k2);
+    }
+
+    #[test]
+    fn roster_is_sorted() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        g.join(id("zed"), &mut rng);
+        g.join(id("alice"), &mut rng);
+        g.join(id("mid"), &mut rng);
+        assert_eq!(g.roster(), vec![id("alice"), id("mid"), id("zed")]);
+    }
+}

@@ -1,0 +1,444 @@
+//! The leader side of the legacy protocol (Section 2.2).
+
+use crate::directory::Directory;
+use crate::error::{CoreError, RejectReason};
+use crate::legacy::member::{legacy_open, legacy_seal};
+use enclaves_crypto::keys::{GroupKey, SessionKey};
+use enclaves_crypto::nonce::ProtocolNonce;
+use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_wire::legacy::{
+    LegacyAuth2Plain, LegacyAuth3Plain, LegacyEnvelope, LegacyMemberNotice, LegacyMsgType,
+    LegacyNewKeyPlain,
+};
+use enclaves_wire::ActorId;
+use std::collections::HashMap;
+
+/// Events from the legacy leader.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LegacyLeaderEvent {
+    /// A member joined.
+    MemberJoined(ActorId),
+    /// A member left (the request is cleartext, so this may have been
+    /// forged by anyone).
+    MemberLeft(ActorId),
+    /// The group key was rotated.
+    Rekeyed,
+}
+
+/// Output of one legacy leader step.
+#[derive(Debug, Default)]
+pub struct LegacyLeaderOutput {
+    /// Envelopes to send.
+    pub outgoing: Vec<LegacyEnvelope>,
+    /// Events.
+    pub events: Vec<LegacyLeaderEvent>,
+}
+
+enum Slot {
+    PreAuthed,
+    WaitAuth3 {
+        leader_nonce: ProtocolNonce,
+        session_key: SessionKey,
+    },
+    Member {
+        session_key: SessionKey,
+    },
+}
+
+/// The legacy leader core.
+pub struct LegacyLeaderCore {
+    leader: ActorId,
+    directory: Directory,
+    rng: Box<dyn CryptoRng>,
+    slots: HashMap<ActorId, Slot>,
+    group_key: Option<GroupKey>,
+    /// Group keys ever distributed, newest last (for attack verification).
+    key_history: Vec<GroupKey>,
+}
+
+impl std::fmt::Debug for LegacyLeaderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LegacyLeaderCore")
+            .field("leader", &self.leader)
+            .field("members", &self.roster())
+            .finish()
+    }
+}
+
+impl LegacyLeaderCore {
+    /// Creates a legacy leader.
+    #[must_use]
+    pub fn new(leader: ActorId, directory: Directory) -> Self {
+        Self::with_rng(leader, directory, Box::new(OsEntropyRng::new()))
+    }
+
+    /// Creates a legacy leader with an explicit RNG.
+    #[must_use]
+    pub fn with_rng(leader: ActorId, directory: Directory, rng: Box<dyn CryptoRng>) -> Self {
+        LegacyLeaderCore {
+            leader,
+            directory,
+            rng,
+            slots: HashMap::new(),
+            group_key: None,
+            key_history: Vec::new(),
+        }
+    }
+
+    /// Current members.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        let mut members: Vec<ActorId> = self
+            .slots
+            .iter()
+            .filter(|&(_user, slot)| matches!(slot, Slot::Member { .. })).map(|(user, _slot)| user.clone())
+            .collect();
+        members.sort();
+        members
+    }
+
+    /// The current group key (for attack verification).
+    #[must_use]
+    pub fn group_key(&self) -> Option<&GroupKey> {
+        self.group_key.as_ref()
+    }
+
+    /// All group keys ever distributed, newest last.
+    #[must_use]
+    pub fn key_history(&self) -> &[GroupKey] {
+        &self.key_history
+    }
+
+    /// Handles one incoming envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Rejected`] or [`CoreError::UnknownUser`].
+    pub fn handle(&mut self, env: &LegacyEnvelope) -> Result<LegacyLeaderOutput, CoreError> {
+        if env.recipient != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        let user = env.sender.clone();
+        match env.msg_type {
+            // Cleartext pre-auth: accept-all policy.
+            LegacyMsgType::ReqOpen => {
+                if self.directory.lookup(&user).is_none() {
+                    // Denials exist in the protocol; the model leader denies
+                    // only unknown users.
+                    return Ok(LegacyLeaderOutput {
+                        outgoing: vec![LegacyEnvelope {
+                            msg_type: LegacyMsgType::ConnectionDenied,
+                            sender: self.leader.clone(),
+                            recipient: user,
+                            body: Vec::new(),
+                        }],
+                        events: vec![],
+                    });
+                }
+                self.slots.insert(user.clone(), Slot::PreAuthed);
+                Ok(LegacyLeaderOutput {
+                    outgoing: vec![LegacyEnvelope {
+                        msg_type: LegacyMsgType::AckOpen,
+                        sender: self.leader.clone(),
+                        recipient: user,
+                        body: Vec::new(),
+                    }],
+                    events: vec![],
+                })
+            }
+            LegacyMsgType::Auth1 => {
+                if !matches!(self.slots.get(&user), Some(Slot::PreAuthed)) {
+                    return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+                }
+                let Some(long_term) = self.directory.lookup(&user) else {
+                    return Err(CoreError::UnknownUser(user.to_string()));
+                };
+                let plain: enclaves_wire::message::AuthInitPlain =
+                    legacy_open(long_term.as_bytes(), LegacyMsgType::Auth1, &env.body)?;
+                if plain.user != user || plain.leader != self.leader {
+                    return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+                }
+                // First group key is created when the first member is
+                // accepted (Section 2.2).
+                if self.group_key.is_none() {
+                    let kg = GroupKey::generate(self.rng.as_mut());
+                    self.key_history.push(kg.clone());
+                    self.group_key = Some(kg);
+                }
+                let session_key = SessionKey::generate(self.rng.as_mut());
+                let leader_nonce = ProtocolNonce::generate(self.rng.as_mut());
+                let auth2 = LegacyAuth2Plain {
+                    leader: self.leader.clone(),
+                    user: user.clone(),
+                    user_nonce: plain.nonce,
+                    leader_nonce,
+                    session_key: *session_key.as_bytes(),
+                    iv: [0; 12],
+                    group_key: *self.group_key.as_ref().expect("created above").as_bytes(),
+                };
+                let long_term = self.directory.lookup(&user).expect("checked above");
+                let body =
+                    legacy_seal(long_term.as_bytes(), LegacyMsgType::Auth2, &auth2, self.rng.as_mut());
+                self.slots.insert(
+                    user.clone(),
+                    Slot::WaitAuth3 {
+                        leader_nonce,
+                        session_key,
+                    },
+                );
+                Ok(LegacyLeaderOutput {
+                    outgoing: vec![LegacyEnvelope {
+                        msg_type: LegacyMsgType::Auth2,
+                        sender: self.leader.clone(),
+                        recipient: user,
+                        body,
+                    }],
+                    events: vec![],
+                })
+            }
+            LegacyMsgType::Auth3 => {
+                let Some(Slot::WaitAuth3 {
+                    leader_nonce,
+                    session_key,
+                }) = self.slots.get(&user)
+                else {
+                    return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+                };
+                let plain: LegacyAuth3Plain =
+                    legacy_open(session_key.as_bytes(), LegacyMsgType::Auth3, &env.body)?;
+                if plain.leader_nonce != *leader_nonce {
+                    return Err(CoreError::Rejected(RejectReason::StaleNonce));
+                }
+                let session_key = session_key.clone();
+                self.slots.insert(user.clone(), Slot::Member { session_key });
+                // Tell the group (under the shared group key — the flaw).
+                let mut output = self.notify_others(&user, LegacyMsgType::MemJoined);
+                output.events.push(LegacyLeaderEvent::MemberJoined(user));
+                Ok(output)
+            }
+            // FLAW: cleartext close — the sender field is all the evidence.
+            LegacyMsgType::ReqClose => {
+                if !matches!(self.slots.get(&user), Some(Slot::Member { .. })) {
+                    return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+                }
+                self.slots.remove(&user);
+                let mut output = self.notify_others(&user, LegacyMsgType::MemRemoved);
+                output.outgoing.push(LegacyEnvelope {
+                    msg_type: LegacyMsgType::CloseConnection,
+                    sender: self.leader.clone(),
+                    recipient: user.clone(),
+                    body: Vec::new(),
+                });
+                output.events.push(LegacyLeaderEvent::MemberLeft(user));
+                Ok(output)
+            }
+            LegacyMsgType::GroupData => {
+                if !matches!(self.slots.get(&user), Some(Slot::Member { .. })) {
+                    return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+                }
+                // Relay to all other members verbatim.
+                let mut output = LegacyLeaderOutput::default();
+                for member in self.roster() {
+                    if member != user {
+                        output.outgoing.push(LegacyEnvelope {
+                            msg_type: LegacyMsgType::GroupData,
+                            sender: user.clone(),
+                            recipient: member,
+                            body: env.body.clone(),
+                        });
+                    }
+                }
+                Ok(output)
+            }
+            LegacyMsgType::NewKeyAck => Ok(LegacyLeaderOutput::default()),
+            _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
+        }
+    }
+
+    /// Sends a membership notice about `who` to every other member, sealed
+    /// under the *group key* (the legacy design).
+    fn notify_others(&mut self, who: &ActorId, msg_type: LegacyMsgType) -> LegacyLeaderOutput {
+        let mut output = LegacyLeaderOutput::default();
+        let Some(kg) = self.group_key.clone() else {
+            return output;
+        };
+        for member in self.roster() {
+            if member == *who {
+                continue;
+            }
+            let body = legacy_seal(
+                kg.as_bytes(),
+                msg_type,
+                &LegacyMemberNotice {
+                    member: who.clone(),
+                },
+                self.rng.as_mut(),
+            );
+            output.outgoing.push(LegacyEnvelope {
+                msg_type,
+                sender: self.leader.clone(),
+                recipient: member,
+                body,
+            });
+        }
+        output
+    }
+
+    /// Rotates the group key and pushes `new_key` to every member.
+    ///
+    /// # Errors
+    ///
+    /// None currently; reserved for parity with the improved leader.
+    pub fn rekey(&mut self) -> Result<LegacyLeaderOutput, CoreError> {
+        let new_key = GroupKey::generate(self.rng.as_mut());
+        self.key_history.push(new_key.clone());
+        self.group_key = Some(new_key.clone());
+        let mut output = LegacyLeaderOutput::default();
+        let members: Vec<(ActorId, SessionKey)> = self
+            .slots
+            .iter()
+            .filter_map(|(user, slot)| match slot {
+                Slot::Member { session_key } => Some((user.clone(), session_key.clone())),
+                _ => None,
+            })
+            .collect();
+        for (member, session_key) in members {
+            let body = legacy_seal(
+                session_key.as_bytes(),
+                LegacyMsgType::NewKey,
+                &LegacyNewKeyPlain {
+                    group_key: *new_key.as_bytes(),
+                    iv: [0; 12],
+                },
+                self.rng.as_mut(),
+            );
+            output.outgoing.push(LegacyEnvelope {
+                msg_type: LegacyMsgType::NewKey,
+                sender: self.leader.clone(),
+                recipient: member,
+                body,
+            });
+        }
+        output.events.push(LegacyLeaderEvent::Rekeyed);
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legacy::member::{LegacyMemberSession, LegacyPhase};
+    use enclaves_crypto::keys::LongTermKey;
+    use enclaves_crypto::rng::SeededRng;
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    fn setup() -> (LegacyLeaderCore, LegacyMemberSession, LegacyEnvelope) {
+        let mut directory = Directory::new();
+        directory.register_key(
+            &id("alice"),
+            LongTermKey::derive_from_password("pw", "alice").unwrap(),
+        );
+        directory.register_key(
+            &id("bob"),
+            LongTermKey::derive_from_password("pw-b", "bob").unwrap(),
+        );
+        let leader = LegacyLeaderCore::with_rng(
+            id("leader"),
+            directory,
+            Box::new(SeededRng::from_seed(3)),
+        );
+        let (member, req_open) = LegacyMemberSession::start(
+            id("alice"),
+            id("leader"),
+            LongTermKey::derive_from_password("pw", "alice").unwrap(),
+            Box::new(SeededRng::from_seed(4)),
+        );
+        (leader, member, req_open)
+    }
+
+    /// Drives the full legacy join handshake.
+    fn join(
+        leader: &mut LegacyLeaderCore,
+        member: &mut LegacyMemberSession,
+        req_open: LegacyEnvelope,
+    ) {
+        let mut to_leader = vec![req_open];
+        while let Some(env) = to_leader.pop() {
+            let out = leader.handle(&env).unwrap();
+            for reply in out.outgoing {
+                if reply.recipient == *member_user(member) {
+                    if let Ok(mo) = member.handle(&reply) {
+                        to_leader.extend(mo.reply);
+                    }
+                }
+            }
+        }
+    }
+
+    fn member_user(m: &LegacyMemberSession) -> &ActorId {
+        // Peek through the Debug view — the session does not expose the
+        // user directly; use a helper.
+        m.user_id()
+    }
+
+    #[test]
+    fn full_legacy_join() {
+        let (mut leader, mut alice, req_open) = setup();
+        join(&mut leader, &mut alice, req_open);
+        assert_eq!(alice.phase(), LegacyPhase::Member);
+        assert_eq!(leader.roster(), vec![id("alice")]);
+        // The group key was distributed during authentication.
+        assert_eq!(
+            alice.group_key().unwrap(),
+            leader.group_key().unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_user_is_denied() {
+        let (mut leader, _, _) = setup();
+        let out = leader
+            .handle(&LegacyEnvelope {
+                msg_type: LegacyMsgType::ReqOpen,
+                sender: id("mallory"),
+                recipient: id("leader"),
+                body: Vec::new(),
+            })
+            .unwrap();
+        assert_eq!(
+            out.outgoing[0].msg_type,
+            LegacyMsgType::ConnectionDenied
+        );
+    }
+
+    #[test]
+    fn rekey_pushes_new_key_to_members() {
+        let (mut leader, mut alice, req_open) = setup();
+        join(&mut leader, &mut alice, req_open);
+        let out = leader.rekey().unwrap();
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(out.outgoing[0].msg_type, LegacyMsgType::NewKey);
+        alice.handle(&out.outgoing[0]).unwrap();
+        assert_eq!(alice.group_key().unwrap(), leader.group_key().unwrap());
+        assert_eq!(leader.key_history().len(), 2);
+    }
+
+    #[test]
+    fn forged_cleartext_close_expels_member() {
+        // The cleartext req_close flaw: anyone can expel alice.
+        let (mut leader, mut alice, req_open) = setup();
+        join(&mut leader, &mut alice, req_open);
+        let forged = LegacyEnvelope {
+            msg_type: LegacyMsgType::ReqClose,
+            sender: id("alice"), // spoofed by the attacker
+            recipient: id("leader"),
+            body: Vec::new(),
+        };
+        let out = leader.handle(&forged).unwrap();
+        assert!(out.events.contains(&LegacyLeaderEvent::MemberLeft(id("alice"))));
+        assert!(leader.roster().is_empty());
+    }
+}

@@ -1,0 +1,474 @@
+//! The member side of the legacy protocol (Section 2.2) — vulnerabilities
+//! included by design.
+
+use crate::error::{CoreError, RejectReason};
+use enclaves_crypto::keys::{GroupKey, LongTermKey, SessionKey};
+use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce};
+use enclaves_crypto::rng::CryptoRng;
+use enclaves_wire::legacy::{
+    LegacyAuth2Plain, LegacyAuth3Plain, LegacyEnvelope, LegacyMemberNotice, LegacyMsgType,
+    LegacyNewKeyPlain,
+};
+use enclaves_wire::message::{SealedBody};
+use enclaves_wire::codec::{decode, encode, Decode, Encode};
+use enclaves_wire::ActorId;
+use std::collections::BTreeSet;
+
+/// AAD used for every legacy seal: just the message type — the legacy
+/// protocol does not bind identities or direction (part of why it is
+/// weak).
+fn legacy_aad(msg_type: LegacyMsgType) -> Vec<u8> {
+    vec![msg_type as u8]
+}
+
+/// Seals a legacy plaintext with a random AEAD nonce.
+pub(crate) fn legacy_seal<T: Encode>(
+    key: &[u8; 32],
+    msg_type: LegacyMsgType,
+    value: &T,
+    rng: &mut dyn CryptoRng,
+) -> Vec<u8> {
+    let mut nonce = [0u8; 12];
+    rng.fill_bytes(&mut nonce);
+    let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(key);
+    let ciphertext = cipher.seal(&AeadNonce::from_bytes(nonce), &encode(value), &legacy_aad(msg_type));
+    encode(&SealedBody { nonce, ciphertext })
+}
+
+/// Opens a legacy sealed body.
+pub(crate) fn legacy_open<T: Decode>(
+    key: &[u8; 32],
+    msg_type: LegacyMsgType,
+    body: &[u8],
+) -> Result<T, CoreError> {
+    let sealed: SealedBody =
+        decode(body).map_err(|_| CoreError::Rejected(RejectReason::Malformed))?;
+    let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(key);
+    let plain = cipher
+        .open(
+            &AeadNonce::from_bytes(sealed.nonce),
+            &sealed.ciphertext,
+            &legacy_aad(msg_type),
+        )
+        .map_err(|_| CoreError::Rejected(RejectReason::BadSeal))?;
+    decode(&plain).map_err(|_| CoreError::Rejected(RejectReason::Malformed))
+}
+
+/// The phase of a legacy member session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LegacyPhase {
+    /// Sent `req_open`, awaiting `ack_open` or `connection_denied`.
+    WaitOpenAck,
+    /// Pre-auth accepted; awaiting authentication message 2.
+    WaitAuth2,
+    /// A member of the group.
+    Member,
+    /// Gave up after `connection_denied` (possibly forged!).
+    Denied,
+    /// Left the group.
+    Closed,
+}
+
+/// Events from the legacy member session.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LegacyMemberEvent {
+    /// The connection was denied (no way to tell by whom).
+    Denied,
+    /// Joined the group with an initial group key.
+    Joined,
+    /// Installed a (claimed) new group key — no freshness check.
+    GroupKeyInstalled,
+    /// A membership notice arrived (forgeable by any member).
+    MemberJoined(ActorId),
+    /// A member allegedly left.
+    MemberLeft(ActorId),
+    /// Group data.
+    GroupData(Vec<u8>),
+}
+
+/// Output of one legacy member step.
+#[derive(Debug, Default)]
+pub struct LegacyMemberOutput {
+    /// Reply to send.
+    pub reply: Option<LegacyEnvelope>,
+    /// Events.
+    pub events: Vec<LegacyMemberEvent>,
+}
+
+/// A legacy member session.
+pub struct LegacyMemberSession {
+    user: ActorId,
+    leader: ActorId,
+    long_term: LongTermKey,
+    rng: Box<dyn CryptoRng>,
+    phase: LegacyPhase,
+    nonce1: Option<ProtocolNonce>,
+    session_key: Option<SessionKey>,
+    group_key: Option<GroupKey>,
+    /// The member's view of the group.
+    view: BTreeSet<ActorId>,
+}
+
+impl std::fmt::Debug for LegacyMemberSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LegacyMemberSession")
+            .field("user", &self.user)
+            .field("phase", &self.phase)
+            .field("view", &self.view)
+            .finish()
+    }
+}
+
+impl LegacyMemberSession {
+    /// Starts a legacy session: returns the session and the cleartext
+    /// `req_open` envelope.
+    #[must_use]
+    pub fn start(
+        user: ActorId,
+        leader: ActorId,
+        long_term: LongTermKey,
+        rng: Box<dyn CryptoRng>,
+    ) -> (Self, LegacyEnvelope) {
+        let env = LegacyEnvelope {
+            msg_type: LegacyMsgType::ReqOpen,
+            sender: user.clone(),
+            recipient: leader.clone(),
+            body: Vec::new(),
+        };
+        (
+            LegacyMemberSession {
+                user,
+                leader,
+                long_term,
+                rng,
+                phase: LegacyPhase::WaitOpenAck,
+                nonce1: None,
+                session_key: None,
+                group_key: None,
+                view: BTreeSet::new(),
+            },
+            env,
+        )
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> LegacyPhase {
+        self.phase
+    }
+
+    /// This member's identity.
+    #[must_use]
+    pub fn user_id(&self) -> &ActorId {
+        &self.user
+    }
+
+    /// The member's current group key (exposed for attack verification in
+    /// tests).
+    #[must_use]
+    pub fn group_key(&self) -> Option<&GroupKey> {
+        self.group_key.as_ref()
+    }
+
+    /// The member's membership view.
+    #[must_use]
+    pub fn view(&self) -> Vec<ActorId> {
+        self.view.iter().cloned().collect()
+    }
+
+    /// Handles an incoming envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Rejected`] for messages that even the legacy protocol
+    /// rejects (wrong seal, wrong phase).
+    pub fn handle(&mut self, env: &LegacyEnvelope) -> Result<LegacyMemberOutput, CoreError> {
+        if env.recipient != self.user {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        match (self.phase, env.msg_type) {
+            // FLAW: both replies are cleartext; no authentication at all.
+            (LegacyPhase::WaitOpenAck, LegacyMsgType::AckOpen) => {
+                let n1 = ProtocolNonce::generate(self.rng.as_mut());
+                self.nonce1 = Some(n1);
+                self.phase = LegacyPhase::WaitAuth2;
+                let mut reply = LegacyEnvelope {
+                    msg_type: LegacyMsgType::Auth1,
+                    sender: self.user.clone(),
+                    recipient: self.leader.clone(),
+                    body: Vec::new(),
+                };
+                let plain = enclaves_wire::message::AuthInitPlain {
+                    user: self.user.clone(),
+                    leader: self.leader.clone(),
+                    nonce: n1,
+                };
+                reply.body = legacy_seal(
+                    self.long_term.as_bytes(),
+                    LegacyMsgType::Auth1,
+                    &plain,
+                    self.rng.as_mut(),
+                );
+                Ok(LegacyMemberOutput {
+                    reply: Some(reply),
+                    events: vec![],
+                })
+            }
+            (LegacyPhase::WaitOpenAck, LegacyMsgType::ConnectionDenied) => {
+                self.phase = LegacyPhase::Denied;
+                Ok(LegacyMemberOutput {
+                    reply: None,
+                    events: vec![LegacyMemberEvent::Denied],
+                })
+            }
+            (LegacyPhase::WaitAuth2, LegacyMsgType::Auth2) => {
+                let plain: LegacyAuth2Plain =
+                    legacy_open(self.long_term.as_bytes(), LegacyMsgType::Auth2, &env.body)?;
+                if plain.leader != self.leader || plain.user != self.user {
+                    return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+                }
+                if Some(plain.user_nonce) != self.nonce1 {
+                    return Err(CoreError::Rejected(RejectReason::StaleNonce));
+                }
+                let session_key = SessionKey::from_bytes(plain.session_key);
+                let mut reply = LegacyEnvelope {
+                    msg_type: LegacyMsgType::Auth3,
+                    sender: self.user.clone(),
+                    recipient: self.leader.clone(),
+                    body: Vec::new(),
+                };
+                reply.body = legacy_seal(
+                    session_key.as_bytes(),
+                    LegacyMsgType::Auth3,
+                    &LegacyAuth3Plain {
+                        leader_nonce: plain.leader_nonce,
+                    },
+                    self.rng.as_mut(),
+                );
+                self.session_key = Some(session_key);
+                self.group_key = Some(GroupKey::from_bytes(plain.group_key));
+                self.view.insert(self.user.clone());
+                self.phase = LegacyPhase::Member;
+                Ok(LegacyMemberOutput {
+                    reply: Some(reply),
+                    events: vec![LegacyMemberEvent::Joined],
+                })
+            }
+            // FLAW: any {Kg'}_Ka is accepted, fresh or replayed.
+            (LegacyPhase::Member, LegacyMsgType::NewKey) => {
+                let key = self.session_key.as_ref().expect("member has session key");
+                let plain: LegacyNewKeyPlain =
+                    legacy_open(key.as_bytes(), LegacyMsgType::NewKey, &env.body)?;
+                let new_key = GroupKey::from_bytes(plain.group_key);
+                let mut reply = LegacyEnvelope {
+                    msg_type: LegacyMsgType::NewKeyAck,
+                    sender: self.user.clone(),
+                    recipient: self.leader.clone(),
+                    body: Vec::new(),
+                };
+                reply.body = legacy_seal(
+                    new_key.as_bytes(),
+                    LegacyMsgType::NewKeyAck,
+                    &LegacyNewKeyPlain {
+                        group_key: plain.group_key,
+                        iv: plain.iv,
+                    },
+                    self.rng.as_mut(),
+                );
+                self.group_key = Some(new_key);
+                Ok(LegacyMemberOutput {
+                    reply: Some(reply),
+                    events: vec![LegacyMemberEvent::GroupKeyInstalled],
+                })
+            }
+            // FLAW: membership notices verified only by the shared group
+            // key — any member can forge them.
+            (LegacyPhase::Member, LegacyMsgType::MemRemoved) => {
+                let kg = self.group_key.as_ref().expect("member has group key");
+                let notice: LegacyMemberNotice =
+                    legacy_open(kg.as_bytes(), LegacyMsgType::MemRemoved, &env.body)?;
+                self.view.remove(&notice.member);
+                Ok(LegacyMemberOutput {
+                    reply: None,
+                    events: vec![LegacyMemberEvent::MemberLeft(notice.member)],
+                })
+            }
+            (LegacyPhase::Member, LegacyMsgType::MemJoined) => {
+                let kg = self.group_key.as_ref().expect("member has group key");
+                let notice: LegacyMemberNotice =
+                    legacy_open(kg.as_bytes(), LegacyMsgType::MemJoined, &env.body)?;
+                self.view.insert(notice.member.clone());
+                Ok(LegacyMemberOutput {
+                    reply: None,
+                    events: vec![LegacyMemberEvent::MemberJoined(notice.member)],
+                })
+            }
+            (LegacyPhase::Member, LegacyMsgType::GroupData) => {
+                let kg = self.group_key.as_ref().expect("member has group key");
+                let data: Vec<u8> =
+                    legacy_open(kg.as_bytes(), LegacyMsgType::GroupData, &env.body)?;
+                Ok(LegacyMemberOutput {
+                    reply: None,
+                    events: vec![LegacyMemberEvent::GroupData(data)],
+                })
+            }
+            _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
+        }
+    }
+
+    /// Sends group data (sealed under the group key, no sender binding —
+    /// the legacy way).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if not a member.
+    pub fn send_group_data(&mut self, data: &[u8]) -> Result<LegacyEnvelope, CoreError> {
+        let Some(kg) = &self.group_key else {
+            return Err(CoreError::BadPhase {
+                operation: "send group data",
+                phase: "not a member",
+            });
+        };
+        let body = legacy_seal(
+            kg.as_bytes(),
+            LegacyMsgType::GroupData,
+            &data.to_vec(),
+            self.rng.as_mut(),
+        );
+        Ok(LegacyEnvelope {
+            msg_type: LegacyMsgType::GroupData,
+            sender: self.user.clone(),
+            recipient: self.leader.clone(),
+            body,
+        })
+    }
+
+    /// Leaves the group with a cleartext `req_close` (FLAW: forgeable).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if not a member.
+    pub fn leave(&mut self) -> Result<LegacyEnvelope, CoreError> {
+        if self.phase != LegacyPhase::Member {
+            return Err(CoreError::BadPhase {
+                operation: "leave",
+                phase: "not a member",
+            });
+        }
+        self.phase = LegacyPhase::Closed;
+        Ok(LegacyEnvelope {
+            msg_type: LegacyMsgType::ReqClose,
+            sender: self.user.clone(),
+            recipient: self.leader.clone(),
+            body: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_crypto::rng::SeededRng;
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    fn session() -> (LegacyMemberSession, LegacyEnvelope) {
+        LegacyMemberSession::start(
+            id("alice"),
+            id("leader"),
+            LongTermKey::derive_from_password("pw", "alice").unwrap(),
+            Box::new(SeededRng::from_seed(5)),
+        )
+    }
+
+    #[test]
+    fn req_open_is_cleartext() {
+        let (_, env) = session();
+        assert_eq!(env.msg_type, LegacyMsgType::ReqOpen);
+        assert!(env.body.is_empty(), "pre-auth carries no cryptography");
+    }
+
+    #[test]
+    fn forged_denial_is_accepted_blindly() {
+        // The vulnerability A1: anyone can deny anyone.
+        let (mut s, _) = session();
+        let forged = LegacyEnvelope {
+            msg_type: LegacyMsgType::ConnectionDenied,
+            sender: id("leader"), // spoofed
+            recipient: id("alice"),
+            body: Vec::new(),
+        };
+        let out = s.handle(&forged).unwrap();
+        assert_eq!(out.events, vec![LegacyMemberEvent::Denied]);
+        assert_eq!(s.phase(), LegacyPhase::Denied);
+    }
+
+    #[test]
+    fn forged_ack_open_advances_protocol() {
+        let (mut s, _) = session();
+        let forged = LegacyEnvelope {
+            msg_type: LegacyMsgType::AckOpen,
+            sender: id("leader"),
+            recipient: id("alice"),
+            body: Vec::new(),
+        };
+        let out = s.handle(&forged).unwrap();
+        assert_eq!(out.reply.unwrap().msg_type, LegacyMsgType::Auth1);
+        assert_eq!(s.phase(), LegacyPhase::WaitAuth2);
+    }
+
+    #[test]
+    fn new_key_has_no_freshness_check() {
+        // Drive to membership by hand, then feed the same NewKey twice:
+        // both are accepted (the flaw).
+        let (mut s, _) = session();
+        s.handle(&LegacyEnvelope {
+            msg_type: LegacyMsgType::AckOpen,
+            sender: id("leader"),
+            recipient: id("alice"),
+            body: Vec::new(),
+        })
+        .unwrap();
+        // Build Auth2 by hand.
+        let long_term = LongTermKey::derive_from_password("pw", "alice").unwrap();
+        let mut rng = SeededRng::from_seed(99);
+        let auth2 = LegacyAuth2Plain {
+            leader: id("leader"),
+            user: id("alice"),
+            user_nonce: s.nonce1.unwrap(),
+            leader_nonce: ProtocolNonce::from_bytes([2; 16]),
+            session_key: [3; 32],
+            iv: [0; 12],
+            group_key: [4; 32],
+        };
+        let env = LegacyEnvelope {
+            msg_type: LegacyMsgType::Auth2,
+            sender: id("leader"),
+            recipient: id("alice"),
+            body: legacy_seal(long_term.as_bytes(), LegacyMsgType::Auth2, &auth2, &mut rng),
+        };
+        s.handle(&env).unwrap();
+        assert_eq!(s.phase(), LegacyPhase::Member);
+
+        let new_key = LegacyEnvelope {
+            msg_type: LegacyMsgType::NewKey,
+            sender: id("leader"),
+            recipient: id("alice"),
+            body: legacy_seal(
+                &[3; 32],
+                LegacyMsgType::NewKey,
+                &LegacyNewKeyPlain {
+                    group_key: [9; 32],
+                    iv: [1; 12],
+                },
+                &mut rng,
+            ),
+        };
+        assert!(s.handle(&new_key).is_ok());
+        // Replay: accepted again — no nonce, no sequence, nothing.
+        assert!(s.handle(&new_key).is_ok());
+        assert_eq!(s.group_key().unwrap().as_bytes(), &[9; 32]);
+    }
+}

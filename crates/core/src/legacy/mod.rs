@@ -1,0 +1,19 @@
+//! The *original* Enclaves protocols of Section 2.2, at the byte level.
+//!
+//! This is the baseline the paper improves on. Its weaknesses are
+//! implemented faithfully so the attack scripts in [`crate::attacks`] can
+//! demonstrate them end to end:
+//!
+//! * the pre-authentication exchange (`req_open` / `ack_open` /
+//!   `connection_denied`) is cleartext and unauthenticated;
+//! * `req_close` is cleartext, so anyone can expel anyone;
+//! * `new_key` carries no freshness evidence, so replays roll the group
+//!   key back;
+//! * `mem_removed` / `mem_joined` are sealed only under the *group* key,
+//!   which every (possibly malicious) member holds.
+
+pub mod leader;
+pub mod member;
+
+pub use leader::{LegacyLeaderCore, LegacyLeaderEvent, LegacyLeaderOutput};
+pub use member::{LegacyMemberEvent, LegacyMemberOutput, LegacyMemberSession, LegacyPhase};

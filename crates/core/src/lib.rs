@@ -1,0 +1,77 @@
+//! Intrusion-tolerant group management in Enclaves.
+//!
+//! A Rust implementation of the group-management system from
+//! *Intrusion-Tolerant Group Management in Enclaves* (DSN 2001): a
+//! leader-mediated secure group (Figure 1) running the hardened
+//! authentication and group-management protocol of Section 3.2, alongside
+//! the original (vulnerable) protocol of Section 2.2 as a baseline, and an
+//! attack library that demonstrates the Section 2.3 attacks against both.
+//!
+//! # Layers
+//!
+//! * [`protocol`] — sans-I/O state machines for the improved protocol:
+//!   [`protocol::MemberSession`] (Figure 2) and [`protocol::LeaderCore`]
+//!   (Figure 3, one slot per member). These are pure: they consume
+//!   envelopes and produce envelopes + events, so they are exhaustively
+//!   testable and transport-agnostic.
+//! * [`legacy`] — the same, for the original protocol, vulnerabilities
+//!   faithfully included.
+//! * [`runtime`] — threaded leader/member event loops binding the protocol
+//!   cores to any `enclaves-net` transport (simulated or TCP).
+//! * [`attacks`] — scripted Dolev-Yao attacks run through the
+//!   `enclaves-net` adversary tap: each returns whether it succeeded, so
+//!   the same script demonstrates the vulnerability on the legacy protocol
+//!   and its absence on the improved one.
+//! * [`group`], [`config`], [`directory`] — group state, rekey policy, and
+//!   the leader's user directory.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enclaves_core::config::LeaderConfig;
+//! use enclaves_core::directory::Directory;
+//! use enclaves_core::runtime::{LeaderRuntime, MemberRuntime};
+//! use enclaves_net::sim::{SimConfig, SimNet};
+//! use enclaves_wire::ActorId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = SimNet::new(SimConfig::default());
+//! let listener = net.listen("leader")?;
+//!
+//! let mut directory = Directory::new();
+//! directory.register_password(&ActorId::new("alice")?, "alice-pw")?;
+//!
+//! let leader = LeaderRuntime::spawn(
+//!     Box::new(listener),
+//!     ActorId::new("leader")?,
+//!     directory,
+//!     LeaderConfig::default(),
+//! );
+//!
+//! let alice = MemberRuntime::connect(
+//!     Box::new(net.connect("alice", "leader")?),
+//!     ActorId::new("alice")?,
+//!     ActorId::new("leader")?,
+//!     "alice-pw",
+//! )?;
+//! alice.wait_joined(std::time::Duration::from_secs(2))?;
+//! alice.leave()?;
+//! leader.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod config;
+pub mod directory;
+pub mod group;
+pub mod legacy;
+pub mod protocol;
+pub mod runtime;
+
+mod error;
+
+pub use error::CoreError;

@@ -1,0 +1,1082 @@
+//! The leader side of the improved protocol — Figure 3, one slot per
+//! member — with group state, rekey policy, and leader-mediated multicast.
+
+use crate::config::LeaderConfig;
+use crate::directory::Directory;
+use crate::error::{CoreError, RejectReason};
+use crate::group::GroupState;
+use crate::protocol::{SEQ_LEADER};
+use enclaves_crypto::keys::SessionKey;
+use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
+use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_wire::message::{
+    group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain, ClosePlain, Envelope,
+    GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain,
+};
+use enclaves_wire::ActorId;
+use std::collections::{HashMap, VecDeque};
+
+/// Events surfaced by the leader core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LeaderEvent {
+    /// A user completed authentication and joined the group.
+    MemberJoined(ActorId),
+    /// A member left (voluntarily or expelled).
+    MemberLeft(ActorId),
+    /// The group key was rotated to this epoch.
+    Rekeyed(u64),
+    /// Group data from a member was relayed to the rest of the group.
+    Relayed {
+        /// The sender.
+        from: ActorId,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// An incoming message was rejected.
+    Rejected {
+        /// Claimed sender of the offending message.
+        from: ActorId,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+}
+
+/// Output of one leader step: envelopes to transmit and events.
+#[derive(Debug, Default)]
+pub struct LeaderOutput {
+    /// Envelopes to send (each addressed to its recipient).
+    pub outgoing: Vec<Envelope>,
+    /// Events for the operator.
+    pub events: Vec<LeaderEvent>,
+}
+
+impl LeaderOutput {
+    fn merge(&mut self, other: LeaderOutput) {
+        self.outgoing.extend(other.outgoing);
+        self.events.extend(other.events);
+    }
+}
+
+/// Counters describing leader activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaderStats {
+    /// Messages accepted.
+    pub accepted: u64,
+    /// Messages rejected.
+    pub rejected: u64,
+    /// Admin messages sent.
+    pub admin_sent: u64,
+    /// Group-data frames relayed.
+    pub relayed: u64,
+    /// Rekeys performed.
+    pub rekeys: u64,
+}
+
+/// Per-member connection state.
+struct Channel {
+    session_key: SessionKey,
+    /// Latest nonce received from the member (`N_{2i+1}`).
+    user_nonce: ProtocolNonce,
+    send_seq: NonceSequence,
+    /// Leader nonce of the in-flight admin message, if any (stop-and-wait
+    /// per member, as the paper's state machine prescribes).
+    outstanding: Option<ProtocolNonce>,
+    /// The in-flight admin envelope, re-sent verbatim by the runtime's
+    /// retransmission timer.
+    outstanding_env: Option<Envelope>,
+    /// Queued payloads awaiting the acknowledgment of the in-flight one.
+    pending: VecDeque<AdminPayload>,
+    /// Payloads dropped due to queue overflow.
+    dropped_admin: u64,
+}
+
+enum Slot {
+    WaitingForKeyAck {
+        session_key: SessionKey,
+        leader_nonce: ProtocolNonce,
+        /// The request body answered, for duplicate detection.
+        request_body: Vec<u8>,
+        /// The reply sent, re-sent verbatim on a duplicate request
+        /// (stop-and-wait ARQ for the handshake).
+        cached_reply: Envelope,
+    },
+    Connected(Channel),
+}
+
+/// The leader core: Figure 3's per-user machines plus group state.
+pub struct LeaderCore {
+    leader: ActorId,
+    directory: Directory,
+    config: LeaderConfig,
+    rng: Box<dyn CryptoRng>,
+    slots: HashMap<ActorId, Slot>,
+    group: GroupState,
+    stats: LeaderStats,
+}
+
+impl std::fmt::Debug for LeaderCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderCore")
+            .field("leader", &self.leader)
+            .field("members", &self.group.roster())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LeaderCore {
+    /// Creates a leader with OS entropy.
+    #[must_use]
+    pub fn new(leader: ActorId, directory: Directory, config: LeaderConfig) -> Self {
+        Self::with_rng(leader, directory, config, Box::new(OsEntropyRng::new()))
+    }
+
+    /// Creates a leader with an explicit RNG (deterministic in tests).
+    #[must_use]
+    pub fn with_rng(
+        leader: ActorId,
+        directory: Directory,
+        config: LeaderConfig,
+        rng: Box<dyn CryptoRng>,
+    ) -> Self {
+        LeaderCore {
+            leader,
+            directory,
+            config,
+            rng,
+            slots: HashMap::new(),
+            group: GroupState::new(),
+            stats: LeaderStats::default(),
+        }
+    }
+
+    /// The leader's identity.
+    #[must_use]
+    pub fn leader_id(&self) -> &ActorId {
+        &self.leader
+    }
+
+    /// Current members.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        self.group.roster()
+    }
+
+    /// The current group-key epoch (None before the first join).
+    #[must_use]
+    pub fn epoch(&self) -> Option<u64> {
+        self.group.current_epoch().map(|e| e.epoch)
+    }
+
+    /// Leader statistics.
+    #[must_use]
+    pub fn stats(&self) -> LeaderStats {
+        self.stats
+    }
+
+    /// Handles one incoming envelope (from any link).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Rejected`] for inauthentic/malformed/stale messages
+    /// (state unchanged); [`CoreError::UnknownUser`] for unregistered
+    /// claimed senders.
+    pub fn handle(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let result = self.handle_inner(env);
+        match &result {
+            Ok(_) => self.stats.accepted += 1,
+            Err(_) => self.stats.rejected += 1,
+        }
+        result
+    }
+
+    fn handle_inner(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        if env.recipient != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        match env.msg_type {
+            MsgType::AuthInitReq => self.accept_auth_init(env),
+            MsgType::AuthAckKey => self.accept_key_ack(env),
+            MsgType::Ack => self.accept_ack(env),
+            MsgType::ReqClose => self.accept_close(env),
+            MsgType::GroupData => self.relay_group_data(env),
+            _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
+        }
+    }
+
+    fn accept_auth_init(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        if let Some(slot) = self.slots.get(&user) {
+            // A duplicate of the request currently being answered gets the
+            // cached reply verbatim (handshake ARQ: the member retransmits
+            // its request when the reply was lost). Anything else is a
+            // replay and is ignored until the session closes.
+            if let Slot::WaitingForKeyAck {
+                request_body,
+                cached_reply,
+                ..
+            } = slot
+            {
+                if *request_body == env.body {
+                    return Ok(LeaderOutput {
+                        outgoing: vec![cached_reply.clone()],
+                        events: vec![],
+                    });
+                }
+            }
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        }
+        if self.group.len() >= self.config.max_members {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        }
+        let Some(long_term) = self.directory.lookup(&user) else {
+            return Err(CoreError::UnknownUser(user.to_string()));
+        };
+        let plain: AuthInitPlain = open(long_term.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != user || plain.leader != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+
+        let session_key = SessionKey::generate(self.rng.as_mut());
+        let leader_nonce = ProtocolNonce::generate(self.rng.as_mut());
+        let mut reply = Envelope {
+            msg_type: MsgType::AuthKeyDist,
+            sender: self.leader.clone(),
+            recipient: user.clone(),
+            body: Vec::new(),
+        };
+        let kd = KeyDistPlain {
+            leader: self.leader.clone(),
+            user: user.clone(),
+            user_nonce: plain.nonce,
+            leader_nonce,
+            session_key: *session_key.as_bytes(),
+        };
+        let mut aead_nonce = [0u8; 12];
+        self.rng.fill_bytes(&mut aead_nonce);
+        reply.body = seal(
+            long_term.as_bytes(),
+            enclaves_crypto::nonce::AeadNonce::from_bytes(aead_nonce),
+            &reply.header_aad(),
+            &kd,
+        );
+
+        self.slots.insert(
+            user,
+            Slot::WaitingForKeyAck {
+                session_key,
+                leader_nonce,
+                request_body: env.body.clone(),
+                cached_reply: reply.clone(),
+            },
+        );
+        Ok(LeaderOutput {
+            outgoing: vec![reply],
+            events: vec![],
+        })
+    }
+
+    fn accept_key_ack(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        let Some(Slot::WaitingForKeyAck {
+            session_key,
+            leader_nonce,
+            ..
+        }) = self.slots.get(&user)
+        else {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        };
+        let session_key = session_key.clone();
+        let expected = *leader_nonce;
+
+        let plain: NonceAckPlain = open(session_key.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != user || plain.leader != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        if plain.acked_nonce != expected {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        }
+
+        // The user is now a member (paper: "L accepts A as a member when
+        // the system enters a state where lead_A(q) = Connected").
+        self.slots.insert(
+            user.clone(),
+            Slot::Connected(Channel {
+                session_key,
+                user_nonce: plain.next_nonce,
+                send_seq: NonceSequence::new(SEQ_LEADER),
+                outstanding: None,
+                outstanding_env: None,
+                pending: VecDeque::new(),
+                dropped_admin: 0,
+            }),
+        );
+
+        let mut output = LeaderOutput {
+            outgoing: vec![],
+            events: vec![LeaderEvent::MemberJoined(user.clone())],
+        };
+
+        self.group.join(user.clone(), self.rng.as_mut());
+        let rekeyed = if self.config.rekey_policy.rekey_on_join() && self.group.len() > 1 {
+            self.group.rekey(self.rng.as_mut());
+            self.stats.rekeys += 1;
+            true
+        } else {
+            false
+        };
+
+        // Welcome the new member with the roster and the (possibly fresh)
+        // group key.
+        let epoch = self
+            .group
+            .current_epoch()
+            .expect("group key exists after join");
+        let welcome = AdminPayload::Welcome {
+            members: self.group.roster(),
+            epoch: epoch.epoch,
+            group_key: *epoch.key.as_bytes(),
+            iv: epoch.iv,
+        };
+        let epoch_num = epoch.epoch;
+        let new_key_payload = AdminPayload::NewGroupKey {
+            epoch: epoch_num,
+            key: *epoch.key.as_bytes(),
+            iv: epoch.iv,
+        };
+        output.merge(self.enqueue_admin(&user, welcome)?);
+
+        // Tell everyone else; distribute the new key if we rotated.
+        let others: Vec<ActorId> = self
+            .group
+            .roster()
+            .into_iter()
+            .filter(|m| *m != user)
+            .collect();
+        for other in others {
+            output.merge(self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?);
+            if rekeyed {
+                output.merge(self.enqueue_admin(&other, new_key_payload.clone())?);
+            }
+        }
+        if rekeyed {
+            output.events.push(LeaderEvent::Rekeyed(epoch_num));
+        }
+        Ok(output)
+    }
+
+    fn accept_ack(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        let Some(Slot::Connected(channel)) = self.slots.get_mut(&user) else {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        };
+        let plain: NonceAckPlain =
+            open(channel.session_key.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != user || plain.leader != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        let Some(expected) = channel.outstanding else {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        };
+        if plain.acked_nonce != expected {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        }
+        channel.outstanding = None;
+        channel.outstanding_env = None;
+        channel.user_nonce = plain.next_nonce;
+
+        // Drain the next pending payload, if any.
+        if let Some(next) = channel.pending.pop_front() {
+            return self.enqueue_admin(&user, next);
+        }
+        Ok(LeaderOutput::default())
+    }
+
+    fn accept_close(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        let Some(slot) = self.slots.get(&user) else {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        };
+        let session_key = match slot {
+            Slot::WaitingForKeyAck { session_key, .. } => session_key,
+            Slot::Connected(c) => &c.session_key,
+        };
+        let plain: ClosePlain = open(session_key.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != user || plain.leader != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        // Close: discard the session key; no further messages to the user.
+        self.slots.remove(&user);
+        self.member_departed(&user)
+    }
+
+    /// Common departure handling (voluntary close and expulsion): roster
+    /// update, notices, policy rekey.
+    fn member_departed(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let was_member = self.group.leave(user);
+        let mut output = LeaderOutput::default();
+        if !was_member {
+            return Ok(output);
+        }
+        output.events.push(LeaderEvent::MemberLeft(user.clone()));
+
+        let rekeyed = if self.config.rekey_policy.rekey_on_leave() && !self.group.is_empty() {
+            self.group.rekey(self.rng.as_mut());
+            self.stats.rekeys += 1;
+            true
+        } else {
+            false
+        };
+        let new_key_payload = self.group.current_epoch().map(|e| {
+            (
+                e.epoch,
+                AdminPayload::NewGroupKey {
+                    epoch: e.epoch,
+                    key: *e.key.as_bytes(),
+                    iv: e.iv,
+                },
+            )
+        });
+
+        for other in self.group.roster() {
+            output.merge(self.enqueue_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
+            if rekeyed {
+                if let Some((_, payload)) = &new_key_payload {
+                    output.merge(self.enqueue_admin(&other, payload.clone())?);
+                }
+            }
+        }
+        if rekeyed {
+            if let Some((epoch, _)) = new_key_payload {
+                output.events.push(LeaderEvent::Rekeyed(epoch));
+            }
+        }
+        Ok(output)
+    }
+
+    fn relay_group_data(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        if !matches!(self.slots.get(&user), Some(Slot::Connected(_))) {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        }
+        let wire: GroupDataWire = enclaves_wire::codec::decode(&env.body)
+            .map_err(|_| CoreError::Rejected(RejectReason::Malformed))?;
+        let Some(epoch) = self.group.current_epoch() else {
+            return Err(CoreError::Rejected(RejectReason::WrongEpoch));
+        };
+        if wire.epoch != epoch.epoch {
+            return Err(CoreError::Rejected(RejectReason::WrongEpoch));
+        }
+        // Verify the seal before relaying (the leader holds the group key),
+        // so tampered frames stop here rather than fanning out.
+        let aad = group_data_aad(&user, wire.epoch);
+        let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(epoch.key.as_bytes());
+        let nonce = enclaves_crypto::nonce::AeadNonce::from_bytes(wire.sealed.nonce);
+        let data_len = cipher
+            .open(&nonce, &wire.sealed.ciphertext, &aad)
+            .map_err(|_| CoreError::Rejected(RejectReason::BadSeal))?
+            .len();
+
+        let mut output = LeaderOutput::default();
+        for member in self.group.roster() {
+            if member == user {
+                continue;
+            }
+            output.outgoing.push(Envelope {
+                msg_type: MsgType::GroupData,
+                sender: user.clone(),
+                recipient: member,
+                body: env.body.clone(),
+            });
+        }
+        self.stats.relayed += 1;
+        output.events.push(LeaderEvent::Relayed {
+            from: user,
+            len: data_len,
+        });
+
+        // Traffic-based rekey policy.
+        let count = self.group.count_traffic();
+        if self.config.rekey_policy.rekey_on_traffic(count) {
+            output.merge(self.rekey_now()?);
+        }
+        Ok(output)
+    }
+
+    /// Queues (or immediately sends) an admin payload to one member.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user has no connected channel.
+    pub fn enqueue_admin(
+        &mut self,
+        user: &ActorId,
+        payload: AdminPayload,
+    ) -> Result<LeaderOutput, CoreError> {
+        let max_pending = self.config.max_pending_admin;
+        let leader = self.leader.clone();
+        let Some(Slot::Connected(channel)) = self.slots.get_mut(user) else {
+            return Err(CoreError::UnknownUser(user.to_string()));
+        };
+        if channel.outstanding.is_some() {
+            if channel.pending.len() >= max_pending {
+                channel.pending.pop_front();
+                channel.dropped_admin += 1;
+            }
+            channel.pending.push_back(payload);
+            return Ok(LeaderOutput::default());
+        }
+        let leader_nonce = ProtocolNonce::generate(self.rng.as_mut());
+        let mut env = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: leader.clone(),
+            recipient: user.clone(),
+            body: Vec::new(),
+        };
+        let plain = AdminPlain {
+            leader,
+            user: user.clone(),
+            user_nonce: channel.user_nonce,
+            leader_nonce,
+            payload,
+        };
+        env.body = seal(
+            channel.session_key.as_bytes(),
+            channel.send_seq.next()?,
+            &env.header_aad(),
+            &plain,
+        );
+        channel.outstanding = Some(leader_nonce);
+        channel.outstanding_env = Some(env.clone());
+        self.stats.admin_sent += 1;
+        Ok(LeaderOutput {
+            outgoing: vec![env],
+            events: vec![],
+        })
+    }
+
+    /// Returns verbatim copies of every in-flight message (handshake
+    /// replies and unacknowledged admin messages) for the runtime's
+    /// retransmission timer. Re-delivery is safe: recipients treat
+    /// duplicates as replays (admin) or re-acknowledge idempotently
+    /// (handshake, last-ack cache), so retransmission cannot violate the
+    /// ordering properties.
+    #[must_use]
+    pub fn retransmit_outstanding(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for slot in self.slots.values() {
+            match slot {
+                Slot::WaitingForKeyAck { cached_reply, .. } => {
+                    out.push(cached_reply.clone());
+                }
+                Slot::Connected(channel) => {
+                    if let Some(env) = &channel.outstanding_env {
+                        out.push(env.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rotates the group key now and distributes it to every member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admin-queueing failures.
+    pub fn rekey_now(&mut self) -> Result<LeaderOutput, CoreError> {
+        if self.group.is_empty() {
+            return Ok(LeaderOutput::default());
+        }
+        self.group.rekey(self.rng.as_mut());
+        self.stats.rekeys += 1;
+        let epoch = self.group.current_epoch().expect("nonempty group has key");
+        let payload = AdminPayload::NewGroupKey {
+            epoch: epoch.epoch,
+            key: *epoch.key.as_bytes(),
+            iv: epoch.iv,
+        };
+        let epoch_num = epoch.epoch;
+        let mut output = LeaderOutput::default();
+        for member in self.group.roster() {
+            output.merge(self.enqueue_admin(&member, payload.clone())?);
+        }
+        output.events.push(LeaderEvent::Rekeyed(epoch_num));
+        Ok(output)
+    }
+
+    /// Broadcasts application data to every member over the authenticated
+    /// admin channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admin-queueing failures.
+    pub fn broadcast_admin_data(&mut self, data: &[u8]) -> Result<LeaderOutput, CoreError> {
+        let mut output = LeaderOutput::default();
+        for member in self.group.roster() {
+            output.merge(self.enqueue_admin(&member, AdminPayload::AppData(data.to_vec()))?);
+        }
+        Ok(output)
+    }
+
+    /// Expels a member: drops its session immediately and notifies the
+    /// rest ("a variation of this protocol can be used to expel some
+    /// members of the group").
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user is not connected.
+    pub fn expel(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        if self.slots.remove(user).is_none() {
+            return Err(CoreError::UnknownUser(user.to_string()));
+        }
+        self.member_departed(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RekeyPolicy;
+    use crate::protocol::member::{MemberEvent, MemberSession};
+    use enclaves_crypto::keys::LongTermKey;
+    use enclaves_crypto::rng::SeededRng;
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    fn directory(users: &[&str]) -> Directory {
+        let mut d = Directory::new();
+        for u in users {
+            d.register_key(
+                &id(u),
+                LongTermKey::derive_from_password(&format!("pw-{u}"), u).unwrap(),
+            );
+        }
+        d
+    }
+
+    fn leader(users: &[&str], policy: RekeyPolicy) -> LeaderCore {
+        LeaderCore::with_rng(
+            id("leader"),
+            directory(users),
+            LeaderConfig {
+                rekey_policy: policy,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(1)),
+        )
+    }
+
+    fn member(user: &str, seed: u64) -> (MemberSession, Envelope) {
+        MemberSession::start_with_key(
+            id(user),
+            id("leader"),
+            LongTermKey::derive_from_password(&format!("pw-{user}"), user).unwrap(),
+            Box::new(SeededRng::from_seed(seed)),
+        )
+    }
+
+    /// Runs envelopes between a member and the leader until quiescent.
+    fn pump(
+        leader: &mut LeaderCore,
+        session: &mut MemberSession,
+        first: Envelope,
+    ) -> Vec<MemberEvent> {
+        let mut events = Vec::new();
+        let mut to_leader = vec![first];
+        while !to_leader.is_empty() {
+            let mut to_member = Vec::new();
+            for env in to_leader.drain(..) {
+                if let Ok(out) = leader.handle(&env) {
+                    to_member.extend(out.outgoing);
+                }
+            }
+            for env in to_member {
+                if env.recipient != *session.user() {
+                    continue;
+                }
+                if let Ok(out) = session.handle(&env) {
+                    events.extend(out.events);
+                    to_leader.extend(out.reply);
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn join_flow_produces_welcome() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 10);
+        let events = pump(&mut l, &mut alice, init);
+        assert!(events.contains(&MemberEvent::SessionEstablished));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MemberEvent::Welcomed { roster, .. } if roster == &vec![id("alice")])));
+        assert_eq!(l.roster(), vec![id("alice")]);
+        assert_eq!(alice.group_epoch(), Some(1));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (_, init) = member("mallory", 11);
+        assert!(matches!(
+            l.handle(&init),
+            Err(CoreError::UnknownUser(_))
+        ));
+        assert!(l.roster().is_empty());
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        // Mallory claims to be alice but seals with the wrong key.
+        let (_, mut init) = member("alice", 12);
+        let wrong_key = LongTermKey::derive_from_password("wrong", "alice").unwrap();
+        let (_, bad_init) = MemberSession::start_with_key(
+            id("alice"),
+            id("leader"),
+            wrong_key,
+            Box::new(SeededRng::from_seed(13)),
+        );
+        init.body = bad_init.body;
+        assert!(matches!(
+            l.handle(&init),
+            Err(CoreError::Rejected(RejectReason::BadSeal))
+        ));
+    }
+
+    #[test]
+    fn second_member_triggers_join_notice_and_rekey() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::OnJoin);
+        let (mut alice, init_a) = member("alice", 20);
+        pump(&mut l, &mut alice, init_a);
+        assert_eq!(l.epoch(), Some(1));
+
+        // Bob joins; policy rekeys; alice must receive MemberJoined +
+        // NewGroupKey.
+        let (mut bob, init_b) = member("bob", 21);
+        let out = l.handle(&init_b).unwrap();
+        let kd = out.outgoing.into_iter().next().unwrap();
+        let bob_out = bob.handle(&kd).unwrap();
+        let out = l.handle(bob_out.reply.as_ref().unwrap()).unwrap();
+
+        // Envelopes now flow to both members; pump them manually.
+        let mut alice_events = Vec::new();
+        let mut bob_events = Vec::new();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            let (session, events) = if env.recipient == id("alice") {
+                (&mut alice, &mut alice_events)
+            } else {
+                (&mut bob, &mut bob_events)
+            };
+            if let Ok(o) = session.handle(&env) {
+                events.extend(o.events);
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+
+        assert_eq!(l.epoch(), Some(2));
+        assert!(alice_events.contains(&MemberEvent::MemberJoined(id("bob"))));
+        assert!(alice_events
+            .iter()
+            .any(|e| matches!(e, MemberEvent::GroupKeyChanged { epoch: 2 })));
+        assert!(bob_events
+            .iter()
+            .any(|e| matches!(e, MemberEvent::Welcomed { epoch: 2, .. })));
+        assert_eq!(alice.group_epoch(), Some(2));
+        assert_eq!(bob.group_epoch(), Some(2));
+        assert_eq!(alice.roster(), vec![id("alice"), id("bob")]);
+        assert_eq!(bob.roster(), vec![id("alice"), id("bob")]);
+    }
+
+    #[test]
+    fn replayed_auth_init_ignored_while_connected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 30);
+        pump(&mut l, &mut alice, init.clone());
+        // Replay the original AuthInitReq.
+        assert!(matches!(
+            l.handle(&init),
+            Err(CoreError::Rejected(RejectReason::UnexpectedType))
+        ));
+        assert_eq!(l.roster(), vec![id("alice")]);
+    }
+
+    #[test]
+    fn replayed_ack_rejected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 31);
+        pump(&mut l, &mut alice, init);
+
+        // Send admin data; capture alice's ack; replay it.
+        let out = l.broadcast_admin_data(b"x").unwrap();
+        let admin = out.outgoing.into_iter().next().unwrap();
+        let alice_out = alice.handle(&admin).unwrap();
+        let ack = alice_out.reply.unwrap();
+        assert!(l.handle(&ack).is_ok());
+        assert!(matches!(
+            l.handle(&ack),
+            Err(CoreError::Rejected(RejectReason::StaleNonce))
+        ));
+    }
+
+    #[test]
+    fn leave_flow_notifies_and_rekeys() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::OnLeave);
+        let (mut alice, init_a) = member("alice", 40);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 41);
+        // Drive bob's join, collecting all envelopes.
+        let out = l.handle(&init_b).unwrap();
+        let bob_out = bob.handle(out.outgoing.first().unwrap()).unwrap();
+        let out = l.handle(bob_out.reply.as_ref().unwrap()).unwrap();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            let session = if env.recipient == id("alice") {
+                &mut alice
+            } else {
+                &mut bob
+            };
+            if let Ok(o) = session.handle(&env) {
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+        let epoch_before = l.epoch().unwrap();
+
+        // Bob leaves.
+        let close = bob.leave().unwrap();
+        let out = l.handle(&close).unwrap();
+        assert!(out.events.contains(&LeaderEvent::MemberLeft(id("bob"))));
+        assert_eq!(l.roster(), vec![id("alice")]);
+        assert_eq!(l.epoch(), Some(epoch_before + 1), "rekey on leave");
+
+        // Alice receives MemberLeft + NewGroupKey.
+        let mut events = Vec::new();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            if let Ok(o) = alice.handle(&env) {
+                events.extend(o.events);
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+        assert!(events.contains(&MemberEvent::MemberLeft(id("bob"))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MemberEvent::GroupKeyChanged { .. })));
+        assert_eq!(alice.roster(), vec![id("alice")]);
+
+        // A replayed close is rejected (slot is gone).
+        assert!(matches!(
+            l.handle(&close),
+            Err(CoreError::Rejected(RejectReason::UnexpectedType))
+        ));
+    }
+
+    #[test]
+    fn group_data_is_relayed_to_others_only() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::Manual);
+        let (mut alice, init_a) = member("alice", 50);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 51);
+        let out = l.handle(&init_b).unwrap();
+        let bob_out = bob.handle(out.outgoing.first().unwrap()).unwrap();
+        let out = l.handle(bob_out.reply.as_ref().unwrap()).unwrap();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            let session = if env.recipient == id("alice") {
+                &mut alice
+            } else {
+                &mut bob
+            };
+            if let Ok(o) = session.handle(&env) {
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+
+        let env = alice.send_group_data(b"hi all").unwrap();
+        let out = l.handle(&env).unwrap();
+        assert_eq!(out.outgoing.len(), 1, "only bob receives the relay");
+        assert_eq!(out.outgoing[0].recipient, id("bob"));
+        let bob_out = bob.handle(out.outgoing.first().unwrap()).unwrap();
+        assert_eq!(
+            bob_out.events,
+            vec![MemberEvent::GroupData {
+                from: id("alice"),
+                data: b"hi all".to_vec()
+            }]
+        );
+    }
+
+    #[test]
+    fn tampered_group_data_stops_at_leader() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 60);
+        pump(&mut l, &mut alice, init);
+        let mut env = alice.send_group_data(b"payload").unwrap();
+        let last = env.body.len() - 1;
+        env.body[last] ^= 1;
+        assert!(matches!(
+            l.handle(&env),
+            Err(CoreError::Rejected(RejectReason::BadSeal))
+        ));
+        assert_eq!(l.stats().relayed, 0);
+    }
+
+    #[test]
+    fn admin_queue_is_stop_and_wait() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 70);
+        pump(&mut l, &mut alice, init);
+
+        // Two broadcasts: only the first goes out immediately.
+        let out1 = l.broadcast_admin_data(b"one").unwrap();
+        assert_eq!(out1.outgoing.len(), 1);
+        let out2 = l.broadcast_admin_data(b"two").unwrap();
+        assert!(out2.outgoing.is_empty(), "second is queued");
+
+        // Acking the first releases the second.
+        let a_out = alice.handle(out1.outgoing.first().unwrap()).unwrap();
+        let released = l.handle(a_out.reply.as_ref().unwrap()).unwrap();
+        assert_eq!(released.outgoing.len(), 1);
+        let a_out2 = alice.handle(released.outgoing.first().unwrap()).unwrap();
+        assert_eq!(a_out2.events, vec![MemberEvent::AdminData(b"two".to_vec())]);
+    }
+
+    #[test]
+    fn expel_removes_member_and_notifies() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::OnJoinAndLeave);
+        let (mut alice, init_a) = member("alice", 80);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 81);
+        let out = l.handle(&init_b).unwrap();
+        let bob_out = bob.handle(out.outgoing.first().unwrap()).unwrap();
+        let out = l.handle(bob_out.reply.as_ref().unwrap()).unwrap();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            let session = if env.recipient == id("alice") {
+                &mut alice
+            } else {
+                &mut bob
+            };
+            if let Ok(o) = session.handle(&env) {
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+
+        let out = l.expel(&id("bob")).unwrap();
+        assert!(out.events.contains(&LeaderEvent::MemberLeft(id("bob"))));
+        assert_eq!(l.roster(), vec![id("alice")]);
+        assert!(matches!(
+            l.expel(&id("bob")),
+            Err(CoreError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_auth_init_gets_cached_reply() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (_, init) = member("alice", 100);
+        let first = l.handle(&init).unwrap();
+        let second = l.handle(&init).unwrap();
+        assert_eq!(
+            first.outgoing, second.outgoing,
+            "duplicate request must get the byte-identical cached reply"
+        );
+        // But a *different* request while one is pending is ignored.
+        let (_, other_init) = member("alice", 101);
+        assert!(matches!(
+            l.handle(&other_init),
+            Err(CoreError::Rejected(RejectReason::UnexpectedType))
+        ));
+    }
+
+    #[test]
+    fn retransmit_outstanding_covers_handshakes_and_admin() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        // Pending handshake → one retransmittable message.
+        let (mut alice, init) = member("alice", 110);
+        let out = l.handle(&init).unwrap();
+        assert_eq!(l.retransmit_outstanding().len(), 1);
+        assert_eq!(l.retransmit_outstanding(), out.outgoing);
+
+        // Complete the join; the welcome admin message is now in flight.
+        let alice_out = alice.handle(&out.outgoing[0]).unwrap();
+        let welcome_out = l.handle(alice_out.reply.as_ref().unwrap()).unwrap();
+        assert_eq!(l.retransmit_outstanding(), welcome_out.outgoing);
+
+        // Acknowledge it: nothing left to retransmit.
+        let a_out = alice.handle(&welcome_out.outgoing[0]).unwrap();
+        l.handle(a_out.reply.as_ref().unwrap()).unwrap();
+        assert!(l.retransmit_outstanding().is_empty());
+    }
+
+    #[test]
+    fn retransmitted_admin_is_reacked_idempotently() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 120);
+        pump(&mut l, &mut alice, init);
+
+        let out = l.broadcast_admin_data(b"payload").unwrap();
+        let admin = out.outgoing.into_iter().next().unwrap();
+        let first = alice.handle(&admin).unwrap();
+        assert_eq!(first.events.len(), 1);
+        // Simulate the ack being lost: the leader retransmits; alice
+        // re-acks from the cache with identical bytes and no event.
+        let second = alice.handle(&admin).unwrap();
+        assert!(second.events.is_empty());
+        assert_eq!(
+            first.reply.as_ref().map(|e| &e.body),
+            second.reply.as_ref().map(|e| &e.body)
+        );
+        // Either ack copy completes the exchange; the second is rejected
+        // as stale (replay defense intact on the leader side).
+        assert!(l.handle(first.reply.as_ref().unwrap()).is_ok());
+        assert!(l.handle(second.reply.as_ref().unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejection_leaves_leader_state_unchanged() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 90);
+        pump(&mut l, &mut alice, init);
+        let roster = l.roster();
+        let epoch = l.epoch();
+        for i in 0..10u8 {
+            let env = Envelope {
+                msg_type: MsgType::Ack,
+                sender: id("alice"),
+                recipient: id("leader"),
+                body: vec![i; 40],
+            };
+            assert!(l.handle(&env).is_err());
+        }
+        assert_eq!(l.roster(), roster);
+        assert_eq!(l.epoch(), epoch);
+        assert_eq!(l.stats().rejected, 10);
+    }
+}

@@ -1,0 +1,56 @@
+//! Sans-I/O state machines for the improved protocol (Section 3.2).
+//!
+//! [`MemberSession`] implements the user machine of Figure 2 and
+//! [`LeaderCore`] the leader of Figure 3 (one slot per member). Both
+//! consume [`enclaves_wire::message::Envelope`]s and produce envelopes plus
+//! events; they perform no I/O, so the same code is driven by the threaded
+//! runtime, by the integration tests, and by the attack scripts.
+//!
+//! # Intrusion tolerance contract
+//!
+//! `handle` returns `Err(CoreError::Rejected(_))` for any message that
+//! fails authentication, parses badly, carries wrong identities, or
+//! presents a stale nonce. **Rejection never mutates session state**: a
+//! flood of forged traffic leaves an honest session exactly where it was.
+//! Tests in this module and in `attacks` rely on that contract.
+
+pub mod leader;
+pub mod member;
+
+pub use leader::{LeaderCore, LeaderEvent, LeaderOutput, LeaderStats};
+pub use member::{MemberEvent, MemberOutput, MemberSession, SessionPhase};
+
+use enclaves_crypto::sha256::sha256;
+use enclaves_wire::ActorId;
+
+/// AEAD nonce-sequence prefix for leader → member traffic under `K_a`.
+pub(crate) const SEQ_LEADER: [u8; 4] = *b"ldr>";
+/// AEAD nonce-sequence prefix for member → leader traffic under `K_a`.
+pub(crate) const SEQ_MEMBER: [u8; 4] = *b"mbr>";
+
+/// Per-sender AEAD nonce-sequence prefix for group-data traffic under the
+/// shared `K_g` (derived from the sender identity so members sharing the
+/// key never collide).
+pub(crate) fn group_seq_prefix(sender: &ActorId) -> [u8; 4] {
+    let digest = sha256(format!("enclaves-group-data:{sender}").as_bytes());
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_prefixes_differ_per_sender() {
+        let a = group_seq_prefix(&ActorId::new("alice").unwrap());
+        let b = group_seq_prefix(&ActorId::new("bob").unwrap());
+        assert_ne!(a, b);
+        // Deterministic.
+        assert_eq!(a, group_seq_prefix(&ActorId::new("alice").unwrap()));
+    }
+
+    #[test]
+    fn directional_prefixes_differ() {
+        assert_ne!(SEQ_LEADER, SEQ_MEMBER);
+    }
+}

@@ -1,0 +1,312 @@
+//! The threaded leader runtime.
+
+use crate::config::LeaderConfig;
+use crate::directory::Directory;
+use crate::protocol::{LeaderCore, LeaderEvent};
+use crate::CoreError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use enclaves_net::{Link, Listener};
+use enclaves_wire::codec::{decode, encode};
+use enclaves_wire::message::Envelope;
+use enclaves_wire::ActorId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(25);
+/// How often in-flight messages are retransmitted.
+const RETRANSMIT: Duration = Duration::from_millis(400);
+
+struct Shared {
+    core: Mutex<LeaderCore>,
+    /// Links bound to authenticated identities.
+    routes: Mutex<HashMap<ActorId, Sender<Vec<u8>>>>,
+    events_tx: Sender<LeaderEvent>,
+    running: AtomicBool,
+}
+
+impl Shared {
+    /// Routes envelopes to their recipients' links; unroutable envelopes
+    /// are handed back to the caller-supplied fallback (the current link,
+    /// during authentication).
+    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Vec<u8>>>) {
+        let routes = self.routes.lock();
+        for env in outgoing {
+            let frame = encode(&env);
+            if let Some(tx) = routes.get(&env.recipient) {
+                let _ = tx.send(frame);
+            } else if let Some(fb) = fallback {
+                let _ = fb.send(frame);
+            }
+        }
+    }
+
+    fn emit(&self, events: Vec<LeaderEvent>) {
+        for e in events {
+            let _ = self.events_tx.send(e);
+        }
+    }
+}
+
+/// A running leader: acceptor plus per-link handlers around a
+/// [`LeaderCore`].
+pub struct LeaderRuntime {
+    shared: Arc<Shared>,
+    events_rx: Receiver<LeaderEvent>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LeaderRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderRuntime").finish_non_exhaustive()
+    }
+}
+
+impl LeaderRuntime {
+    /// Spawns the leader on a listener.
+    #[must_use]
+    pub fn spawn(
+        listener: Box<dyn Listener>,
+        leader_id: ActorId,
+        directory: Directory,
+        config: LeaderConfig,
+    ) -> Self {
+        let (events_tx, events_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            core: Mutex::new(LeaderCore::new(leader_id, directory, config)),
+            routes: Mutex::new(HashMap::new()),
+            events_tx,
+            running: AtomicBool::new(true),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("enclaves-leader-acceptor".into())
+            .spawn(move || {
+                while accept_shared.running.load(Ordering::Relaxed) {
+                    match listener.accept_timeout(POLL) {
+                        Ok(link) => {
+                            let link_shared = Arc::clone(&accept_shared);
+                            let _ = std::thread::Builder::new()
+                                .name("enclaves-leader-link".into())
+                                .spawn(move || link_loop(&link_shared, link));
+                        }
+                        Err(enclaves_net::NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn leader acceptor");
+
+        // Retransmission timer: re-send every in-flight message on a
+        // fixed cadence; recipients handle duplicates idempotently.
+        let tick_shared = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("enclaves-leader-ticker".into())
+            .spawn(move || {
+                while tick_shared.running.load(Ordering::Relaxed) {
+                    std::thread::sleep(RETRANSMIT);
+                    let outstanding = tick_shared.core.lock().retransmit_outstanding();
+                    tick_shared.dispatch(outstanding, None);
+                }
+            })
+            .expect("spawn leader ticker");
+
+        LeaderRuntime {
+            shared,
+            events_rx,
+            acceptor: Some(acceptor),
+            ticker: Some(ticker),
+        }
+    }
+
+    /// The leader's event stream.
+    #[must_use]
+    pub fn events(&self) -> &Receiver<LeaderEvent> {
+        &self.events_rx
+    }
+
+    /// Current members.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        self.shared.core.lock().roster()
+    }
+
+    /// Current group-key epoch.
+    #[must_use]
+    pub fn epoch(&self) -> Option<u64> {
+        self.shared.core.lock().epoch()
+    }
+
+    /// Leader statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> crate::protocol::LeaderStats {
+        self.shared.core.lock().stats()
+    }
+
+    /// Rotates the group key now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn rekey(&self) -> Result<(), CoreError> {
+        let output = self.shared.core.lock().rekey_now()?;
+        self.shared.dispatch(output.outgoing, None);
+        self.shared.emit(output.events);
+        Ok(())
+    }
+
+    /// Broadcasts application data over the authenticated admin channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn broadcast(&self, data: &[u8]) -> Result<(), CoreError> {
+        let output = self.shared.core.lock().broadcast_admin_data(data)?;
+        self.shared.dispatch(output.outgoing, None);
+        self.shared.emit(output.events);
+        Ok(())
+    }
+
+    /// Expels a member.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if not connected.
+    pub fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
+        let output = self.shared.core.lock().expel(user)?;
+        self.shared.routes.lock().remove(user);
+        self.shared.dispatch(output.outgoing, None);
+        self.shared.emit(output.events);
+        Ok(())
+    }
+
+    /// Waits until `user` appears in the roster.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if the deadline passes first.
+    pub fn wait_member(&self, user: &ActorId, timeout: Duration) -> Result<(), CoreError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.roster().contains(user) {
+                return Ok(());
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(CoreError::Timeout("member join"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the acceptor, ticker, and handler threads.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-link handler: pumps frames into the core and writes routed frames
+/// out.
+fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
+    let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+    let mut bound: Option<ActorId> = None;
+
+    while shared.running.load(Ordering::Relaxed) {
+        // Flush anything routed to this link.
+        while let Ok(frame) = out_rx.try_recv() {
+            if link.send(frame).is_err() {
+                cleanup(shared, &bound, &out_tx);
+                return;
+            }
+        }
+        match link.recv_timeout(POLL) {
+            Ok(frame) => {
+                let Ok(env) = decode::<Envelope>(&frame) else {
+                    continue; // malformed frame: drop
+                };
+                let sender = env.sender.clone();
+                let result = shared.core.lock().handle(&env);
+                match result {
+                    Ok(output) => {
+                        // Bind this link to the claimed identity only on
+                        // messages whose acceptance proves *freshness*
+                        // (AuthAckKey/Ack echo a one-time nonce under the
+                        // session key). Accepted-but-replayable messages
+                        // (GroupData, duplicate AuthInitReq answered from
+                        // the ARQ cache) must NOT bind, or an attacker
+                        // replaying a captured frame from its own
+                        // connection could capture the member's route — a
+                        // denial of service.
+                        let proves_freshness = matches!(
+                            env.msg_type,
+                            enclaves_wire::message::MsgType::AuthAckKey
+                                | enclaves_wire::message::MsgType::Ack
+                        );
+                        if proves_freshness && bound.as_ref() != Some(&sender) {
+                            bound = Some(sender.clone());
+                            shared.routes.lock().insert(sender, out_tx.clone());
+                        }
+                        // A departing member's route is dropped so a later
+                        // rejoin (possibly on a new link) starts clean.
+                        for event in &output.events {
+                            if let LeaderEvent::MemberLeft(user) = event {
+                                shared.routes.lock().remove(user);
+                            }
+                        }
+                        if env.msg_type == enclaves_wire::message::MsgType::AuthInitReq {
+                            // Handshake replies always return on the link
+                            // the request arrived on: the requester is not
+                            // (or no longer) route-bound, and any stale
+                            // route from a previous session must not
+                            // swallow the reply.
+                            for out_env in output.outgoing {
+                                let _ = out_tx.send(encode(&out_env));
+                            }
+                        } else {
+                            shared.dispatch(output.outgoing, Some(&out_tx));
+                        }
+                        shared.emit(output.events);
+                    }
+                    Err(e) => {
+                        shared.emit(vec![LeaderEvent::Rejected {
+                            from: sender,
+                            reason: match e {
+                                CoreError::Rejected(r) => r,
+                                _ => crate::error::RejectReason::Malformed,
+                            },
+                        }]);
+                    }
+                }
+            }
+            Err(enclaves_net::NetError::Timeout) => continue,
+            Err(_) => {
+                cleanup(shared, &bound, &out_tx);
+                return;
+            }
+        }
+    }
+}
+
+fn cleanup(shared: &Arc<Shared>, bound: &Option<ActorId>, out_tx: &Sender<Vec<u8>>) {
+    if let Some(user) = bound {
+        let mut routes = shared.routes.lock();
+        // Remove the route only if it still points at THIS link: the
+        // member may have reconnected, in which case a newer link owns the
+        // route and a late cleanup of the dead link must not sever it.
+        if routes.get(user).is_some_and(|tx| tx.same_channel(out_tx)) {
+            routes.remove(user);
+        }
+        // A vanished link does not remove the member from the group: the
+        // member may reconnect, or the application may expel it. The
+        // protocol state is authoritative.
+    }
+}

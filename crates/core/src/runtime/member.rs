@@ -1,0 +1,233 @@
+//! The threaded member runtime.
+
+use crate::protocol::{MemberEvent, MemberSession, SessionPhase};
+use crate::runtime::wait_for;
+use crate::CoreError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use enclaves_net::Link;
+use enclaves_wire::codec::{decode, encode};
+use enclaves_wire::message::Envelope;
+use enclaves_wire::ActorId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(25);
+/// How often an incomplete handshake is retransmitted.
+const RETRANSMIT: Duration = Duration::from_millis(250);
+
+struct Shared {
+    session: Mutex<MemberSession>,
+    out_tx: Sender<Vec<u8>>,
+    running: AtomicBool,
+}
+
+/// A running member: a receive loop around a
+/// [`crate::protocol::MemberSession`].
+pub struct MemberRuntime {
+    shared: Arc<Shared>,
+    events_rx: Receiver<MemberEvent>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MemberRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemberRuntime").finish_non_exhaustive()
+    }
+}
+
+impl MemberRuntime {
+    /// Connects over `link`, starting the authentication handshake
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-derivation or transport failures.
+    pub fn connect(
+        link: Box<dyn Link>,
+        user: ActorId,
+        leader: ActorId,
+        password: &str,
+    ) -> Result<Self, CoreError> {
+        let (session, init) = MemberSession::start(user, leader, password)?;
+        Self::run(link, session, init)
+    }
+
+    /// Connects with a pre-built session (deterministic tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn run(
+        link: Box<dyn Link>,
+        session: MemberSession,
+        init: Envelope,
+    ) -> Result<Self, CoreError> {
+        link.send(encode(&init))?;
+        let (events_tx, events_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+        let shared = Arc::new(Shared {
+            session: Mutex::new(session),
+            out_tx,
+            running: AtomicBool::new(true),
+        });
+
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("enclaves-member".into())
+            .spawn(move || {
+                let mut last_retransmit = std::time::Instant::now();
+                while worker_shared.running.load(Ordering::Relaxed) {
+                    while let Ok(frame) = out_rx.try_recv() {
+                        if link.send(frame).is_err() {
+                            return;
+                        }
+                    }
+                    // Handshake ARQ: until the welcome arrives, periodically
+                    // re-send the pending handshake message (the leader
+                    // handles duplicates idempotently).
+                    if last_retransmit.elapsed() >= RETRANSMIT {
+                        last_retransmit = std::time::Instant::now();
+                        let pending = worker_shared
+                            .session
+                            .lock()
+                            .handshake_pending()
+                            .map(encode);
+                        if let Some(frame) = pending {
+                            if link.send(frame).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    match link.recv_timeout(POLL) {
+                        Ok(frame) => {
+                            let Ok(env) = decode::<Envelope>(&frame) else {
+                                continue;
+                            };
+                            let result = worker_shared.session.lock().handle(&env);
+                            if let Ok(output) = result {
+                                if let Some(reply) = output.reply {
+                                    if link.send(encode(&reply)).is_err() {
+                                        return;
+                                    }
+                                }
+                                for e in output.events {
+                                    let _ = events_tx.send(e);
+                                }
+                            }
+                            // Rejected traffic is dropped; the stats
+                            // counter in the session records it.
+                        }
+                        Err(enclaves_net::NetError::Timeout) => continue,
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn member worker");
+
+        Ok(MemberRuntime {
+            shared,
+            events_rx,
+            worker: Some(worker),
+        })
+    }
+
+    /// The member's event stream.
+    #[must_use]
+    pub fn events(&self) -> &Receiver<MemberEvent> {
+        &self.events_rx
+    }
+
+    /// Current session phase.
+    #[must_use]
+    pub fn phase(&self) -> SessionPhase {
+        self.shared.session.lock().phase()
+    }
+
+    /// The member's current roster view.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        self.shared.session.lock().roster()
+    }
+
+    /// The group-key epoch currently held.
+    #[must_use]
+    pub fn group_epoch(&self) -> Option<u64> {
+        self.shared.session.lock().group_epoch()
+    }
+
+    /// Session statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> crate::protocol::member::SessionStats {
+        self.shared.session.lock().stats()
+    }
+
+    /// Blocks until an event matching `pred` arrives, returning it.
+    ///
+    /// Non-matching events are consumed in the process (use a dedicated
+    /// event-drain thread if the application needs all of them).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if the deadline passes first.
+    pub fn wait_event(
+        &self,
+        timeout: Duration,
+        pred: impl FnMut(&MemberEvent) -> bool,
+    ) -> Result<MemberEvent, CoreError> {
+        wait_for(&self.events_rx, timeout, pred).map_err(|()| CoreError::Timeout("member event"))
+    }
+
+    /// Blocks until the welcome (roster + group key) arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if the deadline passes first.
+    pub fn wait_joined(&self, timeout: Duration) -> Result<(), CoreError> {
+        wait_for(&self.events_rx, timeout, |e| {
+            matches!(e, MemberEvent::Welcomed { .. })
+        })
+        .map(|_| ())
+        .map_err(|()| CoreError::Timeout("welcome"))
+    }
+
+    /// Sends application data to the group (via the leader relay).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] before the welcome.
+    pub fn send_group_data(&self, data: &[u8]) -> Result<(), CoreError> {
+        let env = self.shared.session.lock().send_group_data(data)?;
+        self.shared
+            .out_tx
+            .send(encode(&env))
+            .map_err(|_| CoreError::RuntimeGone)?;
+        Ok(())
+    }
+
+    /// Leaves the group and stops the worker.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if not connected.
+    pub fn leave(mut self) -> Result<(), CoreError> {
+        let env = self.shared.session.lock().leave()?;
+        let _ = self.shared.out_tx.send(encode(&env));
+        // Give the worker a moment to flush the close, then stop.
+        std::thread::sleep(POLL * 2);
+        self.shared.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Stops the worker without sending a close (simulates a crash).
+    pub fn abandon(mut self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Threaded runtimes binding the sans-I/O protocol cores to any
+//! `enclaves-net` transport.
+//!
+//! * [`LeaderRuntime`] — an acceptor thread plus one handler thread per
+//!   link, all sharing a [`crate::protocol::LeaderCore`] behind a mutex.
+//!   Outgoing envelopes are routed to the link currently bound to their
+//!   recipient; links become bound to an identity only after the improved
+//!   protocol authenticates it.
+//! * [`MemberRuntime`] — a receive loop thread around a
+//!   [`crate::protocol::MemberSession`], exposing an event channel and
+//!   blocking convenience waiters.
+//!
+//! Both runtimes drop (and count) rejected traffic instead of dying — the
+//! operational face of intrusion tolerance.
+
+mod leader;
+mod member;
+
+pub use leader::LeaderRuntime;
+pub use member::MemberRuntime;
+
+use crossbeam_channel::Receiver;
+use std::time::{Duration, Instant};
+
+/// Waits for an event matching `pred` on `rx`, with a deadline.
+///
+/// # Errors
+///
+/// Returns `Err(())` if the deadline passes or the channel closes.
+pub(crate) fn wait_for<T>(
+    rx: &Receiver<T>,
+    timeout: Duration,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Result<T, ()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(());
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(event) if pred(&event) => return Ok(event),
+            Ok(_) => continue,
+            Err(_) => return Err(()),
+        }
+    }
+}

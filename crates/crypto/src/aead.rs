@@ -1,0 +1,276 @@
+//! RFC 8439 ChaCha20-Poly1305 authenticated encryption.
+//!
+//! This is the concrete realization of the paper's `{X}_K`: encryption that
+//! also guarantees integrity and key-binding, so a recipient detects any
+//! tampering or any ciphertext produced under a different key. Validated
+//! against the RFC 8439 §2.8.2 test vector.
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::constant_time::ct_eq;
+use crate::nonce::AeadNonce;
+use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::CryptoError;
+
+/// A ChaCha20-Poly1305 AEAD cipher bound to one 256-bit key.
+///
+/// # Example
+///
+/// ```
+/// use enclaves_crypto::aead::ChaCha20Poly1305;
+/// use enclaves_crypto::nonce::AeadNonce;
+///
+/// # fn main() -> Result<(), enclaves_crypto::CryptoError> {
+/// let cipher = ChaCha20Poly1305::new(&[0x42; 32]);
+/// let nonce = AeadNonce::from_bytes([0; 12]);
+/// let ct = cipher.seal(&nonce, b"AdminMsg", b"L->A");
+/// assert_eq!(cipher.open(&nonce, &ct, b"L->A")?, b"AdminMsg");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for ChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha20Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl Drop for ChaCha20Poly1305 {
+    fn drop(&mut self) {
+        crate::constant_time::zeroize(&mut self.key);
+    }
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates a cipher from a 256-bit key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key: *key }
+    }
+
+    /// Derives the one-time Poly1305 key for `nonce` (RFC 8439 §2.6).
+    fn poly_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = chacha20::block(&self.key, 0, nonce);
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&block[..32]);
+        pk
+    }
+
+    fn compute_tag(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        ciphertext: &[u8],
+        aad: &[u8],
+    ) -> [u8; TAG_LEN] {
+        let poly_key = self.poly_key(nonce);
+        let mut mac = Poly1305::new(&poly_key);
+        mac.update(aad);
+        mac.update(&zero_pad(aad.len()));
+        mac.update(ciphertext);
+        mac.update(&zero_pad(ciphertext.len()));
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &AeadNonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let n = nonce.as_bytes();
+        let mut out = chacha20::encrypt(&self.key, 1, n, plaintext);
+        let tag = self.compute_tag(n, &out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `sealed` (as produced by [`seal`](Self::seal)) bound to
+    /// `aad`, returning the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::TruncatedCiphertext`] if `sealed` is shorter than a
+    ///   tag.
+    /// * [`CryptoError::TagMismatch`] if authentication fails — wrong key,
+    ///   wrong nonce, wrong AAD, or tampered ciphertext. No plaintext is
+    ///   released in that case.
+    pub fn open(
+        &self,
+        nonce: &AeadNonce,
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedCiphertext);
+        }
+        let n = nonce.as_bytes();
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.compute_tag(n, ciphertext, aad);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        Ok(chacha20::encrypt(&self.key, 1, n, ciphertext))
+    }
+}
+
+/// Returns the RFC 8439 pad: zeros to the next 16-byte boundary.
+fn zero_pad(len: usize) -> Vec<u8> {
+    vec![0u8; (16 - (len % 16)) % 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: [u8; 32] = unhex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce = AeadNonce::from_bytes(
+            unhex("070000004041424344454647").try_into().unwrap(),
+        );
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let cipher = ChaCha20Poly1305::new(&key);
+        let sealed = cipher.seal(&nonce, plaintext, &aad);
+
+        let expected_ct = unhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expected_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+
+        assert_eq!(&sealed[..expected_ct.len()], &expected_ct[..]);
+        assert_eq!(&sealed[expected_ct.len()..], &expected_tag[..]);
+
+        let opened = cipher.open(&nonce, &sealed, &aad).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn open_rejects_tampered_ciphertext() {
+        let cipher = ChaCha20Poly1305::new(&[1; 32]);
+        let nonce = AeadNonce::from_bytes([2; 12]);
+        let mut sealed = cipher.seal(&nonce, b"payload", b"aad");
+        sealed[0] ^= 1;
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"aad"),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn open_rejects_tampered_tag() {
+        let cipher = ChaCha20Poly1305::new(&[1; 32]);
+        let nonce = AeadNonce::from_bytes([2; 12]);
+        let mut sealed = cipher.seal(&nonce, b"payload", b"aad");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"aad"),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn open_rejects_wrong_aad() {
+        let cipher = ChaCha20Poly1305::new(&[1; 32]);
+        let nonce = AeadNonce::from_bytes([2; 12]);
+        let sealed = cipher.seal(&nonce, b"payload", b"aad-1");
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"aad-2"),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn open_rejects_wrong_key_and_nonce() {
+        let c1 = ChaCha20Poly1305::new(&[1; 32]);
+        let c2 = ChaCha20Poly1305::new(&[2; 32]);
+        let n1 = AeadNonce::from_bytes([0; 12]);
+        let n2 = AeadNonce::from_bytes([1; 12]);
+        let sealed = c1.seal(&n1, b"x", b"");
+        assert!(c2.open(&n1, &sealed, b"").is_err());
+        assert!(c1.open(&n2, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn open_rejects_truncation() {
+        let cipher = ChaCha20Poly1305::new(&[1; 32]);
+        let nonce = AeadNonce::from_bytes([2; 12]);
+        assert_eq!(
+            cipher.open(&nonce, &[0u8; 15], b""),
+            Err(CryptoError::TruncatedCiphertext)
+        );
+        // Exactly a tag with no ciphertext is structurally valid input and
+        // must decrypt an empty message only under the right tag.
+        let sealed = cipher.seal(&nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(cipher.open(&nonce, &sealed, b"").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cipher = ChaCha20Poly1305::new(&[9; 32]);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 255, 1024] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let nonce = AeadNonce::from_bytes([len as u8; 12]);
+            let sealed = cipher.seal(&nonce, &pt, b"hdr");
+            assert_eq!(cipher.open(&nonce, &sealed, b"hdr").unwrap(), pt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn seal_open_roundtrip(
+            key in proptest::array::uniform32(any::<u8>()),
+            nonce in proptest::array::uniform12(any::<u8>()),
+            pt in proptest::collection::vec(any::<u8>(), 0..512),
+            aad in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let cipher = ChaCha20Poly1305::new(&key);
+            let n = AeadNonce::from_bytes(nonce);
+            let sealed = cipher.seal(&n, &pt, &aad);
+            prop_assert_eq!(sealed.len(), pt.len() + TAG_LEN);
+            prop_assert_eq!(cipher.open(&n, &sealed, &aad).unwrap(), pt);
+        }
+
+        #[test]
+        fn any_bitflip_is_rejected(
+            key in proptest::array::uniform32(any::<u8>()),
+            pt in proptest::collection::vec(any::<u8>(), 1..128),
+            flip_byte in 0usize..128,
+            flip_bit in 0u8..8,
+        ) {
+            let cipher = ChaCha20Poly1305::new(&key);
+            let n = AeadNonce::from_bytes([0; 12]);
+            let mut sealed = cipher.seal(&n, &pt, b"");
+            let idx = flip_byte % sealed.len();
+            sealed[idx] ^= 1 << flip_bit;
+            prop_assert!(cipher.open(&n, &sealed, b"").is_err());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! RFC 8439 ChaCha20 stream cipher.
+//!
+//! The concrete cipher behind the paper's `{X}_K` encryption. Validated
+//! against the RFC 8439 §2.3.2/§2.4.2 test vectors.
+
+/// The ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// The ChaCha20 (IETF) nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// The ChaCha20 block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    state
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let mut state = initial;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place with the keystream starting at block
+/// `counter` (the operation is its own inverse).
+///
+/// # Panics
+///
+/// Panics if the keystream would exceed the 32-bit block counter — i.e. if
+/// `data` is longer than `(2^32 - counter) * 64` bytes. Messages in this
+/// system are far below that limit.
+pub fn xor_in_place(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let blocks_needed = data.len().div_ceil(BLOCK_LEN) as u64;
+    assert!(
+        u64::from(counter) + blocks_needed <= (1u64 << 32),
+        "chacha20 block counter overflow"
+    );
+    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+/// Encrypts `plaintext`, returning a fresh ciphertext vector.
+#[must_use]
+pub fn encrypt(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    xor_in_place(key, counter, nonce, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn test_key() -> [u8; KEY_LEN] {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        key
+    }
+
+    // RFC 8439 §2.3.2: block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = test_key();
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            ks.to_vec(),
+            unhex(
+                "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e
+                 d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+            )
+        );
+    }
+
+    // RFC 8439 §2.4.2: encryption test vector ("sunscreen" plaintext).
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key = test_key();
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, 1, &nonce, plaintext);
+        assert_eq!(
+            ct,
+            unhex(
+                "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b
+                 f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8
+                 07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736
+                 5af90bbf74a35be6b40b8eedf2785e42874d"
+            )
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = test_key();
+        let nonce = [7u8; NONCE_LEN];
+        let msg = b"enclaves group management message".to_vec();
+        let mut buf = msg.clone();
+        xor_in_place(&key, 0, &nonce, &mut buf);
+        assert_ne!(buf, msg);
+        xor_in_place(&key, 0, &nonce, &mut buf);
+        assert_eq!(buf, msg);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = test_key();
+        let nonce = [3u8; NONCE_LEN];
+        // Encrypting 130 bytes starting at counter 5 must equal blockwise
+        // encryption with counters 5, 6, 7.
+        let data = vec![0u8; 130];
+        let full = encrypt(&key, 5, &nonce, &data);
+        let mut manual = Vec::new();
+        for (i, chunk) in data.chunks(BLOCK_LEN).enumerate() {
+            let ks = block(&key, 5 + i as u32, &nonce);
+            manual.extend(chunk.iter().zip(ks.iter()).map(|(d, k)| d ^ k));
+        }
+        assert_eq!(full, manual);
+    }
+
+    #[test]
+    fn different_nonces_different_streams() {
+        let key = test_key();
+        let a = encrypt(&key, 0, &[0u8; NONCE_LEN], &[0u8; 64]);
+        let b = encrypt(&key, 0, &[1u8; NONCE_LEN], &[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_plaintext_ok() {
+        let key = test_key();
+        assert!(encrypt(&key, 0, &[0u8; NONCE_LEN], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn counter_overflow_panics() {
+        let key = test_key();
+        let nonce = [0u8; NONCE_LEN];
+        let mut data = vec![0u8; 65];
+        // Starting at u32::MAX, a 2-block message overflows.
+        xor_in_place(&key, u32::MAX, &nonce, &mut data);
+    }
+}

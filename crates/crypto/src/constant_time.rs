@@ -1,0 +1,98 @@
+//! Constant-time comparison helpers.
+//!
+//! Branching on secret data (for example, when comparing a received MAC tag
+//! against the computed one) leaks timing information. The helpers here
+//! accumulate differences with bitwise operations so the running time is
+//! independent of where the first mismatch occurs.
+
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `true` if the slices have equal length and equal contents. The
+/// comparison time depends only on the lengths of the inputs, never on the
+/// position of the first differing byte.
+///
+/// # Example
+///
+/// ```
+/// use enclaves_crypto::constant_time::ct_eq;
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tag0"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0 or 1 without a data-dependent branch.
+    diff == 0
+}
+
+/// Selects between two bytes in constant time.
+///
+/// Returns `if_true` when `flag` is `true` and `if_false` otherwise, without
+/// branching on `flag`.
+#[must_use]
+pub fn ct_select_u8(flag: bool, if_true: u8, if_false: u8) -> u8 {
+    let mask = (flag as u8).wrapping_neg();
+    (if_true & mask) | (if_false & !mask)
+}
+
+/// Overwrites a byte slice with zeros.
+///
+/// A best-effort scrub used by key types on drop. The write is routed through
+/// [`std::ptr::write_volatile`]-equivalent semantics via `black_box` to deter
+/// dead-store elimination.
+pub fn zeroize(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        *b = 0;
+    }
+    // Prevent the compiler from eliding the zeroing writes above.
+    std::hint::black_box(&bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_on_equal_inputs() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"a", b"a"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn neq_on_different_lengths() {
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn neq_on_single_bit_difference() {
+        let a = [0b1010_1010u8; 16];
+        let mut b = a;
+        b[15] ^= 1;
+        assert!(!ct_eq(&a, &b));
+        let mut c = a;
+        c[0] ^= 0b1000_0000;
+        assert!(!ct_eq(&a, &c));
+    }
+
+    #[test]
+    fn select_picks_correct_value() {
+        assert_eq!(ct_select_u8(true, 0xAA, 0x55), 0xAA);
+        assert_eq!(ct_select_u8(false, 0xAA, 0x55), 0x55);
+    }
+
+    #[test]
+    fn zeroize_clears_all_bytes() {
+        let mut buf = [0xFFu8; 33];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD tag failed to verify; the ciphertext is inauthentic or the
+    /// wrong key/nonce/AAD was supplied.
+    TagMismatch,
+    /// Ciphertext is too short to even contain an authentication tag.
+    TruncatedCiphertext,
+    /// A key, nonce, or other parameter had an invalid length.
+    InvalidLength {
+        /// What was being constructed.
+        what: &'static str,
+        /// The expected length in bytes.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
+    /// A nonce sequence was exhausted; continuing would reuse a nonce.
+    NonceExhausted,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::TruncatedCiphertext => {
+                write!(f, "ciphertext shorter than authentication tag")
+            }
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected} bytes, got {actual}"
+            ),
+            CryptoError::NonceExhausted => write!(f, "nonce sequence exhausted"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            CryptoError::TagMismatch.to_string(),
+            CryptoError::TruncatedCiphertext.to_string(),
+            CryptoError::InvalidLength {
+                what: "key",
+                expected: 32,
+                actual: 16,
+            }
+            .to_string(),
+            CryptoError::NonceExhausted.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

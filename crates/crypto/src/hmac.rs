@@ -1,0 +1,210 @@
+//! RFC 2104 HMAC with SHA-256.
+//!
+//! Used by [`crate::hkdf`] and [`crate::pbkdf2`], and available directly for
+//! message authentication. Validated against the RFC 4231 test vectors.
+
+use crate::constant_time::ct_eq;
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// The HMAC-SHA-256 tag length in bytes.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// # Example
+///
+/// ```
+/// use enclaves_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the SHA-256 block size are hashed first, per RFC
+    /// 2104; any key length is accepted.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            padded[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = padded[i] ^ 0x36;
+            opad[i] = padded[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+
+        crate::constant_time::zeroize(&mut padded);
+        crate::constant_time::zeroize(&mut ipad);
+        crate::constant_time::zeroize(&mut opad);
+
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC and returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `message` under `key` in constant
+    /// time. Accepts truncated tags of at least 16 bytes (RFC 2104 §5).
+    #[must_use]
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        if tag.len() < 16 || tag.len() > TAG_LEN {
+            return false;
+        }
+        let full = Self::mac(key, message);
+        ct_eq(&full[..tag.len()], tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: short key "Jefe".
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 0xaa*20 key, 0xdd*50 data.
+    #[test]
+    fn rfc4231_case3() {
+        let tag = HmacSha256::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 4231 test case 7: long key and long data.
+    #[test]
+    fn rfc4231_case7() {
+        let key = [0xaa; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = HmacSha256::mac(&key, msg);
+        assert_eq!(
+            hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    // RFC 4231 test case 5: truncated tag verification.
+    #[test]
+    fn rfc4231_case5_truncated() {
+        let key = [0x0c; 20];
+        let expected = unhex("a3b6167473100ee06e0c796c2955552b");
+        assert!(HmacSha256::verify(
+            &key,
+            b"Test With Truncation",
+            &expected
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_tag() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+        assert!(!HmacSha256::verify(b"k", b"m2", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn verify_rejects_too_short_or_too_long_tags() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..8]));
+        let mut long = tag.to_vec();
+        long.push(0);
+        assert!(!HmacSha256::verify(b"k", b"m", &long));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), HmacSha256::mac(b"key", b"hello world"));
+    }
+}

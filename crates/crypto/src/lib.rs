@@ -1,0 +1,67 @@
+//! Software cryptography substrate for the Enclaves reproduction.
+//!
+//! The DSN'01 paper *Intrusion-Tolerant Group Management in Enclaves* assumes
+//! ideal symmetric encryption ("we assume that [attackers] cannot break the
+//! encryption primitives used"). This crate provides a concrete instantiation
+//! of those primitives, implemented from scratch and validated against
+//! published test vectors:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256.
+//! * [`hmac`] — RFC 2104 HMAC-SHA-256.
+//! * [`hkdf`] — RFC 5869 extract-and-expand key derivation.
+//! * [`pbkdf2`] — RFC 8018 PBKDF2-HMAC-SHA-256, used to derive the long-term
+//!   key `P_a` from a user password exactly as Enclaves does ("a key `P_a`
+//!   derived from A's password").
+//! * [`chacha20`] — RFC 8439 ChaCha20 stream cipher.
+//! * [`poly1305`] — RFC 8439 Poly1305 one-time authenticator.
+//! * [`aead`] — RFC 8439 ChaCha20-Poly1305 authenticated encryption, the
+//!   concrete realization of the paper's `{X}_K` encryption-with-integrity.
+//! * [`keys`] — typed key material (`LongTermKey`, `SessionKey`, `GroupKey`)
+//!   zeroized on drop.
+//! * [`nonce`] — 96-bit AEAD nonces and monotone nonce sequences, plus the
+//!   128-bit *protocol* nonces (`N_1`, `N_2`, ...) the paper threads through
+//!   its messages.
+//! * [`constant_time`] — constant-time comparison helpers.
+//! * [`rng`] — a seedable CSPRNG abstraction so simulations are
+//!   deterministic while real deployments use OS entropy.
+//! * [`x25519`] — RFC 7748 Diffie-Hellman, enabling the paper's
+//!   footnote-1 public-key authentication variant (the long-term key
+//!   `P_a` derived from a static-static exchange instead of a password).
+//!
+//! # Example
+//!
+//! ```
+//! use enclaves_crypto::aead::ChaCha20Poly1305;
+//! use enclaves_crypto::keys::SessionKey;
+//! use enclaves_crypto::nonce::AeadNonce;
+//!
+//! # fn main() -> Result<(), enclaves_crypto::CryptoError> {
+//! let key = SessionKey::from_bytes([7u8; 32]);
+//! let cipher = ChaCha20Poly1305::new(key.as_bytes());
+//! let nonce = AeadNonce::from_bytes([1u8; 12]);
+//! let sealed = cipher.seal(&nonce, b"group management", b"header");
+//! let opened = cipher.open(&nonce, &sealed, b"header")?;
+//! assert_eq!(opened, b"group management");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod constant_time;
+pub mod hkdf;
+pub mod hmac;
+pub mod keys;
+pub mod nonce;
+pub mod pbkdf2;
+pub mod poly1305;
+pub mod rng;
+pub mod sha256;
+pub mod x25519;
+
+mod error;
+
+pub use error::CryptoError;

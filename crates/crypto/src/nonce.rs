@@ -1,0 +1,232 @@
+//! Nonces.
+//!
+//! Two distinct notions of "nonce" coexist in this system and must not be
+//! confused:
+//!
+//! * [`ProtocolNonce`] — the 128-bit random values `N_1`, `N_2`, `N_{2i+1}`,
+//!   ... that the paper's protocol threads through its messages to prove
+//!   freshness and defeat replay (§3.2).
+//! * [`AeadNonce`] — the 96-bit ChaCha20-Poly1305 nonce consumed by the
+//!   concrete cipher; these come from a monotone [`NonceSequence`] per
+//!   (key, direction) so a key never sees a repeated AEAD nonce.
+
+use crate::rng::CryptoRng;
+use crate::CryptoError;
+
+/// Length of a protocol nonce in bytes.
+pub const PROTOCOL_NONCE_LEN: usize = 16;
+
+/// Length of an AEAD (IETF ChaCha20-Poly1305) nonce in bytes.
+pub const AEAD_NONCE_LEN: usize = 12;
+
+/// A 128-bit protocol nonce (`N_1`, `N_2`, ... in the paper).
+///
+/// Freshness of these values is what the paper's proofs hinge on; they are
+/// drawn from a CSPRNG so collision probability is negligible.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProtocolNonce([u8; PROTOCOL_NONCE_LEN]);
+
+impl ProtocolNonce {
+    /// Wraps raw nonce bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; PROTOCOL_NONCE_LEN]) -> Self {
+        Self(bytes)
+    }
+
+    /// Constructs a nonce from a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if the slice is not exactly
+    /// [`PROTOCOL_NONCE_LEN`] bytes.
+    pub fn try_from_slice(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != PROTOCOL_NONCE_LEN {
+            return Err(CryptoError::InvalidLength {
+                what: "protocol nonce",
+                expected: PROTOCOL_NONCE_LEN,
+                actual: bytes.len(),
+            });
+        }
+        let mut n = [0u8; PROTOCOL_NONCE_LEN];
+        n.copy_from_slice(bytes);
+        Ok(Self(n))
+    }
+
+    /// Generates a fresh random nonce.
+    #[must_use]
+    pub fn generate<R: CryptoRng + ?Sized>(rng: &mut R) -> Self {
+        let mut n = [0u8; PROTOCOL_NONCE_LEN];
+        rng.fill_bytes(&mut n);
+        Self(n)
+    }
+
+    /// Borrows the raw nonce bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; PROTOCOL_NONCE_LEN] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for ProtocolNonce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ProtocolNonce({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+/// A 96-bit AEAD nonce.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AeadNonce([u8; AEAD_NONCE_LEN]);
+
+impl AeadNonce {
+    /// Wraps raw nonce bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; AEAD_NONCE_LEN]) -> Self {
+        Self(bytes)
+    }
+
+    /// Borrows the raw nonce bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; AEAD_NONCE_LEN] {
+        &self.0
+    }
+}
+
+/// A monotone sequence of AEAD nonces for one (key, direction) pair.
+///
+/// The four-byte prefix identifies the direction/channel; the trailing
+/// eight bytes count messages. A sequence refuses to wrap, returning
+/// [`CryptoError::NonceExhausted`] instead of ever reusing a nonce.
+///
+/// # Example
+///
+/// ```
+/// use enclaves_crypto::nonce::NonceSequence;
+/// let mut seq = NonceSequence::new(*b"ldr>");
+/// let n0 = seq.next().unwrap();
+/// let n1 = seq.next().unwrap();
+/// assert_ne!(n0.as_bytes(), n1.as_bytes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonceSequence {
+    prefix: [u8; 4],
+    counter: u64,
+    exhausted: bool,
+}
+
+impl NonceSequence {
+    /// Creates a sequence with the given 4-byte channel prefix, starting at
+    /// counter zero.
+    #[must_use]
+    pub fn new(prefix: [u8; 4]) -> Self {
+        NonceSequence {
+            prefix,
+            counter: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Returns the next nonce in the sequence.
+    ///
+    /// Deliberately named `next` (the domain term for a nonce sequence)
+    /// even though it shadows `Iterator::next`; the `Result` return type
+    /// makes the two impossible to confuse at a call site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NonceExhausted`] once the 64-bit counter would
+    /// wrap; the caller must rekey.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<AeadNonce, CryptoError> {
+        if self.exhausted {
+            return Err(CryptoError::NonceExhausted);
+        }
+        let mut bytes = [0u8; AEAD_NONCE_LEN];
+        bytes[..4].copy_from_slice(&self.prefix);
+        bytes[4..].copy_from_slice(&self.counter.to_be_bytes());
+        match self.counter.checked_add(1) {
+            Some(next) => self.counter = next,
+            None => self.exhausted = true,
+        }
+        Ok(AeadNonce::from_bytes(bytes))
+    }
+
+    /// The number of nonces issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn protocol_nonces_are_distinct() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(ProtocolNonce::generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn try_from_slice_length_check() {
+        assert!(ProtocolNonce::try_from_slice(&[0; 15]).is_err());
+        assert!(ProtocolNonce::try_from_slice(&[0; 16]).is_ok());
+    }
+
+    #[test]
+    fn sequence_is_strictly_increasing_and_prefixed() {
+        let mut seq = NonceSequence::new(*b"test");
+        let mut last = None;
+        for i in 0..100u64 {
+            let n = seq.next().unwrap();
+            assert_eq!(&n.as_bytes()[..4], b"test");
+            let ctr = u64::from_be_bytes(n.as_bytes()[4..].try_into().unwrap());
+            assert_eq!(ctr, i);
+            if let Some(prev) = last {
+                assert!(ctr > prev);
+            }
+            last = Some(ctr);
+        }
+        assert_eq!(seq.issued(), 100);
+    }
+
+    #[test]
+    fn different_prefixes_never_collide() {
+        let mut a = NonceSequence::new(*b"ldr>");
+        let mut b = NonceSequence::new(*b"mbr>");
+        for _ in 0..50 {
+            assert_ne!(a.next().unwrap(), b.next().unwrap());
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_permanent() {
+        let mut seq = NonceSequence {
+            prefix: *b"xxxx",
+            counter: u64::MAX,
+            exhausted: false,
+        };
+        // The final counter value may be issued once...
+        assert!(seq.next().is_ok());
+        // ...then the sequence is dead forever.
+        assert!(matches!(seq.next(), Err(CryptoError::NonceExhausted)));
+        assert!(matches!(seq.next(), Err(CryptoError::NonceExhausted)));
+    }
+
+    #[test]
+    fn debug_prints_prefix_only() {
+        let n = ProtocolNonce::from_bytes([0xAA; 16]);
+        let dbg = format!("{n:?}");
+        assert!(dbg.contains("aaaaaaaa"));
+        assert!(dbg.ends_with("..)"));
+    }
+}

@@ -1,0 +1,303 @@
+//! RFC 8439 Poly1305 one-time authenticator.
+//!
+//! Implemented with 26-bit limbs and 64-bit intermediate products (the
+//! classic "donna" layout). Validated against the RFC 8439 §2.5.2 test
+//! vector and property-tested for padding/chunking consistency.
+
+/// The Poly1305 key length in bytes (`r || s`).
+pub const KEY_LEN: usize = 32;
+
+/// The Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 computation.
+///
+/// A Poly1305 key must be used for exactly one message; the AEAD in
+/// [`crate::aead`] derives a fresh key per nonce.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    acc: [u32; 5],
+    buffer: [u8; 16],
+    buffer_len: usize,
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl Poly1305 {
+    /// Creates an authenticator from a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Load r with the RFC 8439 §2.5 clamp folded into the limb masks
+        // (the classic "donna" unaligned loads at offsets 0, 3, 6, 9, 12).
+        let load32 = |i: usize| {
+            u32::from_le_bytes([key[i], key[i + 1], key[i + 2], key[i + 3]])
+        };
+        let r = [
+            load32(0) & 0x3ff_ffff,
+            (load32(3) >> 2) & 0x3ff_ff03,
+            (load32(6) >> 4) & 0x3ff_c0ff,
+            (load32(9) >> 6) & 0x3f0_3fff,
+            (load32(12) >> 8) & 0x00f_ffff,
+        ];
+
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+
+        Poly1305 {
+            r,
+            s,
+            acc: [0; 5],
+            buffer: [0; 16],
+            buffer_len: 0,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffer_len > 0 {
+            let take = (16 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 16 {
+                let block = self.buffer;
+                self.process_block(&block, 1);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        // acc += block (with the high bit).
+        self.acc[0] = self.acc[0].wrapping_add(t0 & 0x3ff_ffff);
+        self.acc[1] = self.acc[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x3ff_ffff);
+        self.acc[2] = self.acc[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x3ff_ffff);
+        self.acc[3] = self.acc[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x3ff_ffff);
+        self.acc[4] = self.acc[4].wrapping_add((t3 >> 8) | (hibit << 24));
+
+        // acc *= r (mod 2^130 - 5).
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let [h0, h1, h2, h3, h4] = self.acc.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut h = [0u64; 5];
+        c = d0 >> 26;
+        h[0] = d0 & 0x3ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h[1] = d1 & 0x3ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h[2] = d2 & 0x3ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h[3] = d3 & 0x3ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h[4] = d4 & 0x3ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ff_ffff;
+        h[1] += c;
+
+        self.acc = h.map(|x| x as u32);
+    }
+
+    /// Completes the authenticator and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buffer_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; hibit is 0.
+            let mut block = [0u8; 16];
+            block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+            block[self.buffer_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        let mut h = self.acc.map(u64::from);
+
+        // Full carry.
+        let mut c: u64;
+        c = h[1] >> 26;
+        h[1] &= 0x3ff_ffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ff_ffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ff_ffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ff_ffff;
+        h[1] += c;
+
+        // Compute h + -p = h - (2^130 - 5).
+        let mut g = [0u64; 5];
+        g[0] = h[0].wrapping_add(5);
+        c = g[0] >> 26;
+        g[0] &= 0x3ff_ffff;
+        g[1] = h[1].wrapping_add(c);
+        c = g[1] >> 26;
+        g[1] &= 0x3ff_ffff;
+        g[2] = h[2].wrapping_add(c);
+        c = g[2] >> 26;
+        g[2] &= 0x3ff_ffff;
+        g[3] = h[3].wrapping_add(c);
+        c = g[3] >> 26;
+        g[3] &= 0x3ff_ffff;
+        g[4] = h[4].wrapping_add(c).wrapping_sub(1 << 26);
+
+        // Select h if h < p, g otherwise (constant-time via mask).
+        let mask = (g[4] >> 63).wrapping_sub(1); // all-ones if g >= 0 (h >= p)
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize h to 128 bits.
+        let h0 = (h[0] | (h[1] << 26)) as u32;
+        let h1 = ((h[1] >> 6) | (h[2] << 20)) as u32;
+        let h2 = ((h[2] >> 12) | (h[3] << 14)) as u32;
+        let h3 = ((h[3] >> 18) | (h[4] << 8)) as u32;
+
+        // Add s with carry.
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = u64::from(h0) + u64::from(self.s[0]);
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = u64::from(h1) + u64::from(self.s[1]) + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = u64::from(h2) + u64::from(self.s[2]) + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = u64::from(h3) + u64::from(self.s[3]) + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+
+    /// One-shot MAC of `message` under a one-time `key`.
+    #[must_use]
+    pub fn mac(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(message);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key_bytes = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        );
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&key_bytes);
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    // RFC 8439 A.3 #1: all-zero key gives all-zero tag.
+    #[test]
+    fn zero_key_zero_tag() {
+        let key = [0u8; KEY_LEN];
+        let tag = Poly1305::mac(&key, &[0u8; 64]);
+        assert_eq!(tag, [0u8; TAG_LEN]);
+    }
+
+    // RFC 8439 A.3 #5: edge case in modular reduction (2^130-5 + self).
+    #[test]
+    fn rfc8439_a3_vector5_reduction_edge() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 2;
+        let msg = unhex("ffffffffffffffffffffffffffffffff");
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("03000000000000000000000000000000"));
+    }
+
+    // RFC 8439 A.3 #7: reduction with carry into high limb.
+    #[test]
+    fn rfc8439_a3_vector7() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 1;
+        let msg = unhex(concat!(
+            "ffffffffffffffffffffffffffffffff",
+            "f0ffffffffffffffffffffffffffffff",
+            "11000000000000000000000000000000"
+        ));
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("05000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_every_split() {
+        let key_bytes =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&key_bytes);
+        let msg: Vec<u8> = (0u16..100).map(|i| i as u8).collect();
+        let expect = Poly1305::mac(&key, &msg);
+        for split in 0..msg.len() {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [9u8; KEY_LEN];
+        // Empty message: tag is simply s.
+        let tag = Poly1305::mac(&key, b"");
+        assert_eq!(tag.to_vec(), key[16..32].to_vec());
+    }
+}

@@ -1,0 +1,551 @@
+//! RFC 7748 X25519 Diffie-Hellman.
+//!
+//! The paper notes that "authentication using public-key cryptography is
+//! also possible, but is not currently implemented" (footnote 1). This
+//! module supplies the primitive for that variant: each participant holds
+//! a static X25519 key pair, and the long-term key `P_a` is derived from
+//! the static-static shared secret instead of a password (see
+//! [`derive_long_term_key`]).
+//!
+//! Field arithmetic uses five 51-bit limbs with `u128` intermediate
+//! products; the ladder is the constant-time Montgomery ladder of RFC
+//! 7748 §5. Validated against the RFC test vectors, including the
+//! 1 000-iteration vector.
+
+use crate::hkdf;
+use crate::keys::LongTermKey;
+use crate::rng::CryptoRng;
+use crate::CryptoError;
+
+/// Length of X25519 scalars and field elements in bytes.
+pub const KEY_LEN: usize = 32;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element mod `2^255 - 19`, five 51-bit limbs.
+#[derive(Clone, Copy)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut out = 0u64;
+            for j in 0..8 {
+                out |= u64::from(bytes[i + j]) << (8 * j);
+            }
+            out
+        };
+        // Load 51 bits at a time from the little-endian byte string; the
+        // top bit (bit 255) is masked off per RFC 7748.
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Fully reduces and serializes.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.0;
+        // Two carry passes bring every limb below 2^52.
+        for _ in 0..2 {
+            let mut c;
+            c = h[0] >> 51;
+            h[0] &= MASK51;
+            h[1] += c;
+            c = h[1] >> 51;
+            h[1] &= MASK51;
+            h[2] += c;
+            c = h[2] >> 51;
+            h[2] &= MASK51;
+            h[3] += c;
+            c = h[3] >> 51;
+            h[3] &= MASK51;
+            h[4] += c;
+            c = h[4] >> 51;
+            h[4] &= MASK51;
+            h[0] += 19 * c;
+        }
+        // Canonical reduction: compute h + 19, and if that overflows
+        // 2^255 then h >= p, so subtract p (i.e. keep h + 19 - 2^255).
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        h[0] += 19 * q;
+        let mut c;
+        c = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += c;
+        c = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += c;
+        c = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += c;
+        c = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += c;
+        h[4] &= MASK51; // drop the 2^255 bit
+
+        let mut out = [0u8; 32];
+        let write = |out: &mut [u8; 32], bit_offset: usize, v: u64| {
+            for j in 0..8 {
+                let byte = bit_offset / 8 + j;
+                if byte < 32 {
+                    out[byte] |= ((v << (bit_offset % 8)) >> (8 * j)) as u8;
+                }
+            }
+        };
+        write(&mut out, 0, h[0]);
+        write(&mut out, 51, h[1]);
+        write(&mut out, 102, h[2]);
+        write(&mut out, 153, h[3]);
+        write(&mut out, 204, h[4]);
+        out
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+    }
+
+    /// `self - other`, biased by `2p` to avoid underflow.
+    fn sub(self, other: Fe) -> Fe {
+        const TWO_P0: u64 = 0xFFF_FFFF_FFFF_DA; // 2 * (2^51 - 19)
+        const TWO_P1234: u64 = 0xFFF_FFFF_FFFF_FE; // 2 * (2^51 - 1)
+        let a = self.0;
+        let b = other.0;
+        Fe([
+            a[0] + TWO_P0 - b[0],
+            a[1] + TWO_P1234 - b[1],
+            a[2] + TWO_P1234 - b[2],
+            a[3] + TWO_P1234 - b[3],
+            a[4] + TWO_P1234 - b[4],
+        ])
+    }
+
+    fn mul(self, other: Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0.map(u128::from);
+        let [b0, b1, b2, b3, b4] = other.0.map(u128::from);
+
+        let r0 = a0 * b0 + 19 * (a1 * b4 + a2 * b3 + a3 * b2 + a4 * b1);
+        let r1 = a0 * b1 + a1 * b0 + 19 * (a2 * b4 + a3 * b3 + a4 * b2);
+        let r2 = a0 * b2 + a1 * b1 + a2 * b0 + 19 * (a3 * b4 + a4 * b3);
+        let r3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + 19 * (a4 * b4);
+        let r4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+        Self::carry([r0, r1, r2, r3, r4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, scalar: u64) -> Fe {
+        let s = u128::from(scalar);
+        let r = self.0.map(|limb| u128::from(limb) * s);
+        Self::carry(r)
+    }
+
+    fn carry(mut r: [u128; 5]) -> Fe {
+        let mut c: u128;
+        c = r[0] >> 51;
+        r[0] &= u128::from(MASK51);
+        r[1] += c;
+        c = r[1] >> 51;
+        r[1] &= u128::from(MASK51);
+        r[2] += c;
+        c = r[2] >> 51;
+        r[2] &= u128::from(MASK51);
+        r[3] += c;
+        c = r[3] >> 51;
+        r[3] &= u128::from(MASK51);
+        r[4] += c;
+        c = r[4] >> 51;
+        r[4] &= u128::from(MASK51);
+        r[0] += 19 * c;
+        c = r[0] >> 51;
+        r[0] &= u128::from(MASK51);
+        r[1] += c;
+        Fe([
+            r[0] as u64,
+            r[1] as u64,
+            r[2] as u64,
+            r[3] as u64,
+            r[4] as u64,
+        ])
+    }
+
+    /// `self^(p-2)`: the inverse, via the standard curve25519 addition
+    /// chain.
+    fn invert(self) -> Fe {
+        let z = self;
+        let z2 = z.square(); // 2
+        let z4 = z2.square(); // 4
+        let z8 = z4.square(); // 8
+        let z9 = z8.mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z22 = z11.square(); // 22
+        let z_5_0 = z22.mul(z9); // 2^5 - 2^0 = 31
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0); // 2^10 - 2^0
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0); // 2^20 - 2^0
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0); // 2^40 - 2^0
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0); // 2^50 - 2^0
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0); // 2^100 - 2^0
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0); // 2^200 - 2^0
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0); // 2^250 - 2^0
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11) // 2^255 - 21 = p - 2
+    }
+
+    /// Constant-time conditional swap.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// Clamps a scalar per RFC 7748 §5.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// X25519 scalar multiplication: `scalar · u`.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t >> 3] >> (t & 7)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The X25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Scalar multiplication by the base point (public-key derivation).
+#[must_use]
+pub fn x25519_base(scalar: &[u8; 32]) -> [u8; 32] {
+    x25519(scalar, &BASE_POINT)
+}
+
+/// A static X25519 secret key.
+pub struct StaticSecret([u8; 32]);
+
+impl StaticSecret {
+    /// Generates a fresh secret.
+    #[must_use]
+    pub fn generate<R: CryptoRng + ?Sized>(rng: &mut R) -> Self {
+        let mut k = [0u8; 32];
+        rng.fill_bytes(&mut k);
+        StaticSecret(k)
+    }
+
+    /// Wraps existing secret bytes (clamped on use, per RFC 7748).
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        StaticSecret(bytes)
+    }
+
+    /// The corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(x25519_base(&self.0))
+    }
+
+    /// The raw Diffie-Hellman shared secret with a peer's public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if the shared secret is
+    /// all-zero (the peer supplied a low-order point), per RFC 7748 §6.1's
+    /// check.
+    pub fn diffie_hellman(&self, their_public: &PublicKey) -> Result<[u8; 32], CryptoError> {
+        let shared = x25519(&self.0, &their_public.0);
+        if shared.iter().all(|&b| b == 0) {
+            return Err(CryptoError::InvalidLength {
+                what: "x25519 shared secret (low-order public key)",
+                expected: 32,
+                actual: 0,
+            });
+        }
+        Ok(shared)
+    }
+}
+
+impl Drop for StaticSecret {
+    fn drop(&mut self) {
+        crate::constant_time::zeroize(&mut self.0);
+    }
+}
+
+impl std::fmt::Debug for StaticSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSecret").finish_non_exhaustive()
+    }
+}
+
+/// A static X25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey([u8; 32]);
+
+impl PublicKey {
+    /// Wraps public-key bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        PublicKey(bytes)
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+/// Derives the Enclaves long-term key `P_a` from a static-static
+/// Diffie-Hellman exchange between a user and the leader — the paper's
+/// footnote-1 "public-key authentication" variant. Both sides compute the
+/// same key; the protocol above this layer is unchanged.
+///
+/// The HKDF info string binds both identities, so the same key pair used
+/// with a different leader (or impersonating a different user) yields an
+/// unrelated `P_a`.
+///
+/// # Errors
+///
+/// Propagates the low-order-point check from
+/// [`StaticSecret::diffie_hellman`].
+pub fn derive_long_term_key(
+    my_secret: &StaticSecret,
+    their_public: &PublicKey,
+    user_id: &str,
+    leader_id: &str,
+) -> Result<LongTermKey, CryptoError> {
+    let shared = my_secret.diffie_hellman(their_public)?;
+    let info = format!("enclaves-pk-auth:{user_id}:{leader_id}");
+    let mut key = [0u8; 32];
+    hkdf::derive(b"enclaves-x25519", &shared, info.as_bytes(), &mut key)?;
+    Ok(LongTermKey::from_bytes(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2, first test vector.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar =
+            unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expect =
+            unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(&scalar, &u), expect);
+    }
+
+    // RFC 7748 §5.2, second test vector.
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar =
+            unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expect =
+            unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(x25519(&scalar, &u), expect);
+    }
+
+    // RFC 7748 §5.2, iterated vector: 1 and 1000 iterations.
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        let after_1 =
+            unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        let after_1000 =
+            unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+        for i in 0..1000 {
+            let result = x25519(&k, &u);
+            u = k;
+            k = result;
+            if i == 0 {
+                assert_eq!(k, after_1, "after 1 iteration");
+            }
+        }
+        assert_eq!(k, after_1000, "after 1000 iterations");
+    }
+
+    // RFC 7748 §6.1: the full DH exchange vector.
+    #[test]
+    fn rfc7748_dh_exchange() {
+        let alice_secret =
+            unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_public_expect =
+            unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+        let bob_secret =
+            unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_public_expect =
+            unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+        let shared_expect =
+            unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+
+        assert_eq!(x25519_base(&alice_secret), alice_public_expect);
+        assert_eq!(x25519_base(&bob_secret), bob_public_expect);
+        assert_eq!(x25519(&alice_secret, &bob_public_expect), shared_expect);
+        assert_eq!(x25519(&bob_secret, &alice_public_expect), shared_expect);
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        let mut rng = SeededRng::from_seed(7);
+        for _ in 0..8 {
+            let a = StaticSecret::generate(&mut rng);
+            let b = StaticSecret::generate(&mut rng);
+            let s1 = a.diffie_hellman(&b.public_key()).unwrap();
+            let s2 = b.diffie_hellman(&a.public_key()).unwrap();
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn low_order_point_rejected() {
+        let mut rng = SeededRng::from_seed(8);
+        let a = StaticSecret::generate(&mut rng);
+        // u = 0 is a low-order point: the shared secret is all zeros.
+        let zero = PublicKey::from_bytes([0; 32]);
+        assert!(a.diffie_hellman(&zero).is_err());
+    }
+
+    #[test]
+    fn derived_long_term_keys_agree_and_bind_identities() {
+        let mut rng = SeededRng::from_seed(9);
+        let user = StaticSecret::generate(&mut rng);
+        let leader = StaticSecret::generate(&mut rng);
+
+        let k_user =
+            derive_long_term_key(&user, &leader.public_key(), "alice", "leader").unwrap();
+        let k_leader =
+            derive_long_term_key(&leader, &user.public_key(), "alice", "leader").unwrap();
+        assert_eq!(k_user, k_leader, "both sides derive the same P_a");
+
+        // Different identities yield unrelated keys.
+        let k_other =
+            derive_long_term_key(&user, &leader.public_key(), "alice", "other-leader").unwrap();
+        assert_ne!(k_user.as_bytes(), k_other.as_bytes());
+        let k_mallory =
+            derive_long_term_key(&user, &leader.public_key(), "mallory", "leader").unwrap();
+        assert_ne!(k_user.as_bytes(), k_mallory.as_bytes());
+    }
+
+    #[test]
+    fn secret_debug_does_not_leak() {
+        let mut rng = SeededRng::from_seed(10);
+        let s = StaticSecret::generate(&mut rng);
+        let dbg = format!("{s:?}");
+        assert!(dbg.starts_with("StaticSecret"));
+        assert!(!dbg.contains("0x"), "{dbg}");
+    }
+}

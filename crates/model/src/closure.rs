@@ -1,0 +1,375 @@
+//! The `Parts`, `Analz`, and `Synth` operators of Paulson / Millen–Rueß
+//! (Section 4.2 of the paper).
+//!
+//! * `Parts(S)` — all fields and subfields occurring in `S` (looks through
+//!   encryption unconditionally).
+//! * `Analz(S)` — everything extractable from `S` *without breaking the
+//!   cryptosystem*: concatenations are split freely, but `{X}_K` yields `X`
+//!   only when `K` is itself analyzable.
+//! * `Synth(S)` — everything constructible from `S` by concatenation and by
+//!   encryption with keys in `S`. `Synth` of an interesting set is infinite,
+//!   so it is exposed as the membership test [`synth_contains`].
+
+use crate::field::{Field, KeyId};
+use std::collections::HashSet;
+
+/// Computes `Parts(S)`: the set of all subfields of fields in `S`.
+///
+/// # Example
+///
+/// ```
+/// use enclaves_model::closure::parts;
+/// use enclaves_model::field::{AgentId, Field, KeyId, NonceId};
+///
+/// let f = Field::enc(Field::Nonce(NonceId(1)), KeyId::LongTerm(AgentId::ALICE));
+/// let p = parts(&[f.clone()]);
+/// assert!(p.contains(&f));
+/// assert!(p.contains(&Field::Nonce(NonceId(1))));
+/// ```
+#[must_use]
+pub fn parts(fields: &[Field]) -> HashSet<Field> {
+    let mut out = HashSet::new();
+    for f in fields {
+        add_parts(f, &mut out);
+    }
+    out
+}
+
+/// Adds all subfields of `f` (including `f`) to `out`.
+pub fn add_parts(f: &Field, out: &mut HashSet<Field>) {
+    if out.contains(f) {
+        return;
+    }
+    out.insert(f.clone());
+    match f {
+        Field::Concat(x, y) => {
+            add_parts(x, out);
+            add_parts(y, out);
+        }
+        Field::Enc(x, _) => add_parts(x, out),
+        _ => {}
+    }
+}
+
+/// Computes `Analz(S)`: the least fixpoint closing `S` under splitting of
+/// concatenations and decryption with analyzable keys.
+#[must_use]
+pub fn analz(fields: &[Field]) -> HashSet<Field> {
+    let mut known: HashSet<Field> = HashSet::new();
+    let mut keys: HashSet<KeyId> = HashSet::new();
+    let mut queue: Vec<Field> = fields.to_vec();
+    // Encrypted fields whose key is not (yet) known.
+    let mut locked: Vec<Field> = Vec::new();
+
+    while let Some(f) = queue.pop() {
+        if known.contains(&f) {
+            continue;
+        }
+        known.insert(f.clone());
+        match &f {
+            Field::Concat(x, y) => {
+                queue.push(x.as_ref().clone());
+                queue.push(y.as_ref().clone());
+            }
+            Field::Enc(x, k) => {
+                if keys.contains(k) {
+                    queue.push(x.as_ref().clone());
+                } else {
+                    locked.push(f.clone());
+                }
+            }
+            Field::Key(k)
+                if keys.insert(*k) => {
+                    // A new key may unlock previously locked ciphertexts.
+                    let (unlockable, still_locked): (Vec<_>, Vec<_>) = locked
+                        .drain(..)
+                        .partition(|enc| matches!(enc, Field::Enc(_, ek) if ek == k));
+                    locked = still_locked;
+                    for enc in unlockable {
+                        if let Field::Enc(x, _) = enc {
+                            queue.push(*x);
+                        }
+                    }
+                }
+            _ => {}
+        }
+    }
+    known
+}
+
+/// The set of keys directly available in an analyzed set (keys appearing as
+/// data fields).
+#[must_use]
+pub fn known_keys(analyzed: &HashSet<Field>) -> HashSet<KeyId> {
+    analyzed
+        .iter()
+        .filter_map(|f| match f {
+            Field::Key(k) => Some(*k),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Tests `target ∈ Synth(base)`.
+///
+/// `Synth(base)` contains `base`, all concatenations of synthesizable
+/// fields, and `{X}_K` for synthesizable `X` and `K ∈ base` (as a key
+/// field). Primitive fields are synthesizable only if present in `base`.
+#[must_use]
+pub fn synth_contains(base: &HashSet<Field>, target: &Field) -> bool {
+    if base.contains(target) {
+        return true;
+    }
+    match target {
+        Field::Concat(x, y) => synth_contains(base, x) && synth_contains(base, y),
+        Field::Enc(x, k) => base.contains(&Field::Key(*k)) && synth_contains(base, x),
+        // Primitive not in base: not synthesizable.
+        _ => false,
+    }
+}
+
+/// Tests `target ∈ Synth(Analz(S))` for a raw (unanalyzed) set `S`.
+#[must_use]
+pub fn synth_of_analz_contains(raw: &[Field], target: &Field) -> bool {
+    let a = analz(raw);
+    synth_contains(&a, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{dsl::*, AgentId, NonceId};
+
+    const PA: KeyId = KeyId::LongTerm(AgentId::ALICE);
+    const KA: KeyId = KeyId::Session(0);
+
+    fn n(i: u32) -> Field {
+        nonce(NonceId(i))
+    }
+
+    #[test]
+    fn parts_looks_through_encryption() {
+        let f = Field::enc(Field::concat(vec![n(1), key(KA)]), PA);
+        let p = parts(std::slice::from_ref(&f));
+        assert!(p.contains(&n(1)));
+        assert!(p.contains(&key(KA)));
+        assert!(p.contains(&f));
+        assert!(p.contains(&Field::concat(vec![n(1), key(KA)])));
+        // The encrypting key PA does not occur as data.
+        assert!(!p.contains(&key(PA)));
+    }
+
+    #[test]
+    fn analz_stops_at_unknown_keys() {
+        let f = Field::enc(n(1), PA);
+        let a = analz(std::slice::from_ref(&f));
+        assert!(a.contains(&f));
+        assert!(!a.contains(&n(1)), "must not decrypt without the key");
+    }
+
+    #[test]
+    fn analz_decrypts_with_known_key() {
+        let f = Field::enc(n(1), PA);
+        let a = analz(&[f.clone(), key(PA)]);
+        assert!(a.contains(&n(1)));
+    }
+
+    #[test]
+    fn analz_unlocks_retroactively() {
+        // Ciphertext arrives before the key: the fixpoint must still
+        // decrypt it (order independence).
+        let ct = Field::enc(Field::concat(vec![n(1), n(2)]), KA);
+        let a = analz(&[ct, key(KA)]);
+        assert!(a.contains(&n(1)));
+        assert!(a.contains(&n(2)));
+
+        // Key nested inside another decryptable ciphertext.
+        let inner = Field::enc(n(7), KA);
+        let outer = Field::enc(Field::concat(vec![key(KA), n(3)]), PA);
+        let a2 = analz(&[inner, outer, key(PA)]);
+        assert!(a2.contains(&n(7)), "KA recovered from outer must unlock inner");
+    }
+
+    #[test]
+    fn analz_splits_concatenations() {
+        let f = Field::concat(vec![n(1), n(2), n(3)]);
+        let a = analz(std::slice::from_ref(&f));
+        for i in 1..=3 {
+            assert!(a.contains(&n(i)));
+        }
+    }
+
+    #[test]
+    fn analz_subset_of_parts() {
+        let fields = vec![
+            Field::enc(Field::concat(vec![n(1), key(KA)]), PA),
+            Field::concat(vec![n(2), Field::enc(n(3), KA)]),
+            key(KA),
+        ];
+        let a = analz(&fields);
+        let p = parts(&fields);
+        for f in &a {
+            assert!(p.contains(f), "analz produced {f:?} not in parts");
+        }
+        // And strictly smaller here: n(1) is protected by PA.
+        assert!(p.contains(&n(1)));
+        assert!(!a.contains(&n(1)));
+    }
+
+    #[test]
+    fn synth_membership_basics() {
+        let mut base = HashSet::new();
+        base.insert(n(1));
+        base.insert(n(2));
+        base.insert(key(KA));
+
+        // Concatenation of knowns.
+        assert!(synth_contains(&base, &Field::concat(vec![n(1), n(2)])));
+        // Encryption with a known key.
+        assert!(synth_contains(&base, &Field::enc(n(1), KA)));
+        // Nested construction.
+        assert!(synth_contains(
+            &base,
+            &Field::enc(Field::concat(vec![n(2), key(KA)]), KA)
+        ));
+        // Unknown nonce.
+        assert!(!synth_contains(&base, &n(3)));
+        // Encryption with an unknown key.
+        assert!(!synth_contains(&base, &Field::enc(n(1), PA)));
+    }
+
+    #[test]
+    fn synth_allows_replay_of_opaque_ciphertext() {
+        // The intruder can forward {N1}_PA verbatim without knowing PA.
+        let ct = Field::enc(n(1), PA);
+        let mut base = HashSet::new();
+        base.insert(ct.clone());
+        assert!(synth_contains(&base, &ct));
+        // But cannot re-wrap it differently.
+        assert!(!synth_contains(&base, &Field::enc(n(1), KA)));
+        // It can embed the opaque blob in a new concatenation.
+        assert!(synth_contains(&base, &Field::concat(vec![ct.clone(), ct])));
+    }
+
+    #[test]
+    fn synth_of_analz_pipeline() {
+        // Intruder sees {[N1, KA]}_PB and knows PB: it can then forge
+        // {N1}_KA.
+        let pb = KeyId::LongTerm(AgentId::BRUTUS);
+        let observed = Field::enc(Field::concat(vec![n(1), key(KA)]), pb);
+        let raw = vec![observed, key(pb)];
+        assert!(synth_of_analz_contains(&raw, &Field::enc(n(1), KA)));
+        // Without PB, it cannot.
+        let observed2 = Field::enc(Field::concat(vec![n(1), key(KA)]), PA);
+        assert!(!synth_of_analz_contains(
+            std::slice::from_ref(&observed2),
+            &Field::enc(n(1), KA)
+        ));
+    }
+
+    #[test]
+    fn known_keys_extracts_key_fields() {
+        let a = analz(&[key(KA), n(1), Field::enc(key(PA), KA)]);
+        let keys = known_keys(&a);
+        assert!(keys.contains(&KA));
+        assert!(keys.contains(&PA), "PA recoverable because KA is known");
+    }
+
+    #[test]
+    fn idempotence_of_analz() {
+        let fields = vec![
+            Field::enc(Field::concat(vec![n(1), key(KA)]), PA),
+            key(PA),
+        ];
+        let once: Vec<Field> = analz(&fields).into_iter().collect();
+        let twice = analz(&once);
+        assert_eq!(twice.len(), once.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::field::{AgentId, NonceId};
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = KeyId> {
+        prop_oneof![
+            Just(KeyId::LongTerm(AgentId::ALICE)),
+            Just(KeyId::LongTerm(AgentId::BRUTUS)),
+            (0u32..3).prop_map(KeyId::Session),
+            (0u32..2).prop_map(KeyId::Group),
+        ]
+    }
+
+    fn arb_field() -> impl Strategy<Value = Field> {
+        let leaf = prop_oneof![
+            (0u32..5).prop_map(|i| Field::Nonce(NonceId(i))),
+            arb_key().prop_map(Field::Key),
+            Just(Field::Agent(AgentId::ALICE)),
+            Just(Field::Agent(AgentId::LEADER)),
+        ];
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Field::Concat(Box::new(a), Box::new(b))),
+                (inner, arb_key()).prop_map(|(a, k)| Field::enc(a, k)),
+            ]
+        })
+    }
+
+    proptest! {
+        // Analz(S) ⊆ Parts(S): analysis never invents subfields.
+        #[test]
+        fn analz_subset_parts(fields in proptest::collection::vec(arb_field(), 1..6)) {
+            let a = analz(&fields);
+            let p = parts(&fields);
+            for f in &a {
+                prop_assert!(p.contains(f));
+            }
+        }
+
+        // S ⊆ Analz(S) and S ⊆ Parts(S).
+        #[test]
+        fn closures_contain_input(fields in proptest::collection::vec(arb_field(), 1..6)) {
+            let a = analz(&fields);
+            let p = parts(&fields);
+            for f in &fields {
+                prop_assert!(a.contains(f));
+                prop_assert!(p.contains(f));
+            }
+        }
+
+        // Everything in Analz(S) is synthesizable from Analz(S).
+        #[test]
+        fn analz_subset_synth(fields in proptest::collection::vec(arb_field(), 1..5)) {
+            let a = analz(&fields);
+            for f in &a {
+                prop_assert!(synth_contains(&a, f));
+            }
+        }
+
+        // Monotonicity: S ⊆ T ⇒ Analz(S) ⊆ Analz(T).
+        #[test]
+        fn analz_monotone(
+            fields in proptest::collection::vec(arb_field(), 1..5),
+            extra in arb_field()
+        ) {
+            let small = analz(&fields);
+            let mut bigger_input = fields.clone();
+            bigger_input.push(extra);
+            let big = analz(&bigger_input);
+            for f in &small {
+                prop_assert!(big.contains(f));
+            }
+        }
+
+        // Parts is idempotent.
+        #[test]
+        fn parts_idempotent(fields in proptest::collection::vec(arb_field(), 1..5)) {
+            let once: Vec<Field> = parts(&fields).into_iter().collect();
+            let twice = parts(&once);
+            prop_assert_eq!(twice.len(), once.len());
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Bounded exploration of the global protocol model.
+//!
+//! Two modes:
+//!
+//! * [`Explorer`] — exhaustive breadth-first enumeration of every reachable
+//!   state up to an event bound, deduplicating bisimilar states via
+//!   [`SystemState::canonical_key`]. This is the executable counterpart of
+//!   the paper's induction over traces: every invariant is evaluated in
+//!   every visited state.
+//! * [`RandomWalker`] — long seeded random walks for depths the exhaustive
+//!   mode cannot reach.
+//!
+//! Property checkers implement [`StateChecker`]; violations carry the full
+//! offending trace for diagnosis.
+
+use crate::system::{CanonicalKey, GlobalMove, Scenario, SystemState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A property evaluated in every visited state.
+pub trait StateChecker {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// Checks the property; returns `Err(description)` on violation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a human-readable description of the violated
+    /// property.
+    fn check(&self, state: &SystemState) -> Result<(), String>;
+}
+
+/// A property evaluated on every explored transition (needed for
+/// verification-diagram edge checking, where the claim is about
+/// `q → q'` pairs rather than single states).
+pub trait TransitionChecker {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// Checks the transition; returns `Err(description)` on violation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a human-readable description of the violated
+    /// property.
+    fn check(
+        &self,
+        prev: &SystemState,
+        mv: &GlobalMove,
+        next: &SystemState,
+    ) -> Result<(), String>;
+}
+
+/// A recorded property violation.
+#[derive(Debug)]
+pub struct Violation {
+    /// Name of the violated checker.
+    pub checker: String,
+    /// Description returned by the checker.
+    pub description: String,
+    /// The offending state (with its full trace).
+    pub state: SystemState,
+    /// Depth (number of events) at which the violation occurred.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "violation of {} at depth {}: {}",
+            self.checker, self.depth, self.description
+        )?;
+        write!(f, "{:?}", self.state.trace)
+    }
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Bounds {
+    /// Maximum number of events in a trace (exploration depth).
+    pub max_events: usize,
+    /// Maximum number of states to visit (safety valve).
+    pub max_states: usize,
+}
+
+impl Bounds {
+    /// Tiny bounds for unit tests and doctests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Bounds {
+            max_events: 8,
+            max_states: 20_000,
+        }
+    }
+
+    /// Bounds covering a full session plus intruder interference.
+    #[must_use]
+    pub fn standard() -> Self {
+        Bounds {
+            max_events: 12,
+            max_states: 2_000_000,
+        }
+    }
+
+    /// Deep bounds for overnight-style runs.
+    #[must_use]
+    pub fn deep() -> Self {
+        Bounds {
+            max_events: 16,
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// Statistics from an exploration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states_visited: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// States skipped because a bisimilar state was already visited.
+    pub dedup_hits: usize,
+    /// Deepest trace reached (events).
+    pub max_depth: usize,
+    /// True if the run stopped because `max_states` was hit.
+    pub truncated: bool,
+}
+
+/// Exhaustive bounded breadth-first explorer.
+pub struct Explorer {
+    scenario: Scenario,
+    bounds: Bounds,
+    checkers: Vec<Box<dyn StateChecker>>,
+    transition_checkers: Vec<Box<dyn TransitionChecker>>,
+    /// Violations found so far.
+    pub violations: Vec<Violation>,
+    /// Stop at the first violation (default: true).
+    pub stop_on_violation: bool,
+}
+
+impl Explorer {
+    /// Creates an explorer for a scenario.
+    #[must_use]
+    pub fn new(scenario: Scenario, bounds: Bounds) -> Self {
+        Explorer {
+            scenario,
+            bounds,
+            checkers: Vec::new(),
+            transition_checkers: Vec::new(),
+            violations: Vec::new(),
+            stop_on_violation: true,
+        }
+    }
+
+    /// Registers a property checker.
+    pub fn add_checker(&mut self, checker: Box<dyn StateChecker>) -> &mut Self {
+        self.checkers.push(checker);
+        self
+    }
+
+    /// Registers a transition checker (evaluated on every explored
+    /// `q → q'` pair, including ones whose successor is deduplicated).
+    pub fn add_transition_checker(&mut self, checker: Box<dyn TransitionChecker>) -> &mut Self {
+        self.transition_checkers.push(checker);
+        self
+    }
+
+    /// Runs the exhaustive exploration. Returns statistics; violations are
+    /// collected in [`Explorer::violations`].
+    pub fn run(&mut self) -> ExploreStats {
+        let mut stats = ExploreStats::default();
+        let mut visited: HashSet<CanonicalKey> = HashSet::new();
+        let mut queue: VecDeque<(SystemState, usize)> = VecDeque::new();
+
+        let initial = SystemState::initial(&self.scenario);
+        self.check_state(&initial, 0, &mut stats);
+        visited.insert(initial.canonical_key());
+        queue.push_back((initial, 0));
+        stats.states_visited = 1;
+
+        while let Some((state, depth)) = queue.pop_front() {
+            if self.stop_on_violation && !self.violations.is_empty() {
+                break;
+            }
+            if depth >= self.bounds.max_events {
+                continue;
+            }
+            for mv in state.enumerate_moves(&self.scenario) {
+                let next = state.apply(&self.scenario, &mv);
+                stats.transitions += 1;
+                for checker in &self.transition_checkers {
+                    if let Err(description) = checker.check(&state, &mv, &next) {
+                        self.violations.push(Violation {
+                            checker: checker.name().to_string(),
+                            description,
+                            state: next.clone(),
+                            depth: next.trace.len(),
+                        });
+                    }
+                }
+                if self.stop_on_violation && !self.violations.is_empty() {
+                    return stats;
+                }
+                let key = next.canonical_key();
+                if !visited.insert(key) {
+                    stats.dedup_hits += 1;
+                    continue;
+                }
+                let next_depth = next.trace.len();
+                stats.max_depth = stats.max_depth.max(next_depth);
+                self.check_state(&next, next_depth, &mut stats);
+                stats.states_visited += 1;
+                if stats.states_visited >= self.bounds.max_states {
+                    stats.truncated = true;
+                    return stats;
+                }
+                queue.push_back((next, next_depth));
+            }
+        }
+        stats
+    }
+
+    fn check_state(&mut self, state: &SystemState, depth: usize, _stats: &mut ExploreStats) {
+        for checker in &self.checkers {
+            if let Err(description) = checker.check(state) {
+                self.violations.push(Violation {
+                    checker: checker.name().to_string(),
+                    description,
+                    state: state.clone(),
+                    depth,
+                });
+            }
+        }
+    }
+}
+
+/// Seeded random-walk explorer for deep traces.
+pub struct RandomWalker {
+    scenario: Scenario,
+    /// Number of independent walks.
+    pub walks: usize,
+    /// Steps per walk.
+    pub steps: usize,
+    rng: StdRng,
+    checkers: Vec<Box<dyn StateChecker>>,
+    /// Violations found so far.
+    pub violations: Vec<Violation>,
+}
+
+impl RandomWalker {
+    /// Creates a walker with the given seed.
+    #[must_use]
+    pub fn new(scenario: Scenario, walks: usize, steps: usize, seed: u64) -> Self {
+        RandomWalker {
+            scenario,
+            walks,
+            steps,
+            rng: StdRng::seed_from_u64(seed),
+            checkers: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Registers a property checker.
+    pub fn add_checker(&mut self, checker: Box<dyn StateChecker>) -> &mut Self {
+        self.checkers.push(checker);
+        self
+    }
+
+    /// Runs the walks; returns total states checked.
+    pub fn run(&mut self) -> usize {
+        let mut checked = 0;
+        for _ in 0..self.walks {
+            let mut state = SystemState::initial(&self.scenario);
+            for _ in 0..self.steps {
+                for checker in &self.checkers {
+                    if let Err(description) = checker.check(&state) {
+                        self.violations.push(Violation {
+                            checker: checker.name().to_string(),
+                            description,
+                            state: state.clone(),
+                            depth: state.trace.len(),
+                        });
+                        return checked;
+                    }
+                }
+                checked += 1;
+                let moves = state.enumerate_moves(&self.scenario);
+                if moves.is_empty() {
+                    break;
+                }
+                let mv: &GlobalMove = &moves[self.rng.gen_range(0..moves.len())];
+                state = state.apply(&self.scenario, mv);
+            }
+        }
+        checked
+    }
+}
+
+/// Layer-parallel exhaustive explorer: expands each BFS frontier across
+/// worker threads, then merges and deduplicates sequentially.
+///
+/// Coverage is identical to [`Explorer`] (same states, same transitions);
+/// wall-clock improves on multi-core machines for the larger insider
+/// scenarios. Checkers must be `Send + Sync` (all the built-in ones are).
+pub struct ParallelExplorer {
+    scenario: Scenario,
+    bounds: Bounds,
+    threads: usize,
+    checkers: Vec<Arc<dyn StateChecker + Send + Sync>>,
+    transition_checkers: Vec<Arc<dyn TransitionChecker + Send + Sync>>,
+    /// Violations found so far.
+    pub violations: Vec<Violation>,
+}
+
+impl ParallelExplorer {
+    /// Creates a parallel explorer; `threads = 0` selects the available
+    /// parallelism.
+    #[must_use]
+    pub fn new(scenario: Scenario, bounds: Bounds, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        ParallelExplorer {
+            scenario,
+            bounds,
+            threads,
+            checkers: Vec::new(),
+            transition_checkers: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Registers a property checker.
+    pub fn add_checker(&mut self, checker: Arc<dyn StateChecker + Send + Sync>) -> &mut Self {
+        self.checkers.push(checker);
+        self
+    }
+
+    /// Registers a transition checker.
+    pub fn add_transition_checker(
+        &mut self,
+        checker: Arc<dyn TransitionChecker + Send + Sync>,
+    ) -> &mut Self {
+        self.transition_checkers.push(checker);
+        self
+    }
+
+    /// Runs the exploration; violations are collected in
+    /// [`ParallelExplorer::violations`].
+    pub fn run(&mut self) -> ExploreStats {
+        let mut stats = ExploreStats::default();
+        let mut visited: HashSet<CanonicalKey> = HashSet::new();
+
+        let initial = SystemState::initial(&self.scenario);
+        for checker in &self.checkers {
+            if let Err(description) = checker.check(&initial) {
+                self.violations.push(Violation {
+                    checker: checker.name().to_string(),
+                    description,
+                    state: initial.clone(),
+                    depth: 0,
+                });
+            }
+        }
+        visited.insert(initial.canonical_key());
+        stats.states_visited = 1;
+        let mut frontier = vec![initial];
+
+        while !frontier.is_empty() {
+            if !self.violations.is_empty() {
+                break;
+            }
+            // Expand the frontier in parallel.
+            let chunk_size = frontier.len().div_ceil(self.threads);
+            let scenario = &self.scenario;
+            let checkers = &self.checkers;
+            let transition_checkers = &self.transition_checkers;
+            let max_events = self.bounds.max_events;
+
+            type WorkerOut = (Vec<(CanonicalKey, SystemState)>, Vec<Violation>, usize);
+            let results: Vec<WorkerOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk_size.max(1))
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut successors = Vec::new();
+                            let mut violations = Vec::new();
+                            let mut transitions = 0usize;
+                            for state in chunk {
+                                if state.trace.len() >= max_events {
+                                    continue;
+                                }
+                                for mv in state.enumerate_moves(scenario) {
+                                    let next = state.apply(scenario, &mv);
+                                    transitions += 1;
+                                    for checker in transition_checkers {
+                                        if let Err(description) =
+                                            checker.check(state, &mv, &next)
+                                        {
+                                            violations.push(Violation {
+                                                checker: checker.name().to_string(),
+                                                description,
+                                                state: next.clone(),
+                                                depth: next.trace.len(),
+                                            });
+                                        }
+                                    }
+                                    for checker in checkers {
+                                        if let Err(description) = checker.check(&next) {
+                                            violations.push(Violation {
+                                                checker: checker.name().to_string(),
+                                                description,
+                                                state: next.clone(),
+                                                depth: next.trace.len(),
+                                            });
+                                        }
+                                    }
+                                    successors.push((next.canonical_key(), next));
+                                }
+                            }
+                            (successors, violations, transitions)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
+
+            // Sequential merge: dedupe and build the next frontier.
+            let mut next_frontier = Vec::new();
+            for (successors, violations, transitions) in results {
+                stats.transitions += transitions;
+                self.violations.extend(violations);
+                for (key, state) in successors {
+                    if visited.insert(key) {
+                        stats.max_depth = stats.max_depth.max(state.trace.len());
+                        stats.states_visited += 1;
+                        if stats.states_visited >= self.bounds.max_states {
+                            stats.truncated = true;
+                            return stats;
+                        }
+                        next_frontier.push(state);
+                    } else {
+                        stats.dedup_hits += 1;
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::KeyId;
+    use crate::system::Scenario;
+
+    /// A checker that always passes.
+    struct AlwaysOk;
+    impl StateChecker for AlwaysOk {
+        fn name(&self) -> &str {
+            "always-ok"
+        }
+        fn check(&self, _: &SystemState) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    /// The paper's session-key secrecy invariant, checked concretely.
+    struct SessionKeySecrecy;
+    impl StateChecker for SessionKeySecrecy {
+        fn name(&self) -> &str {
+            "session-key-secrecy"
+        }
+        fn check(&self, state: &SystemState) -> Result<(), String> {
+            for k in state.keys_in_use() {
+                // Only the honest user's keys are protected: a compromised
+                // member's session key is legitimately known to the
+                // intruder coalition.
+                let honest_key = match state.user_a.session_key() {
+                    Some(uk) if uk == k => true,
+                    _ => state
+                        .slots
+                        .get(&crate::field::AgentId::ALICE)
+                        .and_then(|s| s.key_in_use())
+                        == Some(k),
+                };
+                if honest_key && state.intruder.knows_key(k) {
+                    return Err(format!("in-use key {k:?} known to intruder"));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn smoke_exploration_terminates() {
+        let mut ex = Explorer::new(Scenario::honest_pair(), Bounds::smoke());
+        ex.add_checker(Box::new(AlwaysOk));
+        let stats = ex.run();
+        assert!(stats.states_visited > 10);
+        assert!(ex.violations.is_empty());
+        assert!(stats.max_depth <= Bounds::smoke().max_events);
+    }
+
+    #[test]
+    fn secrecy_holds_in_smoke_bounds() {
+        let mut ex = Explorer::new(Scenario::tight(), Bounds::smoke());
+        ex.add_checker(Box::new(SessionKeySecrecy));
+        let stats = ex.run();
+        assert!(
+            ex.violations.is_empty(),
+            "violation: {}",
+            ex.violations[0]
+        );
+        assert!(stats.states_visited > 0);
+    }
+
+    #[test]
+    fn dedup_merges_interleavings() {
+        let mut ex = Explorer::new(Scenario::default(), Bounds::smoke());
+        let stats = ex.run();
+        assert!(
+            stats.dedup_hits > 0,
+            "expected interleaving merges, stats: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let mut ex = Explorer::new(
+            Scenario::default(),
+            Bounds {
+                max_events: 10,
+                max_states: 50,
+            },
+        );
+        let stats = ex.run();
+        assert!(stats.truncated);
+        assert_eq!(stats.states_visited, 50);
+    }
+
+    #[test]
+    fn random_walks_are_reproducible() {
+        let run = |seed| {
+            let mut w = RandomWalker::new(Scenario::default(), 3, 15, seed);
+            w.add_checker(Box::new(SessionKeySecrecy));
+            w.run()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn random_walks_find_no_secrecy_violation() {
+        let mut w = RandomWalker::new(Scenario::default(), 10, 30, 7);
+        w.add_checker(Box::new(SessionKeySecrecy));
+        w.run();
+        assert!(w.violations.is_empty(), "violation: {}", w.violations[0]);
+    }
+
+    #[test]
+    fn parallel_explorer_matches_sequential_coverage() {
+        let bounds = Bounds::smoke();
+        let mut seq = Explorer::new(Scenario::tight(), bounds);
+        let seq_stats = seq.run();
+        let mut par = ParallelExplorer::new(Scenario::tight(), bounds, 4);
+        let par_stats = par.run();
+        assert_eq!(seq_stats.states_visited, par_stats.states_visited);
+        assert_eq!(seq_stats.transitions, par_stats.transitions);
+        assert_eq!(seq_stats.max_depth, par_stats.max_depth);
+    }
+
+    #[test]
+    fn parallel_explorer_runs_checkers() {
+        struct CountAtDepth;
+        impl StateChecker for CountAtDepth {
+            fn name(&self) -> &str {
+                "fail-at-depth-3"
+            }
+            fn check(&self, state: &SystemState) -> Result<(), String> {
+                if state.trace.len() >= 3 {
+                    Err("reached depth 3".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let mut par = ParallelExplorer::new(Scenario::honest_pair(), Bounds::smoke(), 2);
+        par.add_checker(Arc::new(CountAtDepth));
+        let _ = par.run();
+        assert!(!par.violations.is_empty());
+        assert!(par.violations.iter().all(|v| v.depth >= 3));
+    }
+
+    #[test]
+    fn oopsed_keys_are_learned_but_not_in_use() {
+        // Sanity: after a close, the session key is known to the intruder
+        // but no longer in use, so secrecy still holds.
+        let mut w = RandomWalker::new(Scenario::default(), 20, 40, 99);
+        w.add_checker(Box::new(SessionKeySecrecy));
+        w.run();
+        assert!(w.violations.is_empty());
+        let _ = KeyId::Session(0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The message term algebra `F` of Section 4.
+//!
+//! Message contents are elements of the set of fields:
+//!
+//! * agent identities, keys, and nonces are primitive fields;
+//! * `[X, Y]` (concatenation) is a field when `X` and `Y` are;
+//! * `{X}_K` (symmetric encryption of `X` with key `K`) is a field.
+//!
+//! A small tag alphabet ([`Field::Tag`]) is added so group-management
+//! payloads (`new_key`, `mem_joined`, ...) can be embedded in the algebra;
+//! tags behave like public constants every agent knows.
+
+use std::fmt;
+
+/// An agent identity.
+///
+/// The scenario in the paper has a leader `L`, an honest user `A`, and an
+/// arbitrary set of other (possibly compromised) agents; we use a compact
+/// numeric namespace with well-known constants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub u8);
+
+impl AgentId {
+    /// The group leader `L`.
+    pub const LEADER: AgentId = AgentId(0);
+    /// The honest user `A` whose guarantees the paper proves.
+    pub const ALICE: AgentId = AgentId(1);
+    /// A compromised group member (knows its own long-term key and leaks
+    /// everything it learns).
+    pub const BRUTUS: AgentId = AgentId(2);
+    /// An outsider with no long-term key.
+    pub const EVE: AgentId = AgentId(3);
+
+    /// True for the leader identity.
+    #[must_use]
+    pub fn is_leader(self) -> bool {
+        self == Self::LEADER
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AgentId::LEADER => write!(f, "L"),
+            AgentId::ALICE => write!(f, "A"),
+            AgentId::BRUTUS => write!(f, "B"),
+            AgentId::EVE => write!(f, "E"),
+            AgentId(n) => write!(f, "Agent{n}"),
+        }
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A nonce identity. Fresh nonces are allocated with increasing indices by
+/// the global system; two nonces are equal iff their indices are.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonceId(pub u32);
+
+impl fmt::Debug for NonceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A key identity.
+///
+/// Long-term keys `P_a` are indexed by owner; session keys `K_a` and group
+/// keys `K_g` are allocated fresh by the leader.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyId {
+    /// The long-term password-derived key `P_a` of an agent.
+    LongTerm(AgentId),
+    /// A session key `K_a` (indexed by allocation order).
+    Session(u32),
+    /// A group key `K_g` (indexed by allocation order).
+    Group(u32),
+}
+
+impl KeyId {
+    /// True for session keys (the `K_S` set of the paper).
+    #[must_use]
+    pub fn is_session(self) -> bool {
+        matches!(self, KeyId::Session(_))
+    }
+
+    /// True for long-term keys.
+    #[must_use]
+    pub fn is_long_term(self) -> bool {
+        matches!(self, KeyId::LongTerm(_))
+    }
+}
+
+impl fmt::Debug for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyId::LongTerm(a) => write!(f, "P_{a:?}"),
+            KeyId::Session(n) => write!(f, "K{n}"),
+            KeyId::Group(n) => write!(f, "Kg{n}"),
+        }
+    }
+}
+
+/// Public protocol tags used inside payloads (known to every agent).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Tag {
+    /// Payload announces a new group key.
+    NewKey,
+    /// Payload announces that a member joined.
+    MemJoined,
+    /// Payload announces that a member left.
+    MemRemoved,
+    /// Generic application data.
+    Data,
+}
+
+/// A field of the message algebra.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// An agent identity.
+    Agent(AgentId),
+    /// A nonce.
+    Nonce(NonceId),
+    /// A key used as data (e.g. `K_a` transported inside `AuthKeyDist`).
+    Key(KeyId),
+    /// A public constant tag.
+    Tag(Tag),
+    /// Concatenation `[X, Y]`.
+    Concat(Box<Field>, Box<Field>),
+    /// Symmetric encryption `{X}_K`.
+    Enc(Box<Field>, KeyId),
+}
+
+impl Field {
+    /// Builds the right-nested concatenation of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty; the algebra has no empty field.
+    #[must_use]
+    pub fn concat(items: Vec<Field>) -> Field {
+        assert!(!items.is_empty(), "cannot concatenate zero fields");
+        let mut iter = items.into_iter().rev();
+        let mut acc = iter.next().expect("nonempty");
+        for item in iter {
+            acc = Field::Concat(Box::new(item), Box::new(acc));
+        }
+        acc
+    }
+
+    /// Encrypts `body` under `key`: the field `{body}_key`.
+    #[must_use]
+    pub fn enc(body: Field, key: KeyId) -> Field {
+        Field::Enc(Box::new(body), key)
+    }
+
+    /// Flattens a right-nested concatenation into its components.
+    ///
+    /// The inverse of [`Field::concat`] for fields it produced; a
+    /// non-concatenation yields a single-element vector.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<&Field> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Field::Concat(x, y) = cur {
+            out.push(x.as_ref());
+            cur = y.as_ref();
+        }
+        out.push(cur);
+        out
+    }
+
+    /// True if this is a primitive field (agent, nonce, key, or tag).
+    #[must_use]
+    pub fn is_primitive(&self) -> bool {
+        !matches!(self, Field::Concat(..) | Field::Enc(..))
+    }
+
+    /// The number of nodes in this field's syntax tree.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Field::Concat(x, y) => 1 + x.size() + y.size(),
+            Field::Enc(x, _) => 1 + x.size(),
+            _ => 1,
+        }
+    }
+
+    /// True if `needle` occurs anywhere in this field's syntax tree
+    /// (i.e. `needle ∈ Parts({self})`).
+    #[must_use]
+    pub fn contains(&self, needle: &Field) -> bool {
+        if self == needle {
+            return true;
+        }
+        match self {
+            Field::Concat(x, y) => x.contains(needle) || y.contains(needle),
+            Field::Enc(x, _) => x.contains(needle),
+            _ => false,
+        }
+    }
+
+    /// Visits every subfield (including `self`), pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Field)) {
+        f(self);
+        match self {
+            Field::Concat(x, y) => {
+                x.visit(f);
+                y.visit(f);
+            }
+            Field::Enc(x, _) => x.visit(f),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Agent(a) => write!(f, "{a:?}"),
+            Field::Nonce(n) => write!(f, "{n:?}"),
+            Field::Key(k) => write!(f, "{k:?}"),
+            Field::Tag(t) => write!(f, "{t:?}"),
+            Field::Concat(..) => {
+                let items = self.flatten();
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item:?}")?;
+                }
+                write!(f, "]")
+            }
+            Field::Enc(x, k) => write!(f, "{{{x:?}}}_{k:?}"),
+        }
+    }
+}
+
+/// Convenience constructors mirroring the paper's notation.
+pub mod dsl {
+    use super::*;
+
+    /// The field for agent `a`.
+    #[must_use]
+    pub fn agent(a: AgentId) -> Field {
+        Field::Agent(a)
+    }
+
+    /// The field for nonce `n`.
+    #[must_use]
+    pub fn nonce(n: NonceId) -> Field {
+        Field::Nonce(n)
+    }
+
+    /// The field for key `k` used as data.
+    #[must_use]
+    pub fn key(k: KeyId) -> Field {
+        Field::Key(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    fn n(i: u32) -> Field {
+        nonce(NonceId(i))
+    }
+
+    #[test]
+    fn concat_is_right_nested() {
+        let f = Field::concat(vec![n(1), n(2), n(3)]);
+        match &f {
+            Field::Concat(a, rest) => {
+                assert_eq!(**a, n(1));
+                match rest.as_ref() {
+                    Field::Concat(b, c) => {
+                        assert_eq!(**b, n(2));
+                        assert_eq!(**c, n(3));
+                    }
+                    other => panic!("unexpected shape {other:?}"),
+                }
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flatten_inverts_concat() {
+        let f = Field::concat(vec![n(1), n(2), n(3), n(4)]);
+        let parts: Vec<Field> = f.flatten().into_iter().cloned().collect();
+        assert_eq!(parts, vec![n(1), n(2), n(3), n(4)]);
+        assert_eq!(n(7).flatten(), vec![&n(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fields")]
+    fn concat_empty_panics() {
+        let _ = Field::concat(vec![]);
+    }
+
+    #[test]
+    fn contains_looks_through_encryption() {
+        let ka = KeyId::Session(0);
+        let f = Field::enc(
+            Field::concat(vec![agent(AgentId::ALICE), n(5), key(ka)]),
+            KeyId::LongTerm(AgentId::ALICE),
+        );
+        assert!(f.contains(&n(5)));
+        assert!(f.contains(&key(ka)));
+        assert!(f.contains(&agent(AgentId::ALICE)));
+        assert!(!f.contains(&n(6)));
+        // The encryption key is NOT a part (matches Parts semantics).
+        assert!(!f.contains(&key(KeyId::LongTerm(AgentId::ALICE))));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(n(0).size(), 1);
+        let f = Field::enc(Field::concat(vec![n(1), n(2)]), KeyId::Session(0));
+        assert_eq!(f.size(), 4); // enc + concat + 2 nonces
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Field::concat(vec![n(1), n(2)]);
+        let b = Field::concat(vec![n(1), n(2)]);
+        let c = Field::concat(vec![n(2), n(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let f = Field::enc(Field::concat(vec![n(1), n(2), n(3)]), KeyId::Group(0));
+        let mut count = 0;
+        f.visit(&mut |_| count += 1);
+        assert_eq!(count, f.size());
+    }
+
+    #[test]
+    fn debug_rendering_is_readable() {
+        let pa = KeyId::LongTerm(AgentId::ALICE);
+        let f = Field::enc(
+            Field::concat(vec![agent(AgentId::ALICE), agent(AgentId::LEADER), n(1)]),
+            pa,
+        );
+        assert_eq!(format!("{f:?}"), "{[A, L, N1]}_P_A");
+    }
+
+    #[test]
+    fn key_classification() {
+        assert!(KeyId::Session(3).is_session());
+        assert!(!KeyId::Group(3).is_session());
+        assert!(KeyId::LongTerm(AgentId::EVE).is_long_term());
+        assert!(!KeyId::Session(0).is_long_term());
+    }
+
+    #[test]
+    fn well_known_agents_are_distinct() {
+        let ids = [
+            AgentId::LEADER,
+            AgentId::ALICE,
+            AgentId::BRUTUS,
+            AgentId::EVE,
+        ];
+        for (i, x) in ids.iter().enumerate() {
+            for (j, y) in ids.iter().enumerate() {
+                assert_eq!(i == j, x == y);
+            }
+        }
+        assert!(AgentId::LEADER.is_leader());
+        assert!(!AgentId::ALICE.is_leader());
+    }
+}

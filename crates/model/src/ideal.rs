@@ -1,0 +1,271 @@
+//! Ideals and coideals (Millen–Rueß), as used in the session-key secrecy
+//! proof of Section 5.2.
+//!
+//! For a set of keys `S`, the ideal `I(S)` is the smallest set of fields
+//! such that:
+//!
+//! * `S ⊆ I(S)` (keys viewed as data fields);
+//! * if `X ∈ I(S)` or `Y ∈ I(S)` then `[X, Y] ∈ I(S)`;
+//! * if `X ∈ I(S)` and `K ∉ S` then `{X}_K ∈ I(S)`.
+//!
+//! `I(S)` contains exactly the fields from which some element of `S` can be
+//! extracted by an agent holding every key outside `S`. Its complement, the
+//! coideal `C(S)`, is closed under both `Analz` and `Synth` — the key fact
+//! the secrecy proof rests on. We expose membership tests and (in tests)
+//! validate the closure properties on random fields.
+
+use crate::field::{Field, KeyId};
+use std::collections::HashSet;
+
+/// A set `S` of protected keys defining an ideal `I(S)` / coideal `C(S)`.
+///
+/// In the paper `S = {K_a, P_a}`: the session key under scrutiny together
+/// with the long-term key that transports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySet {
+    keys: HashSet<KeyId>,
+}
+
+impl KeySet {
+    /// Creates the protected-key set from an iterator of keys.
+    #[must_use]
+    pub fn new(keys: impl IntoIterator<Item = KeyId>) -> Self {
+        KeySet {
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// The paper's `S = {K_a, P_a}` for a session key and the long-term key
+    /// protecting its distribution.
+    #[must_use]
+    pub fn session_secrecy(session: KeyId, long_term: KeyId) -> Self {
+        Self::new([session, long_term])
+    }
+
+    /// True if `k` is protected.
+    #[must_use]
+    pub fn contains(&self, k: KeyId) -> bool {
+        self.keys.contains(&k)
+    }
+
+    /// Iterates over the protected keys.
+    pub fn iter(&self) -> impl Iterator<Item = KeyId> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// Tests `f ∈ I(S)`: `f` would reveal a protected key to an agent
+    /// holding all unprotected keys.
+    #[must_use]
+    pub fn in_ideal(&self, f: &Field) -> bool {
+        match f {
+            Field::Key(k) => self.keys.contains(k),
+            Field::Concat(x, y) => self.in_ideal(x) || self.in_ideal(y),
+            Field::Enc(x, k) => !self.keys.contains(k) && self.in_ideal(x),
+            _ => false,
+        }
+    }
+
+    /// Tests `f ∈ C(S)` (the coideal, i.e. `f` is safe).
+    #[must_use]
+    pub fn in_coideal(&self, f: &Field) -> bool {
+        !self.in_ideal(f)
+    }
+
+    /// Tests `E ⊆ C(S)` for a collection of fields.
+    #[must_use]
+    pub fn all_in_coideal<'a>(&self, fields: impl IntoIterator<Item = &'a Field>) -> bool {
+        fields.into_iter().all(|f| self.in_coideal(f))
+    }
+}
+
+/// The Ideal-Parts lemma: if `Parts(E) ∩ S = ∅` then `E ⊆ C(S)`.
+///
+/// Provided as an executable check used by tests and the verification
+/// harness when discharging the "freshly generated key" case of the secrecy
+/// proof.
+#[must_use]
+pub fn ideal_parts_lemma_applies(s: &KeySet, fields: &[Field]) -> bool {
+    let p = crate::closure::parts(fields);
+    !p.iter().any(|f| matches!(f, Field::Key(k) if s.contains(*k)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{dsl::*, AgentId, NonceId};
+
+    const PA: KeyId = KeyId::LongTerm(AgentId::ALICE);
+    const PB: KeyId = KeyId::LongTerm(AgentId::BRUTUS);
+    const KA: KeyId = KeyId::Session(0);
+
+    fn s() -> KeySet {
+        KeySet::session_secrecy(KA, PA)
+    }
+
+    fn n(i: u32) -> Field {
+        nonce(NonceId(i))
+    }
+
+    #[test]
+    fn protected_keys_are_in_ideal() {
+        assert!(s().in_ideal(&key(KA)));
+        assert!(s().in_ideal(&key(PA)));
+        assert!(!s().in_ideal(&key(PB)));
+        assert!(!s().in_ideal(&n(1)));
+    }
+
+    #[test]
+    fn concat_leaks_if_either_side_leaks() {
+        let f1 = Field::concat(vec![n(1), key(KA)]);
+        let f2 = Field::concat(vec![n(1), n(2)]);
+        assert!(s().in_ideal(&f1));
+        assert!(!s().in_ideal(&f2));
+    }
+
+    #[test]
+    fn paper_example_enc_under_unprotected_key_leaks() {
+        // {X, Y, Ka}_Pb ∈ I(S): anyone holding Pb extracts Ka.
+        let f = Field::enc(Field::concat(vec![n(1), n(2), key(KA)]), PB);
+        assert!(s().in_ideal(&f));
+    }
+
+    #[test]
+    fn enc_under_protected_key_is_safe() {
+        // {Ka}_Pa ∉ I(S): only holders of Pa (i.e. A, L) can open it.
+        let f = Field::enc(key(KA), PA);
+        assert!(s().in_coideal(&f));
+        // The AuthKeyDist content of the paper: {L, A, Na, Nl, Ka}_Pa.
+        let content = Field::enc(
+            Field::concat(vec![
+                agent(AgentId::LEADER),
+                agent(AgentId::ALICE),
+                n(1),
+                n(2),
+                key(KA),
+            ]),
+            PA,
+        );
+        assert!(s().in_coideal(&content));
+    }
+
+    #[test]
+    fn double_encryption_cases() {
+        // {{Ka}_Pa}_Pb: opening with Pb yields {Ka}_Pa which is safe.
+        let inner_safe = Field::enc(Field::enc(key(KA), PA), PB);
+        assert!(s().in_coideal(&inner_safe));
+        // {{Ka}_Pb}_Pb: both layers openable with Pb — leaks.
+        let leaky = Field::enc(Field::enc(key(KA), PB), PB);
+        assert!(s().in_ideal(&leaky));
+    }
+
+    #[test]
+    fn all_in_coideal_checks_every_field() {
+        let safe = vec![n(1), Field::enc(key(KA), PA)];
+        let mixed = vec![n(1), key(KA)];
+        assert!(s().all_in_coideal(&safe));
+        assert!(!s().all_in_coideal(&mixed));
+    }
+
+    #[test]
+    fn ideal_parts_lemma() {
+        let fields = vec![n(1), Field::enc(n(2), PB), key(PB)];
+        assert!(ideal_parts_lemma_applies(&s(), &fields));
+        for f in &fields {
+            assert!(s().in_coideal(f));
+        }
+        let leaking = vec![Field::enc(key(KA), PB)];
+        assert!(!ideal_parts_lemma_applies(&s(), &leaking));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::closure::{analz, synth_contains};
+    use crate::field::{AgentId, NonceId};
+    use proptest::prelude::*;
+
+    const PA: KeyId = KeyId::LongTerm(AgentId::ALICE);
+    const KA: KeyId = KeyId::Session(0);
+
+    fn arb_key() -> impl Strategy<Value = KeyId> {
+        prop_oneof![
+            Just(PA),
+            Just(KA),
+            Just(KeyId::LongTerm(AgentId::BRUTUS)),
+            (1u32..3).prop_map(KeyId::Session),
+        ]
+    }
+
+    fn arb_field() -> impl Strategy<Value = Field> {
+        let leaf = prop_oneof![
+            (0u32..4).prop_map(|i| Field::Nonce(NonceId(i))),
+            arb_key().prop_map(Field::Key),
+            Just(Field::Agent(AgentId::ALICE)),
+        ];
+        leaf.prop_recursive(4, 20, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Field::Concat(Box::new(a), Box::new(b))),
+                (inner, arb_key()).prop_map(|(a, k)| Field::enc(a, k)),
+            ]
+        })
+    }
+
+    proptest! {
+        // Property (3) of the paper: Analz(C(S)) = C(S). We check the
+        // nontrivial inclusion: analyzing coideal fields yields only coideal
+        // fields.
+        #[test]
+        fn analz_preserves_coideal(fields in proptest::collection::vec(arb_field(), 1..6)) {
+            let s = KeySet::session_secrecy(KA, PA);
+            let coideal_fields: Vec<Field> =
+                fields.into_iter().filter(|f| s.in_coideal(f)).collect();
+            let analyzed = analz(&coideal_fields);
+            for f in &analyzed {
+                prop_assert!(s.in_coideal(f), "analz escaped coideal via {:?}", f);
+            }
+        }
+
+        // Property (4): Synth(C(S)) = C(S). Check: nothing in the ideal is
+        // synthesizable from coideal fields.
+        #[test]
+        fn synth_preserves_coideal(
+            fields in proptest::collection::vec(arb_field(), 1..6),
+            target in arb_field()
+        ) {
+            let s = KeySet::session_secrecy(KA, PA);
+            let base: std::collections::HashSet<Field> =
+                fields.into_iter().filter(|f| s.in_coideal(f)).collect();
+            if s.in_ideal(&target) {
+                prop_assert!(
+                    !synth_contains(&base, &target),
+                    "ideal field {:?} synthesized from coideal base", target
+                );
+            }
+        }
+
+        // Ideal-Parts lemma: Parts(E) ∩ S = ∅ ⇒ E ⊆ C(S).
+        #[test]
+        fn ideal_parts_lemma_holds(fields in proptest::collection::vec(arb_field(), 1..6)) {
+            let s = KeySet::session_secrecy(KA, PA);
+            if ideal_parts_lemma_applies(&s, &fields) {
+                for f in &fields {
+                    prop_assert!(s.in_coideal(f));
+                }
+            }
+        }
+
+        // Coideal membership of a protected key itself is impossible:
+        // Key(k) for k ∈ S is always in the ideal.
+        #[test]
+        fn protected_keys_never_safe(f in arb_field()) {
+            let s = KeySet::session_secrecy(KA, PA);
+            prop_assert!(s.in_ideal(&Field::Key(KA)));
+            prop_assert!(s.in_ideal(&Field::Key(PA)));
+            // And wrapping a protected key in any concat keeps it unsafe.
+            let wrapped = Field::Concat(Box::new(Field::Key(KA)), Box::new(f));
+            prop_assert!(s.in_ideal(&wrapped));
+        }
+    }
+}

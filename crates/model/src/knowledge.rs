@@ -1,0 +1,253 @@
+//! Attacker knowledge: `Know(G, q) = Analz(I(G) ∪ trace(q))`, maintained
+//! incrementally as the trace grows.
+//!
+//! Recomputing the `Analz` fixpoint from scratch at every state would
+//! dominate exploration time; [`Knowledge`] instead keeps the analyzed set
+//! and the set of known keys, and closes incrementally when a new field is
+//! observed. Because `Analz` is monotone in its input, incremental closure
+//! and from-scratch closure agree — a property the tests check.
+
+use crate::field::{Field, KeyId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An incrementally maintained `Analz` closure.
+///
+/// Cloning shares the underlying sets until the next mutation (the explorer
+/// clones knowledge at every branch).
+#[derive(Clone, Debug)]
+pub struct Knowledge {
+    /// The analyzed set: every field the agent can access.
+    analyzed: Arc<HashSet<Field>>,
+    /// Keys usable for decryption/encryption (the `Key(k)` members of
+    /// `analyzed`, cached).
+    keys: Arc<HashSet<KeyId>>,
+    /// Observed ciphertexts whose key is not yet known, waiting to be
+    /// unlocked.
+    locked: Arc<Vec<Field>>,
+}
+
+impl Default for Knowledge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Knowledge {
+    /// Empty knowledge.
+    #[must_use]
+    pub fn new() -> Self {
+        Knowledge {
+            analyzed: Arc::new(HashSet::new()),
+            keys: Arc::new(HashSet::new()),
+            locked: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Knowledge initialized from a set of fields (`I(G)`).
+    #[must_use]
+    pub fn from_initial(fields: impl IntoIterator<Item = Field>) -> Self {
+        let mut k = Knowledge::new();
+        for f in fields {
+            k.observe(&f);
+        }
+        k
+    }
+
+    /// Observes a new field (a message content or oops leak), closing the
+    /// knowledge under analysis.
+    pub fn observe(&mut self, field: &Field) {
+        if self.analyzed.contains(field) {
+            return;
+        }
+        let analyzed = Arc::make_mut(&mut self.analyzed);
+        let keys = Arc::make_mut(&mut self.keys);
+        let locked = Arc::make_mut(&mut self.locked);
+
+        let mut queue = vec![field.clone()];
+        while let Some(f) = queue.pop() {
+            if !analyzed.insert(f.clone()) {
+                continue;
+            }
+            match &f {
+                Field::Concat(x, y) => {
+                    queue.push(x.as_ref().clone());
+                    queue.push(y.as_ref().clone());
+                }
+                Field::Enc(x, k) => {
+                    if keys.contains(k) {
+                        queue.push(x.as_ref().clone());
+                    } else {
+                        locked.push(f.clone());
+                    }
+                }
+                Field::Key(k)
+                    if keys.insert(*k) => {
+                        let mut i = 0;
+                        while i < locked.len() {
+                            if matches!(&locked[i], Field::Enc(_, ek) if ek == k) {
+                                if let Field::Enc(x, _) = locked.swap_remove(i) {
+                                    queue.push(*x);
+                                }
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tests whether the agent can access `field` (i.e. `field ∈ Know`).
+    #[must_use]
+    pub fn can_access(&self, field: &Field) -> bool {
+        self.analyzed.contains(field)
+    }
+
+    /// Tests whether the agent knows key `k` (usable for
+    /// encryption/decryption).
+    #[must_use]
+    pub fn knows_key(&self, k: KeyId) -> bool {
+        self.keys.contains(&k)
+    }
+
+    /// Tests `field ∈ Synth(Know)`: the agent can construct `field` from
+    /// what it knows.
+    #[must_use]
+    pub fn can_synthesize(&self, field: &Field) -> bool {
+        crate::closure::synth_contains(&self.analyzed, field)
+    }
+
+    /// The analyzed set.
+    #[must_use]
+    pub fn analyzed(&self) -> &HashSet<Field> {
+        &self.analyzed
+    }
+
+    /// Iterates over the known keys.
+    pub fn keys(&self) -> impl Iterator<Item = KeyId> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// Iterates over known fields of a given shape, selected by `pred`.
+    pub fn select<'a>(
+        &'a self,
+        mut pred: impl FnMut(&Field) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a Field> {
+        self.analyzed.iter().filter(move |f| pred(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::analz;
+    use crate::field::{dsl::*, AgentId, NonceId};
+
+    const PA: KeyId = KeyId::LongTerm(AgentId::ALICE);
+    const PB: KeyId = KeyId::LongTerm(AgentId::BRUTUS);
+    const KA: KeyId = KeyId::Session(0);
+
+    fn n(i: u32) -> Field {
+        nonce(NonceId(i))
+    }
+
+    #[test]
+    fn observe_then_access() {
+        let mut k = Knowledge::new();
+        k.observe(&Field::concat(vec![n(1), n(2)]));
+        assert!(k.can_access(&n(1)));
+        assert!(k.can_access(&n(2)));
+        assert!(!k.can_access(&n(3)));
+    }
+
+    #[test]
+    fn ciphertext_without_key_stays_opaque() {
+        let mut k = Knowledge::new();
+        let ct = Field::enc(n(1), PA);
+        k.observe(&ct);
+        assert!(k.can_access(&ct));
+        assert!(!k.can_access(&n(1)));
+        assert!(!k.knows_key(PA));
+    }
+
+    #[test]
+    fn late_key_unlocks_earlier_ciphertext() {
+        let mut k = Knowledge::new();
+        let ct = Field::enc(Field::concat(vec![n(1), key(KA)]), PB);
+        k.observe(&ct);
+        assert!(!k.can_access(&n(1)));
+        // Key arrives later (e.g. via Oops).
+        k.observe(&key(PB));
+        assert!(k.can_access(&n(1)));
+        assert!(k.knows_key(KA), "nested key must also be learned");
+        // And KA in turn unlocks KA-ciphertexts observed even earlier.
+        let mut k2 = Knowledge::new();
+        k2.observe(&Field::enc(n(9), KA));
+        k2.observe(&ct);
+        k2.observe(&key(PB));
+        assert!(k2.can_access(&n(9)));
+    }
+
+    #[test]
+    fn incremental_matches_batch_analz() {
+        let fields = vec![
+            Field::enc(Field::concat(vec![n(1), key(KA)]), PB),
+            Field::enc(n(2), KA),
+            Field::concat(vec![key(PB), n(3)]),
+            Field::enc(n(4), PA),
+        ];
+        // Incremental, in several orders.
+        for perm in [
+            [0usize, 1, 2, 3],
+            [3, 2, 1, 0],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+        ] {
+            let mut k = Knowledge::new();
+            for &i in &perm {
+                k.observe(&fields[i]);
+            }
+            let batch = analz(&fields);
+            assert_eq!(
+                k.analyzed().len(),
+                batch.len(),
+                "order {perm:?}: incremental {} vs batch {}",
+                k.analyzed().len(),
+                batch.len()
+            );
+            for f in &batch {
+                assert!(k.can_access(f), "order {perm:?} missing {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthesize_uses_closure() {
+        let mut k = Knowledge::from_initial([key(KA), n(1)]);
+        assert!(k.can_synthesize(&Field::enc(n(1), KA)));
+        assert!(!k.can_synthesize(&Field::enc(n(1), PA)));
+        k.observe(&Field::enc(n(2), PA));
+        // Replay of an observed opaque blob is synthesizable.
+        assert!(k.can_synthesize(&Field::enc(n(2), PA)));
+        // But its contents are not extractable.
+        assert!(!k.can_access(&n(2)));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut k1 = Knowledge::from_initial([n(1)]);
+        let k2 = k1.clone();
+        k1.observe(&n(2));
+        assert!(k1.can_access(&n(2)));
+        assert!(!k2.can_access(&n(2)));
+    }
+
+    #[test]
+    fn select_filters_by_shape() {
+        let k = Knowledge::from_initial([n(1), n(2), key(KA), agent(AgentId::EVE)]);
+        let nonces: Vec<_> = k.select(|f| matches!(f, Field::Nonce(_))).collect();
+        assert_eq!(nonces.len(), 2);
+    }
+}

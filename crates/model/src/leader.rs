@@ -1,0 +1,575 @@
+//! The leader's per-user state-transition model (Figure 3).
+//!
+//! The leader `L` is the composition of one such machine per prospective
+//! member `U`. States:
+//!
+//! * `NotConnected` — `U` is not connected;
+//! * `WaitingForKeyAck(N_l, K_a)` — `L` generated fresh session key `K_a`
+//!   for `U` and awaits a key acknowledgment carrying `N_l`;
+//! * `Connected(N_a, K_a)` — `U` is a member; `N_a` is the most recent
+//!   nonce received from `U`, to be embedded in the next group-management
+//!   message;
+//! * `WaitingForAck(N_l, K_a)` — `L` sent a group-management message and
+//!   awaits an acknowledgment carrying `N_l`.
+//!
+//! On `ReqClose` the session closes and `K_a` is discarded; the attached
+//! `Oops(K_a)` event publishes the old session key, modeling compromise of
+//! old session keys (Section 4.1).
+
+use crate::field::{AgentId, Field, KeyId, NonceId};
+use crate::payload::AdminPayload;
+use crate::trace::{Event, Label, Trace};
+use crate::user::{admin_content, key_dist_content};
+
+/// The local state of the leader's machine for one user (Figure 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LeaderSlot {
+    /// The user is not connected.
+    NotConnected,
+    /// Fresh session key generated; awaiting `AuthAckKey` with this nonce.
+    WaitingForKeyAck(NonceId, KeyId),
+    /// The user is a member; the nonce is the latest received from the
+    /// user.
+    Connected(NonceId, KeyId),
+    /// Group-management message sent; awaiting `Ack` with this nonce.
+    WaitingForAck(NonceId, KeyId),
+}
+
+impl LeaderSlot {
+    /// The session key currently in use for this user, if any.
+    ///
+    /// This is exactly the paper's `InUse(K_a, q)` predicate restricted to
+    /// this slot: a key is in use in all three non-`NotConnected` states.
+    #[must_use]
+    pub fn key_in_use(&self) -> Option<KeyId> {
+        match self {
+            LeaderSlot::NotConnected => None,
+            LeaderSlot::WaitingForKeyAck(_, k)
+            | LeaderSlot::Connected(_, k)
+            | LeaderSlot::WaitingForAck(_, k) => Some(*k),
+        }
+    }
+}
+
+/// An enabled transition of the leader machine for one user.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LeaderMove {
+    /// `NotConnected → WaitingForKeyAck`: an `AuthInitReq, U, L, {U,L,Na}_Pu`
+    /// is in the trace; generate fresh `N_l`, `K_a` and reply with
+    /// `AuthKeyDist`.
+    AcceptAuthInit {
+        /// The user nonce from the accepted request.
+        user_nonce: NonceId,
+    },
+    /// `WaitingForKeyAck → Connected`: an
+    /// `AuthAckKey, U, L, {U,L,Nl,N3}_Ka` is in the trace.
+    AcceptKeyAck {
+        /// The fresh user nonce `N_3` from the acknowledgment.
+        user_nonce: NonceId,
+    },
+    /// `Connected → WaitingForAck`: send
+    /// `AdminMsg, L, U, {L,U,Na,Nl,X}_Ka` with a fresh `N_l`.
+    SendAdmin {
+        /// The group-management payload to distribute.
+        payload: AdminPayload,
+    },
+    /// `WaitingForAck → Connected`: an `Ack, U, L, {U,L,Nl,Na'}_Ka` is in
+    /// the trace.
+    AcceptAck {
+        /// The fresh user nonce from the acknowledgment.
+        user_nonce: NonceId,
+    },
+    /// Any in-use state `→ NotConnected`: a `ReqClose, U, L, {U,L}_Ka` is
+    /// in the trace; close the session and emit `Oops(K_a)`.
+    AcceptClose,
+}
+
+/// Destructures an `AuthInitReq` content `{U, L, Na}_Pu`, returning `Na`.
+#[must_use]
+pub fn match_auth_init(content: &Field, user: AgentId, leader: AgentId) -> Option<NonceId> {
+    let Field::Enc(body, k) = content else {
+        return None;
+    };
+    if *k != KeyId::LongTerm(user) {
+        return None;
+    }
+    match body.flatten().as_slice() {
+        [Field::Agent(u2), Field::Agent(l2), Field::Nonce(na)]
+            if *u2 == user && *l2 == leader =>
+        {
+            Some(*na)
+        }
+        _ => None,
+    }
+}
+
+/// Destructures an `AuthAckKey` or `Ack` content `{U, L, Nl, N'}_Ka` for a
+/// given expected `Nl`/`Ka`, returning the fresh user nonce `N'`.
+#[must_use]
+pub fn match_nonce_ack(
+    content: &Field,
+    user: AgentId,
+    leader: AgentId,
+    nl: NonceId,
+    ka: KeyId,
+) -> Option<NonceId> {
+    let Field::Enc(body, k) = content else {
+        return None;
+    };
+    if *k != ka {
+        return None;
+    }
+    match body.flatten().as_slice() {
+        [Field::Agent(u2), Field::Agent(l2), Field::Nonce(n1), Field::Nonce(n2)]
+            if *u2 == user && *l2 == leader && *n1 == nl =>
+        {
+            Some(*n2)
+        }
+        _ => None,
+    }
+}
+
+/// Destructures a `ReqClose` content `{U, L}_Ka`.
+#[must_use]
+pub fn match_close(content: &Field, user: AgentId, leader: AgentId, ka: KeyId) -> bool {
+    let Field::Enc(body, k) = content else {
+        return false;
+    };
+    if *k != ka {
+        return false;
+    }
+    matches!(
+        body.flatten().as_slice(),
+        [Field::Agent(u2), Field::Agent(l2)] if *u2 == user && *l2 == leader
+    )
+}
+
+/// Enumerates the moves of Figure 3 enabled for the slot of `user`.
+///
+/// `admin_payloads` is the (bounded) set of payloads the leader may choose
+/// to distribute when connected; pass an empty slice to disable spontaneous
+/// admin sends.
+#[must_use]
+pub fn enumerate_moves(
+    user: AgentId,
+    leader: AgentId,
+    slot: &LeaderSlot,
+    trace: &Trace,
+    admin_payloads: &[AdminPayload],
+) -> Vec<LeaderMove> {
+    let mut moves = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    match slot {
+        LeaderSlot::NotConnected => {
+            for (_, content) in trace.receivable(Label::AuthInitReq, leader) {
+                if let Some(na) = match_auth_init(content, user, leader) {
+                    if seen.insert(na) {
+                        moves.push(LeaderMove::AcceptAuthInit { user_nonce: na });
+                    }
+                }
+            }
+        }
+        LeaderSlot::WaitingForKeyAck(nl, ka) => {
+            for (_, content) in trace.receivable(Label::AuthAckKey, leader) {
+                if let Some(n3) = match_nonce_ack(content, user, leader, *nl, *ka) {
+                    if seen.insert(n3) {
+                        moves.push(LeaderMove::AcceptKeyAck { user_nonce: n3 });
+                    }
+                }
+            }
+        }
+        LeaderSlot::Connected(_, _) => {
+            for payload in admin_payloads {
+                moves.push(LeaderMove::SendAdmin { payload: *payload });
+            }
+        }
+        LeaderSlot::WaitingForAck(nl, ka) => {
+            for (_, content) in trace.receivable(Label::Ack, leader) {
+                if let Some(n2) = match_nonce_ack(content, user, leader, *nl, *ka) {
+                    if seen.insert(n2) {
+                        moves.push(LeaderMove::AcceptAck { user_nonce: n2 });
+                    }
+                }
+            }
+        }
+    }
+    // Close is enabled in every in-use state when a matching ReqClose is in
+    // the trace.
+    if let Some(ka) = slot.key_in_use() {
+        let closable = trace
+            .receivable(Label::ReqClose, leader)
+            .any(|(_, content)| match_close(content, user, leader, ka));
+        if closable {
+            moves.push(LeaderMove::AcceptClose);
+        }
+    }
+    moves
+}
+
+/// The effect of applying a leader move.
+#[derive(Clone, Debug)]
+pub struct LeaderEffect {
+    /// New slot state.
+    pub slot: LeaderSlot,
+    /// Events emitted by the transition (a message, and possibly an
+    /// `Oops`).
+    pub events: Vec<Event>,
+    /// Payload sent by a [`LeaderMove::SendAdmin`] transition, to be
+    /// appended to `snd_U`.
+    pub sent_payload: Option<Field>,
+    /// Set when the move completes a user's authentication (`AcceptKeyAck`):
+    /// the paper's "L accepts U as a member" event.
+    pub accepted_member: bool,
+}
+
+/// Fresh-value allocators the leader needs.
+pub struct LeaderFresh<'a> {
+    /// Allocates a fresh nonce.
+    pub nonce: &'a mut dyn FnMut() -> NonceId,
+    /// Allocates a fresh session key.
+    pub session_key: &'a mut dyn FnMut() -> KeyId,
+}
+
+/// Applies `mv` to the slot of `user`.
+///
+/// # Panics
+///
+/// Panics if `mv` is not enabled in `slot`.
+#[must_use]
+pub fn apply_move(
+    user: AgentId,
+    leader: AgentId,
+    slot: &LeaderSlot,
+    mv: &LeaderMove,
+    fresh: &mut LeaderFresh<'_>,
+) -> LeaderEffect {
+    match (slot, mv) {
+        (LeaderSlot::NotConnected, LeaderMove::AcceptAuthInit { user_nonce }) => {
+            let nl = (fresh.nonce)();
+            let ka = (fresh.session_key)();
+            LeaderEffect {
+                slot: LeaderSlot::WaitingForKeyAck(nl, ka),
+                events: vec![Event::Msg {
+                    label: Label::AuthKeyDist,
+                    sender: leader,
+                    recipient: user,
+                    content: key_dist_content(leader, user, *user_nonce, nl, ka),
+                    actor: leader,
+                }],
+                sent_payload: None,
+                accepted_member: false,
+            }
+        }
+        (LeaderSlot::WaitingForKeyAck(_, ka), LeaderMove::AcceptKeyAck { user_nonce }) => {
+            LeaderEffect {
+                slot: LeaderSlot::Connected(*user_nonce, *ka),
+                events: vec![],
+                sent_payload: None,
+                accepted_member: true,
+            }
+        }
+        (LeaderSlot::Connected(na, ka), LeaderMove::SendAdmin { payload }) => {
+            let nl = (fresh.nonce)();
+            let x = payload.to_field();
+            LeaderEffect {
+                slot: LeaderSlot::WaitingForAck(nl, *ka),
+                events: vec![Event::Msg {
+                    label: Label::AdminMsg,
+                    sender: leader,
+                    recipient: user,
+                    content: admin_content(leader, user, *na, nl, x.clone(), *ka),
+                    actor: leader,
+                }],
+                sent_payload: Some(x),
+                accepted_member: false,
+            }
+        }
+        (LeaderSlot::WaitingForAck(_, ka), LeaderMove::AcceptAck { user_nonce }) => LeaderEffect {
+            slot: LeaderSlot::Connected(*user_nonce, *ka),
+            events: vec![],
+            sent_payload: None,
+            accepted_member: false,
+        },
+        (slot, LeaderMove::AcceptClose) => {
+            let ka = slot
+                .key_in_use()
+                .expect("close only enabled when a key is in use");
+            LeaderEffect {
+                slot: LeaderSlot::NotConnected,
+                events: vec![Event::Oops {
+                    field: Field::Key(ka),
+                }],
+                sent_payload: None,
+                accepted_member: false,
+            }
+        }
+        (s, m) => panic!("leader move {m:?} not enabled in slot {s:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::{ack_content, auth_init_content, close_content, key_ack_content};
+
+    const A: AgentId = AgentId::ALICE;
+    const L: AgentId = AgentId::LEADER;
+    const KA: KeyId = KeyId::Session(0);
+
+    fn push_msg(t: &mut Trace, label: Label, from: AgentId, to: AgentId, content: Field) {
+        t.push(Event::Msg {
+            label,
+            sender: from,
+            recipient: to,
+            content,
+            actor: from,
+        });
+    }
+
+    fn fresh_pair(
+        nonce_start: u32,
+        key_start: u32,
+    ) -> (impl FnMut() -> NonceId, impl FnMut() -> KeyId) {
+        let mut n = nonce_start;
+        let mut k = key_start;
+        (
+            move || {
+                let v = NonceId(n);
+                n += 1;
+                v
+            },
+            move || {
+                let v = KeyId::Session(k);
+                k += 1;
+                v
+            },
+        )
+    }
+
+    #[test]
+    fn not_connected_accepts_auth_init() {
+        let mut t = Trace::new();
+        push_msg(
+            &mut t,
+            Label::AuthInitReq,
+            A,
+            L,
+            auth_init_content(A, L, NonceId(0)),
+        );
+        // A request from Brutus must not appear in Alice's slot moves.
+        push_msg(
+            &mut t,
+            Label::AuthInitReq,
+            AgentId::BRUTUS,
+            L,
+            auth_init_content(AgentId::BRUTUS, L, NonceId(1)),
+        );
+        let moves = enumerate_moves(A, L, &LeaderSlot::NotConnected, &t, &[]);
+        assert_eq!(
+            moves,
+            vec![LeaderMove::AcceptAuthInit {
+                user_nonce: NonceId(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn accept_auth_init_generates_key_and_replies() {
+        let (mut fnonce, mut fkey) = fresh_pair(10, 0);
+        let mut fresh = LeaderFresh {
+            nonce: &mut fnonce,
+            session_key: &mut fkey,
+        };
+        let eff = apply_move(
+            A,
+            L,
+            &LeaderSlot::NotConnected,
+            &LeaderMove::AcceptAuthInit {
+                user_nonce: NonceId(0),
+            },
+            &mut fresh,
+        );
+        assert_eq!(eff.slot, LeaderSlot::WaitingForKeyAck(NonceId(10), KA));
+        assert_eq!(eff.events.len(), 1);
+        match &eff.events[0] {
+            Event::Msg {
+                label: Label::AuthKeyDist,
+                content,
+                ..
+            } => assert_eq!(
+                content,
+                &key_dist_content(L, A, NonceId(0), NonceId(10), KA)
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn key_ack_must_carry_leader_nonce_under_session_key() {
+        let nl = NonceId(10);
+        let mut t = Trace::new();
+        push_msg(
+            &mut t,
+            Label::AuthAckKey,
+            A,
+            L,
+            key_ack_content(A, L, nl, NonceId(11), KA),
+        );
+        // Wrong leader nonce.
+        push_msg(
+            &mut t,
+            Label::AuthAckKey,
+            A,
+            L,
+            key_ack_content(A, L, NonceId(99), NonceId(12), KA),
+        );
+        // Wrong key.
+        push_msg(
+            &mut t,
+            Label::AuthAckKey,
+            A,
+            L,
+            key_ack_content(A, L, nl, NonceId(13), KeyId::Session(5)),
+        );
+        let moves = enumerate_moves(A, L, &LeaderSlot::WaitingForKeyAck(nl, KA), &t, &[]);
+        assert_eq!(
+            moves,
+            vec![LeaderMove::AcceptKeyAck {
+                user_nonce: NonceId(11)
+            }]
+        );
+        let (mut fnonce, mut fkey) = fresh_pair(0, 9);
+        let mut fresh = LeaderFresh {
+            nonce: &mut fnonce,
+            session_key: &mut fkey,
+        };
+        let eff = apply_move(A, L, &LeaderSlot::WaitingForKeyAck(nl, KA), &moves[0], &mut fresh);
+        assert_eq!(eff.slot, LeaderSlot::Connected(NonceId(11), KA));
+        assert!(eff.accepted_member);
+        assert!(eff.events.is_empty());
+    }
+
+    #[test]
+    fn connected_can_send_each_admin_payload() {
+        let t = Trace::new();
+        let payloads = [
+            AdminPayload::MemberJoined(AgentId::BRUTUS),
+            AdminPayload::MemberLeft(AgentId::BRUTUS),
+        ];
+        let moves = enumerate_moves(
+            A,
+            L,
+            &LeaderSlot::Connected(NonceId(11), KA),
+            &t,
+            &payloads,
+        );
+        assert_eq!(moves.len(), 2);
+        let (mut fnonce, mut fkey) = fresh_pair(20, 9);
+        let mut fresh = LeaderFresh {
+            nonce: &mut fnonce,
+            session_key: &mut fkey,
+        };
+        let eff = apply_move(
+            A,
+            L,
+            &LeaderSlot::Connected(NonceId(11), KA),
+            &moves[0],
+            &mut fresh,
+        );
+        assert_eq!(eff.slot, LeaderSlot::WaitingForAck(NonceId(20), KA));
+        assert!(eff.sent_payload.is_some());
+        match &eff.events[0] {
+            Event::Msg {
+                label: Label::AdminMsg,
+                content,
+                ..
+            } => {
+                assert_eq!(
+                    content,
+                    &admin_content(
+                        L,
+                        A,
+                        NonceId(11),
+                        NonceId(20),
+                        payloads[0].to_field(),
+                        KA
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_rolls_back_to_connected_with_new_nonce() {
+        let nl = NonceId(20);
+        let mut t = Trace::new();
+        push_msg(&mut t, Label::Ack, A, L, ack_content(A, L, nl, NonceId(21), KA));
+        let moves = enumerate_moves(A, L, &LeaderSlot::WaitingForAck(nl, KA), &t, &[]);
+        assert_eq!(
+            moves,
+            vec![LeaderMove::AcceptAck {
+                user_nonce: NonceId(21)
+            }]
+        );
+    }
+
+    #[test]
+    fn close_enabled_in_all_in_use_states_and_oopses_key() {
+        let mut t = Trace::new();
+        push_msg(&mut t, Label::ReqClose, A, L, close_content(A, L, KA));
+        for slot in [
+            LeaderSlot::WaitingForKeyAck(NonceId(1), KA),
+            LeaderSlot::Connected(NonceId(1), KA),
+            LeaderSlot::WaitingForAck(NonceId(1), KA),
+        ] {
+            let moves = enumerate_moves(A, L, &slot, &t, &[]);
+            assert!(
+                moves.contains(&LeaderMove::AcceptClose),
+                "close missing in {slot:?}"
+            );
+            let (mut fnonce, mut fkey) = fresh_pair(0, 9);
+            let mut fresh = LeaderFresh {
+                nonce: &mut fnonce,
+                session_key: &mut fkey,
+            };
+            let eff = apply_move(A, L, &slot, &LeaderMove::AcceptClose, &mut fresh);
+            assert_eq!(eff.slot, LeaderSlot::NotConnected);
+            assert_eq!(
+                eff.events,
+                vec![Event::Oops {
+                    field: Field::Key(KA)
+                }]
+            );
+        }
+        // Not enabled without a matching ReqClose in the trace.
+        let empty = Trace::new();
+        let moves = enumerate_moves(A, L, &LeaderSlot::Connected(NonceId(1), KA), &empty, &[]);
+        assert!(!moves.contains(&LeaderMove::AcceptClose));
+        // Not enabled when the close is under a different key.
+        let mut t2 = Trace::new();
+        push_msg(
+            &mut t2,
+            Label::ReqClose,
+            A,
+            L,
+            close_content(A, L, KeyId::Session(7)),
+        );
+        let moves = enumerate_moves(A, L, &LeaderSlot::Connected(NonceId(1), KA), &t2, &[]);
+        assert!(!moves.contains(&LeaderMove::AcceptClose));
+    }
+
+    #[test]
+    fn key_in_use_matches_paper_definition() {
+        assert_eq!(LeaderSlot::NotConnected.key_in_use(), None);
+        assert_eq!(
+            LeaderSlot::WaitingForKeyAck(NonceId(0), KA).key_in_use(),
+            Some(KA)
+        );
+        assert_eq!(LeaderSlot::Connected(NonceId(0), KA).key_in_use(), Some(KA));
+        assert_eq!(
+            LeaderSlot::WaitingForAck(NonceId(0), KA).key_in_use(),
+            Some(KA)
+        );
+    }
+}

@@ -1,0 +1,836 @@
+//! Model of the *original* Enclaves protocols (Section 2.2) and mechanical
+//! rediscovery of the Section 2.3 attacks.
+//!
+//! The legacy protocol differs from the improved one in three ways the
+//! paper exploits:
+//!
+//! 1. a cleartext pre-authentication exchange (`req_open` / `ack_open` /
+//!    `connection_denied`) that anyone can forge — enabling a trivial
+//!    denial-of-service ([`LegacyProperty::NoFalseDenial`]);
+//! 2. membership notices `mem_removed, {U}_Kg` authenticated only by the
+//!    *group* key, which every (possibly malicious) member holds — so any
+//!    member can corrupt another member's view
+//!    ([`LegacyProperty::ViewAccuracy`]);
+//! 3. rekey messages `new_key, {Kg'}_Ka` carrying no freshness evidence —
+//!    so replaying an old rekey message rolls a member back to an old group
+//!    key that past members still know
+//!    ([`LegacyProperty::NoKeyRollback`]).
+//!
+//! [`LegacyExplorer`] performs the same bounded exhaustive search as the
+//! improved-protocol explorer; for each property it either returns a
+//! counterexample trace (the attack, rediscovered) or exhausts the bound.
+
+use crate::field::{AgentId, Field, KeyId, NonceId};
+use crate::knowledge::Knowledge;
+use crate::trace::{Event, Label, Trace};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// State of the legacy user `A`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LegacyUserState {
+    /// Not joined, pre-authentication not started.
+    Idle,
+    /// Sent `req_open`, awaiting `ack_open` or `connection_denied`.
+    WaitOpenAck,
+    /// Pre-auth accepted; sent authentication message 1 with this nonce.
+    WaitAuth2(NonceId),
+    /// A member holding a session key, the current group key, and a
+    /// membership view.
+    Member {
+        /// Session key `K_a`.
+        ka: KeyId,
+        /// Current group key as A believes it.
+        kg: KeyId,
+        /// A's view of the membership.
+        view: BTreeSet<AgentId>,
+    },
+    /// Gave up after a `connection_denied`.
+    Denied,
+}
+
+/// The leader's per-user slot in the legacy protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LegacySlot {
+    /// Not connected.
+    NotConnected,
+    /// Received `req_open`, sent `ack_open`, awaiting auth message 1.
+    PreAuthed,
+    /// Sent auth message 2; awaiting `{N2}_Ka`.
+    WaitAuth3(NonceId, KeyId),
+    /// A member with this session key.
+    Member(KeyId),
+}
+
+/// Global state of the legacy model.
+///
+/// The scenario is fixed: honest `A` joins a group whose leader `L` already
+/// has the compromised member `B` connected (so the intruder coalition
+/// holds `B`'s session key and every group key ever distributed — exactly
+/// the insider the paper postulates).
+#[derive(Clone, Debug)]
+pub struct LegacySystem {
+    /// A's local state.
+    pub user_a: LegacyUserState,
+    /// Leader slot for A.
+    pub slot_a: LegacySlot,
+    /// Current group key (leader's view).
+    pub group_key: KeyId,
+    /// Epoch of the current group key (index in allocation order).
+    pub leader_epoch: u32,
+    /// Highest group-key epoch A has ever held (for rollback detection).
+    pub a_max_epoch: u32,
+    /// Epoch of the key A currently holds (valid when A is a member).
+    pub a_epoch: u32,
+    /// Removal notices L actually sent to A.
+    pub removed_sent_to_a: BTreeSet<AgentId>,
+    /// Whether L ever denied A (the model's leader never does).
+    pub leader_denied: bool,
+    /// Event trace.
+    pub trace: Trace,
+    /// Intruder coalition knowledge.
+    pub intruder: Knowledge,
+    /// Fresh-value counters.
+    next_nonce: u32,
+    next_session: u32,
+    next_group: u32,
+    /// Rekeys performed so far.
+    pub rekeys: u32,
+}
+
+/// Bounds for legacy exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct LegacyBounds {
+    /// Maximum trace length.
+    pub max_events: usize,
+    /// Maximum states.
+    pub max_states: usize,
+    /// Maximum leader rekeys.
+    pub max_rekeys: u32,
+}
+
+impl Default for LegacyBounds {
+    fn default() -> Self {
+        LegacyBounds {
+            max_events: 14,
+            max_states: 500_000,
+            max_rekeys: 2,
+        }
+    }
+}
+
+/// The safety properties the legacy protocol *fails* (Section 2.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LegacyProperty {
+    /// A is never denied unless the leader denied it.
+    NoFalseDenial,
+    /// A's membership view only loses members the leader removed.
+    ViewAccuracy,
+    /// A's group key never rolls back to an older epoch.
+    NoKeyRollback,
+}
+
+impl LegacyProperty {
+    /// All properties.
+    pub const ALL: [LegacyProperty; 3] = [
+        LegacyProperty::NoFalseDenial,
+        LegacyProperty::ViewAccuracy,
+        LegacyProperty::NoKeyRollback,
+    ];
+
+    /// Checks the property; `Err` describes the violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated property.
+    pub fn check(self, s: &LegacySystem) -> Result<(), String> {
+        match self {
+            LegacyProperty::NoFalseDenial => {
+                if matches!(s.user_a, LegacyUserState::Denied) && !s.leader_denied {
+                    Err("A denied although the leader never denied".into())
+                } else {
+                    Ok(())
+                }
+            }
+            LegacyProperty::ViewAccuracy => {
+                if let LegacyUserState::Member { view, .. } = &s.user_a {
+                    // Initial view is {A, B}; any member missing without a
+                    // leader-sent removal is a corruption.
+                    for u in [AgentId::ALICE, AgentId::BRUTUS] {
+                        if !view.contains(&u) && !s.removed_sent_to_a.contains(&u) {
+                            return Err(format!(
+                                "A believes {u} left but L never sent mem_removed({u})"
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            LegacyProperty::NoKeyRollback => {
+                if matches!(s.user_a, LegacyUserState::Member { .. }) && s.a_epoch < s.a_max_epoch
+                {
+                    Err(format!(
+                        "A rolled back from group-key epoch {} to {}",
+                        s.a_max_epoch, s.a_epoch
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A move in the legacy model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LegacyMove {
+    /// A sends `req_open`.
+    AReqOpen,
+    /// A accepts an `ack_open` and sends auth message 1.
+    AAcceptOpen,
+    /// A accepts a `connection_denied` and gives up.
+    AAcceptDenied,
+    /// A accepts auth message 2 (becomes a member) and sends message 3.
+    AAcceptAuth2 {
+        /// Leader nonce `N2` from the message.
+        n2: NonceId,
+        /// Session key from the message.
+        ka: KeyId,
+        /// Group key from the message.
+        kg: KeyId,
+    },
+    /// A accepts a `new_key` message.
+    AAcceptNewKey {
+        /// The (allegedly new) group key.
+        kg: KeyId,
+    },
+    /// A accepts a `mem_removed` notice.
+    AAcceptRemoved {
+        /// The removed member.
+        who: AgentId,
+    },
+    /// L replies `ack_open` to a `req_open`.
+    LAckOpen,
+    /// L processes auth message 1 and sends message 2.
+    LAcceptAuth1 {
+        /// A's nonce `N1`.
+        n1: NonceId,
+    },
+    /// L processes auth message 3.
+    LAcceptAuth3,
+    /// L rekeys the group: allocates a fresh group key and pushes
+    /// `new_key` to A (B "receives" it via intruder knowledge).
+    LRekey,
+    /// The intruder injects a message.
+    Intruder {
+        /// Message label.
+        label: Label,
+        /// Claimed sender.
+        sender: AgentId,
+        /// Recipient.
+        recipient: AgentId,
+        /// Content.
+        content: Field,
+    },
+}
+
+const A: AgentId = AgentId::ALICE;
+const B: AgentId = AgentId::BRUTUS;
+const L: AgentId = AgentId::LEADER;
+
+impl LegacySystem {
+    /// The initial state: B is already a member (its session key and the
+    /// initial group key are intruder knowledge); A is idle.
+    #[must_use]
+    pub fn initial() -> Self {
+        let mut intruder = Knowledge::new();
+        for agent in [A, B, L, AgentId::EVE] {
+            intruder.observe(&Field::Agent(agent));
+        }
+        // B's long-term key, session key, and the initial group key: the
+        // insider's endowment.
+        intruder.observe(&Field::Key(KeyId::LongTerm(B)));
+        intruder.observe(&Field::Key(KeyId::Session(100)));
+        intruder.observe(&Field::Key(KeyId::Group(0)));
+        LegacySystem {
+            user_a: LegacyUserState::Idle,
+            slot_a: LegacySlot::NotConnected,
+            group_key: KeyId::Group(0),
+            leader_epoch: 0,
+            a_max_epoch: 0,
+            a_epoch: 0,
+            removed_sent_to_a: BTreeSet::new(),
+            leader_denied: false,
+            trace: Trace::new(),
+            intruder: Knowledge::from_initial(
+                intruder.analyzed().iter().cloned().collect::<Vec<_>>(),
+            ),
+            next_nonce: 0,
+            next_session: 0,
+            next_group: 1,
+            rekeys: 0,
+        }
+    }
+
+    fn fresh_nonce(&mut self) -> NonceId {
+        let n = NonceId(self.next_nonce);
+        self.next_nonce += 1;
+        n
+    }
+
+    fn fresh_session(&mut self) -> KeyId {
+        let k = KeyId::Session(self.next_session);
+        self.next_session += 1;
+        k
+    }
+
+    fn fresh_group(&mut self) -> KeyId {
+        let k = KeyId::Group(self.next_group);
+        self.next_group += 1;
+        k
+    }
+
+    fn epoch_of(k: KeyId) -> u32 {
+        match k {
+            KeyId::Group(n) => n,
+            _ => u32::MAX,
+        }
+    }
+
+    fn push(&mut self, label: Label, sender: AgentId, recipient: AgentId, content: Field) {
+        self.intruder.observe(&content);
+        self.trace.push(Event::Msg {
+            label,
+            sender,
+            recipient,
+            content,
+            actor: sender,
+        });
+    }
+
+    fn push_intruder(&mut self, label: Label, sender: AgentId, recipient: AgentId, content: Field) {
+        self.intruder.observe(&content);
+        self.trace.push(Event::Msg {
+            label,
+            sender,
+            recipient,
+            content,
+            actor: AgentId::EVE,
+        });
+    }
+
+    /// Legacy auth message 2 content: `{L, A, N1, N2, Ka, Kg}_Pa`.
+    #[must_use]
+    pub fn auth2_content(n1: NonceId, n2: NonceId, ka: KeyId, kg: KeyId) -> Field {
+        Field::enc(
+            Field::concat(vec![
+                Field::Agent(L),
+                Field::Agent(A),
+                Field::Nonce(n1),
+                Field::Nonce(n2),
+                Field::Key(ka),
+                Field::Key(kg),
+            ]),
+            KeyId::LongTerm(A),
+        )
+    }
+
+    /// Legacy `new_key` content: `{Kg'}_Ka`.
+    #[must_use]
+    pub fn new_key_content(kg: KeyId, ka: KeyId) -> Field {
+        Field::enc(Field::Key(kg), ka)
+    }
+
+    /// Legacy `mem_removed` content: `{U}_Kg`.
+    #[must_use]
+    pub fn mem_removed_content(who: AgentId, kg: KeyId) -> Field {
+        Field::enc(Field::Agent(who), kg)
+    }
+
+    /// Enumerates enabled moves.
+    #[must_use]
+    pub fn enumerate_moves(&self, bounds: &LegacyBounds) -> Vec<LegacyMove> {
+        let mut moves = Vec::new();
+
+        // --- Honest A ---
+        match &self.user_a {
+            LegacyUserState::Idle => moves.push(LegacyMove::AReqOpen),
+            LegacyUserState::WaitOpenAck => {
+                if self
+                    .trace
+                    .receivable(Label::LegacyAckOpen, A)
+                    .next()
+                    .is_some()
+                {
+                    moves.push(LegacyMove::AAcceptOpen);
+                }
+                if self
+                    .trace
+                    .receivable(Label::LegacyConnectionDenied, A)
+                    .next()
+                    .is_some()
+                {
+                    moves.push(LegacyMove::AAcceptDenied);
+                }
+            }
+            LegacyUserState::WaitAuth2(n1) => {
+                let mut seen = HashSet::new();
+                for (_, content) in self.trace.receivable(Label::LegacyAuth2, A) {
+                    if let Field::Enc(body, k) = content {
+                        if *k != KeyId::LongTerm(A) {
+                            continue;
+                        }
+                        if let [Field::Agent(l2), Field::Agent(a2), Field::Nonce(rn1), Field::Nonce(n2), Field::Key(ka), Field::Key(kg)] =
+                            body.flatten().as_slice()
+                        {
+                            if *l2 == L && *a2 == A && rn1 == n1 && seen.insert((*n2, *ka, *kg)) {
+                                moves.push(LegacyMove::AAcceptAuth2 {
+                                    n2: *n2,
+                                    ka: *ka,
+                                    kg: *kg,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            LegacyUserState::Member { ka, kg, .. } => {
+                let mut seen = HashSet::new();
+                // new_key: ANY {Kg'}_Ka is accepted — the flaw.
+                for (_, content) in self.trace.receivable(Label::LegacyNewKey, A) {
+                    if let Field::Enc(body, k) = content {
+                        if k == ka {
+                            if let Field::Key(new_kg) = body.as_ref() {
+                                if seen.insert(*new_kg) {
+                                    moves.push(LegacyMove::AAcceptNewKey { kg: *new_kg });
+                                }
+                            }
+                        }
+                    }
+                }
+                // mem_removed: ANY {U}_Kg under the current group key — the
+                // flaw: every member can construct this.
+                let mut seen_rm = HashSet::new();
+                for (_, content) in self.trace.receivable(Label::LegacyMemRemoved, A) {
+                    if let Field::Enc(body, k) = content {
+                        if k == kg {
+                            if let Field::Agent(u) = body.as_ref() {
+                                if seen_rm.insert(*u) {
+                                    moves.push(LegacyMove::AAcceptRemoved { who: *u });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            LegacyUserState::Denied => {}
+        }
+
+        // --- Honest L (slot for A) ---
+        match &self.slot_a {
+            LegacySlot::NotConnected => {
+                if self
+                    .trace
+                    .receivable(Label::LegacyReqOpen, L)
+                    .next()
+                    .is_some()
+                {
+                    moves.push(LegacyMove::LAckOpen);
+                }
+            }
+            LegacySlot::PreAuthed => {
+                let mut seen = HashSet::new();
+                for (_, content) in self.trace.receivable(Label::LegacyAuth1, L) {
+                    if let Field::Enc(body, k) = content {
+                        if *k != KeyId::LongTerm(A) {
+                            continue;
+                        }
+                        if let [Field::Agent(a2), Field::Agent(l2), Field::Nonce(n1)] =
+                            body.flatten().as_slice()
+                        {
+                            if *a2 == A && *l2 == L && seen.insert(*n1) {
+                                moves.push(LegacyMove::LAcceptAuth1 { n1: *n1 });
+                            }
+                        }
+                    }
+                }
+            }
+            LegacySlot::WaitAuth3(n2, ka) => {
+                let want = Field::enc(Field::Nonce(*n2), *ka);
+                if self
+                    .trace
+                    .receivable(Label::LegacyAuth3, L)
+                    .any(|(_, c)| *c == want)
+                {
+                    moves.push(LegacyMove::LAcceptAuth3);
+                }
+            }
+            LegacySlot::Member(_) => {
+                if self.rekeys < bounds.max_rekeys {
+                    moves.push(LegacyMove::LRekey);
+                }
+            }
+        }
+
+        // --- Intruder ---
+        // Forged cleartext pre-auth replies (the DoS of Section 2.3).
+        if matches!(self.user_a, LegacyUserState::WaitOpenAck) {
+            for (label, content) in [
+                (Label::LegacyConnectionDenied, Field::Agent(L)),
+                (Label::LegacyAckOpen, Field::Agent(L)),
+            ] {
+                let dup = self
+                    .trace
+                    .receivable(label, A)
+                    .any(|(_, c)| *c == content);
+                if !dup {
+                    moves.push(LegacyMove::Intruder {
+                        label,
+                        sender: L,
+                        recipient: A,
+                        content,
+                    });
+                }
+            }
+        }
+        // Replays of new_key-shaped contents under a *different* label are
+        // pointless; what matters is re-delivery of an OLD new_key message,
+        // which the model covers because old messages stay receivable. The
+        // insider's forged mem_removed, however, is a fresh construction:
+        if let LegacyUserState::Member { kg, .. } = &self.user_a {
+            if self.intruder.knows_key(*kg) {
+                for who in [A, B] {
+                    let content = Self::mem_removed_content(who, *kg);
+                    let dup = self
+                        .trace
+                        .receivable(Label::LegacyMemRemoved, A)
+                        .any(|(_, c)| *c == content);
+                    if !dup {
+                        moves.push(LegacyMove::Intruder {
+                            label: Label::LegacyMemRemoved,
+                            sender: L,
+                            recipient: A,
+                            content,
+                        });
+                    }
+                }
+            }
+        }
+
+        moves
+    }
+
+    /// Applies a move, returning the successor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move is not enabled.
+    #[must_use]
+    pub fn apply(&self, mv: &LegacyMove) -> LegacySystem {
+        let mut s = self.clone();
+        match mv {
+            LegacyMove::AReqOpen => {
+                s.user_a = LegacyUserState::WaitOpenAck;
+                s.push(Label::LegacyReqOpen, A, L, Field::Agent(A));
+            }
+            LegacyMove::AAcceptOpen => {
+                let n1 = s.fresh_nonce();
+                s.user_a = LegacyUserState::WaitAuth2(n1);
+                let content = crate::user::auth_init_content(A, L, n1);
+                s.push(Label::LegacyAuth1, A, L, content);
+            }
+            LegacyMove::AAcceptDenied => {
+                s.user_a = LegacyUserState::Denied;
+            }
+            LegacyMove::AAcceptAuth2 { n2, ka, kg } => {
+                let mut view = BTreeSet::new();
+                view.insert(A);
+                view.insert(B);
+                s.user_a = LegacyUserState::Member {
+                    ka: *ka,
+                    kg: *kg,
+                    view,
+                };
+                s.a_epoch = Self::epoch_of(*kg);
+                s.a_max_epoch = s.a_max_epoch.max(s.a_epoch);
+                let content = Field::enc(Field::Nonce(*n2), *ka);
+                s.push(Label::LegacyAuth3, A, L, content);
+            }
+            LegacyMove::AAcceptNewKey { kg } => {
+                if let LegacyUserState::Member {
+                    kg: cur_kg, ka, ..
+                } = &mut s.user_a
+                {
+                    *cur_kg = *kg;
+                    let ka = *ka;
+                    s.a_epoch = Self::epoch_of(*kg);
+                    s.a_max_epoch = s.a_max_epoch.max(s.a_epoch);
+                    // Acknowledge: {Kg'}_Kg'.
+                    let content = Field::enc(Field::Key(*kg), *kg);
+                    s.push(Label::LegacyNewKeyAck, A, L, content);
+                    let _ = ka;
+                } else {
+                    panic!("AAcceptNewKey while not a member");
+                }
+            }
+            LegacyMove::AAcceptRemoved { who } => {
+                if let LegacyUserState::Member { view, .. } = &mut s.user_a {
+                    view.remove(who);
+                } else {
+                    panic!("AAcceptRemoved while not a member");
+                }
+            }
+            LegacyMove::LAckOpen => {
+                s.slot_a = LegacySlot::PreAuthed;
+                s.push(Label::LegacyAckOpen, L, A, Field::Agent(L));
+            }
+            LegacyMove::LAcceptAuth1 { n1 } => {
+                let n2 = s.fresh_nonce();
+                let ka = s.fresh_session();
+                s.slot_a = LegacySlot::WaitAuth3(n2, ka);
+                let content = Self::auth2_content(*n1, n2, ka, s.group_key);
+                s.push(Label::LegacyAuth2, L, A, content);
+            }
+            LegacyMove::LAcceptAuth3 => {
+                if let LegacySlot::WaitAuth3(_, ka) = s.slot_a {
+                    s.slot_a = LegacySlot::Member(ka);
+                } else {
+                    panic!("LAcceptAuth3 in wrong slot state");
+                }
+            }
+            LegacyMove::LRekey => {
+                let new_kg = s.fresh_group();
+                s.group_key = new_kg;
+                s.leader_epoch = Self::epoch_of(new_kg);
+                s.rekeys += 1;
+                // Push new_key to A if A has a session key at the leader.
+                if let LegacySlot::Member(ka) | LegacySlot::WaitAuth3(_, ka) = s.slot_a {
+                    let content = Self::new_key_content(new_kg, ka);
+                    s.push(Label::LegacyNewKey, L, A, content);
+                }
+                // B "receives" the new key legitimately: it enters the
+                // intruder coalition's knowledge.
+                s.intruder.observe(&Field::Key(new_kg));
+            }
+            LegacyMove::Intruder {
+                label,
+                sender,
+                recipient,
+                content,
+            } => {
+                s.push_intruder(*label, *sender, *recipient, content.clone());
+            }
+        }
+        s
+    }
+
+    /// Canonical deduplication key.
+    #[must_use]
+    pub fn canonical_key(&self) -> (LegacyUserState, LegacySlot, Vec<(Label, AgentId, Field)>, u32) {
+        let mut msgs: Vec<(Label, AgentId, Field)> = self
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Msg {
+                    label,
+                    recipient,
+                    content,
+                    ..
+                } => Some((*label, *recipient, content.clone())),
+                Event::Oops { .. } => None,
+            })
+            .collect();
+        msgs.sort();
+        msgs.dedup();
+        (self.user_a.clone(), self.slot_a, msgs, self.a_max_epoch)
+    }
+}
+
+/// Result of a legacy property search.
+#[derive(Debug)]
+pub struct LegacyFinding {
+    /// The property checked.
+    pub property: LegacyProperty,
+    /// `Some(description, state)` if a counterexample was found.
+    pub counterexample: Option<(String, LegacySystem)>,
+    /// States explored.
+    pub states: usize,
+}
+
+/// Bounded exhaustive explorer for the legacy model.
+pub struct LegacyExplorer {
+    bounds: LegacyBounds,
+}
+
+impl LegacyExplorer {
+    /// Creates an explorer with the given bounds.
+    #[must_use]
+    pub fn new(bounds: LegacyBounds) -> Self {
+        LegacyExplorer { bounds }
+    }
+
+    /// Searches for a violation of `property`, breadth-first.
+    #[must_use]
+    pub fn find_attack(&self, property: LegacyProperty) -> LegacyFinding {
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        let initial = LegacySystem::initial();
+        visited.insert(initial.canonical_key());
+        queue.push_back(initial);
+        let mut states = 0usize;
+
+        while let Some(state) = queue.pop_front() {
+            states += 1;
+            if let Err(description) = property.check(&state) {
+                return LegacyFinding {
+                    property,
+                    counterexample: Some((description, state)),
+                    states,
+                };
+            }
+            if state.trace.len() >= self.bounds.max_events || states >= self.bounds.max_states {
+                continue;
+            }
+            for mv in state.enumerate_moves(&self.bounds) {
+                let next = state.apply(&mv);
+                if visited.insert(next.canonical_key()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        LegacyFinding {
+            property,
+            counterexample: None,
+            states,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_a1_false_denial_found() {
+        let finding =
+            LegacyExplorer::new(LegacyBounds::default()).find_attack(LegacyProperty::NoFalseDenial);
+        let (desc, state) = finding
+            .counterexample
+            .expect("the forged connection_denied DoS must be found");
+        assert!(desc.contains("denied"), "{desc}");
+        // The counterexample trace contains a forged (intruder-actor)
+        // connection_denied.
+        let forged = state.trace.events().iter().any(|e| {
+            matches!(
+                e,
+                Event::Msg {
+                    label: Label::LegacyConnectionDenied,
+                    actor: AgentId::EVE,
+                    ..
+                }
+            )
+        });
+        assert!(forged, "counterexample should include the forgery:\n{:?}", state.trace);
+    }
+
+    #[test]
+    fn attack_a2_view_corruption_found() {
+        let finding =
+            LegacyExplorer::new(LegacyBounds::default()).find_attack(LegacyProperty::ViewAccuracy);
+        let (desc, state) = finding
+            .counterexample
+            .expect("the forged mem_removed attack must be found");
+        assert!(desc.contains("left"), "{desc}");
+        let forged = state.trace.events().iter().any(|e| {
+            matches!(
+                e,
+                Event::Msg {
+                    label: Label::LegacyMemRemoved,
+                    actor: AgentId::EVE,
+                    ..
+                }
+            )
+        });
+        assert!(forged, "{:?}", state.trace);
+    }
+
+    #[test]
+    fn attack_a3_key_rollback_found() {
+        let finding =
+            LegacyExplorer::new(LegacyBounds::default()).find_attack(LegacyProperty::NoKeyRollback);
+        let (desc, state) = finding
+            .counterexample
+            .expect("the rekey replay attack must be found");
+        assert!(desc.contains("rolled back"), "{desc}");
+        // The trace must contain at least two new_key messages (two rekeys)
+        // with A accepting the stale one after the fresh one.
+        let new_keys = state
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Msg { label: Label::LegacyNewKey, .. }))
+            .count();
+        assert!(new_keys >= 2, "{:?}", state.trace);
+    }
+
+    #[test]
+    fn honest_run_reaches_membership() {
+        // Drive the happy path by always preferring honest moves.
+        let bounds = LegacyBounds::default();
+        let mut s = LegacySystem::initial();
+        for _ in 0..10 {
+            let moves = s.enumerate_moves(&bounds);
+            let Some(mv) = moves
+                .iter()
+                .find(|m| !matches!(m, LegacyMove::Intruder { .. }))
+            else {
+                break;
+            };
+            s = s.apply(mv);
+            if matches!(s.user_a, LegacyUserState::Member { .. })
+                && matches!(s.slot_a, LegacySlot::Member(_))
+            {
+                break;
+            }
+        }
+        assert!(
+            matches!(s.user_a, LegacyUserState::Member { .. }),
+            "A failed to join: {:?}",
+            s.user_a
+        );
+        assert!(matches!(s.slot_a, LegacySlot::Member(_)));
+    }
+
+    #[test]
+    fn intruder_initially_knows_insider_material() {
+        let s = LegacySystem::initial();
+        assert!(s.intruder.knows_key(KeyId::LongTerm(B)));
+        assert!(s.intruder.knows_key(KeyId::Group(0)));
+        assert!(!s.intruder.knows_key(KeyId::LongTerm(A)));
+    }
+
+    #[test]
+    fn rekey_keys_reach_intruder_as_member_b() {
+        let bounds = LegacyBounds::default();
+        let mut s = LegacySystem::initial();
+        // Walk the honest path to leader-member state, then rekey.
+        for _ in 0..10 {
+            let moves = s.enumerate_moves(&bounds);
+            if let Some(mv) = moves.iter().find(|m| matches!(m, LegacyMove::LRekey)) {
+                s = s.apply(mv);
+                break;
+            }
+            let Some(mv) = moves
+                .iter()
+                .find(|m| !matches!(m, LegacyMove::Intruder { .. }))
+            else {
+                break;
+            };
+            s = s.apply(mv);
+        }
+        assert!(
+            s.intruder.knows_key(s.group_key),
+            "member B must know the current group key"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Group-management payloads — the field `X` carried by `AdminMsg`
+//! (Section 3.2: "X may specify a new group key and initialization vector,
+//! or indicate that a member has joined or left the session").
+
+use crate::field::{AgentId, Field, KeyId, Tag};
+
+/// A group-management payload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum AdminPayload {
+    /// Distribute a new group key.
+    NewGroupKey(KeyId),
+    /// Announce that a member joined.
+    MemberJoined(AgentId),
+    /// Announce that a member left.
+    MemberLeft(AgentId),
+}
+
+impl AdminPayload {
+    /// Encodes the payload as a field of the term algebra.
+    #[must_use]
+    pub fn to_field(self) -> Field {
+        match self {
+            AdminPayload::NewGroupKey(k) => {
+                Field::concat(vec![Field::Tag(Tag::NewKey), Field::Key(k)])
+            }
+            AdminPayload::MemberJoined(a) => {
+                Field::concat(vec![Field::Tag(Tag::MemJoined), Field::Agent(a)])
+            }
+            AdminPayload::MemberLeft(a) => {
+                Field::concat(vec![Field::Tag(Tag::MemRemoved), Field::Agent(a)])
+            }
+        }
+    }
+
+    /// Decodes a payload from a field, if it has payload shape.
+    #[must_use]
+    pub fn from_field(f: &Field) -> Option<AdminPayload> {
+        match f {
+            Field::Concat(tag, rest) => match (tag.as_ref(), rest.as_ref()) {
+                (Field::Tag(Tag::NewKey), Field::Key(k)) => Some(AdminPayload::NewGroupKey(*k)),
+                (Field::Tag(Tag::MemJoined), Field::Agent(a)) => {
+                    Some(AdminPayload::MemberJoined(*a))
+                }
+                (Field::Tag(Tag::MemRemoved), Field::Agent(a)) => {
+                    Some(AdminPayload::MemberLeft(*a))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::NonceId;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let payloads = [
+            AdminPayload::NewGroupKey(KeyId::Group(3)),
+            AdminPayload::MemberJoined(AgentId::BRUTUS),
+            AdminPayload::MemberLeft(AgentId::ALICE),
+        ];
+        for p in payloads {
+            assert_eq!(AdminPayload::from_field(&p.to_field()), Some(p));
+        }
+    }
+
+    #[test]
+    fn from_field_rejects_non_payloads() {
+        assert_eq!(AdminPayload::from_field(&Field::Nonce(NonceId(0))), None);
+        assert_eq!(
+            AdminPayload::from_field(&Field::concat(vec![
+                Field::Tag(Tag::NewKey),
+                Field::Nonce(NonceId(0))
+            ])),
+            None
+        );
+        assert_eq!(
+            AdminPayload::from_field(&Field::concat(vec![
+                Field::Tag(Tag::Data),
+                Field::Agent(AgentId::ALICE)
+            ])),
+            None
+        );
+    }
+
+    #[test]
+    fn payload_fields_are_distinct() {
+        let a = AdminPayload::NewGroupKey(KeyId::Group(0)).to_field();
+        let b = AdminPayload::NewGroupKey(KeyId::Group(1)).to_field();
+        let c = AdminPayload::MemberJoined(AgentId::BRUTUS).to_field();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

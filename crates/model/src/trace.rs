@@ -1,0 +1,347 @@
+//! Events and traces (Section 4).
+//!
+//! Each message consists of a label, an apparent sender, an intended
+//! recipient, and a content field. `Oops(X)` events model key compromise:
+//! the field `X` is published to all agents. A [`Trace`] records every event
+//! that has occurred, together with incrementally maintained views
+//! (`Parts(trace)` and the raw content list) that the honest state machines
+//! and the property checkers both consume.
+
+use crate::field::{AgentId, Field};
+use crate::closure::add_parts;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Message labels.
+///
+/// The first six are the improved protocol of Section 3.2; the remainder
+/// belong to the *legacy* protocol of Section 2.2 and are used only by
+/// [`crate::legacy`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Label {
+    /// A → L: authentication initiation.
+    AuthInitReq,
+    /// L → A: session-key distribution.
+    AuthKeyDist,
+    /// A → L: key acknowledgment.
+    AuthAckKey,
+    /// L → A: group-management message.
+    AdminMsg,
+    /// A → L: group-management acknowledgment.
+    Ack,
+    /// A → L: session close request.
+    ReqClose,
+    /// Legacy A → L: `req_open` (cleartext pre-authentication).
+    LegacyReqOpen,
+    /// Legacy L → A: `ack_open` (cleartext).
+    LegacyAckOpen,
+    /// Legacy L → A: `connection_denied` (cleartext).
+    LegacyConnectionDenied,
+    /// Legacy A → L: authentication message 1, `{A, L, N1}_Pa`.
+    LegacyAuth1,
+    /// Legacy L → A: authentication message 2, `{L, A, N1, N2, Ka, Kg}_Pa`.
+    LegacyAuth2,
+    /// Legacy A → L: authentication message 3, `{N2}_Ka`.
+    LegacyAuth3,
+    /// Legacy L → A: `new_key, {Kg'}_Ka` — no freshness evidence.
+    LegacyNewKey,
+    /// Legacy A → L: `new_key_ack, {Kg'}_Kg'`.
+    LegacyNewKeyAck,
+    /// Legacy L → member: `mem_removed, {U}_Kg` — forgeable by any member.
+    LegacyMemRemoved,
+}
+
+/// A single event: a message or a key-compromise (`Oops`) event.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Event {
+    /// A message with label, *apparent* sender, intended recipient, and
+    /// content. The `actor` is the agent that actually performed the send
+    /// (the apparent sender can be spoofed by the intruder).
+    Msg {
+        /// Message type.
+        label: Label,
+        /// Apparent (claimed) sender.
+        sender: AgentId,
+        /// Intended recipient.
+        recipient: AgentId,
+        /// Message content (the encrypted part plus any cleartext fields
+        /// are folded into one field).
+        content: Field,
+        /// The agent that actually emitted the event.
+        actor: AgentId,
+    },
+    /// `Oops(X)`: field `X` (typically a discarded session key) becomes
+    /// public.
+    Oops {
+        /// The compromised field.
+        field: Field,
+    },
+}
+
+impl Event {
+    /// The content field of the event (for an `Oops`, the leaked field).
+    #[must_use]
+    pub fn content(&self) -> &Field {
+        match self {
+            Event::Msg { content, .. } => content,
+            Event::Oops { field } => field,
+        }
+    }
+
+    /// True if this is a message with the given label addressed to `to`.
+    #[must_use]
+    pub fn is_msg_to(&self, label: Label, to: AgentId) -> bool {
+        matches!(self, Event::Msg { label: l, recipient, .. } if *l == label && *recipient == to)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Msg {
+                label,
+                sender,
+                recipient,
+                content,
+                actor,
+            } => {
+                write!(f, "{label:?} {sender}→{recipient}: {content:?}")?;
+                if actor != sender {
+                    write!(f, " (by {actor})")?;
+                }
+                Ok(())
+            }
+            Event::Oops { field } => write!(f, "Oops({field:?})"),
+        }
+    }
+}
+
+/// A trace: the sequence of events so far, with cached derived views.
+///
+/// Cloning a `Trace` is cheap-ish (the event list is shared via [`Arc`] and
+/// copy-on-write on append), which matters because the explorer clones
+/// states at every branch.
+#[derive(Clone)]
+pub struct Trace {
+    events: Arc<Vec<Event>>,
+    /// `Parts(trace)` — all subfields of all contents, maintained
+    /// incrementally.
+    parts: Arc<HashSet<Field>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// The empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            events: Arc::new(Vec::new()),
+            parts: Arc::new(HashSet::new()),
+        }
+    }
+
+    /// Appends an event, updating the cached `Parts` set.
+    pub fn push(&mut self, event: Event) {
+        let parts = Arc::make_mut(&mut self.parts);
+        add_parts(event.content(), parts);
+        Arc::make_mut(&mut self.events).push(event);
+    }
+
+    /// The events in order of occurrence.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no event has occurred.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Tests `f ∈ Parts(trace)` — the workhorse of every diagram predicate.
+    #[must_use]
+    pub fn parts_contain(&self, f: &Field) -> bool {
+        self.parts.contains(f)
+    }
+
+    /// The full `Parts(trace)` set.
+    #[must_use]
+    pub fn parts(&self) -> &HashSet<Field> {
+        &self.parts
+    }
+
+    /// Iterates over message contents (underlined trace of the paper).
+    pub fn contents(&self) -> impl Iterator<Item = &Field> {
+        self.events.iter().map(Event::content)
+    }
+
+    /// Iterates over messages with a given label addressed to `to`,
+    /// yielding `(sender, content)` pairs. This is how honest agents
+    /// "receive": any matching message ever sent can be delivered
+    /// (including replays).
+    pub fn receivable(
+        &self,
+        label: Label,
+        to: AgentId,
+    ) -> impl Iterator<Item = (&AgentId, &Field)> {
+        self.events.iter().filter_map(move |e| match e {
+            Event::Msg {
+                label: l,
+                sender,
+                recipient,
+                content,
+                ..
+            } if *l == label && *recipient == to => Some((sender, content)),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Trace[{} events]", self.events.len())?;
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "  {i:3}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for Trace {}
+
+impl std::hash::Hash for Trace {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.events.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{dsl::*, KeyId, NonceId};
+
+    fn n(i: u32) -> Field {
+        nonce(NonceId(i))
+    }
+
+    fn msg(label: Label, from: AgentId, to: AgentId, content: Field) -> Event {
+        Event::Msg {
+            label,
+            sender: from,
+            recipient: to,
+            content,
+            actor: from,
+        }
+    }
+
+    #[test]
+    fn push_updates_parts_incrementally() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        let ka = KeyId::Session(0);
+        let content = Field::enc(Field::concat(vec![n(1), key(ka)]), KeyId::LongTerm(AgentId::ALICE));
+        t.push(msg(Label::AuthKeyDist, AgentId::LEADER, AgentId::ALICE, content.clone()));
+        assert_eq!(t.len(), 1);
+        assert!(t.parts_contain(&content));
+        assert!(t.parts_contain(&n(1)));
+        assert!(t.parts_contain(&key(ka)));
+        assert!(!t.parts_contain(&n(2)));
+    }
+
+    #[test]
+    fn oops_contents_enter_parts() {
+        let mut t = Trace::new();
+        t.push(Event::Oops {
+            field: key(KeyId::Session(7)),
+        });
+        assert!(t.parts_contain(&key(KeyId::Session(7))));
+    }
+
+    #[test]
+    fn receivable_filters_by_label_and_recipient() {
+        let mut t = Trace::new();
+        t.push(msg(Label::AuthInitReq, AgentId::ALICE, AgentId::LEADER, n(1)));
+        t.push(msg(Label::AuthKeyDist, AgentId::LEADER, AgentId::ALICE, n(2)));
+        t.push(msg(Label::AuthInitReq, AgentId::BRUTUS, AgentId::LEADER, n(3)));
+
+        let to_leader: Vec<_> = t.receivable(Label::AuthInitReq, AgentId::LEADER).collect();
+        assert_eq!(to_leader.len(), 2);
+        let to_alice: Vec<_> = t.receivable(Label::AuthKeyDist, AgentId::ALICE).collect();
+        assert_eq!(to_alice.len(), 1);
+        assert_eq!(to_alice[0].1, &n(2));
+        assert_eq!(t.receivable(Label::Ack, AgentId::LEADER).count(), 0);
+    }
+
+    #[test]
+    fn replays_remain_receivable() {
+        // A message, once in the trace, can be delivered arbitrarily often —
+        // this is how Paulson-style models capture replay.
+        let mut t = Trace::new();
+        t.push(msg(Label::AdminMsg, AgentId::LEADER, AgentId::ALICE, n(9)));
+        for _ in 0..3 {
+            assert_eq!(t.receivable(Label::AdminMsg, AgentId::ALICE).count(), 1);
+        }
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut t = Trace::new();
+        t.push(msg(Label::ReqClose, AgentId::ALICE, AgentId::LEADER, n(1)));
+        let snapshot = t.clone();
+        t.push(msg(Label::ReqClose, AgentId::BRUTUS, AgentId::LEADER, n(2)));
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!snapshot.parts_contain(&n(2)));
+        assert!(t.parts_contain(&n(2)));
+    }
+
+    #[test]
+    fn spoofed_sender_is_visible_via_display() {
+        let e = Event::Msg {
+            label: Label::AuthInitReq,
+            sender: AgentId::ALICE,
+            recipient: AgentId::LEADER,
+            content: n(1),
+            actor: AgentId::EVE,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("(by E)"), "{s}");
+    }
+
+    #[test]
+    fn trace_equality_and_hash_by_events() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut t1 = Trace::new();
+        let mut t2 = Trace::new();
+        let e = msg(Label::Ack, AgentId::ALICE, AgentId::LEADER, n(1));
+        t1.push(e.clone());
+        t2.push(e);
+        assert_eq!(t1, t2);
+        let hash = |t: &Trace| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&t1), hash(&t2));
+    }
+}

@@ -1,0 +1,603 @@
+//! The state-transition model of a nonfaulty user `A` (Figure 2).
+//!
+//! States:
+//!
+//! * `NotConnected` — out of the group, authentication not started;
+//! * `WaitingForKey(N_a)` — sent `AuthInitReq` carrying fresh nonce `N_a`,
+//!   awaiting the leader's reply;
+//! * `Connected(N_a, K_a)` — in the group with session key `K_a`; `N_a` is
+//!   the last nonce A generated and sent to L, hence the nonce A expects in
+//!   the next group-management message.
+//!
+//! The module exposes *move enumeration*: given the user's local state and
+//! the trace, [`enumerate_moves`] lists every transition of Figure 2 that is
+//! currently enabled. The global system applies a chosen move via
+//! [`apply_move`], which allocates fresh nonces and emits the corresponding
+//! message event.
+
+use crate::field::{AgentId, Field, KeyId, NonceId};
+use crate::trace::{Event, Label, Trace};
+
+/// The local state of user `A` (Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UserState {
+    /// Out of the group.
+    NotConnected,
+    /// Sent `AuthInitReq` with this nonce; awaiting `AuthKeyDist`.
+    WaitingForKey(NonceId),
+    /// Member of the group with session key, holding the last self-generated
+    /// nonce.
+    Connected(NonceId, KeyId),
+}
+
+impl UserState {
+    /// The session key held, if any.
+    #[must_use]
+    pub fn session_key(&self) -> Option<KeyId> {
+        match self {
+            UserState::Connected(_, k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// An enabled transition of the user machine.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UserMove {
+    /// `NotConnected → WaitingForKey`: send `AuthInitReq, A, L, {A,L,N1}_Pa`.
+    StartAuth,
+    /// `WaitingForKey → Connected`: a matching
+    /// `AuthKeyDist, L, A, {L,A,Na,Nl,Ka}_Pa` is in the trace; accept it and
+    /// reply `AuthAckKey, A, L, {A,L,Nl,N3}_Ka`.
+    AcceptKeyDist {
+        /// The leader nonce `N_l` from the accepted message.
+        leader_nonce: NonceId,
+        /// The session key `K_a` from the accepted message.
+        session_key: KeyId,
+    },
+    /// `Connected → Connected`: a matching
+    /// `AdminMsg, L, A, {L,A,Na,Nl,X}_Ka` is in the trace; accept the
+    /// payload and reply `Ack, A, L, {A,L,Nl,Na'}_Ka`.
+    AcceptAdmin {
+        /// The leader nonce `N_{2i+2}` from the accepted message.
+        leader_nonce: NonceId,
+        /// The group-management payload `X` (as a field).
+        payload: Field,
+    },
+    /// `Connected → NotConnected`: send `ReqClose, A, L, {A,L}_Ka`.
+    Close,
+}
+
+/// Builds the `AuthInitReq` content `{A, L, N1}_Pa`.
+#[must_use]
+pub fn auth_init_content(a: AgentId, leader: AgentId, n1: NonceId) -> Field {
+    Field::enc(
+        Field::concat(vec![Field::Agent(a), Field::Agent(leader), Field::Nonce(n1)]),
+        KeyId::LongTerm(a),
+    )
+}
+
+/// Builds the `AuthKeyDist` content `{L, A, Na, Nl, Ka}_Pa`.
+#[must_use]
+pub fn key_dist_content(
+    leader: AgentId,
+    a: AgentId,
+    na: NonceId,
+    nl: NonceId,
+    ka: KeyId,
+) -> Field {
+    Field::enc(
+        Field::concat(vec![
+            Field::Agent(leader),
+            Field::Agent(a),
+            Field::Nonce(na),
+            Field::Nonce(nl),
+            Field::Key(ka),
+        ]),
+        KeyId::LongTerm(a),
+    )
+}
+
+/// Builds the `AuthAckKey` content `{A, L, Nl, N3}_Ka`.
+#[must_use]
+pub fn key_ack_content(a: AgentId, leader: AgentId, nl: NonceId, n3: NonceId, ka: KeyId) -> Field {
+    Field::enc(
+        Field::concat(vec![
+            Field::Agent(a),
+            Field::Agent(leader),
+            Field::Nonce(nl),
+            Field::Nonce(n3),
+        ]),
+        ka,
+    )
+}
+
+/// Builds the `AdminMsg` content `{L, A, Na, Nl, X}_Ka`.
+#[must_use]
+pub fn admin_content(
+    leader: AgentId,
+    a: AgentId,
+    na: NonceId,
+    nl: NonceId,
+    payload: Field,
+    ka: KeyId,
+) -> Field {
+    Field::enc(
+        Field::concat(vec![
+            Field::Agent(leader),
+            Field::Agent(a),
+            Field::Nonce(na),
+            Field::Nonce(nl),
+            payload,
+        ]),
+        ka,
+    )
+}
+
+/// Builds the `Ack` content `{A, L, Nl, Na'}_Ka`.
+#[must_use]
+pub fn ack_content(a: AgentId, leader: AgentId, nl: NonceId, na2: NonceId, ka: KeyId) -> Field {
+    Field::enc(
+        Field::concat(vec![
+            Field::Agent(a),
+            Field::Agent(leader),
+            Field::Nonce(nl),
+            Field::Nonce(na2),
+        ]),
+        ka,
+    )
+}
+
+/// Builds the `ReqClose` content `{A, L}_Ka`.
+#[must_use]
+pub fn close_content(a: AgentId, leader: AgentId, ka: KeyId) -> Field {
+    Field::enc(
+        Field::concat(vec![Field::Agent(a), Field::Agent(leader)]),
+        ka,
+    )
+}
+
+/// Destructures an `AuthKeyDist` content `{L, A, Na, Nl, Ka}_Pa` for the
+/// given `a`/`leader`/`na`, returning `(Nl, Ka)` on match.
+#[must_use]
+pub fn match_key_dist(
+    content: &Field,
+    leader: AgentId,
+    a: AgentId,
+    na: NonceId,
+) -> Option<(NonceId, KeyId)> {
+    let Field::Enc(body, k) = content else {
+        return None;
+    };
+    if *k != KeyId::LongTerm(a) {
+        return None;
+    }
+    match body.flatten().as_slice() {
+        [Field::Agent(l2), Field::Agent(a2), Field::Nonce(na2), Field::Nonce(nl), Field::Key(ka)]
+            if *l2 == leader && *a2 == a && *na2 == na =>
+        {
+            Some((*nl, *ka))
+        }
+        _ => None,
+    }
+}
+
+/// Destructures an `AdminMsg` content `{L, A, Na, Nl, X}_Ka`, returning
+/// `(Nl, X)` on match.
+#[must_use]
+pub fn match_admin(
+    content: &Field,
+    leader: AgentId,
+    a: AgentId,
+    na: NonceId,
+    ka: KeyId,
+) -> Option<(NonceId, Field)> {
+    let Field::Enc(body, k) = content else {
+        return None;
+    };
+    if *k != ka {
+        return None;
+    }
+    // Shape: Concat(L, Concat(A, Concat(Na, Concat(Nl, X)))).
+    let Field::Concat(l2, rest) = body.as_ref() else {
+        return None;
+    };
+    let Field::Concat(a2, rest) = rest.as_ref() else {
+        return None;
+    };
+    let Field::Concat(na2, rest) = rest.as_ref() else {
+        return None;
+    };
+    let Field::Concat(nl, x) = rest.as_ref() else {
+        return None;
+    };
+    match (l2.as_ref(), a2.as_ref(), na2.as_ref(), nl.as_ref()) {
+        (Field::Agent(l), Field::Agent(aa), Field::Nonce(n), Field::Nonce(nl))
+            if *l == leader && *aa == a && *n == na =>
+        {
+            Some((*nl, x.as_ref().clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Enumerates the moves of Figure 2 enabled for user `a` in `state` given
+/// `trace`.
+///
+/// `allow_start` and `allow_close` let the caller bound the number of
+/// sessions explored.
+#[must_use]
+pub fn enumerate_moves(
+    a: AgentId,
+    leader: AgentId,
+    state: &UserState,
+    trace: &Trace,
+    allow_start: bool,
+    allow_close: bool,
+) -> Vec<UserMove> {
+    let mut moves = Vec::new();
+    match state {
+        UserState::NotConnected => {
+            if allow_start {
+                moves.push(UserMove::StartAuth);
+            }
+        }
+        UserState::WaitingForKey(na) => {
+            let mut seen = std::collections::HashSet::new();
+            for (_, content) in trace.receivable(Label::AuthKeyDist, a) {
+                if let Some((nl, ka)) = match_key_dist(content, leader, a, *na) {
+                    if seen.insert((nl, ka)) {
+                        moves.push(UserMove::AcceptKeyDist {
+                            leader_nonce: nl,
+                            session_key: ka,
+                        });
+                    }
+                }
+            }
+        }
+        UserState::Connected(na, ka) => {
+            let mut seen = std::collections::HashSet::new();
+            for (_, content) in trace.receivable(Label::AdminMsg, a) {
+                if let Some((nl, x)) = match_admin(content, leader, a, *na, *ka) {
+                    if seen.insert((nl, x.clone())) {
+                        moves.push(UserMove::AcceptAdmin {
+                            leader_nonce: nl,
+                            payload: x,
+                        });
+                    }
+                }
+            }
+            if allow_close {
+                moves.push(UserMove::Close);
+            }
+        }
+    }
+    moves
+}
+
+/// The effect of applying a user move: the new local state and the event to
+/// append to the trace.
+#[derive(Clone, Debug)]
+pub struct UserEffect {
+    /// New local state.
+    pub state: UserState,
+    /// Event emitted by the transition.
+    pub event: Event,
+    /// Payload accepted by an [`UserMove::AcceptAdmin`] transition, to be
+    /// appended to `rcv_A`.
+    pub received_payload: Option<Field>,
+}
+
+/// Applies `mv` for user `a`, drawing fresh nonces from `fresh_nonce`.
+///
+/// # Panics
+///
+/// Panics if `mv` is not enabled in `state` (the enumerator and the
+/// applier must be used together).
+#[must_use]
+pub fn apply_move(
+    a: AgentId,
+    leader: AgentId,
+    state: &UserState,
+    mv: &UserMove,
+    mut fresh_nonce: impl FnMut() -> NonceId,
+) -> UserEffect {
+    match (state, mv) {
+        (UserState::NotConnected, UserMove::StartAuth) => {
+            let n1 = fresh_nonce();
+            UserEffect {
+                state: UserState::WaitingForKey(n1),
+                event: Event::Msg {
+                    label: Label::AuthInitReq,
+                    sender: a,
+                    recipient: leader,
+                    content: auth_init_content(a, leader, n1),
+                    actor: a,
+                },
+                received_payload: None,
+            }
+        }
+        (
+            UserState::WaitingForKey(_),
+            UserMove::AcceptKeyDist {
+                leader_nonce,
+                session_key,
+            },
+        ) => {
+            let n3 = fresh_nonce();
+            UserEffect {
+                state: UserState::Connected(n3, *session_key),
+                event: Event::Msg {
+                    label: Label::AuthAckKey,
+                    sender: a,
+                    recipient: leader,
+                    content: key_ack_content(a, leader, *leader_nonce, n3, *session_key),
+                    actor: a,
+                },
+                received_payload: None,
+            }
+        }
+        (
+            UserState::Connected(_, ka),
+            UserMove::AcceptAdmin {
+                leader_nonce,
+                payload,
+            },
+        ) => {
+            let na2 = fresh_nonce();
+            UserEffect {
+                state: UserState::Connected(na2, *ka),
+                event: Event::Msg {
+                    label: Label::Ack,
+                    sender: a,
+                    recipient: leader,
+                    content: ack_content(a, leader, *leader_nonce, na2, *ka),
+                    actor: a,
+                },
+                received_payload: Some(payload.clone()),
+            }
+        }
+        (UserState::Connected(_, ka), UserMove::Close) => UserEffect {
+            state: UserState::NotConnected,
+            event: Event::Msg {
+                label: Label::ReqClose,
+                sender: a,
+                recipient: leader,
+                content: close_content(a, leader, *ka),
+                actor: a,
+            },
+            received_payload: None,
+        },
+        (s, m) => panic!("user move {m:?} not enabled in state {s:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Tag;
+
+    const A: AgentId = AgentId::ALICE;
+    const L: AgentId = AgentId::LEADER;
+    const KA: KeyId = KeyId::Session(0);
+
+    fn push_msg(t: &mut Trace, label: Label, from: AgentId, to: AgentId, content: Field) {
+        t.push(Event::Msg {
+            label,
+            sender: from,
+            recipient: to,
+            content,
+            actor: from,
+        });
+    }
+
+    #[test]
+    fn not_connected_can_only_start() {
+        let t = Trace::new();
+        let moves = enumerate_moves(A, L, &UserState::NotConnected, &t, true, true);
+        assert_eq!(moves, vec![UserMove::StartAuth]);
+        let none = enumerate_moves(A, L, &UserState::NotConnected, &t, false, true);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn start_auth_sends_init_and_waits() {
+        let mut next = 0u32;
+        let eff = apply_move(A, L, &UserState::NotConnected, &UserMove::StartAuth, || {
+            let n = NonceId(next);
+            next += 1;
+            n
+        });
+        assert_eq!(eff.state, UserState::WaitingForKey(NonceId(0)));
+        match &eff.event {
+            Event::Msg {
+                label: Label::AuthInitReq,
+                sender,
+                recipient,
+                content,
+                ..
+            } => {
+                assert_eq!((*sender, *recipient), (A, L));
+                assert_eq!(content, &auth_init_content(A, L, NonceId(0)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waiting_accepts_only_matching_key_dist() {
+        let na = NonceId(0);
+        let mut t = Trace::new();
+        // Matching message.
+        push_msg(
+            &mut t,
+            Label::AuthKeyDist,
+            L,
+            A,
+            key_dist_content(L, A, na, NonceId(1), KA),
+        );
+        // Wrong user nonce.
+        push_msg(
+            &mut t,
+            Label::AuthKeyDist,
+            L,
+            A,
+            key_dist_content(L, A, NonceId(9), NonceId(2), KA),
+        );
+        // Wrong recipient.
+        push_msg(
+            &mut t,
+            Label::AuthKeyDist,
+            L,
+            AgentId::BRUTUS,
+            key_dist_content(L, A, na, NonceId(3), KA),
+        );
+        // Wrong key (encrypted under Brutus's long-term key).
+        push_msg(
+            &mut t,
+            Label::AuthKeyDist,
+            L,
+            A,
+            key_dist_content(L, AgentId::BRUTUS, na, NonceId(4), KA),
+        );
+        let moves = enumerate_moves(A, L, &UserState::WaitingForKey(na), &t, true, true);
+        assert_eq!(
+            moves,
+            vec![UserMove::AcceptKeyDist {
+                leader_nonce: NonceId(1),
+                session_key: KA
+            }]
+        );
+    }
+
+    #[test]
+    fn accept_key_dist_connects_and_acks() {
+        let mv = UserMove::AcceptKeyDist {
+            leader_nonce: NonceId(1),
+            session_key: KA,
+        };
+        let eff = apply_move(A, L, &UserState::WaitingForKey(NonceId(0)), &mv, || {
+            NonceId(5)
+        });
+        assert_eq!(eff.state, UserState::Connected(NonceId(5), KA));
+        match &eff.event {
+            Event::Msg {
+                label: Label::AuthAckKey,
+                content,
+                ..
+            } => {
+                assert_eq!(content, &key_ack_content(A, L, NonceId(1), NonceId(5), KA));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connected_accepts_admin_with_expected_nonce_only() {
+        let na = NonceId(5);
+        let payload = Field::Tag(Tag::Data);
+        let mut t = Trace::new();
+        push_msg(
+            &mut t,
+            Label::AdminMsg,
+            L,
+            A,
+            admin_content(L, A, na, NonceId(6), payload.clone(), KA),
+        );
+        // Stale admin message (old nonce) must be ignored: replay defense.
+        push_msg(
+            &mut t,
+            Label::AdminMsg,
+            L,
+            A,
+            admin_content(L, A, NonceId(0), NonceId(7), payload.clone(), KA),
+        );
+        // Wrong session key.
+        push_msg(
+            &mut t,
+            Label::AdminMsg,
+            L,
+            A,
+            admin_content(L, A, na, NonceId(8), payload.clone(), KeyId::Session(9)),
+        );
+        let moves = enumerate_moves(A, L, &UserState::Connected(na, KA), &t, false, false);
+        assert_eq!(
+            moves,
+            vec![UserMove::AcceptAdmin {
+                leader_nonce: NonceId(6),
+                payload
+            }]
+        );
+    }
+
+    #[test]
+    fn accept_admin_rolls_nonce_and_records_payload() {
+        let payload = Field::Tag(Tag::Data);
+        let mv = UserMove::AcceptAdmin {
+            leader_nonce: NonceId(6),
+            payload: payload.clone(),
+        };
+        let eff = apply_move(A, L, &UserState::Connected(NonceId(5), KA), &mv, || {
+            NonceId(7)
+        });
+        assert_eq!(eff.state, UserState::Connected(NonceId(7), KA));
+        assert_eq!(eff.received_payload, Some(payload));
+        match &eff.event {
+            Event::Msg {
+                label: Label::Ack,
+                content,
+                ..
+            } => assert_eq!(content, &ack_content(A, L, NonceId(6), NonceId(7), KA)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_disconnects() {
+        let eff = apply_move(
+            A,
+            L,
+            &UserState::Connected(NonceId(5), KA),
+            &UserMove::Close,
+            || unreachable!("close allocates no nonce"),
+        );
+        assert_eq!(eff.state, UserState::NotConnected);
+        match &eff.event {
+            Event::Msg {
+                label: Label::ReqClose,
+                content,
+                ..
+            } => assert_eq!(content, &close_content(A, L, KA)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_match_payload_can_be_composite() {
+        // X itself may be a concat (tag + key); the parser must not absorb
+        // it into the nonce positions.
+        let payload = Field::concat(vec![Field::Tag(Tag::NewKey), Field::Key(KeyId::Group(0))]);
+        let content = admin_content(L, A, NonceId(1), NonceId(2), payload.clone(), KA);
+        let parsed = match_admin(&content, L, A, NonceId(1), KA);
+        assert_eq!(parsed, Some((NonceId(2), payload)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn apply_move_panics_on_mismatch() {
+        let _ = apply_move(A, L, &UserState::NotConnected, &UserMove::Close, || {
+            NonceId(0)
+        });
+    }
+
+    #[test]
+    fn duplicate_key_dist_yields_single_move() {
+        let na = NonceId(0);
+        let mut t = Trace::new();
+        let content = key_dist_content(L, A, na, NonceId(1), KA);
+        push_msg(&mut t, Label::AuthKeyDist, L, A, content.clone());
+        push_msg(&mut t, Label::AuthKeyDist, L, A, content);
+        let moves = enumerate_moves(A, L, &UserState::WaitingForKey(na), &t, true, true);
+        assert_eq!(moves.len(), 1);
+    }
+}

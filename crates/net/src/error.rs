@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// No frame arrived within the timeout.
+    Timeout,
+    /// The peer end of the link is gone.
+    Disconnected,
+    /// The named peer does not exist.
+    UnknownPeer(String),
+    /// The listener rejected or cannot accept a connection.
+    AcceptFailed(String),
+    /// An underlying I/O failure (message preserved).
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::UnknownPeer(name) => write!(f, "unknown peer {name}"),
+            NetError::AcceptFailed(why) => write!(f, "accept failed: {why}"),
+            NetError::Io(why) => write!(f, "i/o failure: {why}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(NetError::Timeout.to_string(), "receive timed out");
+        assert!(NetError::UnknownPeer("bob".into())
+            .to_string()
+            .contains("bob"));
+        assert!(NetError::Io("broken pipe".into())
+            .to_string()
+            .contains("broken pipe"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

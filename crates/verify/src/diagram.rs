@@ -1,0 +1,611 @@
+//! The Figure 4 verification diagram (§5.3) as an executable disjunctive
+//! invariant.
+//!
+//! Each box pairs a local-state combination `(usr_A, lead_A)` with trace
+//! side-conditions (expressed over `Parts(trace)`, exactly as the paper's
+//! predicates are). The published figure names boxes `Q1`, `Q2`, `Q3`,
+//! `Q4`, `Q12` in the text; the remaining boxes are reconstructed
+//! systematically "by examining the successive transitions A or L can
+//! execute, starting from a state that satisfies Q1" — the same procedure
+//! the paper describes. Our numbering therefore matches the paper where
+//! the paper gives names and is ours elsewhere (see `EXPERIMENTS.md`).
+//!
+//! Diagram validity is checked mechanically during exploration:
+//!
+//! 1. **Coverage** — every reachable state satisfies exactly one box
+//!    predicate ([`DiagramCoverage`], a state checker);
+//! 2. **Edge soundness** — every explored transition `q → q'` goes from
+//!    `box(q)` to a declared successor of `box(q)`
+//!    ([`DiagramEdges`], a transition checker).
+//!
+//! A violation of either falsifies the abstraction — this is the
+//! executable counterpart of the paper's per-box proof obligations.
+
+use enclaves_model::explore::{StateChecker, TransitionChecker};
+use enclaves_model::field::{AgentId, KeyId, NonceId};
+use enclaves_model::leader::{match_close, match_nonce_ack, LeaderSlot};
+use enclaves_model::system::{GlobalMove, SystemState};
+use enclaves_model::user::{match_admin, match_key_dist, UserState};
+
+/// The boxes of the (reconstructed) Figure 4 diagram.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BoxId {
+    /// `(NotConnected, NotConnected)` — the initial box.
+    Q1,
+    /// `(WaitingForKey, NotConnected)` — A requested, L has not replied.
+    Q2,
+    /// `(WaitingForKey, WaitingForKeyAck)` — both mid-handshake.
+    Q3,
+    /// `(Connected, WaitingForKeyAck)` — A accepted the key, ack in flight.
+    Q4,
+    /// `(Connected, Connected)` — the steady state; agreement holds.
+    Q5,
+    /// `(Connected, WaitingForAck)` — admin message in flight to A.
+    Q6,
+    /// `(Connected, WaitingForAck)` — A accepted it; ack in flight to L.
+    Q7,
+    /// `(NotConnected, Connected)` — A closed; L has not processed it.
+    Q8,
+    /// `(NotConnected, WaitingForAck)` — A closed mid-admin-exchange.
+    Q9,
+    /// `(WaitingForKey, Connected)` — A closed and re-requested; L lags.
+    Q10,
+    /// `(WaitingForKey, WaitingForAck)` — same, mid-admin-exchange.
+    Q11,
+    /// `(NotConnected, WaitingForKeyAck)` — L answered a (replayed)
+    /// request A is not waiting on.
+    Q12,
+    /// `(NotConnected, WaitingForKeyAck)` with A's close pending — A
+    /// connected and left before L saw the key ack.
+    Q13,
+    /// `(WaitingForKey, WaitingForKeyAck)` with A's close pending — as
+    /// Q13, after A re-requested.
+    Q14,
+}
+
+impl BoxId {
+    /// The declared successor set (every box is also its own successor —
+    /// intruder and other-agent moves stutter).
+    #[must_use]
+    pub fn successors(self) -> &'static [BoxId] {
+        use BoxId::*;
+        match self {
+            Q1 => &[Q1, Q2, Q12],
+            Q2 => &[Q2, Q3],
+            Q3 => &[Q3, Q4],
+            Q4 => &[Q4, Q5, Q13],
+            Q5 => &[Q5, Q6, Q8],
+            Q6 => &[Q6, Q7, Q9],
+            Q7 => &[Q7, Q5, Q9],
+            Q8 => &[Q8, Q1, Q9, Q10],
+            Q9 => &[Q9, Q1, Q8, Q11],
+            Q10 => &[Q10, Q11, Q2],
+            Q11 => &[Q11, Q10, Q2],
+            Q12 => &[Q12, Q3],
+            Q13 => &[Q13, Q1, Q8, Q14],
+            Q14 => &[Q14, Q10, Q2],
+        }
+    }
+
+    /// All boxes.
+    pub const ALL: [BoxId; 14] = [
+        BoxId::Q1,
+        BoxId::Q2,
+        BoxId::Q3,
+        BoxId::Q4,
+        BoxId::Q5,
+        BoxId::Q6,
+        BoxId::Q7,
+        BoxId::Q8,
+        BoxId::Q9,
+        BoxId::Q10,
+        BoxId::Q11,
+        BoxId::Q12,
+        BoxId::Q13,
+        BoxId::Q14,
+    ];
+}
+
+/// The diagram evaluator: assigns a box to each state and validates the
+/// box's trace side-conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct Diagram {
+    /// The honest user.
+    pub user: AgentId,
+    /// The leader.
+    pub leader: AgentId,
+}
+
+impl Default for Diagram {
+    fn default() -> Self {
+        Diagram {
+            user: AgentId::ALICE,
+            leader: AgentId::LEADER,
+        }
+    }
+}
+
+impl Diagram {
+    /// All `(N_l, K)` pairs from `AuthKeyDist`-shaped fields
+    /// `{L, A, na, N, K}_Pa` in `Parts(trace)`.
+    fn key_dists_for(&self, state: &SystemState, na: NonceId) -> Vec<(NonceId, KeyId)> {
+        state
+            .trace
+            .parts()
+            .iter()
+            .filter_map(|f| match_key_dist(f, self.leader, self.user, na))
+            .collect()
+    }
+
+    /// All fresh nonces from ack-shaped fields `{A, L, nl, N}_ka` in
+    /// `Parts(trace)` (covers both `AuthAckKey` and `Ack`, which share the
+    /// shape).
+    fn acks_for(&self, state: &SystemState, nl: NonceId, ka: KeyId) -> Vec<NonceId> {
+        state
+            .trace
+            .parts()
+            .iter()
+            .filter_map(|f| match_nonce_ack(f, self.user, self.leader, nl, ka))
+            .collect()
+    }
+
+    /// All leader nonces from admin-shaped fields `{L, A, na, N, X}_ka` in
+    /// `Parts(trace)`.
+    fn admins_for(&self, state: &SystemState, na: NonceId, ka: KeyId) -> Vec<NonceId> {
+        state
+            .trace
+            .parts()
+            .iter()
+            .filter_map(|f| match_admin(f, self.leader, self.user, na, ka).map(|(nl, _)| nl))
+            .collect()
+    }
+
+    /// Whether a close field `{A, L}_ka` occurs in `Parts(trace)`.
+    fn close_pending(&self, state: &SystemState, ka: KeyId) -> bool {
+        state
+            .trace
+            .parts()
+            .iter()
+            .any(|f| match_close(f, self.user, self.leader, ka))
+    }
+
+    /// Assigns the diagram box of `state`, validating the box predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when no box predicate covers the state — a
+    /// diagram violation.
+    pub fn box_of(&self, state: &SystemState) -> Result<BoxId, String> {
+        let usr = state.user_a;
+        let slot = state
+            .slots
+            .get(&self.user)
+            .copied()
+            .unwrap_or(LeaderSlot::NotConnected);
+
+        match (usr, slot) {
+            (UserState::NotConnected, LeaderSlot::NotConnected) => Ok(BoxId::Q1),
+
+            (UserState::WaitingForKey(na), LeaderSlot::NotConnected) => {
+                let dists = self.key_dists_for(state, na);
+                if dists.is_empty() {
+                    Ok(BoxId::Q2)
+                } else {
+                    Err(format!(
+                        "Q2 violated: key-dist for A's pending nonce exists while L is NotConnected: {dists:?}"
+                    ))
+                }
+            }
+
+            (UserState::NotConnected, LeaderSlot::WaitingForKeyAck(nl, ka)) => {
+                if self.close_pending(state, ka) {
+                    Ok(BoxId::Q13)
+                } else if self.acks_for(state, nl, ka).is_empty() {
+                    Ok(BoxId::Q12)
+                } else {
+                    Err(format!(
+                        "Q12 violated: a key ack for {nl:?} under {ka:?} exists although A never connected"
+                    ))
+                }
+            }
+
+            (UserState::WaitingForKey(na), LeaderSlot::WaitingForKeyAck(nl, ka)) => {
+                let bad_dists: Vec<_> = self
+                    .key_dists_for(state, na)
+                    .into_iter()
+                    .filter(|(n, k)| (*n, *k) != (nl, ka))
+                    .collect();
+                if !bad_dists.is_empty() {
+                    return Err(format!(
+                        "Q3/Q14 violated: divergent key-dists for A's nonce: {bad_dists:?}"
+                    ));
+                }
+                if self.close_pending(state, ka) {
+                    Ok(BoxId::Q14)
+                } else if self.acks_for(state, nl, ka).is_empty() {
+                    Ok(BoxId::Q3)
+                } else {
+                    Err(format!(
+                        "Q3 violated: key ack for {nl:?} exists while A is still waiting"
+                    ))
+                }
+            }
+
+            (UserState::Connected(n, k), LeaderSlot::WaitingForKeyAck(nl, ka)) => {
+                if k != ka {
+                    return Err(format!(
+                        "Q4 violated: A connected with {k:?} but L waits on {ka:?}"
+                    ));
+                }
+                if self.close_pending(state, ka) {
+                    return Err("Q4 violated: close pending while A is connected".into());
+                }
+                let bad_acks: Vec<_> = self
+                    .acks_for(state, nl, ka)
+                    .into_iter()
+                    .filter(|a| *a != n)
+                    .collect();
+                if !bad_acks.is_empty() {
+                    return Err(format!(
+                        "Q4 violated: key acks with foreign nonces: {bad_acks:?}"
+                    ));
+                }
+                if !self.admins_for(state, n, ka).is_empty() {
+                    return Err("Q4 violated: admin message for A's fresh nonce already exists"
+                        .into());
+                }
+                Ok(BoxId::Q4)
+            }
+
+            (UserState::Connected(n, k), LeaderSlot::Connected(n2, k2)) => {
+                if k != k2 || n != n2 {
+                    return Err(format!(
+                        "Q5 violated (agreement): A=({n:?},{k:?}) L=({n2:?},{k2:?})"
+                    ));
+                }
+                if self.close_pending(state, k) {
+                    return Err("Q5 violated: close pending while A is connected".into());
+                }
+                if !self.admins_for(state, n, k).is_empty() {
+                    return Err(
+                        "Q5 violated: an admin message already targets A's current nonce".into(),
+                    );
+                }
+                Ok(BoxId::Q5)
+            }
+
+            (UserState::Connected(n, k), LeaderSlot::WaitingForAck(nl, ka)) => {
+                if k != ka {
+                    return Err(format!(
+                        "Q6/Q7 violated: A holds {k:?} but L waits under {ka:?}"
+                    ));
+                }
+                if self.close_pending(state, ka) {
+                    return Err("Q6/Q7 violated: close pending while A is connected".into());
+                }
+                let acks = self.acks_for(state, nl, ka);
+                let admins = self.admins_for(state, n, ka);
+                if acks.is_empty() {
+                    // Admin in flight: it must be the unique one, echoing
+                    // A's current nonce with the leader nonce L waits on.
+                    if admins == vec![nl] {
+                        Ok(BoxId::Q6)
+                    } else {
+                        Err(format!(
+                            "Q6 violated: expected exactly the in-flight admin for {nl:?}, found {admins:?}"
+                        ))
+                    }
+                } else if acks.iter().all(|a| *a == n) && admins.is_empty() {
+                    Ok(BoxId::Q7)
+                } else {
+                    Err(format!(
+                        "Q7 violated: acks {acks:?} (A at {n:?}), admins {admins:?}"
+                    ))
+                }
+            }
+
+            (UserState::NotConnected, LeaderSlot::Connected(_, k)) => {
+                if self.close_pending(state, k) {
+                    Ok(BoxId::Q8)
+                } else {
+                    Err("unreachable box (NC, Connected) without a pending close".into())
+                }
+            }
+
+            (UserState::NotConnected, LeaderSlot::WaitingForAck(_, k)) => {
+                if self.close_pending(state, k) {
+                    Ok(BoxId::Q9)
+                } else {
+                    Err("unreachable box (NC, WaitingForAck) without a pending close".into())
+                }
+            }
+
+            (UserState::WaitingForKey(_), LeaderSlot::Connected(_, k)) => {
+                if self.close_pending(state, k) {
+                    Ok(BoxId::Q10)
+                } else {
+                    Err("unreachable box (WK, Connected) without a pending close".into())
+                }
+            }
+
+            (UserState::WaitingForKey(_), LeaderSlot::WaitingForAck(_, k)) => {
+                if self.close_pending(state, k) {
+                    Ok(BoxId::Q11)
+                } else {
+                    Err("unreachable box (WK, WaitingForAck) without a pending close".into())
+                }
+            }
+
+            (UserState::Connected(..), LeaderSlot::NotConnected) => {
+                Err("unreachable box: A connected while L has no session".into())
+            }
+        }
+    }
+}
+
+/// State checker: every reachable state is covered by a diagram box.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiagramCoverage {
+    diagram: Diagram,
+}
+
+impl StateChecker for DiagramCoverage {
+    fn name(&self) -> &str {
+        "F4: diagram coverage (§5.3)"
+    }
+
+    fn check(&self, state: &SystemState) -> Result<(), String> {
+        self.diagram.box_of(state).map(|_| ())
+    }
+}
+
+/// Transition checker: every explored transition follows a diagram edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiagramEdges {
+    diagram: Diagram,
+}
+
+impl TransitionChecker for DiagramEdges {
+    fn name(&self) -> &str {
+        "F4: diagram edge soundness (§5.3)"
+    }
+
+    fn check(
+        &self,
+        prev: &SystemState,
+        mv: &GlobalMove,
+        next: &SystemState,
+    ) -> Result<(), String> {
+        let from = self.diagram.box_of(prev)?;
+        let to = self.diagram.box_of(next)?;
+        if from.successors().contains(&to) {
+            Ok(())
+        } else {
+            Err(format!(
+                "illegal diagram edge {from:?} → {to:?} via {mv:?}"
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_model::explore::{Bounds, Explorer};
+    use enclaves_model::system::Scenario;
+    use std::collections::HashSet;
+
+    /// A state checker that records which boxes were visited.
+    struct BoxCollector {
+        diagram: Diagram,
+        seen: std::sync::Mutex<HashSet<BoxId>>,
+    }
+
+    impl StateChecker for BoxCollector {
+        fn name(&self) -> &str {
+            "box-collector"
+        }
+        fn check(&self, state: &SystemState) -> Result<(), String> {
+            let b = self.diagram.box_of(state)?;
+            self.seen.lock().unwrap().insert(b);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn initial_state_is_q1() {
+        let scenario = Scenario::honest_pair();
+        let state = SystemState::initial(&scenario);
+        assert_eq!(Diagram::default().box_of(&state), Ok(BoxId::Q1));
+    }
+
+    #[test]
+    fn diagram_valid_exhaustively_honest_pair() {
+        let mut ex = Explorer::new(Scenario::honest_pair(), Bounds::smoke());
+        ex.add_checker(Box::new(DiagramCoverage::default()));
+        ex.add_transition_checker(Box::new(DiagramEdges::default()));
+        let stats = ex.run();
+        assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+        assert!(stats.states_visited > 50);
+    }
+
+    #[test]
+    fn diagram_valid_exhaustively_with_insider() {
+        let mut ex = Explorer::new(Scenario::tight(), Bounds::smoke());
+        ex.add_checker(Box::new(DiagramCoverage::default()));
+        ex.add_transition_checker(Box::new(DiagramEdges::default()));
+        let _ = ex.run();
+        assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+    }
+
+    #[test]
+    fn happy_path_boxes_in_expected_order() {
+        // Drive the canonical session and record the box sequence.
+        use enclaves_model::leader::LeaderMove;
+        use enclaves_model::user::UserMove;
+        let scenario = Scenario::honest_pair();
+        let d = Diagram::default();
+        let mut state = SystemState::initial(&scenario);
+        let mut boxes = vec![d.box_of(&state).unwrap()];
+        let step = |state: &SystemState, pred: &dyn Fn(&GlobalMove) -> bool| {
+            let mv = state
+                .enumerate_moves(&scenario)
+                .into_iter()
+                .find(|m| pred(m))
+                .expect("move enabled");
+            state.apply(&scenario, &mv)
+        };
+
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::User(UserMove::StartAuth))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::Leader(_, LeaderMove::AcceptAuthInit { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::User(UserMove::AcceptKeyDist { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::Leader(_, LeaderMove::AcceptKeyAck { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::Leader(_, LeaderMove::SendAdmin { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::User(UserMove::AcceptAdmin { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::Leader(_, LeaderMove::AcceptAck { .. }))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| matches!(m, GlobalMove::User(UserMove::Close)));
+        boxes.push(d.box_of(&state).unwrap());
+        state = step(&state, &|m| {
+            matches!(m, GlobalMove::Leader(_, LeaderMove::AcceptClose))
+        });
+        boxes.push(d.box_of(&state).unwrap());
+
+        assert_eq!(
+            boxes,
+            vec![
+                BoxId::Q1,
+                BoxId::Q2,
+                BoxId::Q3,
+                BoxId::Q4,
+                BoxId::Q5,
+                BoxId::Q6,
+                BoxId::Q7,
+                BoxId::Q5,
+                BoxId::Q8,
+                BoxId::Q1,
+            ]
+        );
+    }
+
+    /// The edge checker has teeth: against a deliberately impoverished
+    /// edge relation (pretending Q12 is unreachable from Q1), exploration
+    /// reports violations.
+    #[test]
+    fn edge_checker_detects_missing_edges() {
+        struct CrippledEdges(Diagram);
+        impl enclaves_model::explore::TransitionChecker for CrippledEdges {
+            fn name(&self) -> &str {
+                "crippled-edges"
+            }
+            fn check(
+                &self,
+                prev: &SystemState,
+                _mv: &enclaves_model::system::GlobalMove,
+                next: &SystemState,
+            ) -> Result<(), String> {
+                let from = self.0.box_of(prev)?;
+                let to = self.0.box_of(next)?;
+                // Forbid the genuine Q1 → Q12 edge.
+                if from == BoxId::Q1 && to == BoxId::Q12 {
+                    return Err("hit the removed edge".into());
+                }
+                Ok(())
+            }
+        }
+        let mut ex = Explorer::new(Scenario::honest_pair(), Bounds::smoke());
+        ex.add_transition_checker(Box::new(CrippledEdges(Diagram::default())));
+        let _ = ex.run();
+        assert!(
+            !ex.violations.is_empty(),
+            "a missing edge must be detected by exploration"
+        );
+    }
+
+    /// Box predicates are mutually exclusive by construction (the local
+    /// state pair plus the close-pending bit picks exactly one); verify on
+    /// explored states that box_of is a function, i.e. deterministic and
+    /// total.
+    #[test]
+    fn box_assignment_is_total_on_reachable_states() {
+        struct Total(Diagram);
+        impl StateChecker for Total {
+            fn name(&self) -> &str {
+                "total"
+            }
+            fn check(&self, state: &SystemState) -> Result<(), String> {
+                let a = self.0.box_of(state)?;
+                let b = self.0.box_of(state)?;
+                if a == b {
+                    Ok(())
+                } else {
+                    Err(format!("nondeterministic box: {a:?} vs {b:?}"))
+                }
+            }
+        }
+        let mut ex = Explorer::new(Scenario::tight(), Bounds::smoke());
+        ex.add_checker(Box::new(Total(Diagram::default())));
+        let _ = ex.run();
+        assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+    }
+
+    #[test]
+    fn every_edge_is_between_declared_boxes() {
+        for b in BoxId::ALL {
+            let succs = b.successors();
+            assert!(succs.contains(&b), "{b:?} must be its own successor");
+            for s in succs {
+                assert!(BoxId::ALL.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn core_boxes_are_reached_in_exploration() {
+        let collector = BoxCollector {
+            diagram: Diagram::default(),
+            seen: std::sync::Mutex::new(HashSet::new()),
+        };
+        let seen_handle: &'static std::sync::Mutex<HashSet<BoxId>> =
+            Box::leak(Box::new(std::sync::Mutex::new(HashSet::new())));
+        struct Shared(&'static std::sync::Mutex<HashSet<BoxId>>, Diagram);
+        impl StateChecker for Shared {
+            fn name(&self) -> &str {
+                "shared-box-collector"
+            }
+            fn check(&self, state: &SystemState) -> Result<(), String> {
+                let b = self.1.box_of(state)?;
+                self.0.lock().unwrap().insert(b);
+                Ok(())
+            }
+        }
+        drop(collector);
+        let mut ex = Explorer::new(Scenario::honest_pair(), Bounds::smoke());
+        ex.add_checker(Box::new(Shared(seen_handle, Diagram::default())));
+        let _ = ex.run();
+        let seen = seen_handle.lock().unwrap();
+        for expected in [BoxId::Q1, BoxId::Q2, BoxId::Q3, BoxId::Q4, BoxId::Q5, BoxId::Q12] {
+            assert!(seen.contains(&expected), "{expected:?} never reached: {seen:?}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The Section 5.4 properties, read off the verification diagram and
+//! checked directly in every reachable state.
+
+use enclaves_model::explore::StateChecker;
+use enclaves_model::field::AgentId;
+use enclaves_model::leader::LeaderSlot;
+use enclaves_model::system::SystemState;
+use enclaves_model::user::UserState;
+
+/// P3 — proper distribution of group-management messages: in every
+/// reachable state, `rcv_A` is a prefix of `snd_A` (messages are accepted
+/// in the order sent, with no duplicates and no forgeries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdminPrefixProperty;
+
+impl StateChecker for AdminPrefixProperty {
+    fn name(&self) -> &str {
+        "P3: rcv_A is a prefix of snd_A (§5.4)"
+    }
+
+    fn check(&self, state: &SystemState) -> Result<(), String> {
+        if state.rcv_a.len() > state.snd_a.len() {
+            return Err(format!(
+                "A accepted {} admin messages but L sent only {}",
+                state.rcv_a.len(),
+                state.snd_a.len()
+            ));
+        }
+        for (i, (rcv, snd)) in state.rcv_a.iter().zip(state.snd_a.iter()).enumerate() {
+            if rcv != snd {
+                return Err(format!(
+                    "admin message {i} differs: A accepted {rcv:?}, L sent {snd:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// P4 — proper user authentication: the list of acceptance events at `L`
+/// pairs, in order, with the list of join requests from `A` ("the nth
+/// `AuthAckKey` accepted by L was preceded by the nth `AuthInitReq` from
+/// A").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuthenticationProperty;
+
+impl StateChecker for AuthenticationProperty {
+    fn name(&self) -> &str {
+        "P4: acceptances pair with requests in order (§5.4)"
+    }
+
+    fn check(&self, state: &SystemState) -> Result<(), String> {
+        if state.l_accepts.len() > state.a_requests.len() {
+            return Err(format!(
+                "L accepted {} sessions but A only requested {}",
+                state.l_accepts.len(),
+                state.a_requests.len()
+            ));
+        }
+        // Every acceptance answers a request A actually made, and
+        // acceptances preserve request order without duplication. (A
+        // request may go unanswered — A can close before L processes the
+        // key ack — so the pairing is an order-preserving injection, not
+        // index identity.)
+        let mut last_index: Option<usize> = None;
+        for (i, (req_nonce, _key)) in state.l_accepts.iter().enumerate() {
+            let Some(pos) = state.a_requests.iter().position(|r| r == req_nonce) else {
+                return Err(format!(
+                    "acceptance {i} answers nonce {req_nonce:?}, which A never requested"
+                ));
+            };
+            if let Some(prev) = last_index {
+                if pos <= prev {
+                    return Err(format!(
+                        "acceptance {i} (request index {pos}) out of order \
+                         after acceptance of request index {prev}"
+                    ));
+                }
+            }
+            last_index = Some(pos);
+        }
+        Ok(())
+    }
+}
+
+/// P5 — agreement: whenever both `A` and `L` are in `Connected` states,
+/// they agree on the session key and on the most recent nonce produced by
+/// `A`.
+#[derive(Debug, Clone, Copy)]
+pub struct AgreementProperty {
+    /// The honest user.
+    pub user: AgentId,
+}
+
+impl Default for AgreementProperty {
+    fn default() -> Self {
+        AgreementProperty {
+            user: AgentId::ALICE,
+        }
+    }
+}
+
+impl StateChecker for AgreementProperty {
+    fn name(&self) -> &str {
+        "P5: key and nonce agreement when both connected (§5.4)"
+    }
+
+    fn check(&self, state: &SystemState) -> Result<(), String> {
+        let UserState::Connected(user_nonce, user_key) = state.user_a else {
+            return Ok(());
+        };
+        let Some(LeaderSlot::Connected(lead_nonce, lead_key)) =
+            state.slots.get(&self.user).copied()
+        else {
+            return Ok(());
+        };
+        if user_key != lead_key {
+            return Err(format!(
+                "key disagreement: A holds {user_key:?}, L holds {lead_key:?}"
+            ));
+        }
+        if user_nonce != lead_nonce {
+            return Err(format!(
+                "nonce disagreement: A at {user_nonce:?}, L at {lead_nonce:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// P6 — the diagram's final remark: whenever `A` holds a session key, that
+/// key is in use at the leader (`InUse(K_a, q)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyInUseProperty;
+
+impl StateChecker for KeyInUseProperty {
+    fn name(&self) -> &str {
+        "P6: A's session key is always in use at L (§5.4)"
+    }
+
+    fn check(&self, state: &SystemState) -> Result<(), String> {
+        let UserState::Connected(_, key) = state.user_a else {
+            return Ok(());
+        };
+        if !state.key_in_use(key) {
+            return Err(format!(
+                "A holds {key:?} but the leader has no slot using it"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Bundles all §5.4 property checkers.
+#[must_use]
+pub fn all_section_5_4() -> Vec<Box<dyn StateChecker>> {
+    vec![
+        Box::new(AdminPrefixProperty),
+        Box::new(AuthenticationProperty),
+        Box::new(AgreementProperty::default()),
+        Box::new(KeyInUseProperty),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_model::explore::{Bounds, Explorer, RandomWalker};
+    use enclaves_model::system::Scenario;
+
+    #[test]
+    fn properties_hold_exhaustively_honest_pair() {
+        let mut ex = Explorer::new(Scenario::honest_pair(), Bounds::smoke());
+        for checker in all_section_5_4() {
+            ex.add_checker(checker);
+        }
+        let stats = ex.run();
+        assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+        assert!(stats.states_visited > 50);
+    }
+
+    #[test]
+    fn properties_hold_exhaustively_with_insider() {
+        let mut ex = Explorer::new(Scenario::tight(), Bounds::smoke());
+        for checker in all_section_5_4() {
+            ex.add_checker(checker);
+        }
+        let _ = ex.run();
+        assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+    }
+
+    #[test]
+    fn properties_hold_on_random_walks() {
+        let mut w = RandomWalker::new(Scenario::default(), 15, 40, 11);
+        for checker in all_section_5_4() {
+            w.add_checker(checker);
+        }
+        let checked = w.run();
+        assert!(w.violations.is_empty(), "{}", w.violations[0]);
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn prefix_checker_detects_planted_violation() {
+        use enclaves_model::field::{Field, Tag};
+        let scenario = Scenario::honest_pair();
+        let mut state = enclaves_model::system::SystemState::initial(&scenario);
+        // A "received" something never sent.
+        state.rcv_a.push(Field::Tag(Tag::Data));
+        assert!(AdminPrefixProperty.check(&state).is_err());
+
+        // Order violation.
+        let mut state2 = enclaves_model::system::SystemState::initial(&scenario);
+        state2.snd_a.push(Field::Tag(Tag::Data));
+        state2.snd_a.push(Field::Tag(Tag::NewKey));
+        state2.rcv_a.push(Field::Tag(Tag::NewKey));
+        assert!(AdminPrefixProperty.check(&state2).is_err());
+    }
+
+    #[test]
+    fn auth_checker_detects_planted_violation() {
+        use enclaves_model::field::{KeyId, NonceId};
+        let scenario = Scenario::honest_pair();
+        let mut state = enclaves_model::system::SystemState::initial(&scenario);
+        state.l_accepts.push((NonceId(0), KeyId::Session(0)));
+        assert!(AuthenticationProperty.check(&state).is_err());
+    }
+
+    #[test]
+    fn agreement_checker_detects_planted_violation() {
+        use enclaves_model::field::{KeyId, NonceId};
+        use enclaves_model::leader::LeaderSlot;
+        use enclaves_model::user::UserState;
+        let scenario = Scenario::honest_pair();
+        let mut state = enclaves_model::system::SystemState::initial(&scenario);
+        state.user_a = UserState::Connected(NonceId(1), KeyId::Session(0));
+        state.slots.insert(
+            AgentId::ALICE,
+            LeaderSlot::Connected(NonceId(2), KeyId::Session(0)),
+        );
+        assert!(AgreementProperty::default().check(&state).is_err());
+        state.slots.insert(
+            AgentId::ALICE,
+            LeaderSlot::Connected(NonceId(1), KeyId::Session(1)),
+        );
+        assert!(AgreementProperty::default().check(&state).is_err());
+        state.slots.insert(
+            AgentId::ALICE,
+            LeaderSlot::Connected(NonceId(1), KeyId::Session(0)),
+        );
+        assert!(AgreementProperty::default().check(&state).is_ok());
+    }
+}

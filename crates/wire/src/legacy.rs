@@ -1,0 +1,299 @@
+//! Wire format of the *original* Enclaves protocols (Section 2.2).
+//!
+//! Kept for the baseline implementation and the attack demonstrations in
+//! `enclaves-core::attacks`. The weaknesses are intentional and faithful to
+//! the paper:
+//!
+//! * the pre-authentication exchange is cleartext;
+//! * `new_key` carries no freshness evidence;
+//! * `mem_removed` is protected only by the shared group key.
+
+use crate::actor::ActorId;
+use crate::codec::{Decode, Encode, Reader, WireError, Writer};
+use enclaves_crypto::nonce::ProtocolNonce;
+
+/// Message types of the legacy protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum LegacyMsgType {
+    /// `A → L`: `req_open` (cleartext).
+    ReqOpen = 0x10,
+    /// `L → A`: `ack_open` (cleartext).
+    AckOpen = 0x11,
+    /// `L → A`: `connection_denied` (cleartext).
+    ConnectionDenied = 0x12,
+    /// `A → L`: authentication message 1, `{A, L, N1}_Pa`.
+    Auth1 = 0x13,
+    /// `L → A`: authentication message 2, `{L, A, N1, N2, Ka, IV, Kg}_Pa`.
+    Auth2 = 0x14,
+    /// `A → L`: authentication message 3, `{N2}_Ka`.
+    Auth3 = 0x15,
+    /// `L → A`: `new_key, {Kg', IV}_Ka`.
+    NewKey = 0x16,
+    /// `A → L`: `new_key_ack, {Kg'}_Kg'`.
+    NewKeyAck = 0x17,
+    /// `L → member`: `mem_removed, {A}_Kg`.
+    MemRemoved = 0x18,
+    /// `L → member`: `mem_joined, {A}_Kg`.
+    MemJoined = 0x19,
+    /// `A → L`: `req_close` (cleartext).
+    ReqClose = 0x1A,
+    /// `L → A`: `close_connection` (cleartext).
+    CloseConnection = 0x1B,
+    /// Group payload relayed by the leader, `{data}_Kg`.
+    GroupData = 0x1C,
+}
+
+impl LegacyMsgType {
+    /// Parses a tag byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownTag`] for unassigned values.
+    pub fn from_u8(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0x10 => LegacyMsgType::ReqOpen,
+            0x11 => LegacyMsgType::AckOpen,
+            0x12 => LegacyMsgType::ConnectionDenied,
+            0x13 => LegacyMsgType::Auth1,
+            0x14 => LegacyMsgType::Auth2,
+            0x15 => LegacyMsgType::Auth3,
+            0x16 => LegacyMsgType::NewKey,
+            0x17 => LegacyMsgType::NewKeyAck,
+            0x18 => LegacyMsgType::MemRemoved,
+            0x19 => LegacyMsgType::MemJoined,
+            0x1A => LegacyMsgType::ReqClose,
+            0x1B => LegacyMsgType::CloseConnection,
+            0x1C => LegacyMsgType::GroupData,
+            tag => return Err(WireError::UnknownTag { tag }),
+        })
+    }
+}
+
+/// A legacy protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegacyEnvelope {
+    /// Message type.
+    pub msg_type: LegacyMsgType,
+    /// Apparent sender.
+    pub sender: ActorId,
+    /// Intended recipient.
+    pub recipient: ActorId,
+    /// Body (cleartext or a sealed blob, per message type).
+    pub body: Vec<u8>,
+}
+
+impl Encode for LegacyEnvelope {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.msg_type as u8);
+        self.sender.encode(w);
+        self.recipient.encode(w);
+        w.put_bytes(&self.body);
+    }
+}
+
+impl Decode for LegacyEnvelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LegacyEnvelope {
+            msg_type: LegacyMsgType::from_u8(r.take_u8()?)?,
+            sender: ActorId::decode(r)?,
+            recipient: ActorId::decode(r)?,
+            body: r.take_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Plaintext of legacy authentication message 2:
+/// `{L, A, N1, N2, Ka, IV, Kg}` sealed under `P_a`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegacyAuth2Plain {
+    /// The leader.
+    pub leader: ActorId,
+    /// The user.
+    pub user: ActorId,
+    /// Echo of the user nonce.
+    pub user_nonce: ProtocolNonce,
+    /// Fresh leader nonce.
+    pub leader_nonce: ProtocolNonce,
+    /// The session key.
+    pub session_key: [u8; 32],
+    /// Initialization vector.
+    pub iv: [u8; 12],
+    /// The current group key (sent during authentication — a legacy
+    /// design choice the improved protocol removed).
+    pub group_key: [u8; 32],
+}
+
+impl Encode for LegacyAuth2Plain {
+    fn encode(&self, w: &mut Writer) {
+        self.leader.encode(w);
+        self.user.encode(w);
+        self.user_nonce.encode(w);
+        self.leader_nonce.encode(w);
+        w.put_array(&self.session_key);
+        w.put_array(&self.iv);
+        w.put_array(&self.group_key);
+    }
+}
+
+impl Decode for LegacyAuth2Plain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LegacyAuth2Plain {
+            leader: ActorId::decode(r)?,
+            user: ActorId::decode(r)?,
+            user_nonce: ProtocolNonce::decode(r)?,
+            leader_nonce: ProtocolNonce::decode(r)?,
+            session_key: r.take_array::<32>()?,
+            iv: r.take_array::<12>()?,
+            group_key: r.take_array::<32>()?,
+        })
+    }
+}
+
+/// Plaintext of a legacy `new_key` message: `{Kg', IV}` sealed under `K_a`.
+///
+/// Note what is *missing* compared to the improved `AdminMsg`: no nonces,
+/// no identities — nothing proves freshness or origin beyond possession of
+/// `K_a`, which is why replays succeed (Section 2.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegacyNewKeyPlain {
+    /// The new group key.
+    pub group_key: [u8; 32],
+    /// The new initialization vector.
+    pub iv: [u8; 12],
+}
+
+impl Encode for LegacyNewKeyPlain {
+    fn encode(&self, w: &mut Writer) {
+        w.put_array(&self.group_key);
+        w.put_array(&self.iv);
+    }
+}
+
+impl Decode for LegacyNewKeyPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LegacyNewKeyPlain {
+            group_key: r.take_array::<32>()?,
+            iv: r.take_array::<12>()?,
+        })
+    }
+}
+
+/// Plaintext of a legacy membership notice: `{member}` sealed under `K_g`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegacyMemberNotice {
+    /// The member that joined or left.
+    pub member: ActorId,
+}
+
+impl Encode for LegacyMemberNotice {
+    fn encode(&self, w: &mut Writer) {
+        self.member.encode(w);
+    }
+}
+
+impl Decode for LegacyMemberNotice {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LegacyMemberNotice {
+            member: ActorId::decode(r)?,
+        })
+    }
+}
+
+/// Plaintext of legacy authentication message 3: `{N2}` sealed under `K_a`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LegacyAuth3Plain {
+    /// The leader nonce being acknowledged.
+    pub leader_nonce: ProtocolNonce,
+}
+
+impl Encode for LegacyAuth3Plain {
+    fn encode(&self, w: &mut Writer) {
+        self.leader_nonce.encode(w);
+    }
+}
+
+impl Decode for LegacyAuth3Plain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LegacyAuth3Plain {
+            leader_nonce: ProtocolNonce::decode(r)?,
+        })
+    }
+}
+
+const _: () = {
+    // Legacy tags must not collide with improved-protocol tags (1..=6).
+    assert!(LegacyMsgType::ReqOpen as u8 > 6);
+};
+
+#[cfg(test)]
+mod tests {
+    use enclaves_crypto::nonce::PROTOCOL_NONCE_LEN;
+    use super::*;
+    use crate::codec::{decode, encode};
+
+    fn alice() -> ActorId {
+        ActorId::new("alice").unwrap()
+    }
+
+    fn leader() -> ActorId {
+        ActorId::new("leader").unwrap()
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = LegacyEnvelope {
+            msg_type: LegacyMsgType::NewKey,
+            sender: leader(),
+            recipient: alice(),
+            body: vec![9; 44],
+        };
+        assert_eq!(decode::<LegacyEnvelope>(&encode(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn all_tags_roundtrip() {
+        for tag in 0x10..=0x1C {
+            let t = LegacyMsgType::from_u8(tag).unwrap();
+            assert_eq!(t as u8, tag);
+        }
+        assert!(LegacyMsgType::from_u8(0x0F).is_err());
+        assert!(LegacyMsgType::from_u8(0x1D).is_err());
+    }
+
+    #[test]
+    fn auth2_roundtrip() {
+        let p = LegacyAuth2Plain {
+            leader: leader(),
+            user: alice(),
+            user_nonce: ProtocolNonce::from_bytes([1; PROTOCOL_NONCE_LEN]),
+            leader_nonce: ProtocolNonce::from_bytes([2; PROTOCOL_NONCE_LEN]),
+            session_key: [3; 32],
+            iv: [4; 12],
+            group_key: [5; 32],
+        };
+        assert_eq!(decode::<LegacyAuth2Plain>(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn new_key_plain_has_no_freshness_fields() {
+        // Structural check documenting the vulnerability: the encoding is
+        // exactly 32 + 12 bytes, leaving no room for nonces.
+        let p = LegacyNewKeyPlain {
+            group_key: [7; 32],
+            iv: [8; 12],
+        };
+        assert_eq!(encode(&p).len(), 44);
+        assert_eq!(decode::<LegacyNewKeyPlain>(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn member_notice_and_auth3_roundtrip() {
+        let m = LegacyMemberNotice { member: alice() };
+        assert_eq!(decode::<LegacyMemberNotice>(&encode(&m)).unwrap(), m);
+        let a3 = LegacyAuth3Plain {
+            leader_nonce: ProtocolNonce::from_bytes([6; PROTOCOL_NONCE_LEN]),
+        };
+        assert_eq!(decode::<LegacyAuth3Plain>(&encode(&a3)).unwrap(), a3);
+    }
+}

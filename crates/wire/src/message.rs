@@ -1,0 +1,754 @@
+//! The improved protocol of Section 3.2, at the byte level.
+//!
+//! Each message is an [`Envelope`] with a cleartext header and a body. For
+//! the encrypted messages the body is a [`SealedBody`]: an AEAD nonce plus
+//! a ChaCha20-Poly1305 seal of the encoded plaintext structure, with the
+//! envelope header bound as associated data. The plaintext structures
+//! mirror the paper's encrypted fields exactly — identities are *inside*
+//! the encryption, which is what the verification of Section 5 relies on.
+
+use crate::actor::ActorId;
+use crate::codec::{decode, encode, Decode, Encode, Reader, WireError, Writer};
+use enclaves_crypto::aead::ChaCha20Poly1305;
+use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce, AEAD_NONCE_LEN, PROTOCOL_NONCE_LEN};
+use enclaves_crypto::CryptoError;
+
+/// Message types of the improved protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MsgType {
+    /// `A → L`: authentication initiation.
+    AuthInitReq = 1,
+    /// `L → A`: session-key distribution.
+    AuthKeyDist = 2,
+    /// `A → L`: key acknowledgment.
+    AuthAckKey = 3,
+    /// `L → A`: group-management message.
+    AdminMsg = 4,
+    /// `A → L`: group-management acknowledgment.
+    Ack = 5,
+    /// `A → L`: session close request.
+    ReqClose = 6,
+    /// Member ↔ L: application data sealed under the group key; the leader
+    /// relays it to every other member (Figure 1's leader-mediated
+    /// multicast).
+    GroupData = 7,
+}
+
+impl MsgType {
+    /// Parses a tag byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownTag`] for unassigned values.
+    pub fn from_u8(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            1 => MsgType::AuthInitReq,
+            2 => MsgType::AuthKeyDist,
+            3 => MsgType::AuthAckKey,
+            4 => MsgType::AdminMsg,
+            5 => MsgType::Ack,
+            6 => MsgType::ReqClose,
+            7 => MsgType::GroupData,
+            tag => return Err(WireError::UnknownTag { tag }),
+        })
+    }
+}
+
+/// A protocol message: cleartext header plus opaque body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope {
+    /// Message type.
+    pub msg_type: MsgType,
+    /// Apparent sender.
+    pub sender: ActorId,
+    /// Intended recipient.
+    pub recipient: ActorId,
+    /// Body bytes (a [`SealedBody`] encoding for encrypted messages).
+    pub body: Vec<u8>,
+}
+
+impl Envelope {
+    /// The header bytes bound as AEAD associated data: re-labeling or
+    /// re-addressing a sealed message breaks authentication.
+    #[must_use]
+    pub fn header_aad(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(self.msg_type as u8);
+        self.sender.encode(&mut w);
+        self.recipient.encode(&mut w);
+        w.finish()
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.msg_type as u8);
+        self.sender.encode(w);
+        self.recipient.encode(w);
+        w.put_bytes(&self.body);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let msg_type = MsgType::from_u8(r.take_u8()?)?;
+        let sender = ActorId::decode(r)?;
+        let recipient = ActorId::decode(r)?;
+        let body = r.take_bytes()?.to_vec();
+        Ok(Envelope {
+            msg_type,
+            sender,
+            recipient,
+            body,
+        })
+    }
+}
+
+/// An AEAD-sealed body: the nonce used plus `ciphertext || tag`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SealedBody {
+    /// The AEAD nonce the sender used.
+    pub nonce: [u8; AEAD_NONCE_LEN],
+    /// `ciphertext || tag`.
+    pub ciphertext: Vec<u8>,
+}
+
+impl Encode for SealedBody {
+    fn encode(&self, w: &mut Writer) {
+        w.put_array(&self.nonce);
+        w.put_bytes(&self.ciphertext);
+    }
+}
+
+impl Decode for SealedBody {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nonce = r.take_array::<AEAD_NONCE_LEN>()?;
+        let ciphertext = r.take_bytes()?.to_vec();
+        Ok(SealedBody { nonce, ciphertext })
+    }
+}
+
+impl Encode for ProtocolNonce {
+    fn encode(&self, w: &mut Writer) {
+        w.put_array(self.as_bytes());
+    }
+}
+
+impl Decode for ProtocolNonce {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = r.take_array::<PROTOCOL_NONCE_LEN>()?;
+        Ok(ProtocolNonce::from_bytes(bytes))
+    }
+}
+
+/// Errors when opening a sealed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// The body was not a well-formed [`SealedBody`] or the plaintext was
+    /// malformed.
+    Malformed(WireError),
+    /// AEAD authentication failed.
+    Crypto(CryptoError),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Malformed(e) => write!(f, "malformed sealed message: {e}"),
+            OpenError::Crypto(e) => write!(f, "authentication failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+impl From<WireError> for OpenError {
+    fn from(e: WireError) -> Self {
+        OpenError::Malformed(e)
+    }
+}
+
+impl From<CryptoError> for OpenError {
+    fn from(e: CryptoError) -> Self {
+        OpenError::Crypto(e)
+    }
+}
+
+/// Seals an encodable plaintext under `key`, binding `aad`.
+#[must_use]
+pub fn seal<T: Encode>(key: &[u8; 32], nonce: AeadNonce, aad: &[u8], value: &T) -> Vec<u8> {
+    let cipher = ChaCha20Poly1305::new(key);
+    let plain = encode(value);
+    let ciphertext = cipher.seal(&nonce, &plain, aad);
+    encode(&SealedBody {
+        nonce: *nonce.as_bytes(),
+        ciphertext,
+    })
+}
+
+/// Opens a sealed body under `key`, checking `aad`, and decodes the
+/// plaintext.
+///
+/// # Errors
+///
+/// [`OpenError::Crypto`] if authentication fails; [`OpenError::Malformed`]
+/// if either layer fails to parse.
+pub fn open<T: Decode>(key: &[u8; 32], aad: &[u8], body: &[u8]) -> Result<T, OpenError> {
+    let sealed: SealedBody = decode(body)?;
+    let cipher = ChaCha20Poly1305::new(key);
+    let nonce = AeadNonce::from_bytes(sealed.nonce);
+    let plain = cipher.open(&nonce, &sealed.ciphertext, aad)?;
+    Ok(decode(&plain)?)
+}
+
+/// Plaintext of `AuthInitReq`: `{A, L, N1}` (sealed under `P_a`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AuthInitPlain {
+    /// The joining user.
+    pub user: ActorId,
+    /// The leader.
+    pub leader: ActorId,
+    /// Fresh user nonce `N1`.
+    pub nonce: ProtocolNonce,
+}
+
+impl Encode for AuthInitPlain {
+    fn encode(&self, w: &mut Writer) {
+        self.user.encode(w);
+        self.leader.encode(w);
+        self.nonce.encode(w);
+    }
+}
+
+impl Decode for AuthInitPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AuthInitPlain {
+            user: ActorId::decode(r)?,
+            leader: ActorId::decode(r)?,
+            nonce: ProtocolNonce::decode(r)?,
+        })
+    }
+}
+
+/// Plaintext of `AuthKeyDist`: `{L, A, N1, N2, Ka}` (sealed under `P_a`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyDistPlain {
+    /// The leader.
+    pub leader: ActorId,
+    /// The joining user.
+    pub user: ActorId,
+    /// Echo of the user's nonce `N1`.
+    pub user_nonce: ProtocolNonce,
+    /// Fresh leader nonce `N2`.
+    pub leader_nonce: ProtocolNonce,
+    /// The fresh session key `K_a`.
+    pub session_key: [u8; 32],
+}
+
+impl Encode for KeyDistPlain {
+    fn encode(&self, w: &mut Writer) {
+        self.leader.encode(w);
+        self.user.encode(w);
+        self.user_nonce.encode(w);
+        self.leader_nonce.encode(w);
+        w.put_array(&self.session_key);
+    }
+}
+
+impl Decode for KeyDistPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(KeyDistPlain {
+            leader: ActorId::decode(r)?,
+            user: ActorId::decode(r)?,
+            user_nonce: ProtocolNonce::decode(r)?,
+            leader_nonce: ProtocolNonce::decode(r)?,
+            session_key: r.take_array::<32>()?,
+        })
+    }
+}
+
+/// Plaintext of `AuthAckKey` and `Ack`: `{A, L, N_prev, N_next}` (sealed
+/// under `K_a`). The same shape serves both messages, exactly as in the
+/// formal model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NonceAckPlain {
+    /// The user.
+    pub user: ActorId,
+    /// The leader.
+    pub leader: ActorId,
+    /// The nonce being acknowledged (the leader's most recent).
+    pub acked_nonce: ProtocolNonce,
+    /// The fresh user nonce for the next exchange.
+    pub next_nonce: ProtocolNonce,
+}
+
+impl Encode for NonceAckPlain {
+    fn encode(&self, w: &mut Writer) {
+        self.user.encode(w);
+        self.leader.encode(w);
+        self.acked_nonce.encode(w);
+        self.next_nonce.encode(w);
+    }
+}
+
+impl Decode for NonceAckPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NonceAckPlain {
+            user: ActorId::decode(r)?,
+            leader: ActorId::decode(r)?,
+            acked_nonce: ProtocolNonce::decode(r)?,
+            next_nonce: ProtocolNonce::decode(r)?,
+        })
+    }
+}
+
+/// A group-management payload `X` (Section 3.2: "X may specify a new group
+/// key and initialization vector, or indicate that a member has joined or
+/// left the session").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdminPayload {
+    /// A new group key with its initialization vector.
+    NewGroupKey {
+        /// Monotone key epoch.
+        epoch: u64,
+        /// The group key `K_g`.
+        key: [u8; 32],
+        /// The initialization vector.
+        iv: [u8; 12],
+    },
+    /// A member joined.
+    MemberJoined(ActorId),
+    /// A member left (or was expelled).
+    MemberLeft(ActorId),
+    /// Initial roster sent to a fresh member, with the current group key.
+    Welcome {
+        /// Current members, including the recipient.
+        members: Vec<ActorId>,
+        /// Current group-key epoch.
+        epoch: u64,
+        /// The current group key.
+        group_key: [u8; 32],
+        /// The current initialization vector.
+        iv: [u8; 12],
+    },
+    /// Opaque application-level data.
+    AppData(Vec<u8>),
+}
+
+const TAG_NEW_GROUP_KEY: u8 = 1;
+const TAG_MEMBER_JOINED: u8 = 2;
+const TAG_MEMBER_LEFT: u8 = 3;
+const TAG_WELCOME: u8 = 4;
+const TAG_APP_DATA: u8 = 5;
+
+impl Encode for AdminPayload {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AdminPayload::NewGroupKey { epoch, key, iv } => {
+                w.put_u8(TAG_NEW_GROUP_KEY);
+                w.put_u64(*epoch);
+                w.put_array(key);
+                w.put_array(iv);
+            }
+            AdminPayload::MemberJoined(a) => {
+                w.put_u8(TAG_MEMBER_JOINED);
+                a.encode(w);
+            }
+            AdminPayload::MemberLeft(a) => {
+                w.put_u8(TAG_MEMBER_LEFT);
+                a.encode(w);
+            }
+            AdminPayload::Welcome {
+                members,
+                epoch,
+                group_key,
+                iv,
+            } => {
+                w.put_u8(TAG_WELCOME);
+                w.put_u32(members.len() as u32);
+                for m in members {
+                    m.encode(w);
+                }
+                w.put_u64(*epoch);
+                w.put_array(group_key);
+                w.put_array(iv);
+            }
+            AdminPayload::AppData(data) => {
+                w.put_u8(TAG_APP_DATA);
+                w.put_bytes(data);
+            }
+        }
+    }
+}
+
+impl Decode for AdminPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            TAG_NEW_GROUP_KEY => AdminPayload::NewGroupKey {
+                epoch: r.take_u64()?,
+                key: r.take_array::<32>()?,
+                iv: r.take_array::<12>()?,
+            },
+            TAG_MEMBER_JOINED => AdminPayload::MemberJoined(ActorId::decode(r)?),
+            TAG_MEMBER_LEFT => AdminPayload::MemberLeft(ActorId::decode(r)?),
+            TAG_WELCOME => {
+                let n = r.take_u32()? as usize;
+                if n > 10_000 {
+                    return Err(WireError::LengthOverflow);
+                }
+                let mut members = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    members.push(ActorId::decode(r)?);
+                }
+                AdminPayload::Welcome {
+                    members,
+                    epoch: r.take_u64()?,
+                    group_key: r.take_array::<32>()?,
+                    iv: r.take_array::<12>()?,
+                }
+            }
+            TAG_APP_DATA => AdminPayload::AppData(r.take_bytes()?.to_vec()),
+            tag => return Err(WireError::UnknownTag { tag }),
+        })
+    }
+}
+
+/// Plaintext of `AdminMsg`: `{L, A, N_user, N_leader, X}` (sealed under
+/// `K_a`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdminPlain {
+    /// The leader.
+    pub leader: ActorId,
+    /// The member.
+    pub user: ActorId,
+    /// The member's most recent nonce (`N_{2i+1}`): replay proof.
+    pub user_nonce: ProtocolNonce,
+    /// The fresh leader nonce (`N_{2i+2}`).
+    pub leader_nonce: ProtocolNonce,
+    /// The group-management payload.
+    pub payload: AdminPayload,
+}
+
+impl Encode for AdminPlain {
+    fn encode(&self, w: &mut Writer) {
+        self.leader.encode(w);
+        self.user.encode(w);
+        self.user_nonce.encode(w);
+        self.leader_nonce.encode(w);
+        self.payload.encode(w);
+    }
+}
+
+impl Decode for AdminPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AdminPlain {
+            leader: ActorId::decode(r)?,
+            user: ActorId::decode(r)?,
+            user_nonce: ProtocolNonce::decode(r)?,
+            leader_nonce: ProtocolNonce::decode(r)?,
+            payload: AdminPayload::decode(r)?,
+        })
+    }
+}
+
+/// Wire form of a `GroupData` body: the epoch tag plus the sealed
+/// application payload.
+///
+/// Group data is sealed under the group key with
+/// [`group_data_aad`]-derived associated data (sender + epoch, *not* the
+/// recipient) so the leader can relay one sealed body to every member
+/// without re-encryption.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupDataWire {
+    /// The group-key epoch this data was sealed under.
+    pub epoch: u64,
+    /// The sealed application bytes.
+    pub sealed: SealedBody,
+}
+
+impl Encode for GroupDataWire {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.sealed.encode(w);
+    }
+}
+
+impl Decode for GroupDataWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GroupDataWire {
+            epoch: r.take_u64()?,
+            sealed: SealedBody::decode(r)?,
+        })
+    }
+}
+
+/// Associated data for group-data seals: binds the original sender and the
+/// key epoch, but not the recipient (group data is multicast).
+#[must_use]
+pub fn group_data_aad(sender: &ActorId, epoch: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(MsgType::GroupData as u8);
+    sender.encode(&mut w);
+    w.put_u64(epoch);
+    w.finish()
+}
+
+/// Plaintext of `ReqClose`: `{A, L}` (sealed under `K_a`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClosePlain {
+    /// The user.
+    pub user: ActorId,
+    /// The leader.
+    pub leader: ActorId,
+}
+
+impl Encode for ClosePlain {
+    fn encode(&self, w: &mut Writer) {
+        self.user.encode(w);
+        self.leader.encode(w);
+    }
+}
+
+impl Decode for ClosePlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ClosePlain {
+            user: ActorId::decode(r)?,
+            leader: ActorId::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> ActorId {
+        ActorId::new("alice").unwrap()
+    }
+
+    fn leader() -> ActorId {
+        ActorId::new("leader").unwrap()
+    }
+
+    fn nonce(b: u8) -> ProtocolNonce {
+        ProtocolNonce::from_bytes([b; 16])
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: leader(),
+            recipient: alice(),
+            body: vec![1, 2, 3],
+        };
+        let bytes = encode(&env);
+        assert_eq!(decode::<Envelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn msg_type_tags_are_stable() {
+        for (t, v) in [
+            (MsgType::AuthInitReq, 1u8),
+            (MsgType::AuthKeyDist, 2),
+            (MsgType::AuthAckKey, 3),
+            (MsgType::AdminMsg, 4),
+            (MsgType::Ack, 5),
+            (MsgType::ReqClose, 6),
+            (MsgType::GroupData, 7),
+        ] {
+            assert_eq!(t as u8, v);
+            assert_eq!(MsgType::from_u8(v).unwrap(), t);
+        }
+        assert!(MsgType::from_u8(0).is_err());
+        assert!(MsgType::from_u8(8).is_err());
+    }
+
+    #[test]
+    fn seal_open_roundtrip_all_plaintexts() {
+        let key = [0x11u8; 32];
+        let aad = b"hdr";
+        let n = AeadNonce::from_bytes([9; 12]);
+
+        let init = AuthInitPlain {
+            user: alice(),
+            leader: leader(),
+            nonce: nonce(1),
+        };
+        let body = seal(&key, n, aad, &init);
+        assert_eq!(open::<AuthInitPlain>(&key, aad, &body).unwrap(), init);
+
+        let kd = KeyDistPlain {
+            leader: leader(),
+            user: alice(),
+            user_nonce: nonce(1),
+            leader_nonce: nonce(2),
+            session_key: [3; 32],
+        };
+        let body = seal(&key, n, aad, &kd);
+        assert_eq!(open::<KeyDistPlain>(&key, aad, &body).unwrap(), kd);
+
+        let ack = NonceAckPlain {
+            user: alice(),
+            leader: leader(),
+            acked_nonce: nonce(2),
+            next_nonce: nonce(3),
+        };
+        let body = seal(&key, n, aad, &ack);
+        assert_eq!(open::<NonceAckPlain>(&key, aad, &body).unwrap(), ack);
+
+        let admin = AdminPlain {
+            leader: leader(),
+            user: alice(),
+            user_nonce: nonce(3),
+            leader_nonce: nonce(4),
+            payload: AdminPayload::NewGroupKey {
+                epoch: 3,
+                key: [7; 32],
+                iv: [8; 12],
+            },
+        };
+        let body = seal(&key, n, aad, &admin);
+        assert_eq!(open::<AdminPlain>(&key, aad, &body).unwrap(), admin);
+
+        let close = ClosePlain {
+            user: alice(),
+            leader: leader(),
+        };
+        let body = seal(&key, n, aad, &close);
+        assert_eq!(open::<ClosePlain>(&key, aad, &body).unwrap(), close);
+    }
+
+    #[test]
+    fn open_rejects_wrong_aad_relabeling() {
+        // Re-labeling an AuthAckKey as an Ack changes the AAD and must be
+        // rejected — the wire-level counterpart of the model's label
+        // discipline.
+        let key = [0x22u8; 32];
+        let n = AeadNonce::from_bytes([1; 12]);
+        let ack = NonceAckPlain {
+            user: alice(),
+            leader: leader(),
+            acked_nonce: nonce(1),
+            next_nonce: nonce(2),
+        };
+        let env1 = Envelope {
+            msg_type: MsgType::AuthAckKey,
+            sender: alice(),
+            recipient: leader(),
+            body: vec![],
+        };
+        let env2 = Envelope {
+            msg_type: MsgType::Ack,
+            ..env1.clone()
+        };
+        let body = seal(&key, n, &env1.header_aad(), &ack);
+        assert!(open::<NonceAckPlain>(&key, &env1.header_aad(), &body).is_ok());
+        assert!(matches!(
+            open::<NonceAckPlain>(&key, &env2.header_aad(), &body),
+            Err(OpenError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn open_rejects_wrong_key() {
+        let n = AeadNonce::from_bytes([1; 12]);
+        let close = ClosePlain {
+            user: alice(),
+            leader: leader(),
+        };
+        let body = seal(&[1; 32], n, b"", &close);
+        assert!(matches!(
+            open::<ClosePlain>(&[2; 32], b"", &body),
+            Err(OpenError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let payloads = vec![
+            AdminPayload::NewGroupKey {
+                epoch: 1,
+                key: [1; 32],
+                iv: [2; 12],
+            },
+            AdminPayload::MemberJoined(alice()),
+            AdminPayload::MemberLeft(leader()),
+            AdminPayload::Welcome {
+                members: vec![alice(), leader()],
+                epoch: 9,
+                group_key: [3; 32],
+                iv: [4; 12],
+            },
+            AdminPayload::AppData(b"hello group".to_vec()),
+            AdminPayload::AppData(vec![]),
+            AdminPayload::Welcome {
+                members: vec![],
+                epoch: 0,
+                group_key: [0; 32],
+                iv: [0; 12],
+            },
+        ];
+        for p in payloads {
+            let bytes = encode(&p);
+            assert_eq!(decode::<AdminPayload>(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn payload_rejects_unknown_tag_and_huge_roster() {
+        assert!(matches!(
+            decode::<AdminPayload>(&[99]),
+            Err(WireError::UnknownTag { tag: 99 })
+        ));
+        let mut w = Writer::new();
+        w.put_u8(TAG_WELCOME);
+        w.put_u32(1_000_000);
+        assert!(decode::<AdminPayload>(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn open_rejects_garbage_body() {
+        assert!(open::<ClosePlain>(&[0; 32], b"", &[1, 2, 3]).is_err());
+        assert!(open::<ClosePlain>(&[0; 32], b"", &[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_actor() -> impl Strategy<Value = ActorId> {
+        "[a-z][a-z0-9]{0,15}".prop_map(|s| ActorId::new(s).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn admin_plain_roundtrip(
+            user in arb_actor(),
+            leader in arb_actor(),
+            un in proptest::array::uniform16(any::<u8>()),
+            ln in proptest::array::uniform16(any::<u8>()),
+            data in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let plain = AdminPlain {
+                leader,
+                user,
+                user_nonce: ProtocolNonce::from_bytes(un),
+                leader_nonce: ProtocolNonce::from_bytes(ln),
+                payload: AdminPayload::AppData(data),
+            };
+            let bytes = encode(&plain);
+            prop_assert_eq!(decode::<AdminPlain>(&bytes).unwrap(), plain);
+        }
+
+        #[test]
+        fn envelope_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode::<Envelope>(&bytes);
+            let _ = decode::<AdminPayload>(&bytes);
+            let _ = decode::<SealedBody>(&bytes);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! `enclave` — a command-line leader/member for running a secure group
+//! across real terminals and machines.
+//!
+//! ```text
+//! # terminal 1: host a group
+//! cargo run -p enclaves-examples --bin enclave -- \
+//!     leader --listen 127.0.0.1:7777 --user alice:wonder --user bob:builder
+//!
+//! # terminal 2: join and chat (stdin lines go to the group)
+//! cargo run -p enclaves-examples --bin enclave -- \
+//!     member --connect 127.0.0.1:7777 --user alice --password wonder
+//! ```
+//!
+//! Leader stdin commands: `rekey`, `expel <user>`, `say <text>` (admin
+//! broadcast), `roster`, `quit`.
+
+use enclaves_core::config::{LeaderConfig, RekeyPolicy};
+use enclaves_core::directory::Directory;
+use enclaves_core::protocol::{LeaderEvent, MemberEvent};
+use enclaves_core::runtime::{LeaderRuntime, MemberRuntime};
+use enclaves_net::tcp::{TcpAcceptor, TcpLink};
+use enclaves_wire::ActorId;
+use std::io::BufRead;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("leader") => run_leader(&args[1..]),
+        Some("member") => run_member(&args[1..]),
+        _ => {
+            eprintln!("usage: enclave leader --listen ADDR --user NAME:PASSWORD [--user ...] [--rekey manual|onjoin|onleave|onjoinleave]");
+            eprintln!("       enclave member --connect ADDR --user NAME --password PASSWORD");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `--flag value` occurrences from an argument list.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == flag {
+            if let Some(v) = iter.next() {
+                out.push(v.as_str());
+            }
+        }
+    }
+    out
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    flag_values(args, flag).into_iter().next()
+}
+
+fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:7777");
+    let rekey = match flag_value(args, "--rekey").unwrap_or("onjoinleave") {
+        "manual" => RekeyPolicy::Manual,
+        "onjoin" => RekeyPolicy::OnJoin,
+        "onleave" => RekeyPolicy::OnLeave,
+        "onjoinleave" => RekeyPolicy::OnJoinAndLeave,
+        other => return Err(format!("unknown rekey policy {other}").into()),
+    };
+    let mut directory = Directory::new();
+    for spec in flag_values(args, "--user") {
+        let Some((name, password)) = spec.split_once(':') else {
+            return Err(format!("--user expects NAME:PASSWORD, got {spec}").into());
+        };
+        directory.register_password(&ActorId::new(name)?, password)?;
+    }
+    if directory.is_empty() {
+        return Err("register at least one --user NAME:PASSWORD".into());
+    }
+
+    let acceptor = TcpAcceptor::bind(listen.parse()?)?;
+    println!("leader listening on {} ({} registered users)", acceptor.local_addr(), directory.len());
+    let leader = LeaderRuntime::spawn(
+        Box::new(acceptor),
+        ActorId::new("leader")?,
+        directory,
+        LeaderConfig {
+            rekey_policy: rekey,
+            ..LeaderConfig::default()
+        },
+    );
+
+    // Event printer thread.
+    let events = leader.events().clone();
+    std::thread::spawn(move || {
+        while let Ok(event) = events.recv() {
+            match event {
+                LeaderEvent::MemberJoined(m) => println!("<< {m} joined"),
+                LeaderEvent::MemberLeft(m) => println!("<< {m} left"),
+                LeaderEvent::Rekeyed(e) => println!("<< rekeyed to epoch {e}"),
+                LeaderEvent::Relayed { from, len } => {
+                    println!("<< relayed {len} bytes from {from}");
+                }
+                LeaderEvent::Rejected { from, reason } => {
+                    println!("<< rejected message claiming to be {from}: {reason}");
+                }
+            }
+        }
+    });
+
+    // Command loop.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        if line == "quit" {
+            break;
+        } else if line == "rekey" {
+            leader.rekey()?;
+        } else if line == "roster" {
+            println!(
+                "roster: {:?} (epoch {:?})",
+                leader
+                    .roster()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>(),
+                leader.epoch()
+            );
+        } else if let Some(user) = line.strip_prefix("expel ") {
+            match leader.expel(&ActorId::new(user.trim())?) {
+                Ok(()) => println!("expelled {user}"),
+                Err(e) => println!("cannot expel: {e}"),
+            }
+        } else if let Some(text) = line.strip_prefix("say ") {
+            leader.broadcast(text.as_bytes())?;
+        } else if !line.is_empty() {
+            println!("commands: rekey | roster | expel <user> | say <text> | quit");
+        }
+    }
+    leader.shutdown();
+    Ok(())
+}
+
+fn run_member(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let connect = flag_value(args, "--connect").unwrap_or("127.0.0.1:7777");
+    let user = flag_value(args, "--user").ok_or("--user required")?;
+    let password = flag_value(args, "--password").ok_or("--password required")?;
+
+    let link = TcpLink::connect(connect.parse()?)?;
+    let member = MemberRuntime::connect(
+        Box::new(link),
+        ActorId::new(user)?,
+        ActorId::new("leader")?,
+        password,
+    )?;
+    member.wait_joined(Duration::from_secs(10))?;
+    println!(
+        "joined as {user}; roster {:?}; type lines to chat, /leave to exit",
+        member
+            .roster()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+
+    let events = member.events().clone();
+    std::thread::spawn(move || {
+        while let Ok(event) = events.recv() {
+            match event {
+                MemberEvent::GroupData { from, data } => {
+                    println!("<{from}> {}", String::from_utf8_lossy(&data));
+                }
+                MemberEvent::AdminData(data) => {
+                    println!("[leader] {}", String::from_utf8_lossy(&data));
+                }
+                MemberEvent::MemberJoined(m) => println!("* {m} joined"),
+                MemberEvent::MemberLeft(m) => println!("* {m} left"),
+                MemberEvent::GroupKeyChanged { epoch } => println!("* group rekeyed (epoch {epoch})"),
+                MemberEvent::Welcomed { .. } | MemberEvent::SessionEstablished => {}
+            }
+        }
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim() == "/leave" {
+            break;
+        }
+        if !line.trim().is_empty() {
+            member.send_group_data(line.as_bytes())?;
+        }
+    }
+    member.leave()?;
+    println!("left the group");
+    Ok(())
+}

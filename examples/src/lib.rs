@@ -1,0 +1,1 @@
+//! Example applications for the Enclaves reproduction.

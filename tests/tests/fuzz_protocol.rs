@@ -1,0 +1,200 @@
+//! Fuzz-style property tests: no mutation of any valid protocol frame is
+//! ever accepted with effect, and no amount of garbage changes session
+//! state.
+//!
+//! These lean on the intrusion-tolerance contract (rejection never
+//! mutates state), which lets one shared world absorb every generated
+//! case.
+
+use enclaves_bench::{member_id, ImprovedGroup};
+use enclaves_core::config::RekeyPolicy;
+use enclaves_wire::codec::{decode, encode};
+use enclaves_wire::message::{Envelope, MsgType};
+use enclaves_wire::ActorId;
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+/// A joined 2-member world plus a captured valid AdminMsg and GroupData
+/// frame (as encoded bytes).
+struct Fixture {
+    world: ImprovedGroup,
+    valid_admin: Vec<u8>,
+    valid_group_data: Vec<u8>,
+}
+
+fn fixture() -> &'static Mutex<Fixture> {
+    static FIXTURE: OnceLock<Mutex<Fixture>> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut world = ImprovedGroup::new(2, RekeyPolicy::Manual);
+        // One broadcast captured mid-flight (not delivered): a valid,
+        // unconsumed AdminMsg for member 0.
+        let out = world.leader.broadcast_admin_data(b"captured").unwrap();
+        let valid_admin = encode(
+            out.outgoing
+                .iter()
+                .find(|e| e.recipient == member_id(0))
+                .unwrap(),
+        );
+        // Settle the rest so the world stays consistent.
+        world.settle(out.outgoing);
+        let valid_group_data = encode(&world.members[1].send_group_data(b"gd").unwrap());
+        Mutex::new(Fixture {
+            world,
+            valid_admin,
+            valid_group_data,
+        })
+    })
+}
+
+fn snapshot(fx: &Fixture) -> (Vec<ActorId>, Option<u64>, Option<u64>) {
+    (
+        fx.world.leader.roster(),
+        fx.world.leader.epoch(),
+        fx.world.members[0].group_epoch(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any bit flip anywhere in a valid AdminMsg frame makes it inert:
+    /// the frame either fails to decode or is rejected; no event fires and
+    /// no state changes.
+    #[test]
+    fn bitflipped_admin_frames_are_inert(byte_idx in 0usize..4096, bit in 0u8..8) {
+        let mut fx = fixture().lock().unwrap();
+        let before = snapshot(&fx);
+        let mut frame = fx.valid_admin.clone();
+        let idx = byte_idx % frame.len();
+        frame[idx] ^= 1 << bit;
+
+        if let Ok(env) = decode::<Envelope>(&frame) {
+            // The envelope parsed; the member must reject it or, at most,
+            // answer idempotently with zero events.
+            match fx.world.members[0].handle(&env) {
+                Ok(out) => prop_assert!(out.events.is_empty(), "mutated frame delivered!"),
+                Err(e) => prop_assert!(e.is_rejection(), "unexpected error class: {e}"),
+            }
+        }
+        prop_assert_eq!(snapshot(&fx), before);
+    }
+
+    /// Same for GroupData frames, at the leader (relay guard) and at a
+    /// member.
+    #[test]
+    fn bitflipped_group_data_is_inert(byte_idx in 0usize..4096, bit in 0u8..8) {
+        let mut fx = fixture().lock().unwrap();
+        let before = snapshot(&fx);
+        let mut frame = fx.valid_group_data.clone();
+        let idx = byte_idx % frame.len();
+        frame[idx] ^= 1 << bit;
+
+        if let Ok(env) = decode::<Envelope>(&frame) {
+            if env.recipient.as_str() == "leader" {
+                match fx.world.leader.handle(&env) {
+                    Ok(out) => {
+                        // Only the pristine frame relays; a mutation that
+                        // leaves the AEAD intact cannot exist.
+                        prop_assert!(
+                            frame == fx.valid_group_data || out.events.is_empty(),
+                            "mutated group data relayed"
+                        );
+                    }
+                    Err(e) => prop_assert!(e.is_rejection(), "unexpected error class: {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(snapshot(&fx), before);
+    }
+
+    /// Arbitrary synthetic envelopes (valid headers, attacker-chosen
+    /// bodies) never pass authentication anywhere.
+    #[test]
+    fn synthetic_envelopes_rejected(
+        msg_type in 1u8..=7,
+        to_leader in any::<bool>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut fx = fixture().lock().unwrap();
+        let before = snapshot(&fx);
+        let env = Envelope {
+            msg_type: MsgType::from_u8(msg_type).unwrap(),
+            sender: if to_leader { member_id(0) } else { ActorId::new("leader").unwrap() },
+            recipient: if to_leader { ActorId::new("leader").unwrap() } else { member_id(0) },
+            body,
+        };
+        if to_leader {
+            let result = fx.world.leader.handle(&env);
+            prop_assert!(result.is_err(), "forged envelope accepted by leader");
+        } else {
+            let result = fx.world.members[0].handle(&env);
+            prop_assert!(result.is_err(), "forged envelope accepted by member");
+        }
+        prop_assert_eq!(snapshot(&fx), before);
+    }
+
+    /// Arbitrary raw bytes never even reach the protocol layer intact.
+    #[test]
+    fn garbage_frames_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut fx = fixture().lock().unwrap();
+        let before = snapshot(&fx);
+        if let Ok(env) = decode::<Envelope>(&bytes) {
+            let _ = fx.world.leader.handle(&env);
+            let _ = fx.world.members[0].handle(&env);
+            // Whatever happened, rejection paths must not mutate state —
+            // garbage cannot authenticate.
+        }
+        prop_assert_eq!(snapshot(&fx), before);
+    }
+}
+
+/// Truncations of a valid frame are all inert.
+#[test]
+fn truncated_frames_are_inert() {
+    let mut fx = fixture().lock().unwrap();
+    let before = snapshot(&fx);
+    let frame = fx.valid_admin.clone();
+    for len in 0..frame.len() {
+        if let Ok(env) = decode::<Envelope>(&frame[..len]) {
+            match fx.world.members[0].handle(&env) {
+                Ok(out) => assert!(out.events.is_empty()),
+                Err(e) => assert!(e.is_rejection()),
+            }
+        }
+    }
+    assert_eq!(snapshot(&fx), before);
+}
+
+/// Header-swap: re-addressing or re-labeling the valid frame must break
+/// the AEAD binding.
+#[test]
+fn relabeled_and_readdressed_frames_rejected() {
+    let mut fx = fixture().lock().unwrap();
+    let env: Envelope = decode(&fx.valid_admin).unwrap();
+
+    // Re-label to every other message type.
+    for t in 1u8..=7 {
+        let mt = MsgType::from_u8(t).unwrap();
+        if mt == env.msg_type {
+            continue;
+        }
+        let relabeled = Envelope {
+            msg_type: mt,
+            ..env.clone()
+        };
+        let r0 = fx.world.members[0].handle(&relabeled);
+        assert!(
+            r0.is_err(),
+            "relabeled frame accepted as {mt:?}"
+        );
+        let r1 = fx.world.leader.handle(&relabeled);
+        assert!(r1.is_err(), "leader accepted relabeled {mt:?}");
+    }
+
+    // Re-address to the other member.
+    let readdressed = Envelope {
+        recipient: member_id(1),
+        ..env
+    };
+    assert!(fx.world.members[1].handle(&readdressed).is_err());
+}

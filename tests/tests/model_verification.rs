@@ -1,0 +1,148 @@
+//! Deeper model-checking runs than the unit tests: the Section 5
+//! verification at standard bounds, plus diagram reachability coverage.
+//! These are the runs recorded in EXPERIMENTS.md rows F2–F4 and P1–P6.
+
+use enclaves_model::explore::{Bounds, Explorer, RandomWalker, StateChecker};
+use enclaves_model::legacy::{LegacyBounds, LegacyExplorer, LegacyProperty};
+use enclaves_model::system::{Scenario, SystemState};
+use enclaves_verify::diagram::{BoxId, Diagram, DiagramCoverage, DiagramEdges};
+use enclaves_verify::properties::all_section_5_4;
+use enclaves_verify::secrecy::{LongTermKeySecrecy, Regularity, SessionKeySecrecy};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+fn arm(ex: &mut Explorer) {
+    ex.add_checker(Box::new(LongTermKeySecrecy::default()));
+    ex.add_checker(Box::new(SessionKeySecrecy::default()));
+    ex.add_checker(Box::new(Regularity::default()));
+    ex.add_checker(Box::new(DiagramCoverage::default()));
+    ex.add_transition_checker(Box::new(DiagramEdges::default()));
+    for checker in all_section_5_4() {
+        ex.add_checker(checker);
+    }
+}
+
+#[test]
+fn honest_pair_standard_depth() {
+    // Two full sessions with two admin exchanges fit inside 14 events; no
+    // insider, so the space stays tractable at full depth.
+    let mut ex = Explorer::new(
+        Scenario::honest_pair(),
+        Bounds {
+            max_events: 14,
+            max_states: 400_000,
+        },
+    );
+    arm(&mut ex);
+    let stats = ex.run();
+    assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+    assert!(
+        stats.states_visited > 300,
+        "exploration too shallow: {stats:?}"
+    );
+    assert!(!stats.truncated, "state cap hit: {stats:?}");
+}
+
+#[test]
+fn insider_coalition_standard_depth() {
+    let mut ex = Explorer::new(
+        Scenario::tight(),
+        Bounds {
+            max_events: 10,
+            max_states: 400_000,
+        },
+    );
+    arm(&mut ex);
+    let stats = ex.run();
+    assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+    assert!(stats.states_visited > 2_000, "{stats:?}");
+}
+
+#[test]
+fn long_random_walks_with_full_battery() {
+    let mut w = RandomWalker::new(Scenario::default(), 30, 80, 0xEC1A);
+    w.add_checker(Box::new(LongTermKeySecrecy::default()));
+    w.add_checker(Box::new(SessionKeySecrecy::default()));
+    w.add_checker(Box::new(Regularity::default()));
+    w.add_checker(Box::new(DiagramCoverage::default()));
+    for checker in all_section_5_4() {
+        w.add_checker(checker);
+    }
+    let checked = w.run();
+    assert!(w.violations.is_empty(), "{}", w.violations[0]);
+    assert!(checked > 500);
+}
+
+/// All 14 diagram boxes are reachable: the reconstructed Figure 4 has no
+/// dead boxes. (Q10/Q11/Q13/Q14 need a close during a pending exchange
+/// plus a restart, so they appear only at higher depths.)
+#[test]
+fn all_diagram_boxes_reachable() {
+    struct Collector(&'static Mutex<HashSet<BoxId>>, Diagram);
+    impl StateChecker for Collector {
+        fn name(&self) -> &str {
+            "collector"
+        }
+        fn check(&self, state: &SystemState) -> Result<(), String> {
+            let b = self.1.box_of(state)?;
+            self.0.lock().unwrap().insert(b);
+            Ok(())
+        }
+    }
+    let seen: &'static Mutex<HashSet<BoxId>> = Box::leak(Box::new(Mutex::new(HashSet::new())));
+
+    let mut ex = Explorer::new(
+        Scenario {
+            max_sessions_a: 2,
+            max_admin_per_user: 1,
+            ..Scenario::honest_pair()
+        },
+        Bounds {
+            max_events: 14,
+            max_states: 400_000,
+        },
+    );
+    ex.add_checker(Box::new(Collector(seen, Diagram::default())));
+    let _ = ex.run();
+    assert!(ex.violations.is_empty(), "{}", ex.violations[0]);
+
+    let reached = seen.lock().unwrap();
+    for expected in BoxId::ALL {
+        assert!(
+            reached.contains(&expected),
+            "diagram box {expected:?} never reached; got {reached:?}"
+        );
+    }
+}
+
+#[test]
+fn legacy_attacks_found_at_default_bounds() {
+    for property in LegacyProperty::ALL {
+        let finding = LegacyExplorer::new(LegacyBounds::default()).find_attack(property);
+        assert!(
+            finding.counterexample.is_some(),
+            "{property:?} counterexample not found in {} states",
+            finding.states
+        );
+    }
+}
+
+/// The counterexample traces are minimal-ish: BFS finds the shortest
+/// attack, matching the paper's informal descriptions.
+#[test]
+fn legacy_attack_traces_are_short() {
+    let denial = LegacyExplorer::new(LegacyBounds::default())
+        .find_attack(LegacyProperty::NoFalseDenial);
+    let (_, state) = denial.counterexample.unwrap();
+    assert!(
+        state.trace.len() <= 3,
+        "the DoS needs only req_open + forged denial: {:?}",
+        state.trace
+    );
+
+    let rollback = LegacyExplorer::new(LegacyBounds::default())
+        .find_attack(LegacyProperty::NoKeyRollback);
+    let (_, state) = rollback.counterexample.unwrap();
+    // join (5 events incl. pre-auth) + two rekeys + replay ≈ 9.
+    assert!(state.trace.len() <= 10, "{:?}", state.trace);
+}

@@ -1,0 +1,182 @@
+//! End-to-end public-key authentication (the paper's footnote-1 variant):
+//! X25519 static-static derivation of `P_a`, identical protocol above it.
+
+use enclaves_core::config::LeaderConfig;
+use enclaves_core::directory::Directory;
+use enclaves_core::protocol::{MemberEvent, MemberSession};
+use enclaves_core::runtime::{LeaderRuntime, MemberRuntime};
+use enclaves_crypto::rng::SeededRng;
+use enclaves_crypto::x25519::StaticSecret;
+use enclaves_net::sim::{SimConfig, SimNet};
+use enclaves_wire::ActorId;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(5);
+
+fn id(s: &str) -> ActorId {
+    ActorId::new(s).unwrap()
+}
+
+struct PkWorld {
+    net: SimNet,
+    leader: LeaderRuntime,
+    leader_public: enclaves_crypto::x25519::PublicKey,
+    secrets: Vec<(String, StaticSecret)>,
+}
+
+fn world(users: &[&str], seed: u64) -> PkWorld {
+    let mut rng = SeededRng::from_seed(seed);
+    let leader_secret = StaticSecret::generate(&mut rng);
+    let leader_public = leader_secret.public_key();
+    let mut directory = Directory::new();
+    let mut secrets = Vec::new();
+    for user in users {
+        let secret = StaticSecret::generate(&mut rng);
+        directory
+            .register_public_key(&id(user), &secret.public_key(), &leader_secret, &id("leader"))
+            .unwrap();
+        secrets.push(((*user).to_string(), secret));
+    }
+    let net = SimNet::new(SimConfig::default());
+    let listener = net.listen("leader").unwrap();
+    let leader = LeaderRuntime::spawn(
+        Box::new(listener),
+        id("leader"),
+        directory,
+        LeaderConfig::default(),
+    );
+    PkWorld {
+        net,
+        leader,
+        leader_public,
+        secrets,
+    }
+}
+
+fn join(world: &PkWorld, user: &str) -> MemberRuntime {
+    let secret = &world
+        .secrets
+        .iter()
+        .find(|(name, _)| name == user)
+        .unwrap()
+        .1;
+    let (session, init) = MemberSession::start_with_static_keys(
+        id(user),
+        id("leader"),
+        secret,
+        &world.leader_public,
+    )
+    .unwrap();
+    let member = MemberRuntime::run(
+        Box::new(world.net.connect(user, "leader").unwrap()),
+        session,
+        init,
+    )
+    .unwrap();
+    member.wait_joined(WAIT).unwrap();
+    member
+}
+
+#[test]
+fn pk_authenticated_group_works_end_to_end() {
+    let world = world(&["alice", "bob"], 7);
+    let alice = join(&world, "alice");
+    let bob = join(&world, "bob");
+
+    let deadline = std::time::Instant::now() + WAIT;
+    while alice.group_epoch() != world.leader.epoch()
+        || bob.group_epoch() != world.leader.epoch()
+    {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    alice.send_group_data(b"pk hello").unwrap();
+    let event = bob
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))
+        .unwrap();
+    assert!(matches!(event, MemberEvent::GroupData { data, .. } if data == b"pk hello"));
+
+    bob.leave().unwrap();
+    alice
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::MemberLeft(_)))
+        .unwrap();
+    assert_eq!(world.leader.roster(), vec![id("alice")]);
+    world.leader.shutdown();
+}
+
+#[test]
+fn wrong_keypair_impostor_rejected() {
+    let world = world(&["alice"], 8);
+    let mut rng = SeededRng::from_seed(999);
+    let mallory = StaticSecret::generate(&mut rng);
+    let (session, init) = MemberSession::start_with_static_keys(
+        id("alice"),
+        id("leader"),
+        &mallory,
+        &world.leader_public,
+    )
+    .unwrap();
+    let impostor = MemberRuntime::run(
+        Box::new(world.net.connect("alice", "leader").unwrap()),
+        session,
+        init,
+    )
+    .unwrap();
+    assert!(impostor.wait_joined(Duration::from_millis(300)).is_err());
+    assert!(world.leader.roster().is_empty());
+    impostor.abandon();
+    world.leader.shutdown();
+}
+
+#[test]
+fn pk_and_password_members_coexist() {
+    // A directory can mix registration modes: the protocol only sees the
+    // derived long-term keys.
+    let mut rng = SeededRng::from_seed(11);
+    let leader_secret = StaticSecret::generate(&mut rng);
+    let alice_secret = StaticSecret::generate(&mut rng);
+    let mut directory = Directory::new();
+    directory
+        .register_public_key(
+            &id("alice"),
+            &alice_secret.public_key(),
+            &leader_secret,
+            &id("leader"),
+        )
+        .unwrap();
+    directory.register_password(&id("bob"), "bob-pw").unwrap();
+
+    let net = SimNet::new(SimConfig::default());
+    let listener = net.listen("leader").unwrap();
+    let leader = LeaderRuntime::spawn(
+        Box::new(listener),
+        id("leader"),
+        directory,
+        LeaderConfig::default(),
+    );
+
+    let (session, init) = MemberSession::start_with_static_keys(
+        id("alice"),
+        id("leader"),
+        &alice_secret,
+        &leader_secret.public_key(),
+    )
+    .unwrap();
+    let alice =
+        MemberRuntime::run(Box::new(net.connect("alice", "leader").unwrap()), session, init)
+            .unwrap();
+    alice.wait_joined(WAIT).unwrap();
+
+    let bob = MemberRuntime::connect(
+        Box::new(net.connect("bob", "leader").unwrap()),
+        id("bob"),
+        id("leader"),
+        "bob-pw",
+    )
+    .unwrap();
+    bob.wait_joined(WAIT).unwrap();
+
+    assert_eq!(leader.roster(), vec![id("alice"), id("bob")]);
+    leader.shutdown();
+}

@@ -1,0 +1,133 @@
+//! The same protocol stack over real TCP: the examples' transport,
+//! exercised as a test.
+
+use enclaves_core::config::{LeaderConfig, RekeyPolicy};
+use enclaves_core::directory::Directory;
+use enclaves_core::protocol::MemberEvent;
+use enclaves_core::runtime::{LeaderRuntime, MemberRuntime};
+use enclaves_net::tcp::{TcpAcceptor, TcpLink};
+use enclaves_wire::ActorId;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn id(s: &str) -> ActorId {
+    ActorId::new(s).unwrap()
+}
+
+#[test]
+fn group_over_loopback_tcp() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = acceptor.local_addr();
+    let mut directory = Directory::new();
+    for user in ["alice", "bob"] {
+        directory
+            .register_password(&id(user), &format!("{user}-pw"))
+            .unwrap();
+    }
+    let leader = LeaderRuntime::spawn(
+        Box::new(acceptor),
+        id("leader"),
+        directory,
+        LeaderConfig {
+            rekey_policy: RekeyPolicy::OnJoinAndLeave,
+            ..LeaderConfig::default()
+        },
+    );
+
+    let alice = MemberRuntime::connect(
+        Box::new(TcpLink::connect(addr).unwrap()),
+        id("alice"),
+        id("leader"),
+        "alice-pw",
+    )
+    .unwrap();
+    alice.wait_joined(WAIT).unwrap();
+
+    let bob = MemberRuntime::connect(
+        Box::new(TcpLink::connect(addr).unwrap()),
+        id("bob"),
+        id("leader"),
+        "bob-pw",
+    )
+    .unwrap();
+    bob.wait_joined(WAIT).unwrap();
+
+    // Wait for epoch convergence (bob's join rekeyed).
+    let deadline = std::time::Instant::now() + WAIT;
+    while alice.group_epoch() != leader.epoch() || bob.group_epoch() != leader.epoch() {
+        assert!(std::time::Instant::now() < deadline, "epoch sync");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Bidirectional group data over TCP.
+    alice.send_group_data(b"over tcp").unwrap();
+    let event = bob
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))
+        .unwrap();
+    assert!(matches!(event, MemberEvent::GroupData { data, .. } if data == b"over tcp"));
+
+    bob.send_group_data(b"ack over tcp").unwrap();
+    let event = alice
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))
+        .unwrap();
+    assert!(matches!(event, MemberEvent::GroupData { data, .. } if data == b"ack over tcp"));
+
+    bob.leave().unwrap();
+    alice
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::MemberLeft(_)))
+        .unwrap();
+    assert_eq!(leader.roster(), vec![id("alice")]);
+
+    alice.leave().unwrap();
+    leader.shutdown();
+}
+
+#[test]
+fn tcp_member_crash_does_not_break_group() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = acceptor.local_addr();
+    let mut directory = Directory::new();
+    for user in ["alice", "bob"] {
+        directory
+            .register_password(&id(user), &format!("{user}-pw"))
+            .unwrap();
+    }
+    let leader = LeaderRuntime::spawn(
+        Box::new(acceptor),
+        id("leader"),
+        directory,
+        LeaderConfig::default(),
+    );
+
+    let alice = MemberRuntime::connect(
+        Box::new(TcpLink::connect(addr).unwrap()),
+        id("alice"),
+        id("leader"),
+        "alice-pw",
+    )
+    .unwrap();
+    alice.wait_joined(WAIT).unwrap();
+    let bob = MemberRuntime::connect(
+        Box::new(TcpLink::connect(addr).unwrap()),
+        id("bob"),
+        id("leader"),
+        "bob-pw",
+    )
+    .unwrap();
+    bob.wait_joined(WAIT).unwrap();
+
+    // Bob's process dies without a close.
+    bob.abandon();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The group state is authoritative: bob is still a member until the
+    // application expels him; the leader keeps serving alice.
+    assert_eq!(leader.roster(), vec![id("alice"), id("bob")]);
+    leader.expel(&id("bob")).unwrap();
+    alice
+        .wait_event(WAIT, |e| matches!(e, MemberEvent::MemberLeft(_)))
+        .unwrap();
+    assert_eq!(leader.roster(), vec![id("alice")]);
+    leader.shutdown();
+}
