@@ -1,0 +1,86 @@
+//! Broadcast fan-out: legacy per-member sealing vs the single-seal group-key
+//! data plane (EXPERIMENTS.md row S9).
+//!
+//! The legacy path (`broadcast_admin_data`) seals the payload once per member
+//! under each pairwise `K_a` and must drain the stop-and-wait acknowledgment
+//! queues between iterations, so its cost is O(N) AEAD seals plus O(N)
+//! envelope encodes. The single-seal path (`broadcast_group_data`) seals once
+//! under the epoch group key and encodes one shared frame; fan-out is a
+//! refcount bump per recipient. Expected shape: the legacy curve grows
+//! linearly in N while single-seal stays flat, crossing the 10× mark well
+//! before N = 512.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enclaves_bench::FanoutGroup;
+use std::hint::black_box;
+
+const GROUP_SIZES: [usize; 4] = [8, 64, 512, 4096];
+const PAYLOAD: [u8; 256] = [0x42; 256];
+
+fn bench_legacy_per_member(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_fanout/legacy_per_member");
+    group.sample_size(10);
+    for n in GROUP_SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut world = FanoutGroup::new(n);
+            b.iter(|| {
+                let out = world
+                    .leader
+                    .broadcast_admin_data(black_box(&PAYLOAD))
+                    .unwrap();
+                world.settle(out.outgoing);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_fanout/single_seal");
+    group.sample_size(10);
+    for n in GROUP_SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut world = FanoutGroup::new(n);
+            b.iter(|| {
+                let bc = world
+                    .leader
+                    .broadcast_group_data(black_box(&PAYLOAD))
+                    .unwrap();
+                black_box(&bc.frame);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_seal_delivery(c: &mut Criterion) {
+    // End-to-end variant: every member decodes and opens the shared frame.
+    // Still one seal on the leader; the per-member cost is one AEAD open.
+    let mut group = c.benchmark_group("broadcast_fanout/single_seal_delivered");
+    group.sample_size(10);
+    for n in GROUP_SIZES.iter().filter(|&&n| n <= 512) {
+        group.throughput(Throughput::Elements(*n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), n, |b, &n| {
+            let mut world = FanoutGroup::new(n);
+            b.iter(|| {
+                let bc = world
+                    .leader
+                    .broadcast_group_data(black_box(&PAYLOAD))
+                    .unwrap();
+                let delivered = world.deliver_broadcast(&bc.frame);
+                assert_eq!(delivered.len(), n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_legacy_per_member,
+    bench_single_seal,
+    bench_single_seal_delivery
+);
+criterion_main!(benches);

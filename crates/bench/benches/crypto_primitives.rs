@@ -78,7 +78,11 @@ fn bench_aead(c: &mut Criterion) {
         });
         let sealed = cipher.seal(&nonce, &data, b"aad");
         group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, sealed| {
-            b.iter(|| cipher.open(black_box(&nonce), black_box(sealed), b"aad").unwrap());
+            b.iter(|| {
+                cipher
+                    .open(black_box(&nonce), black_box(sealed), b"aad")
+                    .unwrap()
+            });
         });
     }
     group.finish();

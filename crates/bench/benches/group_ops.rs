@@ -25,7 +25,10 @@ fn bench_admin_broadcast(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut world = ImprovedGroup::new(n, RekeyPolicy::Manual);
             b.iter(|| {
-                let out = world.leader.broadcast_admin_data(black_box(b"tick")).unwrap();
+                let out = world
+                    .leader
+                    .broadcast_admin_data(black_box(b"tick"))
+                    .unwrap();
                 world.settle(out.outgoing);
             });
         });
@@ -84,7 +87,9 @@ fn bench_group_data_relay(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), n, |b, &n| {
             let mut world = ImprovedGroup::new(n, RekeyPolicy::Manual);
             b.iter(|| {
-                let env = world.members[0].send_group_data(black_box(b"hello group")).unwrap();
+                let env = world.members[0]
+                    .send_group_data(black_box(b"hello group"))
+                    .unwrap();
                 let out = world.leader.handle(&env).unwrap();
                 for relay in out.outgoing {
                     if let Some(idx) = relay

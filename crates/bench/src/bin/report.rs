@@ -7,12 +7,137 @@
 //!   exhaustively).
 //!
 //! Run with `cargo run --release -p enclaves-bench --bin report`.
+//!
+//! With `--fanout` it instead measures the broadcast fan-out experiment
+//! (EXPERIMENTS.md row S9) and writes `BENCH_fanout.json` at the workspace
+//! root: legacy per-member sealing vs the single-seal group-key data plane,
+//! asserting exactly one AEAD seal per broadcast and a ≥10× wall-clock win
+//! at N = 512.
 
+use enclaves_bench::FanoutGroup;
 use enclaves_core::attacks;
 use enclaves_model::explore::Bounds;
 use enclaves_verify::runner;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured fan-out size.
+struct FanoutRow {
+    n: usize,
+    legacy_ns: u128,
+    single_seal_ns: u128,
+    seals_per_broadcast: u64,
+}
+
+impl FanoutRow {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.single_seal_ns as f64
+    }
+}
+
+/// Median-of-`iters` wall-clock time per call of `f`, in nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure_fanout(n: usize, iters: usize) -> FanoutRow {
+    let payload = [0x42u8; 256];
+
+    let mut world = FanoutGroup::new(n);
+    let legacy_ns = median_ns(iters, || {
+        let out = world.leader.broadcast_admin_data(&payload).unwrap();
+        world.settle(out.outgoing);
+    });
+
+    let mut world = FanoutGroup::new(n);
+    let seals_before = world.leader.stats().data_seals;
+    let broadcasts_before = world.leader.stats().broadcasts;
+    let single_seal_ns = median_ns(iters, || {
+        let bc = world.leader.broadcast_group_data(&payload).unwrap();
+        std::hint::black_box(&bc.frame);
+    });
+    let seals = world.leader.stats().data_seals - seals_before;
+    let broadcasts = world.leader.stats().broadcasts - broadcasts_before;
+    assert_eq!(
+        seals, broadcasts,
+        "single-seal invariant: exactly one AEAD seal per broadcast"
+    );
+
+    FanoutRow {
+        n,
+        legacy_ns,
+        single_seal_ns,
+        seals_per_broadcast: seals / broadcasts,
+    }
+}
+
+fn run_fanout() {
+    println!("-- Broadcast fan-out (row S9): legacy vs single-seal -----------");
+    println!();
+    println!(
+        "  {:>6} {:>14} {:>14} {:>9} {:>6}",
+        "N", "legacy", "single-seal", "speedup", "seals"
+    );
+    let rows: Vec<FanoutRow> = [8usize, 64, 512, 4096]
+        .iter()
+        .map(|&n| {
+            let iters = if n >= 4096 { 5 } else { 11 };
+            let row = measure_fanout(n, iters);
+            println!(
+                "  {:>6} {:>12.2}us {:>12.2}us {:>8.1}x {:>6}",
+                row.n,
+                row.legacy_ns as f64 / 1e3,
+                row.single_seal_ns as f64 / 1e3,
+                row.speedup(),
+                row.seals_per_broadcast,
+            );
+            row
+        })
+        .collect();
+
+    let at_512 = rows.iter().find(|r| r.n == 512).expect("512 is measured");
+    assert!(
+        at_512.speedup() >= 10.0,
+        "expected >=10x at N=512, got {:.1}x",
+        at_512.speedup()
+    );
+    assert!(rows.iter().all(|r| r.seals_per_broadcast == 1));
+
+    let mut json = String::from("{\n  \"experiment\": \"broadcast_fanout\",\n");
+    json.push_str("  \"payload_bytes\": 256,\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"legacy_ns\": {}, \"single_seal_ns\": {}, \
+             \"speedup\": {:.1}, \"seals_per_broadcast\": {}}}{}",
+            row.n,
+            row.legacy_ns,
+            row.single_seal_ns,
+            row.speedup(),
+            row.seals_per_broadcast,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json");
+    std::fs::write(path, json).expect("write BENCH_fanout.json");
+    println!();
+    println!("  single-seal invariant holds; >=10x at N=512; wrote BENCH_fanout.json");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--fanout") {
+        run_fanout();
+        return;
+    }
     let deep = std::env::args().any(|a| a == "--deep");
     let bounds = if deep {
         Bounds {
@@ -31,7 +156,10 @@ fn main() {
     println!("================================================================");
     println!();
     println!("-- Verification suite (Section 5, bounded model checking) ------");
-    println!("   bounds: max_events={} max_states={}", bounds.max_events, bounds.max_states);
+    println!(
+        "   bounds: max_events={} max_states={}",
+        bounds.max_events, bounds.max_states
+    );
     println!();
     let start = std::time::Instant::now();
     let mut results = runner::run_full_suite(bounds);
@@ -59,7 +187,10 @@ fn main() {
 
     println!("-- Attack matrix (Section 2.3, byte-level implementations) -----");
     println!();
-    println!("  {:4} {:38} {:9} {:10}", "id", "attack", "legacy", "improved");
+    println!(
+        "  {:4} {:38} {:9} {:10}",
+        "id", "attack", "legacy", "improved"
+    );
     let reports = attacks::run_all();
     for pair in reports.chunks(2) {
         let legacy = &pair[0];
@@ -69,7 +200,11 @@ fn main() {
             legacy.id,
             legacy.name,
             if legacy.succeeded { "BROKEN" } else { "held" },
-            if improved.succeeded { "BROKEN" } else { "resists" },
+            if improved.succeeded {
+                "BROKEN"
+            } else {
+                "resists"
+            },
         );
     }
     let matrix_ok = reports.iter().all(|r| match r.against {

@@ -57,6 +57,25 @@ pub struct ImprovedGroup {
     pub members: Vec<MemberSession>,
 }
 
+/// Routes all outgoing leader traffic until quiescent (used after
+/// broadcast/rekey operations so stop-and-wait acks are drained).
+pub fn settle(leader: &mut LeaderCore, members: &mut [MemberSession], outgoing: Vec<Envelope>) {
+    let mut queue = outgoing;
+    while let Some(env) = queue.pop() {
+        if env.recipient == *leader.leader_id() {
+            if let Ok(out) = leader.handle(&env) {
+                queue.extend(out.outgoing);
+            }
+        } else if let Some(idx) = index_of(&env.recipient) {
+            if idx < members.len() {
+                if let Ok(out) = members[idx].handle(&env) {
+                    queue.extend(out.reply);
+                }
+            }
+        }
+    }
+}
+
 impl ImprovedGroup {
     /// Builds and fully joins an `n`-member group.
     ///
@@ -96,20 +115,96 @@ impl ImprovedGroup {
     /// Routes all outgoing leader traffic until quiescent (used after
     /// broadcast/rekey operations in benches).
     pub fn settle(&mut self, outgoing: Vec<Envelope>) {
-        let mut queue = outgoing;
-        while let Some(env) = queue.pop() {
-            if env.recipient == *self.leader.leader_id() {
-                if let Ok(out) = self.leader.handle(&env) {
-                    queue.extend(out.outgoing);
-                }
-            } else if let Some(idx) = index_of(&env.recipient) {
-                if idx < self.members.len() {
-                    if let Ok(out) = self.members[idx].handle(&env) {
-                        queue.extend(out.reply);
-                    }
-                }
-            }
+        settle(&mut self.leader, &mut self.members, outgoing);
+    }
+}
+
+/// Deterministic cheap long-term key for member `i` (no PBKDF2 — at
+/// N=4096 password derivation would dominate world setup by orders of
+/// magnitude).
+#[must_use]
+pub fn cheap_member_key(i: usize) -> LongTermKey {
+    let mut bytes = [0x5Au8; 32];
+    bytes[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    LongTermKey::from_bytes(bytes)
+}
+
+/// A fully joined improved-protocol world specialized for broadcast
+/// fan-out experiments: cheap long-term keys, manual rekey policy, and
+/// membership notices suppressed so building the roster costs O(N)
+/// messages instead of the O(N²) join-notice storm.
+pub struct FanoutGroup {
+    /// The leader core.
+    pub leader: LeaderCore,
+    /// Member sessions, index-aligned with [`member_id`].
+    pub members: Vec<MemberSession>,
+}
+
+impl FanoutGroup {
+    /// Builds and fully joins an `n`-member group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deterministic handshake fails (a bug, not an input
+    /// condition).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let mut directory = Directory::new();
+        for i in 0..n {
+            directory.register_key(&member_id(i), cheap_member_key(i));
         }
+        let mut leader = LeaderCore::with_rng(
+            leader_id(),
+            directory,
+            LeaderConfig {
+                rekey_policy: RekeyPolicy::Manual,
+                max_members: n.max(2),
+                membership_notices: false,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(42)),
+        );
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let (session, init) = MemberSession::start_with_key(
+                member_id(i),
+                leader_id(),
+                cheap_member_key(i),
+                Box::new(SeededRng::from_seed(3000 + i as u64)),
+            );
+            members.push(session);
+            pump(&mut leader, &mut members, init);
+        }
+        FanoutGroup { leader, members }
+    }
+
+    /// Drains admin-path acks (needed between legacy broadcasts — the
+    /// stop-and-wait channel queues the next payload otherwise).
+    pub fn settle(&mut self, outgoing: Vec<Envelope>) {
+        settle(&mut self.leader, &mut self.members, outgoing);
+    }
+
+    /// Delivers one shared single-seal broadcast frame to every member,
+    /// returning the decrypted payloads (one per member, in member
+    /// order). The frame is decoded once and the identical envelope is
+    /// handed to each session, mirroring the runtime's refcounted
+    /// dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame does not decode or any member rejects it.
+    pub fn deliver_broadcast(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        let env: Envelope = enclaves_wire::codec::decode(frame).expect("valid broadcast frame");
+        self.members
+            .iter_mut()
+            .map(|m| {
+                let out = m.handle(&env).expect("member accepts broadcast");
+                match out.events.into_iter().next() {
+                    Some(enclaves_core::protocol::MemberEvent::Broadcast { data, .. }) => data,
+                    other => panic!("expected Broadcast event, got {other:?}"),
+                }
+            })
+            .collect()
     }
 }
 
@@ -155,11 +250,8 @@ impl LegacyGroup {
         for i in 0..n {
             directory.register_key(&member_id(i), member_key(i));
         }
-        let mut leader = LegacyLeaderCore::with_rng(
-            leader_id(),
-            directory,
-            Box::new(SeededRng::from_seed(42)),
-        );
+        let mut leader =
+            LegacyLeaderCore::with_rng(leader_id(), directory, Box::new(SeededRng::from_seed(42)));
         let mut members: Vec<LegacyMemberSession> = Vec::with_capacity(n);
         for i in 0..n {
             let (session, open) = LegacyMemberSession::start(
@@ -300,5 +392,26 @@ mod tests {
         // second broadcast goes straight out to all members.
         let out2 = g.leader.broadcast_admin_data(b"tock").unwrap();
         assert_eq!(out2.outgoing.len(), 3);
+    }
+
+    #[test]
+    fn fanout_group_single_seal_roundtrip() {
+        let mut g = FanoutGroup::new(17);
+        assert_eq!(g.leader.roster().len(), 17);
+        let bc = g.leader.broadcast_group_data(b"one seal").unwrap();
+        let payloads = g.deliver_broadcast(&bc.frame);
+        assert_eq!(payloads.len(), 17);
+        assert!(payloads.iter().all(|p| p == b"one seal"));
+        assert_eq!(g.leader.stats().data_seals, 1);
+        // Legacy path still works in the same world (for the comparison
+        // bench) and costs one seal per member.
+        let out = g.leader.broadcast_admin_data(b"n seals").unwrap();
+        assert_eq!(out.outgoing.len(), 17);
+        g.settle(out.outgoing);
+        assert_eq!(
+            g.leader.stats().data_seals,
+            1,
+            "admin path is control plane"
+        );
     }
 }

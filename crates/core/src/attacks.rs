@@ -59,7 +59,11 @@ impl std::fmt::Display for AttackReport {
             self.id,
             self.name,
             self.against,
-            if self.succeeded { "SUCCEEDED" } else { "blocked" },
+            if self.succeeded {
+                "SUCCEEDED"
+            } else {
+                "blocked"
+            },
             self.detail
         )
     }
@@ -256,8 +260,7 @@ pub fn forged_denial_legacy() -> AttackReport {
         body: Vec::new(),
     };
     let result = world.alice.handle(&forged);
-    let succeeded =
-        result.is_ok() && world.alice.phase() == LegacyPhase::Denied;
+    let succeeded = result.is_ok() && world.alice.phase() == LegacyPhase::Denied;
     AttackReport {
         id: "A1",
         name: "forged connection_denied DoS",
@@ -298,8 +301,7 @@ pub fn forged_denial_improved() -> AttackReport {
         body: fake.body, // structurally plausible, wrong key
     };
     let result = alice.handle(&forged);
-    let blocked = result.is_err()
-        && alice.phase() == crate::protocol::SessionPhase::WaitingForKey;
+    let blocked = result.is_err() && alice.phase() == crate::protocol::SessionPhase::WaitingForKey;
     AttackReport {
         id: "A1",
         name: "forged connection_denied DoS",
@@ -329,7 +331,9 @@ pub fn forged_mem_removed_legacy() -> AttackReport {
     let body = crate::legacy::member::legacy_seal(
         kg.as_bytes(),
         LegacyMsgType::MemRemoved,
-        &LegacyMemberNotice { member: id("brutus") },
+        &LegacyMemberNotice {
+            member: id("brutus"),
+        },
         &mut rng,
     );
     let forged = LegacyEnvelope {
@@ -488,7 +492,11 @@ pub fn key_rollback_improved() -> AttackReport {
         detail: if blocked {
             "replayed AdminMsg rejected: nonce chain proves staleness".into()
         } else {
-            format!("unexpected: {result:?}, epoch {:?} -> {:?}", epoch_before, world.alice.group_epoch())
+            format!(
+                "unexpected: {result:?}, epoch {:?} -> {:?}",
+                epoch_before,
+                world.alice.group_epoch()
+            )
         },
     }
 }
@@ -670,7 +678,10 @@ mod tests {
 
     #[test]
     fn a1_forged_denial() {
-        assert!(forged_denial_legacy().succeeded, "legacy must be vulnerable");
+        assert!(
+            forged_denial_legacy().succeeded,
+            "legacy must be vulnerable"
+        );
         assert!(!forged_denial_improved().succeeded, "improved must resist");
     }
 

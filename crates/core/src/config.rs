@@ -48,6 +48,12 @@ pub struct LeaderConfig {
     /// Maximum queued admin payloads per member before the oldest are
     /// coalesced (a slow member must not exhaust leader memory).
     pub max_pending_admin: usize,
+    /// Whether join/leave notices (`MemberJoined` / `MemberLeft`) are sent
+    /// to the rest of the group over the admin channel. Production groups
+    /// keep this on; very large benchmark groups turn it off to avoid the
+    /// O(N²) admin storm while the roster is being built. Key material
+    /// (`NewGroupKey`) is always distributed regardless of this flag.
+    pub membership_notices: bool,
 }
 
 impl Default for LeaderConfig {
@@ -58,6 +64,7 @@ impl Default for LeaderConfig {
             rekey_policy: RekeyPolicy::OnJoinAndLeave,
             max_members: 1024,
             max_pending_admin: 256,
+            membership_notices: true,
         }
     }
 }
@@ -93,5 +100,6 @@ mod tests {
         assert_eq!(c.rekey_policy, RekeyPolicy::OnJoinAndLeave);
         assert!(c.max_members >= 2);
         assert!(c.max_pending_admin >= 1);
+        assert!(c.membership_notices, "notices are on unless opted out");
     }
 }

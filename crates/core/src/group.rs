@@ -60,6 +60,10 @@ pub struct GroupState {
     current: Option<GroupEpoch>,
     /// Group-data messages relayed since the last rekey.
     traffic_since_rekey: u32,
+    /// Sequence number of the next leader data-plane broadcast in the
+    /// current epoch. Resets to zero on every rekey so the nonce derived
+    /// from `(epoch IV, seq)` never repeats under one key.
+    broadcast_seq: u64,
 }
 
 impl Default for GroupState {
@@ -76,6 +80,7 @@ impl GroupState {
             roster: BTreeSet::new(),
             current: None,
             traffic_since_rekey: 0,
+            broadcast_seq: 0,
         }
     }
 
@@ -136,8 +141,17 @@ impl GroupState {
             .expect("rekey before first join")
             .next(rng);
         self.traffic_since_rekey = 0;
+        self.broadcast_seq = 0;
         self.current = Some(next);
         self.current.as_ref().expect("just set")
+    }
+
+    /// Claims the next data-plane broadcast sequence number for the
+    /// current epoch.
+    pub fn next_broadcast_seq(&mut self) -> u64 {
+        let seq = self.broadcast_seq;
+        self.broadcast_seq += 1;
+        seq
     }
 
     /// Records one relayed group-data message; returns the total since the
@@ -241,6 +255,18 @@ mod tests {
         assert_eq!(g.count_traffic(), 2);
         g.rekey(&mut rng);
         assert_eq!(g.count_traffic(), 1);
+    }
+
+    #[test]
+    fn broadcast_seq_resets_on_rekey() {
+        let mut rng = SeededRng::from_seed(1);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        assert_eq!(g.next_broadcast_seq(), 0);
+        assert_eq!(g.next_broadcast_seq(), 1);
+        assert_eq!(g.next_broadcast_seq(), 2);
+        g.rekey(&mut rng);
+        assert_eq!(g.next_broadcast_seq(), 0, "fresh epoch, fresh nonces");
     }
 
     #[test]

@@ -91,7 +91,8 @@ impl LegacyLeaderCore {
         let mut members: Vec<ActorId> = self
             .slots
             .iter()
-            .filter(|&(_user, slot)| matches!(slot, Slot::Member { .. })).map(|(user, _slot)| user.clone())
+            .filter(|&(_user, slot)| matches!(slot, Slot::Member { .. }))
+            .map(|(user, _slot)| user.clone())
             .collect();
         members.sort();
         members
@@ -177,8 +178,12 @@ impl LegacyLeaderCore {
                     group_key: *self.group_key.as_ref().expect("created above").as_bytes(),
                 };
                 let long_term = self.directory.lookup(&user).expect("checked above");
-                let body =
-                    legacy_seal(long_term.as_bytes(), LegacyMsgType::Auth2, &auth2, self.rng.as_mut());
+                let body = legacy_seal(
+                    long_term.as_bytes(),
+                    LegacyMsgType::Auth2,
+                    &auth2,
+                    self.rng.as_mut(),
+                );
                 self.slots.insert(
                     user.clone(),
                     Slot::WaitAuth3 {
@@ -210,7 +215,8 @@ impl LegacyLeaderCore {
                     return Err(CoreError::Rejected(RejectReason::StaleNonce));
                 }
                 let session_key = session_key.clone();
-                self.slots.insert(user.clone(), Slot::Member { session_key });
+                self.slots
+                    .insert(user.clone(), Slot::Member { session_key });
                 // Tell the group (under the shared group key — the flaw).
                 let mut output = self.notify_others(&user, LegacyMsgType::MemJoined);
                 output.events.push(LegacyLeaderEvent::MemberJoined(user));
@@ -345,11 +351,8 @@ mod tests {
             &id("bob"),
             LongTermKey::derive_from_password("pw-b", "bob").unwrap(),
         );
-        let leader = LegacyLeaderCore::with_rng(
-            id("leader"),
-            directory,
-            Box::new(SeededRng::from_seed(3)),
-        );
+        let leader =
+            LegacyLeaderCore::with_rng(id("leader"), directory, Box::new(SeededRng::from_seed(3)));
         let (member, req_open) = LegacyMemberSession::start(
             id("alice"),
             id("leader"),
@@ -391,10 +394,7 @@ mod tests {
         assert_eq!(alice.phase(), LegacyPhase::Member);
         assert_eq!(leader.roster(), vec![id("alice")]);
         // The group key was distributed during authentication.
-        assert_eq!(
-            alice.group_key().unwrap(),
-            leader.group_key().unwrap()
-        );
+        assert_eq!(alice.group_key().unwrap(), leader.group_key().unwrap());
     }
 
     #[test]
@@ -408,10 +408,7 @@ mod tests {
                 body: Vec::new(),
             })
             .unwrap();
-        assert_eq!(
-            out.outgoing[0].msg_type,
-            LegacyMsgType::ConnectionDenied
-        );
+        assert_eq!(out.outgoing[0].msg_type, LegacyMsgType::ConnectionDenied);
     }
 
     #[test]
@@ -438,7 +435,9 @@ mod tests {
             body: Vec::new(),
         };
         let out = leader.handle(&forged).unwrap();
-        assert!(out.events.contains(&LegacyLeaderEvent::MemberLeft(id("alice"))));
+        assert!(out
+            .events
+            .contains(&LegacyLeaderEvent::MemberLeft(id("alice"))));
         assert!(leader.roster().is_empty());
     }
 }

@@ -5,12 +5,12 @@ use crate::error::{CoreError, RejectReason};
 use enclaves_crypto::keys::{GroupKey, LongTermKey, SessionKey};
 use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce};
 use enclaves_crypto::rng::CryptoRng;
+use enclaves_wire::codec::{decode, encode, Decode, Encode};
 use enclaves_wire::legacy::{
     LegacyAuth2Plain, LegacyAuth3Plain, LegacyEnvelope, LegacyMemberNotice, LegacyMsgType,
     LegacyNewKeyPlain,
 };
-use enclaves_wire::message::{SealedBody};
-use enclaves_wire::codec::{decode, encode, Decode, Encode};
+use enclaves_wire::message::SealedBody;
 use enclaves_wire::ActorId;
 use std::collections::BTreeSet;
 
@@ -31,7 +31,11 @@ pub(crate) fn legacy_seal<T: Encode>(
     let mut nonce = [0u8; 12];
     rng.fill_bytes(&mut nonce);
     let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(key);
-    let ciphertext = cipher.seal(&AeadNonce::from_bytes(nonce), &encode(value), &legacy_aad(msg_type));
+    let ciphertext = cipher.seal(
+        &AeadNonce::from_bytes(nonce),
+        &encode(value),
+        &legacy_aad(msg_type),
+    );
     encode(&SealedBody { nonce, ciphertext })
 }
 

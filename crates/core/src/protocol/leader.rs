@@ -5,16 +5,19 @@ use crate::config::LeaderConfig;
 use crate::directory::Directory;
 use crate::error::{CoreError, RejectReason};
 use crate::group::GroupState;
-use crate::protocol::{SEQ_LEADER};
+use crate::protocol::{broadcast_nonce, SEQ_LEADER};
+use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::SessionKey;
 use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_wire::codec::encode_into;
 use enclaves_wire::message::{
-    group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain, ClosePlain, Envelope,
-    GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain,
+    group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
+    ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain,
 };
 use enclaves_wire::ActorId;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Events surfaced by the leader core.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -70,6 +73,29 @@ pub struct LeaderStats {
     pub relayed: u64,
     /// Rekeys performed.
     pub rekeys: u64,
+    /// Data-plane broadcasts emitted via
+    /// [`LeaderCore::broadcast_group_data`].
+    pub broadcasts: u64,
+    /// AEAD seal operations performed by the data plane. With the
+    /// single-seal fan-out this advances in lockstep with `broadcasts` —
+    /// exactly one seal per broadcast, independent of group size.
+    pub data_seals: u64,
+}
+
+/// Output of [`LeaderCore::broadcast_group_data`]: one sealed, encoded
+/// `GroupBroadcast` envelope shared by every recipient. The runtime hands
+/// the same refcounted frame to each link — fan-out to N members costs N
+/// pointer clones, not N seals or N copies.
+#[derive(Clone, Debug)]
+pub struct BroadcastFrame {
+    /// The encoded envelope, ready for any link.
+    pub frame: Arc<[u8]>,
+    /// The members the frame must be delivered to.
+    pub recipients: Vec<ActorId>,
+    /// The group-key epoch the payload was sealed under.
+    pub epoch: u64,
+    /// The per-epoch broadcast sequence number.
+    pub seq: u64,
 }
 
 /// Per-member connection state.
@@ -112,6 +138,9 @@ pub struct LeaderCore {
     slots: HashMap<ActorId, Slot>,
     group: GroupState,
     stats: LeaderStats,
+    /// Scratch buffer reused across data-plane broadcasts so a steady
+    /// stream of them does not reallocate the envelope encoding each time.
+    frame_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for LeaderCore {
@@ -147,6 +176,7 @@ impl LeaderCore {
             slots: HashMap::new(),
             group: GroupState::new(),
             stats: LeaderStats::default(),
+            frame_buf: Vec::new(),
         }
     }
 
@@ -346,17 +376,26 @@ impl LeaderCore {
         };
         output.merge(self.enqueue_admin(&user, welcome)?);
 
-        // Tell everyone else; distribute the new key if we rotated.
-        let others: Vec<ActorId> = self
-            .group
-            .roster()
-            .into_iter()
-            .filter(|m| *m != user)
-            .collect();
-        for other in others {
-            output.merge(self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?);
-            if rekeyed {
-                output.merge(self.enqueue_admin(&other, new_key_payload.clone())?);
+        // Tell everyone else; distribute the new key if we rotated. Key
+        // material always goes out; the join notice is skippable by
+        // configuration (large benchmark groups).
+        let notices = self.config.membership_notices;
+        if notices || rekeyed {
+            let others: Vec<ActorId> = self
+                .group
+                .roster()
+                .into_iter()
+                .filter(|m| *m != user)
+                .collect();
+            for other in others {
+                if notices {
+                    output.merge(
+                        self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?,
+                    );
+                }
+                if rekeyed {
+                    output.merge(self.enqueue_admin(&other, new_key_payload.clone())?);
+                }
             }
         }
         if rekeyed {
@@ -438,11 +477,17 @@ impl LeaderCore {
             )
         });
 
-        for other in self.group.roster() {
-            output.merge(self.enqueue_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
-            if rekeyed {
-                if let Some((_, payload)) = &new_key_payload {
-                    output.merge(self.enqueue_admin(&other, payload.clone())?);
+        let notices = self.config.membership_notices;
+        if notices || rekeyed {
+            for other in self.group.roster() {
+                if notices {
+                    output
+                        .merge(self.enqueue_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
+                }
+                if rekeyed {
+                    if let Some((_, payload)) = &new_key_payload {
+                        output.merge(self.enqueue_admin(&other, payload.clone())?);
+                    }
                 }
             }
         }
@@ -606,17 +651,84 @@ impl LeaderCore {
     }
 
     /// Broadcasts application data to every member over the authenticated
-    /// admin channel.
+    /// admin channel (the legacy per-member path: one seal and one
+    /// stop-and-wait exchange per recipient).
     ///
     /// # Errors
     ///
     /// Propagates admin-queueing failures.
     pub fn broadcast_admin_data(&mut self, data: &[u8]) -> Result<LeaderOutput, CoreError> {
+        // One shared allocation for the payload; each member's queue entry
+        // is a refcount bump, not a copy. The seal is still per member —
+        // that is what `broadcast_group_data` eliminates.
+        let shared: Arc<[u8]> = data.into();
         let mut output = LeaderOutput::default();
         for member in self.group.roster() {
-            output.merge(self.enqueue_admin(&member, AdminPayload::AppData(data.to_vec()))?);
+            output.merge(self.enqueue_admin(&member, AdminPayload::AppData(Arc::clone(&shared)))?);
         }
         Ok(output)
+    }
+
+    /// Seals `data` exactly once under the current group key and returns a
+    /// single encoded [`MsgType::GroupBroadcast`] frame for the whole
+    /// roster.
+    ///
+    /// The AEAD nonce is derived from the epoch IV and the per-epoch
+    /// sequence number (no nonce bytes travel on the wire) and the AAD
+    /// binds the leader identity, epoch, and sequence number, so every
+    /// member authenticates origin and position from the shared frame with
+    /// no per-recipient material. Leader work per call is one seal plus
+    /// one envelope encoding, independent of group size; delivery fans the
+    /// same refcounted bytes out to each link.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if the group is empty (no key to seal
+    /// under).
+    pub fn broadcast_group_data(&mut self, data: &[u8]) -> Result<BroadcastFrame, CoreError> {
+        let recipients = self.group.roster();
+        if recipients.is_empty() {
+            return Err(CoreError::BadPhase {
+                operation: "broadcast group data",
+                phase: "empty group",
+            });
+        }
+        let seq = self.group.next_broadcast_seq();
+        let (epoch, key, iv) = {
+            let e = self.group.current_epoch().expect("nonempty group has key");
+            (e.epoch, e.key.clone(), e.iv)
+        };
+        let aad = group_broadcast_aad(&self.leader, epoch, seq);
+        let mut ciphertext = Vec::new();
+        ChaCha20Poly1305::new(key.as_bytes()).seal_into(
+            &broadcast_nonce(&iv, seq),
+            data,
+            &aad,
+            &mut ciphertext,
+        );
+        self.stats.data_seals += 1;
+
+        let env = Envelope {
+            msg_type: MsgType::GroupBroadcast,
+            sender: self.leader.clone(),
+            // Multicast: identical bytes reach every member, so the
+            // recipient field names the group's leader and members skip
+            // the recipient check for this message type.
+            recipient: self.leader.clone(),
+            body: enclaves_wire::codec::encode(&GroupBroadcastWire {
+                epoch,
+                seq,
+                ciphertext,
+            }),
+        };
+        encode_into(&env, &mut self.frame_buf);
+        self.stats.broadcasts += 1;
+        Ok(BroadcastFrame {
+            frame: self.frame_buf.as_slice().into(),
+            recipients,
+            epoch,
+            seq,
+        })
     }
 
     /// Expels a member: drops its session immediately and notifies the
@@ -712,9 +824,9 @@ mod tests {
         let (mut alice, init) = member("alice", 10);
         let events = pump(&mut l, &mut alice, init);
         assert!(events.contains(&MemberEvent::SessionEstablished));
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, MemberEvent::Welcomed { roster, .. } if roster == &vec![id("alice")])));
+        assert!(events.iter().any(
+            |e| matches!(e, MemberEvent::Welcomed { roster, .. } if roster == &vec![id("alice")])
+        ));
         assert_eq!(l.roster(), vec![id("alice")]);
         assert_eq!(alice.group_epoch(), Some(1));
     }
@@ -723,10 +835,7 @@ mod tests {
     fn unknown_user_rejected() {
         let mut l = leader(&["alice"], RekeyPolicy::Manual);
         let (_, init) = member("mallory", 11);
-        assert!(matches!(
-            l.handle(&init),
-            Err(CoreError::UnknownUser(_))
-        ));
+        assert!(matches!(l.handle(&init), Err(CoreError::UnknownUser(_))));
         assert!(l.roster().is_empty());
     }
 
@@ -1057,6 +1166,220 @@ mod tests {
         // as stale (replay defense intact on the leader side).
         assert!(l.handle(first.reply.as_ref().unwrap()).is_ok());
         assert!(l.handle(second.reply.as_ref().unwrap()).is_err());
+    }
+
+    /// Joins `user` to a leader that already has members, pumping all
+    /// envelopes among the given sessions.
+    fn join_second(
+        l: &mut LeaderCore,
+        existing: &mut [(&str, &mut MemberSession)],
+        newcomer: &mut MemberSession,
+        init: Envelope,
+    ) {
+        let out = l.handle(&init).unwrap();
+        let new_out = newcomer.handle(out.outgoing.first().unwrap()).unwrap();
+        let out = l.handle(new_out.reply.as_ref().unwrap()).unwrap();
+        let mut queue: VecDeque<Envelope> = out.outgoing.into();
+        while let Some(env) = queue.pop_front() {
+            let session = if env.recipient == *newcomer.user() {
+                &mut *newcomer
+            } else {
+                let mut found = None;
+                for (name, s) in existing.iter_mut() {
+                    if env.recipient == id(name) {
+                        found = Some(&mut **s);
+                        break;
+                    }
+                }
+                match found {
+                    Some(s) => s,
+                    None => continue,
+                }
+            };
+            if let Ok(o) = session.handle(&env) {
+                if let Some(reply) = o.reply {
+                    if let Ok(lo) = l.handle(&reply) {
+                        queue.extend(lo.outgoing);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_seals_once_and_every_member_decrypts() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::Manual);
+        let (mut alice, init_a) = member("alice", 200);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 201);
+        join_second(&mut l, &mut [("alice", &mut alice)], &mut bob, init_b);
+
+        let bc = l.broadcast_group_data(b"fan out once").unwrap();
+        assert_eq!(bc.recipients, vec![id("alice"), id("bob")]);
+        assert_eq!(l.stats().data_seals, 1, "exactly one seal for N members");
+        assert_eq!(l.stats().broadcasts, 1);
+
+        // Both members decode and decrypt the *same* frame bytes.
+        let env: Envelope = enclaves_wire::codec::decode(&bc.frame).unwrap();
+        for session in [&mut alice, &mut bob] {
+            let out = session.handle(&env).unwrap();
+            assert_eq!(
+                out.events,
+                vec![MemberEvent::Broadcast {
+                    epoch: bc.epoch,
+                    seq: bc.seq,
+                    data: b"fan out once".to_vec(),
+                }]
+            );
+            assert!(out.reply.is_none(), "data plane is fire-and-forget");
+        }
+    }
+
+    #[test]
+    fn broadcast_replay_and_reorder_rejected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 210);
+        pump(&mut l, &mut alice, init);
+
+        let bc0 = l.broadcast_group_data(b"zero").unwrap();
+        let bc1 = l.broadcast_group_data(b"one").unwrap();
+        assert_eq!((bc0.seq, bc1.seq), (0, 1));
+        let env0: Envelope = enclaves_wire::codec::decode(&bc0.frame).unwrap();
+        let env1: Envelope = enclaves_wire::codec::decode(&bc1.frame).unwrap();
+
+        // Deliver seq 1 first; the straggler seq 0 is then rejected
+        // (reordering across the watermark), as is a replay of seq 1.
+        assert!(alice.handle(&env1).is_ok());
+        assert!(matches!(
+            alice.handle(&env0),
+            Err(CoreError::Rejected(RejectReason::StaleNonce))
+        ));
+        assert!(matches!(
+            alice.handle(&env1),
+            Err(CoreError::Rejected(RejectReason::StaleNonce))
+        ));
+        // The session is not wedged: the next broadcast is delivered.
+        let bc2 = l.broadcast_group_data(b"two").unwrap();
+        let env2: Envelope = enclaves_wire::codec::decode(&bc2.frame).unwrap();
+        assert!(alice.handle(&env2).is_ok());
+    }
+
+    #[test]
+    fn broadcast_racing_a_rekey_is_accepted_once() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 220);
+        pump(&mut l, &mut alice, init);
+
+        // Sealed under epoch 1, but the rekey to epoch 2 overtakes it.
+        let bc_old = l.broadcast_group_data(b"in flight").unwrap();
+        let out = l.rekey_now().unwrap();
+        for env in out.outgoing {
+            if let Ok(o) = alice.handle(&env) {
+                if let Some(reply) = o.reply {
+                    let _ = l.handle(&reply);
+                }
+            }
+        }
+        assert_eq!(alice.group_epoch(), Some(2));
+
+        // The stale-epoch frame still opens under the previous key...
+        let env_old: Envelope = enclaves_wire::codec::decode(&bc_old.frame).unwrap();
+        let out = alice.handle(&env_old).unwrap();
+        assert!(matches!(
+            out.events[0],
+            MemberEvent::Broadcast { epoch: 1, .. }
+        ));
+        // ...but replaying it across the rekey is rejected.
+        assert!(matches!(
+            alice.handle(&env_old),
+            Err(CoreError::Rejected(RejectReason::StaleNonce))
+        ));
+        // And the new epoch's sequence numbering restarts at zero without
+        // colliding with epoch 1's history.
+        let bc_new = l.broadcast_group_data(b"fresh").unwrap();
+        assert_eq!((bc_new.epoch, bc_new.seq), (2, 0));
+        let env_new: Envelope = enclaves_wire::codec::decode(&bc_new.frame).unwrap();
+        assert!(alice.handle(&env_new).is_ok());
+
+        // Two epochs back is evicted: after another rekey, epoch-1 frames
+        // are rejected outright.
+        let out = l.rekey_now().unwrap();
+        for env in out.outgoing {
+            if let Ok(o) = alice.handle(&env) {
+                if let Some(reply) = o.reply {
+                    let _ = l.handle(&reply);
+                }
+            }
+        }
+        let bc_ancient = Envelope {
+            body: env_old.body.clone(),
+            ..env_old
+        };
+        assert!(matches!(
+            alice.handle(&bc_ancient),
+            Err(CoreError::Rejected(RejectReason::WrongEpoch))
+        ));
+    }
+
+    #[test]
+    fn broadcast_tamper_and_wrong_leader_rejected() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 230);
+        pump(&mut l, &mut alice, init);
+
+        let bc = l.broadcast_group_data(b"secret").unwrap();
+        let mut env: Envelope = enclaves_wire::codec::decode(&bc.frame).unwrap();
+        let last = env.body.len() - 1;
+        env.body[last] ^= 1;
+        assert!(matches!(
+            alice.handle(&env),
+            Err(CoreError::Rejected(RejectReason::BadSeal))
+        ));
+
+        // Forging the envelope sender changes nothing: the member computes
+        // the AAD from its configured leader, not the header.
+        let mut forged: Envelope = enclaves_wire::codec::decode(&bc.frame).unwrap();
+        forged.sender = id("mallory");
+        assert!(alice.handle(&forged).is_ok());
+    }
+
+    #[test]
+    fn broadcast_on_empty_group_fails() {
+        let mut l = leader(&[], RekeyPolicy::Manual);
+        assert!(matches!(
+            l.broadcast_group_data(b"x"),
+            Err(CoreError::BadPhase { .. })
+        ));
+        assert_eq!(l.stats().data_seals, 0);
+    }
+
+    #[test]
+    fn membership_notices_can_be_suppressed() {
+        let mut l = LeaderCore::with_rng(
+            id("leader"),
+            directory(&["alice", "bob"]),
+            LeaderConfig {
+                rekey_policy: RekeyPolicy::Manual,
+                membership_notices: false,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(1)),
+        );
+        let (mut alice, init_a) = member("alice", 240);
+        pump(&mut l, &mut alice, init_a);
+        let admin_sent_before = l.stats().admin_sent;
+
+        // Bob joins: alice gets no MemberJoined notice (Manual policy, so
+        // no key distribution either); only bob's welcome goes out.
+        let (mut bob, init_b) = member("bob", 241);
+        join_second(&mut l, &mut [("alice", &mut alice)], &mut bob, init_b);
+        assert_eq!(
+            l.stats().admin_sent,
+            admin_sent_before + 1,
+            "only the welcome is sent when notices are suppressed"
+        );
+        assert_eq!(l.roster(), vec![id("alice"), id("bob")]);
+        assert_eq!(bob.group_epoch(), Some(1));
     }
 
     #[test]

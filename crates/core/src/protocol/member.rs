@@ -3,14 +3,15 @@
 
 use crate::error::{CoreError, RejectReason};
 use crate::group::MemberGroupView;
-use crate::protocol::{group_seq_prefix, SEQ_MEMBER};
+use crate::protocol::{broadcast_nonce, group_seq_prefix, SEQ_MEMBER};
+use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::{GroupKey, LongTermKey, SessionKey};
 use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
 use enclaves_wire::codec::encode;
 use enclaves_wire::message::{
-    group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain, Envelope, GroupDataWire,
-    KeyDistPlain, MsgType, NonceAckPlain, SealedBody,
+    group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
+    Envelope, GroupBroadcastWire, GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain, SealedBody,
 };
 use enclaves_wire::ActorId;
 use std::collections::BTreeSet;
@@ -56,6 +57,16 @@ pub enum MemberEvent {
         /// Decrypted application bytes.
         data: Vec<u8>,
     },
+    /// Application data broadcast by the leader over the single-seal
+    /// group-key data plane.
+    Broadcast {
+        /// The group-key epoch the frame was sealed under.
+        epoch: u64,
+        /// The per-epoch broadcast sequence number.
+        seq: u64,
+        /// Decrypted application bytes.
+        data: Vec<u8>,
+    },
 }
 
 /// Output of handling one envelope.
@@ -85,6 +96,18 @@ struct Connected {
     my_nonce: ProtocolNonce,
     send_seq: NonceSequence,
     group: Option<MemberGroupView>,
+    /// The immediately previous group key, kept for one epoch of grace so
+    /// a broadcast frame that races a rekey can still be opened. Older
+    /// epochs are evicted and their frames rejected.
+    prev_group: Option<MemberGroupView>,
+    /// Highest broadcast sequence number accepted under the *current*
+    /// epoch (`None` before the first). Broadcast seqs must strictly
+    /// increase within an epoch — replayed or reordered frames are
+    /// rejected without touching state.
+    bcast_seen_cur: Option<u64>,
+    /// Same watermark for the previous epoch, so a cross-epoch replay of
+    /// an already-delivered frame stays rejected after a rekey.
+    bcast_seen_prev: Option<u64>,
     group_seq: NonceSequence,
     roster: BTreeSet<ActorId>,
     /// The most recently accepted admin message's leader nonce and the ack
@@ -284,7 +307,11 @@ impl MemberSession {
     }
 
     fn handle_inner(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
-        if env.recipient != self.user {
+        // `GroupBroadcast` is multicast: the identical frame reaches every
+        // member, so its envelope recipient is not this user and is not
+        // checked — authenticity comes from the group-key seal, whose AAD
+        // binds the leader, epoch, and sequence number.
+        if env.msg_type != MsgType::GroupBroadcast && env.recipient != self.user {
             return Err(CoreError::Rejected(RejectReason::WrongIdentity));
         }
         match (&mut self.phase, env.msg_type) {
@@ -294,6 +321,7 @@ impl MemberSession {
             }
             (Phase::Connected(_), MsgType::AdminMsg) => self.accept_admin(env),
             (Phase::Connected(_), MsgType::GroupData) => self.accept_group_data(env),
+            (Phase::Connected(_), MsgType::GroupBroadcast) => self.accept_broadcast(env),
             _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
         }
     }
@@ -338,6 +366,9 @@ impl MemberSession {
             my_nonce: n3,
             send_seq,
             group: None,
+            prev_group: None,
+            bcast_seen_cur: None,
+            bcast_seen_prev: None,
             group_seq: NonceSequence::new(group_seq_prefix(&self.user)),
             roster: BTreeSet::new(),
             last_ack: None,
@@ -414,6 +445,11 @@ impl MemberSession {
                     key: GroupKey::from_bytes(group_key),
                     iv,
                 });
+                // A welcome starts broadcast history from scratch: no
+                // previous epoch, no accepted frames yet.
+                conn.prev_group = None;
+                conn.bcast_seen_cur = None;
+                conn.bcast_seen_prev = None;
                 events.push(MemberEvent::Welcomed {
                     roster: members,
                     epoch,
@@ -421,7 +457,19 @@ impl MemberSession {
             }
             AdminPayload::NewGroupKey { epoch, key, iv } => {
                 let installed = match &mut conn.group {
-                    Some(view) => view.install(epoch, GroupKey::from_bytes(key), iv),
+                    Some(view) => {
+                        let old = view.clone();
+                        let ok = view.install(epoch, GroupKey::from_bytes(key), iv);
+                        if ok {
+                            // Keep one epoch of grace for broadcast frames
+                            // that were sealed before this rekey reached
+                            // us, along with its replay watermark.
+                            conn.prev_group = Some(old);
+                            conn.bcast_seen_prev = conn.bcast_seen_cur;
+                            conn.bcast_seen_cur = None;
+                        }
+                        ok
+                    }
                     none => {
                         *none = Some(MemberGroupView {
                             epoch,
@@ -447,7 +495,7 @@ impl MemberSession {
                 events.push(MemberEvent::MemberLeft(m));
             }
             AdminPayload::AppData(data) => {
-                events.push(MemberEvent::AdminData(data));
+                events.push(MemberEvent::AdminData(data.to_vec()));
             }
         }
 
@@ -479,6 +527,58 @@ impl MemberSession {
             reply: None,
             events: vec![MemberEvent::GroupData {
                 from: env.sender.clone(),
+                data,
+            }],
+        })
+    }
+
+    /// Accepts a single-seal leader broadcast.
+    ///
+    /// The AAD is computed from the *configured* leader identity (not the
+    /// envelope sender, which is unauthenticated), so a frame sealed by
+    /// anyone but the leader fails verification. The nonce is re-derived
+    /// from the epoch IV and on-wire sequence number. Frames sealed under
+    /// the immediately previous epoch are still accepted (they may race a
+    /// rekey in flight); each epoch keeps its own strictly-increasing
+    /// watermark, so no frame — including cross-epoch replays — is ever
+    /// delivered twice. No ack is sent: the data plane is fire-and-forget.
+    fn accept_broadcast(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
+        let Phase::Connected(conn) = &mut self.phase else {
+            unreachable!("checked by caller");
+        };
+        let wire: GroupBroadcastWire = enclaves_wire::codec::decode(&env.body)
+            .map_err(|_| CoreError::Rejected(RejectReason::Malformed))?;
+        let is_current = matches!(&conn.group, Some(g) if g.epoch == wire.epoch);
+        let view = if is_current {
+            conn.group.as_ref().expect("matched above")
+        } else if matches!(&conn.prev_group, Some(p) if p.epoch == wire.epoch) {
+            conn.prev_group.as_ref().expect("matched above")
+        } else {
+            return Err(CoreError::Rejected(RejectReason::WrongEpoch));
+        };
+        let seen = if is_current {
+            conn.bcast_seen_cur
+        } else {
+            conn.bcast_seen_prev
+        };
+        if seen.is_some_and(|s| wire.seq <= s) {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        }
+        let aad = group_broadcast_aad(&self.leader, wire.epoch, wire.seq);
+        let nonce = broadcast_nonce(&view.iv, wire.seq);
+        let data = ChaCha20Poly1305::new(view.key.as_bytes())
+            .open(&nonce, &wire.ciphertext, &aad)
+            .map_err(|_| CoreError::Rejected(RejectReason::BadSeal))?;
+        if is_current {
+            conn.bcast_seen_cur = Some(wire.seq);
+        } else {
+            conn.bcast_seen_prev = Some(wire.seq);
+        }
+        Ok(MemberOutput {
+            reply: None,
+            events: vec![MemberEvent::Broadcast {
+                epoch: wire.epoch,
+                seq: wire.seq,
                 data,
             }],
         })
@@ -725,7 +825,7 @@ mod tests {
     fn admin_with_current_nonce_accepted_and_rolls() {
         let (mut session, sk, n3) = connect();
         let ln = ProtocolNonce::from_bytes([0xAA; 16]);
-        let env = admin_env(&sk, n3, ln, AdminPayload::AppData(b"x".to_vec()));
+        let env = admin_env(&sk, n3, ln, AdminPayload::AppData(b"x".to_vec().into()));
         let out = session.handle(&env).unwrap();
         assert_eq!(out.events, vec![MemberEvent::AdminData(b"x".to_vec())]);
         // The ack echoes the leader nonce and supplies a fresh one.
@@ -753,7 +853,7 @@ mod tests {
             &sk,
             n3,
             ProtocolNonce::from_bytes([0xBB; 16]),
-            AdminPayload::AppData(b"y".to_vec()),
+            AdminPayload::AppData(b"y".to_vec().into()),
         );
         assert!(matches!(
             session.handle(&stale),
@@ -828,7 +928,12 @@ mod tests {
             iv: [1; 12],
         };
         alice
-            .handle(&admin_env(&sk_a, n3_a, ProtocolNonce::from_bytes([1; 16]), welcome))
+            .handle(&admin_env(
+                &sk_a,
+                n3_a,
+                ProtocolNonce::from_bytes([1; 16]),
+                welcome,
+            ))
             .unwrap();
 
         let env = alice.send_group_data(b"hello bob").unwrap();
@@ -947,10 +1052,7 @@ mod tests {
         let close = session.leave().unwrap();
         assert_eq!(close.msg_type, MsgType::ReqClose);
         assert_eq!(session.phase(), SessionPhase::Closed);
-        assert!(matches!(
-            session.leave(),
-            Err(CoreError::BadPhase { .. })
-        ));
+        assert!(matches!(session.leave(), Err(CoreError::BadPhase { .. })));
         assert!(matches!(
             session.send_group_data(b"x"),
             Err(CoreError::BadPhase { .. })
@@ -960,7 +1062,12 @@ mod tests {
     #[test]
     fn messages_to_wrong_recipient_rejected() {
         let (mut session, sk, n3) = connect();
-        let mut env = admin_env(&sk, n3, ProtocolNonce::from_bytes([1; 16]), AdminPayload::AppData(vec![]));
+        let mut env = admin_env(
+            &sk,
+            n3,
+            ProtocolNonce::from_bytes([1; 16]),
+            AdminPayload::AppData(vec![].into()),
+        );
         env.recipient = id("bob");
         assert!(matches!(
             session.handle(&env),
@@ -975,7 +1082,7 @@ mod tests {
             &[0; 32],
             ProtocolNonce::from_bytes([0; 16]),
             ProtocolNonce::from_bytes([1; 16]),
-            AdminPayload::AppData(vec![]),
+            AdminPayload::AppData(vec![].into()),
         );
         assert!(matches!(
             session.handle(&env),
@@ -993,7 +1100,7 @@ mod tests {
                 &sk,
                 n3,
                 ProtocolNonce::from_bytes([i; 16]),
-                AdminPayload::AppData(vec![i]),
+                AdminPayload::AppData(vec![i].into()),
             );
             env.body[10] ^= 0xFF; // corrupt the seal
             assert!(session.handle(&env).is_err());
@@ -1006,7 +1113,7 @@ mod tests {
             &sk,
             n3,
             ProtocolNonce::from_bytes([0xAA; 16]),
-            AdminPayload::AppData(b"real".to_vec()),
+            AdminPayload::AppData(b"real".to_vec().into()),
         );
         assert!(session.handle(&env).is_ok());
     }

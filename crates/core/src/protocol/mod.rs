@@ -17,9 +17,10 @@
 pub mod leader;
 pub mod member;
 
-pub use leader::{LeaderCore, LeaderEvent, LeaderOutput, LeaderStats};
+pub use leader::{BroadcastFrame, LeaderCore, LeaderEvent, LeaderOutput, LeaderStats};
 pub use member::{MemberEvent, MemberOutput, MemberSession, SessionPhase};
 
+use enclaves_crypto::nonce::AeadNonce;
 use enclaves_crypto::sha256::sha256;
 use enclaves_wire::ActorId;
 
@@ -34,6 +35,19 @@ pub(crate) const SEQ_MEMBER: [u8; 4] = *b"mbr>";
 pub(crate) fn group_seq_prefix(sender: &ActorId) -> [u8; 4] {
     let digest = sha256(format!("enclaves-group-data:{sender}").as_bytes());
     [digest[0], digest[1], digest[2], digest[3]]
+}
+
+/// AEAD nonce for the leader's data-plane broadcast `seq` in an epoch:
+/// the epoch IV with its last 8 bytes XORed with the big-endian sequence
+/// number. Distinct sequence numbers give distinct nonces under one
+/// `(key, IV)` pair, and the member re-derives the same nonce from the
+/// `(epoch, seq)` pair on the wire — no nonce bytes are transmitted.
+pub(crate) fn broadcast_nonce(iv: &[u8; 12], seq: u64) -> AeadNonce {
+    let mut bytes = *iv;
+    for (dst, src) in bytes[4..].iter_mut().zip(seq.to_be_bytes()) {
+        *dst ^= src;
+    }
+    AeadNonce::from_bytes(bytes)
 }
 
 #[cfg(test)]
@@ -52,5 +66,20 @@ mod tests {
     #[test]
     fn directional_prefixes_differ() {
         assert_ne!(SEQ_LEADER, SEQ_MEMBER);
+    }
+
+    #[test]
+    fn broadcast_nonces_are_distinct_and_deterministic() {
+        let iv = [7u8; 12];
+        let n0 = broadcast_nonce(&iv, 0);
+        let n1 = broadcast_nonce(&iv, 1);
+        let n_big = broadcast_nonce(&iv, u64::MAX);
+        assert_ne!(n0.as_bytes(), n1.as_bytes());
+        assert_ne!(n0.as_bytes(), n_big.as_bytes());
+        assert_ne!(n1.as_bytes(), n_big.as_bytes());
+        assert_eq!(n0.as_bytes(), broadcast_nonce(&iv, 0).as_bytes());
+        // Seq 0 leaves the IV untouched; others only touch the tail.
+        assert_eq!(n0.as_bytes(), &iv);
+        assert_eq!(&n1.as_bytes()[..4], &iv[..4]);
     }
 }

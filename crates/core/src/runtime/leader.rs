@@ -5,11 +5,11 @@ use crate::directory::Directory;
 use crate::protocol::{LeaderCore, LeaderEvent};
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use enclaves_net::{Link, Listener};
+use enclaves_net::{Frame, Link, Listener};
 use enclaves_wire::codec::{decode, encode};
 use enclaves_wire::message::Envelope;
 use enclaves_wire::ActorId;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -22,19 +22,23 @@ const RETRANSMIT: Duration = Duration::from_millis(400);
 struct Shared {
     core: Mutex<LeaderCore>,
     /// Links bound to authenticated identities.
-    routes: Mutex<HashMap<ActorId, Sender<Vec<u8>>>>,
+    routes: Mutex<HashMap<ActorId, Sender<Frame>>>,
     events_tx: Sender<LeaderEvent>,
     running: AtomicBool,
+    /// Bumped on every roster change; [`LeaderRuntime::wait_member`]
+    /// blocks on the paired condvar instead of sleep-polling.
+    roster_gen: Mutex<u64>,
+    roster_cv: Condvar,
 }
 
 impl Shared {
     /// Routes envelopes to their recipients' links; unroutable envelopes
     /// are handed back to the caller-supplied fallback (the current link,
     /// during authentication).
-    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Vec<u8>>>) {
+    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Frame>>) {
         let routes = self.routes.lock();
         for env in outgoing {
-            let frame = encode(&env);
+            let frame: Frame = encode(&env).into();
             if let Some(tx) = routes.get(&env.recipient) {
                 let _ = tx.send(frame);
             } else if let Some(fb) = fallback {
@@ -43,9 +47,27 @@ impl Shared {
         }
     }
 
+    /// Fans one shared frame out to every routed recipient: N refcount
+    /// bumps, no per-recipient encoding or copying.
+    fn dispatch_shared(&self, frame: &Frame, recipients: &[ActorId]) {
+        let routes = self.routes.lock();
+        for recipient in recipients {
+            if let Some(tx) = routes.get(recipient) {
+                let _ = tx.send(Frame::clone(frame));
+            }
+        }
+    }
+
     fn emit(&self, events: Vec<LeaderEvent>) {
+        let roster_changed = events
+            .iter()
+            .any(|e| matches!(e, LeaderEvent::MemberJoined(_) | LeaderEvent::MemberLeft(_)));
         for e in events {
             let _ = self.events_tx.send(e);
+        }
+        if roster_changed {
+            *self.roster_gen.lock() += 1;
+            self.roster_cv.notify_all();
         }
     }
 }
@@ -80,6 +102,8 @@ impl LeaderRuntime {
             routes: Mutex::new(HashMap::new()),
             events_tx,
             running: AtomicBool::new(true),
+            roster_gen: Mutex::new(0),
+            roster_cv: Condvar::new(),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -171,6 +195,21 @@ impl LeaderRuntime {
         Ok(())
     }
 
+    /// Broadcasts application data over the single-seal group-key data
+    /// plane: the payload is sealed once under the current group key and
+    /// the identical refcounted frame is handed to every member's link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors ([`CoreError::BadPhase`] if the group is
+    /// empty).
+    pub fn broadcast_data(&self, data: &[u8]) -> Result<(), CoreError> {
+        let broadcast = self.shared.core.lock().broadcast_group_data(data)?;
+        self.shared
+            .dispatch_shared(&broadcast.frame, &broadcast.recipients);
+        Ok(())
+    }
+
     /// Expels a member.
     ///
     /// # Errors
@@ -191,14 +230,20 @@ impl LeaderRuntime {
     /// [`CoreError::Timeout`] if the deadline passes first.
     pub fn wait_member(&self, user: &ActorId, timeout: Duration) -> Result<(), CoreError> {
         let deadline = std::time::Instant::now() + timeout;
+        // Block on the roster condvar instead of sleep-polling: the link
+        // threads notify it on every join/leave, so the wait wakes the
+        // moment the roster changes (plus spurious wakeups, handled by the
+        // re-check loop).
+        let mut gen = self.shared.roster_gen.lock();
         loop {
-            if self.roster().contains(user) {
+            if self.shared.core.lock().roster().contains(user) {
                 return Ok(());
             }
-            if std::time::Instant::now() >= deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return Err(CoreError::Timeout("member join"));
             }
-            std::thread::sleep(Duration::from_millis(5));
+            let _ = self.shared.roster_cv.wait_for(&mut gen, deadline - now);
         }
     }
 
@@ -217,7 +262,7 @@ impl LeaderRuntime {
 /// Per-link handler: pumps frames into the core and writes routed frames
 /// out.
 fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
-    let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+    let (out_tx, out_rx) = unbounded::<Frame>();
     let mut bound: Option<ActorId> = None;
 
     while shared.running.load(Ordering::Relaxed) {
@@ -269,7 +314,7 @@ fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
                             // route from a previous session must not
                             // swallow the reply.
                             for out_env in output.outgoing {
-                                let _ = out_tx.send(encode(&out_env));
+                                let _ = out_tx.send(encode(&out_env).into());
                             }
                         } else {
                             shared.dispatch(output.outgoing, Some(&out_tx));
@@ -296,7 +341,7 @@ fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
     }
 }
 
-fn cleanup(shared: &Arc<Shared>, bound: &Option<ActorId>, out_tx: &Sender<Vec<u8>>) {
+fn cleanup(shared: &Arc<Shared>, bound: &Option<ActorId>, out_tx: &Sender<Frame>) {
     if let Some(user) = bound {
         let mut routes = shared.routes.lock();
         // Remove the route only if it still points at THIS link: the

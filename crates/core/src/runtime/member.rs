@@ -4,7 +4,7 @@ use crate::protocol::{MemberEvent, MemberSession, SessionPhase};
 use crate::runtime::wait_for;
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use enclaves_net::Link;
+use enclaves_net::{Frame, Link};
 use enclaves_wire::codec::{decode, encode};
 use enclaves_wire::message::Envelope;
 use enclaves_wire::ActorId;
@@ -19,7 +19,7 @@ const RETRANSMIT: Duration = Duration::from_millis(250);
 
 struct Shared {
     session: Mutex<MemberSession>,
-    out_tx: Sender<Vec<u8>>,
+    out_tx: Sender<Frame>,
     running: AtomicBool,
 }
 
@@ -64,9 +64,9 @@ impl MemberRuntime {
         session: MemberSession,
         init: Envelope,
     ) -> Result<Self, CoreError> {
-        link.send(encode(&init))?;
+        link.send(encode(&init).into())?;
         let (events_tx, events_rx) = unbounded();
-        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+        let (out_tx, out_rx) = unbounded::<Frame>();
         let shared = Arc::new(Shared {
             session: Mutex::new(session),
             out_tx,
@@ -89,13 +89,9 @@ impl MemberRuntime {
                     // handles duplicates idempotently).
                     if last_retransmit.elapsed() >= RETRANSMIT {
                         last_retransmit = std::time::Instant::now();
-                        let pending = worker_shared
-                            .session
-                            .lock()
-                            .handshake_pending()
-                            .map(encode);
+                        let pending = worker_shared.session.lock().handshake_pending().map(encode);
                         if let Some(frame) = pending {
-                            if link.send(frame).is_err() {
+                            if link.send(frame.into()).is_err() {
                                 return;
                             }
                         }
@@ -108,7 +104,7 @@ impl MemberRuntime {
                             let result = worker_shared.session.lock().handle(&env);
                             if let Ok(output) = result {
                                 if let Some(reply) = output.reply {
-                                    if link.send(encode(&reply)).is_err() {
+                                    if link.send(encode(&reply).into()).is_err() {
                                         return;
                                     }
                                 }
@@ -201,7 +197,7 @@ impl MemberRuntime {
         let env = self.shared.session.lock().send_group_data(data)?;
         self.shared
             .out_tx
-            .send(encode(&env))
+            .send(encode(&env).into())
             .map_err(|_| CoreError::RuntimeGone)?;
         Ok(())
     }
@@ -213,7 +209,7 @@ impl MemberRuntime {
     /// [`CoreError::BadPhase`] if not connected.
     pub fn leave(mut self) -> Result<(), CoreError> {
         let env = self.shared.session.lock().leave()?;
-        let _ = self.shared.out_tx.send(encode(&env));
+        let _ = self.shared.out_tx.send(encode(&env).into());
         // Give the worker a moment to flush the close, then stop.
         std::thread::sleep(POLL * 2);
         self.shared.running.store(false, Ordering::Relaxed);

@@ -59,18 +59,13 @@ impl ChaCha20Poly1305 {
         pk
     }
 
-    fn compute_tag(
-        &self,
-        nonce: &[u8; NONCE_LEN],
-        ciphertext: &[u8],
-        aad: &[u8],
-    ) -> [u8; TAG_LEN] {
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], ciphertext: &[u8], aad: &[u8]) -> [u8; TAG_LEN] {
         let poly_key = self.poly_key(nonce);
         let mut mac = Poly1305::new(&poly_key);
         mac.update(aad);
-        mac.update(&zero_pad(aad.len()));
+        mac.update(zero_pad(aad.len()));
         mac.update(ciphertext);
-        mac.update(&zero_pad(ciphertext.len()));
+        mac.update(zero_pad(ciphertext.len()));
         mac.update(&(aad.len() as u64).to_le_bytes());
         mac.update(&(ciphertext.len() as u64).to_le_bytes());
         mac.finalize()
@@ -79,11 +74,22 @@ impl ChaCha20Poly1305 {
     /// Encrypts `plaintext` bound to `aad`, returning `ciphertext || tag`.
     #[must_use]
     pub fn seal(&self, nonce: &AeadNonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
-        let n = nonce.as_bytes();
-        let mut out = chacha20::encrypt(&self.key, 1, n, plaintext);
-        let tag = self.compute_tag(n, &out, aad);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::new();
+        self.seal_into(nonce, plaintext, aad, &mut out);
         out
+    }
+
+    /// [`seal`](Self::seal) into a caller-supplied buffer, reusing its
+    /// allocation. The buffer is cleared first; on return it holds
+    /// exactly `ciphertext || tag`.
+    pub fn seal_into(&self, nonce: &AeadNonce, plaintext: &[u8], aad: &[u8], out: &mut Vec<u8>) {
+        let n = nonce.as_bytes();
+        out.clear();
+        out.reserve(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        chacha20::xor_in_place(&self.key, 1, n, out);
+        let tag = self.compute_tag(n, out, aad);
+        out.extend_from_slice(&tag);
     }
 
     /// Decrypts `sealed` (as produced by [`seal`](Self::seal)) bound to
@@ -102,6 +108,27 @@ impl ChaCha20Poly1305 {
         sealed: &[u8],
         aad: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::new();
+        self.open_into(nonce, sealed, aad, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`open`](Self::open) into a caller-supplied buffer, reusing its
+    /// allocation. The buffer is cleared first; on success it holds
+    /// exactly the plaintext, and on failure it is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open`](Self::open): no plaintext is released on
+    /// authentication failure.
+    pub fn open_into(
+        &self,
+        nonce: &AeadNonce,
+        sealed: &[u8],
+        aad: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        out.clear();
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::TruncatedCiphertext);
         }
@@ -111,13 +138,16 @@ impl ChaCha20Poly1305 {
         if !ct_eq(&expected, tag) {
             return Err(CryptoError::TagMismatch);
         }
-        Ok(chacha20::encrypt(&self.key, 1, n, ciphertext))
+        out.extend_from_slice(ciphertext);
+        chacha20::xor_in_place(&self.key, 1, n, out);
+        Ok(())
     }
 }
 
 /// Returns the RFC 8439 pad: zeros to the next 16-byte boundary.
-fn zero_pad(len: usize) -> Vec<u8> {
-    vec![0u8; (16 - (len % 16)) % 16]
+fn zero_pad(len: usize) -> &'static [u8] {
+    const ZEROS: [u8; 16] = [0; 16];
+    &ZEROS[..(16 - (len % 16)) % 16]
 }
 
 #[cfg(test)]
@@ -135,14 +165,11 @@ mod tests {
     // RFC 8439 §2.8.2 AEAD test vector.
     #[test]
     fn rfc8439_aead_vector() {
-        let key: [u8; 32] = unhex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
-        let nonce = AeadNonce::from_bytes(
-            unhex("070000004041424344454647").try_into().unwrap(),
-        );
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce = AeadNonce::from_bytes(unhex("070000004041424344454647").try_into().unwrap());
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
 

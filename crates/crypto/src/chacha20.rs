@@ -30,12 +30,8 @@ fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> 
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -49,11 +45,11 @@ fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> 
     state
 }
 
-/// Computes one 64-byte ChaCha20 keystream block.
-#[must_use]
-pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
-    let initial = initial_state(key, counter, nonce);
-    let mut state = initial;
+/// Runs the 20 ChaCha rounds over `initial`, adds the initial state back
+/// in, and serializes the keystream block into `out` (RFC 8439 §2.3).
+#[inline]
+fn permute_into(initial: &[u32; 16], out: &mut [u8; BLOCK_LEN]) {
+    let mut state = *initial;
     for _ in 0..10 {
         // Column rounds.
         quarter_round(&mut state, 0, 4, 8, 12);
@@ -66,16 +62,30 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
         quarter_round(&mut state, 2, 7, 8, 13);
         quarter_round(&mut state, 3, 4, 9, 14);
     }
-    let mut out = [0u8; BLOCK_LEN];
     for i in 0..16 {
         let word = state[i].wrapping_add(initial[i]);
         out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
     }
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let mut out = [0u8; BLOCK_LEN];
+    permute_into(&initial, &mut out);
     out
 }
 
+/// Keystream blocks generated per batch on the bulk path.
+const BATCH: usize = 4;
+
 /// Encrypts or decrypts `data` in place with the keystream starting at block
 /// `counter` (the operation is its own inverse).
+///
+/// The 16-word initial state is built once — only word 12 (the block
+/// counter) changes between blocks — and the bulk of the message is
+/// processed four keystream blocks per loop iteration.
 ///
 /// # Panics
 ///
@@ -88,8 +98,30 @@ pub fn xor_in_place(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], 
         u64::from(counter) + blocks_needed <= (1u64 << 32),
         "chacha20 block counter overflow"
     );
-    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
-        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+    let mut state = initial_state(key, counter, nonce);
+    let mut ctr = counter;
+
+    let mut batches = data.chunks_exact_mut(BLOCK_LEN * BATCH);
+    let mut keystream = [0u8; BLOCK_LEN * BATCH];
+    for batch in &mut batches {
+        for b in 0..BATCH {
+            state[12] = ctr.wrapping_add(b as u32);
+            let out: &mut [u8; BLOCK_LEN] = (&mut keystream[b * BLOCK_LEN..(b + 1) * BLOCK_LEN])
+                .try_into()
+                .expect("batch slot is one block");
+            permute_into(&state, out);
+        }
+        ctr = ctr.wrapping_add(BATCH as u32);
+        for (d, k) in batch.iter_mut().zip(keystream.iter()) {
+            *d ^= k;
+        }
+    }
+
+    let mut ks = [0u8; BLOCK_LEN];
+    for chunk in batches.into_remainder().chunks_mut(BLOCK_LEN) {
+        state[12] = ctr;
+        ctr = ctr.wrapping_add(1);
+        permute_into(&state, &mut ks);
         for (d, k) in chunk.iter_mut().zip(ks.iter()) {
             *d ^= k;
         }
@@ -113,7 +145,7 @@ pub fn encrypt(
 mod tests {
     use super::*;
 
-    fn unhex(s: &str) -> Vec<u8> {
+    pub(super) fn unhex(s: &str) -> Vec<u8> {
         let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
         (0..s.len())
             .step_by(2)
@@ -212,5 +244,121 @@ mod tests {
         let mut data = vec![0u8; 65];
         // Starting at u32::MAX, a 2-block message overflows.
         xor_in_place(&key, u32::MAX, &nonce, &mut data);
+    }
+}
+
+#[cfg(test)]
+mod multiblock_vectors {
+    //! Multi-block keystream vectors locking in the batched
+    //! (four-blocks-per-iteration, hoisted-initial-state) refactor of
+    //! [`xor_in_place`].
+    //!
+    //! Inputs for the first vector follow RFC 8439 A.2 #2 (key
+    //! `00..0001`, nonce `00..0002`, initial counter 1); the expected
+    //! ciphertexts were produced by the scalar one-block-at-a-time
+    //! implementation that the RFC 8439 §2.3.2/§2.4.2 vectors validate.
+    //! Each vector exercises a shape the batched path must get right:
+    //! a 4-block batch plus a partial tail, an exact block multiple with
+    //! a counter near wrap, and a tail that is itself several blocks.
+
+    use super::tests::unhex;
+    use super::*;
+
+    /// 375 bytes (5 full blocks + 55-byte tail), counter 1.
+    #[test]
+    fn vector_a_375_bytes_counter_1() {
+        let mut key = [0u8; KEY_LEN];
+        key[31] = 0x01;
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[11] = 0x02;
+        let pt: Vec<u8> = (0..375u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(
+            encrypt(&key, 1, &nonce, &pt),
+            unhex(
+                "e2948b5e848a4bb42e4d15c05de15d0b3e513be43e7a08efc0a0166f39102e9d
+                 6ed3d288952e2f4688bfd95fb4902a5857cdd1911cf0d5ce01ab2b8117e9775b
+                 6362d60daec78adc70229ecfcabd65335097dbfa29adb896be2b1b391b4a7349
+                 0295f66072cfa10708039d3011ea5b537707377418909213a16b174495baf656
+                 24ef72af046f9a237e8640eacf3c3380a6b233909919f056a7b95e0cdf2bc376
+                 447c145c7141ea7fd4203b7ca4a833ee20ed93f133b0991046ade11c4b6b3de6
+                 add42f0ec96cdd6cd31792e5767788b40a72822d95a085cfa37e314794143d93
+                 5faf2c08b8f14aa2abba360a5e1b6f1e352ad700e20d232a29bb7c9c7cdf2d61
+                 b2e939e60c3379b70c215a5cfc73ecbdf0d2ff57e8da07bc855e279b19df111b
+                 0a3d840e98f77aaf23b25da9958d5635fff8a57b95e5fbce4b67af92b5add6c3
+                 a9e1ff7ff995bd495e18e00c818bffbf389cbab3f890c8729d4662d502f2d7e3
+                 3fd712d3966d6ab7448d602625f57decc2f892707bfc35"
+            )
+        );
+    }
+
+    /// 192 bytes (exactly 3 blocks), counter 0xfffffffd — the last legal
+    /// starting point before the 32-bit block counter would overflow.
+    #[test]
+    fn vector_b_exact_blocks_near_counter_wrap() {
+        let key: [u8; KEY_LEN] =
+            core::array::from_fn(|i| (i as u8).wrapping_mul(7).wrapping_add(3));
+        let nonce: [u8; NONCE_LEN] = core::array::from_fn(|i| 0xa0 + i as u8);
+        let pt: Vec<u8> = (0..192u32).map(|i| (i as u8).wrapping_mul(13)).collect();
+        assert_eq!(
+            encrypt(&key, 0xffff_fffd, &nonce, &pt),
+            unhex(
+                "fc954c8f04173d5b544f8b48ce58d11b727f6e66edccbe985b15e86aedf36dc6
+                 2165b4ccbf14f1f7dac6bcecc1116234a9f1214f870c352042e4ea94616de63e
+                 be75a9b2b62f4bae17aa1cd2e3e648cd23db230b4227dfc82e436fe7f6d0dad0
+                 53d3dccfc8ae3e818bdd4aa43df0e992a7cdd54139d5656f7ac36c9bda6f3283
+                 587a42571b29b61272091a76bfea5548c48f742c916427951056d7b57ea8f54c
+                 137a360eddb2c5132be564c0f38d3221fecfb0609782d1e5021e08a915a8728a"
+            )
+        );
+    }
+
+    /// 260 bytes (one 4-block batch + 4-byte tail), counter 5.
+    #[test]
+    fn vector_c_crosses_batch_boundary() {
+        let key = [0x42u8; KEY_LEN];
+        let nonce = [0x24u8; NONCE_LEN];
+        let pt: Vec<u8> = (0..260u32).map(|i| (i % 256) as u8).collect();
+        assert_eq!(
+            encrypt(&key, 5, &nonce, &pt),
+            unhex(
+                "d0a3dfeb2a9e8d9ba8403e9557d82559eeeefbeb7ebaf763d45b6791fba826ea
+                 dd22a787e9812abb4da92a5b2c883178a6550fac755dbf61c09e2596042b10be
+                 ecc5b8f230ab72a16b2bbf1400076aa569375cd9f4c7d90f89bb54f1823cdd53
+                 d59a987e9adeed474ac87dc49433ef9a4ef6ba4a9fee16b678c847feb9f2c1f4
+                 02b90e4e74f709f3adfd9e470f661cde06b9920843580e4015b64eb000209ce1
+                 1f2875bd985371ba152a60543dc1904ea9b4bbc98245bfda52e55c28d0482e5b
+                 98e2a560e15c747ca4b966c46c0e37017a551f31ac2b01abcf45528bdbae8d6c
+                 8524fda4818fde01af63853664f0d4ec86b3db92e9a3acd1fc5f67ba40c2e521
+                 f878ff2f"
+            )
+        );
+    }
+
+    /// The batched bulk path must agree byte-for-byte with the scalar
+    /// [`block`] primitive (which the RFC vectors pin down) for every
+    /// length around the block and batch boundaries and for counters
+    /// around zero and the batch stride.
+    #[test]
+    fn batched_path_matches_scalar_blocks_exhaustively() {
+        let key: [u8; KEY_LEN] = core::array::from_fn(|i| i as u8 ^ 0x5a);
+        let nonce: [u8; NONCE_LEN] = core::array::from_fn(|i| 0x10 + i as u8);
+        for counter in [0u32, 1, 3, 4, 5, 1000] {
+            for len in [
+                0usize, 1, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 319, 320, 511,
+                512, 513,
+            ] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+                let mut fast = data.clone();
+                xor_in_place(&key, counter, &nonce, &mut fast);
+                let mut slow = data;
+                for (i, chunk) in slow.chunks_mut(BLOCK_LEN).enumerate() {
+                    let ks = block(&key, counter + i as u32, &nonce);
+                    for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                        *d ^= k;
+                    }
+                }
+                assert_eq!(fast, slow, "counter={counter} len={len}");
+            }
+        }
     }
 }

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaa; 131];
-        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -174,11 +177,7 @@ mod tests {
     fn rfc4231_case5_truncated() {
         let key = [0x0c; 20];
         let expected = unhex("a3b6167473100ee06e0c796c2955552b");
-        assert!(HmacSha256::verify(
-            &key,
-            b"Test With Truncation",
-            &expected
-        ));
+        assert!(HmacSha256::verify(&key, b"Test With Truncation", &expected));
     }
 
     #[test]

@@ -35,9 +35,7 @@ impl Poly1305 {
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
         // Load r with the RFC 8439 §2.5 clamp folded into the limb masks
         // (the classic "donna" unaligned loads at offsets 0, 3, 6, 9, 12).
-        let load32 = |i: usize| {
-            u32::from_le_bytes([key[i], key[i + 1], key[i + 2], key[i + 3]])
-        };
+        let load32 = |i: usize| u32::from_le_bytes([key[i], key[i + 1], key[i + 2], key[i + 3]]);
         let r = [
             load32(0) & 0x3ff_ffff,
             (load32(3) >> 2) & 0x3ff_ff03,
@@ -236,9 +234,7 @@ mod tests {
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_vector() {
-        let key_bytes = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        );
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; KEY_LEN];
         key.copy_from_slice(&key_bytes);
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
@@ -279,8 +275,7 @@ mod tests {
 
     #[test]
     fn incremental_matches_oneshot_at_every_split() {
-        let key_bytes =
-            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; KEY_LEN];
         key.copy_from_slice(&key_bytes);
         let msg: Vec<u8> = (0u16..100).map(|i| i as u8).collect();

@@ -125,8 +125,8 @@ impl Fe {
 
     /// `self - other`, biased by `2p` to avoid underflow.
     fn sub(self, other: Fe) -> Fe {
-        const TWO_P0: u64 = 0xFFF_FFFF_FFFF_DA; // 2 * (2^51 - 19)
-        const TWO_P1234: u64 = 0xFFF_FFFF_FFFF_FE; // 2 * (2^51 - 1)
+        const TWO_P0: u64 = 0x000F_FFFF_FFFF_FFDA; // 2 * (2^51 - 19)
+        const TWO_P1234: u64 = 0x000F_FFFF_FFFF_FFFE; // 2 * (2^51 - 1)
         let a = self.0;
         let b = other.0;
         Fe([
@@ -439,22 +439,18 @@ mod tests {
     // RFC 7748 §5.2, first test vector.
     #[test]
     fn rfc7748_vector_1() {
-        let scalar =
-            unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
-        let expect =
-            unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        let expect = unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
         assert_eq!(x25519(&scalar, &u), expect);
     }
 
     // RFC 7748 §5.2, second test vector.
     #[test]
     fn rfc7748_vector_2() {
-        let scalar =
-            unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
         let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
-        let expect =
-            unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        let expect = unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
         assert_eq!(x25519(&scalar, &u), expect);
     }
 
@@ -463,10 +459,8 @@ mod tests {
     fn rfc7748_iterated() {
         let mut k = BASE_POINT;
         let mut u = BASE_POINT;
-        let after_1 =
-            unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
-        let after_1000 =
-            unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+        let after_1 = unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        let after_1000 = unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
         for i in 0..1000 {
             let result = x25519(&k, &u);
             u = k;
@@ -485,8 +479,7 @@ mod tests {
             unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
         let alice_public_expect =
             unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
-        let bob_secret =
-            unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_secret = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
         let bob_public_expect =
             unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
         let shared_expect =
@@ -525,8 +518,7 @@ mod tests {
         let user = StaticSecret::generate(&mut rng);
         let leader = StaticSecret::generate(&mut rng);
 
-        let k_user =
-            derive_long_term_key(&user, &leader.public_key(), "alice", "leader").unwrap();
+        let k_user = derive_long_term_key(&user, &leader.public_key(), "alice", "leader").unwrap();
         let k_leader =
             derive_long_term_key(&leader, &user.public_key(), "alice", "leader").unwrap();
         assert_eq!(k_user, k_leader, "both sides derive the same P_a");

@@ -78,19 +78,18 @@ pub fn analz(fields: &[Field]) -> HashSet<Field> {
                     locked.push(f.clone());
                 }
             }
-            Field::Key(k)
-                if keys.insert(*k) => {
-                    // A new key may unlock previously locked ciphertexts.
-                    let (unlockable, still_locked): (Vec<_>, Vec<_>) = locked
-                        .drain(..)
-                        .partition(|enc| matches!(enc, Field::Enc(_, ek) if ek == k));
-                    locked = still_locked;
-                    for enc in unlockable {
-                        if let Field::Enc(x, _) = enc {
-                            queue.push(*x);
-                        }
+            Field::Key(k) if keys.insert(*k) => {
+                // A new key may unlock previously locked ciphertexts.
+                let (unlockable, still_locked): (Vec<_>, Vec<_>) = locked
+                    .drain(..)
+                    .partition(|enc| matches!(enc, Field::Enc(_, ek) if ek == k));
+                locked = still_locked;
+                for enc in unlockable {
+                    if let Field::Enc(x, _) = enc {
+                        queue.push(*x);
                     }
                 }
+            }
             _ => {}
         }
     }
@@ -187,7 +186,10 @@ mod tests {
         let inner = Field::enc(n(7), KA);
         let outer = Field::enc(Field::concat(vec![key(KA), n(3)]), PA);
         let a2 = analz(&[inner, outer, key(PA)]);
-        assert!(a2.contains(&n(7)), "KA recovered from outer must unlock inner");
+        assert!(
+            a2.contains(&n(7)),
+            "KA recovered from outer must unlock inner"
+        );
     }
 
     #[test]
@@ -277,10 +279,7 @@ mod tests {
 
     #[test]
     fn idempotence_of_analz() {
-        let fields = vec![
-            Field::enc(Field::concat(vec![n(1), key(KA)]), PA),
-            key(PA),
-        ];
+        let fields = vec![Field::enc(Field::concat(vec![n(1), key(KA)]), PA), key(PA)];
         let once: Vec<Field> = analz(&fields).into_iter().collect();
         let twice = analz(&once);
         assert_eq!(twice.len(), once.len());

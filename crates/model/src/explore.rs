@@ -46,12 +46,7 @@ pub trait TransitionChecker {
     ///
     /// Implementations return a human-readable description of the violated
     /// property.
-    fn check(
-        &self,
-        prev: &SystemState,
-        mv: &GlobalMove,
-        next: &SystemState,
-    ) -> Result<(), String>;
+    fn check(&self, prev: &SystemState, mv: &GlobalMove, next: &SystemState) -> Result<(), String>;
 }
 
 /// A recorded property violation.
@@ -402,9 +397,7 @@ impl ParallelExplorer {
                                     let next = state.apply(scenario, &mv);
                                     transitions += 1;
                                     for checker in transition_checkers {
-                                        if let Err(description) =
-                                            checker.check(state, &mv, &next)
-                                        {
+                                        if let Err(description) = checker.check(state, &mv, &next) {
                                             violations.push(Violation {
                                                 checker: checker.name().to_string(),
                                                 description,
@@ -430,7 +423,10 @@ impl ParallelExplorer {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             });
 
             // Sequential merge: dedupe and build the next frontier.
@@ -488,11 +484,13 @@ mod tests {
                 // intruder coalition.
                 let honest_key = match state.user_a.session_key() {
                     Some(uk) if uk == k => true,
-                    _ => state
-                        .slots
-                        .get(&crate::field::AgentId::ALICE)
-                        .and_then(|s| s.key_in_use())
-                        == Some(k),
+                    _ => {
+                        state
+                            .slots
+                            .get(&crate::field::AgentId::ALICE)
+                            .and_then(|s| s.key_in_use())
+                            == Some(k)
+                    }
                 };
                 if honest_key && state.intruder.knows_key(k) {
                     return Err(format!("in-use key {k:?} known to intruder"));
@@ -517,11 +515,7 @@ mod tests {
         let mut ex = Explorer::new(Scenario::tight(), Bounds::smoke());
         ex.add_checker(Box::new(SessionKeySecrecy));
         let stats = ex.run();
-        assert!(
-            ex.violations.is_empty(),
-            "violation: {}",
-            ex.violations[0]
-        );
+        assert!(ex.violations.is_empty(), "violation: {}", ex.violations[0]);
         assert!(stats.states_visited > 0);
     }
 

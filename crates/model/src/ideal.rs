@@ -86,7 +86,8 @@ impl KeySet {
 #[must_use]
 pub fn ideal_parts_lemma_applies(s: &KeySet, fields: &[Field]) -> bool {
     let p = crate::closure::parts(fields);
-    !p.iter().any(|f| matches!(f, Field::Key(k) if s.contains(*k)))
+    !p.iter()
+        .any(|f| matches!(f, Field::Key(k) if s.contains(*k)))
 }
 
 #[cfg(test)]

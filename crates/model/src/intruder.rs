@@ -124,16 +124,19 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
     let can_gen = |f: &Field| crate::closure::synth_contains(&synth_base, f);
 
     let push = |out: &mut Vec<IntruderMove>,
-                    seen: &mut HashSet<(Label, AgentId, Field)>,
-                    label: Label,
-                    sender: AgentId,
-                    recipient: AgentId,
-                    content: Field,
-                    fresh_n: u32,
-                    fresh_k: u32| {
+                seen: &mut HashSet<(Label, AgentId, Field)>,
+                label: Label,
+                sender: AgentId,
+                recipient: AgentId,
+                content: Field,
+                fresh_n: u32,
+                fresh_k: u32| {
         // Skip if an identical (label, recipient, content) message is
         // already in the trace: re-delivery adds nothing in this model.
-        let already = view.trace.receivable(label, recipient).any(|(_, c)| *c == content);
+        let already = view
+            .trace
+            .receivable(label, recipient)
+            .any(|(_, c)| *c == content);
         if already {
             return;
         }
@@ -158,7 +161,16 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
             // Replays: trace contents that parse as AuthKeyDist for A.
             for content in view.trace.contents() {
                 if user::match_key_dist(content, l, a, *na).is_some() {
-                    push(&mut out, &mut seen, Label::AuthKeyDist, l, a, content.clone(), 0, 0);
+                    push(
+                        &mut out,
+                        &mut seen,
+                        Label::AuthKeyDist,
+                        l,
+                        a,
+                        content.clone(),
+                        0,
+                        0,
+                    );
                 }
             }
             // Forgeries: {L, A, Na, N, K}_Pa for known/fresh N, K.
@@ -168,7 +180,16 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
                     if can_gen(&content) {
                         let fresh_n = u32::from(n == view.fresh_nonce);
                         let fresh_k = u32::from(k == view.fresh_key);
-                        push(&mut out, &mut seen, Label::AuthKeyDist, l, a, content, fresh_n, fresh_k);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AuthKeyDist,
+                            l,
+                            a,
+                            content,
+                            fresh_n,
+                            fresh_k,
+                        );
                     }
                 }
             }
@@ -177,7 +198,16 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
             // Replays of AdminMsg-shaped contents.
             for content in view.trace.contents() {
                 if user::match_admin(content, l, a, *na, *ka).is_some() {
-                    push(&mut out, &mut seen, Label::AdminMsg, l, a, content.clone(), 0, 0);
+                    push(
+                        &mut out,
+                        &mut seen,
+                        Label::AdminMsg,
+                        l,
+                        a,
+                        content.clone(),
+                        0,
+                        0,
+                    );
                 }
             }
             // Forgeries: {L, A, Na, N, X}_Ka.
@@ -186,7 +216,16 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
                     let content = user::admin_content(l, a, *na, n, x.clone(), *ka);
                     if can_gen(&content) {
                         let fresh_n = u32::from(n == view.fresh_nonce);
-                        push(&mut out, &mut seen, Label::AdminMsg, l, a, content, fresh_n, 0);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AdminMsg,
+                            l,
+                            a,
+                            content,
+                            fresh_n,
+                            0,
+                        );
                     }
                 }
             }
@@ -202,7 +241,16 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
                 // requests — the diagram must tolerate this).
                 for content in view.trace.contents() {
                     if leader::match_auth_init(content, u, l).is_some() {
-                        push(&mut out, &mut seen, Label::AuthInitReq, u, l, content.clone(), 0, 0);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AuthInitReq,
+                            u,
+                            l,
+                            content.clone(),
+                            0,
+                            0,
+                        );
                     }
                 }
                 // Forgeries: {U, L, N}_Pu (possible when Pu is compromised).
@@ -211,21 +259,48 @@ pub fn enumerate_moves(view: &IntruderView<'_>) -> Vec<IntruderMove> {
                     // auth_init_content encrypts under LongTerm(u).
                     if can_gen(&content) {
                         let fresh_n = u32::from(n == view.fresh_nonce);
-                        push(&mut out, &mut seen, Label::AuthInitReq, u, l, content, fresh_n, 0);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AuthInitReq,
+                            u,
+                            l,
+                            content,
+                            fresh_n,
+                            0,
+                        );
                     }
                 }
             }
             LeaderSlot::WaitingForKeyAck(nl, ka) => {
                 for content in view.trace.contents() {
                     if leader::match_nonce_ack(content, u, l, *nl, *ka).is_some() {
-                        push(&mut out, &mut seen, Label::AuthAckKey, u, l, content.clone(), 0, 0);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AuthAckKey,
+                            u,
+                            l,
+                            content.clone(),
+                            0,
+                            0,
+                        );
                     }
                 }
                 for &n in &nonces {
                     let content = user::key_ack_content(u, l, *nl, n, *ka);
                     if can_gen(&content) {
                         let fresh_n = u32::from(n == view.fresh_nonce);
-                        push(&mut out, &mut seen, Label::AuthAckKey, u, l, content, fresh_n, 0);
+                        push(
+                            &mut out,
+                            &mut seen,
+                            Label::AuthAckKey,
+                            u,
+                            l,
+                            content,
+                            fresh_n,
+                            0,
+                        );
                     }
                 }
             }
@@ -438,8 +513,7 @@ mod tests {
     #[test]
     fn close_forgery_requires_session_key() {
         let mut fx = Fixture::new();
-        fx.slots
-            .insert(A, LeaderSlot::Connected(NonceId(1), KA));
+        fx.slots.insert(A, LeaderSlot::Connected(NonceId(1), KA));
         let st = UserState::Connected(NonceId(1), KA);
         let moves = enumerate_moves(&fx.view(&st));
         assert!(
@@ -469,6 +543,8 @@ mod tests {
             ..fx.view(&st)
         };
         let moves = enumerate_moves(&view);
-        assert!(moves.iter().all(|m| m.fresh_nonces == 0 && m.fresh_keys == 0));
+        assert!(moves
+            .iter()
+            .all(|m| m.fresh_nonces == 0 && m.fresh_keys == 0));
     }
 }

@@ -81,19 +81,18 @@ impl Knowledge {
                         locked.push(f.clone());
                     }
                 }
-                Field::Key(k)
-                    if keys.insert(*k) => {
-                        let mut i = 0;
-                        while i < locked.len() {
-                            if matches!(&locked[i], Field::Enc(_, ek) if ek == k) {
-                                if let Field::Enc(x, _) = locked.swap_remove(i) {
-                                    queue.push(*x);
-                                }
-                            } else {
-                                i += 1;
+                Field::Key(k) if keys.insert(*k) => {
+                    let mut i = 0;
+                    while i < locked.len() {
+                        if matches!(&locked[i], Field::Enc(_, ek) if ek == k) {
+                            if let Field::Enc(x, _) = locked.swap_remove(i) {
+                                queue.push(*x);
                             }
+                        } else {
+                            i += 1;
                         }
                     }
+                }
                 _ => {}
             }
         }
@@ -199,12 +198,7 @@ mod tests {
             Field::enc(n(4), PA),
         ];
         // Incremental, in several orders.
-        for perm in [
-            [0usize, 1, 2, 3],
-            [3, 2, 1, 0],
-            [1, 3, 0, 2],
-            [2, 0, 3, 1],
-        ] {
+        for perm in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]] {
             let mut k = Knowledge::new();
             for &i in &perm {
                 k.observe(&fields[i]);

@@ -94,9 +94,7 @@ pub fn match_auth_init(content: &Field, user: AgentId, leader: AgentId) -> Optio
         return None;
     }
     match body.flatten().as_slice() {
-        [Field::Agent(u2), Field::Agent(l2), Field::Nonce(na)]
-            if *u2 == user && *l2 == leader =>
-        {
+        [Field::Agent(u2), Field::Agent(l2), Field::Nonce(na)] if *u2 == user && *l2 == leader => {
             Some(*na)
         }
         _ => None,
@@ -443,7 +441,13 @@ mod tests {
             nonce: &mut fnonce,
             session_key: &mut fkey,
         };
-        let eff = apply_move(A, L, &LeaderSlot::WaitingForKeyAck(nl, KA), &moves[0], &mut fresh);
+        let eff = apply_move(
+            A,
+            L,
+            &LeaderSlot::WaitingForKeyAck(nl, KA),
+            &moves[0],
+            &mut fresh,
+        );
         assert_eq!(eff.slot, LeaderSlot::Connected(NonceId(11), KA));
         assert!(eff.accepted_member);
         assert!(eff.events.is_empty());
@@ -456,13 +460,7 @@ mod tests {
             AdminPayload::MemberJoined(AgentId::BRUTUS),
             AdminPayload::MemberLeft(AgentId::BRUTUS),
         ];
-        let moves = enumerate_moves(
-            A,
-            L,
-            &LeaderSlot::Connected(NonceId(11), KA),
-            &t,
-            &payloads,
-        );
+        let moves = enumerate_moves(A, L, &LeaderSlot::Connected(NonceId(11), KA), &t, &payloads);
         assert_eq!(moves.len(), 2);
         let (mut fnonce, mut fkey) = fresh_pair(20, 9);
         let mut fresh = LeaderFresh {
@@ -486,14 +484,7 @@ mod tests {
             } => {
                 assert_eq!(
                     content,
-                    &admin_content(
-                        L,
-                        A,
-                        NonceId(11),
-                        NonceId(20),
-                        payloads[0].to_field(),
-                        KA
-                    )
+                    &admin_content(L, A, NonceId(11), NonceId(20), payloads[0].to_field(), KA)
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -504,7 +495,13 @@ mod tests {
     fn ack_rolls_back_to_connected_with_new_nonce() {
         let nl = NonceId(20);
         let mut t = Trace::new();
-        push_msg(&mut t, Label::Ack, A, L, ack_content(A, L, nl, NonceId(21), KA));
+        push_msg(
+            &mut t,
+            Label::Ack,
+            A,
+            L,
+            ack_content(A, L, nl, NonceId(21), KA),
+        );
         let moves = enumerate_moves(A, L, &LeaderSlot::WaitingForAck(nl, KA), &t, &[]);
         assert_eq!(
             moves,

@@ -166,8 +166,7 @@ impl LegacyProperty {
                 Ok(())
             }
             LegacyProperty::NoKeyRollback => {
-                if matches!(s.user_a, LegacyUserState::Member { .. }) && s.a_epoch < s.a_max_epoch
-                {
+                if matches!(s.user_a, LegacyUserState::Member { .. }) && s.a_epoch < s.a_max_epoch {
                     Err(format!(
                         "A rolled back from group-key epoch {} to {}",
                         s.a_max_epoch, s.a_epoch
@@ -478,10 +477,7 @@ impl LegacySystem {
                 (Label::LegacyConnectionDenied, Field::Agent(L)),
                 (Label::LegacyAckOpen, Field::Agent(L)),
             ] {
-                let dup = self
-                    .trace
-                    .receivable(label, A)
-                    .any(|(_, c)| *c == content);
+                let dup = self.trace.receivable(label, A).any(|(_, c)| *c == content);
                 if !dup {
                     moves.push(LegacyMove::Intruder {
                         label,
@@ -556,10 +552,7 @@ impl LegacySystem {
                 s.push(Label::LegacyAuth3, A, L, content);
             }
             LegacyMove::AAcceptNewKey { kg } => {
-                if let LegacyUserState::Member {
-                    kg: cur_kg, ka, ..
-                } = &mut s.user_a
-                {
+                if let LegacyUserState::Member { kg: cur_kg, ka, .. } = &mut s.user_a {
                     *cur_kg = *kg;
                     let ka = *ka;
                     s.a_epoch = Self::epoch_of(*kg);
@@ -625,7 +618,14 @@ impl LegacySystem {
 
     /// Canonical deduplication key.
     #[must_use]
-    pub fn canonical_key(&self) -> (LegacyUserState, LegacySlot, Vec<(Label, AgentId, Field)>, u32) {
+    pub fn canonical_key(
+        &self,
+    ) -> (
+        LegacyUserState,
+        LegacySlot,
+        Vec<(Label, AgentId, Field)>,
+        u32,
+    ) {
         let mut msgs: Vec<(Label, AgentId, Field)> = self
             .trace
             .events()
@@ -730,7 +730,11 @@ mod tests {
                 }
             )
         });
-        assert!(forged, "counterexample should include the forgery:\n{:?}", state.trace);
+        assert!(
+            forged,
+            "counterexample should include the forgery:\n{:?}",
+            state.trace
+        );
     }
 
     #[test]
@@ -768,7 +772,15 @@ mod tests {
             .trace
             .events()
             .iter()
-            .filter(|e| matches!(e, Event::Msg { label: Label::LegacyNewKey, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Msg {
+                        label: Label::LegacyNewKey,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(new_keys >= 2, "{:?}", state.trace);
     }

@@ -300,7 +300,10 @@ impl SystemState {
     /// All session keys currently in use.
     #[must_use]
     pub fn keys_in_use(&self) -> Vec<KeyId> {
-        self.slots.values().filter_map(LeaderSlot::key_in_use).collect()
+        self.slots
+            .values()
+            .filter_map(LeaderSlot::key_in_use)
+            .collect()
     }
 
     /// Candidate payload fields for intruder `AdminMsg` forgeries: the
@@ -339,8 +342,8 @@ impl SystemState {
 
         // Leader slots.
         for (&u, slot) in &self.slots {
-            let admin_budget = self.admin_sent.get(&u).copied().unwrap_or(0)
-                < scenario.max_admin_per_user;
+            let admin_budget =
+                self.admin_sent.get(&u).copied().unwrap_or(0) < scenario.max_admin_per_user;
             let payloads: Vec<AdminPayload> = if admin_budget {
                 scenario
                     .leader_payloads
@@ -350,9 +353,7 @@ impl SystemState {
                         PayloadChoice::FreshGroupKey => {
                             // Peek the key that would be allocated.
                             let mut peek = self.fresh;
-                            AdminPayload::NewGroupKey(
-                                peek.group_key(u, scenario.honest_user),
-                            )
+                            AdminPayload::NewGroupKey(peek.group_key(u, scenario.honest_user))
                         }
                     })
                     .collect()
@@ -455,10 +456,7 @@ impl SystemState {
                                 .pending_request
                                 .take()
                                 .expect("acceptance without a pending request");
-                            let key = effect
-                                .slot
-                                .key_in_use()
-                                .expect("accepted slot has a key");
+                            let key = effect.slot.key_in_use().expect("accepted slot has a key");
                             next.l_accepts.push((req, key));
                         }
                     }
@@ -585,9 +583,10 @@ mod tests {
         scenario: &Scenario,
         user: AgentId,
     ) -> Option<GlobalMove> {
-        state.enumerate_moves(scenario).into_iter().find(
-            |m| matches!(m, GlobalMove::Leader(u, _) if *u == user),
-        )
+        state
+            .enumerate_moves(scenario)
+            .into_iter()
+            .find(|m| matches!(m, GlobalMove::Leader(u, _) if *u == user))
     }
 
     /// Drives one complete happy-path session: auth, one admin exchange,
@@ -678,11 +677,7 @@ mod tests {
         let states = happy_path();
         let last = states.last().unwrap();
         // The oops event leaked the session key to the intruder.
-        let leaked: Vec<KeyId> = last
-            .intruder
-            .keys()
-            .filter(|k| k.is_session())
-            .collect();
+        let leaked: Vec<KeyId> = last.intruder.keys().filter(|k| k.is_session()).collect();
         assert_eq!(leaked.len(), 1, "closed session key must be oopsed");
     }
 
@@ -703,8 +698,7 @@ mod tests {
     fn rcv_is_prefix_of_snd_along_happy_path() {
         for st in happy_path() {
             assert!(
-                st.rcv_a.len() <= st.snd_a.len()
-                    && st.snd_a[..st.rcv_a.len()] == st.rcv_a[..],
+                st.rcv_a.len() <= st.snd_a.len() && st.snd_a[..st.rcv_a.len()] == st.rcv_a[..],
                 "prefix violated: rcv={:?} snd={:?}",
                 st.rcv_a,
                 st.snd_a

@@ -7,8 +7,8 @@
 //! (`Parts(trace)` and the raw content list) that the honest state machines
 //! and the property checkers both consume.
 
-use crate::field::{AgentId, Field};
 use crate::closure::add_parts;
+use crate::field::{AgentId, Field};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -258,8 +258,16 @@ mod tests {
         let mut t = Trace::new();
         assert!(t.is_empty());
         let ka = KeyId::Session(0);
-        let content = Field::enc(Field::concat(vec![n(1), key(ka)]), KeyId::LongTerm(AgentId::ALICE));
-        t.push(msg(Label::AuthKeyDist, AgentId::LEADER, AgentId::ALICE, content.clone()));
+        let content = Field::enc(
+            Field::concat(vec![n(1), key(ka)]),
+            KeyId::LongTerm(AgentId::ALICE),
+        );
+        t.push(msg(
+            Label::AuthKeyDist,
+            AgentId::LEADER,
+            AgentId::ALICE,
+            content.clone(),
+        ));
         assert_eq!(t.len(), 1);
         assert!(t.parts_contain(&content));
         assert!(t.parts_contain(&n(1)));
@@ -279,9 +287,24 @@ mod tests {
     #[test]
     fn receivable_filters_by_label_and_recipient() {
         let mut t = Trace::new();
-        t.push(msg(Label::AuthInitReq, AgentId::ALICE, AgentId::LEADER, n(1)));
-        t.push(msg(Label::AuthKeyDist, AgentId::LEADER, AgentId::ALICE, n(2)));
-        t.push(msg(Label::AuthInitReq, AgentId::BRUTUS, AgentId::LEADER, n(3)));
+        t.push(msg(
+            Label::AuthInitReq,
+            AgentId::ALICE,
+            AgentId::LEADER,
+            n(1),
+        ));
+        t.push(msg(
+            Label::AuthKeyDist,
+            AgentId::LEADER,
+            AgentId::ALICE,
+            n(2),
+        ));
+        t.push(msg(
+            Label::AuthInitReq,
+            AgentId::BRUTUS,
+            AgentId::LEADER,
+            n(3),
+        ));
 
         let to_leader: Vec<_> = t.receivable(Label::AuthInitReq, AgentId::LEADER).collect();
         assert_eq!(to_leader.len(), 2);

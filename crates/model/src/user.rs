@@ -72,20 +72,18 @@ pub enum UserMove {
 #[must_use]
 pub fn auth_init_content(a: AgentId, leader: AgentId, n1: NonceId) -> Field {
     Field::enc(
-        Field::concat(vec![Field::Agent(a), Field::Agent(leader), Field::Nonce(n1)]),
+        Field::concat(vec![
+            Field::Agent(a),
+            Field::Agent(leader),
+            Field::Nonce(n1),
+        ]),
         KeyId::LongTerm(a),
     )
 }
 
 /// Builds the `AuthKeyDist` content `{L, A, Na, Nl, Ka}_Pa`.
 #[must_use]
-pub fn key_dist_content(
-    leader: AgentId,
-    a: AgentId,
-    na: NonceId,
-    nl: NonceId,
-    ka: KeyId,
-) -> Field {
+pub fn key_dist_content(leader: AgentId, a: AgentId, na: NonceId, nl: NonceId, ka: KeyId) -> Field {
     Field::enc(
         Field::concat(vec![
             Field::Agent(leader),

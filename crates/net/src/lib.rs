@@ -26,4 +26,4 @@ pub mod tcp;
 mod error;
 
 pub use error::NetError;
-pub use link::{Link, Listener};
+pub use link::{Frame, Link, Listener};

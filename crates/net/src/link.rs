@@ -8,13 +8,21 @@
 //! transport-agnostic.
 
 use crate::NetError;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A frame on the wire: shared, immutable bytes.
+///
+/// Frames are reference-counted so a broadcast can hand the *same* encoded
+/// frame to N links (and the simulator's adversary tap, duplicator, and
+/// hold-back queue) without one deep copy per recipient.
+pub type Frame = Arc<[u8]>;
 
 /// One end of a duplex, frame-oriented, *insecure* connection.
 ///
-/// Frames are opaque byte vectors; the transport guarantees nothing about
-/// confidentiality, integrity, or even delivery — that is the protocol
-/// layer's job.
+/// Frames are opaque shared byte buffers; the transport guarantees nothing
+/// about confidentiality, integrity, or even delivery — that is the
+/// protocol layer's job.
 pub trait Link: Send {
     /// Sends one frame.
     ///
@@ -22,7 +30,7 @@ pub trait Link: Send {
     ///
     /// [`NetError::Disconnected`] if the peer is gone, [`NetError::Io`] on
     /// transport failure.
-    fn send(&self, frame: Vec<u8>) -> Result<(), NetError>;
+    fn send(&self, frame: Frame) -> Result<(), NetError>;
 
     /// Receives one frame, waiting up to `timeout`.
     ///
@@ -30,7 +38,7 @@ pub trait Link: Send {
     ///
     /// [`NetError::Timeout`] if nothing arrived, [`NetError::Disconnected`]
     /// if the peer is gone.
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError>;
 
     /// A transport-level hint about who the peer is (e.g. the name used at
     /// connect time, or a TCP address). Untrusted — authentication happens
@@ -50,11 +58,11 @@ pub trait Listener: Send {
 }
 
 impl Link for Box<dyn Link> {
-    fn send(&self, frame: Vec<u8>) -> Result<(), NetError> {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
         (**self).send(frame)
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
         (**self).recv_timeout(timeout)
     }
 

@@ -15,7 +15,7 @@
 //! RNG decides), so a fixed seed and a fixed schedule of calls reproduce a
 //! run exactly.
 
-use crate::{Link, Listener, NetError};
+use crate::{Frame, Link, Listener, NetError};
 use crossbeam_channel::{unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -78,8 +78,9 @@ pub struct TappedFrame {
     pub conn: usize,
     /// Direction of travel.
     pub dir: Direction,
-    /// The frame bytes.
-    pub frame: Vec<u8>,
+    /// The frame bytes (shared with the delivered copy — observing a
+    /// frame does not deep-copy it).
+    pub frame: Frame,
     /// Whether the network actually delivered it (dropped frames are still
     /// observed — the wire is public).
     pub delivered: bool,
@@ -103,9 +104,9 @@ pub struct SimStats {
 }
 
 struct Wire {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<Frame>,
     /// Held-back frame for pairwise reordering.
-    holdback: Option<Vec<u8>>,
+    holdback: Option<Frame>,
 }
 
 struct Connection {
@@ -254,7 +255,7 @@ impl SimNet {
     /// Transmits a frame over connection `conn` in direction `dir`,
     /// applying fault injection. `forced` bypasses faults (used by the
     /// adversary, whose injections are not subject to the lossy wire).
-    fn transmit(&self, conn: usize, dir: Direction, frame: Vec<u8>, forced: bool) {
+    fn transmit(&self, conn: usize, dir: Direction, frame: Frame, forced: bool) {
         let mut inner = self.inner.lock();
         inner.stats.sent += usize::from(!forced);
         if forced {
@@ -280,7 +281,8 @@ impl SimNet {
         }
 
         // Collect deliveries first to keep the borrow on `wire` short.
-        let mut deliveries: Vec<Vec<u8>> = Vec::with_capacity(3);
+        // Each entry is a refcount bump, not a copy.
+        let mut deliveries: Vec<Frame> = Vec::with_capacity(3);
         {
             let wire = match dir {
                 Direction::ToListener => &mut inner.connections[conn].to_listener,
@@ -325,7 +327,7 @@ pub struct SimLink {
     net: SimNet,
     conn: usize,
     send_dir: Direction,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Frame>,
     peer: String,
 }
 
@@ -340,12 +342,12 @@ impl std::fmt::Debug for SimLink {
 }
 
 impl Link for SimLink {
-    fn send(&self, frame: Vec<u8>) -> Result<(), NetError> {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
         self.net.transmit(self.conn, self.send_dir, frame, false);
         Ok(())
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             crossbeam_channel::RecvTimeoutError::Timeout => NetError::Timeout,
             crossbeam_channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
@@ -404,7 +406,7 @@ impl Adversary {
 
     /// Frames observed on a specific connection and direction.
     #[must_use]
-    pub fn observed_on(&self, conn: usize, dir: Direction) -> Vec<Vec<u8>> {
+    pub fn observed_on(&self, conn: usize, dir: Direction) -> Vec<Frame> {
         self.net
             .inner
             .lock()
@@ -417,7 +419,7 @@ impl Adversary {
 
     /// Injects a frame into connection `conn` traveling in `dir`; the
     /// receiving end cannot distinguish it from a genuine frame.
-    pub fn inject(&self, conn: usize, dir: Direction, frame: Vec<u8>) {
+    pub fn inject(&self, conn: usize, dir: Direction, frame: Frame) {
         self.net.transmit(conn, dir, frame, true);
     }
 
@@ -461,10 +463,10 @@ mod tests {
         let member = net.connect("alice", "leader").unwrap();
         let leader_side = listener.accept_timeout(TO).unwrap();
 
-        member.send(b"hello".to_vec()).unwrap();
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"hello");
-        leader_side.send(b"welcome".to_vec()).unwrap();
-        assert_eq!(member.recv_timeout(TO).unwrap(), b"welcome");
+        member.send(b"hello"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"hello");
+        leader_side.send(b"welcome"[..].into()).unwrap();
+        assert_eq!(&member.recv_timeout(TO).unwrap()[..], b"welcome");
         assert_eq!(leader_side.peer_hint().as_deref(), Some("alice"));
         assert_eq!(member.peer_hint().as_deref(), Some("leader"));
     }
@@ -507,16 +509,16 @@ mod tests {
         let leader_side = listener.accept_timeout(TO).unwrap();
         let adv = net.adversary();
 
-        member.send(b"secret-looking".to_vec()).unwrap();
-        leader_side.send(b"reply".to_vec()).unwrap();
+        member.send(b"secret-looking"[..].into()).unwrap();
+        leader_side.send(b"reply"[..].into()).unwrap();
         let _ = leader_side.recv_timeout(TO).unwrap();
         let _ = member.recv_timeout(TO).unwrap();
 
         let tapped = adv.observed();
         assert_eq!(tapped.len(), 2);
-        assert_eq!(tapped[0].frame, b"secret-looking");
+        assert_eq!(&tapped[0].frame[..], b"secret-looking");
         assert_eq!(tapped[0].dir, Direction::ToListener);
-        assert_eq!(tapped[1].frame, b"reply");
+        assert_eq!(&tapped[1].frame[..], b"reply");
         assert_eq!(tapped[1].dir, Direction::ToConnector);
         assert_eq!(adv.connections(), 1);
     }
@@ -529,12 +531,12 @@ mod tests {
         let _leader_side = listener.accept_timeout(TO).unwrap();
         let adv = net.adversary();
 
-        adv.inject(0, Direction::ToConnector, b"forged".to_vec());
-        assert_eq!(member.recv_timeout(TO).unwrap(), b"forged");
+        adv.inject(0, Direction::ToConnector, b"forged"[..].into());
+        assert_eq!(&member.recv_timeout(TO).unwrap()[..], b"forged");
 
         // Replay it.
         adv.replay(0, Direction::ToConnector, 0).unwrap();
-        assert_eq!(member.recv_timeout(TO).unwrap(), b"forged");
+        assert_eq!(&member.recv_timeout(TO).unwrap()[..], b"forged");
         assert!(adv.replay(0, Direction::ToConnector, 99).is_err());
         assert_eq!(net.stats().injected, 2);
     }
@@ -548,7 +550,7 @@ mod tests {
         let listener = net.listen("leader").unwrap();
         let member = net.connect("alice", "leader").unwrap();
         let leader_side = listener.accept_timeout(TO).unwrap();
-        member.send(b"doomed".to_vec()).unwrap();
+        member.send(b"doomed"[..].into()).unwrap();
         assert_eq!(
             leader_side
                 .recv_timeout(Duration::from_millis(20))
@@ -562,7 +564,7 @@ mod tests {
         assert_eq!(net.stats().dropped, 1);
         // The adversary can resurrect a dropped frame.
         adv.inject(0, Direction::ToListener, tapped[0].frame.clone());
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"doomed");
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"doomed");
     }
 
     #[test]
@@ -574,9 +576,9 @@ mod tests {
         let listener = net.listen("leader").unwrap();
         let member = net.connect("alice", "leader").unwrap();
         let leader_side = listener.accept_timeout(TO).unwrap();
-        member.send(b"twice".to_vec()).unwrap();
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"twice");
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"twice");
+        member.send(b"twice"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"twice");
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"twice");
         assert_eq!(net.stats().duplicated, 1);
     }
 
@@ -589,12 +591,12 @@ mod tests {
         let listener = net.listen("leader").unwrap();
         let member = net.connect("alice", "leader").unwrap();
         let leader_side = listener.accept_timeout(TO).unwrap();
-        member.send(b"first".to_vec()).unwrap();
-        member.send(b"second".to_vec()).unwrap();
+        member.send(b"first"[..].into()).unwrap();
+        member.send(b"second"[..].into()).unwrap();
         // With reorder_prob = 1.0, frame 1 is held and frame 2 triggers the
         // swapped flush.
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"second");
-        assert_eq!(leader_side.recv_timeout(TO).unwrap(), b"first");
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"second");
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"first");
     }
 
     #[test]
@@ -609,7 +611,7 @@ mod tests {
             let member = net.connect("alice", "leader").unwrap();
             let _l = listener.accept_timeout(TO).unwrap();
             for i in 0..32u8 {
-                member.send(vec![i]).unwrap();
+                member.send(vec![i].into()).unwrap();
             }
             net.stats().dropped
         };
@@ -629,10 +631,10 @@ mod tests {
         let l_alice = listener.accept_timeout(TO).unwrap();
         let l_bob = listener.accept_timeout(TO).unwrap();
 
-        alice.send(b"from-alice".to_vec()).unwrap();
-        bob.send(b"from-bob".to_vec()).unwrap();
-        assert_eq!(l_alice.recv_timeout(TO).unwrap(), b"from-alice");
-        assert_eq!(l_bob.recv_timeout(TO).unwrap(), b"from-bob");
+        alice.send(b"from-alice"[..].into()).unwrap();
+        bob.send(b"from-bob"[..].into()).unwrap();
+        assert_eq!(&l_alice.recv_timeout(TO).unwrap()[..], b"from-alice");
+        assert_eq!(&l_bob.recv_timeout(TO).unwrap()[..], b"from-bob");
         assert_eq!(l_alice.peer_hint().as_deref(), Some("alice"));
         assert_eq!(l_bob.peer_hint().as_deref(), Some("bob"));
     }

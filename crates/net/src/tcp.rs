@@ -4,7 +4,7 @@
 //! network application, not only a simulation. Frames use the
 //! `enclaves-wire` framing format.
 
-use crate::{Link, Listener, NetError};
+use crate::{Frame, Link, Listener, NetError};
 use crossbeam_channel::{unbounded, Receiver};
 use enclaves_wire::framing::{read_frame, write_frame};
 use parking_lot::Mutex;
@@ -18,7 +18,7 @@ use std::time::Duration;
 /// `enclaves-core`.
 pub struct TcpLink {
     writer: Mutex<TcpStream>,
-    incoming: Receiver<Vec<u8>>,
+    incoming: Receiver<Frame>,
     peer: SocketAddr,
 }
 
@@ -41,7 +41,9 @@ impl TcpLink {
 
     /// Wraps an accepted stream.
     fn from_stream(stream: TcpStream) -> Result<Self, NetError> {
-        let peer = stream.peer_addr().map_err(|e| NetError::Io(e.to_string()))?;
+        let peer = stream
+            .peer_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
         stream
             .set_nodelay(true)
             .map_err(|e| NetError::Io(e.to_string()))?;
@@ -54,7 +56,7 @@ impl TcpLink {
             .spawn(move || {
                 let mut reader = reader;
                 while let Ok(frame) = read_frame(&mut reader) {
-                    if tx.send(frame).is_err() {
+                    if tx.send(frame.into()).is_err() {
                         break;
                     }
                 }
@@ -78,12 +80,12 @@ impl Drop for TcpLink {
 }
 
 impl Link for TcpLink {
-    fn send(&self, frame: Vec<u8>) -> Result<(), NetError> {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
         let mut w = self.writer.lock();
         write_frame(&mut *w, &frame).map_err(|e| NetError::Io(e.to_string()))
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
         self.incoming.recv_timeout(timeout).map_err(|e| match e {
             crossbeam_channel::RecvTimeoutError::Timeout => NetError::Timeout,
             crossbeam_channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
@@ -178,13 +180,13 @@ mod tests {
         let addr = acceptor.local_addr();
         let client_thread = std::thread::spawn(move || {
             let link = TcpLink::connect(addr).unwrap();
-            link.send(b"ping".to_vec()).unwrap();
+            link.send(b"ping"[..].into()).unwrap();
             link.recv_timeout(TO).unwrap()
         });
         let server_link = acceptor.accept_timeout(TO).unwrap();
-        assert_eq!(server_link.recv_timeout(TO).unwrap(), b"ping");
-        server_link.send(b"pong".to_vec()).unwrap();
-        assert_eq!(client_thread.join().unwrap(), b"pong");
+        assert_eq!(&server_link.recv_timeout(TO).unwrap()[..], b"ping");
+        server_link.send(b"pong"[..].into()).unwrap();
+        assert_eq!(&client_thread.join().unwrap()[..], b"pong");
     }
 
     #[test]
@@ -192,7 +194,10 @@ mod tests {
         let acceptor = TcpAcceptor::bind(loopback()).unwrap();
         let start = std::time::Instant::now();
         let result = acceptor.accept_timeout(Duration::from_millis(50));
-        assert_eq!(result.err().map(|e| matches!(e, NetError::Timeout)), Some(true));
+        assert_eq!(
+            result.err().map(|e| matches!(e, NetError::Timeout)),
+            Some(true)
+        );
         assert!(start.elapsed() >= Duration::from_millis(45));
     }
 
@@ -234,7 +239,7 @@ mod tests {
     fn large_frames_roundtrip() {
         let acceptor = TcpAcceptor::bind(loopback()).unwrap();
         let addr = acceptor.local_addr();
-        let payload = vec![0xCDu8; 200_000];
+        let payload: Frame = vec![0xCDu8; 200_000].into();
         let expect = payload.clone();
         let client_thread = std::thread::spawn(move || {
             let link = TcpLink::connect(addr).unwrap();
@@ -252,12 +257,12 @@ mod tests {
         let client_thread = std::thread::spawn(move || {
             let link = TcpLink::connect(addr).unwrap();
             for i in 0..20u8 {
-                link.send(vec![i]).unwrap();
+                link.send(vec![i].into()).unwrap();
             }
         });
         let server = acceptor.accept_timeout(TO).unwrap();
         for i in 0..20u8 {
-            assert_eq!(server.recv_timeout(TO).unwrap(), vec![i]);
+            assert_eq!(&server.recv_timeout(TO).unwrap()[..], &[i]);
         }
         client_thread.join().unwrap();
     }

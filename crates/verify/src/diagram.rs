@@ -251,8 +251,9 @@ impl Diagram {
                     ));
                 }
                 if !self.admins_for(state, n, ka).is_empty() {
-                    return Err("Q4 violated: admin message for A's fresh nonce already exists"
-                        .into());
+                    return Err(
+                        "Q4 violated: admin message for A's fresh nonce already exists".into(),
+                    );
                 }
                 Ok(BoxId::Q4)
             }
@@ -370,20 +371,13 @@ impl TransitionChecker for DiagramEdges {
         "F4: diagram edge soundness (§5.3)"
     }
 
-    fn check(
-        &self,
-        prev: &SystemState,
-        mv: &GlobalMove,
-        next: &SystemState,
-    ) -> Result<(), String> {
+    fn check(&self, prev: &SystemState, mv: &GlobalMove, next: &SystemState) -> Result<(), String> {
         let from = self.diagram.box_of(prev)?;
         let to = self.diagram.box_of(next)?;
         if from.successors().contains(&to) {
             Ok(())
         } else {
-            Err(format!(
-                "illegal diagram edge {from:?} → {to:?} via {mv:?}"
-            ))
+            Err(format!("illegal diagram edge {from:?} → {to:?} via {mv:?}"))
         }
     }
 }
@@ -604,8 +598,18 @@ mod tests {
         ex.add_checker(Box::new(Shared(seen_handle, Diagram::default())));
         let _ = ex.run();
         let seen = seen_handle.lock().unwrap();
-        for expected in [BoxId::Q1, BoxId::Q2, BoxId::Q3, BoxId::Q4, BoxId::Q5, BoxId::Q12] {
-            assert!(seen.contains(&expected), "{expected:?} never reached: {seen:?}");
+        for expected in [
+            BoxId::Q1,
+            BoxId::Q2,
+            BoxId::Q3,
+            BoxId::Q4,
+            BoxId::Q5,
+            BoxId::Q12,
+        ] {
+            assert!(
+                seen.contains(&expected),
+                "{expected:?} never reached: {seen:?}"
+            );
         }
     }
 }

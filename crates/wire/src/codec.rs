@@ -5,7 +5,6 @@
 //! AEAD layer, so the codec only needs to be unambiguous and total on
 //! valid inputs, and to fail cleanly on malformed ones.
 
-use bytes::{Buf, BufMut, BytesMut};
 use std::error::Error;
 use std::fmt;
 
@@ -53,51 +52,61 @@ impl fmt::Display for WireError {
 impl Error for WireError {}
 
 /// An append-only encode buffer.
+///
+/// Backed by a plain `Vec<u8>` so [`finish`](Self::finish) is a move, not
+/// a copy, and so a caller on a hot path can recycle one allocation across
+/// encodes via [`with_buffer`](Self::with_buffer) / [`encode_into`].
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     #[must_use]
     pub fn new() -> Self {
-        Writer {
-            buf: BytesMut::new(),
-        }
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer that reuses `buf`'s allocation, clearing any
+    /// previous contents.
+    #[must_use]
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a big-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         debug_assert!(v.len() <= MAX_BYTES_LEN);
-        self.buf.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends a fixed-size array with no length prefix.
     pub fn put_array(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
-    /// Finishes encoding, returning the bytes.
+    /// Finishes encoding, returning the bytes (no copy).
     #[must_use]
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -143,8 +152,7 @@ impl<'a> Reader<'a> {
         if self.buf.len() < 4 {
             return Err(WireError::UnexpectedEnd);
         }
-        let mut b = self.buf;
-        let v = b.get_u32();
+        let v = u32::from_be_bytes(self.buf[..4].try_into().expect("length checked"));
         self.buf = &self.buf[4..];
         Ok(v)
     }
@@ -158,8 +166,7 @@ impl<'a> Reader<'a> {
         if self.buf.len() < 8 {
             return Err(WireError::UnexpectedEnd);
         }
-        let mut b = self.buf;
-        let v = b.get_u64();
+        let v = u64::from_be_bytes(self.buf[..8].try_into().expect("length checked"));
         self.buf = &self.buf[8..];
         Ok(v)
     }
@@ -235,6 +242,17 @@ pub fn encode<T: Encode>(value: &T) -> Vec<u8> {
     let mut w = Writer::new();
     value.encode(&mut w);
     w.finish()
+}
+
+/// Encodes a value into `buf`, reusing its allocation.
+///
+/// The buffer is cleared first; on return it holds exactly the encoding.
+/// This is the hot-path variant of [`encode`] — a broadcast loop can
+/// encode thousands of frames without allocating once warm.
+pub fn encode_into<T: Encode>(value: &T, buf: &mut Vec<u8>) {
+    let mut w = Writer::with_buffer(std::mem::take(buf));
+    value.encode(&mut w);
+    *buf = w.finish();
 }
 
 /// Decodes a value, requiring the input to be fully consumed.
@@ -331,6 +349,25 @@ mod tests {
         assert_eq!(decode::<Vec<u8>>(&encode(&v)).unwrap(), v);
         let empty: Vec<u8> = vec![];
         assert_eq!(decode::<Vec<u8>>(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn encode_into_reuses_allocation() {
+        let v: Vec<u8> = (0..200).collect();
+        let mut buf = Vec::with_capacity(1024);
+        let cap_before = buf.capacity();
+        for _ in 0..10 {
+            encode_into(&v, &mut buf);
+            assert_eq!(buf, encode(&v));
+        }
+        assert_eq!(buf.capacity(), cap_before, "hot-path encode reallocated");
+    }
+
+    #[test]
+    fn with_buffer_clears_stale_contents() {
+        let mut w = Writer::with_buffer(vec![9, 9, 9]);
+        w.put_u8(1);
+        assert_eq!(w.finish(), vec![1]);
     }
 
     #[test]

@@ -89,10 +89,7 @@ mod tests {
     fn oversize_header_rejected_before_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
-        assert_eq!(
-            read_frame(Cursor::new(&buf)),
-            Err(WireError::FrameTooLarge)
-        );
+        assert_eq!(read_frame(Cursor::new(&buf)), Err(WireError::FrameTooLarge));
     }
 
     #[test]

@@ -228,9 +228,9 @@ const _: () = {
 
 #[cfg(test)]
 mod tests {
-    use enclaves_crypto::nonce::PROTOCOL_NONCE_LEN;
     use super::*;
     use crate::codec::{decode, encode};
+    use enclaves_crypto::nonce::PROTOCOL_NONCE_LEN;
 
     fn alice() -> ActorId {
         ActorId::new("alice").unwrap()

@@ -12,6 +12,7 @@ use crate::codec::{decode, encode, Decode, Encode, Reader, WireError, Writer};
 use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce, AEAD_NONCE_LEN, PROTOCOL_NONCE_LEN};
 use enclaves_crypto::CryptoError;
+use std::sync::Arc;
 
 /// Message types of the improved protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -33,6 +34,12 @@ pub enum MsgType {
     /// relays it to every other member (Figure 1's leader-mediated
     /// multicast).
     GroupData = 7,
+    /// `L → *`: leader-originated group broadcast sealed **once** under the
+    /// group key and fanned out to the whole roster as the same frame. The
+    /// nonce is derived from the epoch IV and the `seq` counter, so the
+    /// body carries only `(epoch, seq, ciphertext)` — see
+    /// [`GroupBroadcastWire`].
+    GroupBroadcast = 8,
 }
 
 impl MsgType {
@@ -50,6 +57,7 @@ impl MsgType {
             5 => MsgType::Ack,
             6 => MsgType::ReqClose,
             7 => MsgType::GroupData,
+            8 => MsgType::GroupBroadcast,
             tag => return Err(WireError::UnknownTag { tag }),
         })
     }
@@ -332,8 +340,10 @@ pub enum AdminPayload {
         /// The current initialization vector.
         iv: [u8; 12],
     },
-    /// Opaque application-level data.
-    AppData(Vec<u8>),
+    /// Opaque application-level data. Shared (`Arc`) so a payload
+    /// broadcast to the whole roster is encoded from one buffer instead
+    /// of one deep copy per member.
+    AppData(Arc<[u8]>),
 }
 
 const TAG_NEW_GROUP_KEY: u8 = 1;
@@ -408,7 +418,7 @@ impl Decode for AdminPayload {
                     iv: r.take_array::<12>()?,
                 }
             }
-            TAG_APP_DATA => AdminPayload::AppData(r.take_bytes()?.to_vec()),
+            TAG_APP_DATA => AdminPayload::AppData(r.take_bytes()?.into()),
             tag => return Err(WireError::UnknownTag { tag }),
         })
     }
@@ -494,6 +504,57 @@ pub fn group_data_aad(sender: &ActorId, epoch: u64) -> Vec<u8> {
     w.finish()
 }
 
+/// Wire form of a `GroupBroadcast` body: `(epoch, seq, ciphertext)`.
+///
+/// Unlike [`GroupDataWire`] there is no explicit nonce on the wire: both
+/// sides derive it from the epoch IV and `seq` (see
+/// `broadcast_nonce` in the core crate), so the frame carries only the
+/// epoch tag, the per-epoch sequence number, and `ciphertext || tag`.
+/// The leader seals the payload once and fans the identical encoded
+/// frame out to the whole roster; `seq` doubles as the members'
+/// replay/reordering watermark.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupBroadcastWire {
+    /// The group-key epoch this broadcast was sealed under.
+    pub epoch: u64,
+    /// Per-epoch broadcast sequence number (starts at 0 after each rekey,
+    /// strictly increasing within the epoch).
+    pub seq: u64,
+    /// `ciphertext || tag` under the epoch's group key.
+    pub ciphertext: Vec<u8>,
+}
+
+impl Encode for GroupBroadcastWire {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_u64(self.seq);
+        w.put_bytes(&self.ciphertext);
+    }
+}
+
+impl Decode for GroupBroadcastWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GroupBroadcastWire {
+            epoch: r.take_u64()?,
+            seq: r.take_u64()?,
+            ciphertext: r.take_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Associated data for group-broadcast seals: binds the originating
+/// leader, the key epoch, and the sequence number — but not the
+/// recipient, since the identical frame goes to every member.
+#[must_use]
+pub fn group_broadcast_aad(leader: &ActorId, epoch: u64, seq: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(MsgType::GroupBroadcast as u8);
+    leader.encode(&mut w);
+    w.put_u64(epoch);
+    w.put_u64(seq);
+    w.finish()
+}
+
 /// Plaintext of `ReqClose`: `{A, L}` (sealed under `K_a`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClosePlain {
@@ -557,12 +618,13 @@ mod tests {
             (MsgType::Ack, 5),
             (MsgType::ReqClose, 6),
             (MsgType::GroupData, 7),
+            (MsgType::GroupBroadcast, 8),
         ] {
             assert_eq!(t as u8, v);
             assert_eq!(MsgType::from_u8(v).unwrap(), t);
         }
         assert!(MsgType::from_u8(0).is_err());
-        assert!(MsgType::from_u8(8).is_err());
+        assert!(MsgType::from_u8(9).is_err());
     }
 
     #[test]
@@ -681,8 +743,8 @@ mod tests {
                 group_key: [3; 32],
                 iv: [4; 12],
             },
-            AdminPayload::AppData(b"hello group".to_vec()),
-            AdminPayload::AppData(vec![]),
+            AdminPayload::AppData(b"hello group"[..].into()),
+            AdminPayload::AppData([][..].into()),
             AdminPayload::Welcome {
                 members: vec![],
                 epoch: 0,
@@ -706,6 +768,27 @@ mod tests {
         w.put_u8(TAG_WELCOME);
         w.put_u32(1_000_000);
         assert!(decode::<AdminPayload>(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn group_broadcast_wire_roundtrip() {
+        let wire = GroupBroadcastWire {
+            epoch: 7,
+            seq: 41,
+            ciphertext: vec![0xde, 0xad, 0xbe, 0xef],
+        };
+        let bytes = encode(&wire);
+        assert_eq!(decode::<GroupBroadcastWire>(&bytes).unwrap(), wire);
+    }
+
+    #[test]
+    fn group_broadcast_aad_binds_leader_epoch_and_seq() {
+        let base = group_broadcast_aad(&leader(), 3, 9);
+        assert_ne!(base, group_broadcast_aad(&alice(), 3, 9));
+        assert_ne!(base, group_broadcast_aad(&leader(), 4, 9));
+        assert_ne!(base, group_broadcast_aad(&leader(), 3, 10));
+        // Distinct from the member-originated group-data AAD domain.
+        assert_ne!(base, group_data_aad(&leader(), 3));
     }
 
     #[test]
@@ -738,7 +821,7 @@ mod proptests {
                 user,
                 user_nonce: ProtocolNonce::from_bytes(un),
                 leader_nonce: ProtocolNonce::from_bytes(ln),
-                payload: AdminPayload::AppData(data),
+                payload: AdminPayload::AppData(data.into()),
             };
             let bytes = encode(&plain);
             prop_assert_eq!(decode::<AdminPlain>(&bytes).unwrap(), plain);

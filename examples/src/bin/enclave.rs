@@ -79,7 +79,11 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let acceptor = TcpAcceptor::bind(listen.parse()?)?;
-    println!("leader listening on {} ({} registered users)", acceptor.local_addr(), directory.len());
+    println!(
+        "leader listening on {} ({} registered users)",
+        acceptor.local_addr(),
+        directory.len()
+    );
     let leader = LeaderRuntime::spawn(
         Box::new(acceptor),
         ActorId::new("leader")?,
@@ -134,8 +138,14 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         } else if let Some(text) = line.strip_prefix("say ") {
             leader.broadcast(text.as_bytes())?;
+        } else if let Some(text) = line.strip_prefix("cast ") {
+            // Data plane: sealed once under the group key, one shared frame.
+            match leader.broadcast_data(text.as_bytes()) {
+                Ok(()) => {}
+                Err(e) => println!("cannot cast: {e}"),
+            }
         } else if !line.is_empty() {
-            println!("commands: rekey | roster | expel <user> | say <text> | quit");
+            println!("commands: rekey | roster | expel <user> | say <text> | cast <text> | quit");
         }
     }
     leader.shutdown();
@@ -171,12 +181,17 @@ fn run_member(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 MemberEvent::GroupData { from, data } => {
                     println!("<{from}> {}", String::from_utf8_lossy(&data));
                 }
+                MemberEvent::Broadcast { data, .. } => {
+                    println!("[leader*] {}", String::from_utf8_lossy(&data));
+                }
                 MemberEvent::AdminData(data) => {
                     println!("[leader] {}", String::from_utf8_lossy(&data));
                 }
                 MemberEvent::MemberJoined(m) => println!("* {m} joined"),
                 MemberEvent::MemberLeft(m) => println!("* {m} left"),
-                MemberEvent::GroupKeyChanged { epoch } => println!("* group rekeyed (epoch {epoch})"),
+                MemberEvent::GroupKeyChanged { epoch } => {
+                    println!("* group rekeyed (epoch {epoch})")
+                }
                 MemberEvent::Welcomed { .. } | MemberEvent::SessionEstablished => {}
             }
         }

@@ -108,10 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while (admin_heard < BURST + 1 || data_heard < BURST + 1)
         && std::time::Instant::now() < deadline
     {
-        if let Ok(event) = members[1]
-            .events()
-            .recv_timeout(Duration::from_millis(100))
-        {
+        if let Ok(event) = members[1].events().recv_timeout(Duration::from_millis(100)) {
             match event {
                 MemberEvent::AdminData(_) => admin_heard += 1,
                 MemberEvent::GroupData { .. } => data_heard += 1,

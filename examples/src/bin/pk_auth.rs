@@ -71,8 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secret,
             &leader_public,
         )?;
-        let member =
-            MemberRuntime::run(Box::new(net.connect(name, "leader")?), session, init)?;
+        let member = MemberRuntime::run(Box::new(net.connect(name, "leader")?), session, init)?;
         member.wait_joined(WAIT)?;
         println!("{name} joined via X25519 static-static authentication");
         members.push(member);
@@ -89,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     members[0].send_group_data(b"hello from pk-auth")?;
     let event = members[1].wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))?;
     if let MemberEvent::GroupData { from, data } = event {
-        println!("bob received {:?} from {from}", String::from_utf8_lossy(&data));
+        println!(
+            "bob received {:?} from {from}",
+            String::from_utf8_lossy(&data)
+        );
     }
 
     // The real alice leaves...

@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         member.wait_joined(WAIT)?;
         members.push(member);
     }
-    println!("{} participants joined; epoch {:?}\n", members.len(), leader.epoch());
+    println!(
+        "{} participants joined; epoch {:?}\n",
+        members.len(),
+        leader.epoch()
+    );
 
     // A round of chat: each participant says hello; everyone else hears it.
     for (i, user) in users.iter().enumerate() {
@@ -64,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if i == j {
                 continue;
             }
-            let event =
-                other.wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))?;
+            let event = other.wait_event(WAIT, |e| matches!(e, MemberEvent::GroupData { .. }))?;
             if let MemberEvent::GroupData { data, .. } = event {
                 if j == (i + 1) % users.len() {
                     println!("  {:6} heard: {}", users[j], String::from_utf8_lossy(&data));

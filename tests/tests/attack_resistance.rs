@@ -72,7 +72,10 @@ fn wholesale_replay_of_all_frames_is_harmless() {
     // Tap everything seen so far and replay it all, both directions.
     let adversary = world.net.adversary();
     let observed = adversary.observed();
-    assert!(observed.len() >= 5, "handshake + admin exchange on the wire");
+    assert!(
+        observed.len() >= 5,
+        "handshake + admin exchange on the wire"
+    );
     for frame in &observed {
         adversary.inject(frame.conn, frame.dir, frame.frame.clone());
     }
@@ -95,7 +98,10 @@ fn wholesale_replay_of_all_frames_is_harmless() {
 
     // Replays were rejected (counted) somewhere.
     let rejected = world.leader.stats().rejected + alice.stats().rejected;
-    assert!(rejected > 0, "replays must be rejected, not silently accepted");
+    assert!(
+        rejected > 0,
+        "replays must be rejected, not silently accepted"
+    );
     world.leader.shutdown();
 }
 
@@ -110,10 +116,14 @@ fn garbage_flood_does_not_break_sessions() {
 
     for i in 0..50u8 {
         // To the leader on alice's connection, and to alice.
-        adversary.inject(0, Direction::ToListener, vec![i; (i as usize % 40) + 1]);
-        adversary.inject(0, Direction::ToConnector, vec![i ^ 0xFF; 20]);
+        adversary.inject(
+            0,
+            Direction::ToListener,
+            vec![i; (i as usize % 40) + 1].into(),
+        );
+        adversary.inject(0, Direction::ToConnector, vec![i ^ 0xFF; 20].into());
         // And on bob's connection.
-        adversary.inject(1, Direction::ToListener, vec![0xAA, i]);
+        adversary.inject(1, Direction::ToListener, vec![0xAA, i].into());
     }
     std::thread::sleep(Duration::from_millis(300));
 
@@ -161,7 +171,7 @@ fn forged_close_does_not_expel() {
     adversary.inject(
         0,
         Direction::ToListener,
-        enclaves_wire::codec::encode(&forged),
+        enclaves_wire::codec::encode(&forged).into(),
     );
     std::thread::sleep(Duration::from_millis(200));
 
@@ -188,7 +198,7 @@ fn replayed_rekey_frame_does_not_roll_back() {
     alice
         .wait_event(WAIT, |e| matches!(e, MemberEvent::GroupKeyChanged { .. }))
         .unwrap();
-    let after_first: Vec<Vec<u8>> = adversary.observed_on(0, Direction::ToConnector);
+    let after_first = adversary.observed_on(0, Direction::ToConnector);
 
     // Second rekey.
     world.leader.rekey().unwrap();
@@ -240,7 +250,7 @@ fn replayed_frame_from_foreign_link_cannot_capture_route() {
     alice.send_group_data(b"mine").unwrap();
     std::thread::sleep(Duration::from_millis(150));
     let adversary = world.net.adversary();
-    let captured: Vec<Vec<u8>> = adversary.observed_on(0, Direction::ToListener);
+    let captured = adversary.observed_on(0, Direction::ToListener);
     assert!(!captured.is_empty());
 
     // The attacker opens its OWN connection and replays every captured

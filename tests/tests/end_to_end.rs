@@ -245,8 +245,10 @@ fn leader_events_reflect_lifecycle() {
     let mut joined = Vec::new();
     let deadline = std::time::Instant::now() + WAIT;
     while joined.len() < 2 && std::time::Instant::now() < deadline {
-        if let Ok(LeaderEvent::MemberJoined(m)) =
-            world.leader.events().recv_timeout(Duration::from_millis(50))
+        if let Ok(LeaderEvent::MemberJoined(m)) = world
+            .leader
+            .events()
+            .recv_timeout(Duration::from_millis(50))
         {
             joined.push(m);
         }
@@ -263,13 +265,8 @@ fn leader_events_reflect_lifecycle() {
 fn unknown_user_cannot_join() {
     let world = world(&["alice"], RekeyPolicy::Manual);
     let link = world.net.connect("mallory", "leader").unwrap();
-    let mallory = MemberRuntime::connect(
-        Box::new(link),
-        id("mallory"),
-        id("leader"),
-        "mallory-pw",
-    )
-    .unwrap();
+    let mallory =
+        MemberRuntime::connect(Box::new(link), id("mallory"), id("leader"), "mallory-pw").unwrap();
     assert!(mallory.wait_joined(Duration::from_millis(300)).is_err());
     assert!(world.leader.roster().is_empty());
     mallory.abandon();

@@ -183,10 +183,7 @@ fn relabeled_and_readdressed_frames_rejected() {
             ..env.clone()
         };
         let r0 = fx.world.members[0].handle(&relabeled);
-        assert!(
-            r0.is_err(),
-            "relabeled frame accepted as {mt:?}"
-        );
+        assert!(r0.is_err(), "relabeled frame accepted as {mt:?}");
         let r1 = fx.world.leader.handle(&relabeled);
         assert!(r1.is_err(), "leader accepted relabeled {mt:?}");
     }

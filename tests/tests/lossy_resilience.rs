@@ -80,7 +80,10 @@ fn run_under_loss(drop_prob: f64, seed: u64) {
     assert_eq!(alice.group_epoch(), Some(before + 1));
 
     let stats = net.stats();
-    assert!(stats.dropped > 0, "the network must actually have dropped frames: {stats:?}");
+    assert!(
+        stats.dropped > 0,
+        "the network must actually have dropped frames: {stats:?}"
+    );
     leader.shutdown();
 }
 
@@ -106,7 +109,9 @@ fn retransmission_does_not_weaken_replay_defense() {
     });
     let listener = net.listen("leader").unwrap();
     let mut directory = Directory::new();
-    directory.register_password(&id("alice"), "alice-pw").unwrap();
+    directory
+        .register_password(&id("alice"), "alice-pw")
+        .unwrap();
     let leader = LeaderRuntime::spawn(
         Box::new(listener),
         id("leader"),

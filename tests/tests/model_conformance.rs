@@ -84,7 +84,9 @@ fn implementation_user_states() -> Vec<&'static str> {
     let mut sequence = vec!["NotConnected", impl_phase(&alice)];
 
     // Pump one envelope bundle to quiescence.
-    let pump = |leader: &mut LeaderCore, alice: &mut MemberSession, first: Vec<enclaves_wire::message::Envelope>| {
+    let pump = |leader: &mut LeaderCore,
+                alice: &mut MemberSession,
+                first: Vec<enclaves_wire::message::Envelope>| {
         let mut queue = first;
         while let Some(env) = queue.pop() {
             if env.recipient == id("leader") {

@@ -131,8 +131,8 @@ fn legacy_attacks_found_at_default_bounds() {
 /// attack, matching the paper's informal descriptions.
 #[test]
 fn legacy_attack_traces_are_short() {
-    let denial = LegacyExplorer::new(LegacyBounds::default())
-        .find_attack(LegacyProperty::NoFalseDenial);
+    let denial =
+        LegacyExplorer::new(LegacyBounds::default()).find_attack(LegacyProperty::NoFalseDenial);
     let (_, state) = denial.counterexample.unwrap();
     assert!(
         state.trace.len() <= 3,
@@ -140,8 +140,8 @@ fn legacy_attack_traces_are_short() {
         state.trace
     );
 
-    let rollback = LegacyExplorer::new(LegacyBounds::default())
-        .find_attack(LegacyProperty::NoKeyRollback);
+    let rollback =
+        LegacyExplorer::new(LegacyBounds::default()).find_attack(LegacyProperty::NoKeyRollback);
     let (_, state) = rollback.counterexample.unwrap();
     // join (5 events incl. pre-auth) + two rekeys + replay ≈ 9.
     assert!(state.trace.len() <= 10, "{:?}", state.trace);

@@ -33,7 +33,12 @@ fn world(users: &[&str], seed: u64) -> PkWorld {
     for user in users {
         let secret = StaticSecret::generate(&mut rng);
         directory
-            .register_public_key(&id(user), &secret.public_key(), &leader_secret, &id("leader"))
+            .register_public_key(
+                &id(user),
+                &secret.public_key(),
+                &leader_secret,
+                &id("leader"),
+            )
             .unwrap();
         secrets.push(((*user).to_string(), secret));
     }
@@ -60,13 +65,9 @@ fn join(world: &PkWorld, user: &str) -> MemberRuntime {
         .find(|(name, _)| name == user)
         .unwrap()
         .1;
-    let (session, init) = MemberSession::start_with_static_keys(
-        id(user),
-        id("leader"),
-        secret,
-        &world.leader_public,
-    )
-    .unwrap();
+    let (session, init) =
+        MemberSession::start_with_static_keys(id(user), id("leader"), secret, &world.leader_public)
+            .unwrap();
     let member = MemberRuntime::run(
         Box::new(world.net.connect(user, "leader").unwrap()),
         session,
@@ -84,9 +85,7 @@ fn pk_authenticated_group_works_end_to_end() {
     let bob = join(&world, "bob");
 
     let deadline = std::time::Instant::now() + WAIT;
-    while alice.group_epoch() != world.leader.epoch()
-        || bob.group_epoch() != world.leader.epoch()
-    {
+    while alice.group_epoch() != world.leader.epoch() || bob.group_epoch() != world.leader.epoch() {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -163,9 +162,12 @@ fn pk_and_password_members_coexist() {
         &leader_secret.public_key(),
     )
     .unwrap();
-    let alice =
-        MemberRuntime::run(Box::new(net.connect("alice", "leader").unwrap()), session, init)
-            .unwrap();
+    let alice = MemberRuntime::run(
+        Box::new(net.connect("alice", "leader").unwrap()),
+        session,
+        init,
+    )
+    .unwrap();
     alice.wait_joined(WAIT).unwrap();
 
     let bob = MemberRuntime::connect(

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small slice of the criterion 0.5 API the workspace's
+//! benches use — `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `throughput`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and `black_box` —
+//! backed by a plain wall-clock loop: per benchmark it warms up briefly,
+//! then takes `sample_size` timed samples and prints the median
+//! time-per-iteration (and derived throughput) to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name` or `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter segment.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id that is just a parameter (the group name prefixes it).
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts to the printable id segment.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds-per-iteration of the last `iter` call.
+    last_estimate: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms or 1k iterations to fault in caches.
+        let warm_deadline = Instant::now() + Duration::from_millis(20);
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline && warm_iters < 1_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size targeting ~5ms per sample.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((0.005 / probe) as u64).clamp(1, 100_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.last_estimate = times[times.len() / 2];
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target measurement time (accepted, ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_estimate: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into_id(), b.last_estimate);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_estimate: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), b.last_estimate);
+        self
+    }
+
+    fn report(&self, id: &str, secs: f64) {
+        let mut line = format!("{}/{id}: {} per iter", self.name, format_time(secs));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                let rate = n as f64 / secs;
+                line.push_str(&format!("  ({rate:.0} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                let rate = n as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  ({rate:.1} MiB/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.benchmark_group(&id).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Elements(4));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(512).into_id(), "512");
+    }
+}

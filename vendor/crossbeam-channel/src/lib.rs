@@ -1,0 +1,398 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! A multi-producer multi-consumer FIFO channel over `Mutex` + `Condvar`,
+//! covering the subset of the crossbeam-channel 0.5 API this workspace
+//! uses: [`unbounded`] and [`bounded`] construction, cloneable senders and
+//! receivers, `send`/`try_send`, and `recv`/`try_recv`/`recv_timeout` with
+//! the matching error enums. Disconnection semantics mirror the real
+//! crate: a receiver drains buffered messages before reporting
+//! disconnect; a sender fails once all receivers are gone.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`]: all receivers disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and full.
+    Full(T),
+    /// All receivers disconnected.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: channel empty and disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message buffered right now.
+    Empty,
+    /// Channel empty and all senders disconnected.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel empty and all senders disconnected.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when capacity frees up or the last receiver leaves.
+    writable: Condvar,
+    capacity: Option<usize>,
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+/// The receiving half of a channel. Cloneable (shared FIFO, not broadcast).
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates an unbounded FIFO channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded FIFO channel holding at most `cap` messages.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.0.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.0.writable.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] if all receivers have disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.0.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.0.writable.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.readable.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] if a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] if all receivers are gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.0.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.0.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.readable.notify_one();
+        Ok(())
+    }
+
+    /// Whether `other` sends into the same channel.
+    #[must_use]
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the channel is empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.0.readable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if nothing is buffered,
+    /// [`TryRecvError::Disconnected`] once empty with no senders left.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.0.writable.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receives, blocking at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the deadline passes,
+    /// [`RecvTimeoutError::Disconnected`] once empty with no senders left.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .0
+                .readable
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().queue.is_empty()
+    }
+
+    /// An iterator draining currently buffered messages without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn drains_before_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+}

@@ -1,0 +1,656 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace uses:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and regex-literal strategies, [`collection::vec`],
+//! [`array::uniform12`]-style arrays, `Just`, `any`, and the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros.
+//!
+//! Semantics: randomized testing with a deterministic per-test seed and a
+//! configurable case count. No shrinking — a failing case panics with the
+//! generated inputs left to the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The minimal run loop: a deterministic RNG and a case-count config.
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from `seed`.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range");
+            let span = hi - lo;
+            lo + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+
+    /// Run-loop configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// FNV-1a over a test name, yielding a per-test base seed.
+    #[must_use]
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and their combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy: 'static {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a strategy for
+        /// depth-limited subtrees and returns the composite level.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let leaf = self.boxed();
+            Recursive {
+                leaf,
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erases the strategy behind a cheap-to-clone handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + 'static,
+        O: 'static,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// The [`Strategy::prop_recursive`] combinator.
+    pub struct Recursive<T> {
+        pub(crate) leaf: BoxedStrategy<T>,
+        pub(crate) recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        pub(crate) depth: u32,
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let levels = rng.below(0, u64::from(self.depth) + 1);
+            let mut strat = self.leaf.clone();
+            for _ in 0..levels {
+                strat = (self.recurse)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        #[must_use]
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(0, self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Integer types generable from ranges and `any`.
+    pub trait ArbInt: Copy + 'static {
+        /// Converts to the sampling domain.
+        fn to_u64(self) -> u64;
+        /// Converts back from the sampling domain.
+        fn from_u64(v: u64) -> Self;
+        /// The type's full range, for `any::<T>()`.
+        fn full(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbInt for $t {
+                fn to_u64(self) -> u64 { self as u64 }
+                fn from_u64(v: u64) -> Self { v as $t }
+                fn full(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize);
+
+    impl<T: ArbInt> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_u64(rng.below(self.start.to_u64(), self.end.to_u64()))
+        }
+    }
+
+    impl<T: ArbInt> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_u64(rng.below(self.start().to_u64(), self.end().to_u64() + 1))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// `any::<T>()` — the full value domain of `T`.
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with an `any()` strategy.
+    pub trait Arbitrary: Sized + 'static {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbInt> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            T::full(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the strategy generating any value of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    // ---- regex-literal string strategies -------------------------------
+
+    /// One parsed atom of the supported regex subset.
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+        let mut ranges = Vec::new();
+        while let Some(c) = chars.next() {
+            if c == ']' {
+                return Atom::Class(ranges);
+            }
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = chars.next().expect("class range end");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        panic!("unterminated character class in regex strategy");
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    (lo.parse().expect("min"), hi.parse().expect("max"))
+                } else {
+                    let n = spec.parse().expect("count");
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Generates strings matching a small regex subset: literals,
+    /// `[a-z0-9]` classes, and `{m,n}` / `?` / `*` / `+` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let atom = match c {
+                    '[' => parse_class(&mut chars),
+                    other => Atom::Lit(other),
+                };
+                let (lo, hi) = parse_quantifier(&mut chars);
+                let count = rng.below(u64::from(lo), u64::from(hi) + 1);
+                for _ in 0..count {
+                    match &atom {
+                        Atom::Lit(l) => out.push(*l),
+                        Atom::Class(ranges) => {
+                            let (a, b) = ranges[rng.below(0, ranges.len() as u64) as usize];
+                            let span = b as u32 - a as u32 + 1;
+                            let v = a as u32 + rng.below(0, u64::from(span)) as u32;
+                            out.push(char::from_u32(v).expect("class char"));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — vectors of `element` values.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[T; N]` from one element strategy.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N>
+    where
+        S::Value: Copy + Default,
+    {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let mut out = [S::Value::default(); N];
+            for slot in &mut out {
+                *slot = self.element.generate(rng);
+            }
+            out
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Array strategy of the indicated length.
+            #[must_use]
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_fn!(uniform12 => 12, uniform16 => 16, uniform32 => 32);
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @run ($cfg) $($rest)* }
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::seed_of(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        base ^ (u64::from(case).wrapping_mul(0x00FF_00FF_00FF_00FF)),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @run ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(1u8..=7), &mut rng);
+            assert!((1..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z][a-z0-9]{0,15}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 16, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::new(3);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn recursive_terminates_and_recurses() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(v) => *v < 16,
+                Tree::Node(a, b) => leaves_in_range(a) && leaves_in_range(b),
+            }
+        }
+        let strat = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::new(4);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let tree = Strategy::generate(&strat, &mut rng);
+            assert!(leaves_in_range(&tree));
+            max_depth = max_depth.max(depth(&tree));
+        }
+        assert!(max_depth >= 1, "recursion never taken");
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0u64..1000, v in crate::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(x < 1000);
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn macro_respects_config(b in any::<bool>()) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn arrays_fill_every_slot() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..20 {
+            let a = Strategy::generate(&crate::array::uniform32(any::<u8>()), &mut rng);
+            assert_eq!(a.len(), 32);
+        }
+    }
+}
