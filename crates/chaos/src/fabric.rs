@@ -1,0 +1,325 @@
+//! Where the chaos happens: an abstraction over the network the scenario
+//! runs on, with two implementations — the in-process simulator (full
+//! fault matrix: drops, duplicates, reorders, corruption, delay,
+//! asymmetric partitions, kills) and real TCP sockets behind an
+//! adversarial proxy (transport parity: the oracle must pass on the real
+//! transport too, not just the simulator).
+
+use crate::schedule::Schedule;
+use enclaves_net::sim::{Direction, SimConfig, SimListener, SimNet, SimStats};
+use enclaves_net::tcp::{TcpAcceptor, TcpLink};
+use enclaves_net::{Link, NetError};
+use enclaves_wire::framing::{read_frame, write_frame};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A network a chaos schedule can be executed against.
+pub trait Fabric {
+    /// Opens a fresh connection from `name` toward the leader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    fn connect(&mut self, name: &str) -> Result<Box<dyn Link>, NetError>;
+
+    /// Partitions `name`'s *current* connection: block the member→leader
+    /// direction, the leader→member direction, or both. No-op on fabrics
+    /// that cannot partition ([`Fabric::supports_partitions`]).
+    fn partition(&mut self, name: &str, to_leader: bool, to_member: bool);
+
+    /// Heals both directions of `name`'s current connection.
+    fn heal(&mut self, name: &str);
+
+    /// Heals every partition.
+    fn heal_all(&mut self);
+
+    /// Severs `name`'s current connection (both ends see a disconnect).
+    fn kill(&mut self, name: &str);
+
+    /// Delivers any frames a fault is still holding back.
+    fn flush(&mut self);
+
+    /// Turns all probabilistic faults off (used before the finalization
+    /// probe, so recovery is limited by the protocol, not by luck).
+    fn calm(&mut self);
+
+    /// Whether [`Fabric::partition`] does anything here.
+    fn supports_partitions(&self) -> bool;
+
+    /// Simulator statistics, if this fabric has them.
+    fn sim_stats(&self) -> Option<SimStats> {
+        None
+    }
+}
+
+/// The in-process simulator fabric.
+pub struct SimFabric {
+    /// The underlying network (exposed for adversary access in tests).
+    pub net: SimNet,
+    seed: u64,
+    /// Latest connection id per member name (a reconnect supersedes the
+    /// previous connection; partition/kill always target the latest).
+    conns: HashMap<String, usize>,
+}
+
+impl SimFabric {
+    /// Builds a simulator fabric carrying `config` faults and returns it
+    /// with the leader's listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator refuses the listener (fresh net: it won't).
+    #[must_use]
+    pub fn new(config: SimConfig) -> (Self, SimListener) {
+        let net = SimNet::new(config);
+        let listener = net.listen("leader").expect("fresh SimNet");
+        (
+            SimFabric {
+                net,
+                seed: config.seed,
+                conns: HashMap::new(),
+            },
+            listener,
+        )
+    }
+
+    /// A fabric for `schedule` with the full probabilistic fault matrix
+    /// seeded from the schedule's seed.
+    #[must_use]
+    pub fn chaotic(schedule: &Schedule) -> (Self, SimListener) {
+        Self::new(SimConfig::chaotic(schedule.seed))
+    }
+}
+
+impl Fabric for SimFabric {
+    fn connect(&mut self, name: &str) -> Result<Box<dyn Link>, NetError> {
+        let link = self.net.connect(name, "leader")?;
+        self.conns.insert(name.to_string(), link.conn_id());
+        Ok(Box::new(link))
+    }
+
+    fn partition(&mut self, name: &str, to_leader: bool, to_member: bool) {
+        if let Some(&conn) = self.conns.get(name) {
+            if to_leader {
+                self.net.set_blocked(conn, Direction::ToListener, true);
+            }
+            if to_member {
+                self.net.set_blocked(conn, Direction::ToConnector, true);
+            }
+        }
+    }
+
+    fn heal(&mut self, name: &str) {
+        if let Some(&conn) = self.conns.get(name) {
+            self.net.set_blocked(conn, Direction::ToListener, false);
+            self.net.set_blocked(conn, Direction::ToConnector, false);
+        }
+    }
+
+    fn heal_all(&mut self) {
+        self.net.heal_all();
+    }
+
+    fn kill(&mut self, name: &str) {
+        if let Some(&conn) = self.conns.get(name) {
+            self.net.kill(conn);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.net.flush_all();
+    }
+
+    fn calm(&mut self) {
+        self.net.set_config(SimConfig {
+            seed: self.seed,
+            ..SimConfig::default()
+        });
+    }
+
+    fn supports_partitions(&self) -> bool {
+        true
+    }
+
+    fn sim_stats(&self) -> Option<SimStats> {
+        Some(self.net.stats())
+    }
+}
+
+/// Shared state of the adversarial TCP proxy.
+struct ProxyShared {
+    rng: Mutex<StdRng>,
+    /// While set, frames pass unharmed.
+    calm: AtomicBool,
+    /// Probability a relayed frame is dropped (when not calm).
+    drop_prob: f64,
+    /// Probability a relayed frame is sent twice (when not calm).
+    duplicate_prob: f64,
+    /// Member names waiting to be matched to the next accepted proxy
+    /// connection (the driver serializes connects, so FIFO matching is
+    /// exact).
+    pending: Mutex<VecDeque<String>>,
+    /// Live socket pairs per member name, for [`Fabric::kill`].
+    socks: Mutex<HashMap<String, Vec<TcpStream>>>,
+}
+
+/// Real TCP through a fault-injecting man-in-the-middle: each member
+/// connection is terminated at the proxy, which re-frames it to the real
+/// leader socket while dropping or duplicating whole frames under a
+/// seeded RNG. Partitions are not supported (a TCP byte stream cannot
+/// half-vanish without killing the connection); kills are.
+pub struct TcpProxyFabric {
+    shared: Arc<ProxyShared>,
+    proxy_addr: SocketAddr,
+}
+
+impl TcpProxyFabric {
+    /// Binds the real leader acceptor and the proxy in front of it,
+    /// returning the fabric and the listener to spawn the leader on.
+    /// `seed` drives the proxy's fault decisions; `drop_prob` /
+    /// `duplicate_prob` are per relayed frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn new(
+        seed: u64,
+        drop_prob: f64,
+        duplicate_prob: f64,
+    ) -> Result<(Self, TcpAcceptor), NetError> {
+        let ephemeral: SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
+        let acceptor = TcpAcceptor::bind(ephemeral)?;
+        let leader_addr = acceptor.local_addr();
+
+        let proxy_listener = std::net::TcpListener::bind(ephemeral)
+            .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
+        let proxy_addr = proxy_listener
+            .local_addr()
+            .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
+
+        let shared = Arc::new(ProxyShared {
+            rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x7C9_F417)),
+            calm: AtomicBool::new(false),
+            drop_prob,
+            duplicate_prob,
+            pending: Mutex::new(VecDeque::new()),
+            socks: Mutex::new(HashMap::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("chaos-tcp-proxy".into())
+            .spawn(move || {
+                // The proxy lives as long as connections keep coming; it
+                // leaks with the test process when the run ends (accept
+                // blocks forever) — acceptable for test support.
+                for stream in proxy_listener.incoming() {
+                    let Ok(member_side) = stream else { continue };
+                    let Ok(leader_side) = TcpStream::connect(leader_addr) else {
+                        continue;
+                    };
+                    let name = accept_shared
+                        .pending
+                        .lock()
+                        .pop_front()
+                        .unwrap_or_else(|| "?".to_string());
+                    let handles: Vec<TcpStream> = [&member_side, &leader_side]
+                        .iter()
+                        .filter_map(|s| s.try_clone().ok())
+                        .collect();
+                    accept_shared.socks.lock().insert(name, handles);
+                    spawn_pump(&accept_shared, &member_side, &leader_side, true);
+                    spawn_pump(&accept_shared, &leader_side, &member_side, false);
+                }
+            })
+            .expect("spawn proxy acceptor");
+
+        Ok((TcpProxyFabric { shared, proxy_addr }, acceptor))
+    }
+}
+
+/// Relays length-prefixed frames from `src` to `dst`, applying the
+/// proxy's drop/duplicate faults. Faults only hit the member→leader
+/// direction's *data* equally with leader→member; both directions share
+/// the one seeded RNG, so a fixed seed reproduces the fault pattern for a
+/// fixed frame sequence.
+fn spawn_pump(shared: &Arc<ProxyShared>, src: &TcpStream, dst: &TcpStream, _uplink: bool) {
+    let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+        return;
+    };
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("chaos-tcp-pump".into())
+        .spawn(move || {
+            let mut src = std::io::BufReader::new(src);
+            let mut dst = std::io::BufWriter::new(dst);
+            while let Ok(frame) = read_frame(&mut src) {
+                let (drop_it, dup_it) = if shared.calm.load(Ordering::Relaxed) {
+                    (false, false)
+                } else {
+                    let mut rng = shared.rng.lock();
+                    (
+                        rng.gen::<f64>() < shared.drop_prob,
+                        rng.gen::<f64>() < shared.duplicate_prob,
+                    )
+                };
+                if drop_it {
+                    continue;
+                }
+                if write_frame(&mut dst, &frame).is_err() {
+                    break;
+                }
+                if dup_it && write_frame(&mut dst, &frame).is_err() {
+                    break;
+                }
+                if dst.flush().is_err() {
+                    break;
+                }
+            }
+            // One side died: drop both halves so the peer notices.
+            if let Ok(s) = src.into_inner().try_clone() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            if let Ok(d) = dst.into_inner() {
+                let _ = d.shutdown(Shutdown::Both);
+            }
+        });
+}
+
+impl Fabric for TcpProxyFabric {
+    fn connect(&mut self, name: &str) -> Result<Box<dyn Link>, NetError> {
+        self.shared.pending.lock().push_back(name.to_string());
+        let link = TcpLink::connect(self.proxy_addr)?;
+        Ok(Box::new(link))
+    }
+
+    fn partition(&mut self, _name: &str, _to_leader: bool, _to_member: bool) {}
+
+    fn heal(&mut self, _name: &str) {}
+
+    fn heal_all(&mut self) {}
+
+    fn kill(&mut self, name: &str) {
+        if let Some(handles) = self.shared.socks.lock().remove(name) {
+            for sock in handles {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn flush(&mut self) {}
+
+    fn calm(&mut self) {
+        self.shared.calm.store(true, Ordering::Relaxed);
+    }
+
+    fn supports_partitions(&self) -> bool {
+        false
+    }
+}

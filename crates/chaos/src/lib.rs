@@ -1,0 +1,41 @@
+//! Deterministic chaos harness for the Enclaves group-management stack.
+//!
+//! The paper's §5.4 guarantees are proved over an abstract model; this
+//! crate throws *live* threaded sessions into the weather the model never
+//! sees — seeded schedules of joins, leaves, expels, rekeys, broadcasts,
+//! partitions, heals, crashes, and reconnects over a fault-injecting
+//! network — while recording every application-level send and delivery
+//! into a [`enclaves_verify::live::LiveEvent`] trace. After the run, the
+//! network is healed, the system is driven to quiescence, and the trace is
+//! replayed through the same property predicates the model checker uses.
+//!
+//! The moving parts:
+//!
+//! * [`schedule`] — [`ChaosEvent`] vocabulary, scripted schedules, and the
+//!   seeded state-aware random generator behind the soak test.
+//! * [`fabric`] — the [`Fabric`] abstraction over where the chaos happens:
+//!   [`SimFabric`] (in-process simulator with partitions, kills, and every
+//!   probabilistic fault) and [`TcpProxyFabric`] (real TCP through an
+//!   adversarial proxy, for transport parity).
+//! * [`world`] — the driver: spawns leader + members, executes a schedule,
+//!   finalizes (heal → quiesce → probe), and returns the verdict.
+//! * [`shrink`] — on failure, binary-searches the minimal failing schedule
+//!   prefix and prints the seed + schedule needed to reproduce it.
+//!
+//! A fixed `(seed, schedule)` pair reproduces the same fault pattern
+//! exactly; thread interleavings still vary, which is the point — the
+//! properties must hold on *every* interleaving, and any failure is
+//! reported with its reproduction recipe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod schedule;
+pub mod shrink;
+pub mod world;
+
+pub use fabric::{Fabric, SimFabric, TcpProxyFabric};
+pub use schedule::{ChaosEvent, Schedule};
+pub use shrink::{shrink_failure, ShrunkFailure};
+pub use world::{run_schedule, ChaosOptions, ChaosOutcome};

@@ -1,0 +1,279 @@
+//! Chaos schedules: the event vocabulary, scripted construction, and the
+//! seeded state-aware random generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a chaos schedule. Member indices refer to the fixed cast
+/// `m0..m{members-1}` of a [`Schedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Member `i` joins (first join or rejoin after a clean leave).
+    Join(usize),
+    /// Member `i` leaves voluntarily (sends `Close`).
+    Leave(usize),
+    /// The leader expels member `i`.
+    Expel(usize),
+    /// Member `i` crashes: its connection is severed mid-whatever and its
+    /// runtime stops without a `Close`. The leader keeps the slot until an
+    /// expel — a vanished link is not a departure.
+    Crash(usize),
+    /// A crashed member `i` comes back: the leader expels the stale slot,
+    /// then the member joins again on a fresh connection.
+    Reconnect(usize),
+    /// The leader rotates the group key.
+    Rekey,
+    /// The leader broadcasts `payload` over the authenticated admin
+    /// channel (stop-and-wait, exactly-once, in-order).
+    AdminBroadcast(Vec<u8>),
+    /// The leader broadcasts `payload` over the single-seal group-key data
+    /// plane (fire-and-forget; drops legal, duplicates not).
+    DataBroadcast(Vec<u8>),
+    /// Partition member `i`'s connection: block the member→leader
+    /// direction (`to_leader`), the leader→member direction (`to_member`),
+    /// or both. Fabrics without partition support skip this.
+    Partition {
+        /// Which member's connection.
+        member: usize,
+        /// Block the member→leader direction.
+        to_leader: bool,
+        /// Block the leader→member direction.
+        to_member: bool,
+    },
+    /// Heal both directions of member `i`'s connection.
+    Heal(usize),
+    /// Heal every partition.
+    HealAll,
+    /// Let the system run undisturbed for this many milliseconds.
+    Settle(u64),
+}
+
+/// A reproducible chaos scenario: a seed (feeding both the network's fault
+/// RNG and, for generated schedules, the generator), a cast size, and the
+/// event script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed for the network fault stream (and the generator, if random).
+    pub seed: u64,
+    /// Number of members in the cast (`m0..m{members-1}`).
+    pub members: usize,
+    /// The steps, executed in order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl Schedule {
+    /// A scripted schedule.
+    #[must_use]
+    pub fn scripted(seed: u64, members: usize, events: Vec<ChaosEvent>) -> Self {
+        Schedule {
+            seed,
+            members,
+            events,
+        }
+    }
+
+    /// The first `n` events of this schedule (used by shrinking).
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Self {
+        Schedule {
+            seed: self.seed,
+            members: self.members,
+            events: self.events[..n.min(self.events.len())].to_vec(),
+        }
+    }
+
+    /// Generates a random but state-aware schedule: the generator tracks
+    /// which members are absent, joined, partitioned, or crashed, and only
+    /// emits events that make sense in that state (so generated schedules
+    /// spend their budget exercising the protocol, not bouncing off
+    /// no-ops). Same `(seed, events, members)` → same schedule.
+    #[must_use]
+    pub fn random(seed: u64, events: usize, members: usize) -> Self {
+        #[derive(Clone, Copy, PartialEq)]
+        enum M {
+            Absent,
+            Joined,
+            Crashed,
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        let mut state = vec![M::Absent; members];
+        let mut partitioned = vec![false; members];
+        let mut script = Vec::with_capacity(events);
+        let mut payload_counter = 0u32;
+        let payload = |counter: &mut u32| {
+            *counter += 1;
+            format!("chaos-{counter}").into_bytes()
+        };
+
+        // Always open with a join so the group exists.
+        state[0] = M::Joined;
+        script.push(ChaosEvent::Join(0));
+
+        while script.len() < events {
+            let joined: Vec<usize> = (0..members).filter(|&i| state[i] == M::Joined).collect();
+            let absent: Vec<usize> = (0..members).filter(|&i| state[i] == M::Absent).collect();
+            let crashed: Vec<usize> = (0..members).filter(|&i| state[i] == M::Crashed).collect();
+
+            let roll = rng.gen_range(0..100u32);
+            let event = match roll {
+                // Traffic is the most common event: the properties are
+                // about deliveries, so most steps should produce some.
+                0..=29 if !joined.is_empty() => {
+                    if rng.gen_bool(0.5) {
+                        ChaosEvent::AdminBroadcast(payload(&mut payload_counter))
+                    } else {
+                        ChaosEvent::DataBroadcast(payload(&mut payload_counter))
+                    }
+                }
+                30..=44 if !absent.is_empty() => {
+                    let i = absent[rng.gen_range(0..absent.len())];
+                    state[i] = M::Joined;
+                    ChaosEvent::Join(i)
+                }
+                45..=54 if !joined.is_empty() => ChaosEvent::Rekey,
+                55..=62 if joined.len() > 1 => {
+                    let i = joined[rng.gen_range(0..joined.len())];
+                    state[i] = M::Absent;
+                    partitioned[i] = false;
+                    if rng.gen_bool(0.5) {
+                        ChaosEvent::Leave(i)
+                    } else {
+                        ChaosEvent::Expel(i)
+                    }
+                }
+                63..=72 if !joined.is_empty() => {
+                    let i = joined[rng.gen_range(0..joined.len())];
+                    partitioned[i] = true;
+                    // Bias toward full partitions; asymmetric ones are the
+                    // nastier quarter.
+                    let (to_leader, to_member) = match rng.gen_range(0..4u32) {
+                        0 => (true, false),
+                        1 => (false, true),
+                        _ => (true, true),
+                    };
+                    ChaosEvent::Partition {
+                        member: i,
+                        to_leader,
+                        to_member,
+                    }
+                }
+                73..=79 if partitioned.iter().any(|&p| p) => {
+                    let candidates: Vec<usize> = (0..members).filter(|&i| partitioned[i]).collect();
+                    let i = candidates[rng.gen_range(0..candidates.len())];
+                    partitioned[i] = false;
+                    ChaosEvent::Heal(i)
+                }
+                80..=86 if joined.len() > 1 => {
+                    let i = joined[rng.gen_range(0..joined.len())];
+                    state[i] = M::Crashed;
+                    partitioned[i] = false;
+                    ChaosEvent::Crash(i)
+                }
+                87..=93 if !crashed.is_empty() => {
+                    let i = crashed[rng.gen_range(0..crashed.len())];
+                    state[i] = M::Joined;
+                    ChaosEvent::Reconnect(i)
+                }
+                _ => ChaosEvent::Settle(rng.gen_range(30..150)),
+            };
+            script.push(event);
+        }
+        Schedule {
+            seed,
+            members,
+            events: script,
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "schedule (seed={}, members={}, {} events):",
+            self.seed,
+            self.members,
+            self.events.len()
+        )?;
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "  {i:3}: {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedules_are_reproducible() {
+        let a = Schedule::random(42, 50, 4);
+        let b = Schedule::random(42, 50, 4);
+        assert_eq!(a, b);
+        let c = Schedule::random(43, 50, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_schedules_start_with_a_join_and_fill_the_budget() {
+        let s = Schedule::random(7, 80, 3);
+        assert_eq!(s.events[0], ChaosEvent::Join(0));
+        assert_eq!(s.events.len(), 80);
+        // A healthy mix: traffic must dominate.
+        let traffic = s
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ChaosEvent::AdminBroadcast(_) | ChaosEvent::DataBroadcast(_)
+                )
+            })
+            .count();
+        assert!(traffic >= 10, "only {traffic} traffic events");
+    }
+
+    #[test]
+    fn generator_is_state_aware() {
+        // No schedule may crash an absent member, reconnect a live one,
+        // or leave/expel someone who is not in the group.
+        for seed in 0..20u64 {
+            let s = Schedule::random(seed, 120, 4);
+            let mut joined = [false; 4];
+            let mut crashed = [false; 4];
+            for e in &s.events {
+                match *e {
+                    ChaosEvent::Join(i) => {
+                        assert!(!joined[i] && !crashed[i], "join of live member in {s}");
+                        joined[i] = true;
+                    }
+                    ChaosEvent::Leave(i) | ChaosEvent::Expel(i) => {
+                        assert!(joined[i], "departure of absent member in {s}");
+                        joined[i] = false;
+                    }
+                    ChaosEvent::Crash(i) => {
+                        assert!(joined[i], "crash of absent member in {s}");
+                        joined[i] = false;
+                        crashed[i] = true;
+                    }
+                    ChaosEvent::Reconnect(i) => {
+                        assert!(crashed[i], "reconnect of non-crashed member in {s}");
+                        crashed[i] = false;
+                        joined[i] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let s = Schedule::random(1, 30, 3);
+        let p = s.prefix(10);
+        assert_eq!(p.events.len(), 10);
+        assert_eq!(p.events[..], s.events[..10]);
+        assert_eq!(s.prefix(99).events.len(), 30);
+    }
+}

@@ -1,0 +1,536 @@
+//! The chaos driver: spawns a live leader and a cast of members on a
+//! [`Fabric`], executes a [`Schedule`], records every application-level
+//! send/delivery into a live trace, finalizes the run (calm → heal →
+//! quiesce → probe), and hands the trace to the §5.4 oracle.
+
+use crate::fabric::Fabric;
+use crate::schedule::{ChaosEvent, Schedule};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use enclaves_core::config::{LeaderConfig, RekeyPolicy};
+use enclaves_core::directory::Directory;
+use enclaves_core::protocol::{LeaderEvent, MemberEvent};
+use enclaves_core::runtime::{LeaderRuntime, MemberOptions, MemberRuntime};
+use enclaves_net::sim::SimStats;
+use enclaves_net::Listener;
+use enclaves_verify::live::{check_trace, LiveEvent, Violation};
+use enclaves_wire::ActorId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a join may take before the driver stops waiting for the
+/// welcome (the join itself keeps running — a partition may deliver the
+/// welcome much later, which is part of the chaos).
+const JOIN_WAIT: Duration = Duration::from_secs(10);
+/// Deadline for the leader's retransmission layer to drain after healing.
+const QUIESCE_WAIT: Duration = Duration::from_secs(20);
+/// Deadline for every member to open the finalization probe.
+const PROBE_WAIT: Duration = Duration::from_secs(10);
+
+/// Knobs for a chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosOptions {
+    /// Leader rekey policy (the schedule's explicit `Rekey` events come on
+    /// top of whatever the policy does).
+    pub rekey_policy: RekeyPolicy,
+    /// Plants the test-only broadcast-watermark violation in every member
+    /// — the oracle must then catch duplicate data deliveries.
+    pub sabotage_watermark: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            rekey_policy: RekeyPolicy::Manual,
+            sabotage_watermark: false,
+        }
+    }
+}
+
+/// The result of a chaos run: the verdict plus everything needed to
+/// diagnose or reproduce it.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Violations the oracle found (empty = the paper's properties held).
+    pub violations: Vec<Violation>,
+    /// The full live trace.
+    pub trace: Vec<LiveEvent>,
+    /// Simulator network counters, when the fabric was the simulator.
+    pub net_stats: Option<SimStats>,
+}
+
+impl ChaosOutcome {
+    /// Whether the run satisfied every checked property.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum MemberState {
+    Absent,
+    Joined,
+    Crashed,
+    Departed,
+}
+
+struct MemberSlot {
+    name: String,
+    id: ActorId,
+    password: String,
+    state: MemberState,
+    runtime: Option<MemberRuntime>,
+    forwarder: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Shared, lock-ordered trace sink. `*Send` events are appended while the
+/// lock also covers the leader call that emits them, so no delivery can
+/// ever be recorded ahead of its send.
+type Sink = Arc<Mutex<Vec<LiveEvent>>>;
+
+fn record(sink: &Sink, event: LiveEvent) {
+    sink.lock().push(event);
+}
+
+/// Forwards one member's observed events into the trace. Exits when the
+/// member's runtime drops its observer sender.
+fn spawn_forwarder(
+    sink: &Sink,
+    name: &str,
+    rx: Receiver<MemberEvent>,
+) -> std::thread::JoinHandle<()> {
+    let sink = Arc::clone(sink);
+    let name = name.to_string();
+    std::thread::Builder::new()
+        .name(format!("chaos-obs-{name}"))
+        .spawn(move || {
+            while let Ok(event) = rx.recv() {
+                let live = match event {
+                    MemberEvent::Welcomed { epoch, .. } => Some(LiveEvent::Welcomed {
+                        member: name.clone(),
+                        epoch,
+                    }),
+                    MemberEvent::GroupKeyChanged { epoch } => Some(LiveEvent::KeyChanged {
+                        member: name.clone(),
+                        epoch,
+                    }),
+                    MemberEvent::AdminData(payload) => Some(LiveEvent::AdminDeliver {
+                        member: name.clone(),
+                        payload,
+                    }),
+                    MemberEvent::Broadcast { epoch, seq, data } => Some(LiveEvent::DataDeliver {
+                        member: name.clone(),
+                        epoch,
+                        seq,
+                        payload: data,
+                    }),
+                    _ => None,
+                };
+                if let Some(live) = live {
+                    record(&sink, live);
+                }
+            }
+        })
+        .expect("spawn chaos observer forwarder")
+}
+
+/// Forwards leader-side membership events into the trace. Runs until
+/// `stop` is set and the channel drains.
+fn spawn_leader_collector(
+    sink: &Sink,
+    rx: Receiver<LeaderEvent>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let sink = Arc::clone(sink);
+    std::thread::Builder::new()
+        .name("chaos-leader-collector".into())
+        .spawn(move || loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(LeaderEvent::MemberJoined(user)) => record(
+                    &sink,
+                    LiveEvent::MemberJoined {
+                        member: user.to_string(),
+                    },
+                ),
+                Ok(LeaderEvent::MemberLeft(user)) => record(
+                    &sink,
+                    LiveEvent::MemberClosed {
+                        member: user.to_string(),
+                    },
+                ),
+                Ok(_) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            }
+        })
+        .expect("spawn chaos leader collector")
+}
+
+/// Executes `schedule` against a live leader + member cast on `fabric`,
+/// then replays the recorded trace through the §5.4 live oracle.
+///
+/// The listener must come from the same fabric (see
+/// [`crate::fabric::SimFabric::new`] / [`crate::fabric::TcpProxyFabric::new`]).
+#[must_use]
+pub fn run_schedule(
+    fabric: &mut dyn Fabric,
+    listener: Box<dyn Listener>,
+    schedule: &Schedule,
+    options: &ChaosOptions,
+) -> ChaosOutcome {
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    let leader_id = ActorId::new("leader").expect("static name");
+
+    let mut directory = Directory::new();
+    let mut members: Vec<MemberSlot> = (0..schedule.members)
+        .map(|i| {
+            let name = format!("m{i}");
+            let id = ActorId::new(&name).expect("generated name");
+            let password = format!("{name}-pw");
+            directory
+                .register_password(&id, &password)
+                .expect("fresh directory");
+            MemberSlot {
+                name,
+                id,
+                password,
+                state: MemberState::Absent,
+                runtime: None,
+                forwarder: None,
+            }
+        })
+        .collect();
+
+    let leader = LeaderRuntime::spawn(
+        listener,
+        leader_id.clone(),
+        directory,
+        LeaderConfig {
+            rekey_policy: options.rekey_policy,
+            ..LeaderConfig::default()
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let collector = spawn_leader_collector(&sink, leader.events().clone(), Arc::clone(&stop));
+
+    for event in &schedule.events {
+        execute(
+            fabric,
+            &leader,
+            &leader_id,
+            &mut members,
+            &sink,
+            options,
+            event,
+        );
+    }
+
+    finalize(fabric, &leader, &mut members, &sink);
+
+    // Teardown: leader first (stops retransmissions), then the members.
+    leader.shutdown();
+    for slot in &mut members {
+        if let Some(rt) = slot.runtime.take() {
+            rt.abandon();
+        }
+        if let Some(h) = slot.forwarder.take() {
+            let _ = h.join();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = collector.join();
+
+    let trace = Arc::try_unwrap(sink)
+        .map(Mutex::into_inner)
+        .unwrap_or_default();
+    ChaosOutcome {
+        violations: check_trace(&trace),
+        trace,
+        net_stats: fabric.sim_stats(),
+    }
+}
+
+/// Starts (or restarts) a member's session: records the segment reset,
+/// connects through the fabric, and waits (bounded) for the welcome.
+fn start_join(
+    fabric: &mut dyn Fabric,
+    leader_id: &ActorId,
+    slot: &mut MemberSlot,
+    sink: &Sink,
+    options: &ChaosOptions,
+) {
+    record(
+        sink,
+        LiveEvent::JoinStarted {
+            member: slot.name.clone(),
+        },
+    );
+    let Ok(link) = fabric.connect(&slot.name) else {
+        slot.state = MemberState::Absent;
+        return;
+    };
+    let (obs_tx, obs_rx): (Sender<MemberEvent>, Receiver<MemberEvent>) = unbounded();
+    let runtime = MemberRuntime::connect_with(
+        link,
+        slot.id.clone(),
+        leader_id.clone(),
+        &slot.password,
+        MemberOptions {
+            observer: Some(obs_tx),
+            disable_broadcast_watermark: options.sabotage_watermark,
+        },
+    );
+    match runtime {
+        Ok(rt) => {
+            // The previous forwarder (if any) has already exited — its
+            // sender died with the previous runtime.
+            if let Some(h) = slot.forwarder.take() {
+                let _ = h.join();
+            }
+            slot.forwarder = Some(spawn_forwarder(sink, &slot.name, obs_rx));
+            // Bounded wait: under faults the welcome may be late; the
+            // session keeps trying either way (handshake ARQ).
+            let _ = rt.wait_joined(JOIN_WAIT);
+            slot.runtime = Some(rt);
+            slot.state = MemberState::Joined;
+        }
+        Err(_) => slot.state = MemberState::Absent,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute(
+    fabric: &mut dyn Fabric,
+    leader: &LeaderRuntime,
+    leader_id: &ActorId,
+    members: &mut [MemberSlot],
+    sink: &Sink,
+    options: &ChaosOptions,
+    event: &ChaosEvent,
+) {
+    match event {
+        ChaosEvent::Join(i) | ChaosEvent::Reconnect(i) => {
+            let Some(slot) = members.get_mut(*i) else {
+                return;
+            };
+            if slot.runtime.is_some() {
+                return; // Already live: the schedule generator avoids this.
+            }
+            // A stale slot survives at the leader after a crash (and after
+            // a leave whose Close the chaos ate); clear it or the new
+            // handshake is ignored until the old session closes.
+            if leader.roster().contains(&slot.id) {
+                let _ = leader.expel(&slot.id);
+            }
+            start_join(fabric, leader_id, slot, sink, options);
+        }
+        ChaosEvent::Leave(i) => {
+            let Some(slot) = members.get_mut(*i) else {
+                return;
+            };
+            if let Some(rt) = slot.runtime.take() {
+                let _ = rt.leave();
+                slot.state = MemberState::Departed;
+            }
+        }
+        ChaosEvent::Expel(i) => {
+            let Some(slot) = members.get_mut(*i) else {
+                return;
+            };
+            if leader.expel(&slot.id).is_ok() {
+                if let Some(rt) = slot.runtime.take() {
+                    rt.abandon();
+                }
+                slot.state = MemberState::Departed;
+            }
+        }
+        ChaosEvent::Crash(i) => {
+            let Some(slot) = members.get_mut(*i) else {
+                return;
+            };
+            if let Some(rt) = slot.runtime.take() {
+                // Sever the wire first (mid-session kill), then stop the
+                // runtime without a Close.
+                fabric.kill(&slot.name);
+                rt.abandon();
+                slot.state = MemberState::Crashed;
+            }
+        }
+        ChaosEvent::Rekey => {
+            // Hold the trace lock across the call so the rekey and any
+            // member-side KeyChanged land in a consistent order.
+            let mut trace = sink.lock();
+            if leader.rekey().is_ok() {
+                if let Some(epoch) = leader.epoch() {
+                    trace.push(LiveEvent::LeaderRekeyed { epoch });
+                }
+            }
+        }
+        ChaosEvent::AdminBroadcast(payload) => {
+            // The lock spans the send so no member's delivery can be
+            // recorded before the send itself.
+            let mut trace = sink.lock();
+            if let Ok(recipients) = leader.broadcast(payload) {
+                trace.push(LiveEvent::AdminSend {
+                    payload: payload.clone(),
+                    recipients: recipients.iter().map(ToString::to_string).collect(),
+                });
+            }
+        }
+        ChaosEvent::DataBroadcast(payload) => {
+            let mut trace = sink.lock();
+            if let Ok(receipt) = leader.broadcast_data(payload) {
+                trace.push(LiveEvent::DataSend {
+                    epoch: receipt.epoch,
+                    seq: receipt.seq,
+                    payload: payload.clone(),
+                    recipients: receipt.recipients.iter().map(ToString::to_string).collect(),
+                });
+            }
+        }
+        ChaosEvent::Partition {
+            member,
+            to_leader,
+            to_member,
+        } => {
+            if let Some(slot) = members.get(*member) {
+                fabric.partition(&slot.name, *to_leader, *to_member);
+            }
+        }
+        ChaosEvent::Heal(i) => {
+            if let Some(slot) = members.get(*i) {
+                fabric.heal(&slot.name);
+            }
+        }
+        ChaosEvent::HealAll => fabric.heal_all(),
+        ChaosEvent::Settle(ms) => std::thread::sleep(Duration::from_millis(*ms)),
+    }
+}
+
+/// Drives the system to a checkable resting state: calm the network, heal
+/// every partition, clear dead slots, wait for the retransmission layer to
+/// drain, then send one probe broadcast and snapshot everyone's epoch.
+fn finalize(
+    fabric: &mut dyn Fabric,
+    leader: &LeaderRuntime,
+    members: &mut [MemberSlot],
+    sink: &Sink,
+) {
+    fabric.calm();
+    fabric.heal_all();
+    fabric.flush();
+
+    // Clear slots of members the driver knows are gone (crashed, or a
+    // departure whose Close was lost to the chaos): the leader would
+    // otherwise retransmit to them forever and never quiesce.
+    let roster: Vec<ActorId> = leader.roster();
+    for slot in members.iter_mut() {
+        let live = slot.runtime.is_some();
+        if !live && roster.contains(&slot.id) {
+            let _ = leader.expel(&slot.id);
+            if slot.state == MemberState::Crashed {
+                slot.state = MemberState::Departed;
+            }
+        }
+    }
+
+    // Quiesce: every outstanding admin exchange acked. Flush the fabric
+    // while waiting — a reorder holdback from the chaotic phase may still
+    // be parked on a wire.
+    let deadline = Instant::now() + QUIESCE_WAIT;
+    while !leader.quiesced() && Instant::now() < deadline {
+        fabric.flush();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Members whose join never completed (welcome lost in a partition and
+    // not recovered by quiescence) are not "connected": take them out of
+    // the final roster on both sides.
+    for slot in members.iter_mut() {
+        if slot.runtime.is_some()
+            && slot
+                .runtime
+                .as_ref()
+                .is_some_and(|rt| rt.group_epoch().is_none())
+        {
+            let _ = leader.expel(&slot.id);
+            if let Some(rt) = slot.runtime.take() {
+                rt.abandon();
+            }
+            slot.state = MemberState::Departed;
+        }
+    }
+
+    // The probe: one data-plane broadcast every connected member must
+    // open (an AEAD proof of key agreement, not just epoch equality).
+    let probe = {
+        let mut trace = sink.lock();
+        match leader.broadcast_data(b"chaos-final-probe") {
+            Ok(receipt) => {
+                trace.push(LiveEvent::DataSend {
+                    epoch: receipt.epoch,
+                    seq: receipt.seq,
+                    payload: b"chaos-final-probe".to_vec(),
+                    recipients: receipt.recipients.iter().map(ToString::to_string).collect(),
+                });
+                Some(receipt)
+            }
+            Err(_) => None, // Empty group at rest: nothing to probe.
+        }
+    };
+
+    // Wait until every live member's delivery of the probe is in the
+    // trace (bounded; a member that never opens it is the oracle's
+    // problem to report, not ours to mask).
+    if let Some(receipt) = &probe {
+        let live: Vec<String> = members
+            .iter()
+            .filter(|s| s.runtime.is_some())
+            .map(|s| s.name.clone())
+            .collect();
+        let deadline = Instant::now() + PROBE_WAIT;
+        loop {
+            let delivered = {
+                let trace = sink.lock();
+                live.iter()
+                    .filter(|name| {
+                        trace.iter().any(|e| {
+                            matches!(e, LiveEvent::DataDeliver { member, epoch, seq, .. }
+                                if member == *name
+                                    && *epoch == receipt.epoch
+                                    && *seq == receipt.seq)
+                        })
+                    })
+                    .count()
+            };
+            if delivered == live.len() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    let final_members: Vec<(String, Option<u64>)> = members
+        .iter()
+        .filter(|s| s.runtime.is_some())
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.runtime.as_ref().and_then(MemberRuntime::group_epoch),
+            )
+        })
+        .collect();
+    record(
+        sink,
+        LiveEvent::Final {
+            leader_epoch: leader.epoch(),
+            members: final_members,
+        },
+    );
+}

@@ -134,6 +134,11 @@ pub struct MemberSession {
     /// the `AuthInitReq` while waiting for the key, then the `AuthAckKey`
     /// until the first admin message (the welcome) is accepted.
     handshake_pending: Option<Envelope>,
+    /// Test-only sabotage switch: when set, the broadcast watermark check
+    /// is skipped, so replayed or reordered broadcast frames are delivered
+    /// again. Exists solely so the chaos oracle can prove it detects the
+    /// resulting duplicate deliveries.
+    broadcast_watermark_disabled: bool,
 }
 
 impl std::fmt::Debug for MemberSession {
@@ -238,9 +243,18 @@ impl MemberSession {
                 phase: Phase::WaitingForKey { n1 },
                 stats: SessionStats::default(),
                 handshake_pending: Some(env.clone()),
+                broadcast_watermark_disabled: false,
             },
             env,
         )
+    }
+
+    /// Disables the broadcast replay watermark — a deliberately planted
+    /// protocol violation for exercising the chaos harness's invariant
+    /// oracle. Never call this outside of tests.
+    #[doc(hidden)]
+    pub fn disable_broadcast_watermark_for_tests(&mut self) {
+        self.broadcast_watermark_disabled = true;
     }
 
     /// The current phase.
@@ -561,7 +575,7 @@ impl MemberSession {
         } else {
             conn.bcast_seen_prev
         };
-        if seen.is_some_and(|s| wire.seq <= s) {
+        if !self.broadcast_watermark_disabled && seen.is_some_and(|s| wire.seq <= s) {
             return Err(CoreError::Rejected(RejectReason::StaleNonce));
         }
         let aad = group_broadcast_aad(&self.leader, wire.epoch, wire.seq);
@@ -662,6 +676,7 @@ impl MemberSession {
 mod tests {
     use super::*;
     use enclaves_crypto::rng::SeededRng;
+    use proptest::prelude::*;
 
     fn id(s: &str) -> ActorId {
         ActorId::new(s).unwrap()
@@ -1116,5 +1131,236 @@ mod tests {
             AdminPayload::AppData(b"real".to_vec().into()),
         );
         assert!(session.handle(&env).is_ok());
+    }
+
+    /// Seals a single-seal leader broadcast exactly as the leader does
+    /// (see `broadcast_group_data`): payload under the epoch group key,
+    /// nonce derived from the epoch IV and `seq`, AAD binding leader
+    /// identity, epoch, and `seq`.
+    fn broadcast_env(epoch: u64, seq: u64, key: &[u8; 32], iv: &[u8; 12], data: &[u8]) -> Envelope {
+        let aad = group_broadcast_aad(&id("leader"), epoch, seq);
+        let nonce = broadcast_nonce(iv, seq);
+        let ciphertext = ChaCha20Poly1305::new(key).seal(&nonce, data, &aad);
+        Envelope {
+            msg_type: MsgType::GroupBroadcast,
+            sender: id("leader"),
+            recipient: id("leader"),
+            body: encode(&GroupBroadcastWire {
+                epoch,
+                seq,
+                ciphertext,
+            }),
+        }
+    }
+
+    /// Connects and welcomes the member into a group at `epoch`, returning
+    /// the session, the session key, and the admin nonce to chain from.
+    fn connect_welcomed(
+        epoch: u64,
+        key: [u8; 32],
+        iv: [u8; 12],
+    ) -> (MemberSession, [u8; 32], ProtocolNonce) {
+        let (mut session, sk, n3) = connect();
+        let out = session
+            .handle(&admin_env(
+                &sk,
+                n3,
+                ProtocolNonce::from_bytes([0xA1; 16]),
+                AdminPayload::Welcome {
+                    members: vec![id("alice")],
+                    epoch,
+                    group_key: key,
+                    iv,
+                },
+            ))
+            .unwrap();
+        let reply = out.reply.unwrap();
+        let ack: NonceAckPlain = open(&sk, &reply.header_aad(), &reply.body).unwrap();
+        (session, sk, ack.next_nonce)
+    }
+
+    /// In-place Fisher–Yates under the test's own RNG (the vendored rand
+    /// has no `SliceRandom`).
+    fn shuffle<T>(rng: &mut rand::rngs::StdRng, items: &mut [T]) {
+        use rand::Rng;
+        for i in (1..items.len()).rev() {
+            items.swap(i, rng.gen_range(0..i + 1));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The broadcast replay watermark, confronted with arbitrary
+        /// seeded interleavings of duplicates and reorders across a rekey:
+        /// every `(epoch, seq)` is delivered at most once, acceptance
+        /// matches the reference model exactly (current epoch above the
+        /// current watermark, previous epoch above the frozen previous
+        /// watermark, anything else `WrongEpoch`), rejected frames are
+        /// rejected for the modelled reason, and the per-epoch sequence
+        /// reset after a rekey does not let epoch-2 `seq 0` collide with
+        /// epoch-1 `seq 0`.
+        #[test]
+        fn broadcast_watermark_at_most_once_across_rekey(seed in 0u64..1 << 48) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            use std::collections::HashSet;
+
+            let (key1, iv1) = ([5u8; 32], [6u8; 12]);
+            let (key2, iv2) = ([8u8; 32], [9u8; 12]);
+            let (mut session, sk, next) = connect_welcomed(1, key1, iv1);
+            let mut rng = StdRng::seed_from_u64(seed);
+
+            let frame = |epoch: u64, seq: u64| {
+                let (k, iv) = if epoch == 2 { (&key2, &iv2) } else { (&key1, &iv1) };
+                broadcast_env(epoch, seq, k, iv, format!("e{epoch}-s{seq}").as_bytes())
+            };
+
+            // Reference model: the per-epoch watermarks the member must
+            // enforce. `cur_epoch` flips from 1 to 2 at the rekey; the
+            // epoch-1 watermark is then frozen as the grace watermark.
+            let mut cur_epoch = 1u64;
+            let mut seen_cur: Option<u64> = None;
+            let mut seen_prev: Option<u64> = None;
+            let mut delivered: HashSet<(u64, u64)> = HashSet::new();
+
+            let deliver = |session: &mut MemberSession,
+                               cur_epoch: u64,
+                               seen_cur: &mut Option<u64>,
+                               seen_prev: &mut Option<u64>,
+                               delivered: &mut HashSet<(u64, u64)>,
+                               epoch: u64,
+                               seq: u64| {
+                let outcome = session.handle(&frame(epoch, seq));
+                if epoch == cur_epoch {
+                    if seen_cur.is_none_or(|s| seq > s) {
+                        let out = outcome.expect("fresh current-epoch frame must deliver");
+                        prop_assert_eq!(
+                            &out.events,
+                            &vec![MemberEvent::Broadcast {
+                                epoch,
+                                seq,
+                                data: format!("e{epoch}-s{seq}").into_bytes(),
+                            }]
+                        );
+                        prop_assert!(out.reply.is_none(), "data plane must not ack");
+                        prop_assert!(
+                            delivered.insert((epoch, seq)),
+                            "(epoch {}, seq {}) delivered twice", epoch, seq
+                        );
+                        *seen_cur = Some(seq);
+                    } else {
+                        prop_assert!(
+                            matches!(outcome, Err(CoreError::Rejected(RejectReason::StaleNonce))),
+                            "stale current-epoch frame must be StaleNonce"
+                        );
+                    }
+                } else if cur_epoch == 2 && epoch == 1 {
+                    // One epoch of rekey grace, under its frozen watermark.
+                    if seen_prev.is_none_or(|s| seq > s) {
+                        let out = outcome.expect("fresh grace-epoch frame must deliver");
+                        prop_assert_eq!(out.events.len(), 1);
+                        prop_assert!(
+                            delivered.insert((epoch, seq)),
+                            "grace (epoch {}, seq {}) delivered twice", epoch, seq
+                        );
+                        *seen_prev = Some(seq);
+                    } else {
+                        prop_assert!(
+                            matches!(outcome, Err(CoreError::Rejected(RejectReason::StaleNonce))),
+                            "stale grace-epoch frame must be StaleNonce"
+                        );
+                    }
+                } else {
+                    prop_assert!(
+                        matches!(outcome, Err(CoreError::Rejected(RejectReason::WrongEpoch))),
+                        "unknown epoch {} must be WrongEpoch", epoch
+                    );
+                }
+            };
+
+            // Phase A: epoch-1 frames, shuffled, with seeded duplicates
+            // and an unknown-epoch probe mixed in.
+            let mut stream: Vec<(u64, u64)> = Vec::new();
+            for seq in 0..5u64 {
+                stream.push((1, seq));
+                if rng.gen_bool(0.4) {
+                    stream.push((1, seq));
+                }
+            }
+            stream.push((3, 0)); // future epoch: never installed
+            shuffle(&mut rng, &mut stream);
+            for &(epoch, seq) in &stream {
+                deliver(
+                    &mut session, cur_epoch, &mut seen_cur, &mut seen_prev,
+                    &mut delivered, epoch, seq,
+                );
+            }
+
+            // Rekey to epoch 2: broadcast seq resets, epoch 1 gets one
+            // epoch of grace under its frozen watermark.
+            session
+                .handle(&admin_env(
+                    &sk,
+                    next,
+                    ProtocolNonce::from_bytes([0xA2; 16]),
+                    AdminPayload::NewGroupKey { epoch: 2, key: key2, iv: iv2 },
+                ))
+                .unwrap();
+            cur_epoch = 2;
+            seen_prev = seen_cur;
+            seen_cur = None;
+
+            // Phase B: epoch-2 frames (seq reset to 0) interleaved with
+            // late epoch-1 stragglers, replays of everything phase A
+            // delivered, and an ancient-epoch probe.
+            let mut stream: Vec<(u64, u64)> = Vec::new();
+            for seq in 0..5u64 {
+                stream.push((2, seq));
+                if rng.gen_bool(0.4) {
+                    stream.push((2, seq));
+                }
+            }
+            for seq in 0..7u64 {
+                stream.push((1, seq)); // stragglers + replays
+            }
+            stream.push((0, 0)); // older than the grace epoch
+            shuffle(&mut rng, &mut stream);
+            for &(epoch, seq) in &stream {
+                deliver(
+                    &mut session, cur_epoch, &mut seen_cur, &mut seen_prev,
+                    &mut delivered, epoch, seq,
+                );
+            }
+
+            // Whatever the interleaving, delivery happened at most once
+            // per (epoch, seq) — the HashSet insert asserts enforced it —
+            // and something was actually delivered in both epochs.
+            prop_assert!(delivered.iter().any(|&(e, _)| e == 1));
+            prop_assert!(delivered.iter().any(|&(e, _)| e == 2));
+
+            // Exact replays of delivered frames are stale, not re-delivered.
+            for &(epoch, seq) in delivered.clone().iter() {
+                deliver(
+                    &mut session, cur_epoch, &mut seen_cur, &mut seen_prev,
+                    &mut delivered, epoch, seq,
+                );
+            }
+        }
+
+        /// The planted-violation switch really disarms the watermark: with
+        /// it on, the same duplicate is delivered twice (this is what the
+        /// chaos oracle is expected to catch).
+        #[test]
+        fn disabled_watermark_redelivers_duplicates(seq in 0u64..32) {
+            let (key, iv) = ([5u8; 32], [6u8; 12]);
+            let (mut session, _sk, _next) = connect_welcomed(1, key, iv);
+            session.disable_broadcast_watermark_for_tests();
+            let env = broadcast_env(1, seq, &key, &iv, b"dup");
+            let first = session.handle(&env).expect("first delivery");
+            prop_assert_eq!(first.events.len(), 1);
+            let second = session.handle(&env).expect("sabotaged member re-accepts");
+            prop_assert_eq!(second.events.len(), 1, "watermark off ⇒ duplicate delivered");
+        }
     }
 }

@@ -19,6 +19,19 @@ const POLL: Duration = Duration::from_millis(25);
 /// How often in-flight messages are retransmitted.
 const RETRANSMIT: Duration = Duration::from_millis(400);
 
+/// What a [`LeaderRuntime::broadcast_data`] call actually put on the
+/// wire: the `(epoch, seq)` slot the payload was sealed into and the
+/// members it was fanned out to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastReceipt {
+    /// Group-key epoch the frame was sealed under.
+    pub epoch: u64,
+    /// Broadcast sequence number within the epoch.
+    pub seq: u64,
+    /// The roster at seal time.
+    pub recipients: Vec<ActorId>,
+}
+
 struct Shared {
     core: Mutex<LeaderCore>,
     /// Links bound to authenticated identities.
@@ -183,31 +196,54 @@ impl LeaderRuntime {
         Ok(())
     }
 
-    /// Broadcasts application data over the authenticated admin channel.
+    /// Broadcasts application data over the authenticated admin channel,
+    /// returning the exact roster the broadcast was addressed to (captured
+    /// under the core lock, so a concurrent join/leave cannot blur it —
+    /// the chaos oracle needs the precise recipient set).
     ///
     /// # Errors
     ///
     /// Propagates protocol errors.
-    pub fn broadcast(&self, data: &[u8]) -> Result<(), CoreError> {
-        let output = self.shared.core.lock().broadcast_admin_data(data)?;
+    pub fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
+        let (output, recipients) = {
+            let mut core = self.shared.core.lock();
+            let output = core.broadcast_admin_data(data)?;
+            let recipients = core.roster();
+            (output, recipients)
+        };
         self.shared.dispatch(output.outgoing, None);
         self.shared.emit(output.events);
-        Ok(())
+        Ok(recipients)
     }
 
     /// Broadcasts application data over the single-seal group-key data
     /// plane: the payload is sealed once under the current group key and
     /// the identical refcounted frame is handed to every member's link.
+    /// Returns a receipt identifying the frame's `(epoch, seq)` slot and
+    /// its recipients.
     ///
     /// # Errors
     ///
     /// Propagates protocol errors ([`CoreError::BadPhase`] if the group is
     /// empty).
-    pub fn broadcast_data(&self, data: &[u8]) -> Result<(), CoreError> {
+    pub fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError> {
         let broadcast = self.shared.core.lock().broadcast_group_data(data)?;
         self.shared
             .dispatch_shared(&broadcast.frame, &broadcast.recipients);
-        Ok(())
+        Ok(BroadcastReceipt {
+            epoch: broadcast.epoch,
+            seq: broadcast.seq,
+            recipients: broadcast.recipients,
+        })
+    }
+
+    /// Whether every in-flight admin exchange has been acknowledged: no
+    /// handshake half-open, no admin message awaiting its ack. Chaos runs
+    /// poll this after healing the network to know when the retransmission
+    /// layer has finished recovering.
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        self.shared.core.lock().retransmit_outstanding().is_empty()
     }
 
     /// Expels a member.

@@ -17,6 +17,33 @@ const POLL: Duration = Duration::from_millis(25);
 /// How often an incomplete handshake is retransmitted.
 const RETRANSMIT: Duration = Duration::from_millis(250);
 
+/// Optional hooks for a [`MemberRuntime`], used by test harnesses that
+/// need to observe or sabotage a member without changing application
+/// behavior.
+#[derive(Default)]
+pub struct MemberOptions {
+    /// Every [`MemberEvent`] is cloned into this channel *before* it is
+    /// made available on [`MemberRuntime::events`]. Lets a harness record
+    /// the full delivery trace while the application still consumes its
+    /// own event stream (e.g. via [`MemberRuntime::wait_joined`]).
+    pub observer: Option<Sender<MemberEvent>>,
+    /// Plants the test-only broadcast-watermark violation
+    /// ([`MemberSession::disable_broadcast_watermark_for_tests`]).
+    pub disable_broadcast_watermark: bool,
+}
+
+impl std::fmt::Debug for MemberOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemberOptions")
+            .field("observer", &self.observer.is_some())
+            .field(
+                "disable_broadcast_watermark",
+                &self.disable_broadcast_watermark,
+            )
+            .finish()
+    }
+}
+
 struct Shared {
     session: Mutex<MemberSession>,
     out_tx: Sender<Frame>,
@@ -50,8 +77,26 @@ impl MemberRuntime {
         leader: ActorId,
         password: &str,
     ) -> Result<Self, CoreError> {
-        let (session, init) = MemberSession::start(user, leader, password)?;
-        Self::run(link, session, init)
+        Self::connect_with(link, user, leader, password, MemberOptions::default())
+    }
+
+    /// Connects like [`MemberRuntime::connect`], with harness hooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-derivation or transport failures.
+    pub fn connect_with(
+        link: Box<dyn Link>,
+        user: ActorId,
+        leader: ActorId,
+        password: &str,
+        options: MemberOptions,
+    ) -> Result<Self, CoreError> {
+        let (mut session, init) = MemberSession::start(user, leader, password)?;
+        if options.disable_broadcast_watermark {
+            session.disable_broadcast_watermark_for_tests();
+        }
+        Self::run_with(link, session, init, options)
     }
 
     /// Connects with a pre-built session (deterministic tests).
@@ -64,6 +109,21 @@ impl MemberRuntime {
         session: MemberSession,
         init: Envelope,
     ) -> Result<Self, CoreError> {
+        Self::run_with(link, session, init, MemberOptions::default())
+    }
+
+    /// Connects with a pre-built session and harness hooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn run_with(
+        link: Box<dyn Link>,
+        session: MemberSession,
+        init: Envelope,
+        options: MemberOptions,
+    ) -> Result<Self, CoreError> {
+        let observer = options.observer;
         link.send(encode(&init).into())?;
         let (events_tx, events_rx) = unbounded();
         let (out_tx, out_rx) = unbounded::<Frame>();
@@ -109,6 +169,13 @@ impl MemberRuntime {
                                     }
                                 }
                                 for e in output.events {
+                                    // Tee to the harness observer first so
+                                    // a recorded delivery is never missing
+                                    // from the trace while the application
+                                    // has already reacted to it.
+                                    if let Some(obs) = &observer {
+                                        let _ = obs.send(e.clone());
+                                    }
                                     let _ = events_tx.send(e);
                                 }
                             }

@@ -16,8 +16,8 @@
 mod leader;
 mod member;
 
-pub use leader::LeaderRuntime;
-pub use member::MemberRuntime;
+pub use leader::{BroadcastReceipt, LeaderRuntime};
+pub use member::{MemberOptions, MemberRuntime};
 
 use crossbeam_channel::Receiver;
 use std::time::{Duration, Instant};

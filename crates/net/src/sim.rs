@@ -10,10 +10,28 @@
 //! messages exchanged, replay old messages, and send arbitrary messages
 //! they can construct".
 //!
+//! Beyond the probabilistic faults in [`SimConfig`] (drop, duplicate,
+//! reorder, corrupt, delay), the network supports *scheduled* outages used
+//! by the chaos harness:
+//!
+//! * **asymmetric partitions** — [`SimNet::set_blocked`] silences one
+//!   direction of one connection until healed; frames sent into the
+//!   outage are observed on the tap but never delivered;
+//! * **endpoint kill** — [`SimNet::kill`] severs a connection: both ends
+//!   see [`NetError::Disconnected`], held frames are discarded, and
+//!   nothing ever flows again (a crash mid-handshake or mid-session).
+//!
 //! Determinism: all fault decisions come from a single seeded RNG, and
 //! in-process channels preserve per-wire FIFO order (modulo the faults the
 //! RNG decides), so a fixed seed and a fixed schedule of calls reproduce a
-//! run exactly.
+//! run exactly. "Delay" is virtual: a delayed frame is held back for a
+//! jittered number of *subsequent transmissions on the same wire* rather
+//! than wall-clock time, which keeps runs seed-reproducible.
+//!
+//! Held-back frames (reorder holdbacks and delayed frames) are flushed to
+//! their receiver when the sending link is dropped or when
+//! [`SimNet::flush_all`] is called, so the tail frame of a burst is never
+//! stranded behind a fault that only releases on the next send.
 
 use crate::{Frame, Link, Listener, NetError};
 use crossbeam_channel::{unbounded, Receiver, Sender, TrySendError};
@@ -33,6 +51,18 @@ pub struct SimConfig {
     /// Probability a frame is held back and delivered after the next one
     /// (pairwise reorder).
     pub reorder_prob: f64,
+    /// Probability a delivered frame has one random bit flipped (link
+    /// corruption; the AEAD layer must reject such frames).
+    pub corrupt_prob: f64,
+    /// Probability a frame is delayed: parked on the wire and released
+    /// only after a jittered number of subsequent transmissions on the
+    /// same wire (virtual delay, deterministic under the seed).
+    pub delay_prob: f64,
+    /// Maximum virtual delay, in subsequent same-wire transmissions; the
+    /// actual delay of each delayed frame is drawn uniformly from
+    /// `1..=max_delay_ticks`. Zero disables delay regardless of
+    /// `delay_prob`.
+    pub max_delay_ticks: u32,
     /// RNG seed for all fault decisions.
     pub seed: u64,
 }
@@ -44,6 +74,9 @@ impl Default for SimConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             reorder_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_ticks: 0,
             seed: 0,
         }
     }
@@ -57,6 +90,22 @@ impl SimConfig {
             drop_prob: 0.10,
             duplicate_prob: 0.10,
             reorder_prob: 0.15,
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Every probabilistic fault at once: loss, duplication, reordering,
+    /// corruption, and delay/jitter. The chaos harness's default weather.
+    #[must_use]
+    pub fn chaotic(seed: u64) -> Self {
+        SimConfig {
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.10,
+            corrupt_prob: 0.05,
+            delay_prob: 0.10,
+            max_delay_ticks: 4,
             seed,
         }
     }
@@ -79,10 +128,11 @@ pub struct TappedFrame {
     /// Direction of travel.
     pub dir: Direction,
     /// The frame bytes (shared with the delivered copy — observing a
-    /// frame does not deep-copy it).
+    /// frame does not deep-copy it). For corrupted frames this is the
+    /// corrupted copy: the tap sees what was on the wire.
     pub frame: Frame,
-    /// Whether the network actually delivered it (dropped frames are still
-    /// observed — the wire is public).
+    /// Whether the network actually delivered it (dropped, partitioned,
+    /// and severed frames are still observed — the wire is public).
     pub delivered: bool,
 }
 
@@ -93,12 +143,22 @@ pub struct SimStats {
     pub sent: usize,
     /// Frames delivered (including duplicates).
     pub delivered: usize,
-    /// Frames dropped.
+    /// Frames dropped by the probabilistic loss fault.
     pub dropped: usize,
     /// Extra deliveries due to duplication.
     pub duplicated: usize,
     /// Frames that were held back for reordering.
     pub reordered: usize,
+    /// Frames with a corrupted bit.
+    pub corrupted: usize,
+    /// Frames parked by the virtual-delay fault.
+    pub delayed: usize,
+    /// Frames swallowed by an active partition.
+    pub partitioned: usize,
+    /// Frames swallowed by a severed (killed) connection.
+    pub severed: usize,
+    /// Connections severed by [`SimNet::kill`].
+    pub killed: usize,
     /// Frames injected by the adversary.
     pub injected: usize,
 }
@@ -107,6 +167,29 @@ struct Wire {
     tx: Sender<Frame>,
     /// Held-back frame for pairwise reordering.
     holdback: Option<Frame>,
+    /// Frames under virtual delay, each with its remaining tick count.
+    delayed: Vec<(Frame, u32)>,
+    /// Partition switch: while set, frames in this direction vanish.
+    blocked: bool,
+}
+
+impl Wire {
+    fn new(tx: Sender<Frame>) -> Self {
+        Wire {
+            tx,
+            holdback: None,
+            delayed: Vec::new(),
+            blocked: false,
+        }
+    }
+
+    /// Takes every held frame (delayed first, in age order, then the
+    /// reorder holdback) for immediate delivery.
+    fn take_held(&mut self) -> Vec<Frame> {
+        let mut held: Vec<Frame> = self.delayed.drain(..).map(|(f, _)| f).collect();
+        held.extend(self.holdback.take());
+        held
+    }
 }
 
 struct Connection {
@@ -114,9 +197,20 @@ struct Connection {
     to_listener: Wire,
     /// Wire toward the connector end.
     to_connector: Wire,
+    /// Whether the connection has been severed by [`SimNet::kill`].
+    killed: bool,
     /// Untrusted peer name given at connect time (kept for diagnostics).
     #[allow(dead_code)]
     connector_name: String,
+}
+
+impl Connection {
+    fn wire_mut(&mut self, dir: Direction) -> &mut Wire {
+        match dir {
+            Direction::ToListener => &mut self.to_listener,
+            Direction::ToConnector => &mut self.to_connector,
+        }
+    }
 }
 
 struct SimInner {
@@ -126,6 +220,29 @@ struct SimInner {
     listeners: std::collections::HashMap<String, Sender<PendingAccept>>,
     tap: Vec<TappedFrame>,
     stats: SimStats,
+}
+
+impl SimInner {
+    /// Pushes every frame held on `(conn, dir)` to its receiver.
+    fn flush_wire(&mut self, conn: usize, dir: Direction) {
+        let Some(connection) = self.connections.get_mut(conn) else {
+            return;
+        };
+        if connection.killed {
+            return;
+        }
+        let wire = connection.wire_mut(dir);
+        let held = wire.take_held();
+        let tx = wire.tx.clone();
+        let mut delivered = 0;
+        for frame in held {
+            if let Err(TrySendError::Disconnected(_)) = tx.try_send(frame) {
+                break;
+            }
+            delivered += 1;
+        }
+        self.stats.delivered += delivered;
+    }
 }
 
 struct PendingAccept {
@@ -200,14 +317,9 @@ impl SimNet {
         let (to_connector_tx, to_connector_rx) = unbounded();
         let conn = inner.connections.len();
         inner.connections.push(Connection {
-            to_listener: Wire {
-                tx: to_listener_tx,
-                holdback: None,
-            },
-            to_connector: Wire {
-                tx: to_connector_tx,
-                holdback: None,
-            },
+            to_listener: Wire::new(to_listener_tx),
+            to_connector: Wire::new(to_connector_tx),
+            killed: false,
             connector_name: from_name.to_string(),
         });
         let member_link = SimLink {
@@ -240,6 +352,64 @@ impl SimNet {
         self.inner.lock().config = config;
     }
 
+    /// Blocks (`true`) or unblocks (`false`) one direction of one
+    /// connection: an asymmetric partition. Frames sent into a blocked
+    /// direction are observed on the adversary tap but never delivered;
+    /// nothing is queued, so healing restores the link without a burst of
+    /// stale traffic (retransmission layers recover what mattered).
+    pub fn set_blocked(&self, conn: usize, dir: Direction, blocked: bool) {
+        let mut inner = self.inner.lock();
+        if let Some(connection) = inner.connections.get_mut(conn) {
+            connection.wire_mut(dir).blocked = blocked;
+        }
+    }
+
+    /// Heals every partition on every connection.
+    pub fn heal_all(&self) {
+        let mut inner = self.inner.lock();
+        for connection in &mut inner.connections {
+            connection.to_listener.blocked = false;
+            connection.to_connector.blocked = false;
+        }
+    }
+
+    /// Severs connection `conn` permanently: both endpoints observe
+    /// [`NetError::Disconnected`] once their receive queues drain, held
+    /// frames are discarded, and all future sends vanish. Models an
+    /// endpoint crash or a connection reset mid-handshake or mid-session.
+    pub fn kill(&self, conn: usize) {
+        let mut inner = self.inner.lock();
+        let Some(connection) = inner.connections.get_mut(conn) else {
+            return;
+        };
+        if connection.killed {
+            return;
+        }
+        connection.killed = true;
+        for dir in [Direction::ToListener, Direction::ToConnector] {
+            let wire = connection.wire_mut(dir);
+            wire.holdback = None;
+            wire.delayed.clear();
+            // Replace the sender with one whose receiver is already gone:
+            // the endpoint's receive loop sees Disconnected after draining.
+            let (dead_tx, _) = unbounded();
+            wire.tx = dead_tx;
+        }
+        inner.stats.killed += 1;
+    }
+
+    /// Delivers every held-back frame (reorder holdbacks and delayed
+    /// frames) on every wire. The chaos harness calls this while
+    /// quiescing so the tail frame of a burst cannot stay stranded behind
+    /// a fault that only releases on the next send.
+    pub fn flush_all(&self) {
+        let mut inner = self.inner.lock();
+        for conn in 0..inner.connections.len() {
+            inner.flush_wire(conn, Direction::ToListener);
+            inner.flush_wire(conn, Direction::ToConnector);
+        }
+    }
+
     /// An adversary handle observing and injecting on every connection.
     #[must_use]
     pub fn adversary(&self) -> Adversary {
@@ -253,8 +423,10 @@ impl SimNet {
     }
 
     /// Transmits a frame over connection `conn` in direction `dir`,
-    /// applying fault injection. `forced` bypasses faults (used by the
-    /// adversary, whose injections are not subject to the lossy wire).
+    /// applying fault injection. `forced` bypasses faults — including
+    /// partitions — and is used by the adversary, whose injections are not
+    /// subject to the lossy wire (only a severed connection stops it:
+    /// there is no wire left to inject into).
     fn transmit(&self, conn: usize, dir: Direction, frame: Frame, forced: bool) {
         let mut inner = self.inner.lock();
         inner.stats.sent += usize::from(!forced);
@@ -262,49 +434,123 @@ impl SimNet {
             inner.stats.injected += 1;
         }
 
-        let (drop_roll, dup_roll, reorder_roll) = {
+        if inner.connections[conn].killed {
+            inner.stats.severed += 1;
+            inner.tap.push(TappedFrame {
+                conn,
+                dir,
+                frame,
+                delivered: false,
+            });
+            return;
+        }
+
+        // Draw every fault roll up front so the RNG stream depends only on
+        // the sequence of transmissions, not on which faults fire.
+        let (drop_roll, dup_roll, reorder_roll, corrupt_roll, delay_roll) = {
             let r = &mut inner.rng;
-            (r.gen::<f64>(), r.gen::<f64>(), r.gen::<f64>())
+            (
+                r.gen::<f64>(),
+                r.gen::<f64>(),
+                r.gen::<f64>(),
+                r.gen::<f64>(),
+                r.gen::<f64>(),
+            )
         };
         let config = inner.config;
 
+        let blocked = inner.connections[conn].wire_mut(dir).blocked && !forced;
         let dropped = !forced && drop_roll < config.drop_prob;
+        if blocked || dropped {
+            if blocked {
+                inner.stats.partitioned += 1;
+            } else {
+                inner.stats.dropped += 1;
+            }
+            inner.tap.push(TappedFrame {
+                conn,
+                dir,
+                frame,
+                delivered: false,
+            });
+            return;
+        }
+
+        // Link corruption: flip one bit of a private copy. The tap (below)
+        // observes the corrupted bytes — that is what was on the wire.
+        let frame = if !forced && corrupt_roll < config.corrupt_prob && !frame.is_empty() {
+            let mut bytes = frame.to_vec();
+            let idx = inner.rng.gen_range(0..bytes.len());
+            let bit = inner.rng.gen_range(0..8u32);
+            bytes[idx] ^= 1 << bit;
+            inner.stats.corrupted += 1;
+            Frame::from(bytes)
+        } else {
+            frame
+        };
+
         inner.tap.push(TappedFrame {
             conn,
             dir,
             frame: frame.clone(),
-            delivered: !dropped,
+            delivered: true,
         });
-        if dropped {
-            inner.stats.dropped += 1;
-            return;
-        }
+
+        let delay_ticks = if !forced && config.max_delay_ticks > 0 && delay_roll < config.delay_prob
+        {
+            Some(inner.rng.gen_range(1..config.max_delay_ticks.max(1) + 1))
+        } else {
+            None
+        };
 
         // Collect deliveries first to keep the borrow on `wire` short.
         // Each entry is a refcount bump, not a copy.
         let mut deliveries: Vec<Frame> = Vec::with_capacity(3);
+        let mut reordered = 0usize;
+        let mut duplicated = 0usize;
+        let mut parked = 0usize;
         {
-            let wire = match dir {
-                Direction::ToListener => &mut inner.connections[conn].to_listener,
-                Direction::ToConnector => &mut inner.connections[conn].to_connector,
-            };
-            if let Some(held) = wire.holdback.take() {
+            let wire = inner.connections[conn].wire_mut(dir);
+            // Age every delayed frame by one tick; expired ones ride along
+            // behind this transmission (they are late, after all).
+            let mut expired: Vec<Frame> = Vec::new();
+            wire.delayed.retain_mut(|entry| {
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    expired.push(entry.0.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+
+            if let Some(ticks) = delay_ticks {
+                wire.delayed.push((frame, ticks));
+                parked = 1;
+            } else if let Some(held) = wire.holdback.take() {
                 // Deliver the new frame first, then the held one: the pair
                 // arrives swapped.
                 deliveries.push(frame.clone());
                 deliveries.push(held);
+                if !forced && dup_roll < config.duplicate_prob {
+                    deliveries.push(frame);
+                    duplicated = 1;
+                }
             } else if !forced && reorder_roll < config.reorder_prob {
-                wire.holdback = Some(frame.clone());
-                inner.stats.reordered += 1;
-                return;
+                wire.holdback = Some(frame);
+                reordered = 1;
             } else {
                 deliveries.push(frame.clone());
+                if !forced && dup_roll < config.duplicate_prob {
+                    deliveries.push(frame);
+                    duplicated = 1;
+                }
             }
-            if !forced && dup_roll < config.duplicate_prob {
-                deliveries.push(frame);
-                inner.stats.duplicated += 1;
-            }
+            deliveries.extend(expired);
         }
+        inner.stats.reordered += reordered;
+        inner.stats.duplicated += duplicated;
+        inner.stats.delayed += parked;
 
         let wire = match dir {
             Direction::ToListener => &inner.connections[conn].to_listener,
@@ -338,6 +584,25 @@ impl std::fmt::Debug for SimLink {
             .field("send_dir", &self.send_dir)
             .field("peer", &self.peer)
             .finish()
+    }
+}
+
+impl SimLink {
+    /// The connection index this link belongs to (matches the adversary's
+    /// and the partition/kill APIs' numbering).
+    #[must_use]
+    pub fn conn_id(&self) -> usize {
+        self.conn
+    }
+}
+
+impl Drop for SimLink {
+    /// Closing a link flushes any frames this endpoint sent that a fault
+    /// was still holding (reorder holdback, virtual delay): the bytes were
+    /// committed to the wire before the close, so the network eventually
+    /// delivers them rather than stranding the tail of a burst.
+    fn drop(&mut self) {
+        self.net.inner.lock().flush_wire(self.conn, self.send_dir);
     }
 }
 
@@ -637,5 +902,159 @@ mod tests {
         assert_eq!(&l_bob.recv_timeout(TO).unwrap()[..], b"from-bob");
         assert_eq!(l_alice.peer_hint().as_deref(), Some("alice"));
         assert_eq!(l_bob.peer_hint().as_deref(), Some("bob"));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let net = SimNet::new(SimConfig {
+            corrupt_prob: 1.0,
+            ..SimConfig::default()
+        });
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+        let original = b"pristine bytes".to_vec();
+        member.send(original.clone().into()).unwrap();
+        let received = leader_side.recv_timeout(TO).unwrap();
+        assert_eq!(received.len(), original.len());
+        let flipped: u32 = received
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
+        assert_eq!(net.stats().corrupted, 1);
+        // The tap observed the corrupted copy, not the original.
+        let tapped = net.adversary().observed();
+        assert_eq!(tapped[0].frame, received);
+    }
+
+    #[test]
+    fn delay_parks_frames_and_later_traffic_releases_them() {
+        let net = SimNet::new(SimConfig {
+            delay_prob: 1.0,
+            max_delay_ticks: 1,
+            ..SimConfig::default()
+        });
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+
+        // Every frame is delayed one tick: frame N is released by the
+        // transmission of frame N+1 (which itself parks).
+        member.send(b"one"[..].into()).unwrap();
+        assert!(leader_side.recv_timeout(Duration::from_millis(20)).is_err());
+        member.send(b"two"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"one");
+        member.send(b"three"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"two");
+        assert_eq!(net.stats().delayed, 3);
+    }
+
+    #[test]
+    fn asymmetric_partition_blocks_one_direction_until_healed() {
+        let net = reliable();
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+
+        // Block member → leader only; the reverse direction still works.
+        net.set_blocked(0, Direction::ToListener, true);
+        member.send(b"swallowed"[..].into()).unwrap();
+        assert!(leader_side.recv_timeout(Duration::from_millis(20)).is_err());
+        leader_side.send(b"downstream ok"[..].into()).unwrap();
+        assert_eq!(&member.recv_timeout(TO).unwrap()[..], b"downstream ok");
+        assert_eq!(net.stats().partitioned, 1);
+        // Partitioned frames are still on the public wire.
+        assert!(!net.adversary().observed()[0].delivered);
+
+        // Heal: traffic flows again (the swallowed frame is gone for good).
+        net.set_blocked(0, Direction::ToListener, false);
+        member.send(b"after heal"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"after heal");
+    }
+
+    #[test]
+    fn kill_severs_both_ends() {
+        let net = reliable();
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+        member.send(b"pre-kill"[..].into()).unwrap();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"pre-kill");
+
+        net.kill(0);
+        // Both directions are dead: senders succeed (fire and forget) but
+        // nothing arrives and receivers see Disconnected.
+        member.send(b"lost"[..].into()).unwrap();
+        leader_side.send(b"also lost"[..].into()).unwrap();
+        assert_eq!(
+            leader_side.recv_timeout(TO).unwrap_err(),
+            NetError::Disconnected
+        );
+        assert_eq!(member.recv_timeout(TO).unwrap_err(), NetError::Disconnected);
+        assert_eq!(net.stats().severed, 2);
+        // Idempotent.
+        net.kill(0);
+    }
+
+    /// The satellite bug fix: with reordering, the last frame of a burst
+    /// used to be stranded in the holdback slot until the *next* send —
+    /// which, for a final frame, never came. Closing the sending link (or
+    /// calling [`SimNet::flush_all`]) now flushes held frames.
+    #[test]
+    fn held_tail_frame_is_flushed_on_link_close() {
+        let net = SimNet::new(SimConfig {
+            reorder_prob: 1.0,
+            ..SimConfig::default()
+        });
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+
+        // A one-frame "burst": the frame goes straight into the holdback
+        // slot and nothing is deliverable.
+        member.send(b"tail"[..].into()).unwrap();
+        assert!(leader_side.recv_timeout(Duration::from_millis(20)).is_err());
+
+        // Closing the sending link flushes the stranded frame.
+        drop(member);
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"tail");
+    }
+
+    #[test]
+    fn flush_all_releases_holdbacks_and_delays() {
+        let net = SimNet::new(SimConfig {
+            reorder_prob: 1.0,
+            ..SimConfig::default()
+        });
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+        member.send(b"stuck"[..].into()).unwrap();
+        assert!(leader_side.recv_timeout(Duration::from_millis(20)).is_err());
+        net.flush_all();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"stuck");
+
+        // Delay holdbacks flush the same way.
+        net.set_config(SimConfig {
+            delay_prob: 1.0,
+            max_delay_ticks: 8,
+            ..SimConfig::default()
+        });
+        member.send(b"parked"[..].into()).unwrap();
+        assert!(leader_side.recv_timeout(Duration::from_millis(20)).is_err());
+        net.flush_all();
+        assert_eq!(&leader_side.recv_timeout(TO).unwrap()[..], b"parked");
+    }
+
+    #[test]
+    fn conn_ids_match_connect_order() {
+        let net = reliable();
+        let _listener = net.listen("leader").unwrap();
+        let a = net.connect("alice", "leader").unwrap();
+        let b = net.connect("bob", "leader").unwrap();
+        assert_eq!(a.conn_id(), 0);
+        assert_eq!(b.conn_id(), 1);
     }
 }

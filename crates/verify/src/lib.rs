@@ -18,11 +18,15 @@
 //!   when both sides are connected.
 //! * [`runner`] — packaged verification suites and result tables used by
 //!   the benchmark report and `EXPERIMENTS.md`.
+//! * [`live`] — trace-level adapters that replay a recorded run of the
+//!   *threaded* runtimes through the same §5.4 predicates, so the chaos
+//!   harness asserts the paper's guarantees against live sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diagram;
+pub mod live;
 pub mod properties;
 pub mod runner;
 pub mod secrecy;

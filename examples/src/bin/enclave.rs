@@ -141,7 +141,7 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         } else if let Some(text) = line.strip_prefix("cast ") {
             // Data plane: sealed once under the group key, one shared frame.
             match leader.broadcast_data(text.as_bytes()) {
-                Ok(()) => {}
+                Ok(_) => {}
                 Err(e) => println!("cannot cast: {e}"),
             }
         } else if !line.is_empty() {

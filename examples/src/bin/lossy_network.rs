@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         duplicate_prob: 0.05,
         reorder_prob: 0.05,
         seed: 2001,
+        ..SimConfig::default()
     });
     let listener = net.listen("leader")?;
 
@@ -69,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         duplicate_prob: 0.10,
         reorder_prob: 0.15,
         seed: 2001,
+        ..SimConfig::default()
     });
 
     // A burst of admin broadcasts and group data through the faulty wires.

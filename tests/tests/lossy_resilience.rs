@@ -23,6 +23,7 @@ fn run_under_loss(drop_prob: f64, seed: u64) {
         duplicate_prob: 0.05,
         reorder_prob: 0.10,
         seed,
+        ..SimConfig::default()
     });
     let listener = net.listen("leader").unwrap();
     let mut directory = Directory::new();
@@ -103,9 +104,8 @@ fn group_operates_at_25_percent_loss() {
 fn retransmission_does_not_weaken_replay_defense() {
     let net = SimNet::new(SimConfig {
         drop_prob: 0.15,
-        duplicate_prob: 0.0,
-        reorder_prob: 0.0,
         seed: 99,
+        ..SimConfig::default()
     });
     let listener = net.listen("leader").unwrap();
     let mut directory = Directory::new();
