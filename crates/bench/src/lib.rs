@@ -184,6 +184,35 @@ impl FanoutGroup {
         settle(&mut self.leader, &mut self.members, outgoing);
     }
 
+    /// Runs one staged rekey end to end — stage, seal, commit — sealing
+    /// on the calling thread. Returns the sealed envelopes so the caller
+    /// can [`FanoutGroup::settle`] the stop-and-wait acks outside any
+    /// timed region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if staging fails (a bug, not an input condition).
+    pub fn rekey_serial(&mut self) -> Vec<Envelope> {
+        let fanout = self.leader.begin_rekey().expect("rekey stages");
+        let batch = LeaderCore::seal_admin_jobs(&fanout.jobs);
+        self.leader.commit_admin_frames(&batch);
+        batch.frames.into_iter().map(|f| f.env).collect()
+    }
+
+    /// Runs one staged rekey end to end, sealing across `threads` scoped
+    /// workers (the runtime's out-of-lock path). Byte-identical output to
+    /// [`FanoutGroup::rekey_serial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if staging fails (a bug, not an input condition).
+    pub fn rekey_parallel(&mut self, threads: usize) -> Vec<Envelope> {
+        let fanout = self.leader.begin_rekey().expect("rekey stages");
+        let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
+        self.leader.commit_admin_frames(&batch);
+        batch.frames.into_iter().map(|f| f.env).collect()
+    }
+
     /// Delivers one shared single-seal broadcast frame to every member,
     /// returning the decrypted payloads (one per member, in member
     /// order). The frame is decoded once and the identical envelope is

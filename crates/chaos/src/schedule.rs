@@ -82,6 +82,94 @@ impl Schedule {
         }
     }
 
+    /// A deterministic rekey storm: bursts of back-to-back rekeys (each
+    /// burst stacks three rekeys with no settle between them, so later
+    /// group keys queue behind the stop-and-wait acknowledgment of the
+    /// first) interleaved with admin/data traffic and join/leave/expel
+    /// churn, all under partitions that alternate between asymmetric
+    /// (one direction dark) and full cuts. This is the worst case for
+    /// the staged parallel control plane: every burst re-seals the whole
+    /// roster while some member cannot acknowledge, so staged frames,
+    /// cached retransmits, and pending queues all carry live traffic at
+    /// once. The `seed` feeds only the network fault stream — the script
+    /// itself is fixed given `members`.
+    #[must_use]
+    pub fn rekey_storm(seed: u64, members: usize) -> Self {
+        assert!(members >= 4, "a rekey storm needs at least four members");
+        use ChaosEvent::{
+            AdminBroadcast, DataBroadcast, Expel, Heal, HealAll, Join, Leave, Partition, Rekey,
+            Settle,
+        };
+        let mut events: Vec<ChaosEvent> = (0..members).map(Join).collect();
+        events.push(Settle(150));
+        let payload = |tag: &str, burst: usize| format!("storm-{tag}-{burst}").into_bytes();
+
+        // Burst 1: m1 goes half-dark toward the leader — its acks are
+        // lost, so the leader's retransmit ticker replays cached frames
+        // while three rekeys stack up behind the unacknowledged first key.
+        events.extend([
+            Partition {
+                member: 1,
+                to_leader: true,
+                to_member: false,
+            },
+            Rekey,
+            Rekey,
+            Rekey,
+            AdminBroadcast(payload("admin", 1)),
+            DataBroadcast(payload("data", 1)),
+            Leave(0),
+            Heal(1),
+            Settle(250),
+        ]);
+
+        // Burst 2: m2 is cut off entirely; m0 rejoins mid-storm, forcing
+        // a membership change (and its own rekey) into the queue.
+        events.extend([
+            Partition {
+                member: 2,
+                to_leader: true,
+                to_member: true,
+            },
+            Rekey,
+            Rekey,
+            Rekey,
+            AdminBroadcast(payload("admin", 2)),
+            Join(0),
+            Rekey,
+            Heal(2),
+            Settle(250),
+        ]);
+
+        // Burst 3: the leader→m3 direction goes dark (m3 cannot see the
+        // new keys), then the leader expels it mid-storm — staged frames
+        // for a departed member must be dropped, not delivered.
+        events.extend([
+            Partition {
+                member: 3,
+                to_leader: false,
+                to_member: true,
+            },
+            Rekey,
+            Rekey,
+            Rekey,
+            DataBroadcast(payload("data", 3)),
+            Expel(3),
+            HealAll,
+            Settle(250),
+            Rekey,
+            AdminBroadcast(payload("admin", 4)),
+            DataBroadcast(payload("data", 4)),
+            Settle(300),
+        ]);
+
+        Schedule {
+            seed,
+            members,
+            events,
+        }
+    }
+
     /// Generates a random but state-aware schedule: the generator tracks
     /// which members are absent, joined, partitioned, or crashed, and only
     /// emits events that make sense in that state (so generated schedules
@@ -266,6 +354,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rekey_storm_is_deterministic_and_state_valid() {
+        let a = Schedule::rekey_storm(9, 4);
+        let b = Schedule::rekey_storm(9, 4);
+        assert_eq!(a, b);
+        // The seed only feeds the fault stream; the script is fixed.
+        assert_eq!(a.events, Schedule::rekey_storm(10, 4).events);
+
+        // The storm must actually storm: at least three bursts of three
+        // back-to-back rekeys, i.e. consecutive Rekey runs of length >= 3.
+        let rekeys = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Rekey))
+            .count();
+        assert!(rekeys >= 10, "only {rekeys} rekeys in the storm");
+        let longest_run = a
+            .events
+            .iter()
+            .fold((0usize, 0usize), |(best, run), e| {
+                if matches!(e, ChaosEvent::Rekey) {
+                    (best.max(run + 1), run + 1)
+                } else {
+                    (best, 0)
+                }
+            })
+            .0;
+        assert!(longest_run >= 3, "no back-to-back rekey burst");
+
+        // Same state-machine validity the random generator guarantees.
+        let mut joined = vec![false; a.members];
+        for e in &a.events {
+            match *e {
+                ChaosEvent::Join(i) => {
+                    assert!(!joined[i], "join of live member in {a}");
+                    joined[i] = true;
+                }
+                ChaosEvent::Leave(i) | ChaosEvent::Expel(i) => {
+                    assert!(joined[i], "departure of absent member in {a}");
+                    joined[i] = false;
+                }
+                ChaosEvent::Partition { member, .. } | ChaosEvent::Heal(member) => {
+                    assert!(member < a.members, "partition of out-of-cast member");
+                }
+                _ => {}
+            }
+        }
+        // Every partition is healed before the schedule ends, so the
+        // final settle runs on a fully connected fabric.
+        assert!(matches!(a.events.last(), Some(ChaosEvent::Settle(_))));
+        assert!(a.events.iter().any(|e| matches!(e, ChaosEvent::HealAll)));
     }
 
     #[test]

@@ -8,9 +8,9 @@ use crate::group::GroupState;
 use crate::protocol::{broadcast_nonce, SEQ_LEADER};
 use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::SessionKey;
-use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
+use enclaves_crypto::nonce::{AeadNonce, NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
-use enclaves_wire::codec::encode_into;
+use enclaves_wire::codec::{encode, encode_into};
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
     ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain,
@@ -18,6 +18,11 @@ use enclaves_wire::message::{
 use enclaves_wire::ActorId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Below this many seal jobs the parallel path runs inline: spawning a
+/// worker pool costs more than sealing a handful of small frames.
+const PARALLEL_SEAL_MIN_JOBS: usize = 32;
 
 /// Events surfaced by the leader core.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -80,6 +85,18 @@ pub struct LeaderStats {
     /// single-seal fan-out this advances in lockstep with `broadcasts` —
     /// exactly one seal per broadcast, independent of group size.
     pub data_seals: u64,
+    /// AEAD seal operations performed by the admin control plane (one per
+    /// recipient frame actually sealed). A rekey over an n-member group
+    /// advances this by exactly n.
+    pub admin_seals: u64,
+    /// Wall-clock nanoseconds spent in admin AEAD sealing + envelope
+    /// encoding. With the parallel fan-out this work runs *outside* the
+    /// runtime's core lock.
+    pub admin_seal_ns: u64,
+    /// Wall-clock nanoseconds the runtime held the core lock for admin
+    /// fan-out staging and commit (the under-lock phases). Reported by the
+    /// runtime via [`LeaderCore::note_lock_hold`].
+    pub lock_hold_ns: u64,
 }
 
 /// Output of [`LeaderCore::broadcast_group_data`]: one sealed, encoded
@@ -98,6 +115,59 @@ pub struct BroadcastFrame {
     pub seq: u64,
 }
 
+/// One per-recipient admin seal job, emitted under the core lock by the
+/// staging phase ([`LeaderCore::stage_admin`] and the `begin_*` fan-out
+/// entry points). All ordering material — the AEAD sequence nonce, the
+/// leader's protocol nonce, and the member's expected nonce inside
+/// `plain` — is already fixed, so sealing is a pure function of this
+/// struct and can run on any thread, in any order, out of lock.
+#[derive(Clone, Debug)]
+pub struct SealJob {
+    /// The recipient.
+    pub member: ActorId,
+    session_key: SessionKey,
+    seq: AeadNonce,
+    aad: Vec<u8>,
+    plain: AdminPlain,
+    leader_nonce: ProtocolNonce,
+}
+
+/// A sealed, encoded admin frame produced from a [`SealJob`].
+#[derive(Clone, Debug)]
+pub struct SealedAdminFrame {
+    /// The recipient.
+    pub member: ActorId,
+    /// The leader nonce the frame carries (matched against the channel's
+    /// outstanding slot at commit time).
+    leader_nonce: ProtocolNonce,
+    /// The decoded envelope (for serial callers that transmit envelopes).
+    pub env: Envelope,
+    /// The encoded frame, ready for any link and for the retransmit cache.
+    pub frame: Arc<[u8]>,
+}
+
+/// The under-lock half of an admin fan-out: the seal jobs to run (one per
+/// recipient whose channel was free) and the events the operation
+/// produced. Recipients with an in-flight admin message had their payload
+/// queued instead and appear in no job.
+#[derive(Debug, Default)]
+pub struct AdminFanout {
+    /// Seal jobs, in roster order.
+    pub jobs: Vec<SealJob>,
+    /// Events for the operator (e.g. `Rekeyed`, `MemberLeft`).
+    pub events: Vec<LeaderEvent>,
+}
+
+/// The out-of-lock half of an admin fan-out: the sealed frames (in job
+/// order) and how long the sealing took.
+#[derive(Debug)]
+pub struct SealedBatch {
+    /// Sealed frames, in the same order as the jobs they came from.
+    pub frames: Vec<SealedAdminFrame>,
+    /// Wall-clock nanoseconds spent sealing + encoding.
+    pub seal_ns: u64,
+}
+
 /// Per-member connection state.
 struct Channel {
     session_key: SessionKey,
@@ -107,9 +177,11 @@ struct Channel {
     /// Leader nonce of the in-flight admin message, if any (stop-and-wait
     /// per member, as the paper's state machine prescribes).
     outstanding: Option<ProtocolNonce>,
-    /// The in-flight admin envelope, re-sent verbatim by the runtime's
-    /// retransmission timer.
-    outstanding_env: Option<Envelope>,
+    /// The in-flight admin frame, encoded exactly once; the runtime's
+    /// retransmission timer redelivers the same refcounted bytes. `None`
+    /// while a staged message is being sealed out of lock (the ticker
+    /// simply skips it until the commit lands).
+    outstanding_frame: Option<Arc<[u8]>>,
     /// Queued payloads awaiting the acknowledgment of the in-flight one.
     pending: VecDeque<AdminPayload>,
     /// Payloads dropped due to queue overflow.
@@ -122,9 +194,10 @@ enum Slot {
         leader_nonce: ProtocolNonce,
         /// The request body answered, for duplicate detection.
         request_body: Vec<u8>,
-        /// The reply sent, re-sent verbatim on a duplicate request
-        /// (stop-and-wait ARQ for the handshake).
-        cached_reply: Envelope,
+        /// The reply sent, encoded exactly once; re-sent verbatim (as the
+        /// same refcounted bytes) on a duplicate request and by the
+        /// retransmission timer (stop-and-wait ARQ for the handshake).
+        cached_frame: Arc<[u8]>,
     },
     Connected(Channel),
 }
@@ -243,13 +316,14 @@ impl LeaderCore {
             // replay and is ignored until the session closes.
             if let Slot::WaitingForKeyAck {
                 request_body,
-                cached_reply,
+                cached_frame,
                 ..
             } = slot
             {
                 if *request_body == env.body {
+                    let reply: Envelope = enclaves_wire::codec::decode(cached_frame)?;
                     return Ok(LeaderOutput {
-                        outgoing: vec![cached_reply.clone()],
+                        outgoing: vec![reply],
                         events: vec![],
                     });
                 }
@@ -297,7 +371,7 @@ impl LeaderCore {
                 session_key,
                 leader_nonce,
                 request_body: env.body.clone(),
-                cached_reply: reply.clone(),
+                cached_frame: encode(&reply).into(),
             },
         );
         Ok(LeaderOutput {
@@ -336,7 +410,7 @@ impl LeaderCore {
                 user_nonce: plain.next_nonce,
                 send_seq: NonceSequence::new(SEQ_LEADER),
                 outstanding: None,
-                outstanding_env: None,
+                outstanding_frame: None,
                 pending: VecDeque::new(),
                 dropped_admin: 0,
             }),
@@ -421,7 +495,7 @@ impl LeaderCore {
             return Err(CoreError::Rejected(RejectReason::StaleNonce));
         }
         channel.outstanding = None;
-        channel.outstanding_env = None;
+        channel.outstanding_frame = None;
         channel.user_nonce = plain.next_nonce;
 
         // Drain the next pending payload, if any.
@@ -452,12 +526,19 @@ impl LeaderCore {
     /// Common departure handling (voluntary close and expulsion): roster
     /// update, notices, policy rekey.
     fn member_departed(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let fanout = self.depart_fanout(user)?;
+        Ok(self.finish_serial(fanout))
+    }
+
+    /// The under-lock staging half of a departure: roster update, member
+    /// notices, policy rekey — as seal jobs, not sealed frames.
+    fn depart_fanout(&mut self, user: &ActorId) -> Result<AdminFanout, CoreError> {
         let was_member = self.group.leave(user);
-        let mut output = LeaderOutput::default();
+        let mut fanout = AdminFanout::default();
         if !was_member {
-            return Ok(output);
+            return Ok(fanout);
         }
-        output.events.push(LeaderEvent::MemberLeft(user.clone()));
+        fanout.events.push(LeaderEvent::MemberLeft(user.clone()));
 
         let rekeyed = if self.config.rekey_policy.rekey_on_leave() && !self.group.is_empty() {
             self.group.rekey(self.rng.as_mut());
@@ -481,22 +562,25 @@ impl LeaderCore {
         if notices || rekeyed {
             for other in self.group.roster() {
                 if notices {
-                    output
-                        .merge(self.enqueue_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
+                    fanout
+                        .jobs
+                        .extend(self.stage_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
                 }
                 if rekeyed {
                     if let Some((_, payload)) = &new_key_payload {
-                        output.merge(self.enqueue_admin(&other, payload.clone())?);
+                        fanout
+                            .jobs
+                            .extend(self.stage_admin(&other, payload.clone())?);
                     }
                 }
             }
         }
         if rekeyed {
             if let Some((epoch, _)) = new_key_payload {
-                output.events.push(LeaderEvent::Rekeyed(epoch));
+                fanout.events.push(LeaderEvent::Rekeyed(epoch));
             }
         }
-        Ok(output)
+        Ok(fanout)
     }
 
     fn relay_group_data(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
@@ -548,7 +632,10 @@ impl LeaderCore {
         Ok(output)
     }
 
-    /// Queues (or immediately sends) an admin payload to one member.
+    /// Queues (or immediately sends) an admin payload to one member — the
+    /// serial convenience wrapper over [`stage → seal → commit`]. Callers
+    /// that fan out to many members should use the staged entry points
+    /// (`begin_*`) and run the sealing out of lock instead.
     ///
     /// # Errors
     ///
@@ -558,6 +645,32 @@ impl LeaderCore {
         user: &ActorId,
         payload: AdminPayload,
     ) -> Result<LeaderOutput, CoreError> {
+        let fanout = AdminFanout {
+            jobs: self.stage_admin(user, payload)?.into_iter().collect(),
+            events: Vec::new(),
+        };
+        Ok(self.finish_serial(fanout))
+    }
+
+    /// The under-lock staging phase for one recipient: allocate the
+    /// per-member ordering material (AEAD sequence nonce, leader protocol
+    /// nonce) and mark the channel's stop-and-wait slot as occupied, but
+    /// perform no cryptography. Returns `None` when the channel already
+    /// has an in-flight message and the payload was queued instead.
+    ///
+    /// Because the nonces are drawn here, under the lock and in call
+    /// order, the eventual seal is a pure function of the returned job:
+    /// running jobs on worker threads produces byte-identical frames to
+    /// sealing them inline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user has no connected channel.
+    pub fn stage_admin(
+        &mut self,
+        user: &ActorId,
+        payload: AdminPayload,
+    ) -> Result<Option<SealJob>, CoreError> {
         let max_pending = self.config.max_pending_admin;
         let leader = self.leader.clone();
         let Some(Slot::Connected(channel)) = self.slots.get_mut(user) else {
@@ -569,15 +682,17 @@ impl LeaderCore {
                 channel.dropped_admin += 1;
             }
             channel.pending.push_back(payload);
-            return Ok(LeaderOutput::default());
+            return Ok(None);
         }
         let leader_nonce = ProtocolNonce::generate(self.rng.as_mut());
-        let mut env = Envelope {
+        let seq = channel.send_seq.next()?;
+        let aad = Envelope {
             msg_type: MsgType::AdminMsg,
             sender: leader.clone(),
             recipient: user.clone(),
             body: Vec::new(),
-        };
+        }
+        .header_aad();
         let plain = AdminPlain {
             leader,
             user: user.clone(),
@@ -585,38 +700,171 @@ impl LeaderCore {
             leader_nonce,
             payload,
         };
-        env.body = seal(
-            channel.session_key.as_bytes(),
-            channel.send_seq.next()?,
-            &env.header_aad(),
-            &plain,
-        );
+        // The slot is reserved now; the frame arrives at commit time. The
+        // window is invisible to the member: it cannot acknowledge a nonce
+        // it has never seen, and the retransmit ticker skips frameless
+        // slots.
         channel.outstanding = Some(leader_nonce);
-        channel.outstanding_env = Some(env.clone());
+        channel.outstanding_frame = None;
         self.stats.admin_sent += 1;
-        Ok(LeaderOutput {
-            outgoing: vec![env],
-            events: vec![],
-        })
+        Ok(Some(SealJob {
+            member: user.clone(),
+            session_key: channel.session_key.clone(),
+            seq,
+            aad,
+            plain,
+            leader_nonce,
+        }))
     }
 
-    /// Returns verbatim copies of every in-flight message (handshake
-    /// replies and unacknowledged admin messages) for the runtime's
-    /// retransmission timer. Re-delivery is safe: recipients treat
-    /// duplicates as replays (admin) or re-acknowledge idempotently
-    /// (handshake, last-ack cache), so retransmission cannot violate the
-    /// ordering properties.
+    /// Seals one job: AEAD seal of the admin plaintext plus envelope
+    /// encoding. Pure — no leader state is read or written.
+    fn seal_job(job: &SealJob) -> SealedAdminFrame {
+        let mut env = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: job.plain.leader.clone(),
+            recipient: job.member.clone(),
+            body: Vec::new(),
+        };
+        env.body = seal(job.session_key.as_bytes(), job.seq, &job.aad, &job.plain);
+        let frame: Arc<[u8]> = encode(&env).into();
+        SealedAdminFrame {
+            member: job.member.clone(),
+            leader_nonce: job.leader_nonce,
+            env,
+            frame,
+        }
+    }
+
+    /// Seals a batch of jobs serially on the calling thread — the
+    /// reference implementation the parallel path must match byte for
+    /// byte.
     #[must_use]
-    pub fn retransmit_outstanding(&self) -> Vec<Envelope> {
+    pub fn seal_admin_jobs(jobs: &[SealJob]) -> SealedBatch {
+        let start = Instant::now();
+        let frames = jobs.iter().map(Self::seal_job).collect();
+        SealedBatch {
+            frames,
+            seal_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Seals a batch of jobs across `threads` scoped worker threads,
+    /// sharded over members. Falls back to the serial path when the batch
+    /// is small or only one thread is available. Output order and bytes
+    /// are identical to [`LeaderCore::seal_admin_jobs`] — sealing is pure,
+    /// the jobs carry all ordering material, and each worker writes its
+    /// own disjoint slice of the output (debug builds re-seal serially
+    /// and assert frame-for-frame equality).
+    #[must_use]
+    pub fn seal_admin_jobs_parallel(jobs: &[SealJob], threads: usize) -> SealedBatch {
+        if threads <= 1 || jobs.len() < PARALLEL_SEAL_MIN_JOBS {
+            return Self::seal_admin_jobs(jobs);
+        }
+        let start = Instant::now();
+        let workers = threads.min(jobs.len());
+        let chunk = jobs.len().div_ceil(workers);
+        let mut frames: Vec<Option<SealedAdminFrame>> = Vec::new();
+        frames.resize_with(jobs.len(), || None);
+        std::thread::scope(|scope| {
+            for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(frames.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (job, out) in job_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = Some(Self::seal_job(job));
+                    }
+                });
+            }
+        });
+        let batch = SealedBatch {
+            frames: frames
+                .into_iter()
+                .map(|f| f.expect("every chunk sealed its slice"))
+                .collect(),
+            seal_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let serial = Self::seal_admin_jobs(jobs);
+            debug_assert!(
+                batch
+                    .frames
+                    .iter()
+                    .zip(serial.frames.iter())
+                    .all(|(p, s)| p.frame == s.frame && p.member == s.member),
+                "parallel seal diverged from the serial reference"
+            );
+        }
+        batch
+    }
+
+    /// The under-lock commit phase: cache each sealed frame in its
+    /// channel's retransmit slot and account for the seals. A frame whose
+    /// channel no longer awaits its nonce (the member acked, departed, or
+    /// was expelled between stage and commit) is skipped — its stop-and-
+    /// wait exchange is already over.
+    pub fn commit_admin_frames(&mut self, batch: &SealedBatch) {
+        for sealed in &batch.frames {
+            if let Some(Slot::Connected(channel)) = self.slots.get_mut(&sealed.member) {
+                if channel.outstanding == Some(sealed.leader_nonce) {
+                    channel.outstanding_frame = Some(Arc::clone(&sealed.frame));
+                }
+            }
+        }
+        self.stats.admin_seals += batch.frames.len() as u64;
+        self.stats.admin_seal_ns += batch.seal_ns;
+    }
+
+    /// Completes a staged fan-out inline (seal on this thread, then
+    /// commit) — the serial path used by the sans-I/O compatibility
+    /// wrappers and by callers that do not care about lock scope.
+    fn finish_serial(&mut self, fanout: AdminFanout) -> LeaderOutput {
+        let batch = Self::seal_admin_jobs(&fanout.jobs);
+        self.commit_admin_frames(&batch);
+        LeaderOutput {
+            outgoing: batch.frames.into_iter().map(|f| f.env).collect(),
+            events: fanout.events,
+        }
+    }
+
+    /// Records nanoseconds the runtime spent holding its core lock for
+    /// admin staging/commit, so lock pressure is observable next to
+    /// [`LeaderStats::admin_seal_ns`].
+    pub fn note_lock_hold(&mut self, ns: u64) {
+        self.stats.lock_hold_ns += ns;
+    }
+
+    /// Number of in-flight messages (pending handshakes plus
+    /// unacknowledged admin messages).
+    #[must_use]
+    pub fn outstanding_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|slot| match slot {
+                Slot::WaitingForKeyAck { .. } => true,
+                Slot::Connected(channel) => channel.outstanding.is_some(),
+            })
+            .count()
+    }
+
+    /// Returns the in-flight frames (handshake replies and unacknowledged
+    /// admin messages) for the runtime's retransmission timer, as
+    /// refcounted encoded bytes — redelivery clones a pointer, not a
+    /// frame. Re-delivery is safe: recipients treat duplicates as replays
+    /// (admin) or re-acknowledge idempotently (handshake, last-ack
+    /// cache), so retransmission cannot violate the ordering properties.
+    /// A staged-but-uncommitted admin message has no frame yet and is
+    /// skipped until its commit lands.
+    #[must_use]
+    pub fn retransmit_frames(&self) -> Vec<(ActorId, Arc<[u8]>)> {
         let mut out = Vec::new();
-        for slot in self.slots.values() {
+        for (user, slot) in &self.slots {
             match slot {
-                Slot::WaitingForKeyAck { cached_reply, .. } => {
-                    out.push(cached_reply.clone());
+                Slot::WaitingForKeyAck { cached_frame, .. } => {
+                    out.push((user.clone(), Arc::clone(cached_frame)));
                 }
                 Slot::Connected(channel) => {
-                    if let Some(env) = &channel.outstanding_env {
-                        out.push(env.clone());
+                    if let Some(frame) = &channel.outstanding_frame {
+                        out.push((user.clone(), Arc::clone(frame)));
                     }
                 }
             }
@@ -624,14 +872,31 @@ impl LeaderCore {
         out
     }
 
-    /// Rotates the group key now and distributes it to every member.
+    /// Rotates the group key now and distributes it to every member
+    /// (staging + sealing + commit all inline on this thread).
     ///
     /// # Errors
     ///
     /// Propagates admin-queueing failures.
     pub fn rekey_now(&mut self) -> Result<LeaderOutput, CoreError> {
+        let fanout = self.begin_rekey()?;
+        Ok(self.finish_serial(fanout))
+    }
+
+    /// The under-lock staging half of a rekey: rotates the group key and
+    /// stages a `NewGroupKey` message per member, drawing every nonce in
+    /// roster order. Seal the returned jobs (on any threads) with
+    /// [`LeaderCore::seal_admin_jobs_parallel`], then apply
+    /// [`LeaderCore::commit_admin_frames`] under the lock again. An empty
+    /// group yields an empty fan-out and no rekey.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admin-queueing failures.
+    pub fn begin_rekey(&mut self) -> Result<AdminFanout, CoreError> {
+        let mut fanout = AdminFanout::default();
         if self.group.is_empty() {
-            return Ok(LeaderOutput::default());
+            return Ok(fanout);
         }
         self.group.rekey(self.rng.as_mut());
         self.stats.rekeys += 1;
@@ -642,31 +907,46 @@ impl LeaderCore {
             iv: epoch.iv,
         };
         let epoch_num = epoch.epoch;
-        let mut output = LeaderOutput::default();
         for member in self.group.roster() {
-            output.merge(self.enqueue_admin(&member, payload.clone())?);
+            fanout
+                .jobs
+                .extend(self.stage_admin(&member, payload.clone())?);
         }
-        output.events.push(LeaderEvent::Rekeyed(epoch_num));
-        Ok(output)
+        fanout.events.push(LeaderEvent::Rekeyed(epoch_num));
+        Ok(fanout)
     }
 
     /// Broadcasts application data to every member over the authenticated
-    /// admin channel (the legacy per-member path: one seal and one
-    /// stop-and-wait exchange per recipient).
+    /// admin channel (one seal and one stop-and-wait exchange per
+    /// recipient, all inline on this thread).
     ///
     /// # Errors
     ///
     /// Propagates admin-queueing failures.
     pub fn broadcast_admin_data(&mut self, data: &[u8]) -> Result<LeaderOutput, CoreError> {
-        // One shared allocation for the payload; each member's queue entry
-        // is a refcount bump, not a copy. The seal is still per member —
-        // that is what `broadcast_group_data` eliminates.
+        let fanout = self.begin_admin_broadcast(data)?;
+        Ok(self.finish_serial(fanout))
+    }
+
+    /// The under-lock staging half of an admin-channel broadcast: one
+    /// staged `AppData` message per member, sharing one payload
+    /// allocation (each queue entry is a refcount bump, not a copy). The
+    /// seal is still per member — that is what
+    /// [`LeaderCore::broadcast_group_data`] eliminates — but it runs out
+    /// of lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates admin-queueing failures.
+    pub fn begin_admin_broadcast(&mut self, data: &[u8]) -> Result<AdminFanout, CoreError> {
         let shared: Arc<[u8]> = data.into();
-        let mut output = LeaderOutput::default();
+        let mut fanout = AdminFanout::default();
         for member in self.group.roster() {
-            output.merge(self.enqueue_admin(&member, AdminPayload::AppData(Arc::clone(&shared)))?);
+            fanout
+                .jobs
+                .extend(self.stage_admin(&member, AdminPayload::AppData(Arc::clone(&shared)))?);
         }
-        Ok(output)
+        Ok(fanout)
     }
 
     /// Seals `data` exactly once under the current group key and returns a
@@ -733,16 +1013,28 @@ impl LeaderCore {
 
     /// Expels a member: drops its session immediately and notifies the
     /// rest ("a variation of this protocol can be used to expel some
-    /// members of the group").
+    /// members of the group"). Staging + sealing + commit all inline.
     ///
     /// # Errors
     ///
     /// [`CoreError::UnknownUser`] if the user is not connected.
     pub fn expel(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let fanout = self.begin_expel(user)?;
+        Ok(self.finish_serial(fanout))
+    }
+
+    /// The under-lock staging half of an expulsion: drops the session and
+    /// stages the departure fan-out (notices and, per policy, the new
+    /// group key).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user is not connected.
+    pub fn begin_expel(&mut self, user: &ActorId) -> Result<AdminFanout, CoreError> {
         if self.slots.remove(user).is_none() {
             return Err(CoreError::UnknownUser(user.to_string()));
         }
-        self.member_departed(user)
+        self.depart_fanout(user)
     }
 }
 
@@ -1124,24 +1416,157 @@ mod tests {
         ));
     }
 
+    /// Decodes retransmit frames back to envelopes for comparison.
+    fn retransmit_envelopes(l: &LeaderCore) -> Vec<Envelope> {
+        l.retransmit_frames()
+            .iter()
+            .map(|(_, frame)| enclaves_wire::codec::decode(frame).unwrap())
+            .collect()
+    }
+
     #[test]
-    fn retransmit_outstanding_covers_handshakes_and_admin() {
+    fn retransmit_frames_cover_handshakes_and_admin() {
         let mut l = leader(&["alice"], RekeyPolicy::Manual);
-        // Pending handshake → one retransmittable message.
+        // Pending handshake → one retransmittable frame, addressed to the
+        // joining user and byte-identical on every tick (same allocation).
         let (mut alice, init) = member("alice", 110);
         let out = l.handle(&init).unwrap();
-        assert_eq!(l.retransmit_outstanding().len(), 1);
-        assert_eq!(l.retransmit_outstanding(), out.outgoing);
+        assert_eq!(l.outstanding_count(), 1);
+        assert_eq!(retransmit_envelopes(&l), out.outgoing);
+        assert_eq!(l.retransmit_frames()[0].0, id("alice"));
 
         // Complete the join; the welcome admin message is now in flight.
         let alice_out = alice.handle(&out.outgoing[0]).unwrap();
         let welcome_out = l.handle(alice_out.reply.as_ref().unwrap()).unwrap();
-        assert_eq!(l.retransmit_outstanding(), welcome_out.outgoing);
+        assert_eq!(retransmit_envelopes(&l), welcome_out.outgoing);
 
         // Acknowledge it: nothing left to retransmit.
         let a_out = alice.handle(&welcome_out.outgoing[0]).unwrap();
         l.handle(a_out.reply.as_ref().unwrap()).unwrap();
-        assert!(l.retransmit_outstanding().is_empty());
+        assert!(l.retransmit_frames().is_empty());
+        assert_eq!(l.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn retransmit_frame_is_cached_not_recloned() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        let (mut alice, init) = member("alice", 111);
+        pump(&mut l, &mut alice, init);
+        l.broadcast_admin_data(b"in flight").unwrap();
+        let first = l.retransmit_frames();
+        let second = l.retransmit_frames();
+        assert_eq!(first.len(), 1);
+        assert!(
+            Arc::ptr_eq(&first[0].1, &second[0].1),
+            "successive ticks must share one encoded allocation"
+        );
+    }
+
+    #[test]
+    fn staged_rekey_parallel_matches_serial_bytes() {
+        // Two leaders driven by identical seeded RNGs through identical
+        // histories stage identical jobs; sealing them serially vs in
+        // parallel must produce byte-identical frames in the same order.
+        let mk = || {
+            let mut l = LeaderCore::with_rng(
+                id("leader"),
+                directory(&["alice", "bob", "carol"]),
+                LeaderConfig {
+                    rekey_policy: RekeyPolicy::Manual,
+                    // Notices off so each join is a self-contained welcome
+                    // exchange and every channel is free at rekey time.
+                    membership_notices: false,
+                    ..LeaderConfig::default()
+                },
+                Box::new(SeededRng::from_seed(9)),
+            );
+            for (i, name) in ["alice", "bob", "carol"].iter().enumerate() {
+                let (mut s, init) = member(name, 300 + i as u64);
+                pump(&mut l, &mut s, init);
+            }
+            l
+        };
+        let mut serial = mk();
+        let mut parallel = mk();
+
+        let fan_s = serial.begin_rekey().unwrap();
+        let fan_p = parallel.begin_rekey().unwrap();
+        assert_eq!(fan_s.jobs.len(), 3, "one job per member");
+        assert_eq!(fan_s.events, vec![LeaderEvent::Rekeyed(2)]);
+
+        let batch_s = LeaderCore::seal_admin_jobs(&fan_s.jobs);
+        let batch_p = LeaderCore::seal_admin_jobs_parallel(&fan_p.jobs, 4);
+        for (s, p) in batch_s.frames.iter().zip(batch_p.frames.iter()) {
+            assert_eq!(s.member, p.member);
+            assert_eq!(s.env, p.env);
+            assert_eq!(s.frame, p.frame, "parallel frame bytes diverged");
+        }
+        serial.commit_admin_frames(&batch_s);
+        parallel.commit_admin_frames(&batch_p);
+        assert_eq!(serial.stats().admin_seals, parallel.stats().admin_seals);
+        // Slot iteration order is per-instance hash order; compare the
+        // cached retransmit frames keyed by recipient instead.
+        let sorted = |l: &LeaderCore| {
+            let mut v = l.retransmit_frames();
+            v.sort_by_key(|a| a.0.to_string());
+            v
+        };
+        assert_eq!(sorted(&serial), sorted(&parallel));
+
+        // Exercise the actual worker pool (the 3-job batch above falls
+        // back to serial below the small-batch threshold): widen the job
+        // list past the threshold and demand byte equality per slot.
+        let wide: Vec<SealJob> = fan_p
+            .jobs
+            .iter()
+            .cycle()
+            .take(PARALLEL_SEAL_MIN_JOBS + 7)
+            .cloned()
+            .collect();
+        let wide_serial = LeaderCore::seal_admin_jobs(&wide);
+        let wide_parallel = LeaderCore::seal_admin_jobs_parallel(&wide, 4);
+        assert_eq!(wide_serial.frames.len(), wide_parallel.frames.len());
+        for (s, p) in wide_serial.frames.iter().zip(wide_parallel.frames.iter()) {
+            assert_eq!(s.frame, p.frame, "threaded seal diverged from serial");
+        }
+    }
+
+    #[test]
+    fn rekey_counts_exactly_n_admin_seals() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::Manual);
+        let (mut alice, init_a) = member("alice", 310);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 311);
+        join_second(&mut l, &mut [("alice", &mut alice)], &mut bob, init_b);
+
+        let before = l.stats().admin_seals;
+        let out = l.rekey_now().unwrap();
+        assert_eq!(out.outgoing.len(), 2);
+        assert_eq!(
+            l.stats().admin_seals,
+            before + 2,
+            "a rekey over n members costs exactly n admin seals"
+        );
+        assert!(l.stats().admin_seal_ns > 0, "seal time is accounted");
+    }
+
+    #[test]
+    fn commit_skips_frames_for_departed_or_acked_channels() {
+        let mut l = leader(&["alice", "bob"], RekeyPolicy::Manual);
+        let (mut alice, init_a) = member("alice", 320);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 321);
+        join_second(&mut l, &mut [("alice", &mut alice)], &mut bob, init_b);
+
+        let fanout = l.begin_rekey().unwrap();
+        let batch = LeaderCore::seal_admin_jobs(&fanout.jobs);
+        // Bob departs between stage and commit: his exchange is over, so
+        // his frame must not enter the retransmit cache.
+        l.expel(&id("bob")).unwrap();
+        l.commit_admin_frames(&batch);
+        let frames = l.retransmit_frames();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].0, id("alice"));
     }
 
     #[test]

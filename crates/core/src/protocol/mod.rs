@@ -17,7 +17,10 @@
 pub mod leader;
 pub mod member;
 
-pub use leader::{BroadcastFrame, LeaderCore, LeaderEvent, LeaderOutput, LeaderStats};
+pub use leader::{
+    AdminFanout, BroadcastFrame, LeaderCore, LeaderEvent, LeaderOutput, LeaderStats, SealJob,
+    SealedAdminFrame, SealedBatch,
+};
 pub use member::{MemberEvent, MemberOutput, MemberSession, SessionPhase};
 
 use enclaves_crypto::nonce::AeadNonce;

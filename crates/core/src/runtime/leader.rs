@@ -2,7 +2,7 @@
 
 use crate::config::LeaderConfig;
 use crate::directory::Directory;
-use crate::protocol::{LeaderCore, LeaderEvent};
+use crate::protocol::{AdminFanout, LeaderCore, LeaderEvent};
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use enclaves_net::{Frame, Link, Listener};
@@ -13,11 +13,15 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const POLL: Duration = Duration::from_millis(25);
 /// How often in-flight messages are retransmitted.
 const RETRANSMIT: Duration = Duration::from_millis(400);
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// What a [`LeaderRuntime::broadcast_data`] call actually put on the
 /// wire: the `(epoch, seq)` slot the payload was sealed into and the
@@ -42,6 +46,13 @@ struct Shared {
     /// blocks on the paired condvar instead of sleep-polling.
     roster_gen: Mutex<u64>,
     roster_cv: Condvar,
+    /// Serializes the emit+dispatch tail of admin fan-outs (rekey,
+    /// broadcast, expel) so an observer always sees the operation's events
+    /// before any member can see its frames — a chaos trace must never
+    /// record a delivery before its send. Lock order: `send_order` →
+    /// `core` → `routes`; nothing acquires `send_order` while holding the
+    /// others.
+    send_order: Mutex<()>,
 }
 
 impl Shared {
@@ -67,6 +78,18 @@ impl Shared {
         for recipient in recipients {
             if let Some(tx) = routes.get(recipient) {
                 let _ = tx.send(Frame::clone(frame));
+            }
+        }
+    }
+
+    /// Routes pre-encoded frames to their recipients' links; unroutable
+    /// frames (e.g. handshake retransmits for members not yet bound) are
+    /// dropped — the peer's own ARQ covers them.
+    fn dispatch_frames<I: IntoIterator<Item = (ActorId, Frame)>>(&self, frames: I) {
+        let routes = self.routes.lock();
+        for (recipient, frame) in frames {
+            if let Some(tx) = routes.get(&recipient) {
+                let _ = tx.send(frame);
             }
         }
     }
@@ -117,6 +140,7 @@ impl LeaderRuntime {
             running: AtomicBool::new(true),
             roster_gen: Mutex::new(0),
             roster_cv: Condvar::new(),
+            send_order: Mutex::new(()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -139,15 +163,17 @@ impl LeaderRuntime {
             .expect("spawn leader acceptor");
 
         // Retransmission timer: re-send every in-flight message on a
-        // fixed cadence; recipients handle duplicates idempotently.
+        // fixed cadence; recipients handle duplicates idempotently. The
+        // frames come straight from the per-channel caches, so a tick is
+        // one refcount clone per in-flight message — no re-encoding.
         let tick_shared = Arc::clone(&shared);
         let ticker = std::thread::Builder::new()
             .name("enclaves-leader-ticker".into())
             .spawn(move || {
                 while tick_shared.running.load(Ordering::Relaxed) {
                     std::thread::sleep(RETRANSMIT);
-                    let outstanding = tick_shared.core.lock().retransmit_outstanding();
-                    tick_shared.dispatch(outstanding, None);
+                    let frames = tick_shared.core.lock().retransmit_frames();
+                    tick_shared.dispatch_frames(frames);
                 }
             })
             .expect("spawn leader ticker");
@@ -184,36 +210,66 @@ impl LeaderRuntime {
         self.shared.core.lock().stats()
     }
 
-    /// Rotates the group key now.
+    /// Rotates the group key now. The core lock is held only to stage the
+    /// fan-out (nonce draws + slot bookkeeping) and to commit the sealed
+    /// frames; the n AEAD seals run out of lock across worker threads.
     ///
     /// # Errors
     ///
     /// Propagates protocol errors.
     pub fn rekey(&self) -> Result<(), CoreError> {
-        let output = self.shared.core.lock().rekey_now()?;
-        self.shared.dispatch(output.outgoing, None);
-        self.shared.emit(output.events);
+        let _order = self.shared.send_order.lock();
+        let staged = Instant::now();
+        let fanout = self.shared.core.lock().begin_rekey()?;
+        let stage_ns = elapsed_ns(staged);
+        self.finish_fanout(fanout, stage_ns);
         Ok(())
     }
 
     /// Broadcasts application data over the authenticated admin channel,
     /// returning the exact roster the broadcast was addressed to (captured
     /// under the core lock, so a concurrent join/leave cannot blur it —
-    /// the chaos oracle needs the precise recipient set).
+    /// the chaos oracle needs the precise recipient set). Seals run out of
+    /// lock, like [`LeaderRuntime::rekey`].
     ///
     /// # Errors
     ///
     /// Propagates protocol errors.
     pub fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
-        let (output, recipients) = {
+        let _order = self.shared.send_order.lock();
+        let staged = Instant::now();
+        let (fanout, recipients) = {
             let mut core = self.shared.core.lock();
-            let output = core.broadcast_admin_data(data)?;
+            let fanout = core.begin_admin_broadcast(data)?;
             let recipients = core.roster();
-            (output, recipients)
+            (fanout, recipients)
         };
-        self.shared.dispatch(output.outgoing, None);
-        self.shared.emit(output.events);
+        let stage_ns = elapsed_ns(staged);
+        self.finish_fanout(fanout, stage_ns);
         Ok(recipients)
+    }
+
+    /// The out-of-lock tail of an admin fan-out: seal across the worker
+    /// pool, re-enter the core lock to commit the frames into the
+    /// retransmit caches, then emit the operation's events *before*
+    /// dispatching its frames (all still under the send-order lock), so no
+    /// observer can record a delivery before its send.
+    fn finish_fanout(&self, fanout: AdminFanout, stage_ns: u64) {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
+        {
+            let committed = Instant::now();
+            let mut core = self.shared.core.lock();
+            core.commit_admin_frames(&batch);
+            core.note_lock_hold(stage_ns + elapsed_ns(committed));
+        }
+        self.shared.emit(fanout.events);
+        self.shared.dispatch_frames(
+            batch
+                .frames
+                .iter()
+                .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
+        );
     }
 
     /// Broadcasts application data over the single-seal group-key data
@@ -243,19 +299,25 @@ impl LeaderRuntime {
     /// layer has finished recovering.
     #[must_use]
     pub fn quiesced(&self) -> bool {
-        self.shared.core.lock().retransmit_outstanding().is_empty()
+        self.shared.core.lock().outstanding_count() == 0
     }
 
-    /// Expels a member.
+    /// Expels a member. The departure fan-out (notices, policy rekey)
+    /// takes the same staged out-of-lock seal path as
+    /// [`LeaderRuntime::rekey`].
     ///
     /// # Errors
     ///
     /// [`CoreError::UnknownUser`] if not connected.
     pub fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
-        let output = self.shared.core.lock().expel(user)?;
+        let _order = self.shared.send_order.lock();
+        let staged = Instant::now();
+        let fanout = self.shared.core.lock().begin_expel(user)?;
+        let stage_ns = elapsed_ns(staged);
+        // Sever the route before any dispatch so the expelled member
+        // cannot receive post-expulsion frames.
         self.shared.routes.lock().remove(user);
-        self.shared.dispatch(output.outgoing, None);
-        self.shared.emit(output.events);
+        self.finish_fanout(fanout, stage_ns);
         Ok(())
     }
 

@@ -104,6 +104,23 @@ impl Bencher {
         times.sort_by(f64::total_cmp);
         self.last_estimate = times[times.len() / 2];
     }
+
+    /// Runs `routine` with an iteration count and trusts it to report the
+    /// measured time for exactly those iterations (criterion 0.5's
+    /// custom-timing hook — used when per-iteration setup or cleanup must
+    /// stay off the clock).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Warm-up doubles as the batch-size probe.
+        let probe = routine(1).as_secs_f64().max(1e-9);
+        let batch = ((0.005 / probe) as u64).clamp(1, 100_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            times.push(routine(batch).as_secs_f64() / batch as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.last_estimate = times[times.len() / 2];
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -264,6 +281,19 @@ mod tests {
         });
         group.finish();
         assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn iter_custom_reports_per_iteration_time() {
+        let mut b = Bencher {
+            samples: 3,
+            last_estimate: 0.0,
+        };
+        b.iter_custom(|iters| {
+            // Pretend each iteration costs exactly 1µs.
+            Duration::from_micros(iters)
+        });
+        assert!((b.last_estimate - 1e-6).abs() < 1e-9);
     }
 
     #[test]
