@@ -77,6 +77,12 @@ fn measure_fanout(n: usize, iters: usize) -> FanoutRow {
         seals, broadcasts,
         "single-seal invariant: exactly one AEAD seal per broadcast"
     );
+    // The compatibility stats view is a projection of the atomic
+    // registry; any drift between them is an instrumentation bug.
+    let stats = world.leader.stats();
+    let snap = world.leader.obs_registry().snapshot();
+    assert_eq!(snap.counter("leader.data_seals"), stats.data_seals);
+    assert_eq!(snap.counter("leader.broadcasts"), stats.broadcasts);
 
     FanoutRow {
         n,
@@ -189,6 +195,11 @@ fn measure_rekey(n: usize, iters: usize, threads: usize) -> RekeyRow {
         rekeys * n as u64,
         "control-plane invariant: exactly n admin seals per rekey (n={n})"
     );
+    let stats = world.leader.stats();
+    let snap = world.leader.obs_registry().snapshot();
+    assert_eq!(snap.counter("leader.admin_seals"), stats.admin_seals);
+    assert_eq!(snap.counter("leader.rekeys"), stats.rekeys);
+    assert_eq!(snap.counter("leader.admin_seal_ns"), stats.admin_seal_ns);
 
     RekeyRow {
         n,

@@ -56,6 +56,10 @@ pub trait Fabric {
     fn sim_stats(&self) -> Option<SimStats> {
         None
     }
+
+    /// Mirrors the fabric's transport counters into `registry` (`net.*`
+    /// names). Default: the fabric has no counters to mirror.
+    fn attach_registry(&mut self, _registry: &enclaves_obs::Registry) {}
 }
 
 /// The in-process simulator fabric.
@@ -149,6 +153,10 @@ impl Fabric for SimFabric {
 
     fn sim_stats(&self) -> Option<SimStats> {
         Some(self.net.stats())
+    }
+
+    fn attach_registry(&mut self, registry: &enclaves_obs::Registry) {
+        self.net.attach_registry(registry);
     }
 }
 

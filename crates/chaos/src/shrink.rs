@@ -106,6 +106,9 @@ mod tests {
                 },
                 trace: Vec::new(),
                 net_stats: None,
+                snapshot: enclaves_obs::Snapshot::default(),
+                obs_events: Vec::new(),
+                obs_violations: Vec::new(),
             }
         }
     }
@@ -134,6 +137,9 @@ mod tests {
             violations: Vec::new(),
             trace: Vec::new(),
             net_stats: None,
+            snapshot: enclaves_obs::Snapshot::default(),
+            obs_events: Vec::new(),
+            obs_violations: Vec::new(),
         })
         .is_none());
     }

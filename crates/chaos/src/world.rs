@@ -12,7 +12,9 @@ use enclaves_core::protocol::{LeaderEvent, MemberEvent};
 use enclaves_core::runtime::{LeaderRuntime, MemberOptions, MemberRuntime};
 use enclaves_net::sim::SimStats;
 use enclaves_net::Listener;
+use enclaves_obs::{EventStream, ProtocolEvent, Registry, Snapshot};
 use enclaves_verify::live::{check_trace, LiveEvent, Violation};
+use enclaves_verify::obs::obs_trace;
 use enclaves_wire::ActorId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,13 +60,26 @@ pub struct ChaosOutcome {
     pub trace: Vec<LiveEvent>,
     /// Simulator network counters, when the fabric was the simulator.
     pub net_stats: Option<SimStats>,
+    /// Merged metrics from every component of the run: the fabric's
+    /// `net.*` counters, the leader's `leader.*` registry, and every
+    /// member session's `member.*` registry (across reconnects).
+    pub snapshot: Snapshot,
+    /// The run's own observability stream (leader + every member emit
+    /// onto one shared, totally ordered stream).
+    pub obs_events: Vec<ProtocolEvent>,
+    /// Violations found by replaying [`ChaosOutcome::obs_events`] through
+    /// the same §5.4 oracle — the second ingestion path. Divergence from
+    /// [`ChaosOutcome::violations`] on what it can observe is a bug in
+    /// the instrumentation, so this must agree with the driver trace.
+    pub obs_violations: Vec<Violation>,
 }
 
 impl ChaosOutcome {
-    /// Whether the run satisfied every checked property.
+    /// Whether the run satisfied every checked property on both
+    /// ingestion paths (driver trace and observability stream).
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.obs_violations.is_empty()
     }
 }
 
@@ -83,6 +98,9 @@ struct MemberSlot {
     state: MemberState,
     runtime: Option<MemberRuntime>,
     forwarder: Option<std::thread::JoinHandle<()>>,
+    /// One registry per session segment (handles stay valid after the
+    /// runtime is gone, so crashed sessions still contribute counters).
+    registries: Vec<Registry>,
 }
 
 /// Shared, lock-ordered trace sink. `*Send` events are appended while the
@@ -187,6 +205,14 @@ pub fn run_schedule(
     let sink: Sink = Arc::new(Mutex::new(Vec::new()));
     let leader_id = ActorId::new("leader").expect("static name");
 
+    // One metrics registry for the fabric, one protocol-event stream
+    // shared by the leader and every member: emissions interleave under a
+    // single buffer lock, so the stream order is a happened-before order
+    // across the whole world.
+    let net_registry = Registry::default();
+    fabric.attach_registry(&net_registry);
+    let obs_stream = EventStream::new();
+
     let mut directory = Directory::new();
     let mut members: Vec<MemberSlot> = (0..schedule.members)
         .map(|i| {
@@ -203,6 +229,7 @@ pub fn run_schedule(
                 state: MemberState::Absent,
                 runtime: None,
                 forwarder: None,
+                registries: Vec::new(),
             }
         })
         .collect();
@@ -216,6 +243,7 @@ pub fn run_schedule(
             ..LeaderConfig::default()
         },
     );
+    leader.attach_event_stream(obs_stream.clone());
     let stop = Arc::new(AtomicBool::new(false));
     let collector = spawn_leader_collector(&sink, leader.events().clone(), Arc::clone(&stop));
 
@@ -226,12 +254,15 @@ pub fn run_schedule(
             &leader_id,
             &mut members,
             &sink,
+            &obs_stream,
             options,
             event,
         );
     }
 
     finalize(fabric, &leader, &mut members, &sink);
+
+    let leader_registry = leader.obs_registry();
 
     // Teardown: leader first (stops retransmissions), then the members.
     leader.shutdown();
@@ -249,10 +280,38 @@ pub fn run_schedule(
     let trace = Arc::try_unwrap(sink)
         .map(Mutex::into_inner)
         .unwrap_or_default();
+
+    // Merge every component's registry into one run-level snapshot. All
+    // histograms use the shared default bounds, so merging cannot fail.
+    let mut snapshot = net_registry.snapshot();
+    snapshot
+        .merge_from(&leader_registry.snapshot())
+        .expect("uniform histogram bounds");
+    for slot in &members {
+        for registry in &slot.registries {
+            snapshot
+                .merge_from(&registry.snapshot())
+                .expect("uniform histogram bounds");
+        }
+    }
+
+    // Second ingestion path: project the run's own event stream onto the
+    // live vocabulary, borrow the driver's end-of-run ground truth
+    // (`Final` is driver-only knowledge), and replay the same oracle.
+    let obs_events = obs_stream.events();
+    let mut obs_live = obs_trace(&obs_events);
+    if let Some(last @ LiveEvent::Final { .. }) = trace.last() {
+        obs_live.push(last.clone());
+    }
+    let obs_violations = check_trace(&obs_live);
+
     ChaosOutcome {
         violations: check_trace(&trace),
         trace,
         net_stats: fabric.sim_stats(),
+        snapshot,
+        obs_events,
+        obs_violations,
     }
 }
 
@@ -263,6 +322,7 @@ fn start_join(
     leader_id: &ActorId,
     slot: &mut MemberSlot,
     sink: &Sink,
+    obs_stream: &EventStream,
     options: &ChaosOptions,
 ) {
     record(
@@ -284,10 +344,12 @@ fn start_join(
         MemberOptions {
             observer: Some(obs_tx),
             disable_broadcast_watermark: options.sabotage_watermark,
+            events: Some(obs_stream.clone()),
         },
     );
     match runtime {
         Ok(rt) => {
+            slot.registries.push(rt.obs_registry());
             // The previous forwarder (if any) has already exited — its
             // sender died with the previous runtime.
             if let Some(h) = slot.forwarder.take() {
@@ -304,13 +366,14 @@ fn start_join(
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn execute(
     fabric: &mut dyn Fabric,
     leader: &LeaderRuntime,
     leader_id: &ActorId,
     members: &mut [MemberSlot],
     sink: &Sink,
+    obs_stream: &EventStream,
     options: &ChaosOptions,
     event: &ChaosEvent,
 ) {
@@ -328,7 +391,7 @@ fn execute(
             if leader.roster().contains(&slot.id) {
                 let _ = leader.expel(&slot.id);
             }
-            start_join(fabric, leader_id, slot, sink, options);
+            start_join(fabric, leader_id, slot, sink, obs_stream, options);
         }
         ChaosEvent::Leave(i) => {
             let Some(slot) = members.get_mut(*i) else {

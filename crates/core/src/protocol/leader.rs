@@ -10,6 +10,7 @@ use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::SessionKey;
 use enclaves_crypto::nonce::{AeadNonce, NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_obs::{Counter, EventKind, EventStream, Histogram, Registry};
 use enclaves_wire::codec::{encode, encode_into};
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
@@ -97,6 +98,81 @@ pub struct LeaderStats {
     /// fan-out staging and commit (the under-lock phases). Reported by the
     /// runtime via [`LeaderCore::note_lock_hold`].
     pub lock_hold_ns: u64,
+    /// Frames handed to the retransmission timer by
+    /// [`LeaderCore::retransmit_frames`] (handshake replies and
+    /// unacknowledged admin messages re-sent after a timeout).
+    pub retransmits: u64,
+}
+
+/// Registry-backed leader instrumentation. [`LeaderStats`] remains the
+/// public read-side view; the counters themselves live in an
+/// `enclaves-obs` [`Registry`] so concurrent writers (seal workers, the
+/// retransmit ticker) record through atomics and external observers can
+/// snapshot or merge them. The event stream is optional: a detached core
+/// pays one branch per would-be event.
+struct LeaderObs {
+    registry: Registry,
+    accepted: Counter,
+    rejected: Counter,
+    admin_sent: Counter,
+    relayed: Counter,
+    rekeys: Counter,
+    broadcasts: Counter,
+    data_seals: Counter,
+    admin_seals: Counter,
+    admin_seal_ns: Counter,
+    lock_hold_ns: Counter,
+    retransmits: Counter,
+    seal_batch_ns: Histogram,
+    lock_hold_batch_ns: Histogram,
+    events: Option<EventStream>,
+}
+
+impl LeaderObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        LeaderObs {
+            accepted: registry.counter("leader.accepted"),
+            rejected: registry.counter("leader.rejected"),
+            admin_sent: registry.counter("leader.admin_sent"),
+            relayed: registry.counter("leader.relayed"),
+            rekeys: registry.counter("leader.rekeys"),
+            broadcasts: registry.counter("leader.broadcasts"),
+            data_seals: registry.counter("leader.data_seals"),
+            admin_seals: registry.counter("leader.admin_seals"),
+            admin_seal_ns: registry.counter("leader.admin_seal_ns"),
+            lock_hold_ns: registry.counter("leader.lock_hold_ns"),
+            retransmits: registry.counter("leader.retransmits"),
+            seal_batch_ns: registry.histogram("leader.seal_batch_ns"),
+            lock_hold_batch_ns: registry.histogram("leader.lock_hold_batch_ns"),
+            events: None,
+            registry,
+        }
+    }
+
+    /// Emits onto the attached stream, building the event lazily so a
+    /// detached core never pays for payload clones.
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(events) = &self.events {
+            events.emit(kind());
+        }
+    }
+
+    fn stats(&self) -> LeaderStats {
+        LeaderStats {
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            admin_sent: self.admin_sent.get(),
+            relayed: self.relayed.get(),
+            rekeys: self.rekeys.get(),
+            broadcasts: self.broadcasts.get(),
+            data_seals: self.data_seals.get(),
+            admin_seals: self.admin_seals.get(),
+            admin_seal_ns: self.admin_seal_ns.get(),
+            lock_hold_ns: self.lock_hold_ns.get(),
+            retransmits: self.retransmits.get(),
+        }
+    }
 }
 
 /// Output of [`LeaderCore::broadcast_group_data`]: one sealed, encoded
@@ -210,7 +286,7 @@ pub struct LeaderCore {
     rng: Box<dyn CryptoRng>,
     slots: HashMap<ActorId, Slot>,
     group: GroupState,
-    stats: LeaderStats,
+    obs: LeaderObs,
     /// Scratch buffer reused across data-plane broadcasts so a steady
     /// stream of them does not reallocate the envelope encoding each time.
     frame_buf: Vec<u8>,
@@ -221,7 +297,7 @@ impl std::fmt::Debug for LeaderCore {
         f.debug_struct("LeaderCore")
             .field("leader", &self.leader)
             .field("members", &self.group.roster())
-            .field("stats", &self.stats)
+            .field("stats", &self.obs.stats())
             .finish()
     }
 }
@@ -248,7 +324,7 @@ impl LeaderCore {
             rng,
             slots: HashMap::new(),
             group: GroupState::new(),
-            stats: LeaderStats::default(),
+            obs: LeaderObs::new(),
             frame_buf: Vec::new(),
         }
     }
@@ -271,10 +347,26 @@ impl LeaderCore {
         self.group.current_epoch().map(|e| e.epoch)
     }
 
-    /// Leader statistics.
+    /// Leader statistics — a compatibility view assembled from the
+    /// registry-backed counters.
     #[must_use]
     pub fn stats(&self) -> LeaderStats {
-        self.stats
+        self.obs.stats()
+    }
+
+    /// The metric registry this core records into (`leader.*` names).
+    /// Clones share the counters, so a snapshot taken from the clone sees
+    /// the live values.
+    #[must_use]
+    pub fn obs_registry(&self) -> Registry {
+        self.obs.registry.clone()
+    }
+
+    /// Attaches a protocol event stream. Subsequent protocol actions emit
+    /// [`EventKind`]s onto it in happened-before order (emission happens
+    /// while the caller still holds whatever lock guards this core).
+    pub fn set_event_stream(&mut self, events: EventStream) {
+        self.obs.events = Some(events);
     }
 
     /// Handles one incoming envelope (from any link).
@@ -287,8 +379,8 @@ impl LeaderCore {
     pub fn handle(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
         let result = self.handle_inner(env);
         match &result {
-            Ok(_) => self.stats.accepted += 1,
-            Err(_) => self.stats.rejected += 1,
+            Ok(_) => self.obs.accepted.inc(),
+            Err(_) => self.obs.rejected.inc(),
         }
         result
     }
@@ -365,6 +457,9 @@ impl LeaderCore {
             &kd,
         );
 
+        self.obs.emit(|| EventKind::AuthAccepted {
+            member: user.to_string(),
+        });
         self.slots.insert(
             user,
             Slot::WaitingForKeyAck {
@@ -424,7 +519,7 @@ impl LeaderCore {
         self.group.join(user.clone(), self.rng.as_mut());
         let rekeyed = if self.config.rekey_policy.rekey_on_join() && self.group.len() > 1 {
             self.group.rekey(self.rng.as_mut());
-            self.stats.rekeys += 1;
+            self.obs.rekeys.inc();
             true
         } else {
             false
@@ -448,6 +543,10 @@ impl LeaderCore {
             key: *epoch.key.as_bytes(),
             iv: epoch.iv,
         };
+        self.obs.emit(|| EventKind::MemberJoined {
+            member: user.to_string(),
+            epoch: epoch_num,
+        });
         output.merge(self.enqueue_admin(&user, welcome)?);
 
         // Tell everyone else; distribute the new key if we rotated. Key
@@ -473,6 +572,7 @@ impl LeaderCore {
             }
         }
         if rekeyed {
+            self.obs.emit(|| EventKind::Rekeyed { epoch: epoch_num });
             output.events.push(LeaderEvent::Rekeyed(epoch_num));
         }
         Ok(output)
@@ -497,6 +597,9 @@ impl LeaderCore {
         channel.outstanding = None;
         channel.outstanding_frame = None;
         channel.user_nonce = plain.next_nonce;
+        self.obs.emit(|| EventKind::AdminAcked {
+            member: user.to_string(),
+        });
 
         // Drain the next pending payload, if any.
         if let Some(next) = channel.pending.pop_front() {
@@ -526,23 +629,33 @@ impl LeaderCore {
     /// Common departure handling (voluntary close and expulsion): roster
     /// update, notices, policy rekey.
     fn member_departed(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
-        let fanout = self.depart_fanout(user)?;
+        let fanout = self.depart_fanout(user, false)?;
         Ok(self.finish_serial(fanout))
     }
 
     /// The under-lock staging half of a departure: roster update, member
     /// notices, policy rekey — as seal jobs, not sealed frames.
-    fn depart_fanout(&mut self, user: &ActorId) -> Result<AdminFanout, CoreError> {
+    /// `expelled` only flavours the observability event; the protocol
+    /// handling is identical either way.
+    fn depart_fanout(&mut self, user: &ActorId, expelled: bool) -> Result<AdminFanout, CoreError> {
         let was_member = self.group.leave(user);
         let mut fanout = AdminFanout::default();
         if !was_member {
             return Ok(fanout);
         }
         fanout.events.push(LeaderEvent::MemberLeft(user.clone()));
+        self.obs.emit(|| {
+            let member = user.to_string();
+            if expelled {
+                EventKind::Expelled { member }
+            } else {
+                EventKind::MemberClosed { member }
+            }
+        });
 
         let rekeyed = if self.config.rekey_policy.rekey_on_leave() && !self.group.is_empty() {
             self.group.rekey(self.rng.as_mut());
-            self.stats.rekeys += 1;
+            self.obs.rekeys.inc();
             true
         } else {
             false
@@ -577,6 +690,7 @@ impl LeaderCore {
         }
         if rekeyed {
             if let Some((epoch, _)) = new_key_payload {
+                self.obs.emit(|| EventKind::Rekeyed { epoch });
                 fanout.events.push(LeaderEvent::Rekeyed(epoch));
             }
         }
@@ -618,7 +732,7 @@ impl LeaderCore {
                 body: env.body.clone(),
             });
         }
-        self.stats.relayed += 1;
+        self.obs.relayed.inc();
         output.events.push(LeaderEvent::Relayed {
             from: user,
             len: data_len,
@@ -706,7 +820,7 @@ impl LeaderCore {
         // slots.
         channel.outstanding = Some(leader_nonce);
         channel.outstanding_frame = None;
-        self.stats.admin_sent += 1;
+        self.obs.admin_sent.inc();
         Ok(Some(SealJob {
             member: user.clone(),
             session_key: channel.session_key.clone(),
@@ -810,8 +924,17 @@ impl LeaderCore {
                 }
             }
         }
-        self.stats.admin_seals += batch.frames.len() as u64;
-        self.stats.admin_seal_ns += batch.seal_ns;
+        if !batch.frames.is_empty() {
+            self.obs.admin_seals.add(batch.frames.len() as u64);
+            self.obs.admin_seal_ns.add(batch.seal_ns);
+            // The seal time was measured by the sealing phase; recording
+            // it here adds no clock reads to the hot path.
+            self.obs.seal_batch_ns.record(batch.seal_ns);
+            self.obs.emit(|| EventKind::SealBatch {
+                frames: batch.frames.len() as u64,
+                elapsed_ns: batch.seal_ns,
+            });
+        }
     }
 
     /// Completes a staged fan-out inline (seal on this thread, then
@@ -830,7 +953,8 @@ impl LeaderCore {
     /// admin staging/commit, so lock pressure is observable next to
     /// [`LeaderStats::admin_seal_ns`].
     pub fn note_lock_hold(&mut self, ns: u64) {
-        self.stats.lock_hold_ns += ns;
+        self.obs.lock_hold_ns.add(ns);
+        self.obs.lock_hold_batch_ns.record(ns);
     }
 
     /// Number of in-flight messages (pending handshakes plus
@@ -869,6 +993,16 @@ impl LeaderCore {
                 }
             }
         }
+        if !out.is_empty() {
+            // Counting here (the collection point) covers every caller of
+            // the retransmission timer; counters are atomic, so `&self`
+            // suffices.
+            self.obs.retransmits.add(out.len() as u64);
+            self.obs.emit(|| EventKind::Retransmit {
+                actor: self.leader.to_string(),
+                frames: out.len() as u64,
+            });
+        }
         out
     }
 
@@ -899,7 +1033,7 @@ impl LeaderCore {
             return Ok(fanout);
         }
         self.group.rekey(self.rng.as_mut());
-        self.stats.rekeys += 1;
+        self.obs.rekeys.inc();
         let epoch = self.group.current_epoch().expect("nonempty group has key");
         let payload = AdminPayload::NewGroupKey {
             epoch: epoch.epoch,
@@ -912,6 +1046,7 @@ impl LeaderCore {
                 .jobs
                 .extend(self.stage_admin(&member, payload.clone())?);
         }
+        self.obs.emit(|| EventKind::Rekeyed { epoch: epoch_num });
         fanout.events.push(LeaderEvent::Rekeyed(epoch_num));
         Ok(fanout)
     }
@@ -941,11 +1076,16 @@ impl LeaderCore {
     pub fn begin_admin_broadcast(&mut self, data: &[u8]) -> Result<AdminFanout, CoreError> {
         let shared: Arc<[u8]> = data.into();
         let mut fanout = AdminFanout::default();
-        for member in self.group.roster() {
+        let recipients = self.group.roster();
+        for member in &recipients {
             fanout
                 .jobs
-                .extend(self.stage_admin(&member, AdminPayload::AppData(Arc::clone(&shared)))?);
+                .extend(self.stage_admin(member, AdminPayload::AppData(Arc::clone(&shared)))?);
         }
+        self.obs.emit(|| EventKind::AdminSend {
+            payload: data.to_vec(),
+            recipients: recipients.iter().map(ToString::to_string).collect(),
+        });
         Ok(fanout)
     }
 
@@ -986,7 +1126,7 @@ impl LeaderCore {
             &aad,
             &mut ciphertext,
         );
-        self.stats.data_seals += 1;
+        self.obs.data_seals.inc();
 
         let env = Envelope {
             msg_type: MsgType::GroupBroadcast,
@@ -1002,7 +1142,13 @@ impl LeaderCore {
             }),
         };
         encode_into(&env, &mut self.frame_buf);
-        self.stats.broadcasts += 1;
+        self.obs.broadcasts.inc();
+        self.obs.emit(|| EventKind::DataSend {
+            epoch,
+            seq,
+            payload: data.to_vec(),
+            recipients: recipients.iter().map(ToString::to_string).collect(),
+        });
         Ok(BroadcastFrame {
             frame: self.frame_buf.as_slice().into(),
             recipients,
@@ -1034,7 +1180,7 @@ impl LeaderCore {
         if self.slots.remove(user).is_none() {
             return Err(CoreError::UnknownUser(user.to_string()));
         }
-        self.depart_fanout(user)
+        self.depart_fanout(user, true)
     }
 }
 

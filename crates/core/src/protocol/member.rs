@@ -8,6 +8,7 @@ use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::{GroupKey, LongTermKey, SessionKey};
 use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_obs::{Counter, EventKind, EventStream, Registry};
 use enclaves_wire::codec::encode;
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
@@ -87,6 +88,53 @@ pub struct SessionStats {
     pub rejected: u64,
     /// Admin messages accepted.
     pub admin_accepted: u64,
+    /// Handshake frames re-sent by the runtime's ARQ timer, reported via
+    /// [`MemberSession::note_retransmit`].
+    pub retransmits: u64,
+}
+
+/// Registry-backed member instrumentation. [`SessionStats`] remains the
+/// public read-side view; counters live in an `enclaves-obs` [`Registry`]
+/// (atomic, snapshot-able) and protocol actions optionally emit onto a
+/// shared [`EventStream`].
+struct MemberObs {
+    registry: Registry,
+    accepted: Counter,
+    rejected: Counter,
+    admin_accepted: Counter,
+    retransmits: Counter,
+    events: Option<EventStream>,
+}
+
+impl MemberObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        MemberObs {
+            accepted: registry.counter("member.accepted"),
+            rejected: registry.counter("member.rejected"),
+            admin_accepted: registry.counter("member.admin_accepted"),
+            retransmits: registry.counter("member.retransmits"),
+            events: None,
+            registry,
+        }
+    }
+
+    /// Emits onto the attached stream, building the event lazily so a
+    /// detached session never pays for payload clones.
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(events) = &self.events {
+            events.emit(kind());
+        }
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            admin_accepted: self.admin_accepted.get(),
+            retransmits: self.retransmits.get(),
+        }
+    }
 }
 
 struct Connected {
@@ -129,7 +177,7 @@ pub struct MemberSession {
     long_term: LongTermKey,
     rng: Box<dyn CryptoRng>,
     phase: Phase,
-    stats: SessionStats,
+    obs: MemberObs,
     /// The handshake message to retransmit until the exchange completes:
     /// the `AuthInitReq` while waiting for the key, then the `AuthAckKey`
     /// until the first admin message (the welcome) is accepted.
@@ -147,7 +195,7 @@ impl std::fmt::Debug for MemberSession {
             .field("user", &self.user)
             .field("leader", &self.leader)
             .field("phase", &self.phase())
-            .field("stats", &self.stats)
+            .field("stats", &self.obs.stats())
             .finish()
     }
 }
@@ -241,7 +289,7 @@ impl MemberSession {
                 long_term,
                 rng,
                 phase: Phase::WaitingForKey { n1 },
-                stats: SessionStats::default(),
+                obs: MemberObs::new(),
                 handshake_pending: Some(env.clone()),
                 broadcast_watermark_disabled: false,
             },
@@ -291,10 +339,37 @@ impl MemberSession {
         }
     }
 
-    /// Session statistics.
+    /// Session statistics — a compatibility view assembled from the
+    /// registry-backed counters.
     #[must_use]
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        self.obs.stats()
+    }
+
+    /// The metric registry this session records into (`member.*` names).
+    /// Clones share the counters.
+    #[must_use]
+    pub fn obs_registry(&self) -> Registry {
+        self.obs.registry.clone()
+    }
+
+    /// Attaches a protocol event stream; subsequent protocol actions emit
+    /// [`EventKind`]s onto it.
+    pub fn set_event_stream(&mut self, events: EventStream) {
+        self.obs.events = Some(events);
+    }
+
+    /// Records `frames` handshake retransmissions performed by the
+    /// runtime's ARQ timer on this session's behalf.
+    pub fn note_retransmit(&self, frames: u64) {
+        if frames == 0 {
+            return;
+        }
+        self.obs.retransmits.add(frames);
+        self.obs.emit(|| EventKind::Retransmit {
+            actor: self.user.to_string(),
+            frames,
+        });
     }
 
     /// The handshake message to retransmit, if the handshake has not
@@ -314,8 +389,8 @@ impl MemberSession {
     pub fn handle(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
         let result = self.handle_inner(env);
         match &result {
-            Ok(_) => self.stats.accepted += 1,
-            Err(_) => self.stats.rejected += 1,
+            Ok(_) => self.obs.accepted.inc(),
+            Err(_) => self.obs.rejected.inc(),
         }
         result
     }
@@ -388,6 +463,9 @@ impl MemberSession {
             last_ack: None,
         }));
         self.handshake_pending = Some(reply.clone());
+        self.obs.emit(|| EventKind::SessionEstablished {
+            member: self.user.to_string(),
+        });
         Ok(MemberOutput {
             reply: Some(reply),
             events: vec![MemberEvent::SessionEstablished],
@@ -440,7 +518,7 @@ impl MemberSession {
         );
         conn.last_ack = Some((plain.leader_nonce, reply.clone()));
         conn.my_nonce = next;
-        self.stats.admin_accepted += 1;
+        self.obs.admin_accepted.inc();
         // The first accepted admin message completes the handshake from
         // the member's perspective.
         self.handshake_pending = None;
@@ -464,6 +542,10 @@ impl MemberSession {
                 conn.prev_group = None;
                 conn.bcast_seen_cur = None;
                 conn.bcast_seen_prev = None;
+                self.obs.emit(|| EventKind::Welcomed {
+                    member: self.user.to_string(),
+                    epoch,
+                });
                 events.push(MemberEvent::Welcomed {
                     roster: members,
                     epoch,
@@ -494,6 +576,10 @@ impl MemberSession {
                     }
                 };
                 if installed {
+                    self.obs.emit(|| EventKind::KeyChanged {
+                        member: self.user.to_string(),
+                        epoch,
+                    });
                     events.push(MemberEvent::GroupKeyChanged { epoch });
                 }
                 // A non-increasing epoch is impossible from the honest
@@ -509,6 +595,10 @@ impl MemberSession {
                 events.push(MemberEvent::MemberLeft(m));
             }
             AdminPayload::AppData(data) => {
+                self.obs.emit(|| EventKind::AdminDeliver {
+                    member: self.user.to_string(),
+                    payload: data.to_vec(),
+                });
                 events.push(MemberEvent::AdminData(data.to_vec()));
             }
         }
@@ -588,6 +678,12 @@ impl MemberSession {
         } else {
             conn.bcast_seen_prev = Some(wire.seq);
         }
+        self.obs.emit(|| EventKind::DataDeliver {
+            member: self.user.to_string(),
+            epoch: wire.epoch,
+            seq: wire.seq,
+            payload: data.clone(),
+        });
         Ok(MemberOutput {
             reply: None,
             events: vec![MemberEvent::Broadcast {
@@ -668,6 +764,9 @@ impl MemberSession {
         );
         self.phase = Phase::Closed;
         self.handshake_pending = None;
+        self.obs.emit(|| EventKind::CloseRequested {
+            member: self.user.to_string(),
+        });
         Ok(env)
     }
 }

@@ -210,6 +210,21 @@ impl LeaderRuntime {
         self.shared.core.lock().stats()
     }
 
+    /// The core's metric registry (`leader.*` names); snapshots taken from
+    /// it see the live counters without taking the core lock again.
+    #[must_use]
+    pub fn obs_registry(&self) -> enclaves_obs::Registry {
+        self.shared.core.lock().obs_registry()
+    }
+
+    /// Attaches a protocol event stream to the core: every subsequent
+    /// protocol action (join, rekey, broadcast, retransmit, seal commit)
+    /// is emitted in happened-before order. Sends are emitted under the
+    /// core lock, before their frames reach any link.
+    pub fn attach_event_stream(&self, events: enclaves_obs::EventStream) {
+        self.shared.core.lock().set_event_stream(events);
+    }
+
     /// Rotates the group key now. The core lock is held only to stage the
     /// fan-out (nonce draws + slot bookkeeping) and to commit the sealed
     /// frames; the n AEAD seals run out of lock across worker threads.

@@ -30,6 +30,11 @@ pub struct MemberOptions {
     /// Plants the test-only broadcast-watermark violation
     /// ([`MemberSession::disable_broadcast_watermark_for_tests`]).
     pub disable_broadcast_watermark: bool,
+    /// Shares a protocol event stream with the session: deliveries, key
+    /// changes, handshake milestones, and ARQ retransmits are emitted onto
+    /// it (typically the same stream the leader emits onto, giving one
+    /// totally ordered run record).
+    pub events: Option<enclaves_obs::EventStream>,
 }
 
 impl std::fmt::Debug for MemberOptions {
@@ -40,6 +45,7 @@ impl std::fmt::Debug for MemberOptions {
                 "disable_broadcast_watermark",
                 &self.disable_broadcast_watermark,
             )
+            .field("events", &self.events.is_some())
             .finish()
     }
 }
@@ -119,11 +125,19 @@ impl MemberRuntime {
     /// Propagates transport failures.
     pub fn run_with(
         link: Box<dyn Link>,
-        session: MemberSession,
+        mut session: MemberSession,
         init: Envelope,
         options: MemberOptions,
     ) -> Result<Self, CoreError> {
         let observer = options.observer;
+        if let Some(events) = options.events {
+            // Emit the join start before the init frame can reach any
+            // wire, so the stream's order is a real happened-before order.
+            events.emit(enclaves_obs::EventKind::JoinStarted {
+                member: init.sender.to_string(),
+            });
+            session.set_event_stream(events);
+        }
         link.send(encode(&init).into())?;
         let (events_tx, events_rx) = unbounded();
         let (out_tx, out_rx) = unbounded::<Frame>();
@@ -149,7 +163,14 @@ impl MemberRuntime {
                     // handles duplicates idempotently).
                     if last_retransmit.elapsed() >= RETRANSMIT {
                         last_retransmit = std::time::Instant::now();
-                        let pending = worker_shared.session.lock().handshake_pending().map(encode);
+                        let pending = {
+                            let session = worker_shared.session.lock();
+                            let pending = session.handshake_pending().map(encode);
+                            if pending.is_some() {
+                                session.note_retransmit(1);
+                            }
+                            pending
+                        };
                         if let Some(frame) = pending {
                             if link.send(frame.into()).is_err() {
                                 return;
@@ -224,6 +245,13 @@ impl MemberRuntime {
     #[must_use]
     pub fn stats(&self) -> crate::protocol::member::SessionStats {
         self.shared.session.lock().stats()
+    }
+
+    /// The session's metric registry (`member.*` names); snapshots taken
+    /// from it see the live counters.
+    #[must_use]
+    pub fn obs_registry(&self) -> enclaves_obs::Registry {
+        self.shared.session.lock().obs_registry()
     }
 
     /// Blocks until an event matching `pred` arrives, returning it.

@@ -35,6 +35,7 @@
 
 use crate::{Frame, Link, Listener, NetError};
 use crossbeam_channel::{unbounded, Receiver, Sender, TrySendError};
+use enclaves_obs::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -163,6 +164,45 @@ pub struct SimStats {
     pub injected: usize,
 }
 
+/// Registry mirrors of [`SimStats`], attached via
+/// [`SimNet::attach_registry`]. Every bump of a stats field bumps its
+/// `net.*` counter in the same critical section, so the two views can
+/// never diverge — a chaos test asserts exactly that. The gauge tracks
+/// frames currently held by the reorder/delay faults.
+struct NetObs {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    corrupted: Counter,
+    delayed: Counter,
+    partitioned: Counter,
+    severed: Counter,
+    killed: Counter,
+    injected: Counter,
+    holdback_depth: Gauge,
+}
+
+impl NetObs {
+    fn new(registry: &Registry) -> Self {
+        NetObs {
+            sent: registry.counter("net.sent"),
+            delivered: registry.counter("net.delivered"),
+            dropped: registry.counter("net.dropped"),
+            duplicated: registry.counter("net.duplicated"),
+            reordered: registry.counter("net.reordered"),
+            corrupted: registry.counter("net.corrupted"),
+            delayed: registry.counter("net.delayed"),
+            partitioned: registry.counter("net.partitioned"),
+            severed: registry.counter("net.severed"),
+            killed: registry.counter("net.killed"),
+            injected: registry.counter("net.injected"),
+            holdback_depth: registry.gauge("net.holdback_depth"),
+        }
+    }
+}
+
 struct Wire {
     tx: Sender<Frame>,
     /// Held-back frame for pairwise reordering.
@@ -220,6 +260,7 @@ struct SimInner {
     listeners: std::collections::HashMap<String, Sender<PendingAccept>>,
     tap: Vec<TappedFrame>,
     stats: SimStats,
+    obs: Option<NetObs>,
 }
 
 impl SimInner {
@@ -233,6 +274,7 @@ impl SimInner {
         }
         let wire = connection.wire_mut(dir);
         let held = wire.take_held();
+        let released = held.len();
         let tx = wire.tx.clone();
         let mut delivered = 0;
         for frame in held {
@@ -242,6 +284,10 @@ impl SimInner {
             delivered += 1;
         }
         self.stats.delivered += delivered;
+        if let Some(obs) = &self.obs {
+            obs.delivered.add(delivered as u64);
+            obs.holdback_depth.sub(released as i64);
+        }
     }
 }
 
@@ -278,6 +324,7 @@ impl SimNet {
                 listeners: std::collections::HashMap::new(),
                 tap: Vec::new(),
                 stats: SimStats::default(),
+                obs: None,
             })),
         }
     }
@@ -386,8 +433,10 @@ impl SimNet {
             return;
         }
         connection.killed = true;
+        let mut discarded = 0usize;
         for dir in [Direction::ToListener, Direction::ToConnector] {
             let wire = connection.wire_mut(dir);
+            discarded += wire.delayed.len() + usize::from(wire.holdback.is_some());
             wire.holdback = None;
             wire.delayed.clear();
             // Replace the sender with one whose receiver is already gone:
@@ -396,6 +445,10 @@ impl SimNet {
             wire.tx = dead_tx;
         }
         inner.stats.killed += 1;
+        if let Some(obs) = &inner.obs {
+            obs.killed.inc();
+            obs.holdback_depth.sub(discarded as i64);
+        }
     }
 
     /// Delivers every held-back frame (reorder holdbacks and delayed
@@ -422,6 +475,41 @@ impl SimNet {
         self.inner.lock().stats
     }
 
+    /// Mirrors every [`SimStats`] field into `registry` as a `net.*`
+    /// counter, plus a `net.holdback_depth` gauge tracking frames
+    /// currently parked by the reorder/delay faults. Mirrors attached
+    /// mid-run are seeded from the current totals, so the registry view
+    /// and [`SimNet::stats`] agree from the moment of attachment.
+    pub fn attach_registry(&self, registry: &Registry) {
+        let mut inner = self.inner.lock();
+        let obs = NetObs::new(registry);
+        let stats = inner.stats;
+        obs.sent.add(stats.sent as u64);
+        obs.delivered.add(stats.delivered as u64);
+        obs.dropped.add(stats.dropped as u64);
+        obs.duplicated.add(stats.duplicated as u64);
+        obs.reordered.add(stats.reordered as u64);
+        obs.corrupted.add(stats.corrupted as u64);
+        obs.delayed.add(stats.delayed as u64);
+        obs.partitioned.add(stats.partitioned as u64);
+        obs.severed.add(stats.severed as u64);
+        obs.killed.add(stats.killed as u64);
+        obs.injected.add(stats.injected as u64);
+        let held: usize = inner
+            .connections
+            .iter()
+            .filter(|c| !c.killed)
+            .map(|c| {
+                c.to_listener.delayed.len()
+                    + usize::from(c.to_listener.holdback.is_some())
+                    + c.to_connector.delayed.len()
+                    + usize::from(c.to_connector.holdback.is_some())
+            })
+            .sum();
+        obs.holdback_depth.set(held as i64);
+        inner.obs = Some(obs);
+    }
+
     /// Transmits a frame over connection `conn` in direction `dir`,
     /// applying fault injection. `forced` bypasses faults — including
     /// partitions — and is used by the adversary, whose injections are not
@@ -430,12 +518,22 @@ impl SimNet {
     fn transmit(&self, conn: usize, dir: Direction, frame: Frame, forced: bool) {
         let mut inner = self.inner.lock();
         inner.stats.sent += usize::from(!forced);
+        if let Some(obs) = &inner.obs {
+            if forced {
+                obs.injected.inc();
+            } else {
+                obs.sent.inc();
+            }
+        }
         if forced {
             inner.stats.injected += 1;
         }
 
         if inner.connections[conn].killed {
             inner.stats.severed += 1;
+            if let Some(obs) = &inner.obs {
+                obs.severed.inc();
+            }
             inner.tap.push(TappedFrame {
                 conn,
                 dir,
@@ -467,6 +565,13 @@ impl SimNet {
             } else {
                 inner.stats.dropped += 1;
             }
+            if let Some(obs) = &inner.obs {
+                if blocked {
+                    obs.partitioned.inc();
+                } else {
+                    obs.dropped.inc();
+                }
+            }
             inner.tap.push(TappedFrame {
                 conn,
                 dir,
@@ -484,6 +589,9 @@ impl SimNet {
             let bit = inner.rng.gen_range(0..8u32);
             bytes[idx] ^= 1 << bit;
             inner.stats.corrupted += 1;
+            if let Some(obs) = &inner.obs {
+                obs.corrupted.inc();
+            }
             Frame::from(bytes)
         } else {
             frame
@@ -509,6 +617,9 @@ impl SimNet {
         let mut reordered = 0usize;
         let mut duplicated = 0usize;
         let mut parked = 0usize;
+        // Previously-held frames (delayed or reorder-holdback) released by
+        // this transmission; they leave the holdback-depth gauge.
+        let mut released = 0usize;
         {
             let wire = inner.connections[conn].wire_mut(dir);
             // Age every delayed frame by one tick; expired ones ride along
@@ -530,6 +641,7 @@ impl SimNet {
             } else if let Some(held) = wire.holdback.take() {
                 // Deliver the new frame first, then the held one: the pair
                 // arrives swapped.
+                released += 1;
                 deliveries.push(frame.clone());
                 deliveries.push(held);
                 if !forced && dup_roll < config.duplicate_prob {
@@ -546,11 +658,19 @@ impl SimNet {
                     duplicated = 1;
                 }
             }
+            released += expired.len();
             deliveries.extend(expired);
         }
         inner.stats.reordered += reordered;
         inner.stats.duplicated += duplicated;
         inner.stats.delayed += parked;
+        if let Some(obs) = &inner.obs {
+            obs.reordered.add(reordered as u64);
+            obs.duplicated.add(duplicated as u64);
+            obs.delayed.add(parked as u64);
+            obs.holdback_depth
+                .add((parked + reordered) as i64 - released as i64);
+        }
 
         let wire = match dir {
             Direction::ToListener => &inner.connections[conn].to_listener,
@@ -565,6 +685,9 @@ impl SimNet {
             delivered += 1;
         }
         inner.stats.delivered += delivered;
+        if let Some(obs) = &inner.obs {
+            obs.delivered.add(delivered as u64);
+        }
     }
 }
 
@@ -719,6 +842,83 @@ mod tests {
 
     fn reliable() -> SimNet {
         SimNet::new(SimConfig::default())
+    }
+
+    #[test]
+    fn registry_mirrors_stats_exactly() {
+        let net = SimNet::new(SimConfig {
+            seed: 7,
+            drop_prob: 0.2,
+            duplicate_prob: 0.2,
+            reorder_prob: 0.2,
+            corrupt_prob: 0.2,
+            delay_prob: 0.2,
+            max_delay_ticks: 3,
+        });
+        let registry = Registry::default();
+        net.attach_registry(&registry);
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+        for i in 0..200u8 {
+            member.send(vec![i; 16].into()).unwrap();
+            leader_side.send(vec![i; 16].into()).unwrap();
+        }
+        net.flush_all();
+        let stats = net.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.sent"), stats.sent as u64);
+        assert_eq!(snap.counter("net.delivered"), stats.delivered as u64);
+        assert_eq!(snap.counter("net.dropped"), stats.dropped as u64);
+        assert_eq!(snap.counter("net.duplicated"), stats.duplicated as u64);
+        assert_eq!(snap.counter("net.reordered"), stats.reordered as u64);
+        assert_eq!(snap.counter("net.corrupted"), stats.corrupted as u64);
+        assert_eq!(snap.counter("net.delayed"), stats.delayed as u64);
+        // Fault probabilities are high enough that a 400-frame exchange
+        // exercises every branch with this seed.
+        assert!(stats.dropped > 0 && stats.reordered > 0 && stats.delayed > 0);
+        // flush_all released every held frame.
+        assert_eq!(snap.gauge("net.holdback_depth"), 0);
+    }
+
+    #[test]
+    fn registry_attached_mid_run_seeds_current_totals() {
+        let net = reliable();
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let leader_side = listener.accept_timeout(TO).unwrap();
+        member.send(b"before"[..].into()).unwrap();
+        let registry = Registry::default();
+        net.attach_registry(&registry);
+        member.send(b"after"[..].into()).unwrap();
+        let _ = leader_side;
+        let stats = net.stats();
+        let snap = registry.snapshot();
+        assert_eq!(stats.sent, 2);
+        assert_eq!(snap.counter("net.sent"), 2);
+        assert_eq!(snap.counter("net.delivered"), stats.delivered as u64);
+    }
+
+    #[test]
+    fn kill_discards_held_frames_from_gauge() {
+        let net = SimNet::new(SimConfig {
+            seed: 3,
+            delay_prob: 1.0,
+            max_delay_ticks: 10,
+            ..SimConfig::default()
+        });
+        let registry = Registry::default();
+        net.attach_registry(&registry);
+        let listener = net.listen("leader").unwrap();
+        let member = net.connect("alice", "leader").unwrap();
+        let _leader_side = listener.accept_timeout(TO).unwrap();
+        member.send(b"a"[..].into()).unwrap();
+        member.send(b"b"[..].into()).unwrap();
+        assert!(registry.snapshot().gauge("net.holdback_depth") > 0);
+        net.kill(member.conn_id());
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("net.holdback_depth"), 0);
+        assert_eq!(snap.counter("net.killed"), 1);
     }
 
     #[test]

@@ -6,10 +6,28 @@
 
 use crate::{Frame, Link, Listener, NetError};
 use crossbeam_channel::{unbounded, Receiver};
+use enclaves_obs::{Counter, Registry};
 use enclaves_wire::framing::{read_frame, write_frame};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
+
+/// Frame counters for the TCP transport, registered as
+/// `net.tcp_frames_in` / `net.tcp_frames_out`.
+#[derive(Clone)]
+struct TcpObs {
+    frames_in: Counter,
+    frames_out: Counter,
+}
+
+impl TcpObs {
+    fn new(registry: &Registry) -> Self {
+        TcpObs {
+            frames_in: registry.counter("net.tcp_frames_in"),
+            frames_out: registry.counter("net.tcp_frames_out"),
+        }
+    }
+}
 
 /// A duplex TCP link carrying length-prefixed frames.
 ///
@@ -20,6 +38,7 @@ pub struct TcpLink {
     writer: Mutex<TcpStream>,
     incoming: Receiver<Frame>,
     peer: SocketAddr,
+    obs: Option<TcpObs>,
 }
 
 impl std::fmt::Debug for TcpLink {
@@ -36,11 +55,22 @@ impl TcpLink {
     /// [`NetError::Io`] on connection failure.
     pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr).map_err(|e| NetError::Io(e.to_string()))?;
-        Self::from_stream(stream)
+        Self::from_stream(stream, None)
+    }
+
+    /// Connects like [`TcpLink::connect`] and mirrors frame traffic into
+    /// `registry` as `net.tcp_frames_in` / `net.tcp_frames_out`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on connection failure.
+    pub fn connect_with_registry(addr: SocketAddr, registry: &Registry) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(|e| NetError::Io(e.to_string()))?;
+        Self::from_stream(stream, Some(TcpObs::new(registry)))
     }
 
     /// Wraps an accepted stream.
-    fn from_stream(stream: TcpStream) -> Result<Self, NetError> {
+    fn from_stream(stream: TcpStream, obs: Option<TcpObs>) -> Result<Self, NetError> {
         let peer = stream
             .peer_addr()
             .map_err(|e| NetError::Io(e.to_string()))?;
@@ -51,11 +81,15 @@ impl TcpLink {
             .try_clone()
             .map_err(|e| NetError::Io(e.to_string()))?;
         let (tx, rx) = unbounded();
+        let frames_in = obs.as_ref().map(|o| o.frames_in.clone());
         std::thread::Builder::new()
             .name(format!("tcp-reader-{peer}"))
             .spawn(move || {
                 let mut reader = reader;
                 while let Ok(frame) = read_frame(&mut reader) {
+                    if let Some(counter) = &frames_in {
+                        counter.inc();
+                    }
                     if tx.send(frame.into()).is_err() {
                         break;
                     }
@@ -67,6 +101,7 @@ impl TcpLink {
             writer: Mutex::new(stream),
             incoming: rx,
             peer,
+            obs,
         })
     }
 }
@@ -82,7 +117,11 @@ impl Drop for TcpLink {
 impl Link for TcpLink {
     fn send(&self, frame: Frame) -> Result<(), NetError> {
         let mut w = self.writer.lock();
-        write_frame(&mut *w, &frame).map_err(|e| NetError::Io(e.to_string()))
+        write_frame(&mut *w, &frame).map_err(|e| NetError::Io(e.to_string()))?;
+        if let Some(obs) = &self.obs {
+            obs.frames_out.inc();
+        }
+        Ok(())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
@@ -101,6 +140,7 @@ impl Link for TcpLink {
 pub struct TcpAcceptor {
     listener: TcpListener,
     local: SocketAddr,
+    obs: Option<TcpObs>,
 }
 
 impl std::fmt::Debug for TcpAcceptor {
@@ -122,7 +162,24 @@ impl TcpAcceptor {
         let local = listener
             .local_addr()
             .map_err(|e| NetError::Io(e.to_string()))?;
-        Ok(TcpAcceptor { listener, local })
+        Ok(TcpAcceptor {
+            listener,
+            local,
+            obs: None,
+        })
+    }
+
+    /// Binds like [`TcpAcceptor::bind`]; every accepted link mirrors its
+    /// frame traffic into `registry` as `net.tcp_frames_in` /
+    /// `net.tcp_frames_out` (shared across all accepted links).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the bind fails.
+    pub fn bind_with_registry(addr: SocketAddr, registry: &Registry) -> Result<Self, NetError> {
+        let mut acceptor = Self::bind(addr)?;
+        acceptor.obs = Some(TcpObs::new(registry));
+        Ok(acceptor)
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -150,7 +207,7 @@ impl Listener for TcpAcceptor {
                     stream
                         .set_nonblocking(false)
                         .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
-                    return Ok(Box::new(TcpLink::from_stream(stream)?));
+                    return Ok(Box::new(TcpLink::from_stream(stream, self.obs.clone())?));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if std::time::Instant::now() >= deadline {
@@ -233,6 +290,32 @@ mod tests {
             }
         }
         assert!(saw_disconnect);
+    }
+
+    #[test]
+    fn registry_counts_frames_both_ways() {
+        let registry = Registry::default();
+        let acceptor = TcpAcceptor::bind_with_registry(loopback(), &registry).unwrap();
+        let addr = acceptor.local_addr();
+        let client_registry = Registry::default();
+        let client_thread = {
+            let client_registry = client_registry.clone();
+            std::thread::spawn(move || {
+                let link = TcpLink::connect_with_registry(addr, &client_registry).unwrap();
+                link.send(b"ping"[..].into()).unwrap();
+                link.recv_timeout(TO).unwrap()
+            })
+        };
+        let server_link = acceptor.accept_timeout(TO).unwrap();
+        assert_eq!(&server_link.recv_timeout(TO).unwrap()[..], b"ping");
+        server_link.send(b"pong"[..].into()).unwrap();
+        client_thread.join().unwrap();
+        let server = registry.snapshot();
+        assert_eq!(server.counter("net.tcp_frames_in"), 1);
+        assert_eq!(server.counter("net.tcp_frames_out"), 1);
+        let client = client_registry.snapshot();
+        assert_eq!(client.counter("net.tcp_frames_out"), 1);
+        assert_eq!(client.counter("net.tcp_frames_in"), 1);
     }
 
     #[test]

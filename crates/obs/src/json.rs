@@ -1,0 +1,269 @@
+//! A deliberately tiny JSON subset: objects, arrays, strings, and
+//! *integers only*.
+//!
+//! Snapshots are all-integer by construction (counters, bucket counts,
+//! nanosecond sums), and keeping floats out of the format is part of the
+//! schema contract — a dashboard summing counters must never see `1e6` or
+//! a precision-lossy `.0`. The writer emits sorted-key objects (callers
+//! iterate `BTreeMap`s) and the reader rejects anything outside the
+//! subset, so encode → decode is loss-free and byte-stable.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value from the integer-only subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Value {
+    /// Key-value pairs in document order.
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    Str(String),
+    /// Any integer; negatives only appear for gauges.
+    Int(i128),
+}
+
+impl Value {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal.
+pub(crate) fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses `input` as one value from the subset; trailing non-whitespace
+/// is an error.
+pub(crate) fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {pos}",
+            char::from(c),
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'-' | b'0'..=b'9') => parse_int(bytes, pos),
+        Some(other) => Err(format!(
+            "unexpected {:?} at byte {}",
+            char::from(*other),
+            pos
+        )),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("non-scalar \\u escape {hex:?}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input came from &str, so the
+                // byte stream is valid UTF-8).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E')) {
+        return Err(format!(
+            "floats are outside the snapshot schema (byte {pos})",
+            pos = *pos
+        ));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<i128>()
+        .map(Value::Int)
+        .map_err(|_| format!("bad integer {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let v = parse(r#"{"a":[1,-2,3],"b":"x\"y","c":{}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(obj[0].1.as_array().unwrap()[1].as_i64(), Some(-2));
+        assert_eq!(obj[1].1, Value::Str("x\"y".to_string()));
+    }
+
+    #[test]
+    fn rejects_floats_and_trailing_data() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("1e6").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("true").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quote\" back\\slash \u{1} tab\t";
+        let mut encoded = String::new();
+        write_string(&mut encoded, original);
+        assert_eq!(parse(&encoded).unwrap(), Value::Str(original.to_string()));
+    }
+}

@@ -1,0 +1,379 @@
+//! Point-in-time metric snapshots: stable JSON in and out, merging, and a
+//! human renderer.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Errors from decoding or merging snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input is not valid integer-only JSON.
+    Parse(String),
+    /// The JSON is valid but does not match the snapshot schema.
+    Schema(String),
+    /// Two snapshots disagree on a histogram's bucket bounds.
+    BucketMismatch(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Parse(e) => write!(f, "snapshot parse error: {e}"),
+            SnapshotError::Schema(e) => write!(f, "snapshot schema error: {e}"),
+            SnapshotError::BucketMismatch(name) => {
+                write!(f, "histogram {name:?} has mismatched bucket bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A copy of one histogram's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sorted inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one more entry than `bounds` (the last
+    /// is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Adds `other`'s samples into `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BucketMismatch`] (with an empty name — callers
+    /// attach theirs) if the bucket bounds differ.
+    fn merge_from(&mut self, other: &HistogramSnapshot) -> Result<(), SnapshotError> {
+        if self.bounds != other.bounds {
+            return Err(SnapshotError::BucketMismatch(String::new()));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        Ok(())
+    }
+}
+
+/// A point-in-time copy of a [`crate::Registry`] (or a merge of several).
+///
+/// The JSON encoding is a schema contract: top-level keys `counters`,
+/// `gauges`, `histograms` in that order; metric names sorted
+/// lexicographically; histogram fields `bounds`, `count`, `counts`, `sum`
+/// in that order; every number an integer (no floats, ever). Encoding the
+/// same snapshot twice yields identical bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Convenience lookup: the counter's value, or 0 if absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience lookup: the gauge's value, or 0 if absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds every metric of `other` into `self`: names unique to either
+    /// side are unioned, shared counters/gauges/histogram buckets are
+    /// summed. Summation matches what recording both runs into one
+    /// registry would have produced, so merging per-component snapshots
+    /// (leader, members, network) yields the whole-world snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BucketMismatch`] if a shared histogram name has
+    /// different bucket bounds on the two sides; `self` keeps all merges
+    /// applied before the mismatch was hit.
+    pub fn merge_from(&mut self, other: &Snapshot) -> Result<(), SnapshotError> {
+        for (name, value) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.wrapping_add(*value);
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = slot.wrapping_add(*value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine
+                    .merge_from(hist)
+                    .map_err(|_| SnapshotError::BucketMismatch(name.clone()))?,
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the snapshot as stable, integer-only JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in hist.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            let _ = write!(out, "],\"count\":{}", hist.count);
+            out.push_str(",\"counts\":[");
+            for (j, c) in hist.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"sum\":{}}}", hist.sum);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Decodes a snapshot from its JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Parse`] for malformed (or float-bearing) JSON,
+    /// [`SnapshotError::Schema`] for structure outside the snapshot
+    /// schema.
+    pub fn from_json(input: &str) -> Result<Snapshot, SnapshotError> {
+        let value = json::parse(input).map_err(SnapshotError::Parse)?;
+        let top = value
+            .as_object()
+            .ok_or_else(|| SnapshotError::Schema("top level must be an object".into()))?;
+        let mut snapshot = Snapshot::default();
+        for (key, section) in top {
+            match key.as_str() {
+                "counters" => {
+                    for (name, v) in object_of(section, "counters")? {
+                        let value = v.as_u64().ok_or_else(|| {
+                            SnapshotError::Schema(format!("counter {name:?} must be a u64"))
+                        })?;
+                        snapshot.counters.insert(name.clone(), value);
+                    }
+                }
+                "gauges" => {
+                    for (name, v) in object_of(section, "gauges")? {
+                        let value = v.as_i64().ok_or_else(|| {
+                            SnapshotError::Schema(format!("gauge {name:?} must be an i64"))
+                        })?;
+                        snapshot.gauges.insert(name.clone(), value);
+                    }
+                }
+                "histograms" => {
+                    for (name, v) in object_of(section, "histograms")? {
+                        snapshot
+                            .histograms
+                            .insert(name.clone(), decode_histogram(name, v)?);
+                    }
+                }
+                other => {
+                    return Err(SnapshotError::Schema(format!("unknown section {other:?}")));
+                }
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+fn object_of<'v>(value: &'v Value, section: &str) -> Result<&'v [(String, Value)], SnapshotError> {
+    value
+        .as_object()
+        .ok_or_else(|| SnapshotError::Schema(format!("{section} must be an object")))
+}
+
+fn u64_array(value: &Value, what: &str) -> Result<Vec<u64>, SnapshotError> {
+    value
+        .as_array()
+        .ok_or_else(|| SnapshotError::Schema(format!("{what} must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| SnapshotError::Schema(format!("{what} entries must be u64")))
+        })
+        .collect()
+}
+
+fn decode_histogram(name: &str, value: &Value) -> Result<HistogramSnapshot, SnapshotError> {
+    let fields = object_of(value, "histogram")?;
+    let mut bounds = None;
+    let mut counts = None;
+    let mut count = None;
+    let mut sum = None;
+    for (key, v) in fields {
+        match key.as_str() {
+            "bounds" => bounds = Some(u64_array(v, "bounds")?),
+            "counts" => counts = Some(u64_array(v, "counts")?),
+            "count" => count = v.as_u64(),
+            "sum" => sum = v.as_u64(),
+            other => {
+                return Err(SnapshotError::Schema(format!(
+                    "histogram {name:?} has unknown field {other:?}"
+                )));
+            }
+        }
+    }
+    let (Some(bounds), Some(counts), Some(count), Some(sum)) = (bounds, counts, count, sum) else {
+        return Err(SnapshotError::Schema(format!(
+            "histogram {name:?} is missing a field"
+        )));
+    };
+    if counts.len() != bounds.len() + 1 {
+        return Err(SnapshotError::Schema(format!(
+            "histogram {name:?} needs exactly bounds+1 buckets"
+        )));
+    }
+    Ok(HistogramSnapshot {
+        bounds,
+        counts,
+        count,
+        sum,
+    })
+}
+
+impl std::fmt::Display for Snapshot {
+    /// A human rendering: aligned counters and gauges, then one line per
+    /// histogram with its non-empty buckets.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, hist) in &self.histograms {
+                let mean = hist.sum.checked_div(hist.count).unwrap_or(0);
+                write!(f, "  {name:<width$}  count={} mean={mean}", hist.count)?;
+                for (i, c) in hist.counts.iter().enumerate() {
+                    if *c == 0 {
+                        continue;
+                    }
+                    match hist.bounds.get(i) {
+                        Some(b) => write!(f, " <={b}:{c}")?,
+                        None => write!(f, " >{}:{c}", hist.bounds.last().unwrap_or(&0))?,
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("a.count").add(7);
+        registry.gauge("b.depth").set(-3);
+        let h = registry.histogram_with_bounds("c.ns", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert_eq!(json, snap.to_json());
+        assert_eq!(Snapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn merge_unions_and_sums() {
+        let mut a = sample();
+        let b = sample();
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.counter("a.count"), 14);
+        assert_eq!(a.gauge("b.depth"), -6);
+        assert_eq!(a.histograms["c.ns"].count, 6);
+        assert_eq!(a.histograms["c.ns"].counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_buckets() {
+        let registry = Registry::new();
+        registry.histogram_with_bounds("c.ns", &[1]).record(1);
+        let mut other = registry.snapshot();
+        assert_eq!(
+            other.merge_from(&sample()),
+            Err(SnapshotError::BucketMismatch("c.ns".to_string()))
+        );
+    }
+
+    #[test]
+    fn display_renders_every_section() {
+        let text = sample().to_string();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("b.depth"));
+        assert!(text.contains("c.ns"));
+        assert!(text.contains("count=3"));
+        assert!(text.contains(">100:1"), "overflow bucket rendered: {text}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Snapshot encoding conformance: the JSON schema is a contract.
+//!
+//! A golden literal pins the exact byte encoding (field order, sorted
+//! metric names, integer-only numbers); a round-trip test pins the
+//! decoder to the encoder; rejection tests pin what the schema excludes.
+//! Any change to the wire shape must consciously edit the golden string.
+
+use enclaves_obs::{Registry, Snapshot, SnapshotError};
+
+/// A registry populated the way a small run would populate it, with names
+/// registered in deliberately unsorted order.
+fn sample_registry() -> Registry {
+    let registry = Registry::new();
+    registry.counter("net.dropped").add(12);
+    registry.counter("leader.rekeys").add(3);
+    registry.gauge("net.holdback_depth").set(2);
+    let h = registry.histogram_with_bounds("leader.seal_batch_ns", &[1_000, 1_000_000]);
+    h.record(500);
+    h.record(250_000);
+    h.record(2_000_000);
+    registry
+}
+
+/// The pinned encoding of [`sample_registry`]. Sections appear as
+/// `counters`, `gauges`, `histograms`; names sort lexicographically
+/// regardless of registration order; histogram fields appear as `bounds`,
+/// `count`, `counts`, `sum`; every number is a bare integer.
+const GOLDEN: &str = concat!(
+    r#"{"counters":{"leader.rekeys":3,"net.dropped":12},"#,
+    r#""gauges":{"net.holdback_depth":2},"#,
+    r#""histograms":{"leader.seal_batch_ns":"#,
+    r#"{"bounds":[1000,1000000],"count":3,"counts":[1,1,1],"sum":2250500}}}"#
+);
+
+#[test]
+fn encoding_matches_the_golden_literal() {
+    assert_eq!(sample_registry().snapshot().to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_decodes_back_to_the_snapshot() {
+    let snap = sample_registry().snapshot();
+    let decoded = Snapshot::from_json(GOLDEN).expect("golden must decode");
+    assert_eq!(decoded, snap);
+    // And the decoder's output re-encodes to the same bytes.
+    assert_eq!(decoded.to_json(), GOLDEN);
+}
+
+#[test]
+fn empty_snapshot_has_a_stable_shape() {
+    let json = Registry::new().snapshot().to_json();
+    assert_eq!(json, r#"{"counters":{},"gauges":{},"histograms":{}}"#);
+    assert_eq!(Snapshot::from_json(&json).unwrap(), Snapshot::default());
+}
+
+#[test]
+fn floats_are_rejected_on_decode() {
+    let with_float = GOLDEN.replace("\"leader.rekeys\":3", "\"leader.rekeys\":3.0");
+    match Snapshot::from_json(&with_float) {
+        Err(SnapshotError::Parse(msg)) => {
+            assert!(msg.contains("float"), "error names the cause: {msg}");
+        }
+        other => panic!("float must be a parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn schema_violations_are_rejected_on_decode() {
+    // Unknown top-level section.
+    assert!(matches!(
+        Snapshot::from_json(r#"{"counters":{},"extras":{}}"#),
+        Err(SnapshotError::Schema(_))
+    ));
+    // Negative counter.
+    assert!(matches!(
+        Snapshot::from_json(r#"{"counters":{"x":-1}}"#),
+        Err(SnapshotError::Schema(_))
+    ));
+    // Histogram with the wrong bucket arity.
+    assert!(matches!(
+        Snapshot::from_json(
+            r#"{"histograms":{"h":{"bounds":[10],"count":0,"counts":[0],"sum":0}}}"#
+        ),
+        Err(SnapshotError::Schema(_))
+    ));
+}
+
+#[test]
+fn metric_names_needing_escapes_round_trip() {
+    let registry = Registry::new();
+    registry.counter("weird \"name\"\nwith\tescapes").add(7);
+    let snap = registry.snapshot();
+    assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+}
+
+#[test]
+fn display_mentions_every_metric() {
+    let text = sample_registry().snapshot().to_string();
+    for name in [
+        "leader.rekeys",
+        "net.dropped",
+        "net.holdback_depth",
+        "leader.seal_batch_ns",
+    ] {
+        assert!(text.contains(name), "{name} missing from:\n{text}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for counter/histogram semantics: merging snapshots is
+//! indistinguishable from recording the interleaved stream, bucket counts
+//! are permutation-invariant, and no sample is ever lost.
+
+use enclaves_obs::{Registry, Snapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministic in-place Fisher-Yates driven by a splitmix-style step,
+/// so permutation cases are reproducible from the proptest seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Records `samples` into a fresh registry under one histogram and one
+/// counter, returning its snapshot.
+fn record_all(samples: &[u64], bounds: &[u64]) -> Snapshot {
+    let registry = Registry::new();
+    let hist = registry.histogram_with_bounds("h", bounds);
+    let count = registry.counter("n");
+    for &s in samples {
+        hist.record(s);
+        count.inc();
+    }
+    registry.snapshot()
+}
+
+const BOUNDS: &[u64] = &[10, 1_000, 100_000, u64::MAX - 1];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging the snapshots of two independent recorders equals
+    /// recording any interleaving of both streams into one registry.
+    #[test]
+    fn merge_equals_interleaved_recording(
+        a in vec(any::<u64>(), 0..48),
+        b in vec(any::<u64>(), 0..48),
+        seed in any::<u64>(),
+    ) {
+        let mut merged = record_all(&a, BOUNDS);
+        merged.merge_from(&record_all(&b, BOUNDS)).unwrap();
+
+        let mut interleaved: Vec<u64> = a.iter().chain(&b).copied().collect();
+        shuffle(&mut interleaved, seed);
+        prop_assert_eq!(merged, record_all(&interleaved, BOUNDS));
+    }
+
+    /// Bucket counts, totals, and sums are invariant under permutation of
+    /// the sample stream.
+    #[test]
+    fn histogram_is_permutation_invariant(
+        samples in vec(any::<u64>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let mut permuted = samples.clone();
+        shuffle(&mut permuted, seed);
+        prop_assert_eq!(record_all(&samples, BOUNDS), record_all(&permuted, BOUNDS));
+    }
+
+    /// Every sample lands in exactly one bucket: bucket counts sum to the
+    /// total count, which is the stream length, and the sum matches the
+    /// wrapping sum of the stream.
+    #[test]
+    fn no_sample_is_ever_lost(samples in vec(any::<u64>(), 0..64)) {
+        let snap = record_all(&samples, BOUNDS);
+        let hist = &snap.histograms["h"];
+        prop_assert_eq!(hist.counts.iter().sum::<u64>(), hist.count);
+        prop_assert_eq!(hist.count, samples.len() as u64);
+        prop_assert_eq!(snap.counter("n"), samples.len() as u64);
+        let expected_sum = samples.iter().fold(0u64, |acc, &s| acc.wrapping_add(s));
+        prop_assert_eq!(hist.sum, expected_sum);
+    }
+
+    /// Merge is commutative and associative on counters and histograms —
+    /// chaos runs merge per-component snapshots in arbitrary order.
+    #[test]
+    fn merge_order_is_irrelevant(
+        a in vec(any::<u64>(), 0..32),
+        b in vec(any::<u64>(), 0..32),
+        c in vec(any::<u64>(), 0..32),
+    ) {
+        let (sa, sb, sc) = (
+            record_all(&a, BOUNDS),
+            record_all(&b, BOUNDS),
+            record_all(&c, BOUNDS),
+        );
+        let mut left = sa.clone();
+        left.merge_from(&sb).unwrap();
+        left.merge_from(&sc).unwrap();
+        let mut right = sc;
+        right.merge_from(&sa).unwrap();
+        right.merge_from(&sb).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Encode → decode is lossless for arbitrary recorded contents.
+    #[test]
+    fn json_round_trips_arbitrary_snapshots(samples in vec(any::<u64>(), 0..64)) {
+        let snap = record_all(&samples, BOUNDS);
+        prop_assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+}

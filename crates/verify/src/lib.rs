@@ -27,6 +27,7 @@
 
 pub mod diagram;
 pub mod live;
+pub mod obs;
 pub mod properties;
 pub mod runner;
 pub mod secrecy;

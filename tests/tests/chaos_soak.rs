@@ -15,6 +15,7 @@ use enclaves_chaos::{
     TcpProxyFabric,
 };
 use enclaves_net::sim::SimConfig;
+use enclaves_verify::live::LiveEvent;
 
 /// The tentpole scenario: joins, admin and data traffic, an asymmetric
 /// partition with traffic inside it, a heal, a crash, a reconnect, and
@@ -101,6 +102,46 @@ fn fixed_seed_storm_passes_the_oracle() {
     assert!(stats.delivered > 0, "nothing was delivered at all");
     // The trace recorded real protocol activity end to end.
     assert!(!outcome.trace.is_empty());
+
+    // Metric invariants on the merged snapshot. The registry-backed
+    // counters are bumped in the same critical sections as the protocol
+    // state they describe, so they must agree exactly with both the
+    // driver's trace and the simulator's own statistics.
+    let snap = &outcome.snapshot;
+    // Under the Manual rekey policy every epoch advance comes from an
+    // explicit schedule Rekey, each of which the driver records.
+    let trace_rekeys = outcome
+        .trace
+        .iter()
+        .filter(|e| matches!(e, LiveEvent::LeaderRekeyed { .. }))
+        .count() as u64;
+    assert_eq!(
+        snap.counter("leader.rekeys"),
+        trace_rekeys,
+        "leader.rekeys must equal the admin-channel epochs the trace recorded"
+    );
+    // Partitions strand in-flight admin exchanges; the 400ms ticker must
+    // have re-sent something before the heal.
+    assert!(
+        snap.counter("leader.retransmits") > 0,
+        "a partition schedule with no leader retransmissions is not chaotic"
+    );
+    // The net.* mirrors are bumped in the same lock as SimStats.
+    assert_eq!(snap.counter("net.sent"), stats.sent as u64);
+    assert_eq!(snap.counter("net.delivered"), stats.delivered as u64);
+    assert_eq!(snap.counter("net.dropped"), stats.dropped as u64);
+    assert_eq!(snap.counter("net.partitioned"), stats.partitioned as u64);
+    assert_eq!(snap.counter("net.severed"), stats.severed as u64);
+    assert_eq!(snap.counter("net.killed"), stats.killed as u64);
+    assert_eq!(snap.counter("net.corrupted"), stats.corrupted as u64);
+    // The run emitted a protocol event stream, and the obs-stream oracle
+    // path agreed with the driver-trace path (both clean — `passed()`
+    // already required it; this pins the stream was actually populated).
+    assert!(!outcome.obs_events.is_empty());
+
+    // Dump the snapshot next to the build artifacts so CI can upload it.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../target/chaos-snapshot.json");
+    std::fs::write(path, outcome.snapshot.to_json()).expect("write chaos snapshot");
 }
 
 /// The same storm over a different seed still passes: the properties are
@@ -233,6 +274,16 @@ fn planted_watermark_violation_is_caught_and_shrunk() {
             .any(|v| v.checker.starts_with("live-data")),
         "wrong checker fired: {:?}",
         outcome.violations
+    );
+    // The second ingestion path must catch the same planted violation
+    // from the run's own event stream, without the driver's bookkeeping.
+    assert!(
+        outcome
+            .obs_violations
+            .iter()
+            .any(|v| v.checker.starts_with("live-data")),
+        "the obs-stream oracle path missed the planted violation: {:?}",
+        outcome.obs_violations
     );
 
     // Shrink to the minimal failing prefix and print the recipe.
