@@ -6,6 +6,7 @@
 //! transport too, not just the simulator).
 
 use crate::schedule::Schedule;
+use enclaves_core::runtime::Reconnector;
 use enclaves_net::sim::{Direction, SimConfig, SimListener, SimNet, SimStats};
 use enclaves_net::tcp::{TcpAcceptor, TcpLink};
 use enclaves_net::{Link, NetError};
@@ -13,7 +14,7 @@ use enclaves_wire::framing::{read_frame, write_frame};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +53,16 @@ pub trait Fabric {
     /// Whether [`Fabric::partition`] does anything here.
     fn supports_partitions(&self) -> bool;
 
+    /// A closure `name`'s member runtime can use to re-reach the leader
+    /// after a presumed death ([`enclaves_core::runtime::Reconnector`]).
+    /// While `name` is [`Fabric::kill`]ed and not yet healed, the closure
+    /// fails with [`NetError::Disconnected`] — a crashed member stays
+    /// crashed until the schedule says otherwise. Default: this fabric
+    /// cannot mint reconnectors.
+    fn reconnector(&self, _name: &str) -> Option<Reconnector> {
+        None
+    }
+
     /// Simulator statistics, if this fabric has them.
     fn sim_stats(&self) -> Option<SimStats> {
         None
@@ -69,7 +80,12 @@ pub struct SimFabric {
     seed: u64,
     /// Latest connection id per member name (a reconnect supersedes the
     /// previous connection; partition/kill always target the latest).
-    conns: HashMap<String, usize>,
+    /// Shared with reconnector closures so an auto-rejoin's fresh
+    /// connection becomes the one later faults target.
+    conns: Arc<Mutex<HashMap<String, usize>>>,
+    /// Members whose wire was killed and not yet healed; their
+    /// reconnectors fail until the schedule heals them.
+    downed: Arc<Mutex<HashSet<String>>>,
 }
 
 impl SimFabric {
@@ -87,7 +103,8 @@ impl SimFabric {
             SimFabric {
                 net,
                 seed: config.seed,
-                conns: HashMap::new(),
+                conns: Arc::new(Mutex::new(HashMap::new())),
+                downed: Arc::new(Mutex::new(HashSet::new())),
             },
             listener,
         )
@@ -104,12 +121,12 @@ impl SimFabric {
 impl Fabric for SimFabric {
     fn connect(&mut self, name: &str) -> Result<Box<dyn Link>, NetError> {
         let link = self.net.connect(name, "leader")?;
-        self.conns.insert(name.to_string(), link.conn_id());
+        self.conns.lock().insert(name.to_string(), link.conn_id());
         Ok(Box::new(link))
     }
 
     fn partition(&mut self, name: &str, to_leader: bool, to_member: bool) {
-        if let Some(&conn) = self.conns.get(name) {
+        if let Some(&conn) = self.conns.lock().get(name) {
             if to_leader {
                 self.net.set_blocked(conn, Direction::ToListener, true);
             }
@@ -120,18 +137,21 @@ impl Fabric for SimFabric {
     }
 
     fn heal(&mut self, name: &str) {
-        if let Some(&conn) = self.conns.get(name) {
+        self.downed.lock().remove(name);
+        if let Some(&conn) = self.conns.lock().get(name) {
             self.net.set_blocked(conn, Direction::ToListener, false);
             self.net.set_blocked(conn, Direction::ToConnector, false);
         }
     }
 
     fn heal_all(&mut self) {
+        self.downed.lock().clear();
         self.net.heal_all();
     }
 
     fn kill(&mut self, name: &str) {
-        if let Some(&conn) = self.conns.get(name) {
+        self.downed.lock().insert(name.to_string());
+        if let Some(&conn) = self.conns.lock().get(name) {
             self.net.kill(conn);
         }
     }
@@ -149,6 +169,21 @@ impl Fabric for SimFabric {
 
     fn supports_partitions(&self) -> bool {
         true
+    }
+
+    fn reconnector(&self, name: &str) -> Option<Reconnector> {
+        let net = self.net.clone();
+        let conns = Arc::clone(&self.conns);
+        let downed = Arc::clone(&self.downed);
+        let name = name.to_string();
+        Some(Box::new(move || {
+            if downed.lock().contains(&name) {
+                return Err(NetError::Disconnected);
+            }
+            let link = net.connect(&name, "leader")?;
+            conns.lock().insert(name.clone(), link.conn_id());
+            Ok(Box::new(link) as Box<dyn Link>)
+        }))
     }
 
     fn sim_stats(&self) -> Option<SimStats> {

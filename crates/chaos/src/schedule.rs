@@ -21,6 +21,14 @@ pub enum ChaosEvent {
     /// A crashed member `i` comes back: the leader expels the stale slot,
     /// then the member joins again on a fresh connection.
     Reconnect(usize),
+    /// Member `i`'s *wire* crashes without a close, but — unlike
+    /// [`ChaosEvent::Crash`] — its runtime stays alive: the liveness layer
+    /// is expected to notice on both sides (leader eviction, member
+    /// auto-rejoin once a [`ChaosEvent::Heal`] lets its reconnector
+    /// through). Only meaningful on liveness-enabled worlds; without
+    /// liveness the member simply stays wedged until the end-of-run
+    /// cleanup.
+    CrashWire(usize),
     /// The leader rotates the group key.
     Rekey,
     /// The leader broadcasts `payload` over the authenticated admin
@@ -161,6 +169,160 @@ impl Schedule {
             AdminBroadcast(payload("admin", 4)),
             DataBroadcast(payload("data", 4)),
             Settle(300),
+        ]);
+
+        Schedule {
+            seed,
+            members,
+            events,
+        }
+    }
+
+    /// A deterministic crash storm for liveness-enabled worlds: members
+    /// take turns having their wire severed without a close
+    /// ([`ChaosEvent::CrashWire`]), so the leader's heartbeat deadline —
+    /// not a `Close` frame — must drive the eviction, and after each
+    /// [`ChaosEvent::Heal`] the still-running member must detect the
+    /// loss and auto-rejoin as a fresh session. `m0` never faults, so
+    /// the group is never empty and every eviction's policy rekey lands
+    /// (post-eviction rejoins must therefore see a strictly newer
+    /// epoch). The `seed` feeds only the network fault stream — the
+    /// script itself is fixed given `members`.
+    #[must_use]
+    pub fn crash_storm(seed: u64, members: usize) -> Self {
+        assert!(members >= 3, "a crash storm needs at least three members");
+        use ChaosEvent::{AdminBroadcast, CrashWire, DataBroadcast, Heal, Join, Rekey, Settle};
+        let mut events: Vec<ChaosEvent> = (0..members).map(Join).collect();
+        events.push(Settle(150));
+        let payload = |tag: &str, n: usize| format!("crash-{tag}-{n}").into_bytes();
+
+        // Round 1: m1's wire dies silently. The leader must time the
+        // channel out and evict; traffic keeps flowing to the survivors
+        // while m1 is dark, and once healed m1 rejoins on its own.
+        events.extend([
+            AdminBroadcast(payload("admin", 1)),
+            CrashWire(1),
+            Settle(900),
+            Rekey,
+            DataBroadcast(payload("data", 1)),
+            Heal(1),
+            Settle(900),
+        ]);
+
+        // Round 2: same fate for m2, proving round 1 left no wedged
+        // state behind (slots, routes, cached retransmit frames).
+        events.extend([
+            CrashWire(2),
+            Settle(900),
+            AdminBroadcast(payload("admin", 2)),
+            Heal(2),
+            Settle(900),
+        ]);
+
+        // Epilogue: full-roster traffic on the healed fabric.
+        events.extend([
+            AdminBroadcast(payload("admin", 3)),
+            DataBroadcast(payload("data", 3)),
+            Settle(400),
+        ]);
+
+        Schedule {
+            seed,
+            members,
+            events,
+        }
+    }
+
+    /// A deterministic leader blackhole for liveness-enabled worlds:
+    /// every member except `m0` has its *existing* connection fully
+    /// partitioned at once, so from their side the leader goes silent
+    /// mid-epoch. Each affected member must detect the loss, reconnect
+    /// on a fresh link (partitions are per-connection, so the new link
+    /// is clear), and wait out the leader's timeout eviction of its
+    /// stale slot before the rejoin handshake is accepted. `m0` keeps
+    /// the group alive throughout. The `seed` feeds only the network
+    /// fault stream — the script itself is fixed given `members`.
+    #[must_use]
+    pub fn leader_blackhole(seed: u64, members: usize) -> Self {
+        assert!(
+            members >= 3,
+            "a leader blackhole needs at least three members"
+        );
+        use ChaosEvent::{AdminBroadcast, DataBroadcast, HealAll, Join, Partition, Rekey, Settle};
+        let mut events: Vec<ChaosEvent> = (0..members).map(Join).collect();
+        events.push(Settle(150));
+        events.push(AdminBroadcast(b"blackhole-before".to_vec()));
+
+        // The lights go out for everyone but m0, all at once.
+        events.extend((1..members).map(|member| Partition {
+            member,
+            to_leader: true,
+            to_member: true,
+        }));
+
+        // Long dark settle: leader-loss detection, stale-slot evictions,
+        // and reconnect-handshake retries all race here.
+        events.extend([
+            Settle(1400),
+            Rekey,
+            DataBroadcast(b"blackhole-during".to_vec()),
+            Settle(500),
+            HealAll,
+            Settle(300),
+            AdminBroadcast(b"blackhole-after".to_vec()),
+            Settle(400),
+        ]);
+
+        Schedule {
+            seed,
+            members,
+            events,
+        }
+    }
+
+    /// A deterministic flapping member for liveness-enabled worlds: `m1`
+    /// suffers three short full partitions, each healed well inside the
+    /// liveness timeout — a responsive-but-jittery member that must NOT
+    /// be evicted by an over-eager failure detector — followed by one
+    /// real [`ChaosEvent::CrashWire`] outage long enough to force the
+    /// eviction/rejoin cycle. The `seed` feeds only the network fault
+    /// stream — the script itself is fixed given `members`.
+    #[must_use]
+    pub fn flapping(seed: u64, members: usize) -> Self {
+        assert!(
+            members >= 3,
+            "a flapping schedule needs at least three members"
+        );
+        use ChaosEvent::{AdminBroadcast, CrashWire, DataBroadcast, Heal, Join, Partition, Settle};
+        let mut events: Vec<ChaosEvent> = (0..members).map(Join).collect();
+        events.push(Settle(150));
+        let payload = |tag: &str, n: usize| format!("flap-{tag}-{n}").into_bytes();
+
+        // Three quick flaps: dark for a beat, back before the deadline.
+        for flap in 1..=3usize {
+            events.extend([
+                Partition {
+                    member: 1,
+                    to_leader: true,
+                    to_member: true,
+                },
+                Settle(120),
+                Heal(1),
+                Settle(250),
+                AdminBroadcast(payload("admin", flap)),
+                DataBroadcast(payload("data", flap)),
+            ]);
+        }
+
+        // Then the real thing: a silent wire crash that must end in a
+        // timeout eviction and, after the heal, an auto-rejoin.
+        events.extend([
+            CrashWire(1),
+            Settle(900),
+            Heal(1),
+            Settle(900),
+            AdminBroadcast(payload("admin", 4)),
+            Settle(400),
         ]);
 
         Schedule {
@@ -407,6 +569,90 @@ mod tests {
         // final settle runs on a fully connected fabric.
         assert!(matches!(a.events.last(), Some(ChaosEvent::Settle(_))));
         assert!(a.events.iter().any(|e| matches!(e, ChaosEvent::HealAll)));
+    }
+
+    /// Shared validity check for the liveness schedules: scripts are
+    /// seed-independent, every fault is eventually healed, member `0`
+    /// never faults (so the group never empties and eviction rekeys
+    /// land), and fault targets are state-valid.
+    fn check_liveness_schedule(make: fn(u64, usize) -> Schedule) {
+        let a = make(9, 3);
+        let b = make(9, 3);
+        assert_eq!(a, b);
+        // The seed only feeds the fault stream; the script is fixed.
+        assert_eq!(a.events, make(10, 3).events);
+
+        let mut joined = vec![false; a.members];
+        let mut dark = vec![false; a.members];
+        for e in &a.events {
+            match *e {
+                ChaosEvent::Join(i) => {
+                    assert!(!joined[i], "join of live member in {a}");
+                    joined[i] = true;
+                }
+                ChaosEvent::CrashWire(i) | ChaosEvent::Partition { member: i, .. } => {
+                    assert_ne!(i, 0, "m0 must stay clean in {a}");
+                    assert!(joined[i], "fault on absent member in {a}");
+                    dark[i] = true;
+                }
+                ChaosEvent::Heal(i) => {
+                    dark[i] = false;
+                }
+                ChaosEvent::HealAll => {
+                    dark.iter_mut().for_each(|d| *d = false);
+                }
+                _ => {}
+            }
+        }
+        assert!(dark.iter().all(|&d| !d), "a fault is never healed in {a}");
+        assert!(
+            a.events
+                .iter()
+                .any(|e| matches!(e, ChaosEvent::CrashWire(_) | ChaosEvent::Partition { .. })),
+            "no faults in {a}"
+        );
+        assert!(matches!(a.events.last(), Some(ChaosEvent::Settle(_))));
+    }
+
+    #[test]
+    fn crash_storm_is_deterministic_and_state_valid() {
+        check_liveness_schedule(Schedule::crash_storm);
+        let s = Schedule::crash_storm(1, 4);
+        let wire_crashes = s
+            .events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::CrashWire(_)))
+            .count();
+        assert!(wire_crashes >= 2, "only {wire_crashes} wire crashes");
+    }
+
+    #[test]
+    fn leader_blackhole_is_deterministic_and_state_valid() {
+        check_liveness_schedule(Schedule::leader_blackhole);
+        // Everyone but m0 goes dark at once.
+        let s = Schedule::leader_blackhole(1, 5);
+        let cut: Vec<usize> = s
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChaosEvent::Partition { member, .. } => Some(*member),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cut, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn flapping_is_deterministic_and_state_valid() {
+        check_liveness_schedule(Schedule::flapping);
+        // Three short flaps before the real outage.
+        let s = Schedule::flapping(1, 3);
+        let heals = s
+            .events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Heal(1)))
+            .count();
+        assert_eq!(heals, 4, "three flap heals plus the outage heal");
     }
 
     #[test]

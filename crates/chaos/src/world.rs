@@ -8,6 +8,7 @@ use crate::schedule::{ChaosEvent, Schedule};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use enclaves_core::config::{LeaderConfig, RekeyPolicy};
 use enclaves_core::directory::Directory;
+use enclaves_core::liveness::{LivenessConfig, VirtualClock};
 use enclaves_core::protocol::{LeaderEvent, MemberEvent};
 use enclaves_core::runtime::{LeaderRuntime, MemberOptions, MemberRuntime};
 use enclaves_net::sim::SimStats;
@@ -39,6 +40,15 @@ pub struct ChaosOptions {
     /// Plants the test-only broadcast-watermark violation in every member
     /// — the oracle must then catch duplicate data deliveries.
     pub sabotage_watermark: bool,
+    /// Runs the world with the liveness layer armed: a shared
+    /// [`VirtualClock`] (pumped at roughly 5× real time), bounded ARQ
+    /// with backoff and jitter, heartbeats, timeout-driven eviction, and
+    /// member auto-rejoin through [`Fabric::reconnector`]. Fault
+    /// injections ([`ChaosEvent::CrashWire`], [`ChaosEvent::Partition`])
+    /// additionally leave `Crashed`/`Partitioned` markers in the trace so
+    /// the liveness oracle properties (`live-evict`, `live-no-false-evict`,
+    /// `live-rejoin`) have ground truth to check against.
+    pub liveness: bool,
 }
 
 impl Default for ChaosOptions {
@@ -46,7 +56,40 @@ impl Default for ChaosOptions {
         ChaosOptions {
             rekey_policy: RekeyPolicy::Manual,
             sabotage_watermark: false,
+            liveness: false,
         }
+    }
+}
+
+/// How much virtual time the pump adds per real-time step. Small steps
+/// matter: one big jump would blow every heartbeat deadline at once and
+/// evict responsive members that merely hadn't been scheduled yet.
+const PUMP_STEP: Duration = Duration::from_millis(5);
+/// Real sleep between pump steps (≈5× speedup).
+const PUMP_TICK: Duration = Duration::from_millis(1);
+
+/// Clock and seed shared by every liveness-enabled session the driver
+/// starts (including sessions restarted mid-run by a rejoin).
+struct LivenessWiring {
+    clock: VirtualClock,
+    seed: u64,
+}
+
+/// Aggressive liveness knobs for chaos runs, in *virtual* milliseconds:
+/// fast enough that a `Settle(900)` (≈4.5s virtual) comfortably covers a
+/// full detect→evict or detect→rejoin cycle, slow enough that a healthy
+/// member is never within an order of magnitude of its deadline.
+fn chaos_liveness(seed: u64) -> LivenessConfig {
+    LivenessConfig {
+        retransmit_base: Duration::from_millis(100),
+        retransmit_max: Duration::from_millis(800),
+        jitter_pct: 100, // up to +10%
+        max_attempts: 6,
+        heartbeat_interval: Some(Duration::from_millis(200)),
+        liveness_timeout: Some(Duration::from_millis(2500)),
+        auto_rejoin: true,
+        jitter_seed: seed,
+        ..LivenessConfig::default()
     }
 }
 
@@ -144,6 +187,13 @@ fn spawn_forwarder(
                         seq,
                         payload: data,
                     }),
+                    // An auto-rejoin is a fresh session: record the same
+                    // segment-reset marker the driver records for a
+                    // scripted join, so per-session properties (close-once,
+                    // FIFO) reset exactly where the member reset.
+                    MemberEvent::RejoinStarted => Some(LiveEvent::JoinStarted {
+                        member: name.clone(),
+                    }),
                     _ => None,
                 };
                 if let Some(live) = live {
@@ -175,6 +225,12 @@ fn spawn_leader_collector(
                 Ok(LeaderEvent::MemberLeft(user)) => record(
                     &sink,
                     LiveEvent::MemberClosed {
+                        member: user.to_string(),
+                    },
+                ),
+                Ok(LeaderEvent::MemberEvicted(user)) => record(
+                    &sink,
+                    LiveEvent::Evicted {
                         member: user.to_string(),
                     },
                 ),
@@ -234,18 +290,41 @@ pub fn run_schedule(
         })
         .collect();
 
-    let leader = LeaderRuntime::spawn(
-        listener,
-        leader_id.clone(),
-        directory,
-        LeaderConfig {
-            rekey_policy: options.rekey_policy,
-            ..LeaderConfig::default()
-        },
-    );
+    let wiring = options.liveness.then(|| LivenessWiring {
+        clock: VirtualClock::new(),
+        seed: schedule.seed,
+    });
+    let mut leader_config = LeaderConfig {
+        rekey_policy: options.rekey_policy,
+        ..LeaderConfig::default()
+    };
+    if let Some(w) = &wiring {
+        leader_config.liveness = chaos_liveness(w.seed);
+        leader_config.liveness.auto_rejoin = false; // member-side knob
+        leader_config.clock = Some(Arc::new(w.clock.clone()));
+    }
+
+    let leader = LeaderRuntime::spawn(listener, leader_id.clone(), directory, leader_config);
     leader.attach_event_stream(obs_stream.clone());
     let stop = Arc::new(AtomicBool::new(false));
     let collector = spawn_leader_collector(&sink, leader.events().clone(), Arc::clone(&stop));
+
+    // The time pump: virtual time flows in small steps at ~5× real time,
+    // so deadline order is preserved (no member can be evicted because
+    // the clock leapt over its heartbeat window).
+    let pump = wiring.as_ref().map(|w| {
+        let clock = w.clock.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("chaos-time-pump".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(PUMP_TICK);
+                    clock.advance(PUMP_STEP);
+                }
+            })
+            .expect("spawn chaos time pump")
+    });
 
     for event in &schedule.events {
         execute(
@@ -256,11 +335,12 @@ pub fn run_schedule(
             &sink,
             &obs_stream,
             options,
+            wiring.as_ref(),
             event,
         );
     }
 
-    finalize(fabric, &leader, &mut members, &sink);
+    finalize(fabric, &leader, &mut members, &sink, wiring.is_some());
 
     let leader_registry = leader.obs_registry();
 
@@ -276,6 +356,9 @@ pub fn run_schedule(
     }
     stop.store(true, Ordering::Relaxed);
     let _ = collector.join();
+    if let Some(pump) = pump {
+        let _ = pump.join();
+    }
 
     let trace = Arc::try_unwrap(sink)
         .map(Mutex::into_inner)
@@ -324,6 +407,7 @@ fn start_join(
     sink: &Sink,
     obs_stream: &EventStream,
     options: &ChaosOptions,
+    wiring: Option<&LivenessWiring>,
 ) {
     record(
         sink,
@@ -336,16 +420,28 @@ fn start_join(
         return;
     };
     let (obs_tx, obs_rx): (Sender<MemberEvent>, Receiver<MemberEvent>) = unbounded();
+    let mut member_options = MemberOptions {
+        observer: Some(obs_tx),
+        disable_broadcast_watermark: options.sabotage_watermark,
+        events: Some(obs_stream.clone()),
+        ..MemberOptions::default()
+    };
+    if let Some(w) = wiring {
+        // Per-member jitter seed: identical backoff schedules across the
+        // cast would synchronize every rejoin handshake.
+        let name_tag: u64 = slot.name.bytes().map(u64::from).sum();
+        let mut liveness = chaos_liveness(w.seed);
+        liveness.jitter_seed = w.seed.wrapping_mul(0x9e37_79b9).wrapping_add(name_tag);
+        member_options.liveness = liveness;
+        member_options.clock = Some(Arc::new(w.clock.clone()));
+        member_options.reconnect = fabric.reconnector(&slot.name);
+    }
     let runtime = MemberRuntime::connect_with(
         link,
         slot.id.clone(),
         leader_id.clone(),
         &slot.password,
-        MemberOptions {
-            observer: Some(obs_tx),
-            disable_broadcast_watermark: options.sabotage_watermark,
-            events: Some(obs_stream.clone()),
-        },
+        member_options,
     );
     match runtime {
         Ok(rt) => {
@@ -375,6 +471,7 @@ fn execute(
     sink: &Sink,
     obs_stream: &EventStream,
     options: &ChaosOptions,
+    wiring: Option<&LivenessWiring>,
     event: &ChaosEvent,
 ) {
     match event {
@@ -391,7 +488,7 @@ fn execute(
             if leader.roster().contains(&slot.id) {
                 let _ = leader.expel(&slot.id);
             }
-            start_join(fabric, leader_id, slot, sink, obs_stream, options);
+            start_join(fabric, leader_id, slot, sink, obs_stream, options, wiring);
         }
         ChaosEvent::Leave(i) => {
             let Some(slot) = members.get_mut(*i) else {
@@ -421,6 +518,42 @@ fn execute(
                 // Sever the wire first (mid-session kill), then stop the
                 // runtime without a Close.
                 fabric.kill(&slot.name);
+                rt.abandon();
+                slot.state = MemberState::Crashed;
+                // With the liveness layer armed the leader will evict this
+                // slot by timeout: leave the fault marker that justifies
+                // the eviction to the oracle.
+                if wiring.is_some() {
+                    record(
+                        sink,
+                        LiveEvent::Crashed {
+                            member: slot.name.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        ChaosEvent::CrashWire(i) => {
+            let Some(slot) = members.get_mut(*i) else {
+                return;
+            };
+            if slot.runtime.is_none() {
+                return;
+            }
+            fabric.kill(&slot.name);
+            if wiring.is_some() {
+                // The runtime stays alive: its own liveness layer must
+                // detect the dead wire and drive the rejoin once healed.
+                record(
+                    sink,
+                    LiveEvent::Crashed {
+                        member: slot.name.clone(),
+                    },
+                );
+            } else if let Some(rt) = slot.runtime.take() {
+                // Without a liveness layer nobody would ever notice the
+                // dead wire: degrade to a plain crash so the run can
+                // still finalize.
                 rt.abandon();
                 slot.state = MemberState::Crashed;
             }
@@ -464,11 +597,27 @@ fn execute(
         } => {
             if let Some(slot) = members.get(*member) {
                 fabric.partition(&slot.name, *to_leader, *to_member);
+                if wiring.is_some() {
+                    record(
+                        sink,
+                        LiveEvent::Partitioned {
+                            member: slot.name.clone(),
+                        },
+                    );
+                }
             }
         }
         ChaosEvent::Heal(i) => {
             if let Some(slot) = members.get(*i) {
                 fabric.heal(&slot.name);
+                if wiring.is_some() {
+                    record(
+                        sink,
+                        LiveEvent::Healed {
+                            member: slot.name.clone(),
+                        },
+                    );
+                }
             }
         }
         ChaosEvent::HealAll => fabric.heal_all(),
@@ -484,10 +633,34 @@ fn finalize(
     leader: &LeaderRuntime,
     members: &mut [MemberSlot],
     sink: &Sink,
+    liveness: bool,
 ) {
     fabric.calm();
     fabric.heal_all();
     fabric.flush();
+
+    // With the liveness layer armed, recovery is the system's job, not
+    // the driver's: wait (bounded) for timeout evictions to clear dead
+    // slots and for every still-running member to rejoin and converge on
+    // the leader's epoch, *before* the manual dead-slot sweep below runs
+    // as a fallback. Expelling here too early would rob the oracle of the
+    // eviction it is owed for each `Crashed` marker.
+    if liveness {
+        let deadline = Instant::now() + QUIESCE_WAIT;
+        while Instant::now() < deadline {
+            fabric.flush();
+            let roster = leader.roster();
+            let leader_epoch = leader.epoch();
+            let converged = members.iter().all(|slot| match &slot.runtime {
+                Some(rt) => rt.group_epoch().is_some() && rt.group_epoch() == leader_epoch,
+                None => !roster.contains(&slot.id),
+            });
+            if converged && leader.quiesced() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
 
     // Clear slots of members the driver knows are gone (crashed, or a
     // departure whose Close was lost to the chaos): the leader would

@@ -1,4 +1,7 @@
-//! Leader configuration: rekey policy and limits.
+//! Leader configuration: rekey policy, limits, and liveness.
+
+use crate::liveness::{Clock, LivenessConfig};
+use std::sync::Arc;
 
 /// When the leader generates and distributes a new group key (Section 2.1:
 //  "new keys can be generated when new members join, when members leave, or
@@ -39,7 +42,7 @@ impl RekeyPolicy {
 }
 
 /// Leader configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct LeaderConfig {
     /// Rekey policy.
     pub rekey_policy: RekeyPolicy,
@@ -54,17 +57,40 @@ pub struct LeaderConfig {
     /// O(N²) admin storm while the roster is being built. Key material
     /// (`NewGroupKey`) is always distributed regardless of this flag.
     pub membership_notices: bool,
+    /// Timing and failure-detection policy: retransmit backoff, ARQ
+    /// budget, heartbeat deadlines. The default reproduces the historical
+    /// flat 400ms retry-forever cadence with no failure detection.
+    pub liveness: LivenessConfig,
+    /// Time source for retransmit and liveness deadlines. `None` uses a
+    /// real monotonic clock; tests inject a
+    /// [`crate::liveness::VirtualClock`] for deterministic fast runs.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl std::fmt::Debug for LeaderConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderConfig")
+            .field("rekey_policy", &self.rekey_policy)
+            .field("max_members", &self.max_members)
+            .field("max_pending_admin", &self.max_pending_admin)
+            .field("membership_notices", &self.membership_notices)
+            .field("liveness", &self.liveness)
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
 }
 
 impl Default for LeaderConfig {
     /// Rekey on join and leave (the conservative policy), up to 1024
-    /// members, 256 queued admin messages per member.
+    /// members, 256 queued admin messages per member, historical timing.
     fn default() -> Self {
         LeaderConfig {
             rekey_policy: RekeyPolicy::OnJoinAndLeave,
             max_members: 1024,
             max_pending_admin: 256,
             membership_notices: true,
+            liveness: LivenessConfig::default(),
+            clock: None,
         }
     }
 }
@@ -101,5 +127,11 @@ mod tests {
         assert!(c.max_members >= 2);
         assert!(c.max_pending_admin >= 1);
         assert!(c.membership_notices, "notices are on unless opted out");
+        assert_eq!(
+            c.liveness,
+            LivenessConfig::default(),
+            "default timing is the historical cadence"
+        );
+        assert!(c.clock.is_none(), "real clock unless injected");
     }
 }

@@ -22,6 +22,9 @@
 //!   `enclaves-net` adversary tap: each returns whether it succeeded, so
 //!   the same script demonstrates the vulnerability on the legacy protocol
 //!   and its absence on the improved one.
+//! * [`liveness`] — injectable [`liveness::Clock`]s and the
+//!   [`liveness::LivenessConfig`] bounded-ARQ / failure-detection policy
+//!   both runtimes share (heartbeats, backoff, timeout eviction, rejoin).
 //! * [`group`], [`config`], [`directory`] — group state, rekey policy, and
 //!   the leader's user directory.
 //!
@@ -69,6 +72,7 @@ pub mod config;
 pub mod directory;
 pub mod group;
 pub mod legacy;
+pub mod liveness;
 pub mod protocol;
 pub mod runtime;
 

@@ -14,12 +14,13 @@ use enclaves_obs::{Counter, EventKind, EventStream, Histogram, Registry};
 use enclaves_wire::codec::{encode, encode_into};
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
-    ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain,
+    ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain, MsgType,
+    NonceAckPlain,
 };
 use enclaves_wire::ActorId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Below this many seal jobs the parallel path runs inline: spawning a
 /// worker pool costs more than sealing a handful of small frames.
@@ -32,6 +33,9 @@ pub enum LeaderEvent {
     MemberJoined(ActorId),
     /// A member left (voluntarily or expelled).
     MemberLeft(ActorId),
+    /// A member was evicted by the liveness layer (ARQ budget exhausted
+    /// or liveness deadline missed) — the timeout-driven `Oops(Ka)` path.
+    MemberEvicted(ActorId),
     /// The group key was rotated to this epoch.
     Rekeyed(u64),
     /// Group data from a member was relayed to the rest of the group.
@@ -102,6 +106,11 @@ pub struct LeaderStats {
     /// [`LeaderCore::retransmit_frames`] (handshake replies and
     /// unacknowledged admin messages re-sent after a timeout).
     pub retransmits: u64,
+    /// Members evicted by the liveness layer (timeout-driven `Oops(Ka)`:
+    /// ARQ budget exhausted or heartbeat deadline missed).
+    pub evictions: u64,
+    /// Heartbeat pings accepted (each one answered with a pong).
+    pub heartbeats: u64,
 }
 
 /// Registry-backed leader instrumentation. [`LeaderStats`] remains the
@@ -123,6 +132,8 @@ struct LeaderObs {
     admin_seal_ns: Counter,
     lock_hold_ns: Counter,
     retransmits: Counter,
+    evictions: Counter,
+    heartbeats: Counter,
     seal_batch_ns: Histogram,
     lock_hold_batch_ns: Histogram,
     events: Option<EventStream>,
@@ -143,6 +154,8 @@ impl LeaderObs {
             admin_seal_ns: registry.counter("leader.admin_seal_ns"),
             lock_hold_ns: registry.counter("leader.lock_hold_ns"),
             retransmits: registry.counter("leader.retransmits"),
+            evictions: registry.counter("leader.evictions"),
+            heartbeats: registry.counter("leader.heartbeats"),
             seal_batch_ns: registry.histogram("leader.seal_batch_ns"),
             lock_hold_batch_ns: registry.histogram("leader.lock_hold_batch_ns"),
             events: None,
@@ -171,6 +184,8 @@ impl LeaderObs {
             admin_seal_ns: self.admin_seal_ns.get(),
             lock_hold_ns: self.lock_hold_ns.get(),
             retransmits: self.retransmits.get(),
+            evictions: self.evictions.get(),
+            heartbeats: self.heartbeats.get(),
         }
     }
 }
@@ -262,6 +277,17 @@ struct Channel {
     pending: VecDeque<AdminPayload>,
     /// Payloads dropped due to queue overflow.
     dropped_admin: u64,
+    /// Retransmits of the current outstanding frame (reset on ack).
+    arq_attempts: u32,
+    /// When the next retransmit of the outstanding frame is due, on the
+    /// core clock. `None` when nothing is in flight.
+    retransmit_at: Option<Duration>,
+    /// Last time an authenticated message arrived from this member (ack,
+    /// heartbeat, close, or relayed data) — the liveness deadline anchor.
+    last_heard: Duration,
+    /// Highest heartbeat ping sequence accepted; replays at or below it
+    /// are rejected so a recorded ping cannot keep a dead member alive.
+    hb_seq: u64,
 }
 
 enum Slot {
@@ -274,8 +300,35 @@ enum Slot {
         /// same refcounted bytes) on a duplicate request and by the
         /// retransmission timer (stop-and-wait ARQ for the handshake).
         cached_frame: Arc<[u8]>,
+        /// Retransmits of the cached reply so far.
+        arq_attempts: u32,
+        /// When the next handshake retransmit is due, on the core clock.
+        retransmit_at: Duration,
     },
     Connected(Channel),
+}
+
+/// How a member's departure was triggered — flavours the events only.
+#[derive(Clone, Copy, Debug)]
+enum Departure {
+    /// The member asked to close (`ReqClose`).
+    Close,
+    /// The operator expelled it.
+    Expel,
+    /// The liveness layer timed it out.
+    Evict,
+}
+
+/// Output of one [`LeaderCore::tick`]: frames whose retransmit deadline
+/// passed, and members whose ARQ budget or liveness deadline expired and
+/// who must now be evicted (via [`LeaderCore::begin_evict`] or
+/// [`LeaderCore::evict_now`]).
+#[derive(Debug, Default)]
+pub struct LeaderTick {
+    /// Due retransmissions, as refcounted encoded frames.
+    pub frames: Vec<(ActorId, Arc<[u8]>)>,
+    /// Members presumed dead.
+    pub evict: Vec<ActorId>,
 }
 
 /// The leader core: Figure 3's per-user machines plus group state.
@@ -290,6 +343,11 @@ pub struct LeaderCore {
     /// Scratch buffer reused across data-plane broadcasts so a steady
     /// stream of them does not reallocate the envelope encoding each time.
     frame_buf: Vec<u8>,
+    /// The core's notion of "now" on the runtime's injected clock,
+    /// refreshed by [`LeaderCore::handle_at`] and [`LeaderCore::tick`].
+    /// Sans-I/O callers that never tick leave it at zero and the ARQ
+    /// deadlines are simply never due.
+    now: Duration,
 }
 
 impl std::fmt::Debug for LeaderCore {
@@ -326,6 +384,7 @@ impl LeaderCore {
             group: GroupState::new(),
             obs: LeaderObs::new(),
             frame_buf: Vec::new(),
+            now: Duration::ZERO,
         }
     }
 
@@ -385,6 +444,19 @@ impl LeaderCore {
         result
     }
 
+    /// [`LeaderCore::handle`] with an explicit clock reading: the runtime
+    /// reads its injected [`crate::liveness::Clock`] before taking the
+    /// core lock and passes the value here, so ARQ deadlines and liveness
+    /// anchors advance on the same timeline as [`LeaderCore::tick`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LeaderCore::handle`].
+    pub fn handle_at(&mut self, env: &Envelope, now: Duration) -> Result<LeaderOutput, CoreError> {
+        self.now = self.now.max(now);
+        self.handle(env)
+    }
+
     fn handle_inner(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
         if env.recipient != self.leader {
             return Err(CoreError::Rejected(RejectReason::WrongIdentity));
@@ -395,8 +467,20 @@ impl LeaderCore {
             MsgType::Ack => self.accept_ack(env),
             MsgType::ReqClose => self.accept_close(env),
             MsgType::GroupData => self.relay_group_data(env),
+            MsgType::Heartbeat => self.accept_heartbeat(env),
             _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
         }
+    }
+
+    /// A stable per-member discriminator for the deterministic jitter
+    /// hash (FNV-1a over the name bytes — cheap, pure, no allocation).
+    fn channel_tag(user: &ActorId) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in user.as_str().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
     }
 
     fn accept_auth_init(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
@@ -460,6 +544,11 @@ impl LeaderCore {
         self.obs.emit(|| EventKind::AuthAccepted {
             member: user.to_string(),
         });
+        let retransmit_at = self.now
+            + self
+                .config
+                .liveness
+                .jittered_delay(0, Self::channel_tag(&user));
         self.slots.insert(
             user,
             Slot::WaitingForKeyAck {
@@ -467,6 +556,8 @@ impl LeaderCore {
                 leader_nonce,
                 request_body: env.body.clone(),
                 cached_frame: encode(&reply).into(),
+                arq_attempts: 0,
+                retransmit_at,
             },
         );
         Ok(LeaderOutput {
@@ -508,6 +599,10 @@ impl LeaderCore {
                 outstanding_frame: None,
                 pending: VecDeque::new(),
                 dropped_admin: 0,
+                arq_attempts: 0,
+                retransmit_at: None,
+                last_heard: self.now,
+                hb_seq: 0,
             }),
         );
 
@@ -597,6 +692,9 @@ impl LeaderCore {
         channel.outstanding = None;
         channel.outstanding_frame = None;
         channel.user_nonce = plain.next_nonce;
+        channel.arq_attempts = 0;
+        channel.retransmit_at = None;
+        channel.last_heard = self.now;
         self.obs.emit(|| EventKind::AdminAcked {
             member: user.to_string(),
         });
@@ -629,27 +727,34 @@ impl LeaderCore {
     /// Common departure handling (voluntary close and expulsion): roster
     /// update, notices, policy rekey.
     fn member_departed(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
-        let fanout = self.depart_fanout(user, false)?;
+        let fanout = self.depart_fanout(user, Departure::Close)?;
         Ok(self.finish_serial(fanout))
     }
 
     /// The under-lock staging half of a departure: roster update, member
     /// notices, policy rekey — as seal jobs, not sealed frames.
-    /// `expelled` only flavours the observability event; the protocol
-    /// handling is identical either way.
-    fn depart_fanout(&mut self, user: &ActorId, expelled: bool) -> Result<AdminFanout, CoreError> {
+    /// `kind` flavours the operator event and the observability event;
+    /// the protocol handling is identical for all three paths (the paper's
+    /// `Oops(Ka)` close is one transition however it was triggered).
+    fn depart_fanout(&mut self, user: &ActorId, kind: Departure) -> Result<AdminFanout, CoreError> {
         let was_member = self.group.leave(user);
         let mut fanout = AdminFanout::default();
         if !was_member {
             return Ok(fanout);
         }
-        fanout.events.push(LeaderEvent::MemberLeft(user.clone()));
+        fanout.events.push(match kind {
+            Departure::Close | Departure::Expel => LeaderEvent::MemberLeft(user.clone()),
+            Departure::Evict => LeaderEvent::MemberEvicted(user.clone()),
+        });
+        if matches!(kind, Departure::Evict) {
+            self.obs.evictions.inc();
+        }
         self.obs.emit(|| {
             let member = user.to_string();
-            if expelled {
-                EventKind::Expelled { member }
-            } else {
-                EventKind::MemberClosed { member }
+            match kind {
+                Departure::Close => EventKind::MemberClosed { member },
+                Departure::Expel => EventKind::Expelled { member },
+                Departure::Evict => EventKind::Evicted { member },
             }
         });
 
@@ -720,6 +825,14 @@ impl LeaderCore {
             .map_err(|_| CoreError::Rejected(RejectReason::BadSeal))?
             .len();
 
+        // The seal verified under the current group key: authenticated
+        // traffic from this member is proof of life. (A forged frame
+        // errored out above without touching the slot.)
+        let now = self.now;
+        if let Some(Slot::Connected(channel)) = self.slots.get_mut(&user) {
+            channel.last_heard = now;
+        }
+
         let mut output = LeaderOutput::default();
         for member in self.group.roster() {
             if member == user {
@@ -744,6 +857,51 @@ impl LeaderCore {
             output.merge(self.rekey_now()?);
         }
         Ok(output)
+    }
+
+    fn accept_heartbeat(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
+        let user = env.sender.clone();
+        let leader = self.leader.clone();
+        let now = self.now;
+        let Some(Slot::Connected(channel)) = self.slots.get_mut(&user) else {
+            return Err(CoreError::Rejected(RejectReason::UnexpectedType));
+        };
+        let plain: HeartbeatPlain =
+            open(channel.session_key.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != user || plain.leader != leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        // Pings carry a strictly increasing sequence: a replayed ping must
+        // not refresh a dead member's liveness deadline.
+        if plain.seq <= channel.hb_seq {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        }
+        channel.hb_seq = plain.seq;
+        channel.last_heard = now;
+
+        // Pong: echo the ping's sequence, sealed under the session key.
+        let mut reply = Envelope {
+            msg_type: MsgType::Heartbeat,
+            sender: leader.clone(),
+            recipient: user.clone(),
+            body: Vec::new(),
+        };
+        let seq = channel.send_seq.next()?;
+        reply.body = seal(
+            channel.session_key.as_bytes(),
+            seq,
+            &reply.header_aad(),
+            &HeartbeatPlain {
+                user,
+                leader,
+                seq: plain.seq,
+            },
+        );
+        self.obs.heartbeats.inc();
+        Ok(LeaderOutput {
+            outgoing: vec![reply],
+            events: vec![],
+        })
     }
 
     /// Queues (or immediately sends) an admin payload to one member — the
@@ -820,6 +978,10 @@ impl LeaderCore {
         // slots.
         channel.outstanding = Some(leader_nonce);
         channel.outstanding_frame = None;
+        channel.arq_attempts = 0;
+        let liveness = &self.config.liveness;
+        channel.retransmit_at =
+            Some(self.now + liveness.jittered_delay(0, Self::channel_tag(user)));
         self.obs.admin_sent.inc();
         Ok(Some(SealJob {
             member: user.clone(),
@@ -1006,6 +1168,101 @@ impl LeaderCore {
         out
     }
 
+    /// Advances the liveness layer to `now`: collects the in-flight
+    /// frames whose (backoff-scheduled) retransmit deadline passed —
+    /// bumping each channel's attempt counter and rescheduling it — and
+    /// names the members whose ARQ budget is exhausted or whose liveness
+    /// deadline (no authenticated traffic for
+    /// [`LivenessConfig::liveness_timeout`]) was missed. The caller
+    /// transmits the frames and drives [`LeaderCore::begin_evict`] (or
+    /// [`LeaderCore::evict_now`]) for each named member.
+    ///
+    /// Under the default [`LivenessConfig`] this reproduces the historical
+    /// behaviour: a flat retransmit cadence, no eviction ever.
+    pub fn tick(&mut self, now: Duration) -> LeaderTick {
+        self.now = self.now.max(now);
+        let now = self.now;
+        let liveness = self.config.liveness.clone();
+        let mut tick = LeaderTick::default();
+        for (user, slot) in &mut self.slots {
+            match slot {
+                Slot::WaitingForKeyAck {
+                    cached_frame,
+                    arq_attempts,
+                    retransmit_at,
+                    ..
+                } => {
+                    if liveness.exhausted(*arq_attempts) {
+                        tick.evict.push(user.clone());
+                    } else if now >= *retransmit_at {
+                        tick.frames.push((user.clone(), Arc::clone(cached_frame)));
+                        *arq_attempts += 1;
+                        *retransmit_at =
+                            now + liveness.jittered_delay(*arq_attempts, Self::channel_tag(user));
+                    }
+                }
+                Slot::Connected(channel) => {
+                    let silent = liveness
+                        .liveness_timeout
+                        .is_some_and(|t| now > channel.last_heard + t);
+                    if liveness.exhausted(channel.arq_attempts) || silent {
+                        tick.evict.push(user.clone());
+                        continue;
+                    }
+                    if let (Some(frame), Some(due)) =
+                        (&channel.outstanding_frame, channel.retransmit_at)
+                    {
+                        if now >= due {
+                            tick.frames.push((user.clone(), Arc::clone(frame)));
+                            channel.arq_attempts += 1;
+                            channel.retransmit_at = Some(
+                                now + liveness
+                                    .jittered_delay(channel.arq_attempts, Self::channel_tag(user)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if !tick.frames.is_empty() {
+            self.obs.retransmits.add(tick.frames.len() as u64);
+            self.obs.emit(|| EventKind::Retransmit {
+                actor: self.leader.to_string(),
+                frames: tick.frames.len() as u64,
+            });
+        }
+        tick
+    }
+
+    /// The under-lock staging half of a timeout eviction: drops the
+    /// presumed-dead member's session (freeing its outstanding slot) and
+    /// stages the same departure fan-out as an expel — the Fig. 3
+    /// `Oops(Ka)` path, driven by the liveness layer instead of the
+    /// operator. A half-open handshake slot is freed silently (the user
+    /// never became a member, so there is nothing to announce).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user has no slot (already gone).
+    pub fn begin_evict(&mut self, user: &ActorId) -> Result<AdminFanout, CoreError> {
+        if self.slots.remove(user).is_none() {
+            return Err(CoreError::UnknownUser(user.to_string()));
+        }
+        self.depart_fanout(user, Departure::Evict)
+    }
+
+    /// Evicts a member inline (staging + sealing + commit on this
+    /// thread) — the serial convenience wrapper over
+    /// [`LeaderCore::begin_evict`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if the user has no slot.
+    pub fn evict_now(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let fanout = self.begin_evict(user)?;
+        Ok(self.finish_serial(fanout))
+    }
+
     /// Rotates the group key now and distributes it to every member
     /// (staging + sealing + commit all inline on this thread).
     ///
@@ -1180,7 +1437,7 @@ impl LeaderCore {
         if self.slots.remove(user).is_none() {
             return Err(CoreError::UnknownUser(user.to_string()));
         }
-        self.depart_fanout(user, true)
+        self.depart_fanout(user, Departure::Expel)
     }
 }
 

@@ -12,7 +12,8 @@ use enclaves_obs::{Counter, EventKind, EventStream, Registry};
 use enclaves_wire::codec::encode;
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
-    Envelope, GroupBroadcastWire, GroupDataWire, KeyDistPlain, MsgType, NonceAckPlain, SealedBody,
+    Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain, MsgType,
+    NonceAckPlain, SealedBody,
 };
 use enclaves_wire::ActorId;
 use std::collections::BTreeSet;
@@ -68,6 +69,14 @@ pub enum MemberEvent {
         /// Decrypted application bytes.
         data: Vec<u8>,
     },
+    /// The runtime's liveness layer presumed the leader dead (heartbeat
+    /// silence or repeated send failures). If auto-rejoin is configured
+    /// the runtime reconnects next; otherwise this is terminal.
+    LeaderLost,
+    /// The runtime is rejoining as a fresh session after leader loss:
+    /// everything the previous session held (key material, roster, group
+    /// view) is discarded and a new handshake begins.
+    RejoinStarted,
 }
 
 /// Output of handling one envelope.
@@ -91,6 +100,11 @@ pub struct SessionStats {
     /// Handshake frames re-sent by the runtime's ARQ timer, reported via
     /// [`MemberSession::note_retransmit`].
     pub retransmits: u64,
+    /// Heartbeat pings sent via [`MemberSession::heartbeat`].
+    pub heartbeats: u64,
+    /// Fresh sessions started by the runtime's auto-rejoin after leader
+    /// loss, reported via [`MemberSession::note_rejoin`].
+    pub rejoins: u64,
 }
 
 /// Registry-backed member instrumentation. [`SessionStats`] remains the
@@ -103,17 +117,24 @@ struct MemberObs {
     rejected: Counter,
     admin_accepted: Counter,
     retransmits: Counter,
+    heartbeats: Counter,
+    rejoins: Counter,
     events: Option<EventStream>,
 }
 
 impl MemberObs {
     fn new() -> Self {
-        let registry = Registry::new();
+        Self::on_registry(Registry::new())
+    }
+
+    fn on_registry(registry: Registry) -> Self {
         MemberObs {
             accepted: registry.counter("member.accepted"),
             rejected: registry.counter("member.rejected"),
             admin_accepted: registry.counter("member.admin_accepted"),
             retransmits: registry.counter("member.retransmits"),
+            heartbeats: registry.counter("member.heartbeats"),
+            rejoins: registry.counter("member.rejoins"),
             events: None,
             registry,
         }
@@ -133,6 +154,8 @@ impl MemberObs {
             rejected: self.rejected.get(),
             admin_accepted: self.admin_accepted.get(),
             retransmits: self.retransmits.get(),
+            heartbeats: self.heartbeats.get(),
+            rejoins: self.rejoins.get(),
         }
     }
 }
@@ -162,6 +185,10 @@ struct Connected {
     /// sent for it: a retransmitted duplicate gets the cached ack again
     /// (stop-and-wait ARQ), everything else stale is rejected.
     last_ack: Option<(ProtocolNonce, Envelope)>,
+    /// Heartbeat ping sequence: pre-incremented per ping, so the leader
+    /// can reject replayed pings (and we can reject forged pongs claiming
+    /// a sequence we never sent).
+    hb_seq: u64,
 }
 
 enum Phase {
@@ -411,6 +438,7 @@ impl MemberSession {
             (Phase::Connected(_), MsgType::AdminMsg) => self.accept_admin(env),
             (Phase::Connected(_), MsgType::GroupData) => self.accept_group_data(env),
             (Phase::Connected(_), MsgType::GroupBroadcast) => self.accept_broadcast(env),
+            (Phase::Connected(_), MsgType::Heartbeat) => self.accept_heartbeat_pong(env),
             _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
         }
     }
@@ -461,6 +489,7 @@ impl MemberSession {
             group_seq: NonceSequence::new(group_seq_prefix(&self.user)),
             roster: BTreeSet::new(),
             last_ack: None,
+            hb_seq: 0,
         }));
         self.handshake_pending = Some(reply.clone());
         self.obs.emit(|| EventKind::SessionEstablished {
@@ -692,6 +721,84 @@ impl MemberSession {
                 data,
             }],
         })
+    }
+
+    fn accept_heartbeat_pong(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
+        let Phase::Connected(conn) = &mut self.phase else {
+            unreachable!("checked by caller");
+        };
+        let plain: HeartbeatPlain =
+            open(conn.session_key.as_bytes(), &env.header_aad(), &env.body)?;
+        if plain.user != self.user || plain.leader != self.leader {
+            return Err(CoreError::Rejected(RejectReason::WrongIdentity));
+        }
+        // The pong echoes one of our pings; a sequence we never sent is a
+        // forgery attempt (impossible without the session key, but checked
+        // anyway — defense in depth).
+        if plain.seq > conn.hb_seq {
+            return Err(CoreError::Rejected(RejectReason::StaleNonce));
+        }
+        Ok(MemberOutput::default())
+    }
+
+    /// Produces a heartbeat ping for the leader, sealed under the session
+    /// key with a strictly increasing sequence. The runtime sends these
+    /// when the channel is otherwise idle; any authenticated reply (the
+    /// pong included) refreshes the leader-liveness deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if not connected.
+    pub fn heartbeat(&mut self) -> Result<Envelope, CoreError> {
+        let Phase::Connected(conn) = &mut self.phase else {
+            return Err(CoreError::BadPhase {
+                operation: "heartbeat",
+                phase: "not connected",
+            });
+        };
+        conn.hb_seq += 1;
+        let mut env = Envelope {
+            msg_type: MsgType::Heartbeat,
+            sender: self.user.clone(),
+            recipient: self.leader.clone(),
+            body: Vec::new(),
+        };
+        env.body = seal(
+            conn.session_key.as_bytes(),
+            conn.send_seq.next()?,
+            &env.header_aad(),
+            &HeartbeatPlain {
+                user: self.user.clone(),
+                leader: self.leader.clone(),
+                seq: conn.hb_seq,
+            },
+        );
+        self.obs.heartbeats.inc();
+        Ok(env)
+    }
+
+    /// The long-term key this session authenticated with — the runtime's
+    /// auto-rejoin starts the replacement session from it without
+    /// re-deriving from the password.
+    #[must_use]
+    pub(crate) fn long_term_key(&self) -> LongTermKey {
+        self.long_term.clone()
+    }
+
+    /// Re-homes this session's counters onto `registry` (preserving any
+    /// attached event stream): a rejoin session keeps recording into the
+    /// registry the observer captured when the runtime was spawned, so
+    /// `member.*` metrics accumulate across session generations.
+    pub(crate) fn adopt_registry(&mut self, registry: Registry) {
+        let events = self.obs.events.take();
+        self.obs = MemberObs::on_registry(registry);
+        self.obs.events = events;
+    }
+
+    /// Records one auto-rejoin (a fresh session spawned after leader
+    /// loss).
+    pub(crate) fn note_rejoin(&self) {
+        self.obs.rejoins.inc();
     }
 
     /// Seals application data for the group and returns the `GroupData`

@@ -18,8 +18,8 @@ pub mod leader;
 pub mod member;
 
 pub use leader::{
-    AdminFanout, BroadcastFrame, LeaderCore, LeaderEvent, LeaderOutput, LeaderStats, SealJob,
-    SealedAdminFrame, SealedBatch,
+    AdminFanout, BroadcastFrame, LeaderCore, LeaderEvent, LeaderOutput, LeaderStats, LeaderTick,
+    SealJob, SealedAdminFrame, SealedBatch,
 };
 pub use member::{MemberEvent, MemberOutput, MemberSession, SessionPhase};
 

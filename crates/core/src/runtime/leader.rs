@@ -2,6 +2,7 @@
 
 use crate::config::LeaderConfig;
 use crate::directory::Directory;
+use crate::liveness::{Clock, RealClock};
 use crate::protocol::{AdminFanout, LeaderCore, LeaderEvent};
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
@@ -14,10 +15,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-const POLL: Duration = Duration::from_millis(25);
-/// How often in-flight messages are retransmitted.
-const RETRANSMIT: Duration = Duration::from_millis(400);
 
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -38,6 +35,10 @@ pub struct BroadcastReceipt {
 
 struct Shared {
     core: Mutex<LeaderCore>,
+    /// The liveness clock: real time by default, virtual under test.
+    clock: Arc<dyn Clock>,
+    /// Thread poll cadence, from [`crate::liveness::LivenessConfig`].
+    poll: Duration,
     /// Links bound to authenticated identities.
     routes: Mutex<HashMap<ActorId, Sender<Frame>>>,
     events_tx: Sender<LeaderEvent>,
@@ -95,9 +96,14 @@ impl Shared {
     }
 
     fn emit(&self, events: Vec<LeaderEvent>) {
-        let roster_changed = events
-            .iter()
-            .any(|e| matches!(e, LeaderEvent::MemberJoined(_) | LeaderEvent::MemberLeft(_)));
+        let roster_changed = events.iter().any(|e| {
+            matches!(
+                e,
+                LeaderEvent::MemberJoined(_)
+                    | LeaderEvent::MemberLeft(_)
+                    | LeaderEvent::MemberEvicted(_)
+            )
+        });
         for e in events {
             let _ = self.events_tx.send(e);
         }
@@ -106,6 +112,46 @@ impl Shared {
             self.roster_cv.notify_all();
         }
     }
+
+    /// The out-of-lock tail of an admin fan-out: seal across the worker
+    /// pool, re-enter the core lock to commit the frames into the
+    /// retransmit caches, then emit the operation's events *before*
+    /// dispatching its frames (all still under the send-order lock), so no
+    /// observer can record a delivery before its send.
+    fn finish_fanout(&self, fanout: AdminFanout, stage_ns: u64) {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
+        {
+            let committed = Instant::now();
+            let mut core = self.core.lock();
+            core.commit_admin_frames(&batch);
+            core.note_lock_hold(stage_ns + elapsed_ns(committed));
+        }
+        self.emit(fanout.events);
+        self.dispatch_frames(
+            batch
+                .frames
+                .iter()
+                .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
+        );
+    }
+}
+
+/// The timeout-driven `Oops(Ka)` path (Figure 3): frees the presumed-dead
+/// member's slot, severs its route, and runs the departure fan-out
+/// (notices, policy rekey) through the same staged out-of-lock seal
+/// pipeline as an expel.
+fn evict(shared: &Shared, user: &ActorId) {
+    let _order = shared.send_order.lock();
+    let staged = Instant::now();
+    let Ok(fanout) = shared.core.lock().begin_evict(user) else {
+        // The member departed on its own between the tick decision and
+        // this call; nothing to do.
+        return;
+    };
+    let stage_ns = elapsed_ns(staged);
+    shared.routes.lock().remove(user);
+    shared.finish_fanout(fanout, stage_ns);
 }
 
 /// A running leader: acceptor plus per-link handlers around a
@@ -133,8 +179,15 @@ impl LeaderRuntime {
         config: LeaderConfig,
     ) -> Self {
         let (events_tx, events_rx) = unbounded();
+        let clock: Arc<dyn Clock> = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(RealClock::new()));
+        let poll = config.liveness.poll;
         let shared = Arc::new(Shared {
             core: Mutex::new(LeaderCore::new(leader_id, directory, config)),
+            clock,
+            poll,
             routes: Mutex::new(HashMap::new()),
             events_tx,
             running: AtomicBool::new(true),
@@ -148,7 +201,7 @@ impl LeaderRuntime {
             .name("enclaves-leader-acceptor".into())
             .spawn(move || {
                 while accept_shared.running.load(Ordering::Relaxed) {
-                    match listener.accept_timeout(POLL) {
+                    match listener.accept_timeout(accept_shared.poll) {
                         Ok(link) => {
                             let link_shared = Arc::clone(&accept_shared);
                             let _ = std::thread::Builder::new()
@@ -162,18 +215,24 @@ impl LeaderRuntime {
             })
             .expect("spawn leader acceptor");
 
-        // Retransmission timer: re-send every in-flight message on a
-        // fixed cadence; recipients handle duplicates idempotently. The
-        // frames come straight from the per-channel caches, so a tick is
-        // one refcount clone per in-flight message — no re-encoding.
+        // Liveness timer: every poll interval, ask the core which ARQ
+        // frames are due (bounded, backed-off per channel) and which
+        // members have exhausted their budget or missed their heartbeat
+        // deadline. Retransmit frames come straight from the per-channel
+        // caches — one refcount clone per in-flight message, no
+        // re-encoding; evictions run the full departure fan-out.
         let tick_shared = Arc::clone(&shared);
         let ticker = std::thread::Builder::new()
             .name("enclaves-leader-ticker".into())
             .spawn(move || {
                 while tick_shared.running.load(Ordering::Relaxed) {
-                    std::thread::sleep(RETRANSMIT);
-                    let frames = tick_shared.core.lock().retransmit_frames();
-                    tick_shared.dispatch_frames(frames);
+                    std::thread::sleep(tick_shared.poll);
+                    let now = tick_shared.clock.now();
+                    let tick = tick_shared.core.lock().tick(now);
+                    tick_shared.dispatch_frames(tick.frames);
+                    for user in &tick.evict {
+                        evict(&tick_shared, user);
+                    }
                 }
             })
             .expect("spawn leader ticker");
@@ -237,7 +296,7 @@ impl LeaderRuntime {
         let staged = Instant::now();
         let fanout = self.shared.core.lock().begin_rekey()?;
         let stage_ns = elapsed_ns(staged);
-        self.finish_fanout(fanout, stage_ns);
+        self.shared.finish_fanout(fanout, stage_ns);
         Ok(())
     }
 
@@ -260,31 +319,8 @@ impl LeaderRuntime {
             (fanout, recipients)
         };
         let stage_ns = elapsed_ns(staged);
-        self.finish_fanout(fanout, stage_ns);
+        self.shared.finish_fanout(fanout, stage_ns);
         Ok(recipients)
-    }
-
-    /// The out-of-lock tail of an admin fan-out: seal across the worker
-    /// pool, re-enter the core lock to commit the frames into the
-    /// retransmit caches, then emit the operation's events *before*
-    /// dispatching its frames (all still under the send-order lock), so no
-    /// observer can record a delivery before its send.
-    fn finish_fanout(&self, fanout: AdminFanout, stage_ns: u64) {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
-        {
-            let committed = Instant::now();
-            let mut core = self.shared.core.lock();
-            core.commit_admin_frames(&batch);
-            core.note_lock_hold(stage_ns + elapsed_ns(committed));
-        }
-        self.shared.emit(fanout.events);
-        self.shared.dispatch_frames(
-            batch
-                .frames
-                .iter()
-                .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
-        );
     }
 
     /// Broadcasts application data over the single-seal group-key data
@@ -332,7 +368,7 @@ impl LeaderRuntime {
         // Sever the route before any dispatch so the expelled member
         // cannot receive post-expulsion frames.
         self.shared.routes.lock().remove(user);
-        self.finish_fanout(fanout, stage_ns);
+        self.shared.finish_fanout(fanout, stage_ns);
         Ok(())
     }
 
@@ -386,13 +422,17 @@ fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
                 return;
             }
         }
-        match link.recv_timeout(POLL) {
+        match link.recv_timeout(shared.poll) {
             Ok(frame) => {
                 let Ok(env) = decode::<Envelope>(&frame) else {
                     continue; // malformed frame: drop
                 };
                 let sender = env.sender.clone();
-                let result = shared.core.lock().handle(&env);
+                // Read the clock before taking the core lock so the
+                // liveness bookkeeping sees arrival time, not lock-grant
+                // time.
+                let now = shared.clock.now();
+                let result = shared.core.lock().handle_at(&env, now);
                 match result {
                     Ok(output) => {
                         // Bind this link to the claimed identity only on
@@ -416,7 +456,9 @@ fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
                         // A departing member's route is dropped so a later
                         // rejoin (possibly on a new link) starts clean.
                         for event in &output.events {
-                            if let LeaderEvent::MemberLeft(user) = event {
+                            if let LeaderEvent::MemberLeft(user)
+                            | LeaderEvent::MemberEvicted(user) = event
+                            {
                                 shared.routes.lock().remove(user);
                             }
                         }

@@ -1,10 +1,14 @@
 //! The threaded member runtime.
 
+use crate::liveness::{Clock, LivenessConfig, RealClock};
 use crate::protocol::{MemberEvent, MemberSession, SessionPhase};
 use crate::runtime::wait_for;
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use enclaves_net::{Frame, Link};
+use enclaves_crypto::keys::LongTermKey;
+use enclaves_crypto::rng::OsEntropyRng;
+use enclaves_net::{Frame, Link, NetError};
+use enclaves_obs::{EventKind, EventStream, Registry};
 use enclaves_wire::codec::{decode, encode};
 use enclaves_wire::message::Envelope;
 use enclaves_wire::ActorId;
@@ -13,14 +17,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-const POLL: Duration = Duration::from_millis(25);
-/// How often an incomplete handshake is retransmitted.
-const RETRANSMIT: Duration = Duration::from_millis(250);
+/// Builds a replacement [`Link`] to the leader. The auto-rejoin loop
+/// calls it (with backoff) after presuming the leader or the wire dead;
+/// an `Err` means "not reachable yet, try again later".
+pub type Reconnector = Box<dyn Fn() -> Result<Box<dyn Link>, NetError> + Send>;
 
 /// Optional hooks for a [`MemberRuntime`], used by test harnesses that
 /// need to observe or sabotage a member without changing application
-/// behavior.
-#[derive(Default)]
+/// behavior, plus the liveness knobs for the member's ARQ / heartbeat /
+/// rejoin machinery.
 pub struct MemberOptions {
     /// Every [`MemberEvent`] is cloned into this channel *before* it is
     /// made available on [`MemberRuntime::events`]. Lets a harness record
@@ -34,7 +39,30 @@ pub struct MemberOptions {
     /// changes, handshake milestones, and ARQ retransmits are emitted onto
     /// it (typically the same stream the leader emits onto, giving one
     /// totally ordered run record).
-    pub events: Option<enclaves_obs::EventStream>,
+    pub events: Option<EventStream>,
+    /// ARQ / heartbeat / rejoin timing. The default
+    /// ([`LivenessConfig::member_default`]) reproduces the historical
+    /// fixed-cadence, retry-forever behavior.
+    pub liveness: LivenessConfig,
+    /// Clock driving every liveness deadline; `None` means real monotonic
+    /// time. Chaos tests inject a [`crate::liveness::VirtualClock`].
+    pub clock: Option<Arc<dyn Clock>>,
+    /// How to re-reach the leader after a presumed death. Auto-rejoin
+    /// requires both this hook and [`LivenessConfig::auto_rejoin`].
+    pub reconnect: Option<Reconnector>,
+}
+
+impl Default for MemberOptions {
+    fn default() -> Self {
+        MemberOptions {
+            observer: None,
+            disable_broadcast_watermark: false,
+            events: None,
+            liveness: LivenessConfig::member_default(),
+            clock: None,
+            reconnect: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for MemberOptions {
@@ -46,14 +74,38 @@ impl std::fmt::Debug for MemberOptions {
                 &self.disable_broadcast_watermark,
             )
             .field("events", &self.events.is_some())
+            .field("liveness", &self.liveness)
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .field("reconnect", &self.reconnect.is_some())
             .finish()
     }
 }
 
+/// What the application hands the worker to write.
+enum Out {
+    /// A frame for the current link.
+    Frame(Frame),
+    /// A write barrier: the worker acks once every frame queued before it
+    /// has been handed to the link (the queue is FIFO and the worker
+    /// writes it in order, so the ack proves the earlier frames left).
+    Flush(Sender<()>),
+}
+
 struct Shared {
     session: Mutex<MemberSession>,
-    out_tx: Sender<Frame>,
+    out_tx: Sender<Out>,
     running: AtomicBool,
+}
+
+/// Why one session loop ended.
+enum LoopExit {
+    /// `running` was cleared (leave/abandon/shutdown).
+    Stopped,
+    /// The link failed on a send or receive.
+    LinkFailed,
+    /// The leader went silent past the liveness budget: the handshake ARQ
+    /// ran dry or the heartbeat deadline passed.
+    LeaderSilent,
 }
 
 /// A running member: a receive loop around a
@@ -129,91 +181,60 @@ impl MemberRuntime {
         init: Envelope,
         options: MemberOptions,
     ) -> Result<Self, CoreError> {
-        let observer = options.observer;
-        if let Some(events) = options.events {
+        let MemberOptions {
+            observer,
+            disable_broadcast_watermark: _,
+            events: stream,
+            liveness,
+            clock,
+            reconnect,
+        } = options;
+        if let Some(events) = &stream {
             // Emit the join start before the init frame can reach any
             // wire, so the stream's order is a real happened-before order.
-            events.emit(enclaves_obs::EventKind::JoinStarted {
+            events.emit(EventKind::JoinStarted {
                 member: init.sender.to_string(),
             });
-            session.set_event_stream(events);
+            session.set_event_stream(events.clone());
         }
+        // Capture everything a rejoin needs to mint a fresh session
+        // before the current one is consumed by the worker.
+        let user = init.sender.clone();
+        let leader = init.recipient.clone();
+        let long_term = session.long_term_key();
+        let registry = session.obs_registry();
         link.send(encode(&init).into())?;
         let (events_tx, events_rx) = unbounded();
-        let (out_tx, out_rx) = unbounded::<Frame>();
+        let (out_tx, out_rx) = unbounded::<Out>();
         let shared = Arc::new(Shared {
             session: Mutex::new(session),
             out_tx,
             running: AtomicBool::new(true),
         });
 
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
+        let worker = Worker {
+            shared: Arc::clone(&shared),
+            out_rx,
+            observer,
+            events_tx,
+            stream,
+            clock: clock.unwrap_or_else(|| Arc::new(RealClock::new())),
+            liveness,
+            reconnect,
+            user,
+            leader,
+            long_term,
+            registry,
+        };
+        let handle = std::thread::Builder::new()
             .name("enclaves-member".into())
-            .spawn(move || {
-                let mut last_retransmit = std::time::Instant::now();
-                while worker_shared.running.load(Ordering::Relaxed) {
-                    while let Ok(frame) = out_rx.try_recv() {
-                        if link.send(frame).is_err() {
-                            return;
-                        }
-                    }
-                    // Handshake ARQ: until the welcome arrives, periodically
-                    // re-send the pending handshake message (the leader
-                    // handles duplicates idempotently).
-                    if last_retransmit.elapsed() >= RETRANSMIT {
-                        last_retransmit = std::time::Instant::now();
-                        let pending = {
-                            let session = worker_shared.session.lock();
-                            let pending = session.handshake_pending().map(encode);
-                            if pending.is_some() {
-                                session.note_retransmit(1);
-                            }
-                            pending
-                        };
-                        if let Some(frame) = pending {
-                            if link.send(frame.into()).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                    match link.recv_timeout(POLL) {
-                        Ok(frame) => {
-                            let Ok(env) = decode::<Envelope>(&frame) else {
-                                continue;
-                            };
-                            let result = worker_shared.session.lock().handle(&env);
-                            if let Ok(output) = result {
-                                if let Some(reply) = output.reply {
-                                    if link.send(encode(&reply).into()).is_err() {
-                                        return;
-                                    }
-                                }
-                                for e in output.events {
-                                    // Tee to the harness observer first so
-                                    // a recorded delivery is never missing
-                                    // from the trace while the application
-                                    // has already reacted to it.
-                                    if let Some(obs) = &observer {
-                                        let _ = obs.send(e.clone());
-                                    }
-                                    let _ = events_tx.send(e);
-                                }
-                            }
-                            // Rejected traffic is dropped; the stats
-                            // counter in the session records it.
-                        }
-                        Err(enclaves_net::NetError::Timeout) => continue,
-                        Err(_) => return,
-                    }
-                }
-            })
+            .spawn(move || worker.run(link))
             .expect("spawn member worker");
 
         Ok(MemberRuntime {
             shared,
             events_rx,
-            worker: Some(worker),
+            worker: Some(handle),
         })
     }
 
@@ -248,9 +269,10 @@ impl MemberRuntime {
     }
 
     /// The session's metric registry (`member.*` names); snapshots taken
-    /// from it see the live counters.
+    /// from it see the live counters. Rejoin sessions re-home onto the
+    /// same registry, so the counters accumulate across generations.
     #[must_use]
-    pub fn obs_registry(&self) -> enclaves_obs::Registry {
+    pub fn obs_registry(&self) -> Registry {
         self.shared.session.lock().obs_registry()
     }
 
@@ -292,21 +314,27 @@ impl MemberRuntime {
         let env = self.shared.session.lock().send_group_data(data)?;
         self.shared
             .out_tx
-            .send(encode(&env).into())
+            .send(Out::Frame(encode(&env).into()))
             .map_err(|_| CoreError::RuntimeGone)?;
         Ok(())
     }
 
     /// Leaves the group and stops the worker.
     ///
+    /// The close frame is queued ahead of a flush barrier, and the stop
+    /// flag is only raised once the worker acknowledges the barrier — so
+    /// the close has actually been written to the link, not raced by the
+    /// shutdown.
+    ///
     /// # Errors
     ///
     /// [`CoreError::BadPhase`] if not connected.
     pub fn leave(mut self) -> Result<(), CoreError> {
         let env = self.shared.session.lock().leave()?;
-        let _ = self.shared.out_tx.send(encode(&env).into());
-        // Give the worker a moment to flush the close, then stop.
-        std::thread::sleep(POLL * 2);
+        let _ = self.shared.out_tx.send(Out::Frame(encode(&env).into()));
+        let (ack_tx, ack_rx) = unbounded();
+        let _ = self.shared.out_tx.send(Out::Flush(ack_tx));
+        let _ = ack_rx.recv_timeout(Duration::from_secs(2));
         self.shared.running.store(false, Ordering::Relaxed);
         if let Some(h) = self.worker.take() {
             let _ = h.join();
@@ -319,6 +347,221 @@ impl MemberRuntime {
         self.shared.running.store(false, Ordering::Relaxed);
         if let Some(h) = self.worker.take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// The worker thread: session loops joined by the auto-rejoin loop.
+struct Worker {
+    shared: Arc<Shared>,
+    out_rx: Receiver<Out>,
+    observer: Option<Sender<MemberEvent>>,
+    events_tx: Sender<MemberEvent>,
+    stream: Option<EventStream>,
+    clock: Arc<dyn Clock>,
+    liveness: LivenessConfig,
+    reconnect: Option<Reconnector>,
+    user: ActorId,
+    leader: ActorId,
+    long_term: LongTermKey,
+    registry: Registry,
+}
+
+/// Jitter-channel tags for the member's two backoff schedules, so their
+/// deterministic jitter streams do not collide.
+const ARQ_CHANNEL: u64 = 0;
+const RECONNECT_CHANNEL: u64 = 1;
+
+impl Worker {
+    fn run(mut self, mut link: Box<dyn Link>) {
+        loop {
+            match self.session_loop(link.as_ref()) {
+                LoopExit::Stopped => return,
+                LoopExit::LinkFailed | LoopExit::LeaderSilent => {
+                    let Some(next) = self.reconnect_and_rejoin() else {
+                        return;
+                    };
+                    link = next;
+                }
+            }
+        }
+    }
+
+    /// Tees one event to the harness observer first, then the
+    /// application, so a recorded delivery is never missing from the
+    /// trace while the application has already reacted to it.
+    fn forward(&self, e: MemberEvent) {
+        if let Some(obs) = &self.observer {
+            let _ = obs.send(e.clone());
+        }
+        let _ = self.events_tx.send(e);
+    }
+
+    /// Pumps one session over one link until it stops, the link dies, or
+    /// the leader is presumed dead.
+    fn session_loop(&mut self, link: &dyn Link) -> LoopExit {
+        let lv = self.liveness.clone();
+        let started = self.clock.now();
+        let mut arq_attempts: u32 = 0;
+        let mut next_retransmit = started + lv.jittered_delay(0, ARQ_CHANNEL);
+        let mut next_heartbeat = lv.heartbeat_interval.map(|i| started + i);
+        let mut last_heard = started;
+        while self.shared.running.load(Ordering::Relaxed) {
+            // Write anything the application queued; a flush barrier acks
+            // once the frames queued before it have been handed over.
+            while let Ok(out) = self.out_rx.try_recv() {
+                match out {
+                    Out::Frame(frame) => {
+                        if link.send(frame).is_err() {
+                            return LoopExit::LinkFailed;
+                        }
+                    }
+                    Out::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            let now = self.clock.now();
+            // Handshake ARQ: until the welcome arrives, re-send the
+            // pending handshake message on the backoff schedule (the
+            // leader handles duplicates idempotently). A bounded budget
+            // running dry means the leader is presumed dead.
+            if now >= next_retransmit {
+                let pending = {
+                    let session = self.shared.session.lock();
+                    let pending = session.handshake_pending().map(encode);
+                    if pending.is_some() {
+                        session.note_retransmit(1);
+                    }
+                    pending
+                };
+                if let Some(frame) = pending {
+                    if lv.exhausted(arq_attempts) {
+                        return LoopExit::LeaderSilent;
+                    }
+                    if link.send(frame.into()).is_err() {
+                        return LoopExit::LinkFailed;
+                    }
+                    arq_attempts = arq_attempts.saturating_add(1);
+                } else {
+                    arq_attempts = 0;
+                }
+                next_retransmit = now + lv.jittered_delay(arq_attempts, ARQ_CHANNEL);
+            }
+            // Heartbeat ping (connected sessions only): proves this member
+            // alive to the leader and solicits the pong that proves the
+            // leader alive to us.
+            if let Some(at) = next_heartbeat {
+                if now >= at {
+                    if let Ok(env) = self.shared.session.lock().heartbeat() {
+                        if link.send(encode(&env).into()).is_err() {
+                            return LoopExit::LinkFailed;
+                        }
+                    }
+                    next_heartbeat =
+                        Some(now + lv.heartbeat_interval.unwrap_or(Duration::from_secs(1)));
+                }
+            }
+            // Leader-loss detection: too long since the last authentic
+            // frame from the leader.
+            if let Some(timeout) = lv.liveness_timeout {
+                if now > last_heard + timeout {
+                    return LoopExit::LeaderSilent;
+                }
+            }
+            match link.recv_timeout(lv.poll) {
+                Ok(frame) => {
+                    let Ok(env) = decode::<Envelope>(&frame) else {
+                        continue;
+                    };
+                    let result = self.shared.session.lock().handle(&env);
+                    if let Ok(output) = result {
+                        // Only an *accepted* (authenticated, fresh) frame
+                        // refreshes the liveness deadline: forged traffic
+                        // must not keep a dead leader "alive".
+                        last_heard = self.clock.now();
+                        if let Some(reply) = output.reply {
+                            if link.send(encode(&reply).into()).is_err() {
+                                return LoopExit::LinkFailed;
+                            }
+                        }
+                        for e in output.events {
+                            self.forward(e);
+                        }
+                    }
+                    // Rejected traffic is dropped; the stats counter in
+                    // the session records it.
+                }
+                Err(NetError::Timeout) => continue,
+                Err(_) => return LoopExit::LinkFailed,
+            }
+        }
+        LoopExit::Stopped
+    }
+
+    /// After a presumed leader death: reconnect with backoff and start a
+    /// *fresh* session (new handshake, new session key) in whatever epoch
+    /// the group is in now. Returns the new link, or `None` when rejoin
+    /// is disabled or the runtime stopped while waiting.
+    fn reconnect_and_rejoin(&mut self) -> Option<Box<dyn Link>> {
+        if !self.liveness.auto_rejoin || self.reconnect.is_none() {
+            return None;
+        }
+        if let Some(stream) = &self.stream {
+            stream.emit(EventKind::LeaderLost {
+                member: self.user.to_string(),
+            });
+        }
+        self.forward(MemberEvent::LeaderLost);
+        let mut attempt: u32 = 0;
+        while self.shared.running.load(Ordering::Relaxed) {
+            // Keep servicing flush barriers while between links so a
+            // concurrent `leave` cannot hang; frames have nowhere to go.
+            while let Ok(out) = self.out_rx.try_recv() {
+                if let Out::Flush(ack) = out {
+                    let _ = ack.send(());
+                }
+            }
+            let reconnect = self.reconnect.as_ref()?;
+            if let Ok(link) = reconnect() {
+                let (mut session, init) = MemberSession::start_with_key(
+                    self.user.clone(),
+                    self.leader.clone(),
+                    self.long_term.clone(),
+                    Box::new(OsEntropyRng::new()),
+                );
+                // The fresh session keeps recording into the registry the
+                // application captured at spawn time, and announces its
+                // join before the init frame can reach the wire.
+                session.adopt_registry(self.registry.clone());
+                if let Some(stream) = &self.stream {
+                    stream.emit(EventKind::JoinStarted {
+                        member: self.user.to_string(),
+                    });
+                    session.set_event_stream(stream.clone());
+                }
+                session.note_rejoin();
+                *self.shared.session.lock() = session;
+                self.forward(MemberEvent::RejoinStarted);
+                if link.send(encode(&init).into()).is_ok() {
+                    return Some(link);
+                }
+                // The new link died before the init left; fall through to
+                // the backoff and try again.
+            }
+            attempt = attempt.saturating_add(1);
+            self.backoff_wait(attempt);
+        }
+        None
+    }
+
+    /// Sleeps out one reconnect backoff step, staying responsive to the
+    /// stop flag and to virtual-clock time (which advances independently
+    /// of real time).
+    fn backoff_wait(&self, attempt: u32) {
+        let deadline = self.clock.now() + self.liveness.jittered_delay(attempt, RECONNECT_CHANNEL);
+        while self.shared.running.load(Ordering::Relaxed) && self.clock.now() < deadline {
+            std::thread::sleep(self.liveness.poll);
         }
     }
 }

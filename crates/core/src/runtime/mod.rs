@@ -17,7 +17,7 @@ mod leader;
 mod member;
 
 pub use leader::{BroadcastReceipt, LeaderRuntime};
-pub use member::{MemberOptions, MemberRuntime};
+pub use member::{MemberOptions, MemberRuntime, Reconnector};
 
 use crossbeam_channel::Receiver;
 use std::time::{Duration, Instant};

@@ -120,6 +120,18 @@ pub enum EventKind {
         /// Member name.
         member: String,
     },
+    /// The liveness layer evicted the member (ARQ budget exhausted or
+    /// heartbeat deadline missed) — the timeout-driven `Oops(Ka)` path.
+    Evicted {
+        /// Member name.
+        member: String,
+    },
+    /// A member's runtime presumed its leader dead (heartbeat silence or
+    /// repeated send failures).
+    LeaderLost {
+        /// Member name.
+        member: String,
+    },
     /// An ARQ layer re-sent in-flight frames.
     Retransmit {
         /// Who retransmitted (leader or member name).
@@ -157,6 +169,8 @@ impl EventKind {
             EventKind::CloseRequested { .. } => "CloseRequested",
             EventKind::MemberClosed { .. } => "MemberClosed",
             EventKind::Expelled { .. } => "Expelled",
+            EventKind::Evicted { .. } => "Evicted",
+            EventKind::LeaderLost { .. } => "LeaderLost",
             EventKind::Retransmit { .. } => "Retransmit",
             EventKind::SealBatch { .. } => "SealBatch",
         }
@@ -335,6 +349,8 @@ mod tests {
             EventKind::CloseRequested { member: "a".into() },
             EventKind::MemberClosed { member: "a".into() },
             EventKind::Expelled { member: "a".into() },
+            EventKind::Evicted { member: "a".into() },
+            EventKind::LeaderLost { member: "a".into() },
             EventKind::Retransmit {
                 actor: "a".into(),
                 frames: 0,

@@ -24,11 +24,20 @@
 //! * [`EpochMonotonicChecker`] — group-key epochs never move backwards,
 //!   at the leader or at any member.
 //! * [`CloseOnceChecker`] — at most one leader-observed departure per
-//!   member session.
+//!   member session (voluntary close, expel, or liveness eviction).
 //! * [`FinalAgreementChecker`] — after the network heals and the system
 //!   quiesces, every connected member agrees with the leader on the
 //!   group-key epoch and has opened the final probe broadcast (an AEAD
 //!   proof that it holds the same `K_g`, not just the same number).
+//! * [`EvictionLivenessChecker`] — a member whose wire the driver crashed
+//!   is eventually evicted by the leader's liveness layer (or re-welcomed,
+//!   if it healed and rejoined before the eviction fired).
+//! * [`NoFalseEvictionChecker`] — the leader never evicts a member the
+//!   driver did not actually crash or partition: bounded delay and loss
+//!   alone must not exhaust a correctly budgeted ARQ.
+//! * [`RejoinFreshEpochChecker`] — a member re-welcomed after an eviction
+//!   lands in a strictly newer group-key epoch than any it held before
+//!   (the eviction's policy rekey must fence the old key off).
 
 use crate::properties::AdminPrefixProperty;
 use enclaves_model::explore::StateChecker;
@@ -113,6 +122,30 @@ pub enum LiveEvent {
     },
     /// The leader observed `member` depart (voluntary close or expel).
     MemberClosed {
+        /// Member name.
+        member: String,
+    },
+    /// The leader's liveness layer evicted `member` (ARQ budget exhausted
+    /// or heartbeat deadline missed) — the timeout-driven `Oops(Ka)` path.
+    Evicted {
+        /// Member name.
+        member: String,
+    },
+    /// Driver fault marker: `member`'s wire was severed without a close
+    /// (crash-without-close). Only the chaos driver records these; they
+    /// never appear in the observability projection.
+    Crashed {
+        /// Member name.
+        member: String,
+    },
+    /// Driver fault marker: `member` was partitioned from the leader.
+    Partitioned {
+        /// Member name.
+        member: String,
+    },
+    /// Driver fault marker: a partition or crash affecting `member` was
+    /// healed.
+    Healed {
         /// Member name.
         member: String,
     },
@@ -428,21 +461,25 @@ impl LiveChecker for CloseOnceChecker {
                 LiveEvent::MemberJoined { member } => {
                     state.insert(member.clone(), true);
                 }
-                LiveEvent::MemberClosed { member } => match state.get(member) {
-                    Some(true) => {
-                        state.insert(member.clone(), false);
+                // An eviction is a departure like any other: the same
+                // session must not also close voluntarily afterwards.
+                LiveEvent::MemberClosed { member } | LiveEvent::Evicted { member } => {
+                    match state.get(member) {
+                        Some(true) => {
+                            state.insert(member.clone(), false);
+                        }
+                        Some(false) => violations.push(Violation {
+                            checker: self.name(),
+                            index,
+                            detail: format!("member {member} departed twice in one session"),
+                        }),
+                        None => violations.push(Violation {
+                            checker: self.name(),
+                            index,
+                            detail: format!("member {member} departed but never joined"),
+                        }),
                     }
-                    Some(false) => violations.push(Violation {
-                        checker: self.name(),
-                        index,
-                        detail: format!("member {member} departed twice in one session"),
-                    }),
-                    None => violations.push(Violation {
-                        checker: self.name(),
-                        index,
-                        detail: format!("member {member} departed but never joined"),
-                    }),
-                },
+                }
                 _ => {}
             }
         }
@@ -542,6 +579,141 @@ impl LiveChecker for FinalAgreementChecker {
     }
 }
 
+/// Eviction liveness: every member the driver crashed is eventually dealt
+/// with — evicted by the leader's liveness layer, or (if the fault healed
+/// and the member rejoined before the eviction fired) re-welcomed into the
+/// group. A crashed member silently occupying a slot forever is the
+/// failure mode the Figure 3 `Oops(Ka)` timeout exists to prevent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictionLivenessChecker;
+
+impl LiveChecker for EvictionLivenessChecker {
+    fn name(&self) -> &'static str {
+        "live-evict: a crashed member is eventually evicted or re-welcomed"
+    }
+
+    fn check(&self, trace: &[LiveEvent]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (index, event) in trace.iter().enumerate() {
+            let LiveEvent::Crashed { member } = event else {
+                continue;
+            };
+            let recovered = trace[index + 1..].iter().any(|e| {
+                matches!(e,
+                    LiveEvent::Evicted { member: m } | LiveEvent::Welcomed { member: m, .. }
+                        if m == member)
+            });
+            if !recovered {
+                violations.push(Violation {
+                    checker: self.name(),
+                    index,
+                    detail: format!(
+                        "member {member} crashed but was never evicted or re-welcomed \
+                         before the run ended"
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// No false evictions: the leader only evicts members the driver actually
+/// faulted. Formulated globally — an `Evicted` needs *some* earlier
+/// `Crashed`/`Partitioned` marker for that member anywhere in the trace —
+/// rather than per rejoin window, because the driver's fault markers and
+/// the leader collector's eviction records land in the shared sink from
+/// different threads and can interleave across a heal boundary. A
+/// responsive member under bounded delay has no fault marker at all, so
+/// any eviction of it is flagged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFalseEvictionChecker;
+
+impl LiveChecker for NoFalseEvictionChecker {
+    fn name(&self) -> &'static str {
+        "live-no-false-evict: evictions only under injected faults"
+    }
+
+    fn check(&self, trace: &[LiveEvent]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut faulted: BTreeSet<&String> = BTreeSet::new();
+        for (index, event) in trace.iter().enumerate() {
+            match event {
+                LiveEvent::Crashed { member } | LiveEvent::Partitioned { member } => {
+                    faulted.insert(member);
+                }
+                LiveEvent::Evicted { member } if !faulted.contains(member) => {
+                    violations.push(Violation {
+                        checker: self.name(),
+                        index,
+                        detail: format!(
+                            "member {member} was evicted without any injected crash \
+                             or partition — a false liveness judgment"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        violations
+    }
+}
+
+/// Post-eviction rejoins land in a strictly newer epoch: the eviction's
+/// policy rekey must have fenced off every key the departed session held,
+/// so the re-welcome's epoch exceeds the member's previous high-water
+/// mark. Vacuous for a member whose `Evicted` record was hidden by a
+/// cross-thread race (the monotonicity checker still bounds the epoch
+/// from below in that case).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RejoinFreshEpochChecker;
+
+impl LiveChecker for RejoinFreshEpochChecker {
+    fn name(&self) -> &'static str {
+        "live-rejoin: a post-eviction rejoin lands in a strictly newer epoch"
+    }
+
+    fn check(&self, trace: &[LiveEvent]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        // Highest epoch each member has ever held (across sessions).
+        let mut high: BTreeMap<String, u64> = BTreeMap::new();
+        // Members evicted since their last welcome.
+        let mut evicted: BTreeSet<String> = BTreeSet::new();
+        for (index, event) in trace.iter().enumerate() {
+            match event {
+                LiveEvent::Evicted { member } => {
+                    evicted.insert(member.clone());
+                }
+                LiveEvent::Welcomed { member, epoch } => {
+                    if evicted.remove(member) {
+                        if let Some(&h) = high.get(member) {
+                            if *epoch <= h {
+                                violations.push(Violation {
+                                    checker: self.name(),
+                                    index,
+                                    detail: format!(
+                                        "member {member} rejoined after an eviction at \
+                                         epoch {epoch}, but already held epoch {h} — the \
+                                         eviction rekey did not fence the old key"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    let entry = high.entry(member.clone()).or_insert(*epoch);
+                    *entry = (*entry).max(*epoch);
+                }
+                LiveEvent::KeyChanged { member, epoch } => {
+                    let entry = high.entry(member.clone()).or_insert(*epoch);
+                    *entry = (*entry).max(*epoch);
+                }
+                _ => {}
+            }
+        }
+        violations
+    }
+}
+
 /// Every live checker, in reporting order.
 #[must_use]
 pub fn all_live_checkers() -> Vec<Box<dyn LiveChecker>> {
@@ -551,6 +723,9 @@ pub fn all_live_checkers() -> Vec<Box<dyn LiveChecker>> {
         Box::new(EpochMonotonicChecker),
         Box::new(CloseOnceChecker),
         Box::new(FinalAgreementChecker),
+        Box::new(EvictionLivenessChecker),
+        Box::new(NoFalseEvictionChecker),
+        Box::new(RejoinFreshEpochChecker),
     ]
 }
 
@@ -792,6 +967,107 @@ mod tests {
             },
         ];
         assert!(CloseOnceChecker.check(&trace).is_empty());
+    }
+
+    fn evicted(m: &str) -> LiveEvent {
+        LiveEvent::Evicted { member: m.into() }
+    }
+    fn crashed(m: &str) -> LiveEvent {
+        LiveEvent::Crashed { member: m.into() }
+    }
+
+    #[test]
+    fn eviction_counts_as_the_sessions_one_departure() {
+        let trace = vec![
+            LiveEvent::MemberJoined {
+                member: "alice".into(),
+            },
+            evicted("alice"),
+            LiveEvent::MemberClosed {
+                member: "alice".into(),
+            },
+        ];
+        let violations = CloseOnceChecker.check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].detail.contains("twice"));
+    }
+
+    #[test]
+    fn crashed_member_must_be_evicted_or_rewelcomed() {
+        // Unhandled crash: violation.
+        let trace = vec![
+            LiveEvent::MemberJoined {
+                member: "alice".into(),
+            },
+            crashed("alice"),
+        ];
+        assert_eq!(EvictionLivenessChecker.check(&trace).len(), 1);
+        // Eviction resolves it.
+        let trace = vec![crashed("alice"), evicted("alice")];
+        assert!(EvictionLivenessChecker.check(&trace).is_empty());
+        // So does a re-welcome (healed and rejoined before the deadline).
+        let trace = vec![crashed("alice"), welcomed("alice", 4)];
+        assert!(EvictionLivenessChecker.check(&trace).is_empty());
+        // Vacuous without fault markers.
+        assert!(EvictionLivenessChecker.check(&[]).is_empty());
+    }
+
+    #[test]
+    fn false_eviction_is_caught() {
+        // No injected fault anywhere: the eviction is a false judgment.
+        let trace = vec![
+            LiveEvent::MemberJoined {
+                member: "alice".into(),
+            },
+            evicted("alice"),
+        ];
+        let violations = NoFalseEvictionChecker.check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].detail.contains("false"));
+        // A prior partition justifies it — and keeps justifying later
+        // evictions of the same member (markers are global, heals do not
+        // reset them, tolerating cross-thread trace interleavings).
+        let trace = vec![
+            LiveEvent::Partitioned {
+                member: "alice".into(),
+            },
+            evicted("alice"),
+            LiveEvent::Healed {
+                member: "alice".into(),
+            },
+            evicted("alice"),
+        ];
+        assert!(NoFalseEvictionChecker.check(&trace).is_empty());
+        // A fault on one member never justifies evicting another.
+        let trace = vec![crashed("bob"), evicted("alice")];
+        assert_eq!(NoFalseEvictionChecker.check(&trace).len(), 1);
+    }
+
+    #[test]
+    fn post_eviction_rejoin_must_advance_the_epoch() {
+        // Rejoin at the same epoch the member already held: violation.
+        let trace = vec![welcomed("alice", 2), evicted("alice"), welcomed("alice", 2)];
+        let violations = RejoinFreshEpochChecker.check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].detail.contains("fence"));
+        // A strictly newer epoch passes.
+        let trace = vec![welcomed("alice", 2), evicted("alice"), welcomed("alice", 3)];
+        assert!(RejoinFreshEpochChecker.check(&trace).is_empty());
+        // The high-water mark includes rotations inside the old session.
+        let trace = vec![
+            welcomed("alice", 2),
+            LiveEvent::KeyChanged {
+                member: "alice".into(),
+                epoch: 5,
+            },
+            evicted("alice"),
+            welcomed("alice", 4),
+        ];
+        assert_eq!(RejoinFreshEpochChecker.check(&trace).len(), 1);
+        // A re-welcome without an eviction (voluntary leave + rejoin, no
+        // rekey) is out of scope for this checker.
+        let trace = vec![welcomed("alice", 2), join("alice"), welcomed("alice", 2)];
+        assert!(RejoinFreshEpochChecker.check(&trace).is_empty());
     }
 
     #[test]

@@ -24,10 +24,12 @@ use enclaves_obs::{EventKind, ProtocolEvent};
 /// Projects an observability stream onto the live-oracle vocabulary.
 ///
 /// Operational events with no live-trace counterpart (`AuthAccepted`,
-/// `SessionEstablished`, `AdminAcked`, `CloseRequested`, `Retransmit`,
-/// `SealBatch`) are skipped; `Expelled` and `MemberClosed` both project
-/// to [`LiveEvent::MemberClosed`], since the live vocabulary does not
-/// distinguish why the leader observed the departure.
+/// `SessionEstablished`, `AdminAcked`, `CloseRequested`, `LeaderLost`,
+/// `Retransmit`, `SealBatch`) are skipped; `Expelled`, `Evicted`, and
+/// `MemberClosed` all project to [`LiveEvent::MemberClosed`] — the
+/// close-once and agreement checkers care that the leader observed the
+/// departure, while the eviction-specific checkers run on the driver
+/// trace, which alone records the fault markers that justify one.
 ///
 /// The result has no [`LiveEvent::Final`] snapshot — only the driver
 /// knows the end-of-run ground truth, so append its `Final` event before
@@ -85,15 +87,21 @@ pub fn obs_trace(events: &[ProtocolEvent]) -> Vec<LiveEvent> {
             EventKind::MemberJoined { member, .. } => Some(LiveEvent::MemberJoined {
                 member: member.clone(),
             }),
-            EventKind::MemberClosed { member } | EventKind::Expelled { member } => {
-                Some(LiveEvent::MemberClosed {
-                    member: member.clone(),
-                })
-            }
+            // `Evicted` also projects to `MemberClosed`: the close-once
+            // and agreement checkers see the departure either way, while
+            // the eviction-specific checkers stay on the driver trace —
+            // only the driver records the fault markers (`Crashed`,
+            // `Partitioned`) that justify an eviction.
+            EventKind::MemberClosed { member }
+            | EventKind::Expelled { member }
+            | EventKind::Evicted { member } => Some(LiveEvent::MemberClosed {
+                member: member.clone(),
+            }),
             EventKind::AuthAccepted { .. }
             | EventKind::SessionEstablished { .. }
             | EventKind::AdminAcked { .. }
             | EventKind::CloseRequested { .. }
+            | EventKind::LeaderLost { .. }
             | EventKind::Retransmit { .. }
             | EventKind::SealBatch { .. } => None,
         })
@@ -217,16 +225,19 @@ mod tests {
     }
 
     #[test]
-    fn expel_and_close_both_project_to_member_closed() {
+    fn expel_close_and_evict_all_project_to_member_closed() {
         let stream = EventStream::new();
         stream.emit(EventKind::MemberClosed { member: "a".into() });
         stream.emit(EventKind::Expelled { member: "b".into() });
+        stream.emit(EventKind::Evicted { member: "c".into() });
+        stream.emit(EventKind::LeaderLost { member: "c".into() });
         let projected = obs_trace(&stream.events());
         assert_eq!(
             projected,
             vec![
                 LiveEvent::MemberClosed { member: "a".into() },
                 LiveEvent::MemberClosed { member: "b".into() },
+                LiveEvent::MemberClosed { member: "c".into() },
             ]
         );
     }

@@ -40,6 +40,11 @@ pub enum MsgType {
     /// body carries only `(epoch, seq, ciphertext)` — see
     /// [`GroupBroadcastWire`].
     GroupBroadcast = 8,
+    /// Member ↔ L: liveness heartbeat (sealed under `K_a`). A member
+    /// pings with an increasing sequence number; the leader echoes the
+    /// same sequence back as a pong. Both directions refresh the peer's
+    /// liveness deadline — see [`HeartbeatPlain`].
+    Heartbeat = 9,
 }
 
 impl MsgType {
@@ -58,6 +63,7 @@ impl MsgType {
             6 => MsgType::ReqClose,
             7 => MsgType::GroupData,
             8 => MsgType::GroupBroadcast,
+            9 => MsgType::Heartbeat,
             tag => return Err(WireError::UnknownTag { tag }),
         })
     }
@@ -580,6 +586,41 @@ impl Decode for ClosePlain {
     }
 }
 
+/// Plaintext of `Heartbeat`: `{A, L, seq}` (sealed under `K_a`).
+///
+/// `seq` strictly increases per session in the member→leader direction;
+/// the leader's pong echoes the ping's `seq`. Sealing the identities
+/// keeps the heartbeat channel as intrusion-tolerant as the rest of the
+/// admin plane: a forged or replayed ping cannot refresh a dead member's
+/// liveness deadline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HeartbeatPlain {
+    /// The user.
+    pub user: ActorId,
+    /// The leader.
+    pub leader: ActorId,
+    /// Ping sequence number (echoed verbatim in the pong).
+    pub seq: u64,
+}
+
+impl Encode for HeartbeatPlain {
+    fn encode(&self, w: &mut Writer) {
+        self.user.encode(w);
+        self.leader.encode(w);
+        w.put_u64(self.seq);
+    }
+}
+
+impl Decode for HeartbeatPlain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(HeartbeatPlain {
+            user: ActorId::decode(r)?,
+            leader: ActorId::decode(r)?,
+            seq: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,12 +660,13 @@ mod tests {
             (MsgType::ReqClose, 6),
             (MsgType::GroupData, 7),
             (MsgType::GroupBroadcast, 8),
+            (MsgType::Heartbeat, 9),
         ] {
             assert_eq!(t as u8, v);
             assert_eq!(MsgType::from_u8(v).unwrap(), t);
         }
         assert!(MsgType::from_u8(0).is_err());
-        assert!(MsgType::from_u8(9).is_err());
+        assert!(MsgType::from_u8(10).is_err());
     }
 
     #[test]
@@ -680,6 +722,14 @@ mod tests {
         };
         let body = seal(&key, n, aad, &close);
         assert_eq!(open::<ClosePlain>(&key, aad, &body).unwrap(), close);
+
+        let hb = HeartbeatPlain {
+            user: alice(),
+            leader: leader(),
+            seq: 42,
+        };
+        let body = seal(&key, n, aad, &hb);
+        assert_eq!(open::<HeartbeatPlain>(&key, aad, &body).unwrap(), hb);
     }
 
     #[test]

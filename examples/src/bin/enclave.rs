@@ -101,6 +101,7 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             match event {
                 LeaderEvent::MemberJoined(m) => println!("<< {m} joined"),
                 LeaderEvent::MemberLeft(m) => println!("<< {m} left"),
+                LeaderEvent::MemberEvicted(m) => println!("<< {m} evicted (liveness timeout)"),
                 LeaderEvent::Rekeyed(e) => println!("<< rekeyed to epoch {e}"),
                 LeaderEvent::Relayed { from, len } => {
                     println!("<< relayed {len} bytes from {from}");
@@ -192,6 +193,8 @@ fn run_member(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 MemberEvent::GroupKeyChanged { epoch } => {
                     println!("* group rekeyed (epoch {epoch})")
                 }
+                MemberEvent::LeaderLost => println!("* leader lost (liveness timeout)"),
+                MemberEvent::RejoinStarted => println!("* rejoining as a fresh session"),
                 MemberEvent::Welcomed { .. } | MemberEvent::SessionEstablished => {}
             }
         }
