@@ -1,14 +1,20 @@
 //! Rekey fan-out: serial sealing vs the staged out-of-lock parallel path
-//! (EXPERIMENTS.md row S11).
+//! (EXPERIMENTS.md row S11), and both against the MLS-style rekey tree
+//! (row S14).
 //!
-//! A rekey is irreducibly O(N) AEAD seals on the admin channel — every
-//! member must receive the new group key under its own pairwise `K_a` —
-//! but the seals need not run serially under the leader's lock. The
-//! staged path draws all nonces under the lock in roster order, then
+//! A *flat* rekey is irreducibly O(N) AEAD seals on the admin channel —
+//! every member must receive the new group key under its own pairwise
+//! `K_a` — but the seals need not run serially under the leader's lock.
+//! The staged path draws all nonces under the lock in roster order, then
 //! shards the seals across `std::thread::scope` workers. Only the
 //! stage+seal+commit pipeline is timed (`iter_custom`); draining the
 //! stop-and-wait acknowledgments between rekeys happens off the clock, so
 //! the serial-vs-parallel difference is not washed out by ARQ traffic.
+//!
+//! The *tree* rekey removes the O(N) term altogether: one leaf-to-root
+//! path refresh sealed once per copath resolution node — at most
+//! `2·ceil(log2 N)+1` seals — fanned out as a single `PathUpdate`
+//! multicast with no per-member admin traffic to drain.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use enclaves_bench::FanoutGroup;
@@ -65,5 +71,32 @@ fn bench_rekey_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rekey_serial, bench_rekey_parallel);
+fn bench_rekey_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rekey_fanout/tree");
+    group.sample_size(10);
+    for n in GROUP_SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut world = FanoutGroup::new_tree(n);
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let start = Instant::now();
+                    let frame = world.rekey_tree();
+                    total += start.elapsed();
+                    std::hint::black_box(&frame);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rekey_serial,
+    bench_rekey_parallel,
+    bench_rekey_tree
+);
 criterion_main!(benches);

@@ -14,11 +14,14 @@
 //! asserting exactly one AEAD seal per broadcast and a ≥10× wall-clock win
 //! at N = 512.
 //!
-//! With `--rekey` it measures the control-plane rekey fan-out experiment
-//! (EXPERIMENTS.md row S11) and writes `BENCH_rekey.json`: serial sealing
-//! vs the staged out-of-lock parallel path, asserting exactly n admin
-//! seals per rekey and — on multicore hosts — a ≥2× wall-clock win at
-//! N = 4096.
+//! With `--rekey` it measures the control-plane rekey fan-out experiments
+//! (EXPERIMENTS.md rows S11 and S14) and writes `BENCH_rekey.json`: the
+//! flat per-member fan-out (serial vs staged out-of-lock parallel
+//! sealing) against the MLS-style rekey tree. Two host-independent gates
+//! always run: tree-mode `seals_per_rekey ≤ 2·ceil(log2 N)+1` at every
+//! measured N, and tree-mode wall clock beating the flat N-seal path at
+//! N = 4096. The flat serial-vs-parallel ≥2× gate additionally arms on
+//! multicore hosts.
 
 use enclaves_bench::FanoutGroup;
 use enclaves_core::attacks;
@@ -146,17 +149,30 @@ fn run_fanout() {
     println!("  single-seal invariant holds; >=10x at N=512; wrote BENCH_fanout.json");
 }
 
-/// One measured rekey fan-out size.
+/// One measured rekey fan-out size: the flat per-member fan-out (serial
+/// and out-of-lock parallel sealing) against the `O(log N)` rekey tree.
 struct RekeyRow {
     n: usize,
     serial_ns: u128,
     parallel_ns: u128,
+    tree_ns: u128,
     seals_per_rekey: u64,
+    tree_seals_per_rekey: u64,
 }
 
 impl RekeyRow {
     fn speedup(&self) -> f64 {
         self.serial_ns as f64 / self.parallel_ns as f64
+    }
+
+    fn tree_speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.tree_ns as f64
+    }
+
+    /// The `O(log N)` acceptance bound: `2·ceil(log2 n) + 1` copath seals.
+    fn tree_seal_bound(&self) -> u64 {
+        let n = u32::try_from(self.n.max(2)).expect("bench sizes fit u32");
+        u64::from(2 * (32 - (n - 1).leading_zeros()) + 1)
     }
 }
 
@@ -201,28 +217,54 @@ fn measure_rekey(n: usize, iters: usize, threads: usize) -> RekeyRow {
     assert_eq!(snap.counter("leader.rekeys"), stats.rekeys);
     assert_eq!(snap.counter("leader.admin_seal_ns"), stats.admin_seal_ns);
 
+    // Tree mode: same roster, O(log N) copath seals, no admin traffic.
+    let mut world = FanoutGroup::new_tree(n);
+    let tree_seals_before = world.leader.stats().rekey_seals;
+    let tree_rekeys_before = world.leader.stats().rekeys;
+    let tree_admin_before = world.leader.stats().admin_seals;
+    let tree_ns = median_ns(iters, || {
+        let frame = world.rekey_tree();
+        std::hint::black_box(&frame);
+    });
+    let tree_seals = world.leader.stats().rekey_seals - tree_seals_before;
+    let tree_rekeys = world.leader.stats().rekeys - tree_rekeys_before;
+    assert_eq!(
+        world.leader.stats().admin_seals,
+        tree_admin_before,
+        "tree rekeys must stay off the per-member admin plane (n={n})"
+    );
+    let snap = world.leader.obs_registry().snapshot();
+    assert_eq!(
+        snap.counter("leader.rekey_seals"),
+        world.leader.stats().rekey_seals
+    );
+
     RekeyRow {
         n,
         serial_ns,
         parallel_ns,
+        tree_ns,
         seals_per_rekey: seals / rekeys,
+        tree_seals_per_rekey: tree_seals / tree_rekeys,
     }
 }
 
 fn run_rekey() {
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    // The ≥2× acceptance gate needs real cores to parallelize across; a
-    // single-core host measures ~1.0× by construction, so the gate only
-    // arms on multicore (CI runners have ≥4 vCPUs). The seal-count
-    // invariant is enforced everywhere.
-    let gate_armed = threads >= 4;
-    println!("-- Rekey fan-out (row S11): serial vs parallel sealing ---------");
+    // The flat serial-vs-parallel ≥2× gate needs real cores to
+    // parallelize across, so it only arms on multicore. The headline
+    // acceptance gates are host-independent and always run: tree-mode
+    // seals_per_rekey ≤ 2·ceil(log2 N)+1 at every N, and tree-mode wall
+    // clock beating the flat N-seal path at N=4096 (an algorithmic win,
+    // not a parallelism win).
+    let flat_gate_armed = threads >= 4;
+    println!("-- Rekey fan-out (rows S11/S14): flat serial/parallel vs tree --");
     println!();
     println!("  seal worker threads: {threads}");
     println!();
     println!(
-        "  {:>6} {:>14} {:>14} {:>9} {:>6}",
-        "N", "serial", "parallel", "speedup", "seals"
+        "  {:>6} {:>12} {:>12} {:>12} {:>8} {:>7} {:>11}",
+        "N", "serial", "parallel", "tree", "tree-x", "seals", "tree-seals"
     );
     let rows: Vec<RekeyRow> = [8usize, 64, 512, 4096]
         .iter()
@@ -230,12 +272,15 @@ fn run_rekey() {
             let iters = if n >= 4096 { 5 } else { 11 };
             let row = measure_rekey(n, iters, threads);
             println!(
-                "  {:>6} {:>12.2}us {:>12.2}us {:>8.1}x {:>6}",
+                "  {:>6} {:>10.2}us {:>10.2}us {:>10.2}us {:>7.1}x {:>7} {:>5} <= {:>2}",
                 row.n,
                 row.serial_ns as f64 / 1e3,
                 row.parallel_ns as f64 / 1e3,
-                row.speedup(),
+                row.tree_ns as f64 / 1e3,
+                row.tree_speedup(),
                 row.seals_per_rekey,
+                row.tree_seals_per_rekey,
+                row.tree_seal_bound(),
             );
             row
         })
@@ -243,10 +288,27 @@ fn run_rekey() {
 
     assert!(
         rows.iter().all(|r| r.seals_per_rekey == r.n as u64),
-        "every rekey must cost exactly n admin seals"
+        "every flat rekey must cost exactly n admin seals"
     );
+    // Always-run, host-independent: the O(log N) copath-seal bound.
+    for row in &rows {
+        assert!(
+            row.tree_seals_per_rekey <= row.tree_seal_bound(),
+            "tree rekey at N={} took {} seals, bound is {}",
+            row.n,
+            row.tree_seals_per_rekey,
+            row.tree_seal_bound()
+        );
+    }
     let at_4096 = rows.iter().find(|r| r.n == 4096).expect("4096 is measured");
-    if gate_armed {
+    // Always-run, host-independent: ~12 seals must beat 4096 seals.
+    assert!(
+        at_4096.tree_ns < at_4096.serial_ns,
+        "tree rekey must beat the flat N-seal path at N=4096: {}ns vs {}ns",
+        at_4096.tree_ns,
+        at_4096.serial_ns
+    );
+    if flat_gate_armed {
         assert!(
             at_4096.speedup() >= 2.0,
             "expected >=2x at N=4096 with {threads} threads, got {:.1}x",
@@ -258,24 +320,37 @@ fn run_rekey() {
     let _ = writeln!(json, "  \"seal_threads\": {threads},");
     let _ = writeln!(
         json,
-        "  \"speedup_gate\": \"{}\",",
-        if gate_armed {
+        "  \"tree_seal_gate\": \"enforced (seals_per_rekey <= 2*ceil(log2 N)+1 at every N)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"tree_speed_gate\": \"enforced (tree beats flat serial at N=4096)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"flat_parallel_gate\": \"{}\",",
+        if flat_gate_armed {
             "enforced (>=2x at N=4096)"
         } else {
-            "skipped (host has <4 cores; parallel seal falls back toward serial)"
+            "informational (host has <4 cores; parallel seal falls back toward serial)"
         }
     );
     json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"n\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \
-             \"speedup\": {:.2}, \"seals_per_rekey\": {}}}{}",
+            "    {{\"n\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"tree_ns\": {}, \
+             \"speedup\": {:.2}, \"tree_speedup\": {:.2}, \"seals_per_rekey\": {}, \
+             \"tree_seals_per_rekey\": {}, \"tree_seal_bound\": {}}}{}",
             row.n,
             row.serial_ns,
             row.parallel_ns,
+            row.tree_ns,
             row.speedup(),
+            row.tree_speedup(),
             row.seals_per_rekey,
+            row.tree_seals_per_rekey,
+            row.tree_seal_bound(),
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -284,8 +359,13 @@ fn run_rekey() {
     std::fs::write(path, json).expect("write BENCH_rekey.json");
     println!();
     println!(
-        "  n-seals-per-rekey invariant holds; speedup gate {}; wrote BENCH_rekey.json",
-        if gate_armed { "enforced" } else { "skipped" }
+        "  flat n-seal invariant holds; tree O(log N) gates enforced; \
+         flat parallel gate {}; wrote BENCH_rekey.json",
+        if flat_gate_armed {
+            "enforced"
+        } else {
+            "informational"
+        }
     );
 }
 

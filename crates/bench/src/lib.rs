@@ -141,7 +141,8 @@ pub struct FanoutGroup {
 }
 
 impl FanoutGroup {
-    /// Builds and fully joins an `n`-member group.
+    /// Builds and fully joins an `n`-member group with the flat
+    /// per-member rekey fan-out.
     ///
     /// # Panics
     ///
@@ -149,6 +150,28 @@ impl FanoutGroup {
     /// condition).
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Self::new_with(n, false)
+    }
+
+    /// Builds and fully joins an `n`-member group with the MLS-style
+    /// rekey tree enabled (`O(log N)` copath seals per rekey). The
+    /// `PathUpdate` multicasts produced during the build are not routed
+    /// back to the members — delivering every join's broadcast to the
+    /// whole roster would cost `O(N²)` message handling, and the
+    /// leader-side seal counts and wall clock measured by the rekey
+    /// experiments do not depend on member delivery (which the core
+    /// integration tests cover end to end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deterministic handshake fails (a bug, not an input
+    /// condition).
+    #[must_use]
+    pub fn new_tree(n: usize) -> Self {
+        Self::new_with(n, true)
+    }
+
+    fn new_with(n: usize, tree_rekey: bool) -> Self {
         let mut directory = Directory::new();
         for i in 0..n {
             directory.register_key(&member_id(i), cheap_member_key(i));
@@ -160,6 +183,7 @@ impl FanoutGroup {
                 rekey_policy: RekeyPolicy::Manual,
                 max_members: n.max(2),
                 membership_notices: false,
+                tree_rekey,
                 ..LeaderConfig::default()
             },
             Box::new(SeededRng::from_seed(42)),
@@ -211,6 +235,24 @@ impl FanoutGroup {
         let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
         self.leader.commit_admin_frames(&batch);
         batch.frames.into_iter().map(|f| f.env).collect()
+    }
+
+    /// Runs one tree-mode rekey: refreshes the next leaf path and builds
+    /// the `PathUpdate` multicast (`O(log N)` copath seals, zero admin
+    /// seals). Returns the broadcast frame so callers can black-box or
+    /// deliver it; there are no stop-and-wait acks to settle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was not built with [`FanoutGroup::new_tree`]
+    /// or staging fails.
+    pub fn rekey_tree(&mut self) -> enclaves_core::protocol::BroadcastFrame {
+        let fanout = self.leader.begin_rekey().expect("rekey stages");
+        assert!(
+            fanout.jobs.is_empty(),
+            "tree rekey must not stage admin seal jobs"
+        );
+        fanout.broadcast.expect("tree rekey emits a PathUpdate")
     }
 
     /// Delivers one shared single-seal broadcast frame to every member,
@@ -421,6 +463,31 @@ mod tests {
         // second broadcast goes straight out to all members.
         let out2 = g.leader.broadcast_admin_data(b"tock").unwrap();
         assert_eq!(out2.outgoing.len(), 3);
+    }
+
+    #[test]
+    fn fanout_group_tree_rekey_costs_log_seals() {
+        let mut g = FanoutGroup::new_tree(33);
+        assert_eq!(g.leader.roster().len(), 33);
+        let admin_before = g.leader.stats().admin_seals;
+        let seals_before = g.leader.stats().rekey_seals;
+        for _ in 0..3 {
+            let b = g.leader.rekey_now().unwrap();
+            std::hint::black_box(&b);
+        }
+        let per_rekey = (g.leader.stats().rekey_seals - seals_before) / 3;
+        // 2*ceil(log2 33) + 1 = 13.
+        assert!(
+            per_rekey <= 13,
+            "tree rekey at n=33 took {per_rekey} seals, bound is 13"
+        );
+        assert_eq!(
+            g.leader.stats().admin_seals,
+            admin_before,
+            "tree rekeys stay off the admin plane"
+        );
+        let frame = g.rekey_tree();
+        assert_eq!(frame.recipients.len(), 33);
     }
 
     #[test]

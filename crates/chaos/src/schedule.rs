@@ -99,8 +99,13 @@ impl Schedule {
     /// the staged parallel control plane: every burst re-seals the whole
     /// roster while some member cannot acknowledge, so staged frames,
     /// cached retransmits, and pending queues all carry live traffic at
-    /// once. The `seed` feeds only the network fault stream — the script
-    /// itself is fixed given `members`.
+    /// once. The final burst cuts a member off *mid path update* — a
+    /// rekey fires, the leader→member direction goes dark before the
+    /// install settles, and three more rekeys land on the partition — so
+    /// a tree-mode leader's `PathUpdate` multicasts are provably lossy
+    /// and recovery must come from the heartbeat-driven `PathSync`
+    /// resync. The `seed` feeds only the network fault stream — the
+    /// script itself is fixed given `members`.
     #[must_use]
     pub fn rekey_storm(seed: u64, members: usize) -> Self {
         assert!(members >= 4, "a rekey storm needs at least four members");
@@ -168,6 +173,32 @@ impl Schedule {
             Rekey,
             AdminBroadcast(payload("admin", 4)),
             DataBroadcast(payload("data", 4)),
+            Settle(300),
+        ]);
+
+        // Burst 4: a rekey fires and — with its key-install still in
+        // flight — the leader→m1 direction is cut, then a full burst of
+        // three more rekeys lands on top of the partition. In tree mode
+        // each of those is a `PathUpdate` multicast m1 never receives
+        // (multicasts are fire-and-forget, unlike the admin channel's
+        // ARQ), so after the heal only the heartbeat-driven `PathSync`
+        // resync can bring m1 back to the group key; the finalization
+        // probe proves it did.
+        events.extend([
+            Rekey,
+            Partition {
+                member: 1,
+                to_leader: false,
+                to_member: true,
+            },
+            Rekey,
+            Rekey,
+            Rekey,
+            DataBroadcast(payload("data", 5)),
+            Heal(1),
+            Settle(400),
+            AdminBroadcast(payload("admin", 5)),
+            DataBroadcast(payload("data", 6)),
             Settle(300),
         ]);
 
@@ -546,6 +577,25 @@ mod tests {
             })
             .0;
         assert!(longest_run >= 3, "no back-to-back rekey burst");
+
+        // The mid-path-update cut: some partition must land immediately
+        // after a rekey (the key install is still in flight when the
+        // member goes dark) and be followed by a back-to-back rekey
+        // burst before its heal.
+        let cut_mid_update = a.events.windows(3).any(|w| {
+            matches!(
+                w,
+                [
+                    ChaosEvent::Rekey,
+                    ChaosEvent::Partition { .. },
+                    ChaosEvent::Rekey
+                ]
+            )
+        });
+        assert!(
+            cut_mid_update,
+            "no partition lands mid-path-update between rekeys"
+        );
 
         // Same state-machine validity the random generator guarantees.
         let mut joined = vec![false; a.members];

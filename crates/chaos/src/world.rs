@@ -49,6 +49,13 @@ pub struct ChaosOptions {
     /// the liveness oracle properties (`live-evict`, `live-no-false-evict`,
     /// `live-rejoin`) have ground truth to check against.
     pub liveness: bool,
+    /// Runs the leader in tree-rekey mode: every epoch rotation is one
+    /// `O(log N)` `PathUpdate` multicast instead of per-member admin
+    /// seals. Multicasts are fire-and-forget — a partitioned member
+    /// misses them outright — so recovery rides the heartbeat-driven
+    /// `PathSync` resync; arm [`ChaosOptions::liveness`] alongside this
+    /// knob for any schedule that partitions members across rekeys.
+    pub tree_rekey: bool,
 }
 
 impl Default for ChaosOptions {
@@ -57,6 +64,7 @@ impl Default for ChaosOptions {
             rekey_policy: RekeyPolicy::Manual,
             sabotage_watermark: false,
             liveness: false,
+            tree_rekey: false,
         }
     }
 }
@@ -296,6 +304,7 @@ pub fn run_schedule(
     });
     let mut leader_config = LeaderConfig {
         rekey_policy: options.rekey_policy,
+        tree_rekey: options.tree_rekey,
         ..LeaderConfig::default()
     };
     if let Some(w) = &wiring {

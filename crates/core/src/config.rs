@@ -65,6 +65,15 @@ pub struct LeaderConfig {
     /// real monotonic clock; tests inject a
     /// [`crate::liveness::VirtualClock`] for deterministic fast runs.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Distribute group keys through the MLS-style rekey tree instead of
+    /// per-member `NewGroupKey` admin seals. In tree mode every membership
+    /// change refreshes one leaf-to-root path and fans the copath seals
+    /// out as a single `PathUpdate` broadcast — `O(log N)` AEAD seals per
+    /// rekey instead of `O(N)` — and the join/leave bits of
+    /// [`RekeyPolicy`] are moot because membership changes always rotate
+    /// the epoch. Off by default: the flat fan-out remains the paper's
+    /// literal Figure 3 behaviour.
+    pub tree_rekey: bool,
 }
 
 impl std::fmt::Debug for LeaderConfig {
@@ -76,6 +85,7 @@ impl std::fmt::Debug for LeaderConfig {
             .field("membership_notices", &self.membership_notices)
             .field("liveness", &self.liveness)
             .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .field("tree_rekey", &self.tree_rekey)
             .finish()
     }
 }
@@ -91,6 +101,7 @@ impl Default for LeaderConfig {
             membership_notices: true,
             liveness: LivenessConfig::default(),
             clock: None,
+            tree_rekey: false,
         }
     }
 }
@@ -133,5 +144,6 @@ mod tests {
             "default timing is the historical cadence"
         );
         assert!(c.clock.is_none(), "real clock unless injected");
+        assert!(!c.tree_rekey, "flat fan-out unless opted in");
     }
 }

@@ -146,6 +146,27 @@ impl GroupState {
         self.current.as_ref().expect("just set")
     }
 
+    /// Advances to the next epoch with externally derived key material
+    /// (the tree-rekey path: key and IV come from
+    /// `treekdf::derive_group(root, epoch)` rather than the RNG). Resets
+    /// the per-epoch traffic and broadcast counters exactly like
+    /// [`rekey`](Self::rekey). Returns the new epoch number.
+    pub fn advance_epoch_with(&mut self, key: GroupKey, iv: [u8; 12]) -> u64 {
+        let epoch = self.current.as_ref().map_or(1, |e| e.epoch + 1);
+        self.traffic_since_rekey = 0;
+        self.broadcast_seq = 0;
+        self.current = Some(GroupEpoch { epoch, key, iv });
+        epoch
+    }
+
+    /// The epoch number the *next* `advance_epoch_with` will produce —
+    /// the tree leader derives the new group key from `(root, epoch)`
+    /// before committing the epoch, so it needs the number up front.
+    #[must_use]
+    pub fn next_epoch_number(&self) -> u64 {
+        self.current.as_ref().map_or(1, |e| e.epoch + 1)
+    }
+
     /// Claims the next data-plane broadcast sequence number for the
     /// current epoch.
     pub fn next_broadcast_seq(&mut self) -> u64 {

@@ -1,0 +1,951 @@
+//! Left-balanced binary rekey tree (RFC 9420 TreeKEM adapted to the
+//! Enclaves star).
+//!
+//! The leader — still the paper's sole committer — keeps one symmetric key
+//! per tree node. A member at leaf `l` holds exactly the keys on its direct
+//! path (leaf → root); the root key feeds
+//! [`enclaves_crypto::treekdf::derive_group`] to produce the epoch group
+//! key and broadcast IV. Refreshing a path on join/leave/expel/evict draws
+//! one fresh path secret and seals it once per *copath resolution node*
+//! instead of once per member, cutting the rekey fan-out from `O(N)` AEAD
+//! seals to `O(log N)`.
+//!
+//! Tree math follows RFC 9420 appendix C (array-based left-balanced trees):
+//! leaf `i` lives at node index `2i`, interior nodes at odd indices, and —
+//! crucially — node indices are *stable under extension*, so a member's
+//! stored keys survive roster growth unchanged.
+//!
+//! Blank nodes: an evicted member's leaf is blanked and its former direct
+//! path immediately rewritten, so no surviving member's path ever contains
+//! a blank. Seals that would target a blank node descend to the node's
+//! *resolution* (its maximal non-blank descendants). When eviction leaves
+//! the tree pathologically sparse the leader falls back to
+//! [`KeyTree::reinit`], which rebuilds a compact tree from scratch.
+
+use std::collections::HashMap;
+
+use enclaves_crypto::rng::CryptoRng;
+use enclaves_crypto::treekdf::{derive_node_key, derive_path_secret};
+use enclaves_wire::ActorId;
+
+/// A 32-byte tree node key or path secret.
+pub type NodeKey = [u8; 32];
+
+// ---------------------------------------------------------------------------
+// Array tree math (RFC 9420 appendix C). `n` is the number of leaves.
+// ---------------------------------------------------------------------------
+
+/// Number of array slots a tree with `n` leaves occupies (`2n - 1`).
+#[must_use]
+pub fn node_width(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        2 * n - 1
+    }
+}
+
+fn log2_floor(x: u32) -> u32 {
+    debug_assert!(x > 0);
+    31 - x.leading_zeros()
+}
+
+/// Node index of the root of a tree with `n` leaves.
+#[must_use]
+pub fn root(n: u32) -> u32 {
+    debug_assert!(n > 0);
+    (1 << log2_floor(node_width(n))) - 1
+}
+
+/// Level of a node: leaves are level 0, a node's parent is one level up.
+#[must_use]
+pub fn level(x: u32) -> u32 {
+    x.trailing_ones()
+}
+
+/// Left child of interior node `x`.
+#[must_use]
+pub fn left(x: u32) -> u32 {
+    let k = level(x);
+    debug_assert!(k > 0, "leaf {x} has no children");
+    x ^ (0b01 << (k - 1))
+}
+
+/// Right child of interior node `x` in a tree with `n` leaves.
+#[must_use]
+pub fn right(x: u32, n: u32) -> u32 {
+    let k = level(x);
+    debug_assert!(k > 0, "leaf {x} has no children");
+    let mut r = x ^ (0b11 << (k - 1));
+    while r >= node_width(n) {
+        r = left(r);
+    }
+    r
+}
+
+fn parent_step(x: u32) -> u32 {
+    let k = level(x);
+    let b = (x >> (k + 1)) & 1;
+    (x | (1 << k)) ^ (b << (k + 1))
+}
+
+/// Parent of node `x` in a tree with `n` leaves. `x` must not be the root.
+#[must_use]
+pub fn parent(x: u32, n: u32) -> u32 {
+    debug_assert_ne!(x, root(n), "root has no parent");
+    let mut p = parent_step(x);
+    while p >= node_width(n) {
+        p = parent_step(p);
+    }
+    p
+}
+
+/// The direct path of node `x`: its ancestors from parent up to and
+/// including the root (empty when `x` is the root).
+#[must_use]
+pub fn direct_path(x: u32, n: u32) -> Vec<u32> {
+    let r = root(n);
+    let mut path = Vec::new();
+    let mut cur = x;
+    while cur != r {
+        cur = parent(cur, n);
+        path.push(cur);
+    }
+    path
+}
+
+/// The child of `p` that is *not* an ancestor-or-self of `x` (the copath
+/// child at the step where `x`'s path crosses `p`).
+fn copath_child(p: u32, x: u32, n: u32) -> u32 {
+    let l = left(p);
+    let r = right(p, n);
+    // `x` is in the left subtree iff the left child is `x` or an ancestor.
+    if is_ancestor_or_self(l, x, n) {
+        r
+    } else {
+        debug_assert!(is_ancestor_or_self(r, x, n));
+        l
+    }
+}
+
+fn is_ancestor_or_self(a: u32, x: u32, n: u32) -> bool {
+    if a == x {
+        return true;
+    }
+    if level(a) == 0 {
+        return false;
+    }
+    let r = root(n);
+    let mut cur = x;
+    while cur != r {
+        cur = parent(cur, n);
+        if cur == a {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lowest common ancestor of two nodes.
+#[must_use]
+pub fn lca(a: u32, b: u32, n: u32) -> u32 {
+    if a == b {
+        return a;
+    }
+    let r = root(n);
+    let mut ancestors = vec![a];
+    let mut cur = a;
+    while cur != r {
+        cur = parent(cur, n);
+        ancestors.push(cur);
+    }
+    let mut cur = b;
+    loop {
+        if ancestors.contains(&cur) {
+            return cur;
+        }
+        if cur == r {
+            return r;
+        }
+        cur = parent(cur, n);
+    }
+}
+
+/// The node whose fresh path secret a member at `my_leaf` unseals when the
+/// leader refreshes the path of `updated_leaf` (both leaf *slots*): the
+/// lowest node shared by the two direct paths — or, when the member's own
+/// leaf was refreshed in place, its parent (the leaf itself in a one-leaf
+/// tree, where the leaf *is* the root).
+#[must_use]
+pub fn update_secret_node(my_leaf: u32, updated_leaf: u32, leaf_count: u32) -> u32 {
+    let mine = 2 * my_leaf;
+    let theirs = 2 * updated_leaf;
+    if mine == theirs {
+        if mine == root(leaf_count) {
+            mine
+        } else {
+            parent(mine, leaf_count)
+        }
+    } else {
+        lca(mine, theirs, leaf_count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leader-side tree
+// ---------------------------------------------------------------------------
+
+/// One AEAD seal the leader must emit for a path refresh: `path_secret`
+/// sealed under `seal_key`, addressed to the subtree rooted at
+/// `node_index` (a copath resolution node).
+#[derive(Clone)]
+pub struct CopathSeal {
+    /// Resolution node whose key seals this ciphertext.
+    pub node_index: u32,
+    /// The key stored at `node_index` (known to every member below it).
+    pub seal_key: NodeKey,
+    /// The path secret being conveyed.
+    pub path_secret: NodeKey,
+}
+
+impl std::fmt::Debug for CopathSeal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("CopathSeal")
+            .field("node_index", &self.node_index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a single path refresh produces: the copath seals to
+/// broadcast, plus the new root key the refreshed epoch derives from.
+#[derive(Debug, Clone)]
+pub struct PathUpdatePlan {
+    /// Leaf slot whose path was refreshed.
+    pub updated_leaf: u32,
+    /// Leaf slots in the tree after the refresh.
+    pub leaf_count: u32,
+    /// One seal per copath resolution node — `O(log N)` of them on a
+    /// dense tree.
+    pub seals: Vec<CopathSeal>,
+    /// The new root key (feeds `treekdf::derive_group`).
+    pub root_key: NodeKey,
+    /// Number of node keys rewritten (path-depth histogram input).
+    pub path_depth: u32,
+}
+
+/// The leader's rekey tree: node keys for every non-blank node, plus the
+/// leaf-slot roster.
+pub struct KeyTree {
+    leaf_count: u32,
+    /// Indexed by node index; `None` is a blank node.
+    node_keys: Vec<Option<NodeKey>>,
+    /// Indexed by leaf slot.
+    occupants: Vec<Option<ActorId>>,
+    leaf_of: HashMap<ActorId, u32>,
+    /// Rotating pointer so manual/traffic rekeys spread refreshes over
+    /// the roster instead of hammering one leaf.
+    next_refresh: u32,
+}
+
+impl std::fmt::Debug for KeyTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyTree")
+            .field("leaf_count", &self.leaf_count)
+            .field("occupied", &self.leaf_of.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for KeyTree {
+    fn default() -> Self {
+        KeyTree::new()
+    }
+}
+
+impl KeyTree {
+    /// An empty tree (no leaves).
+    #[must_use]
+    pub fn new() -> Self {
+        KeyTree {
+            leaf_count: 0,
+            node_keys: Vec::new(),
+            occupants: Vec::new(),
+            leaf_of: HashMap::new(),
+            next_refresh: 0,
+        }
+    }
+
+    /// Number of leaf slots (occupied or blank).
+    #[must_use]
+    pub fn leaf_count(&self) -> u32 {
+        self.leaf_count
+    }
+
+    /// Number of occupied leaves.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// Leaf slot of a member, if present.
+    #[must_use]
+    pub fn leaf_of(&self, member: &ActorId) -> Option<u32> {
+        self.leaf_of.get(member).copied()
+    }
+
+    /// True when eviction churn has left more blank than occupied leaves
+    /// in a non-trivial tree — the trigger for the [`reinit`](Self::reinit)
+    /// fallback, which compacts the tree and restores the `O(log N)`
+    /// copath-seal bound.
+    #[must_use]
+    pub fn is_pathological(&self) -> bool {
+        let occupied = u32::try_from(self.leaf_of.len()).unwrap_or(u32::MAX);
+        self.leaf_count > 8 && occupied.saturating_mul(2) < self.leaf_count
+    }
+
+    /// The keys on `member`'s direct path, leaf first, root last. Returns
+    /// `None` if the member is absent or — invariant breakage — any node
+    /// on its path is blank.
+    #[must_use]
+    pub fn path_keys(&self, member: &ActorId) -> Option<(u32, Vec<NodeKey>)> {
+        let slot = self.leaf_of(member)?;
+        let node = 2 * slot;
+        let mut keys = vec![self.node_keys[node as usize]?];
+        for p in direct_path(node, self.leaf_count) {
+            keys.push(self.node_keys[p as usize]?);
+        }
+        Some((slot, keys))
+    }
+
+    /// The current root key, if the tree is non-empty and the root is not
+    /// blank.
+    #[must_use]
+    pub fn root_key(&self) -> Option<NodeKey> {
+        if self.leaf_count == 0 {
+            return None;
+        }
+        self.node_keys[root(self.leaf_count) as usize]
+    }
+
+    /// Maximal non-blank descendants of `x` ("resolution" in RFC 9420):
+    /// the minimal set of keys that together cover every occupied leaf
+    /// under `x`.
+    fn resolution(&self, x: u32) -> Vec<u32> {
+        if self.node_keys[x as usize].is_some() {
+            return vec![x];
+        }
+        if level(x) == 0 {
+            return Vec::new(); // blank leaf: nobody to reach
+        }
+        let mut out = self.resolution(left(x));
+        out.extend(self.resolution(right(x, self.leaf_count)));
+        out
+    }
+
+    /// Adds a member, reusing the first blank leaf or extending the tree,
+    /// and refreshes the new leaf's path with a fresh leaf secret. The
+    /// joiner itself learns its path out of band (admin `PathSync`); the
+    /// returned plan's seals cover everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member is already in the tree.
+    pub fn add<R: CryptoRng + ?Sized>(&mut self, member: ActorId, rng: &mut R) -> PathUpdatePlan {
+        assert!(
+            !self.leaf_of.contains_key(&member),
+            "member already in tree"
+        );
+        let slot = match self.occupants.iter().position(Option::is_none) {
+            Some(blank) => u32::try_from(blank).expect("leaf slots fit u32"),
+            None => {
+                let slot = self.leaf_count;
+                self.leaf_count += 1;
+                self.occupants.push(None);
+                self.node_keys
+                    .resize(node_width(self.leaf_count) as usize, None);
+                slot
+            }
+        };
+        self.occupants[slot as usize] = Some(member.clone());
+        self.leaf_of.insert(member, slot);
+        let mut leaf_secret = [0u8; 32];
+        rng.fill_bytes(&mut leaf_secret);
+        self.refresh_path(slot, Some(leaf_secret), false, rng)
+    }
+
+    /// Removes a member: blanks its leaf and rewrites its former direct
+    /// path so every key the departee held is retired. Returns `None`
+    /// when the tree is left empty (nobody to update).
+    pub fn remove<R: CryptoRng + ?Sized>(
+        &mut self,
+        member: &ActorId,
+        rng: &mut R,
+    ) -> Option<PathUpdatePlan> {
+        let slot = self.leaf_of.remove(member)?;
+        self.occupants[slot as usize] = None;
+        self.node_keys[(2 * slot) as usize] = None;
+        if self.leaf_of.is_empty() {
+            *self = KeyTree::new();
+            return None;
+        }
+        Some(self.refresh_path(slot, None, false, rng))
+    }
+
+    /// Refreshes the path of the next occupied leaf in rotation (manual
+    /// or traffic-policy rekey). The refreshed member learns the new path
+    /// from the broadcast too: the first seal targets its own leaf key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty.
+    pub fn refresh_next<R: CryptoRng + ?Sized>(&mut self, rng: &mut R) -> PathUpdatePlan {
+        assert!(!self.leaf_of.is_empty(), "refresh on an empty tree");
+        let mut slot = self.next_refresh % self.leaf_count;
+        while self.occupants[slot as usize].is_none() {
+            slot = (slot + 1) % self.leaf_count;
+        }
+        self.next_refresh = (slot + 1) % self.leaf_count;
+        self.refresh_path(slot, None, true, rng)
+    }
+
+    /// Rebuilds a compact tree from scratch: blank leaves vanish, every
+    /// node key is drawn fresh, and each member must be re-synced over its
+    /// admin channel (`O(N)` admin seals — the pathological-roster
+    /// fallback, not the fast path).
+    pub fn reinit<R: CryptoRng + ?Sized>(&mut self, rng: &mut R) -> Option<NodeKey> {
+        let survivors: Vec<ActorId> = self.occupants.iter().flatten().cloned().collect();
+        *self = KeyTree::new();
+        if survivors.is_empty() {
+            return None;
+        }
+        self.leaf_count = u32::try_from(survivors.len()).expect("roster fits u32");
+        self.node_keys = (0..node_width(self.leaf_count))
+            .map(|_| {
+                let mut key = [0u8; 32];
+                rng.fill_bytes(&mut key);
+                Some(key)
+            })
+            .collect();
+        self.occupants = survivors.iter().cloned().map(Some).collect();
+        self.leaf_of = survivors
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (m, u32::try_from(i).expect("roster fits u32")))
+            .collect();
+        self.root_key()
+    }
+
+    /// Core path refresh from leaf `slot`. With `leaf_secret` the leaf key
+    /// itself is rewritten (join) and the parent secret chains from it;
+    /// otherwise the first parent secret is drawn fresh (remove, traffic
+    /// rekey). With `seal_to_self` the refreshed leaf's current key also
+    /// receives a seal, so the member at that leaf can follow the refresh
+    /// from the broadcast alone.
+    fn refresh_path<R: CryptoRng + ?Sized>(
+        &mut self,
+        slot: u32,
+        leaf_secret: Option<NodeKey>,
+        seal_to_self: bool,
+        rng: &mut R,
+    ) -> PathUpdatePlan {
+        let n = self.leaf_count;
+        let leaf_node = 2 * slot;
+        let mut seals = Vec::new();
+        let mut path_depth = 0u32;
+
+        // Establish the secret for the first path node (the leaf's parent,
+        // or the leaf itself in a one-leaf tree).
+        let mut secret = match leaf_secret {
+            Some(s0) => {
+                self.node_keys[leaf_node as usize] = Some(derive_node_key(&s0));
+                path_depth += 1;
+                derive_path_secret(&s0)
+            }
+            None => {
+                let mut s = [0u8; 32];
+                rng.fill_bytes(&mut s);
+                s
+            }
+        };
+
+        if leaf_node == root(n) {
+            // One-leaf tree: the leaf is the root. A refresh without a new
+            // leaf secret rotates the leaf key in place, sealing the
+            // fresh secret under the old key so the occupant can follow.
+            if leaf_secret.is_none() {
+                if seal_to_self {
+                    if let Some(old) = self.node_keys[leaf_node as usize] {
+                        seals.push(CopathSeal {
+                            node_index: leaf_node,
+                            seal_key: old,
+                            path_secret: secret,
+                        });
+                    }
+                }
+                self.node_keys[leaf_node as usize] = Some(derive_node_key(&secret));
+                path_depth += 1;
+            }
+            return PathUpdatePlan {
+                updated_leaf: slot,
+                leaf_count: n,
+                seals,
+                root_key: self.node_keys[leaf_node as usize].expect("root key just written"),
+                path_depth,
+            };
+        }
+
+        if seal_to_self {
+            if let Some(leaf_key) = self.node_keys[leaf_node as usize] {
+                seals.push(CopathSeal {
+                    node_index: leaf_node,
+                    seal_key: leaf_key,
+                    path_secret: secret,
+                });
+            }
+        }
+
+        let mut below = leaf_node;
+        for p in direct_path(leaf_node, n) {
+            // Members under the copath child need this node's secret.
+            let c = copath_child(p, below, n);
+            for target in self.resolution(c) {
+                seals.push(CopathSeal {
+                    node_index: target,
+                    seal_key: self.node_keys[target as usize].expect("resolution nodes hold keys"),
+                    path_secret: secret,
+                });
+            }
+            self.node_keys[p as usize] = Some(derive_node_key(&secret));
+            path_depth += 1;
+            secret = derive_path_secret(&secret);
+            below = p;
+        }
+
+        PathUpdatePlan {
+            updated_leaf: slot,
+            leaf_count: n,
+            seals,
+            root_key: self.node_keys[root(n) as usize].expect("root rewritten by refresh"),
+            path_depth,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Member-side tree
+// ---------------------------------------------------------------------------
+
+/// A member's view of the tree: its leaf slot and the keys on its direct
+/// path, updated from admin `PathSync` payloads and broadcast path
+/// updates.
+#[derive(Clone)]
+pub struct MemberTree {
+    /// This member's leaf slot.
+    pub leaf_slot: u32,
+    /// Leaf slots in the tree as last seen.
+    pub leaf_count: u32,
+    keys: HashMap<u32, NodeKey>,
+}
+
+impl std::fmt::Debug for MemberTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemberTree")
+            .field("leaf_slot", &self.leaf_slot)
+            .field("leaf_count", &self.leaf_count)
+            .field("keys_held", &self.keys.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemberTree {
+    /// Installs a full direct path from an admin `PathSync`: `path_keys`
+    /// must hold exactly the leaf-to-root keys for `leaf_slot` in a
+    /// `leaf_count`-leaf tree. Returns `None` on a malformed payload.
+    #[must_use]
+    pub fn from_sync(leaf_slot: u32, leaf_count: u32, path_keys: &[NodeKey]) -> Option<Self> {
+        if leaf_count == 0 || leaf_slot >= leaf_count {
+            return None;
+        }
+        let leaf_node = 2 * leaf_slot;
+        let mut nodes = vec![leaf_node];
+        nodes.extend(direct_path(leaf_node, leaf_count));
+        if nodes.len() != path_keys.len() {
+            return None;
+        }
+        Some(MemberTree {
+            leaf_slot,
+            leaf_count,
+            keys: nodes.into_iter().zip(path_keys.iter().copied()).collect(),
+        })
+    }
+
+    /// The nodes on this member's direct path (leaf included) under a
+    /// possibly-grown tree of `leaf_count` leaves.
+    #[must_use]
+    pub fn path_nodes(&self, leaf_count: u32) -> Vec<u32> {
+        let leaf_node = 2 * self.leaf_slot;
+        let mut nodes = vec![leaf_node];
+        nodes.extend(direct_path(leaf_node, leaf_count));
+        nodes
+    }
+
+    /// The key this member holds for `node`, if any.
+    #[must_use]
+    pub fn key_of(&self, node: u32) -> Option<&NodeKey> {
+        self.keys.get(&node)
+    }
+
+    /// The root key under the current `leaf_count`.
+    #[must_use]
+    pub fn root_key(&self) -> Option<&NodeKey> {
+        self.keys.get(&root(self.leaf_count))
+    }
+
+    /// Applies an unsealed path secret belonging to `node` (per
+    /// [`update_secret_node`]) after a path update extended the tree to
+    /// `leaf_count` leaves: derives and stores every key from `node` up to
+    /// the root, and returns the new root key.
+    pub fn install_secret(&mut self, node: u32, secret: &NodeKey, leaf_count: u32) -> NodeKey {
+        self.leaf_count = leaf_count;
+        let r = root(leaf_count);
+        let mut s = *secret;
+        let mut t = node;
+        loop {
+            let key = derive_node_key(&s);
+            self.keys.insert(t, key);
+            if t == r {
+                return key;
+            }
+            s = derive_path_secret(&s);
+            t = parent(t, leaf_count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_crypto::rng::SeededRng;
+    use enclaves_crypto::treekdf::derive_group;
+
+    fn id(name: &str) -> ActorId {
+        ActorId::new(name).unwrap()
+    }
+
+    // RFC 9420 appendix C worked example: the 11-leaf tree.
+    #[test]
+    fn array_tree_math_matches_rfc9420_examples() {
+        assert_eq!(node_width(11), 21);
+        assert_eq!(root(11), 15);
+        assert_eq!(root(1), 0);
+        assert_eq!(root(2), 1);
+        assert_eq!(root(3), 3);
+        assert_eq!(root(4), 3);
+        assert_eq!(root(5), 7);
+        // Levels.
+        assert_eq!(level(0), 0);
+        assert_eq!(level(1), 1);
+        assert_eq!(level(3), 2);
+        assert_eq!(level(7), 3);
+        // Children in an 11-leaf tree.
+        assert_eq!(left(3), 1);
+        assert_eq!(right(3, 11), 5);
+        assert_eq!(left(15), 7);
+        assert_eq!(right(15, 11), 19);
+        assert_eq!(right(19, 11), 20);
+        // Parents.
+        assert_eq!(parent(0, 11), 1);
+        assert_eq!(parent(2, 11), 1);
+        assert_eq!(parent(20, 11), 19);
+        assert_eq!(parent(19, 11), 15);
+        assert_eq!(parent(7, 11), 15);
+    }
+
+    #[test]
+    fn paths_remain_subsequences_under_extension() {
+        // The property that lets members keep their stored keys across
+        // roster growth: every node on a leaf's direct path in the small
+        // tree is still on its direct path in the grown tree (new spine
+        // nodes are inserted, never substituted — and the join that grows
+        // the tree refreshes exactly those inserted nodes).
+        for n in 1u32..32 {
+            for grow in [1u32, 7, 16] {
+                for slot in 0..n {
+                    let node = 2 * slot;
+                    let mut small = vec![node];
+                    small.extend(direct_path(node, n));
+                    let mut big = vec![node];
+                    big.extend(direct_path(node, n + grow));
+                    let mut it = big.iter();
+                    for p in &small {
+                        assert!(
+                            it.any(|q| q == p),
+                            "n={n}+{grow} slot={slot}: node {p} fell off the grown path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn member_views(tree: &KeyTree, members: &[ActorId]) -> HashMap<ActorId, MemberTree> {
+        members
+            .iter()
+            .map(|m| {
+                let (slot, keys) = tree.path_keys(m).expect("path intact");
+                (
+                    m.clone(),
+                    MemberTree::from_sync(slot, tree.leaf_count(), &keys).expect("valid sync"),
+                )
+            })
+            .collect()
+    }
+
+    /// Replays a plan against every member view the way `MemberSession`
+    /// does: find the one seal on my path, install the secret, return the
+    /// root key each member derives.
+    fn apply_plan(views: &mut HashMap<ActorId, MemberTree>, plan: &PathUpdatePlan) {
+        for (who, view) in views.iter_mut() {
+            let path: Vec<u32> = view.path_nodes(plan.leaf_count);
+            let mine: Vec<&CopathSeal> = plan
+                .seals
+                .iter()
+                .filter(|s| path.contains(&s.node_index) && view.key_of(s.node_index).is_some())
+                .collect();
+            assert_eq!(
+                mine.len(),
+                1,
+                "{who}: expected exactly one decryptable seal, got {}",
+                mine.len()
+            );
+            let seal = mine[0];
+            assert_eq!(
+                view.key_of(seal.node_index),
+                Some(&seal.seal_key),
+                "{who}: seal key must match the member's stored node key"
+            );
+            let target = update_secret_node(view.leaf_slot, plan.updated_leaf, plan.leaf_count);
+            view.install_secret(target, &seal.path_secret, plan.leaf_count);
+        }
+    }
+
+    #[test]
+    fn joins_grow_the_tree_and_every_member_tracks_the_root() {
+        let mut rng = SeededRng::from_seed(9);
+        let mut tree = KeyTree::new();
+        let mut views: HashMap<ActorId, MemberTree> = HashMap::new();
+        let mut members = Vec::new();
+        for i in 0..12 {
+            let m = id(&format!("m{i}"));
+            let plan = tree.add(m.clone(), &mut rng);
+            // Existing members follow the broadcast...
+            apply_plan(&mut views, &plan);
+            // ...the joiner is synced out of band.
+            members.push(m.clone());
+            let (slot, keys) = tree.path_keys(&m).unwrap();
+            views.insert(
+                m,
+                MemberTree::from_sync(slot, tree.leaf_count(), &keys).unwrap(),
+            );
+            for (who, view) in &views {
+                assert_eq!(
+                    view.root_key(),
+                    tree.root_key().as_ref(),
+                    "{who} diverged at join {i}"
+                );
+            }
+        }
+        assert_eq!(tree.leaf_count(), 12);
+        assert_eq!(tree.occupied(), 12);
+    }
+
+    #[test]
+    fn remove_retires_every_key_the_departee_held() {
+        let mut rng = SeededRng::from_seed(11);
+        let mut tree = KeyTree::new();
+        let members: Vec<ActorId> = (0..8).map(|i| id(&format!("m{i}"))).collect();
+        for m in &members {
+            tree.add(m.clone(), &mut rng);
+        }
+        let mallory = members[3].clone();
+        let (slot, held) = tree.path_keys(&mallory).unwrap();
+        assert_eq!(slot, 3);
+        let plan = tree.remove(&mallory, &mut rng).expect("survivors remain");
+        // Every key mallory held is gone from the tree.
+        let survivors: Vec<ActorId> = members.iter().filter(|m| **m != mallory).cloned().collect();
+        for s in &survivors {
+            let (_, keys) = tree.path_keys(s).unwrap();
+            for k in &keys {
+                assert!(!held.contains(k), "departee key survived the rewrite");
+            }
+        }
+        // No seal in the plan is decryptable with any key mallory held:
+        // every seal key is either a fresh key or an off-path key.
+        for seal in &plan.seals {
+            assert!(
+                !held.contains(&seal.seal_key),
+                "seal addressed to a key the departee held"
+            );
+        }
+        // Survivors still converge on the new root.
+        let mut views = member_views(&tree, &survivors);
+        for view in views.values_mut() {
+            assert_eq!(view.root_key(), tree.root_key().as_ref());
+        }
+    }
+
+    #[test]
+    fn refresh_next_rotates_and_members_follow_from_broadcast_alone() {
+        let mut rng = SeededRng::from_seed(13);
+        let mut tree = KeyTree::new();
+        let members: Vec<ActorId> = (0..5).map(|i| id(&format!("m{i}"))).collect();
+        for m in &members {
+            tree.add(m.clone(), &mut rng);
+        }
+        let mut views = member_views(&tree, &members);
+        for round in 0..7 {
+            let plan = tree.refresh_next(&mut rng);
+            apply_plan(&mut views, &plan);
+            for (who, view) in &views {
+                assert_eq!(
+                    view.root_key(),
+                    tree.root_key().as_ref(),
+                    "{who} diverged in round {round}"
+                );
+            }
+        }
+    }
+
+    fn ceil_log2(n: u32) -> u32 {
+        debug_assert!(n >= 1);
+        32 - (n - 1).leading_zeros()
+    }
+
+    #[test]
+    fn seal_counts_stay_logarithmic() {
+        let mut rng = SeededRng::from_seed(17);
+        for n in [1u32, 2, 3, 8, 33, 70, 512] {
+            let mut tree = KeyTree::new();
+            for i in 0..n {
+                tree.add(id(&format!("m{i}")), &mut rng);
+            }
+            let bound = 2 * ceil_log2(n.max(2)) + 1;
+            for _ in 0..3 {
+                let plan = tree.refresh_next(&mut rng);
+                assert!(
+                    u32::try_from(plan.seals.len()).unwrap() <= bound,
+                    "n={n}: {} seals exceeds 2*ceil(log2 n)+1 = {bound}",
+                    plan.seals.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_rosters_work() {
+        let mut rng = SeededRng::from_seed(19);
+        // n = 1: leaf is the root.
+        let mut tree = KeyTree::new();
+        let a = id("a");
+        tree.add(a.clone(), &mut rng);
+        assert_eq!(tree.leaf_count(), 1);
+        let mut views = member_views(&tree, std::slice::from_ref(&a));
+        let plan = tree.refresh_next(&mut rng);
+        assert_eq!(plan.seals.len(), 1);
+        apply_plan(&mut views, &plan);
+        assert_eq!(views[&a].root_key(), tree.root_key().as_ref());
+
+        // n = 2 and n = 3, with churn.
+        let b = id("b");
+        let c = id("c");
+        let plan = tree.add(b.clone(), &mut rng);
+        apply_plan(&mut views, &plan);
+        views.insert(b.clone(), {
+            let (slot, keys) = tree.path_keys(&b).unwrap();
+            MemberTree::from_sync(slot, tree.leaf_count(), &keys).unwrap()
+        });
+        let plan = tree.add(c.clone(), &mut rng);
+        apply_plan(&mut views, &plan);
+        views.insert(c.clone(), {
+            let (slot, keys) = tree.path_keys(&c).unwrap();
+            MemberTree::from_sync(slot, tree.leaf_count(), &keys).unwrap()
+        });
+        assert_eq!(tree.leaf_count(), 3);
+        for view in views.values() {
+            assert_eq!(view.root_key(), tree.root_key().as_ref());
+        }
+        let plan = tree.remove(&b, &mut rng).unwrap();
+        views.remove(&b);
+        apply_plan(&mut views, &plan);
+        for view in views.values() {
+            assert_eq!(view.root_key(), tree.root_key().as_ref());
+        }
+    }
+
+    #[test]
+    fn evict_then_rejoin_reuses_the_blanked_leaf() {
+        let mut rng = SeededRng::from_seed(23);
+        let mut tree = KeyTree::new();
+        let members: Vec<ActorId> = (0..6).map(|i| id(&format!("m{i}"))).collect();
+        for m in &members {
+            tree.add(m.clone(), &mut rng);
+        }
+        let victim = members[2].clone();
+        tree.remove(&victim, &mut rng).unwrap();
+        assert_eq!(tree.leaf_count(), 6, "leaf stays allocated");
+        assert_eq!(tree.occupied(), 5);
+        // Rejoin lands in the blanked slot — the tree does not grow.
+        let plan = tree.add(victim.clone(), &mut rng);
+        assert_eq!(plan.updated_leaf, 2);
+        assert_eq!(tree.leaf_count(), 6);
+        assert_eq!(tree.leaf_of(&victim), Some(2));
+        // And the rejoined member's path is fully keyed.
+        let (_, keys) = tree.path_keys(&victim).unwrap();
+        assert_eq!(keys.len(), 1 + direct_path(4, 6).len());
+    }
+
+    #[test]
+    fn reinit_compacts_a_pathological_tree() {
+        let mut rng = SeededRng::from_seed(29);
+        let mut tree = KeyTree::new();
+        let members: Vec<ActorId> = (0..16).map(|i| id(&format!("m{i}"))).collect();
+        for m in &members {
+            tree.add(m.clone(), &mut rng);
+        }
+        for m in members.iter().take(11) {
+            tree.remove(m, &mut rng);
+        }
+        assert!(tree.is_pathological());
+        let old_root = tree.root_key();
+        let root_key = tree.reinit(&mut rng).expect("survivors remain");
+        assert_ne!(Some(root_key), old_root);
+        assert_eq!(tree.leaf_count(), 5);
+        assert!(!tree.is_pathological());
+        for m in members.iter().skip(11) {
+            let (_, keys) = tree.path_keys(m).expect("survivor synced");
+            assert_eq!(*keys.last().unwrap(), root_key);
+        }
+        // Removing everyone resets to empty.
+        for m in members.iter().skip(11) {
+            tree.remove(m, &mut rng);
+        }
+        assert_eq!(tree.leaf_count(), 0);
+        assert!(tree.root_key().is_none());
+    }
+
+    #[test]
+    fn group_keys_from_equal_roots_agree() {
+        let mut rng = SeededRng::from_seed(31);
+        let mut tree = KeyTree::new();
+        tree.add(id("a"), &mut rng);
+        tree.add(id("b"), &mut rng);
+        let root_key = tree.root_key().unwrap();
+        let (slot, keys) = tree.path_keys(&id("b")).unwrap();
+        let view = MemberTree::from_sync(slot, tree.leaf_count(), &keys).unwrap();
+        assert_eq!(
+            derive_group(&root_key, 4),
+            derive_group(view.root_key().unwrap(), 4)
+        );
+    }
+}

@@ -5,17 +5,19 @@ use crate::config::LeaderConfig;
 use crate::directory::Directory;
 use crate::error::{CoreError, RejectReason};
 use crate::group::GroupState;
+use crate::protocol::keytree::{KeyTree, NodeKey, PathUpdatePlan};
 use crate::protocol::{broadcast_nonce, SEQ_LEADER};
 use enclaves_crypto::aead::ChaCha20Poly1305;
-use enclaves_crypto::keys::SessionKey;
+use enclaves_crypto::keys::{GroupKey, SessionKey};
 use enclaves_crypto::nonce::{AeadNonce, NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_crypto::treekdf;
 use enclaves_obs::{Counter, EventKind, EventStream, Histogram, Registry};
 use enclaves_wire::codec::{encode, encode_into};
 use enclaves_wire::message::{
-    group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
-    ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain, MsgType,
-    NonceAckPlain,
+    group_broadcast_aad, group_data_aad, open, path_update_aad, seal, AdminPayload, AdminPlain,
+    AuthInitPlain, ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain,
+    KeyDistPlain, MsgType, NonceAckPlain, PathUpdateWire, SealedBody,
 };
 use enclaves_wire::ActorId;
 use std::collections::{HashMap, VecDeque};
@@ -59,6 +61,9 @@ pub enum LeaderEvent {
 pub struct LeaderOutput {
     /// Envelopes to send (each addressed to its recipient).
     pub outgoing: Vec<Envelope>,
+    /// Sealed-once multicast frames (tree-rekey `PathUpdate`s): the
+    /// runtime fans the same refcounted bytes out to every recipient.
+    pub broadcasts: Vec<BroadcastFrame>,
     /// Events for the operator.
     pub events: Vec<LeaderEvent>,
 }
@@ -66,6 +71,7 @@ pub struct LeaderOutput {
 impl LeaderOutput {
     fn merge(&mut self, other: LeaderOutput) {
         self.outgoing.extend(other.outgoing);
+        self.broadcasts.extend(other.broadcasts);
         self.events.extend(other.events);
     }
 }
@@ -94,6 +100,11 @@ pub struct LeaderStats {
     /// recipient frame actually sealed). A rekey over an n-member group
     /// advances this by exactly n.
     pub admin_seals: u64,
+    /// AEAD seal operations performed by tree-mode path updates (one per
+    /// copath resolution node). A tree rekey over a dense n-member group
+    /// advances this by at most `2·ceil(log2 n) + 1` — the `O(log N)`
+    /// bound that replaces the flat fan-out's n admin seals.
+    pub rekey_seals: u64,
     /// Wall-clock nanoseconds spent in admin AEAD sealing + envelope
     /// encoding. With the parallel fan-out this work runs *outside* the
     /// runtime's core lock.
@@ -129,6 +140,7 @@ struct LeaderObs {
     broadcasts: Counter,
     data_seals: Counter,
     admin_seals: Counter,
+    rekey_seals: Counter,
     admin_seal_ns: Counter,
     lock_hold_ns: Counter,
     retransmits: Counter,
@@ -136,6 +148,7 @@ struct LeaderObs {
     heartbeats: Counter,
     seal_batch_ns: Histogram,
     lock_hold_batch_ns: Histogram,
+    path_depth: Histogram,
     events: Option<EventStream>,
 }
 
@@ -151,6 +164,7 @@ impl LeaderObs {
             broadcasts: registry.counter("leader.broadcasts"),
             data_seals: registry.counter("leader.data_seals"),
             admin_seals: registry.counter("leader.admin_seals"),
+            rekey_seals: registry.counter("leader.rekey_seals"),
             admin_seal_ns: registry.counter("leader.admin_seal_ns"),
             lock_hold_ns: registry.counter("leader.lock_hold_ns"),
             retransmits: registry.counter("leader.retransmits"),
@@ -158,6 +172,7 @@ impl LeaderObs {
             heartbeats: registry.counter("leader.heartbeats"),
             seal_batch_ns: registry.histogram("leader.seal_batch_ns"),
             lock_hold_batch_ns: registry.histogram("leader.lock_hold_batch_ns"),
+            path_depth: registry.histogram("leader.path_depth"),
             events: None,
             registry,
         }
@@ -181,6 +196,7 @@ impl LeaderObs {
             broadcasts: self.broadcasts.get(),
             data_seals: self.data_seals.get(),
             admin_seals: self.admin_seals.get(),
+            rekey_seals: self.rekey_seals.get(),
             admin_seal_ns: self.admin_seal_ns.get(),
             lock_hold_ns: self.lock_hold_ns.get(),
             retransmits: self.retransmits.get(),
@@ -245,6 +261,11 @@ pub struct SealedAdminFrame {
 pub struct AdminFanout {
     /// Seal jobs, in roster order.
     pub jobs: Vec<SealJob>,
+    /// A sealed-once multicast frame (a tree-rekey `PathUpdate`), built
+    /// while staging: its `O(log N)` copath seals are cheap enough to run
+    /// under the lock, and the runtime fans the refcounted bytes out with
+    /// the rest of the batch.
+    pub broadcast: Option<BroadcastFrame>,
     /// Events for the operator (e.g. `Rekeyed`, `MemberLeft`).
     pub events: Vec<LeaderEvent>,
 }
@@ -288,6 +309,10 @@ struct Channel {
     /// Highest heartbeat ping sequence accepted; replays at or below it
     /// are rejected so a recorded ping cannot keep a dead member alive.
     hb_seq: u64,
+    /// Highest epoch a tree-mode `PathSync` has been queued for on this
+    /// channel — dedup so a member whose heartbeats keep reporting a
+    /// stale epoch gets one resync per epoch, not one per ping.
+    synced_epoch: u64,
 }
 
 enum Slot {
@@ -339,6 +364,10 @@ pub struct LeaderCore {
     rng: Box<dyn CryptoRng>,
     slots: HashMap<ActorId, Slot>,
     group: GroupState,
+    /// The MLS-style rekey tree (`Some` iff `config.tree_rekey`): leaves
+    /// hold per-member channel secrets, interior keys are HKDF-derived
+    /// from children, and the root feeds `treekdf::derive_group`.
+    tree: Option<KeyTree>,
     obs: LeaderObs,
     /// Scratch buffer reused across data-plane broadcasts so a steady
     /// stream of them does not reallocate the envelope encoding each time.
@@ -375,6 +404,7 @@ impl LeaderCore {
         config: LeaderConfig,
         rng: Box<dyn CryptoRng>,
     ) -> Self {
+        let tree = config.tree_rekey.then(KeyTree::new);
         LeaderCore {
             leader,
             directory,
@@ -382,6 +412,7 @@ impl LeaderCore {
             rng,
             slots: HashMap::new(),
             group: GroupState::new(),
+            tree,
             obs: LeaderObs::new(),
             frame_buf: Vec::new(),
             now: Duration::ZERO,
@@ -500,7 +531,7 @@ impl LeaderCore {
                     let reply: Envelope = enclaves_wire::codec::decode(cached_frame)?;
                     return Ok(LeaderOutput {
                         outgoing: vec![reply],
-                        events: vec![],
+                        ..LeaderOutput::default()
                     });
                 }
             }
@@ -562,7 +593,7 @@ impl LeaderCore {
         );
         Ok(LeaderOutput {
             outgoing: vec![reply],
-            events: vec![],
+            ..LeaderOutput::default()
         })
     }
 
@@ -603,15 +634,20 @@ impl LeaderCore {
                 retransmit_at: None,
                 last_heard: self.now,
                 hb_seq: 0,
+                synced_epoch: 0,
             }),
         );
 
         let mut output = LeaderOutput {
-            outgoing: vec![],
             events: vec![LeaderEvent::MemberJoined(user.clone())],
+            ..LeaderOutput::default()
         };
 
         self.group.join(user.clone(), self.rng.as_mut());
+        if self.tree.is_some() {
+            output.merge(self.tree_join(&user)?);
+            return Ok(output);
+        }
         let rekeyed = if self.config.rekey_policy.rekey_on_join() && self.group.len() > 1 {
             self.group.rekey(self.rng.as_mut());
             self.obs.rekeys.inc();
@@ -671,6 +707,162 @@ impl LeaderCore {
             output.events.push(LeaderEvent::Rekeyed(epoch_num));
         }
         Ok(output)
+    }
+
+    /// Tree-mode join: place the new member in the rekey tree, refresh its
+    /// leaf-to-root path, and advance the epoch to the key the fresh root
+    /// derives. The joiner learns its direct path from an admin `PathSync`
+    /// riding behind its `Welcome`; everyone else learns the rewritten
+    /// keys from the `O(log N)` `PathUpdate` broadcast.
+    fn tree_join(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let plan = self
+            .tree
+            .as_mut()
+            .expect("tree mode")
+            .add(user.clone(), self.rng.as_mut());
+        let epoch = self.advance_tree_epoch(&plan.root_key);
+        self.obs.rekeys.inc();
+
+        let mut output = LeaderOutput::default();
+        // The Welcome carries the fresh epoch's key so the joiner is live
+        // on the data plane immediately; the PathSync behind it seeds its
+        // member tree for future PathUpdate broadcasts.
+        let e = self.group.current_epoch().expect("epoch just advanced");
+        let welcome = AdminPayload::Welcome {
+            members: self.group.roster(),
+            epoch: e.epoch,
+            group_key: *e.key.as_bytes(),
+            iv: e.iv,
+        };
+        self.obs.emit(|| EventKind::MemberJoined {
+            member: user.to_string(),
+            epoch,
+        });
+        output.merge(self.enqueue_admin(user, welcome)?);
+        output.merge(self.stage_path_sync_serial(user)?);
+
+        if self.config.membership_notices {
+            let others: Vec<ActorId> = self
+                .group
+                .roster()
+                .into_iter()
+                .filter(|m| m != user)
+                .collect();
+            for other in others {
+                output.merge(self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?);
+            }
+        }
+        if let Some(frame) = self.build_path_update_frame(&plan, epoch, Some(user)) {
+            output.broadcasts.push(frame);
+        }
+        self.obs.emit(|| EventKind::Rekeyed { epoch });
+        output.events.push(LeaderEvent::Rekeyed(epoch));
+        Ok(output)
+    }
+
+    /// Derives the next epoch's group key from a fresh tree root and
+    /// commits it. `derive_group` binds the epoch number into the KDF, so
+    /// distinct epochs always yield distinct keys and IVs.
+    fn advance_tree_epoch(&mut self, root_key: &NodeKey) -> u64 {
+        let epoch = self.group.next_epoch_number();
+        let (key, iv) = treekdf::derive_group(root_key, epoch);
+        self.group.advance_epoch_with(GroupKey::from_bytes(key), iv)
+    }
+
+    /// The `PathSync` payload carrying `user`'s current direct path, with
+    /// the epoch it is valid for. `None` outside tree mode or when the
+    /// member has no tree leaf.
+    fn path_sync_payload(&self, user: &ActorId) -> Option<(u64, AdminPayload)> {
+        let tree = self.tree.as_ref()?;
+        let (leaf_index, path_keys) = tree.path_keys(user)?;
+        let epoch = self.group.current_epoch().map_or(0, |e| e.epoch);
+        Some((
+            epoch,
+            AdminPayload::PathSync {
+                epoch,
+                leaf_index,
+                leaf_count: tree.leaf_count(),
+                path_keys,
+            },
+        ))
+    }
+
+    /// Queues a `PathSync` to one member (serial path), recording the
+    /// epoch on its channel so heartbeat-driven resyncs do not repeat it.
+    fn stage_path_sync_serial(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
+        let Some((epoch, payload)) = self.path_sync_payload(user) else {
+            return Ok(LeaderOutput::default());
+        };
+        if let Some(Slot::Connected(channel)) = self.slots.get_mut(user) {
+            channel.synced_epoch = channel.synced_epoch.max(epoch);
+        }
+        self.enqueue_admin(user, payload)
+    }
+
+    /// Seals a path-refresh plan into a single `PathUpdate` multicast
+    /// frame: one AEAD seal per copath resolution node (`O(log N)` on a
+    /// dense tree), each bound by [`path_update_aad`]. Returns `None` when
+    /// nobody would receive it. `exclude` drops the refreshed member from
+    /// the recipient list on joins — the joiner holds none of the sealing
+    /// node keys; its `PathSync` covers it.
+    fn build_path_update_frame(
+        &mut self,
+        plan: &PathUpdatePlan,
+        epoch: u64,
+        exclude: Option<&ActorId>,
+    ) -> Option<BroadcastFrame> {
+        let recipients: Vec<ActorId> = self
+            .group
+            .roster()
+            .into_iter()
+            .filter(|m| Some(m) != exclude)
+            .collect();
+        if recipients.is_empty() {
+            return None;
+        }
+        let mut ciphers = Vec::with_capacity(plan.seals.len());
+        for cs in &plan.seals {
+            let aad = path_update_aad(
+                &self.leader,
+                epoch,
+                plan.leaf_count,
+                plan.updated_leaf,
+                cs.node_index,
+            );
+            let mut nonce = [0u8; 12];
+            self.rng.fill_bytes(&mut nonce);
+            let mut ciphertext = Vec::new();
+            ChaCha20Poly1305::new(&cs.seal_key).seal_into(
+                &AeadNonce::from_bytes(nonce),
+                &cs.path_secret,
+                &aad,
+                &mut ciphertext,
+            );
+            ciphers.push((cs.node_index, SealedBody { nonce, ciphertext }));
+        }
+        self.obs.rekey_seals.add(plan.seals.len() as u64);
+        self.obs.path_depth.record(u64::from(plan.path_depth));
+        let env = Envelope {
+            msg_type: MsgType::PathUpdate,
+            sender: self.leader.clone(),
+            // Multicast convention (see broadcast_group_data): identical
+            // bytes reach every member, so the recipient field names the
+            // leader and members skip the recipient check for this type.
+            recipient: self.leader.clone(),
+            body: encode(&PathUpdateWire {
+                epoch,
+                leaf_count: plan.leaf_count,
+                updated_leaf: plan.updated_leaf,
+                ciphers,
+            }),
+        };
+        encode_into(&env, &mut self.frame_buf);
+        Some(BroadcastFrame {
+            frame: self.frame_buf.as_slice().into(),
+            recipients,
+            epoch,
+            seq: 0,
+        })
     }
 
     fn accept_ack(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
@@ -758,6 +950,11 @@ impl LeaderCore {
             }
         });
 
+        if self.tree.is_some() {
+            self.tree_depart(user, &mut fanout)?;
+            return Ok(fanout);
+        }
+
         let rekeyed = if self.config.rekey_policy.rekey_on_leave() && !self.group.is_empty() {
             self.group.rekey(self.rng.as_mut());
             self.obs.rekeys.inc();
@@ -800,6 +997,57 @@ impl LeaderCore {
             }
         }
         Ok(fanout)
+    }
+
+    /// Tree-mode departure: blank the departed member's leaf and rewrite
+    /// its former path, so every key it held is retired — no seal in the
+    /// resulting `PathUpdate` targets a key the departee knows. Falls back
+    /// to a full reinit (`O(N)` admin resyncs) when churn has left the
+    /// tree mostly blank.
+    fn tree_depart(&mut self, user: &ActorId, fanout: &mut AdminFanout) -> Result<(), CoreError> {
+        let tree = self.tree.as_mut().expect("tree mode");
+        let Some(plan) = tree.remove(user, self.rng.as_mut()) else {
+            // The tree (and group) is now empty: nobody left to rekey.
+            return Ok(());
+        };
+        if self.tree.as_ref().expect("tree mode").is_pathological() {
+            return self.tree_reinit(fanout);
+        }
+        let epoch = self.advance_tree_epoch(&plan.root_key);
+        self.obs.rekeys.inc();
+        fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
+        self.obs.emit(|| EventKind::Rekeyed { epoch });
+        fanout.events.push(LeaderEvent::Rekeyed(epoch));
+        Ok(())
+    }
+
+    /// The pathological-roster fallback: rebuild a compact tree with
+    /// fresh keys and resync every member over its reliable admin channel
+    /// — `O(N)` admin seals once, restoring the `O(log N)` bound for
+    /// every subsequent path update.
+    fn tree_reinit(&mut self, fanout: &mut AdminFanout) -> Result<(), CoreError> {
+        let Some(root) = self
+            .tree
+            .as_mut()
+            .expect("tree mode")
+            .reinit(self.rng.as_mut())
+        else {
+            return Ok(());
+        };
+        let epoch = self.advance_tree_epoch(&root);
+        self.obs.rekeys.inc();
+        for member in self.group.roster() {
+            let Some((e, payload)) = self.path_sync_payload(&member) else {
+                continue;
+            };
+            if let Some(Slot::Connected(channel)) = self.slots.get_mut(&member) {
+                channel.synced_epoch = channel.synced_epoch.max(e);
+            }
+            fanout.jobs.extend(self.stage_admin(&member, payload)?);
+        }
+        self.obs.emit(|| EventKind::Rekeyed { epoch });
+        fanout.events.push(LeaderEvent::Rekeyed(epoch));
+        Ok(())
     }
 
     fn relay_group_data(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
@@ -878,6 +1126,8 @@ impl LeaderCore {
         }
         channel.hb_seq = plain.seq;
         channel.last_heard = now;
+        let member_epoch = plain.epoch;
+        let leader_epoch = self.group.current_epoch().map_or(0, |e| e.epoch);
 
         // Pong: echo the ping's sequence, sealed under the session key.
         let mut reply = Envelope {
@@ -892,16 +1142,45 @@ impl LeaderCore {
             seq,
             &reply.header_aad(),
             &HeartbeatPlain {
-                user,
+                user: user.clone(),
                 leader,
                 seq: plain.seq,
+                epoch: leader_epoch,
             },
         );
         self.obs.heartbeats.inc();
-        Ok(LeaderOutput {
+        let mut output = LeaderOutput {
             outgoing: vec![reply],
-            events: vec![],
-        })
+            ..LeaderOutput::default()
+        };
+        // A lagging epoch in an authenticated ping is evidence of a missed
+        // PathUpdate broadcast. Resync stays leader-driven — the member
+        // cannot request one, so forged traffic elicits no state change —
+        // and is deduped per epoch via the channel marker.
+        if member_epoch < leader_epoch {
+            output.merge(self.begin_path_resync(&user, leader_epoch)?);
+        }
+        Ok(output)
+    }
+
+    /// Queues a `PathSync` for a member whose authenticated heartbeat
+    /// showed a stale epoch, at most once per epoch per channel. Flat mode
+    /// has no tree to sync and returns nothing — the reliable admin ARQ
+    /// already guarantees `NewGroupKey` delivery there.
+    fn begin_path_resync(&mut self, user: &ActorId, epoch: u64) -> Result<LeaderOutput, CoreError> {
+        if self.tree.is_none() {
+            return Ok(LeaderOutput::default());
+        }
+        match self.slots.get_mut(user) {
+            Some(Slot::Connected(channel)) if channel.synced_epoch < epoch => {
+                channel.synced_epoch = epoch;
+            }
+            _ => return Ok(LeaderOutput::default()),
+        }
+        let Some((_, payload)) = self.path_sync_payload(user) else {
+            return Ok(LeaderOutput::default());
+        };
+        self.enqueue_admin(user, payload)
     }
 
     /// Queues (or immediately sends) an admin payload to one member — the
@@ -919,7 +1198,7 @@ impl LeaderCore {
     ) -> Result<LeaderOutput, CoreError> {
         let fanout = AdminFanout {
             jobs: self.stage_admin(user, payload)?.into_iter().collect(),
-            events: Vec::new(),
+            ..AdminFanout::default()
         };
         Ok(self.finish_serial(fanout))
     }
@@ -1107,6 +1386,7 @@ impl LeaderCore {
         self.commit_admin_frames(&batch);
         LeaderOutput {
             outgoing: batch.frames.into_iter().map(|f| f.env).collect(),
+            broadcasts: fanout.broadcast.into_iter().collect(),
             events: fanout.events,
         }
     }
@@ -1287,6 +1567,23 @@ impl LeaderCore {
     pub fn begin_rekey(&mut self) -> Result<AdminFanout, CoreError> {
         let mut fanout = AdminFanout::default();
         if self.group.is_empty() {
+            return Ok(fanout);
+        }
+        if self.tree.is_some() {
+            // Tree mode: refresh one leaf-to-root path (rotating over the
+            // roster) and multicast the copath seals — zero admin seals,
+            // `O(log N)` AEAD work. The refreshed member follows from the
+            // broadcast too: its first seal targets its own leaf key.
+            let plan = self
+                .tree
+                .as_mut()
+                .expect("tree mode")
+                .refresh_next(self.rng.as_mut());
+            let epoch = self.advance_tree_epoch(&plan.root_key);
+            self.obs.rekeys.inc();
+            fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
+            self.obs.emit(|| EventKind::Rekeyed { epoch });
+            fanout.events.push(LeaderEvent::Rekeyed(epoch));
             return Ok(fanout);
         }
         self.group.rekey(self.rng.as_mut());
@@ -2229,5 +2526,342 @@ mod tests {
         assert_eq!(l.roster(), roster);
         assert_eq!(l.epoch(), epoch);
         assert_eq!(l.stats().rejected, 10);
+    }
+
+    // -----------------------------------------------------------------
+    // Tree-rekey mode: end-to-end over real envelopes.
+    // -----------------------------------------------------------------
+
+    /// A leader plus member sessions wired together in memory, delivering
+    /// admin envelopes per recipient and `PathUpdate` broadcast frames to
+    /// their whole recipient list.
+    struct TreeWorld {
+        l: LeaderCore,
+        sessions: HashMap<ActorId, MemberSession>,
+        events: HashMap<ActorId, Vec<MemberEvent>>,
+    }
+
+    impl TreeWorld {
+        fn new(users: &[&str]) -> Self {
+            TreeWorld {
+                l: LeaderCore::with_rng(
+                    id("leader"),
+                    directory(users),
+                    LeaderConfig {
+                        rekey_policy: RekeyPolicy::Manual,
+                        tree_rekey: true,
+                        ..LeaderConfig::default()
+                    },
+                    Box::new(SeededRng::from_seed(1)),
+                ),
+                sessions: HashMap::new(),
+                events: HashMap::new(),
+            }
+        }
+
+        fn join(&mut self, user: &str, seed: u64) {
+            let (session, init) = member(user, seed);
+            self.sessions.insert(id(user), session);
+            self.drive(vec![init]);
+        }
+
+        fn leave(&mut self, user: &str) {
+            let env = self.sessions.get_mut(&id(user)).unwrap().leave().unwrap();
+            self.sessions.remove(&id(user));
+            self.drive(vec![env]);
+        }
+
+        fn rekey(&mut self) {
+            let out = self.l.rekey_now().unwrap();
+            let replies = self.deliver_collect(out);
+            self.drive(replies);
+        }
+
+        fn drive(&mut self, to_leader: Vec<Envelope>) {
+            let mut queue = to_leader;
+            while !queue.is_empty() {
+                let mut next = Vec::new();
+                for env in queue.drain(..) {
+                    if let Ok(out) = self.l.handle(&env) {
+                        next.extend(self.deliver_collect(out));
+                    }
+                }
+                queue = next;
+            }
+        }
+
+        /// Hands one leader output to the member sessions and returns the
+        /// replies bound for the leader.
+        fn deliver_collect(&mut self, out: LeaderOutput) -> Vec<Envelope> {
+            let mut replies = Vec::new();
+            for env in out.outgoing {
+                if let Some(s) = self.sessions.get_mut(&env.recipient) {
+                    if let Ok(o) = s.handle(&env) {
+                        self.events
+                            .entry(env.recipient.clone())
+                            .or_default()
+                            .extend(o.events);
+                        replies.extend(o.reply);
+                    }
+                }
+            }
+            for b in out.broadcasts {
+                let env: Envelope = enclaves_wire::codec::decode(&b.frame).unwrap();
+                for r in &b.recipients {
+                    if let Some(s) = self.sessions.get_mut(r) {
+                        if let Ok(o) = s.handle(&env) {
+                            self.events.entry(r.clone()).or_default().extend(o.events);
+                            replies.extend(o.reply);
+                        }
+                    }
+                }
+            }
+            replies
+        }
+
+        fn assert_converged(&self) {
+            let epoch = self.l.epoch();
+            for (who, s) in &self.sessions {
+                assert_eq!(s.group_epoch(), epoch, "{who} diverged from the leader");
+            }
+        }
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("m{i}")).collect()
+    }
+
+    #[test]
+    fn tree_join_leave_rekey_all_members_converge() {
+        let users = names(9);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 300 + i as u64);
+            w.assert_converged();
+        }
+        // A mid-tree member leaves: everyone rotates to a key the
+        // departee cannot derive.
+        let before = w.l.epoch().unwrap();
+        w.leave("m4");
+        assert!(w.l.epoch().unwrap() > before, "leave advances the epoch");
+        w.assert_converged();
+        // Manual rekeys rotate a different leaf each time; all converge.
+        for _ in 0..4 {
+            w.rekey();
+            w.assert_converged();
+        }
+    }
+
+    #[test]
+    fn tree_rekey_costs_log_seals_and_zero_admin_seals() {
+        let users = names(8);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 400 + i as u64);
+        }
+        let before = w.l.stats();
+        w.rekey();
+        let after = w.l.stats();
+        assert_eq!(
+            after.admin_seals, before.admin_seals,
+            "tree rekey must not touch the per-member admin plane"
+        );
+        let seals = after.rekey_seals - before.rekey_seals;
+        // 2·ceil(log2 8) + 1 = 7.
+        assert!(
+            (1..=7).contains(&seals),
+            "dense 8-leaf tree rekey took {seals} seals"
+        );
+        w.assert_converged();
+    }
+
+    #[test]
+    fn tree_member_mid_update_still_opens_previous_epoch_broadcast() {
+        let users = names(4);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 500 + i as u64);
+        }
+        // Seal a data-plane broadcast under the current epoch...
+        let old = w.l.broadcast_group_data(b"pre-rekey frame").unwrap();
+        let old_env: Envelope = enclaves_wire::codec::decode(&old.frame).unwrap();
+        // ...then rotate via the tree before anyone sees it.
+        w.rekey();
+        w.assert_converged();
+        // The raced frame still opens under the one-epoch grace window.
+        let m0 = w.sessions.get_mut(&id("m0")).unwrap();
+        let out = m0.handle(&old_env).expect("grace window admits the frame");
+        assert!(
+            out.events.iter().any(
+                |e| matches!(e, MemberEvent::Broadcast { data, .. } if data == b"pre-rekey frame")
+            ),
+            "previous-epoch broadcast must still deliver"
+        );
+    }
+
+    #[test]
+    fn tree_expelled_member_cannot_follow_path_updates() {
+        let users = names(5);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 600 + i as u64);
+        }
+        // Expel m2 but keep its session alive on the side: it still holds
+        // every key it ever learned.
+        let mut mallory = w.sessions.remove(&id("m2")).unwrap();
+        let expelled_at = mallory.group_epoch().unwrap();
+        let out = w.l.expel(&id("m2")).unwrap();
+        // Mallory "sniffs" the expulsion PathUpdate and every later one.
+        let sniffed: Vec<Envelope> = out
+            .broadcasts
+            .iter()
+            .map(|b| enclaves_wire::codec::decode(&b.frame).unwrap())
+            .collect();
+        let replies = w.deliver_collect(out);
+        w.drive(replies);
+        w.rekey();
+        let out2 = w.l.rekey_now().unwrap();
+        let mut sniffed2: Vec<Envelope> = out2
+            .broadcasts
+            .iter()
+            .map(|b| enclaves_wire::codec::decode(&b.frame).unwrap())
+            .collect();
+        sniffed2.extend(sniffed);
+        let replies = w.deliver_collect(out2);
+        w.drive(replies);
+        w.assert_converged();
+        // None of the sniffed updates let the expelled member advance: no
+        // seal in them targets a key it holds.
+        for env in &sniffed2 {
+            let _ = mallory.handle(env);
+        }
+        assert_eq!(
+            mallory.group_epoch(),
+            Some(expelled_at),
+            "expelled member derived a post-expel epoch"
+        );
+    }
+
+    #[test]
+    fn stale_heartbeat_epoch_triggers_one_path_sync() {
+        let users = names(4);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 700 + i as u64);
+        }
+        // Rekey but "lose" the broadcast: m1 never sees the PathUpdate.
+        let out = w.l.rekey_now().unwrap();
+        let lost = id("m1");
+        let filtered = LeaderOutput {
+            outgoing: out.outgoing,
+            broadcasts: out
+                .broadcasts
+                .into_iter()
+                .map(|mut b| {
+                    b.recipients.retain(|r| *r != lost);
+                    b
+                })
+                .collect(),
+            events: out.events,
+        };
+        let replies = w.deliver_collect(filtered);
+        w.drive(replies);
+        assert!(
+            w.sessions[&lost].group_epoch() < w.l.epoch(),
+            "m1 must be stale for this test"
+        );
+
+        // An authenticated heartbeat reveals the stale epoch; the leader
+        // pushes exactly one PathSync over the reliable admin channel.
+        let admin_before = w.l.stats().admin_sent;
+        let ping = w.sessions.get_mut(&lost).unwrap().heartbeat().unwrap();
+        w.drive(vec![ping]);
+        assert_eq!(w.sessions[&lost].group_epoch(), w.l.epoch());
+        assert_eq!(w.l.stats().admin_sent, admin_before + 1);
+
+        // A second stale-free heartbeat does not resync again.
+        let admin_before = w.l.stats().admin_sent;
+        let ping = w.sessions.get_mut(&lost).unwrap().heartbeat().unwrap();
+        w.drive(vec![ping]);
+        assert_eq!(w.l.stats().admin_sent, admin_before);
+        w.assert_converged();
+    }
+
+    #[test]
+    fn tree_path_update_frame_identical_across_seal_paths() {
+        // The PathUpdate multicast is staged under the lock, so the frame
+        // must be byte-identical whether the admin jobs around it seal
+        // serially or across the worker pool.
+        let build = |parallel: bool| {
+            let users = names(6);
+            let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+            let mut w = TreeWorld::new(&refs);
+            for (i, u) in users.iter().enumerate() {
+                w.join(u, 800 + i as u64);
+            }
+            let fanout = w.l.begin_rekey().unwrap();
+            let batch = if parallel {
+                LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, 4)
+            } else {
+                LeaderCore::seal_admin_jobs(&fanout.jobs)
+            };
+            w.l.commit_admin_frames(&batch);
+            fanout
+                .broadcast
+                .expect("tree rekey emits a broadcast")
+                .frame
+        };
+        assert_eq!(
+            build(false),
+            build(true),
+            "PathUpdate bytes must not depend on the seal path"
+        );
+    }
+
+    #[test]
+    fn tree_forged_path_update_rejected_without_state_change() {
+        let users = names(3);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 900 + i as u64);
+        }
+        let epoch = w.l.epoch().unwrap();
+        // A forged PathUpdate claiming the next epoch, with garbage seals.
+        let forged = Envelope {
+            msg_type: MsgType::PathUpdate,
+            sender: id("leader"),
+            recipient: id("leader"),
+            body: encode(&PathUpdateWire {
+                epoch: epoch + 1,
+                leaf_count: 3,
+                updated_leaf: 0,
+                ciphers: (0..5)
+                    .map(|i| {
+                        (
+                            i,
+                            SealedBody {
+                                nonce: [7; 12],
+                                ciphertext: vec![0x55; 48],
+                            },
+                        )
+                    })
+                    .collect(),
+            }),
+        };
+        let m0 = w.sessions.get_mut(&id("m0")).unwrap();
+        assert!(
+            m0.handle(&forged).is_err(),
+            "forged update must be rejected"
+        );
+        assert_eq!(m0.group_epoch(), Some(epoch), "state unchanged");
+        // The honest flow still works afterwards.
+        w.rekey();
+        w.assert_converged();
     }
 }

@@ -3,17 +3,19 @@
 
 use crate::error::{CoreError, RejectReason};
 use crate::group::MemberGroupView;
+use crate::protocol::keytree::{update_secret_node, MemberTree};
 use crate::protocol::{broadcast_nonce, group_seq_prefix, SEQ_MEMBER};
 use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::keys::{GroupKey, LongTermKey, SessionKey};
-use enclaves_crypto::nonce::{NonceSequence, ProtocolNonce};
+use enclaves_crypto::nonce::{AeadNonce, NonceSequence, ProtocolNonce};
 use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
+use enclaves_crypto::treekdf;
 use enclaves_obs::{Counter, EventKind, EventStream, Registry};
 use enclaves_wire::codec::encode;
 use enclaves_wire::message::{
-    group_broadcast_aad, group_data_aad, open, seal, AdminPayload, AdminPlain, AuthInitPlain,
-    Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain, MsgType,
-    NonceAckPlain, SealedBody,
+    group_broadcast_aad, group_data_aad, open, path_update_aad, seal, AdminPayload, AdminPlain,
+    AuthInitPlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain,
+    MsgType, NonceAckPlain, PathUpdateWire, SealedBody,
 };
 use enclaves_wire::ActorId;
 use std::collections::BTreeSet;
@@ -189,6 +191,34 @@ struct Connected {
     /// can reject replayed pings (and we can reject forged pongs claiming
     /// a sequence we never sent).
     hb_seq: u64,
+    /// Tree-rekey state: this member's direct path in the leader's key
+    /// tree, seeded by an admin `PathSync` and advanced by `PathUpdate`
+    /// broadcasts. `None` for flat-mode sessions.
+    tree: Option<MemberTree>,
+}
+
+impl Connected {
+    /// Installs a strictly newer group epoch, keeping one epoch of grace
+    /// for broadcast frames sealed before the rekey reached us — shared by
+    /// the `NewGroupKey`, `PathSync`, and `PathUpdate` install paths.
+    fn install_epoch(&mut self, epoch: u64, key: GroupKey, iv: [u8; 12]) -> bool {
+        match &mut self.group {
+            Some(view) => {
+                let old = view.clone();
+                let ok = view.install(epoch, key, iv);
+                if ok {
+                    self.prev_group = Some(old);
+                    self.bcast_seen_prev = self.bcast_seen_cur;
+                    self.bcast_seen_cur = None;
+                }
+                ok
+            }
+            none => {
+                *none = Some(MemberGroupView { epoch, key, iv });
+                true
+            }
+        }
+    }
 }
 
 enum Phase {
@@ -423,11 +453,13 @@ impl MemberSession {
     }
 
     fn handle_inner(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
-        // `GroupBroadcast` is multicast: the identical frame reaches every
-        // member, so its envelope recipient is not this user and is not
-        // checked — authenticity comes from the group-key seal, whose AAD
-        // binds the leader, epoch, and sequence number.
-        if env.msg_type != MsgType::GroupBroadcast && env.recipient != self.user {
+        // `GroupBroadcast` and `PathUpdate` are multicast: the identical
+        // frame reaches every member, so the envelope recipient is not
+        // this user and is not checked — authenticity comes from the inner
+        // seals, whose AAD binds the leader and epoch (plus sequence or
+        // tree position).
+        let multicast = matches!(env.msg_type, MsgType::GroupBroadcast | MsgType::PathUpdate);
+        if !multicast && env.recipient != self.user {
             return Err(CoreError::Rejected(RejectReason::WrongIdentity));
         }
         match (&mut self.phase, env.msg_type) {
@@ -438,6 +470,7 @@ impl MemberSession {
             (Phase::Connected(_), MsgType::AdminMsg) => self.accept_admin(env),
             (Phase::Connected(_), MsgType::GroupData) => self.accept_group_data(env),
             (Phase::Connected(_), MsgType::GroupBroadcast) => self.accept_broadcast(env),
+            (Phase::Connected(_), MsgType::PathUpdate) => self.accept_path_update(env),
             (Phase::Connected(_), MsgType::Heartbeat) => self.accept_heartbeat_pong(env),
             _ => Err(CoreError::Rejected(RejectReason::UnexpectedType)),
         }
@@ -490,6 +523,7 @@ impl MemberSession {
             roster: BTreeSet::new(),
             last_ack: None,
             hb_seq: 0,
+            tree: None,
         }));
         self.handshake_pending = Some(reply.clone());
         self.obs.emit(|| EventKind::SessionEstablished {
@@ -581,30 +615,10 @@ impl MemberSession {
                 });
             }
             AdminPayload::NewGroupKey { epoch, key, iv } => {
-                let installed = match &mut conn.group {
-                    Some(view) => {
-                        let old = view.clone();
-                        let ok = view.install(epoch, GroupKey::from_bytes(key), iv);
-                        if ok {
-                            // Keep one epoch of grace for broadcast frames
-                            // that were sealed before this rekey reached
-                            // us, along with its replay watermark.
-                            conn.prev_group = Some(old);
-                            conn.bcast_seen_prev = conn.bcast_seen_cur;
-                            conn.bcast_seen_cur = None;
-                        }
-                        ok
-                    }
-                    none => {
-                        *none = Some(MemberGroupView {
-                            epoch,
-                            key: GroupKey::from_bytes(key),
-                            iv,
-                        });
-                        true
-                    }
-                };
-                if installed {
+                // Keep one epoch of grace for broadcast frames that were
+                // sealed before this rekey reached us, along with its
+                // replay watermark.
+                if conn.install_epoch(epoch, GroupKey::from_bytes(key), iv) {
                     self.obs.emit(|| EventKind::KeyChanged {
                         member: self.user.to_string(),
                         epoch,
@@ -614,6 +628,34 @@ impl MemberSession {
                 // A non-increasing epoch is impossible from the honest
                 // leader and unreachable for attackers (they cannot forge
                 // AdminMsg); ignoring it is defense in depth.
+            }
+            AdminPayload::PathSync {
+                epoch,
+                leaf_index,
+                leaf_count,
+                path_keys,
+            } => {
+                // Authenticated full-path resync (join seed, reinit, or a
+                // heartbeat-detected missed PathUpdate). A stale epoch is
+                // ignored wholesale: an old path must not roll the tree
+                // back any more than an old key may roll the epoch back.
+                let current = conn.group.as_ref().map_or(0, |g| g.epoch);
+                if epoch >= current {
+                    if let Some(tree) = MemberTree::from_sync(leaf_index, leaf_count, &path_keys) {
+                        let root = *tree.root_key().expect("from_sync paths reach the root");
+                        conn.tree = Some(tree);
+                        if epoch > current {
+                            let (key, iv) = treekdf::derive_group(&root, epoch);
+                            if conn.install_epoch(epoch, GroupKey::from_bytes(key), iv) {
+                                self.obs.emit(|| EventKind::KeyChanged {
+                                    member: self.user.to_string(),
+                                    epoch,
+                                });
+                                events.push(MemberEvent::GroupKeyChanged { epoch });
+                            }
+                        }
+                    }
+                }
             }
             AdminPayload::MemberJoined(m) => {
                 conn.roster.insert(m.clone());
@@ -723,6 +765,87 @@ impl MemberSession {
         })
     }
 
+    /// Accepts a tree-rekey `PathUpdate` multicast.
+    ///
+    /// Exactly one of its ciphers is addressed to a node on this member's
+    /// direct path; opening it (under the stored key for that node, with
+    /// the AAD binding leader, epoch, tree shape, and node) yields the
+    /// path secret for the lowest rewritten node above us. Deriving up
+    /// from there rewrites our stored keys to the root, and
+    /// `derive_group(root, epoch)` is the new group key — installed with
+    /// the same one-epoch broadcast grace as a flat `NewGroupKey`.
+    ///
+    /// The outer frame is plaintext, so every claim in it is verified
+    /// cryptographically before any state changes: a stale or repeated
+    /// epoch is a silent no-op (multicast duplicates are normal), a
+    /// skipped epoch or an unopenable cipher set is rejected (heartbeat
+    /// resync recovers the former; forgery is the latter).
+    fn accept_path_update(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
+        let Phase::Connected(conn) = &mut self.phase else {
+            unreachable!("checked by caller");
+        };
+        let wire: PathUpdateWire = enclaves_wire::codec::decode(&env.body)
+            .map_err(|_| CoreError::Rejected(RejectReason::Malformed))?;
+        let current = conn.group.as_ref().map_or(0, |g| g.epoch);
+        if wire.epoch <= current {
+            return Ok(MemberOutput::default());
+        }
+        let Some(tree) = &mut conn.tree else {
+            // No tree yet (pre-PathSync): nothing to derive from. The
+            // leader notices our stale heartbeat epoch and resyncs us.
+            return Ok(MemberOutput::default());
+        };
+        if wire.epoch != current + 1 {
+            // We missed an epoch: our stored node keys cannot open this
+            // update. Leader-driven resync recovers us.
+            return Err(CoreError::Rejected(RejectReason::WrongEpoch));
+        }
+        let path = tree.path_nodes(wire.leaf_count);
+        let mut opened: Option<[u8; 32]> = None;
+        for (node, sealed) in &wire.ciphers {
+            if !path.contains(node) {
+                continue;
+            }
+            let Some(key) = tree.key_of(*node) else {
+                continue;
+            };
+            let aad = path_update_aad(
+                &self.leader,
+                wire.epoch,
+                wire.leaf_count,
+                wire.updated_leaf,
+                *node,
+            );
+            let nonce = AeadNonce::from_bytes(sealed.nonce);
+            if let Ok(plain) = ChaCha20Poly1305::new(key).open(&nonce, &sealed.ciphertext, &aad) {
+                if let Ok(secret) = <[u8; 32]>::try_from(plain.as_slice()) {
+                    opened = Some(secret);
+                    break;
+                }
+            }
+        }
+        let Some(secret) = opened else {
+            // Nothing on our path opened: a forgery, a corrupt frame, or a
+            // desynced tree. Reject without touching state.
+            return Err(CoreError::Rejected(RejectReason::BadSeal));
+        };
+        let target = update_secret_node(tree.leaf_slot, wire.updated_leaf, wire.leaf_count);
+        let root = tree.install_secret(target, &secret, wire.leaf_count);
+        let (key, iv) = treekdf::derive_group(&root, wire.epoch);
+        let epoch = wire.epoch;
+        if conn.install_epoch(epoch, GroupKey::from_bytes(key), iv) {
+            self.obs.emit(|| EventKind::KeyChanged {
+                member: self.user.to_string(),
+                epoch,
+            });
+            return Ok(MemberOutput {
+                reply: None,
+                events: vec![MemberEvent::GroupKeyChanged { epoch }],
+            });
+        }
+        Ok(MemberOutput::default())
+    }
+
     fn accept_heartbeat_pong(&mut self, env: &Envelope) -> Result<MemberOutput, CoreError> {
         let Phase::Connected(conn) = &mut self.phase else {
             unreachable!("checked by caller");
@@ -771,6 +894,10 @@ impl MemberSession {
                 user: self.user.clone(),
                 leader: self.leader.clone(),
                 seq: conn.hb_seq,
+                // The authenticated epoch lets the leader detect a missed
+                // PathUpdate and push a resync — without giving forgers a
+                // way to request one.
+                epoch: conn.group.as_ref().map_or(0, |g| g.epoch),
             },
         );
         self.obs.heartbeats.inc();
@@ -1552,6 +1679,201 @@ mod tests {
                     &mut delivered, epoch, seq,
                 );
             }
+        }
+
+        /// The same watermark guarantees when the epoch flip arrives as a
+        /// tree `PathUpdate` broadcast instead of a per-member
+        /// `NewGroupKey` admin seal: a member that has just applied a path
+        /// update still opens broadcasts sealed under the previous epoch
+        /// (one epoch of grace, frozen watermark), the new epoch's reset
+        /// `seq 0` never collides with the old epoch's `seq 0`, and
+        /// duplicates — including redelivered copies of the multicast
+        /// `PathUpdate` itself — change nothing.
+        #[test]
+        fn broadcast_watermark_across_tree_rekey(seed in 0u64..1 << 48) {
+            use crate::protocol::keytree::KeyTree;
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            use std::collections::HashSet;
+
+            let (key1, iv1) = ([5u8; 32], [6u8; 12]);
+            let (mut session, sk, next) = connect_welcomed(1, key1, iv1);
+            let mut rng = StdRng::seed_from_u64(seed);
+
+            // Leader-side tree with alice alone (her leaf is the root):
+            // sync her path at the current epoch, then refresh it. The
+            // refresh seals the fresh secret under her old leaf key.
+            let mut tree_rng = SeededRng::from_seed(seed ^ 0xA5A5);
+            let mut ltree = KeyTree::new();
+            ltree.add(id("alice"), &mut tree_rng);
+            let (slot, path_keys) = ltree.path_keys(&id("alice")).unwrap();
+            session
+                .handle(&admin_env(
+                    &sk,
+                    next,
+                    ProtocolNonce::from_bytes([0xB7; 16]),
+                    AdminPayload::PathSync {
+                        epoch: 1,
+                        leaf_index: slot,
+                        leaf_count: ltree.leaf_count(),
+                        path_keys,
+                    },
+                ))
+                .unwrap();
+            prop_assert_eq!(session.group_epoch(), Some(1), "same-epoch sync keeps the key");
+
+            let plan = ltree.refresh_next(&mut tree_rng);
+            let (key2, iv2) = treekdf::derive_group(&plan.root_key, 2);
+            let update = Envelope {
+                msg_type: MsgType::PathUpdate,
+                sender: id("leader"),
+                recipient: id("leader"),
+                body: encode(&PathUpdateWire {
+                    epoch: 2,
+                    leaf_count: plan.leaf_count,
+                    updated_leaf: plan.updated_leaf,
+                    ciphers: plan
+                        .seals
+                        .iter()
+                        .map(|s| {
+                            let aad = path_update_aad(
+                                &id("leader"),
+                                2,
+                                plan.leaf_count,
+                                plan.updated_leaf,
+                                s.node_index,
+                            );
+                            let nonce = [0xC3u8; 12];
+                            let ciphertext = ChaCha20Poly1305::new(&s.seal_key).seal(
+                                &AeadNonce::from_bytes(nonce),
+                                &s.path_secret,
+                                &aad,
+                            );
+                            (s.node_index, SealedBody { nonce, ciphertext })
+                        })
+                        .collect(),
+                }),
+            };
+
+            let frame = |epoch: u64, seq: u64| {
+                let (k, iv) = if epoch == 2 { (&key2, &iv2) } else { (&key1, &iv1) };
+                broadcast_env(epoch, seq, k, iv, format!("e{epoch}-s{seq}").as_bytes())
+            };
+
+            // Reference model, identical to the flat-rekey property.
+            let mut cur_epoch = 1u64;
+            let mut seen_cur: Option<u64> = None;
+            let mut seen_prev: Option<u64> = None;
+            let mut delivered: HashSet<(u64, u64)> = HashSet::new();
+
+            let deliver = |session: &mut MemberSession,
+                               cur_epoch: u64,
+                               seen_cur: &mut Option<u64>,
+                               seen_prev: &mut Option<u64>,
+                               delivered: &mut HashSet<(u64, u64)>,
+                               epoch: u64,
+                               seq: u64| {
+                let outcome = session.handle(&frame(epoch, seq));
+                if epoch == cur_epoch {
+                    if seen_cur.is_none_or(|s| seq > s) {
+                        let out = outcome.expect("fresh current-epoch frame must deliver");
+                        prop_assert_eq!(
+                            &out.events,
+                            &vec![MemberEvent::Broadcast {
+                                epoch,
+                                seq,
+                                data: format!("e{epoch}-s{seq}").into_bytes(),
+                            }]
+                        );
+                        prop_assert!(
+                            delivered.insert((epoch, seq)),
+                            "(epoch {}, seq {}) delivered twice", epoch, seq
+                        );
+                        *seen_cur = Some(seq);
+                    } else {
+                        prop_assert!(
+                            matches!(outcome, Err(CoreError::Rejected(RejectReason::StaleNonce))),
+                            "stale current-epoch frame must be StaleNonce"
+                        );
+                    }
+                } else if cur_epoch == 2 && epoch == 1 {
+                    if seen_prev.is_none_or(|s| seq > s) {
+                        let out = outcome.expect("fresh grace-epoch frame must deliver");
+                        prop_assert_eq!(out.events.len(), 1);
+                        prop_assert!(
+                            delivered.insert((epoch, seq)),
+                            "grace (epoch {}, seq {}) delivered twice", epoch, seq
+                        );
+                        *seen_prev = Some(seq);
+                    } else {
+                        prop_assert!(
+                            matches!(outcome, Err(CoreError::Rejected(RejectReason::StaleNonce))),
+                            "stale grace-epoch frame must be StaleNonce"
+                        );
+                    }
+                } else {
+                    prop_assert!(
+                        matches!(outcome, Err(CoreError::Rejected(RejectReason::WrongEpoch))),
+                        "unknown epoch {} must be WrongEpoch", epoch
+                    );
+                }
+            };
+
+            // Phase A: epoch-1 traffic with seeded duplicates.
+            let mut stream: Vec<(u64, u64)> = Vec::new();
+            for seq in 0..5u64 {
+                stream.push((1, seq));
+                if rng.gen_bool(0.4) {
+                    stream.push((1, seq));
+                }
+            }
+            shuffle(&mut rng, &mut stream);
+            for &(epoch, seq) in &stream {
+                deliver(
+                    &mut session, cur_epoch, &mut seen_cur, &mut seen_prev,
+                    &mut delivered, epoch, seq,
+                );
+            }
+
+            // The tree rekey: one PathUpdate broadcast flips the epoch.
+            let out = session.handle(&update).expect("path update applies");
+            prop_assert!(
+                out.events.iter().any(|e| matches!(e, MemberEvent::GroupKeyChanged { epoch: 2 })),
+                "path update must install epoch 2"
+            );
+            prop_assert_eq!(session.group_epoch(), Some(2));
+            cur_epoch = 2;
+            seen_prev = seen_cur;
+            seen_cur = None;
+
+            // A redelivered copy of the multicast is a silent no-op.
+            let dup = session.handle(&update).expect("duplicate multicast tolerated");
+            prop_assert!(dup.events.is_empty(), "duplicate PathUpdate must change nothing");
+            prop_assert_eq!(session.group_epoch(), Some(2));
+
+            // Phase B: epoch-2 frames (seq reset) interleaved with epoch-1
+            // stragglers and replays.
+            let mut stream: Vec<(u64, u64)> = Vec::new();
+            for seq in 0..5u64 {
+                stream.push((2, seq));
+                if rng.gen_bool(0.4) {
+                    stream.push((2, seq));
+                }
+            }
+            for seq in 0..7u64 {
+                stream.push((1, seq));
+            }
+            stream.push((0, 0));
+            shuffle(&mut rng, &mut stream);
+            for &(epoch, seq) in &stream {
+                deliver(
+                    &mut session, cur_epoch, &mut seen_cur, &mut seen_prev,
+                    &mut delivered, epoch, seq,
+                );
+            }
+
+            prop_assert!(delivered.iter().any(|&(e, _)| e == 1));
+            prop_assert!(delivered.iter().any(|&(e, _)| e == 2));
         }
 
         /// The planted-violation switch really disarms the watermark: with

@@ -14,6 +14,7 @@
 //! flood of forged traffic leaves an honest session exactly where it was.
 //! Tests in this module and in `attacks` rely on that contract.
 
+pub mod keytree;
 pub mod leader;
 pub mod member;
 

@@ -134,6 +134,11 @@ impl Shared {
                 .iter()
                 .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
         );
+        // A tree-rekey PathUpdate rides the same send-order window: one
+        // sealed frame, fanned out as refcount bumps.
+        if let Some(b) = &fanout.broadcast {
+            self.dispatch_shared(&b.frame, &b.recipients);
+        }
     }
 }
 
@@ -473,6 +478,11 @@ fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
                             }
                         } else {
                             shared.dispatch(output.outgoing, Some(&out_tx));
+                        }
+                        // Tree-rekey PathUpdates are sealed once and fanned
+                        // out as refcount bumps, like data-plane broadcasts.
+                        for b in &output.broadcasts {
+                            shared.dispatch_shared(&b.frame, &b.recipients);
                         }
                         shared.emit(output.events);
                     }

@@ -21,6 +21,9 @@
 //! * [`nonce`] — 96-bit AEAD nonces and monotone nonce sequences, plus the
 //!   128-bit *protocol* nonces (`N_1`, `N_2`, ...) the paper threads through
 //!   its messages.
+//! * [`treekdf`] — the HKDF key schedule for the MLS-style rekey tree
+//!   (node keys, chained path secrets, and the per-epoch group key/IV
+//!   derived from the tree root).
 //! * [`constant_time`] — constant-time comparison helpers.
 //! * [`rng`] — a seedable CSPRNG abstraction so simulations are
 //!   deterministic while real deployments use OS entropy.
@@ -60,6 +63,7 @@ pub mod pbkdf2;
 pub mod poly1305;
 pub mod rng;
 pub mod sha256;
+pub mod treekdf;
 pub mod x25519;
 
 mod error;

@@ -11,7 +11,11 @@
 //!   fixed-bucket [`Histogram`]s. Registration takes a short lock;
 //!   recording is a relaxed atomic operation on a shared cell, so the hot
 //!   paths (one increment per accepted frame, per seal, per broadcast)
-//!   stay lock-free and cost nanoseconds.
+//!   stay lock-free and cost nanoseconds. The tree-rekey control plane
+//!   reports through the same registry: `leader.rekey_seals` counts
+//!   copath-node seals per rotation (the `O(log N)` bound the bench
+//!   report enforces) and `leader.path_depth` histograms the refreshed
+//!   path depths.
 //! * [`EventStream`] — an ordered, timestamped stream of
 //!   [`ProtocolEvent`]s (join/auth/rekey/expel/retransmit/seal, each
 //!   carrying epoch, channel sequence numbers, and monotonic timestamps).

@@ -16,6 +16,9 @@
 //!   distribution (`rcv_A` is a prefix of `snd_A`), proper authentication
 //!   (acceptances pair with requests in order), and key/nonce agreement
 //!   when both sides are connected.
+//! * [`treekem`] — §5.2 extended to the `O(log N)` rekey tree: an
+//!   expelled member's accumulated node-key closure opens no
+//!   post-expulsion `PathUpdate` seal and reaches no post-expulsion root.
 //! * [`runner`] — packaged verification suites and result tables used by
 //!   the benchmark report and `EXPERIMENTS.md`.
 //! * [`live`] — trace-level adapters that replay a recorded run of the
@@ -31,3 +34,4 @@ pub mod obs;
 pub mod properties;
 pub mod runner;
 pub mod secrecy;
+pub mod treekem;

@@ -45,6 +45,11 @@ pub enum MsgType {
     /// same sequence back as a pong. Both directions refresh the peer's
     /// liveness deadline — see [`HeartbeatPlain`].
     Heartbeat = 9,
+    /// `L → *`: a rekey-tree path update fanned out to the whole roster
+    /// as one frame. The outer body is plaintext structure
+    /// ([`PathUpdateWire`]); confidentiality lives in the per-copath-node
+    /// AEAD seals inside it, each bound by [`path_update_aad`].
+    PathUpdate = 10,
 }
 
 impl MsgType {
@@ -64,6 +69,7 @@ impl MsgType {
             7 => MsgType::GroupData,
             8 => MsgType::GroupBroadcast,
             9 => MsgType::Heartbeat,
+            10 => MsgType::PathUpdate,
             tag => return Err(WireError::UnknownTag { tag }),
         })
     }
@@ -350,6 +356,21 @@ pub enum AdminPayload {
     /// broadcast to the whole roster is encoded from one buffer instead
     /// of one deep copy per member.
     AppData(Arc<[u8]>),
+    /// Tree-rekey resync: the member's full direct path in the leader's
+    /// key tree, sealed under `K_a`. Sent to a joiner alongside its
+    /// `Welcome`, to a member whose heartbeat reveals a stale epoch
+    /// (a missed [`MsgType::PathUpdate`] broadcast), and to everyone on a
+    /// full-tree reinit.
+    PathSync {
+        /// The epoch the tree root currently derives.
+        epoch: u64,
+        /// The member's leaf slot.
+        leaf_index: u32,
+        /// Leaf slots in the tree (fixes the path shape).
+        leaf_count: u32,
+        /// Node keys leaf-first up to and including the root.
+        path_keys: Vec<[u8; 32]>,
+    },
 }
 
 const TAG_NEW_GROUP_KEY: u8 = 1;
@@ -357,6 +378,11 @@ const TAG_MEMBER_JOINED: u8 = 2;
 const TAG_MEMBER_LEFT: u8 = 3;
 const TAG_WELCOME: u8 = 4;
 const TAG_APP_DATA: u8 = 5;
+const TAG_PATH_SYNC: u8 = 6;
+
+/// Upper bound on the direct-path length in a `PathSync` (a tree with
+/// `u32` leaf indices is at most 32 levels deep, plus the leaf).
+const MAX_PATH_KEYS: usize = 33;
 
 impl Encode for AdminPayload {
     fn encode(&self, w: &mut Writer) {
@@ -394,6 +420,21 @@ impl Encode for AdminPayload {
                 w.put_u8(TAG_APP_DATA);
                 w.put_bytes(data);
             }
+            AdminPayload::PathSync {
+                epoch,
+                leaf_index,
+                leaf_count,
+                path_keys,
+            } => {
+                w.put_u8(TAG_PATH_SYNC);
+                w.put_u64(*epoch);
+                w.put_u32(*leaf_index);
+                w.put_u32(*leaf_count);
+                w.put_u32(path_keys.len() as u32);
+                for k in path_keys {
+                    w.put_array(k);
+                }
+            }
         }
     }
 }
@@ -425,6 +466,25 @@ impl Decode for AdminPayload {
                 }
             }
             TAG_APP_DATA => AdminPayload::AppData(r.take_bytes()?.into()),
+            TAG_PATH_SYNC => {
+                let epoch = r.take_u64()?;
+                let leaf_index = r.take_u32()?;
+                let leaf_count = r.take_u32()?;
+                let n = r.take_u32()? as usize;
+                if n > MAX_PATH_KEYS {
+                    return Err(WireError::LengthOverflow);
+                }
+                let mut path_keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    path_keys.push(r.take_array::<32>()?);
+                }
+                AdminPayload::PathSync {
+                    epoch,
+                    leaf_index,
+                    leaf_count,
+                    path_keys,
+                }
+            }
             tag => return Err(WireError::UnknownTag { tag }),
         })
     }
@@ -561,6 +621,95 @@ pub fn group_broadcast_aad(leader: &ActorId, epoch: u64, seq: u64) -> Vec<u8> {
     w.finish()
 }
 
+/// Wire form of a `PathUpdate` body: one rekey-tree path refresh, fanned
+/// out to the whole roster as a single frame.
+///
+/// The outer structure is plaintext — an expelled member already knows
+/// the retiring group key, so an outer seal under it would add nothing.
+/// Confidentiality lives in `ciphers`: the fresh path secret sealed once
+/// per copath resolution node, under that node's key, with
+/// [`path_update_aad`] binding the leader, epoch, tree shape, and target
+/// node so no field can be flipped without breaking authentication.
+/// Exactly one entry is decryptable by any given member (the one whose
+/// node lies on its direct path); from that secret the member derives
+/// every rewritten key up to the root.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathUpdateWire {
+    /// The epoch the refreshed tree root derives (previous epoch + 1).
+    pub epoch: u64,
+    /// Leaf slots in the tree after the refresh.
+    pub leaf_count: u32,
+    /// The leaf slot whose path was refreshed.
+    pub updated_leaf: u32,
+    /// `(node_index, sealed path secret)` per copath resolution node.
+    pub ciphers: Vec<(u32, SealedBody)>,
+}
+
+/// Upper bound on copath ciphers in one path update: a blank-heavy tree
+/// can push resolutions past `log N`, but never past the leaf count the
+/// `Welcome` roster bound already allows.
+const MAX_PATH_CIPHERS: usize = 10_000;
+
+impl Encode for PathUpdateWire {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_u32(self.leaf_count);
+        w.put_u32(self.updated_leaf);
+        w.put_u32(self.ciphers.len() as u32);
+        for (node, sealed) in &self.ciphers {
+            w.put_u32(*node);
+            sealed.encode(w);
+        }
+    }
+}
+
+impl Decode for PathUpdateWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let epoch = r.take_u64()?;
+        let leaf_count = r.take_u32()?;
+        let updated_leaf = r.take_u32()?;
+        let n = r.take_u32()? as usize;
+        if n > MAX_PATH_CIPHERS {
+            return Err(WireError::LengthOverflow);
+        }
+        let mut ciphers = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let node = r.take_u32()?;
+            ciphers.push((node, SealedBody::decode(r)?));
+        }
+        Ok(PathUpdateWire {
+            epoch,
+            leaf_count,
+            updated_leaf,
+            ciphers,
+        })
+    }
+}
+
+/// Associated data for the per-node seals inside a [`PathUpdateWire`]:
+/// binds the originating leader, the new epoch, the tree shape, the
+/// refreshed leaf, and the target node. Tampering with `leaf_count` or
+/// `updated_leaf` would silently change the member's derive-up walk, so
+/// both are authenticated here rather than trusted from the plaintext
+/// outer frame.
+#[must_use]
+pub fn path_update_aad(
+    leader: &ActorId,
+    epoch: u64,
+    leaf_count: u32,
+    updated_leaf: u32,
+    node_index: u32,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(MsgType::PathUpdate as u8);
+    leader.encode(&mut w);
+    w.put_u64(epoch);
+    w.put_u32(leaf_count);
+    w.put_u32(updated_leaf);
+    w.put_u32(node_index);
+    w.finish()
+}
+
 /// Plaintext of `ReqClose`: `{A, L}` (sealed under `K_a`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClosePlain {
@@ -586,13 +735,20 @@ impl Decode for ClosePlain {
     }
 }
 
-/// Plaintext of `Heartbeat`: `{A, L, seq}` (sealed under `K_a`).
+/// Plaintext of `Heartbeat`: `{A, L, seq, epoch}` (sealed under `K_a`).
 ///
 /// `seq` strictly increases per session in the member→leader direction;
 /// the leader's pong echoes the ping's `seq`. Sealing the identities
 /// keeps the heartbeat channel as intrusion-tolerant as the rest of the
 /// admin plane: a forged or replayed ping cannot refresh a dead member's
 /// liveness deadline.
+///
+/// `epoch` is the sender's current group-key epoch (0 before any key is
+/// installed). Because the ping is authenticated under `K_a`, the leader
+/// can trust a lagging epoch as evidence of a missed `PathUpdate`
+/// broadcast and push an [`AdminPayload::PathSync`] over the reliable
+/// admin channel — resync stays leader-driven, so forged traffic still
+/// cannot elicit state changes or keep a dead session alive.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct HeartbeatPlain {
     /// The user.
@@ -601,6 +757,8 @@ pub struct HeartbeatPlain {
     pub leader: ActorId,
     /// Ping sequence number (echoed verbatim in the pong).
     pub seq: u64,
+    /// The sender's current group-key epoch (0 if none installed).
+    pub epoch: u64,
 }
 
 impl Encode for HeartbeatPlain {
@@ -608,6 +766,7 @@ impl Encode for HeartbeatPlain {
         self.user.encode(w);
         self.leader.encode(w);
         w.put_u64(self.seq);
+        w.put_u64(self.epoch);
     }
 }
 
@@ -617,6 +776,7 @@ impl Decode for HeartbeatPlain {
             user: ActorId::decode(r)?,
             leader: ActorId::decode(r)?,
             seq: r.take_u64()?,
+            epoch: r.take_u64()?,
         })
     }
 }
@@ -661,12 +821,13 @@ mod tests {
             (MsgType::GroupData, 7),
             (MsgType::GroupBroadcast, 8),
             (MsgType::Heartbeat, 9),
+            (MsgType::PathUpdate, 10),
         ] {
             assert_eq!(t as u8, v);
             assert_eq!(MsgType::from_u8(v).unwrap(), t);
         }
         assert!(MsgType::from_u8(0).is_err());
-        assert!(MsgType::from_u8(10).is_err());
+        assert!(MsgType::from_u8(11).is_err());
     }
 
     #[test]
@@ -727,6 +888,7 @@ mod tests {
             user: alice(),
             leader: leader(),
             seq: 42,
+            epoch: 6,
         };
         let body = seal(&key, n, aad, &hb);
         assert_eq!(open::<HeartbeatPlain>(&key, aad, &body).unwrap(), hb);
@@ -801,6 +963,18 @@ mod tests {
                 group_key: [0; 32],
                 iv: [0; 12],
             },
+            AdminPayload::PathSync {
+                epoch: 12,
+                leaf_index: 5,
+                leaf_count: 9,
+                path_keys: vec![[1; 32], [2; 32], [3; 32], [4; 32], [5; 32]],
+            },
+            AdminPayload::PathSync {
+                epoch: 1,
+                leaf_index: 0,
+                leaf_count: 1,
+                path_keys: vec![[9; 32]],
+            },
         ];
         for p in payloads {
             let bytes = encode(&p);
@@ -818,6 +992,74 @@ mod tests {
         w.put_u8(TAG_WELCOME);
         w.put_u32(1_000_000);
         assert!(decode::<AdminPayload>(&w.finish()).is_err());
+        // PathSync path length is bounded by the 32-level tree depth.
+        let mut w = Writer::new();
+        w.put_u8(TAG_PATH_SYNC);
+        w.put_u64(1);
+        w.put_u32(0);
+        w.put_u32(1);
+        w.put_u32(1_000);
+        assert!(matches!(
+            decode::<AdminPayload>(&w.finish()),
+            Err(WireError::LengthOverflow)
+        ));
+    }
+
+    #[test]
+    fn path_update_wire_roundtrip_and_bounds() {
+        let wire = PathUpdateWire {
+            epoch: 8,
+            leaf_count: 70,
+            updated_leaf: 33,
+            ciphers: vec![
+                (
+                    66,
+                    SealedBody {
+                        nonce: [1; 12],
+                        ciphertext: vec![0xaa; 48],
+                    },
+                ),
+                (
+                    131,
+                    SealedBody {
+                        nonce: [2; 12],
+                        ciphertext: vec![0xbb; 48],
+                    },
+                ),
+            ],
+        };
+        let bytes = encode(&wire);
+        assert_eq!(decode::<PathUpdateWire>(&bytes).unwrap(), wire);
+        // Empty cipher list is legal (a one-member tree join).
+        let empty = PathUpdateWire {
+            epoch: 1,
+            leaf_count: 1,
+            updated_leaf: 0,
+            ciphers: vec![],
+        };
+        assert_eq!(decode::<PathUpdateWire>(&encode(&empty)).unwrap(), empty);
+        // A claimed cipher count past the cap is rejected before allocation.
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u32(4096);
+        w.put_u32(0);
+        w.put_u32(1_000_000);
+        assert!(matches!(
+            decode::<PathUpdateWire>(&w.finish()),
+            Err(WireError::LengthOverflow)
+        ));
+    }
+
+    #[test]
+    fn path_update_aad_binds_every_field() {
+        let base = path_update_aad(&leader(), 5, 8, 3, 9);
+        assert_ne!(base, path_update_aad(&alice(), 5, 8, 3, 9));
+        assert_ne!(base, path_update_aad(&leader(), 6, 8, 3, 9));
+        assert_ne!(base, path_update_aad(&leader(), 5, 9, 3, 9));
+        assert_ne!(base, path_update_aad(&leader(), 5, 8, 4, 9));
+        assert_ne!(base, path_update_aad(&leader(), 5, 8, 3, 10));
+        // Distinct domain from the broadcast AAD.
+        assert_ne!(base, group_broadcast_aad(&leader(), 5, 9));
     }
 
     #[test]
@@ -882,6 +1124,7 @@ mod proptests {
             let _ = decode::<Envelope>(&bytes);
             let _ = decode::<AdminPayload>(&bytes);
             let _ = decode::<SealedBody>(&bytes);
+            let _ = decode::<PathUpdateWire>(&bytes);
         }
     }
 }

@@ -29,7 +29,7 @@ fn main() {
         Some("leader") => run_leader(&args[1..]),
         Some("member") => run_member(&args[1..]),
         _ => {
-            eprintln!("usage: enclave leader --listen ADDR --user NAME:PASSWORD [--user ...] [--rekey manual|onjoin|onleave|onjoinleave]");
+            eprintln!("usage: enclave leader --listen ADDR --user NAME:PASSWORD [--user ...] [--rekey manual|onjoin|onleave|onjoinleave] [--tree]");
             eprintln!("       enclave member --connect ADDR --user NAME --password PASSWORD");
             std::process::exit(2);
         }
@@ -67,6 +67,9 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "onjoinleave" => RekeyPolicy::OnJoinAndLeave,
         other => return Err(format!("unknown rekey policy {other}").into()),
     };
+    // Tree mode: every rotation is one O(log N) PathUpdate multicast
+    // instead of per-member admin seals.
+    let tree_rekey = args.iter().any(|a| a == "--tree");
     let mut directory = Directory::new();
     for spec in flag_values(args, "--user") {
         let Some((name, password)) = spec.split_once(':') else {
@@ -90,6 +93,7 @@ fn run_leader(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         directory,
         LeaderConfig {
             rekey_policy: rekey,
+            tree_rekey,
             ..LeaderConfig::default()
         },
     );

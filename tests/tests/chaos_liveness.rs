@@ -193,6 +193,61 @@ fn leader_blackhole_recovers() {
     assert_eq!(final_members, 3, "the full cast must be back at rest");
 }
 
+/// The rekey storm with the leader in tree mode: every epoch rotation is
+/// one `O(log N)` `PathUpdate` multicast, and the storm's final burst
+/// cuts m1 off mid-path-update — the rekey's key install is still in
+/// flight when the leader→m1 direction goes dark, and three more
+/// rotations land on the partition. Multicasts are fire-and-forget, so
+/// m1 misses them outright; after the heal, its stale heartbeat epoch
+/// must draw exactly the `PathSync` resync that brings it back to the
+/// group key. The finalization probe — an AEAD proof of `(epoch, K_g)`
+/// agreement, not just epoch equality — must stay green.
+#[test]
+fn tree_rekey_storm_recovers_missed_path_updates() {
+    let schedule = Schedule::rekey_storm(0x73EE, 4);
+    let options = ChaosOptions {
+        tree_rekey: true,
+        ..liveness_options()
+    };
+    let outcome = run_sim(&schedule, &options);
+    assert!(
+        outcome.passed(),
+        "oracle violations on the tree rekey storm:\n{}",
+        violations(&outcome)
+    );
+    let snap = &outcome.snapshot;
+    // Tree mode actually ran: rotations sealed copath nodes (the flat
+    // path never touches this counter).
+    assert!(
+        snap.counter("leader.rekey_seals") > 0,
+        "tree mode sealed no copath nodes"
+    );
+    assert!(snap.counter("leader.rekeys") > 0, "the storm never rekeyed");
+    // The chaos really cost someone their multicasts, and the resync
+    // machinery (heartbeats carrying the member's epoch) was live.
+    let stats = outcome.net_stats.expect("sim fabric has stats");
+    assert!(stats.partitioned > 0, "no frame ever hit a partition");
+    assert!(snap.counter("leader.heartbeats") > 0, "no heartbeat pongs");
+}
+
+/// The tree-mode storm over a different fault seed still passes — the
+/// multicast-loss recovery is not an artifact of one lucky weather
+/// pattern.
+#[test]
+fn tree_rekey_storm_alternate_seed() {
+    let schedule = Schedule::rekey_storm(0x7A11, 4);
+    let options = ChaosOptions {
+        tree_rekey: true,
+        ..liveness_options()
+    };
+    let outcome = run_sim(&schedule, &options);
+    assert!(outcome.passed(), "violations:\n{}", violations(&outcome));
+    assert!(
+        outcome.snapshot.counter("leader.rekey_seals") > 0,
+        "tree mode sealed no copath nodes"
+    );
+}
+
 /// A flapping member (three short partitions, each healed inside the
 /// liveness deadline) must ride out the flaps without losing its seat;
 /// only the real outage that follows may evict it.
