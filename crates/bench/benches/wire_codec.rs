@@ -26,6 +26,7 @@ fn bench_envelope_codec(c: &mut Criterion) {
             msg_type: MsgType::AdminMsg,
             sender: leader.clone(),
             recipient: alice.clone(),
+            group: None,
             body: vec![0xAB; size],
         };
         let bytes = encode(&env);

@@ -17,7 +17,7 @@ use enclaves_core::protocol::{LeaderCore, MemberSession};
 use enclaves_crypto::keys::LongTermKey;
 use enclaves_crypto::rng::SeededRng;
 use enclaves_wire::message::Envelope;
-use enclaves_wire::ActorId;
+use enclaves_wire::{ActorId, GroupId};
 
 /// Builds an actor id `m<i>`.
 ///
@@ -171,7 +171,25 @@ impl FanoutGroup {
         Self::new_with(n, true)
     }
 
+    /// Builds and fully joins an `n`-member group inside the enclave
+    /// `tag` of a multi-enclave service: every envelope (and every seal's
+    /// header AAD) carries the group tag. Used by the multigroup
+    /// aggregate-throughput experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is invalid or the deterministic handshake fails.
+    #[must_use]
+    pub fn new_in_enclave(n: usize, tag: &str) -> Self {
+        let group = GroupId::new(tag).expect("valid enclave tag");
+        Self::build(n, false, Some(group))
+    }
+
     fn new_with(n: usize, tree_rekey: bool) -> Self {
+        Self::build(n, tree_rekey, None)
+    }
+
+    fn build(n: usize, tree_rekey: bool, group: Option<GroupId>) -> Self {
         let mut directory = Directory::new();
         for i in 0..n {
             directory.register_key(&member_id(i), cheap_member_key(i));
@@ -184,17 +202,19 @@ impl FanoutGroup {
                 max_members: n.max(2),
                 membership_notices: false,
                 tree_rekey,
+                group: group.clone(),
                 ..LeaderConfig::default()
             },
             Box::new(SeededRng::from_seed(42)),
         );
         let mut members = Vec::with_capacity(n);
         for i in 0..n {
-            let (session, init) = MemberSession::start_with_key(
+            let (session, init) = MemberSession::start_with_key_in_group(
                 member_id(i),
                 leader_id(),
                 cheap_member_key(i),
                 Box::new(SeededRng::from_seed(3000 + i as u64)),
+                group.clone(),
             );
             members.push(session);
             pump(&mut leader, &mut members, init);

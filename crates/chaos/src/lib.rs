@@ -38,4 +38,4 @@ pub mod world;
 pub use fabric::{Fabric, SimFabric, TcpProxyFabric};
 pub use schedule::{ChaosEvent, Schedule};
 pub use shrink::{shrink_failure, ShrunkFailure};
-pub use world::{run_schedule, ChaosOptions, ChaosOutcome};
+pub use world::{run_multigroup, run_schedule, ChaosOptions, ChaosOutcome, MultigroupOutcome};

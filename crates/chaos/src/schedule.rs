@@ -264,6 +264,92 @@ impl Schedule {
         }
     }
 
+    /// One schedule per enclave for a multi-group storm: `groups`
+    /// (at least eight) co-hosted enclaves, each running `members`
+    /// members, where every group draws a different weather class by its
+    /// index — calm traffic, partition-and-heal, silent wire crashes, or
+    /// a rekey barrage — so quiet groups carry live deadlines *while*
+    /// their neighbours churn. Intended for
+    /// [`crate::world::run_multigroup`] on a liveness-enabled world
+    /// (class 2 relies on timeout eviction and auto-rejoin).
+    ///
+    /// # Panics
+    ///
+    /// If `groups < 8` or `members < 3`.
+    #[must_use]
+    pub fn multigroup_storm(seed: u64, groups: usize, members: usize) -> Vec<Self> {
+        assert!(groups >= 8, "a multigroup storm needs at least 8 groups");
+        assert!(members >= 3, "each group needs at least three members");
+        use ChaosEvent::{
+            AdminBroadcast, CrashWire, DataBroadcast, Heal, HealAll, Join, Partition, Rekey, Settle,
+        };
+        (0..groups)
+            .map(|g| {
+                let payload = |tag: &str, n: usize| format!("mg-g{g}-{tag}-{n}").into_bytes();
+                let mut events: Vec<ChaosEvent> = (0..members).map(Join).collect();
+                events.push(Settle(150));
+                match g % 4 {
+                    // Calm control group: steady traffic, no faults. Its
+                    // heartbeats and ARQ deadlines must survive the
+                    // neighbours' weather untouched.
+                    0 => events.extend([
+                        AdminBroadcast(payload("admin", 1)),
+                        DataBroadcast(payload("data", 1)),
+                        Settle(300),
+                        Rekey,
+                        AdminBroadcast(payload("admin", 2)),
+                        DataBroadcast(payload("data", 2)),
+                        Settle(300),
+                    ]),
+                    // Partition weather: m1 goes dark both ways under
+                    // traffic, then heals; retransmission must catch it up.
+                    1 => events.extend([
+                        Partition {
+                            member: 1,
+                            to_leader: true,
+                            to_member: true,
+                        },
+                        AdminBroadcast(payload("admin", 1)),
+                        DataBroadcast(payload("data", 1)),
+                        Settle(400),
+                        HealAll,
+                        AdminBroadcast(payload("admin", 2)),
+                        Settle(400),
+                    ]),
+                    // Wire-crash weather: m1's wire dies silently; the
+                    // shared ticker must time it out and evict, and after
+                    // the heal the member rejoins on its own.
+                    2 => events.extend([
+                        AdminBroadcast(payload("admin", 1)),
+                        CrashWire(1),
+                        Settle(900),
+                        Rekey,
+                        DataBroadcast(payload("data", 1)),
+                        Heal(1),
+                        Settle(900),
+                    ]),
+                    // Rekey barrage: back-to-back epoch rotations under
+                    // traffic — seal-pool churn concentrated in one group.
+                    _ => events.extend([
+                        Rekey,
+                        AdminBroadcast(payload("admin", 1)),
+                        Rekey,
+                        DataBroadcast(payload("data", 1)),
+                        Rekey,
+                        AdminBroadcast(payload("admin", 2)),
+                        Settle(400),
+                    ]),
+                }
+                events.push(Settle(200));
+                Schedule {
+                    seed: seed.wrapping_add(g as u64),
+                    members,
+                    events,
+                }
+            })
+            .collect()
+    }
+
     /// A deterministic leader blackhole for liveness-enabled worlds:
     /// every member except `m0` has its *existing* connection fully
     /// partitioned at once, so from their side the leader goes silent

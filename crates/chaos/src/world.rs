@@ -8,15 +8,19 @@ use crate::schedule::{ChaosEvent, Schedule};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use enclaves_core::config::{LeaderConfig, RekeyPolicy};
 use enclaves_core::directory::Directory;
-use enclaves_core::liveness::{LivenessConfig, VirtualClock};
+use enclaves_core::liveness::{Clock, LivenessConfig, VirtualClock};
 use enclaves_core::protocol::{LeaderEvent, MemberEvent};
-use enclaves_core::runtime::{LeaderRuntime, MemberOptions, MemberRuntime};
+use enclaves_core::runtime::{
+    BroadcastReceipt, GroupHandle, LeaderRuntime, LeaderService, MemberOptions, MemberRuntime,
+    ServiceConfig,
+};
+use enclaves_core::CoreError;
 use enclaves_net::sim::SimStats;
 use enclaves_net::Listener;
 use enclaves_obs::{EventStream, ProtocolEvent, Registry, Snapshot};
 use enclaves_verify::live::{check_trace, LiveEvent, Violation};
 use enclaves_verify::obs::obs_trace;
-use enclaves_wire::ActorId;
+use enclaves_wire::{ActorId, GroupId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -152,6 +156,75 @@ struct MemberSlot {
     /// One registry per session segment (handles stay valid after the
     /// runtime is gone, so crashed sessions still contribute counters).
     registries: Vec<Registry>,
+}
+
+/// The leader operations the driver needs, abstracted so the same
+/// execute/finalize machinery drives a single-group [`LeaderRuntime`] or
+/// one [`GroupHandle`] of a multi-enclave [`LeaderService`].
+trait LeaderOps {
+    fn roster(&self) -> Vec<ActorId>;
+    fn epoch(&self) -> Option<u64>;
+    fn quiesced(&self) -> bool;
+    fn expel(&self, user: &ActorId) -> Result<(), CoreError>;
+    fn rekey(&self) -> Result<(), CoreError>;
+    fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError>;
+    fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError>;
+    /// The enclave tag member sessions must join under.
+    fn group(&self) -> Option<&GroupId>;
+}
+
+impl LeaderOps for LeaderRuntime {
+    fn roster(&self) -> Vec<ActorId> {
+        LeaderRuntime::roster(self)
+    }
+    fn epoch(&self) -> Option<u64> {
+        LeaderRuntime::epoch(self)
+    }
+    fn quiesced(&self) -> bool {
+        LeaderRuntime::quiesced(self)
+    }
+    fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
+        LeaderRuntime::expel(self, user)
+    }
+    fn rekey(&self) -> Result<(), CoreError> {
+        LeaderRuntime::rekey(self)
+    }
+    fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
+        LeaderRuntime::broadcast(self, data)
+    }
+    fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError> {
+        LeaderRuntime::broadcast_data(self, data)
+    }
+    fn group(&self) -> Option<&GroupId> {
+        None
+    }
+}
+
+impl LeaderOps for GroupHandle {
+    fn roster(&self) -> Vec<ActorId> {
+        GroupHandle::roster(self)
+    }
+    fn epoch(&self) -> Option<u64> {
+        GroupHandle::epoch(self)
+    }
+    fn quiesced(&self) -> bool {
+        GroupHandle::quiesced(self)
+    }
+    fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
+        GroupHandle::expel(self, user)
+    }
+    fn rekey(&self) -> Result<(), CoreError> {
+        GroupHandle::rekey(self)
+    }
+    fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
+        GroupHandle::broadcast(self, data)
+    }
+    fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError> {
+        GroupHandle::broadcast_data(self, data)
+    }
+    fn group(&self) -> Option<&GroupId> {
+        self.group_id()
+    }
 }
 
 /// Shared, lock-ordered trace sink. `*Send` events are appended while the
@@ -407,11 +480,280 @@ pub fn run_schedule(
     }
 }
 
+/// The verdict of a multi-enclave chaos run: every group's own outcome
+/// plus the cross-group isolation checks.
+#[derive(Debug)]
+pub struct MultigroupOutcome {
+    /// Per-group results, keyed by the group's enclave tag.
+    pub groups: Vec<(String, ChaosOutcome)>,
+    /// Cross-group violations: any trace event in group A's record that
+    /// names a member of another group (isolation demands there are
+    /// none).
+    pub cross_group_violations: Vec<String>,
+    /// The service's merged labeled snapshot (`group.<tag>.leader.*`),
+    /// taken after finalization.
+    pub service_snapshot: Snapshot,
+    /// Simulator network counters, when the fabric was the simulator.
+    pub net_stats: Option<SimStats>,
+}
+
+impl MultigroupOutcome {
+    /// Whether every group's oracle passed on both ingestion paths and no
+    /// cross-group leakage was observed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.cross_group_violations.is_empty() && self.groups.iter().all(|(_, o)| o.passed())
+    }
+}
+
+/// Member names an event refers to (used by the cross-group check).
+fn event_members(event: &LiveEvent) -> Vec<&str> {
+    match event {
+        LiveEvent::JoinStarted { member }
+        | LiveEvent::Welcomed { member, .. }
+        | LiveEvent::KeyChanged { member, .. }
+        | LiveEvent::AdminDeliver { member, .. }
+        | LiveEvent::DataDeliver { member, .. }
+        | LiveEvent::MemberJoined { member }
+        | LiveEvent::MemberClosed { member }
+        | LiveEvent::Evicted { member }
+        | LiveEvent::Crashed { member }
+        | LiveEvent::Partitioned { member }
+        | LiveEvent::Healed { member } => vec![member.as_str()],
+        LiveEvent::AdminSend { recipients, .. } | LiveEvent::DataSend { recipients, .. } => {
+            recipients.iter().map(String::as_str).collect()
+        }
+        LiveEvent::Final { members, .. } => members.iter().map(|(m, _)| m.as_str()).collect(),
+        LiveEvent::LeaderRekeyed { .. } => Vec::new(),
+    }
+}
+
+/// Per-group world state for [`run_multigroup`].
+struct GroupWorld {
+    tag: String,
+    cast_prefix: String,
+    handle: GroupHandle,
+    sink: Sink,
+    obs_stream: EventStream,
+    members: Vec<MemberSlot>,
+    collector: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Executes one schedule **per group** against a single multi-enclave
+/// [`LeaderService`] on one fabric: group `g` gets enclave tag `g<g>` and
+/// cast `g<g>m0..`, schedules interleave round-robin (event `k` of every
+/// group before event `k+1` of any), so partitions, crashes, and rekeys
+/// in one enclave land while its neighbours carry live traffic — all on
+/// the service's one shared ticker and one seal pool.
+///
+/// Each group's trace and observability stream feed the same §5.4 oracle
+/// as a single-group run; on top, the cross-group check asserts no
+/// group's record ever names another group's member.
+#[must_use]
+pub fn run_multigroup(
+    fabric: &mut dyn Fabric,
+    listener: Box<dyn Listener>,
+    schedules: &[Schedule],
+    options: &ChaosOptions,
+) -> MultigroupOutcome {
+    let leader_id = ActorId::new("leader").expect("static name");
+    let net_registry = Registry::default();
+    fabric.attach_registry(&net_registry);
+
+    let wiring = options.liveness.then(|| LivenessWiring {
+        clock: VirtualClock::new(),
+        seed: schedules.first().map_or(0, |s| s.seed),
+    });
+    let service = LeaderService::spawn(
+        listener,
+        ServiceConfig {
+            clock: wiring
+                .as_ref()
+                .map(|w| Arc::new(w.clock.clone()) as Arc<dyn Clock>),
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut worlds: Vec<GroupWorld> = Vec::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    for (g, schedule) in schedules.iter().enumerate() {
+        let tag = format!("g{g}");
+        let cast_prefix = format!("{tag}m");
+        let mut directory = Directory::new();
+        let members: Vec<MemberSlot> = (0..schedule.members)
+            .map(|i| {
+                let name = format!("{cast_prefix}{i}");
+                let id = ActorId::new(&name).expect("generated name");
+                let password = format!("{name}-pw");
+                directory
+                    .register_password(&id, &password)
+                    .expect("fresh directory");
+                MemberSlot {
+                    name,
+                    id,
+                    password,
+                    state: MemberState::Absent,
+                    runtime: None,
+                    forwarder: None,
+                    registries: Vec::new(),
+                }
+            })
+            .collect();
+        let mut leader_config = LeaderConfig {
+            rekey_policy: options.rekey_policy,
+            tree_rekey: options.tree_rekey,
+            group: Some(GroupId::new(&tag).expect("generated tag")),
+            ..LeaderConfig::default()
+        };
+        if let Some(w) = &wiring {
+            leader_config.liveness = chaos_liveness(w.seed);
+            leader_config.liveness.auto_rejoin = false; // member-side knob
+        }
+        let handle = service
+            .add_group(leader_id.clone(), directory, leader_config)
+            .expect("fresh tag");
+        let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+        let obs_stream = EventStream::new();
+        handle.attach_event_stream(obs_stream.clone());
+        let collector = spawn_leader_collector(&sink, handle.events().clone(), Arc::clone(&stop));
+        worlds.push(GroupWorld {
+            tag,
+            cast_prefix,
+            handle,
+            sink,
+            obs_stream,
+            members,
+            collector: Some(collector),
+        });
+    }
+
+    let pump = wiring.as_ref().map(|w| {
+        let clock = w.clock.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("chaos-time-pump".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(PUMP_TICK);
+                    clock.advance(PUMP_STEP);
+                }
+            })
+            .expect("spawn chaos time pump")
+    });
+
+    // Round-robin interleave: every group advances one event per round.
+    let rounds = schedules.iter().map(|s| s.events.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (world, schedule) in worlds.iter_mut().zip(schedules) {
+            if let Some(event) = schedule.events.get(round) {
+                execute(
+                    fabric,
+                    &world.handle,
+                    &leader_id,
+                    &mut world.members,
+                    &world.sink,
+                    &world.obs_stream,
+                    options,
+                    wiring.as_ref(),
+                    event,
+                );
+            }
+        }
+    }
+
+    for world in &mut worlds {
+        finalize(
+            fabric,
+            &world.handle,
+            &mut world.members,
+            &world.sink,
+            wiring.is_some(),
+        );
+    }
+
+    let service_snapshot = service.snapshot();
+    let leader_registries: Vec<Registry> = worlds.iter().map(|w| w.handle.obs_registry()).collect();
+    service.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    for world in &mut worlds {
+        for slot in &mut world.members {
+            if let Some(rt) = slot.runtime.take() {
+                rt.abandon();
+            }
+            if let Some(h) = slot.forwarder.take() {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = world.collector.take() {
+            let _ = h.join();
+        }
+    }
+    if let Some(pump) = pump {
+        let _ = pump.join();
+    }
+
+    let mut cross_group_violations = Vec::new();
+    let mut groups = Vec::new();
+    for (world, leader_registry) in worlds.into_iter().zip(leader_registries) {
+        let trace = Arc::try_unwrap(world.sink)
+            .map(Mutex::into_inner)
+            .unwrap_or_default();
+
+        // Cross-group isolation: every member this group's record names
+        // must belong to this group's cast.
+        for (i, event) in trace.iter().enumerate() {
+            for member in event_members(event) {
+                if !member.starts_with(&world.cast_prefix) {
+                    cross_group_violations.push(format!(
+                        "group {}: trace[{i}] names foreign member {member}: {event:?}",
+                        world.tag
+                    ));
+                }
+            }
+        }
+
+        let mut snapshot = leader_registry.snapshot();
+        for slot in &world.members {
+            for registry in &slot.registries {
+                snapshot
+                    .merge_from(&registry.snapshot())
+                    .expect("uniform histogram bounds");
+            }
+        }
+        let obs_events = world.obs_stream.events();
+        let mut obs_live = obs_trace(&obs_events);
+        if let Some(last @ LiveEvent::Final { .. }) = trace.last() {
+            obs_live.push(last.clone());
+        }
+        let obs_violations = check_trace(&obs_live);
+        groups.push((
+            world.tag,
+            ChaosOutcome {
+                violations: check_trace(&trace),
+                trace,
+                net_stats: None,
+                snapshot,
+                obs_events,
+                obs_violations,
+            },
+        ));
+    }
+
+    MultigroupOutcome {
+        groups,
+        cross_group_violations,
+        service_snapshot,
+        net_stats: fabric.sim_stats(),
+    }
+}
+
 /// Starts (or restarts) a member's session: records the segment reset,
 /// connects through the fabric, and waits (bounded) for the welcome.
+#[allow(clippy::too_many_arguments)]
 fn start_join(
     fabric: &mut dyn Fabric,
     leader_id: &ActorId,
+    group: Option<&GroupId>,
     slot: &mut MemberSlot,
     sink: &Sink,
     obs_stream: &EventStream,
@@ -433,6 +775,7 @@ fn start_join(
         observer: Some(obs_tx),
         disable_broadcast_watermark: options.sabotage_watermark,
         events: Some(obs_stream.clone()),
+        group: group.cloned(),
         ..MemberOptions::default()
     };
     if let Some(w) = wiring {
@@ -474,7 +817,7 @@ fn start_join(
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn execute(
     fabric: &mut dyn Fabric,
-    leader: &LeaderRuntime,
+    leader: &dyn LeaderOps,
     leader_id: &ActorId,
     members: &mut [MemberSlot],
     sink: &Sink,
@@ -497,7 +840,16 @@ fn execute(
             if leader.roster().contains(&slot.id) {
                 let _ = leader.expel(&slot.id);
             }
-            start_join(fabric, leader_id, slot, sink, obs_stream, options, wiring);
+            start_join(
+                fabric,
+                leader_id,
+                leader.group(),
+                slot,
+                sink,
+                obs_stream,
+                options,
+                wiring,
+            );
         }
         ChaosEvent::Leave(i) => {
             let Some(slot) = members.get_mut(*i) else {
@@ -639,7 +991,7 @@ fn execute(
 /// drain, then send one probe broadcast and snapshot everyone's epoch.
 fn finalize(
     fabric: &mut dyn Fabric,
-    leader: &LeaderRuntime,
+    leader: &dyn LeaderOps,
     members: &mut [MemberSlot],
     sink: &Sink,
     liveness: bool,

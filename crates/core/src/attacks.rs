@@ -298,6 +298,7 @@ pub fn forged_denial_improved() -> AttackReport {
         msg_type: MsgType::AuthKeyDist,
         sender: id("leader"),
         recipient: id("alice"),
+        group: None,
         body: fake.body, // structurally plausible, wrong key
     };
     let result = alice.handle(&forged);
@@ -388,6 +389,7 @@ pub fn forged_mem_removed_improved() -> AttackReport {
         msg_type: MsgType::AdminMsg,
         sender: id("leader"),
         recipient: id("alice"),
+        group: None,
         body: Vec::new(),
     };
     let attacker_key = [0xBB; 32];
@@ -628,6 +630,7 @@ pub fn forged_close_improved() -> AttackReport {
         msg_type: MsgType::ReqClose,
         sender: id("alice"),
         recipient: id("leader"),
+        group: None,
         body: Vec::new(),
     };
     let plain = enclaves_wire::message::ClosePlain {

@@ -1,6 +1,7 @@
 //! Leader configuration: rekey policy, limits, and liveness.
 
 use crate::liveness::{Clock, LivenessConfig};
+use enclaves_wire::GroupId;
 use std::sync::Arc;
 
 /// When the leader generates and distributes a new group key (Section 2.1:
@@ -74,6 +75,13 @@ pub struct LeaderConfig {
     /// the epoch. Off by default: the flat fan-out remains the paper's
     /// literal Figure 3 behaviour.
     pub tree_rekey: bool,
+    /// Enclave identifier when this leader is one group inside a
+    /// multi-enclave service. When set, every outgoing envelope is tagged
+    /// with the group id (and so AEAD-bound to it), and incoming envelopes
+    /// tagged for a different enclave — or untagged — are rejected before
+    /// any protocol processing. `None` keeps the single-group legacy wire
+    /// format.
+    pub group: Option<GroupId>,
 }
 
 impl std::fmt::Debug for LeaderConfig {
@@ -86,6 +94,7 @@ impl std::fmt::Debug for LeaderConfig {
             .field("liveness", &self.liveness)
             .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
             .field("tree_rekey", &self.tree_rekey)
+            .field("group", &self.group)
             .finish()
     }
 }
@@ -102,6 +111,7 @@ impl Default for LeaderConfig {
             liveness: LivenessConfig::default(),
             clock: None,
             tree_rekey: false,
+            group: None,
         }
     }
 }
@@ -145,5 +155,6 @@ mod tests {
         );
         assert!(c.clock.is_none(), "real clock unless injected");
         assert!(!c.tree_rekey, "flat fan-out unless opted in");
+        assert!(c.group.is_none(), "single-group legacy wire by default");
     }
 }

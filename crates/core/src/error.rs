@@ -51,6 +51,9 @@ pub enum RejectReason {
     Malformed,
     /// A group-data message under an outdated group key epoch.
     WrongEpoch,
+    /// The envelope's group tag does not match this session's enclave
+    /// (cross-enclave traffic in a multi-enclave service).
+    WrongEnclave,
 }
 
 impl fmt::Display for RejectReason {
@@ -62,6 +65,7 @@ impl fmt::Display for RejectReason {
             RejectReason::UnexpectedType => "unexpected message type",
             RejectReason::Malformed => "malformed message",
             RejectReason::WrongEpoch => "wrong group-key epoch",
+            RejectReason::WrongEnclave => "wrong enclave",
         };
         f.write_str(s)
     }

@@ -78,4 +78,4 @@ pub mod runtime;
 
 mod error;
 
-pub use error::CoreError;
+pub use error::{CoreError, RejectReason};

@@ -19,7 +19,7 @@ use enclaves_wire::message::{
     AuthInitPlain, ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain,
     KeyDistPlain, MsgType, NonceAckPlain, PathUpdateWire, SealedBody,
 };
-use enclaves_wire::ActorId;
+use enclaves_wire::{ActorId, GroupId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -237,6 +237,10 @@ pub struct SealJob {
     aad: Vec<u8>,
     plain: AdminPlain,
     leader_nonce: ProtocolNonce,
+    /// Enclave tag for the sealed envelope's header; must match the tag
+    /// baked into `aad` at stage time so the receiver's recomputed
+    /// header AAD agrees with the seal.
+    group: Option<GroupId>,
 }
 
 /// A sealed, encoded admin frame produced from a [`SealJob`].
@@ -364,6 +368,11 @@ pub struct LeaderCore {
     rng: Box<dyn CryptoRng>,
     slots: HashMap<ActorId, Slot>,
     group: GroupState,
+    /// The enclave this core serves inside a multi-enclave service
+    /// (`config.group`). When set, outgoing envelopes carry the group tag
+    /// (AEAD-bound via the header) and incoming envelopes tagged for any
+    /// other enclave — or untagged — are rejected before dispatch.
+    enclave: Option<GroupId>,
     /// The MLS-style rekey tree (`Some` iff `config.tree_rekey`): leaves
     /// hold per-member channel secrets, interior keys are HKDF-derived
     /// from children, and the root feeds `treekdf::derive_group`.
@@ -405,6 +414,7 @@ impl LeaderCore {
         rng: Box<dyn CryptoRng>,
     ) -> Self {
         let tree = config.tree_rekey.then(KeyTree::new);
+        let enclave = config.group.clone();
         LeaderCore {
             leader,
             directory,
@@ -412,6 +422,7 @@ impl LeaderCore {
             rng,
             slots: HashMap::new(),
             group: GroupState::new(),
+            enclave,
             tree,
             obs: LeaderObs::new(),
             frame_buf: Vec::new(),
@@ -423,6 +434,12 @@ impl LeaderCore {
     #[must_use]
     pub fn leader_id(&self) -> &ActorId {
         &self.leader
+    }
+
+    /// The enclave this core serves, when part of a multi-enclave service.
+    #[must_use]
+    pub fn group_id(&self) -> Option<&GroupId> {
+        self.enclave.as_ref()
     }
 
     /// Current members.
@@ -492,6 +509,14 @@ impl LeaderCore {
         if env.recipient != self.leader {
             return Err(CoreError::Rejected(RejectReason::WrongIdentity));
         }
+        // AAD binding alone cannot stop an *honestly tagged* group-A frame
+        // from opening here when the same user+password (hence the same
+        // derived P_a) exists in both enclaves: the AAD in the frame and
+        // the AAD we would compute from its header agree. The enclave tag
+        // must match this core's own configured identity.
+        if env.group != self.enclave {
+            return Err(CoreError::Rejected(RejectReason::WrongEnclave));
+        }
         match env.msg_type {
             MsgType::AuthInitReq => self.accept_auth_init(env),
             MsgType::AuthAckKey => self.accept_key_ack(env),
@@ -554,6 +579,7 @@ impl LeaderCore {
             msg_type: MsgType::AuthKeyDist,
             sender: self.leader.clone(),
             recipient: user.clone(),
+            group: self.enclave.clone(),
             body: Vec::new(),
         };
         let kd = KeyDistPlain {
@@ -828,6 +854,7 @@ impl LeaderCore {
                 plan.leaf_count,
                 plan.updated_leaf,
                 cs.node_index,
+                self.enclave.as_ref(),
             );
             let mut nonce = [0u8; 12];
             self.rng.fill_bytes(&mut nonce);
@@ -849,6 +876,7 @@ impl LeaderCore {
             // bytes reach every member, so the recipient field names the
             // leader and members skip the recipient check for this type.
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: encode(&PathUpdateWire {
                 epoch,
                 leaf_count: plan.leaf_count,
@@ -1065,7 +1093,7 @@ impl LeaderCore {
         }
         // Verify the seal before relaying (the leader holds the group key),
         // so tampered frames stop here rather than fanning out.
-        let aad = group_data_aad(&user, wire.epoch);
+        let aad = group_data_aad(&user, wire.epoch, self.enclave.as_ref());
         let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(epoch.key.as_bytes());
         let nonce = enclaves_crypto::nonce::AeadNonce::from_bytes(wire.sealed.nonce);
         let data_len = cipher
@@ -1090,6 +1118,7 @@ impl LeaderCore {
                 msg_type: MsgType::GroupData,
                 sender: user.clone(),
                 recipient: member,
+                group: self.enclave.clone(),
                 body: env.body.clone(),
             });
         }
@@ -1110,6 +1139,7 @@ impl LeaderCore {
     fn accept_heartbeat(&mut self, env: &Envelope) -> Result<LeaderOutput, CoreError> {
         let user = env.sender.clone();
         let leader = self.leader.clone();
+        let enclave = self.enclave.clone();
         let now = self.now;
         let Some(Slot::Connected(channel)) = self.slots.get_mut(&user) else {
             return Err(CoreError::Rejected(RejectReason::UnexpectedType));
@@ -1134,6 +1164,7 @@ impl LeaderCore {
             msg_type: MsgType::Heartbeat,
             sender: leader.clone(),
             recipient: user.clone(),
+            group: enclave,
             body: Vec::new(),
         };
         let seq = channel.send_seq.next()?;
@@ -1224,6 +1255,7 @@ impl LeaderCore {
     ) -> Result<Option<SealJob>, CoreError> {
         let max_pending = self.config.max_pending_admin;
         let leader = self.leader.clone();
+        let enclave = self.enclave.clone();
         let Some(Slot::Connected(channel)) = self.slots.get_mut(user) else {
             return Err(CoreError::UnknownUser(user.to_string()));
         };
@@ -1241,6 +1273,7 @@ impl LeaderCore {
             msg_type: MsgType::AdminMsg,
             sender: leader.clone(),
             recipient: user.clone(),
+            group: enclave.clone(),
             body: Vec::new(),
         }
         .header_aad();
@@ -1269,6 +1302,7 @@ impl LeaderCore {
             aad,
             plain,
             leader_nonce,
+            group: enclave,
         }))
     }
 
@@ -1279,6 +1313,7 @@ impl LeaderCore {
             msg_type: MsgType::AdminMsg,
             sender: job.plain.leader.clone(),
             recipient: job.member.clone(),
+            group: job.group.clone(),
             body: Vec::new(),
         };
         env.body = seal(job.session_key.as_bytes(), job.seq, &job.aad, &job.plain);
@@ -1672,7 +1707,7 @@ impl LeaderCore {
             let e = self.group.current_epoch().expect("nonempty group has key");
             (e.epoch, e.key.clone(), e.iv)
         };
-        let aad = group_broadcast_aad(&self.leader, epoch, seq);
+        let aad = group_broadcast_aad(&self.leader, epoch, seq, self.enclave.as_ref());
         let mut ciphertext = Vec::new();
         ChaCha20Poly1305::new(key.as_bytes()).seal_into(
             &broadcast_nonce(&iv, seq),
@@ -1689,6 +1724,7 @@ impl LeaderCore {
             // recipient field names the group's leader and members skip
             // the recipient check for this message type.
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: enclaves_wire::codec::encode(&GroupBroadcastWire {
                 epoch,
                 seq,
@@ -2519,6 +2555,7 @@ mod tests {
                 msg_type: MsgType::Ack,
                 sender: id("alice"),
                 recipient: id("leader"),
+                group: None,
                 body: vec![i; 40],
             };
             assert!(l.handle(&env).is_err());
@@ -2837,6 +2874,7 @@ mod tests {
             msg_type: MsgType::PathUpdate,
             sender: id("leader"),
             recipient: id("leader"),
+            group: None,
             body: encode(&PathUpdateWire {
                 epoch: epoch + 1,
                 leaf_count: 3,

@@ -17,7 +17,7 @@ use enclaves_wire::message::{
     AuthInitPlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain, KeyDistPlain,
     MsgType, NonceAckPlain, PathUpdateWire, SealedBody,
 };
-use enclaves_wire::ActorId;
+use enclaves_wire::{ActorId, GroupId};
 use std::collections::BTreeSet;
 
 /// The coarse phase of a member session (mirrors Figure 2).
@@ -231,6 +231,13 @@ enum Phase {
 pub struct MemberSession {
     user: ActorId,
     leader: ActorId,
+    /// The enclave this session belongs to inside a multi-enclave service
+    /// (`None` for single-group legacy deployments). Outgoing envelopes
+    /// carry the tag; incoming envelopes tagged for any other enclave —
+    /// or untagged when a tag is expected — are rejected before dispatch,
+    /// and multicast AADs are computed from this configured value rather
+    /// than the (unauthenticated) envelope header.
+    enclave: Option<GroupId>,
     long_term: LongTermKey,
     rng: Box<dyn CryptoRng>,
     phase: Phase,
@@ -278,6 +285,30 @@ impl MemberSession {
         ))
     }
 
+    /// [`MemberSession::start`] for one enclave of a multi-enclave
+    /// service: the `AuthInitReq` (and every later envelope) carries the
+    /// group tag, AEAD-bound via the header, and the session rejects
+    /// frames tagged for any other enclave.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-derivation failures.
+    pub fn start_in_group(
+        user: ActorId,
+        leader: ActorId,
+        password: &str,
+        group: Option<GroupId>,
+    ) -> Result<(Self, Envelope), CoreError> {
+        let key = LongTermKey::derive_from_password(password, user.as_str())?;
+        Ok(Self::start_with_key_in_group(
+            user,
+            leader,
+            key,
+            Box::new(OsEntropyRng::new()),
+            group,
+        ))
+    }
+
     /// Starts a session authenticated by X25519 public keys instead of a
     /// password (the paper's footnote-1 variant): `P_a` is derived from
     /// the static-static Diffie-Hellman shared secret, bound to both
@@ -314,13 +345,27 @@ impl MemberSession {
         user: ActorId,
         leader: ActorId,
         long_term: LongTermKey,
+        rng: Box<dyn CryptoRng>,
+    ) -> (Self, Envelope) {
+        Self::start_with_key_in_group(user, leader, long_term, rng, None)
+    }
+
+    /// [`MemberSession::start_with_key`] scoped to one enclave of a
+    /// multi-enclave service (`None` keeps the legacy single-group wire).
+    #[must_use]
+    pub fn start_with_key_in_group(
+        user: ActorId,
+        leader: ActorId,
+        long_term: LongTermKey,
         mut rng: Box<dyn CryptoRng>,
+        group: Option<GroupId>,
     ) -> (Self, Envelope) {
         let n1 = ProtocolNonce::generate(rng.as_mut());
         let mut env = Envelope {
             msg_type: MsgType::AuthInitReq,
             sender: user.clone(),
             recipient: leader.clone(),
+            group: group.clone(),
             body: Vec::new(),
         };
         let plain = AuthInitPlain {
@@ -343,6 +388,7 @@ impl MemberSession {
             MemberSession {
                 user,
                 leader,
+                enclave: group,
                 long_term,
                 rng,
                 phase: Phase::WaitingForKey { n1 },
@@ -352,6 +398,13 @@ impl MemberSession {
             },
             env,
         )
+    }
+
+    /// The enclave this session belongs to, when part of a multi-enclave
+    /// service.
+    #[must_use]
+    pub fn group_id(&self) -> Option<&GroupId> {
+        self.enclave.as_ref()
     }
 
     /// Disables the broadcast replay watermark — a deliberately planted
@@ -462,6 +515,14 @@ impl MemberSession {
         if !multicast && env.recipient != self.user {
             return Err(CoreError::Rejected(RejectReason::WrongIdentity));
         }
+        // Cross-enclave traffic is rejected before dispatch. The header
+        // tag is unauthenticated, but lying about it cannot help an
+        // attacker: every seal binds the tag via the header AAD, and the
+        // multicast AADs below are computed from this session's own
+        // configured enclave, never from the envelope.
+        if env.group != self.enclave {
+            return Err(CoreError::Rejected(RejectReason::WrongEnclave));
+        }
         match (&mut self.phase, env.msg_type) {
             (Phase::WaitingForKey { n1 }, MsgType::AuthKeyDist) => {
                 let n1 = *n1;
@@ -496,6 +557,7 @@ impl MemberSession {
             msg_type: MsgType::AuthAckKey,
             sender: self.user.clone(),
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: Vec::new(),
         };
         let ack = NonceAckPlain {
@@ -565,6 +627,7 @@ impl MemberSession {
             msg_type: MsgType::Ack,
             sender: self.user.clone(),
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: Vec::new(),
         };
         let ack = NonceAckPlain {
@@ -692,7 +755,7 @@ impl MemberSession {
         if wire.epoch != group.epoch {
             return Err(CoreError::Rejected(RejectReason::WrongEpoch));
         }
-        let aad = group_data_aad(&env.sender, wire.epoch);
+        let aad = group_data_aad(&env.sender, wire.epoch, self.enclave.as_ref());
         let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(group.key.as_bytes());
         let nonce = enclaves_crypto::nonce::AeadNonce::from_bytes(wire.sealed.nonce);
         let data = cipher
@@ -739,7 +802,7 @@ impl MemberSession {
         if !self.broadcast_watermark_disabled && seen.is_some_and(|s| wire.seq <= s) {
             return Err(CoreError::Rejected(RejectReason::StaleNonce));
         }
-        let aad = group_broadcast_aad(&self.leader, wire.epoch, wire.seq);
+        let aad = group_broadcast_aad(&self.leader, wire.epoch, wire.seq, self.enclave.as_ref());
         let nonce = broadcast_nonce(&view.iv, wire.seq);
         let data = ChaCha20Poly1305::new(view.key.as_bytes())
             .open(&nonce, &wire.ciphertext, &aad)
@@ -815,6 +878,7 @@ impl MemberSession {
                 wire.leaf_count,
                 wire.updated_leaf,
                 *node,
+                self.enclave.as_ref(),
             );
             let nonce = AeadNonce::from_bytes(sealed.nonce);
             if let Ok(plain) = ChaCha20Poly1305::new(key).open(&nonce, &sealed.ciphertext, &aad) {
@@ -884,6 +948,7 @@ impl MemberSession {
             msg_type: MsgType::Heartbeat,
             sender: self.user.clone(),
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: Vec::new(),
         };
         env.body = seal(
@@ -948,7 +1013,7 @@ impl MemberSession {
                 phase: "awaiting welcome",
             });
         };
-        let aad = group_data_aad(&self.user, group.epoch);
+        let aad = group_data_aad(&self.user, group.epoch, self.enclave.as_ref());
         let nonce = conn.group_seq.next()?;
         let cipher = enclaves_crypto::aead::ChaCha20Poly1305::new(group.key.as_bytes());
         let ciphertext = cipher.seal(&nonce, data, &aad);
@@ -963,6 +1028,7 @@ impl MemberSession {
             msg_type: MsgType::GroupData,
             sender: self.user.clone(),
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: encode(&wire),
         })
     }
@@ -984,6 +1050,7 @@ impl MemberSession {
             msg_type: MsgType::ReqClose,
             sender: self.user.clone(),
             recipient: self.leader.clone(),
+            group: self.enclave.clone(),
             body: Vec::new(),
         };
         let plain = enclaves_wire::message::ClosePlain {
@@ -1039,6 +1106,7 @@ mod tests {
             msg_type: MsgType::AuthKeyDist,
             sender: id("leader"),
             recipient: id("alice"),
+            group: None,
             body: Vec::new(),
         };
         let kd = KeyDistPlain {
@@ -1079,6 +1147,7 @@ mod tests {
             msg_type: MsgType::AdminMsg,
             sender: id("leader"),
             recipient: id("alice"),
+            group: None,
             body: Vec::new(),
         };
         let plain = AdminPlain {
@@ -1115,6 +1184,7 @@ mod tests {
             msg_type: MsgType::AuthKeyDist,
             sender: id("leader"),
             recipient: id("alice"),
+            group: None,
             body: Vec::new(),
         };
         let kd = KeyDistPlain {
@@ -1148,6 +1218,7 @@ mod tests {
             msg_type: MsgType::AuthKeyDist,
             sender: id("leader"),
             recipient: id("alice"),
+            group: None,
             body: Vec::new(),
         };
         let kd_plain = KeyDistPlain {
@@ -1302,6 +1373,7 @@ mod tests {
             msg_type: MsgType::AuthKeyDist,
             sender: id("leader"),
             recipient: id("bob"),
+            group: None,
             body: Vec::new(),
         };
         let sk_b = [0x55u8; 32];
@@ -1329,6 +1401,7 @@ mod tests {
             msg_type: MsgType::AdminMsg,
             sender: id("leader"),
             recipient: id("bob"),
+            group: None,
             body: Vec::new(),
         };
         let w_plain = AdminPlain {
@@ -1471,13 +1544,14 @@ mod tests {
     /// nonce derived from the epoch IV and `seq`, AAD binding leader
     /// identity, epoch, and `seq`.
     fn broadcast_env(epoch: u64, seq: u64, key: &[u8; 32], iv: &[u8; 12], data: &[u8]) -> Envelope {
-        let aad = group_broadcast_aad(&id("leader"), epoch, seq);
+        let aad = group_broadcast_aad(&id("leader"), epoch, seq, None);
         let nonce = broadcast_nonce(iv, seq);
         let ciphertext = ChaCha20Poly1305::new(key).seal(&nonce, data, &aad);
         Envelope {
             msg_type: MsgType::GroupBroadcast,
             sender: id("leader"),
             recipient: id("leader"),
+            group: None,
             body: encode(&GroupBroadcastWire {
                 epoch,
                 seq,
@@ -1728,6 +1802,7 @@ mod tests {
                 msg_type: MsgType::PathUpdate,
                 sender: id("leader"),
                 recipient: id("leader"),
+                group: None,
                 body: encode(&PathUpdateWire {
                     epoch: 2,
                     leaf_count: plan.leaf_count,
@@ -1742,6 +1817,7 @@ mod tests {
                                 plan.leaf_count,
                                 plan.updated_leaf,
                                 s.node_index,
+                                None,
                             );
                             let nonce = [0xC3u8; 12];
                             let ciphertext = ChaCha20Poly1305::new(&s.seal_key).seal(

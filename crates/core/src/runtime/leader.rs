@@ -1,171 +1,28 @@
-//! The threaded leader runtime.
+//! The threaded single-group leader runtime.
+//!
+//! Since the multi-enclave refactor this is a thin facade: it spawns a
+//! [`LeaderService`] hosting exactly one group and forwards every call to
+//! that group's [`GroupHandle`]. All the machinery — acceptor, shared
+//! liveness ticker, shared seal pool, group demux — lives in
+//! [`super::service`], so every test driving a `LeaderRuntime` exercises
+//! the same code paths a thousand-group service runs.
 
 use crate::config::LeaderConfig;
 use crate::directory::Directory;
-use crate::liveness::{Clock, RealClock};
-use crate::protocol::{AdminFanout, LeaderCore, LeaderEvent};
+use crate::protocol::LeaderEvent;
+use crate::runtime::service::{GroupHandle, LeaderService, ServiceConfig};
 use crate::CoreError;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use enclaves_net::{Frame, Link, Listener};
-use enclaves_wire::codec::{decode, encode};
-use enclaves_wire::message::Envelope;
+use crossbeam_channel::Receiver;
+use enclaves_net::Listener;
 use enclaves_wire::ActorId;
-use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-fn elapsed_ns(since: Instant) -> u64 {
-    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
-}
+pub use crate::runtime::service::BroadcastReceipt;
 
-/// What a [`LeaderRuntime::broadcast_data`] call actually put on the
-/// wire: the `(epoch, seq)` slot the payload was sealed into and the
-/// members it was fanned out to.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BroadcastReceipt {
-    /// Group-key epoch the frame was sealed under.
-    pub epoch: u64,
-    /// Broadcast sequence number within the epoch.
-    pub seq: u64,
-    /// The roster at seal time.
-    pub recipients: Vec<ActorId>,
-}
-
-struct Shared {
-    core: Mutex<LeaderCore>,
-    /// The liveness clock: real time by default, virtual under test.
-    clock: Arc<dyn Clock>,
-    /// Thread poll cadence, from [`crate::liveness::LivenessConfig`].
-    poll: Duration,
-    /// Links bound to authenticated identities.
-    routes: Mutex<HashMap<ActorId, Sender<Frame>>>,
-    events_tx: Sender<LeaderEvent>,
-    running: AtomicBool,
-    /// Bumped on every roster change; [`LeaderRuntime::wait_member`]
-    /// blocks on the paired condvar instead of sleep-polling.
-    roster_gen: Mutex<u64>,
-    roster_cv: Condvar,
-    /// Serializes the emit+dispatch tail of admin fan-outs (rekey,
-    /// broadcast, expel) so an observer always sees the operation's events
-    /// before any member can see its frames — a chaos trace must never
-    /// record a delivery before its send. Lock order: `send_order` →
-    /// `core` → `routes`; nothing acquires `send_order` while holding the
-    /// others.
-    send_order: Mutex<()>,
-}
-
-impl Shared {
-    /// Routes envelopes to their recipients' links; unroutable envelopes
-    /// are handed back to the caller-supplied fallback (the current link,
-    /// during authentication).
-    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Frame>>) {
-        let routes = self.routes.lock();
-        for env in outgoing {
-            let frame: Frame = encode(&env).into();
-            if let Some(tx) = routes.get(&env.recipient) {
-                let _ = tx.send(frame);
-            } else if let Some(fb) = fallback {
-                let _ = fb.send(frame);
-            }
-        }
-    }
-
-    /// Fans one shared frame out to every routed recipient: N refcount
-    /// bumps, no per-recipient encoding or copying.
-    fn dispatch_shared(&self, frame: &Frame, recipients: &[ActorId]) {
-        let routes = self.routes.lock();
-        for recipient in recipients {
-            if let Some(tx) = routes.get(recipient) {
-                let _ = tx.send(Frame::clone(frame));
-            }
-        }
-    }
-
-    /// Routes pre-encoded frames to their recipients' links; unroutable
-    /// frames (e.g. handshake retransmits for members not yet bound) are
-    /// dropped — the peer's own ARQ covers them.
-    fn dispatch_frames<I: IntoIterator<Item = (ActorId, Frame)>>(&self, frames: I) {
-        let routes = self.routes.lock();
-        for (recipient, frame) in frames {
-            if let Some(tx) = routes.get(&recipient) {
-                let _ = tx.send(frame);
-            }
-        }
-    }
-
-    fn emit(&self, events: Vec<LeaderEvent>) {
-        let roster_changed = events.iter().any(|e| {
-            matches!(
-                e,
-                LeaderEvent::MemberJoined(_)
-                    | LeaderEvent::MemberLeft(_)
-                    | LeaderEvent::MemberEvicted(_)
-            )
-        });
-        for e in events {
-            let _ = self.events_tx.send(e);
-        }
-        if roster_changed {
-            *self.roster_gen.lock() += 1;
-            self.roster_cv.notify_all();
-        }
-    }
-
-    /// The out-of-lock tail of an admin fan-out: seal across the worker
-    /// pool, re-enter the core lock to commit the frames into the
-    /// retransmit caches, then emit the operation's events *before*
-    /// dispatching its frames (all still under the send-order lock), so no
-    /// observer can record a delivery before its send.
-    fn finish_fanout(&self, fanout: AdminFanout, stage_ns: u64) {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let batch = LeaderCore::seal_admin_jobs_parallel(&fanout.jobs, threads);
-        {
-            let committed = Instant::now();
-            let mut core = self.core.lock();
-            core.commit_admin_frames(&batch);
-            core.note_lock_hold(stage_ns + elapsed_ns(committed));
-        }
-        self.emit(fanout.events);
-        self.dispatch_frames(
-            batch
-                .frames
-                .iter()
-                .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
-        );
-        // A tree-rekey PathUpdate rides the same send-order window: one
-        // sealed frame, fanned out as refcount bumps.
-        if let Some(b) = &fanout.broadcast {
-            self.dispatch_shared(&b.frame, &b.recipients);
-        }
-    }
-}
-
-/// The timeout-driven `Oops(Ka)` path (Figure 3): frees the presumed-dead
-/// member's slot, severs its route, and runs the departure fan-out
-/// (notices, policy rekey) through the same staged out-of-lock seal
-/// pipeline as an expel.
-fn evict(shared: &Shared, user: &ActorId) {
-    let _order = shared.send_order.lock();
-    let staged = Instant::now();
-    let Ok(fanout) = shared.core.lock().begin_evict(user) else {
-        // The member departed on its own between the tick decision and
-        // this call; nothing to do.
-        return;
-    };
-    let stage_ns = elapsed_ns(staged);
-    shared.routes.lock().remove(user);
-    shared.finish_fanout(fanout, stage_ns);
-}
-
-/// A running leader: acceptor plus per-link handlers around a
-/// [`LeaderCore`].
+/// A running single-group leader: a [`LeaderService`] hosting one group.
 pub struct LeaderRuntime {
-    shared: Arc<Shared>,
-    events_rx: Receiver<LeaderEvent>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    ticker: Option<std::thread::JoinHandle<()>>,
+    service: LeaderService,
+    handle: GroupHandle,
 }
 
 impl std::fmt::Debug for LeaderRuntime {
@@ -175,7 +32,8 @@ impl std::fmt::Debug for LeaderRuntime {
 }
 
 impl LeaderRuntime {
-    /// Spawns the leader on a listener.
+    /// Spawns the leader on a listener. The group is registered under
+    /// `config.group` (`None` keeps the legacy untagged wire format).
     #[must_use]
     pub fn spawn(
         listener: Box<dyn Listener>,
@@ -183,102 +41,49 @@ impl LeaderRuntime {
         directory: Directory,
         config: LeaderConfig,
     ) -> Self {
-        let (events_tx, events_rx) = unbounded();
-        let clock: Arc<dyn Clock> = config
-            .clock
-            .clone()
-            .unwrap_or_else(|| Arc::new(RealClock::new()));
-        let poll = config.liveness.poll;
-        let shared = Arc::new(Shared {
-            core: Mutex::new(LeaderCore::new(leader_id, directory, config)),
-            clock,
-            poll,
-            routes: Mutex::new(HashMap::new()),
-            events_tx,
-            running: AtomicBool::new(true),
-            roster_gen: Mutex::new(0),
-            roster_cv: Condvar::new(),
-            send_order: Mutex::new(()),
-        });
-
-        let accept_shared = Arc::clone(&shared);
-        let acceptor = std::thread::Builder::new()
-            .name("enclaves-leader-acceptor".into())
-            .spawn(move || {
-                while accept_shared.running.load(Ordering::Relaxed) {
-                    match listener.accept_timeout(accept_shared.poll) {
-                        Ok(link) => {
-                            let link_shared = Arc::clone(&accept_shared);
-                            let _ = std::thread::Builder::new()
-                                .name("enclaves-leader-link".into())
-                                .spawn(move || link_loop(&link_shared, link));
-                        }
-                        Err(enclaves_net::NetError::Timeout) => continue,
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawn leader acceptor");
-
-        // Liveness timer: every poll interval, ask the core which ARQ
-        // frames are due (bounded, backed-off per channel) and which
-        // members have exhausted their budget or missed their heartbeat
-        // deadline. Retransmit frames come straight from the per-channel
-        // caches — one refcount clone per in-flight message, no
-        // re-encoding; evictions run the full departure fan-out.
-        let tick_shared = Arc::clone(&shared);
-        let ticker = std::thread::Builder::new()
-            .name("enclaves-leader-ticker".into())
-            .spawn(move || {
-                while tick_shared.running.load(Ordering::Relaxed) {
-                    std::thread::sleep(tick_shared.poll);
-                    let now = tick_shared.clock.now();
-                    let tick = tick_shared.core.lock().tick(now);
-                    tick_shared.dispatch_frames(tick.frames);
-                    for user in &tick.evict {
-                        evict(&tick_shared, user);
-                    }
-                }
-            })
-            .expect("spawn leader ticker");
-
-        LeaderRuntime {
-            shared,
-            events_rx,
-            acceptor: Some(acceptor),
-            ticker: Some(ticker),
-        }
+        let service = LeaderService::spawn(
+            listener,
+            ServiceConfig {
+                clock: config.clock.clone(),
+                poll: config.liveness.poll,
+                seal_threads: None,
+            },
+        );
+        let handle = service
+            .add_group(leader_id, directory, config)
+            .expect("fresh service has no registered group");
+        LeaderRuntime { service, handle }
     }
 
     /// The leader's event stream.
     #[must_use]
     pub fn events(&self) -> &Receiver<LeaderEvent> {
-        &self.events_rx
+        self.handle.events()
     }
 
     /// Current members.
     #[must_use]
     pub fn roster(&self) -> Vec<ActorId> {
-        self.shared.core.lock().roster()
+        self.handle.roster()
     }
 
     /// Current group-key epoch.
     #[must_use]
     pub fn epoch(&self) -> Option<u64> {
-        self.shared.core.lock().epoch()
+        self.handle.epoch()
     }
 
     /// Leader statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> crate::protocol::LeaderStats {
-        self.shared.core.lock().stats()
+        self.handle.stats()
     }
 
     /// The core's metric registry (`leader.*` names); snapshots taken from
     /// it see the live counters without taking the core lock again.
     #[must_use]
     pub fn obs_registry(&self) -> enclaves_obs::Registry {
-        self.shared.core.lock().obs_registry()
+        self.handle.obs_registry()
     }
 
     /// Attaches a protocol event stream to the core: every subsequent
@@ -286,23 +91,19 @@ impl LeaderRuntime {
     /// is emitted in happened-before order. Sends are emitted under the
     /// core lock, before their frames reach any link.
     pub fn attach_event_stream(&self, events: enclaves_obs::EventStream) {
-        self.shared.core.lock().set_event_stream(events);
+        self.handle.attach_event_stream(events);
     }
 
     /// Rotates the group key now. The core lock is held only to stage the
     /// fan-out (nonce draws + slot bookkeeping) and to commit the sealed
-    /// frames; the n AEAD seals run out of lock across worker threads.
+    /// frames; the n AEAD seals run out of lock on the service's shared
+    /// worker pool.
     ///
     /// # Errors
     ///
     /// Propagates protocol errors.
     pub fn rekey(&self) -> Result<(), CoreError> {
-        let _order = self.shared.send_order.lock();
-        let staged = Instant::now();
-        let fanout = self.shared.core.lock().begin_rekey()?;
-        let stage_ns = elapsed_ns(staged);
-        self.shared.finish_fanout(fanout, stage_ns);
-        Ok(())
+        self.handle.rekey()
     }
 
     /// Broadcasts application data over the authenticated admin channel,
@@ -315,17 +116,7 @@ impl LeaderRuntime {
     ///
     /// Propagates protocol errors.
     pub fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
-        let _order = self.shared.send_order.lock();
-        let staged = Instant::now();
-        let (fanout, recipients) = {
-            let mut core = self.shared.core.lock();
-            let fanout = core.begin_admin_broadcast(data)?;
-            let recipients = core.roster();
-            (fanout, recipients)
-        };
-        let stage_ns = elapsed_ns(staged);
-        self.shared.finish_fanout(fanout, stage_ns);
-        Ok(recipients)
+        self.handle.broadcast(data)
     }
 
     /// Broadcasts application data over the single-seal group-key data
@@ -339,14 +130,7 @@ impl LeaderRuntime {
     /// Propagates protocol errors ([`CoreError::BadPhase`] if the group is
     /// empty).
     pub fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError> {
-        let broadcast = self.shared.core.lock().broadcast_group_data(data)?;
-        self.shared
-            .dispatch_shared(&broadcast.frame, &broadcast.recipients);
-        Ok(BroadcastReceipt {
-            epoch: broadcast.epoch,
-            seq: broadcast.seq,
-            recipients: broadcast.recipients,
-        })
+        self.handle.broadcast_data(data)
     }
 
     /// Whether every in-flight admin exchange has been acknowledged: no
@@ -355,7 +139,7 @@ impl LeaderRuntime {
     /// layer has finished recovering.
     #[must_use]
     pub fn quiesced(&self) -> bool {
-        self.shared.core.lock().outstanding_count() == 0
+        self.handle.quiesced()
     }
 
     /// Expels a member. The departure fan-out (notices, policy rekey)
@@ -366,15 +150,7 @@ impl LeaderRuntime {
     ///
     /// [`CoreError::UnknownUser`] if not connected.
     pub fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
-        let _order = self.shared.send_order.lock();
-        let staged = Instant::now();
-        let fanout = self.shared.core.lock().begin_expel(user)?;
-        let stage_ns = elapsed_ns(staged);
-        // Sever the route before any dispatch so the expelled member
-        // cannot receive post-expulsion frames.
-        self.shared.routes.lock().remove(user);
-        self.shared.finish_fanout(fanout, stage_ns);
-        Ok(())
+        self.handle.expel(user)
     }
 
     /// Waits until `user` appears in the roster.
@@ -383,140 +159,11 @@ impl LeaderRuntime {
     ///
     /// [`CoreError::Timeout`] if the deadline passes first.
     pub fn wait_member(&self, user: &ActorId, timeout: Duration) -> Result<(), CoreError> {
-        let deadline = std::time::Instant::now() + timeout;
-        // Block on the roster condvar instead of sleep-polling: the link
-        // threads notify it on every join/leave, so the wait wakes the
-        // moment the roster changes (plus spurious wakeups, handled by the
-        // re-check loop).
-        let mut gen = self.shared.roster_gen.lock();
-        loop {
-            if self.shared.core.lock().roster().contains(user) {
-                return Ok(());
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return Err(CoreError::Timeout("member join"));
-            }
-            let _ = self.shared.roster_cv.wait_for(&mut gen, deadline - now);
-        }
+        self.handle.wait_member(user, timeout)
     }
 
-    /// Stops the acceptor, ticker, and handler threads.
-    pub fn shutdown(mut self) {
-        self.shared.running.store(false, Ordering::Relaxed);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.ticker.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Per-link handler: pumps frames into the core and writes routed frames
-/// out.
-fn link_loop(shared: &Arc<Shared>, link: Box<dyn Link>) {
-    let (out_tx, out_rx) = unbounded::<Frame>();
-    let mut bound: Option<ActorId> = None;
-
-    while shared.running.load(Ordering::Relaxed) {
-        // Flush anything routed to this link.
-        while let Ok(frame) = out_rx.try_recv() {
-            if link.send(frame).is_err() {
-                cleanup(shared, &bound, &out_tx);
-                return;
-            }
-        }
-        match link.recv_timeout(shared.poll) {
-            Ok(frame) => {
-                let Ok(env) = decode::<Envelope>(&frame) else {
-                    continue; // malformed frame: drop
-                };
-                let sender = env.sender.clone();
-                // Read the clock before taking the core lock so the
-                // liveness bookkeeping sees arrival time, not lock-grant
-                // time.
-                let now = shared.clock.now();
-                let result = shared.core.lock().handle_at(&env, now);
-                match result {
-                    Ok(output) => {
-                        // Bind this link to the claimed identity only on
-                        // messages whose acceptance proves *freshness*
-                        // (AuthAckKey/Ack echo a one-time nonce under the
-                        // session key). Accepted-but-replayable messages
-                        // (GroupData, duplicate AuthInitReq answered from
-                        // the ARQ cache) must NOT bind, or an attacker
-                        // replaying a captured frame from its own
-                        // connection could capture the member's route — a
-                        // denial of service.
-                        let proves_freshness = matches!(
-                            env.msg_type,
-                            enclaves_wire::message::MsgType::AuthAckKey
-                                | enclaves_wire::message::MsgType::Ack
-                        );
-                        if proves_freshness && bound.as_ref() != Some(&sender) {
-                            bound = Some(sender.clone());
-                            shared.routes.lock().insert(sender, out_tx.clone());
-                        }
-                        // A departing member's route is dropped so a later
-                        // rejoin (possibly on a new link) starts clean.
-                        for event in &output.events {
-                            if let LeaderEvent::MemberLeft(user)
-                            | LeaderEvent::MemberEvicted(user) = event
-                            {
-                                shared.routes.lock().remove(user);
-                            }
-                        }
-                        if env.msg_type == enclaves_wire::message::MsgType::AuthInitReq {
-                            // Handshake replies always return on the link
-                            // the request arrived on: the requester is not
-                            // (or no longer) route-bound, and any stale
-                            // route from a previous session must not
-                            // swallow the reply.
-                            for out_env in output.outgoing {
-                                let _ = out_tx.send(encode(&out_env).into());
-                            }
-                        } else {
-                            shared.dispatch(output.outgoing, Some(&out_tx));
-                        }
-                        // Tree-rekey PathUpdates are sealed once and fanned
-                        // out as refcount bumps, like data-plane broadcasts.
-                        for b in &output.broadcasts {
-                            shared.dispatch_shared(&b.frame, &b.recipients);
-                        }
-                        shared.emit(output.events);
-                    }
-                    Err(e) => {
-                        shared.emit(vec![LeaderEvent::Rejected {
-                            from: sender,
-                            reason: match e {
-                                CoreError::Rejected(r) => r,
-                                _ => crate::error::RejectReason::Malformed,
-                            },
-                        }]);
-                    }
-                }
-            }
-            Err(enclaves_net::NetError::Timeout) => continue,
-            Err(_) => {
-                cleanup(shared, &bound, &out_tx);
-                return;
-            }
-        }
-    }
-}
-
-fn cleanup(shared: &Arc<Shared>, bound: &Option<ActorId>, out_tx: &Sender<Frame>) {
-    if let Some(user) = bound {
-        let mut routes = shared.routes.lock();
-        // Remove the route only if it still points at THIS link: the
-        // member may have reconnected, in which case a newer link owns the
-        // route and a late cleanup of the dead link must not sever it.
-        if routes.get(user).is_some_and(|tx| tx.same_channel(out_tx)) {
-            routes.remove(user);
-        }
-        // A vanished link does not remove the member from the group: the
-        // member may reconnect, or the application may expel it. The
-        // protocol state is authoritative.
+    /// Stops the acceptor, ticker, seal-pool, and handler threads.
+    pub fn shutdown(self) {
+        self.service.shutdown();
     }
 }

@@ -50,6 +50,11 @@ pub struct MemberOptions {
     /// How to re-reach the leader after a presumed death. Auto-rejoin
     /// requires both this hook and [`LivenessConfig::auto_rejoin`].
     pub reconnect: Option<Reconnector>,
+    /// Enclave to join when the leader is a multi-enclave service: every
+    /// envelope carries (and is AEAD-bound to) this group id, and frames
+    /// tagged for other enclaves are rejected. `None` keeps the legacy
+    /// single-group wire format. Rejoin sessions inherit it.
+    pub group: Option<enclaves_wire::GroupId>,
 }
 
 impl Default for MemberOptions {
@@ -61,6 +66,7 @@ impl Default for MemberOptions {
             liveness: LivenessConfig::member_default(),
             clock: None,
             reconnect: None,
+            group: None,
         }
     }
 }
@@ -77,6 +83,7 @@ impl std::fmt::Debug for MemberOptions {
             .field("liveness", &self.liveness)
             .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
             .field("reconnect", &self.reconnect.is_some())
+            .field("group", &self.group)
             .finish()
     }
 }
@@ -150,7 +157,8 @@ impl MemberRuntime {
         password: &str,
         options: MemberOptions,
     ) -> Result<Self, CoreError> {
-        let (mut session, init) = MemberSession::start(user, leader, password)?;
+        let (mut session, init) =
+            MemberSession::start_in_group(user, leader, password, options.group.clone())?;
         if options.disable_broadcast_watermark {
             session.disable_broadcast_watermark_for_tests();
         }
@@ -188,6 +196,7 @@ impl MemberRuntime {
             liveness,
             clock,
             reconnect,
+            group: _,
         } = options;
         if let Some(events) = &stream {
             // Emit the join start before the init frame can reach any
@@ -201,6 +210,10 @@ impl MemberRuntime {
         // before the current one is consumed by the worker.
         let user = init.sender.clone();
         let leader = init.recipient.clone();
+        // The session's own enclave (not the option, which run_with
+        // callers bypass) so rejoin reproduces whatever the live session
+        // was actually scoped to.
+        let group = session.group_id().cloned();
         let long_term = session.long_term_key();
         let registry = session.obs_registry();
         link.send(encode(&init).into())?;
@@ -223,6 +236,7 @@ impl MemberRuntime {
             reconnect,
             user,
             leader,
+            group,
             long_term,
             registry,
         };
@@ -363,6 +377,7 @@ struct Worker {
     reconnect: Option<Reconnector>,
     user: ActorId,
     leader: ActorId,
+    group: Option<enclaves_wire::GroupId>,
     long_term: LongTermKey,
     registry: Registry,
 }
@@ -524,11 +539,12 @@ impl Worker {
             }
             let reconnect = self.reconnect.as_ref()?;
             if let Ok(link) = reconnect() {
-                let (mut session, init) = MemberSession::start_with_key(
+                let (mut session, init) = MemberSession::start_with_key_in_group(
                     self.user.clone(),
                     self.leader.clone(),
                     self.long_term.clone(),
                     Box::new(OsEntropyRng::new()),
+                    self.group.clone(),
                 );
                 // The fresh session keeps recording into the registry the
                 // application captured at spawn time, and announces its

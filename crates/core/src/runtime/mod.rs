@@ -1,23 +1,30 @@
 //! Threaded runtimes binding the sans-I/O protocol cores to any
 //! `enclaves-net` transport.
 //!
-//! * [`LeaderRuntime`] — an acceptor thread plus one handler thread per
-//!   link, all sharing a [`crate::protocol::LeaderCore`] behind a mutex.
-//!   Outgoing envelopes are routed to the link currently bound to their
-//!   recipient; links become bound to an identity only after the improved
-//!   protocol authenticates it.
+//! * [`LeaderService`] — the multi-enclave leader service: one acceptor,
+//!   one shared liveness ticker, one shared seal-worker pool, and a
+//!   registry of per-group [`crate::protocol::LeaderCore`]s keyed by
+//!   enclave tag. Incoming frames demultiplex by the envelope's group
+//!   tag; each group is operated through its [`GroupHandle`].
+//! * [`LeaderRuntime`] — the single-group facade over [`LeaderService`]:
+//!   identical API to the pre-multigroup runtime, backed by a service
+//!   hosting exactly one group. Outgoing envelopes are routed to the link
+//!   currently bound to their recipient; links become bound to an
+//!   identity only after the improved protocol authenticates it.
 //! * [`MemberRuntime`] — a receive loop thread around a
 //!   [`crate::protocol::MemberSession`], exposing an event channel and
 //!   blocking convenience waiters.
 //!
-//! Both runtimes drop (and count) rejected traffic instead of dying — the
+//! All runtimes drop (and count) rejected traffic instead of dying — the
 //! operational face of intrusion tolerance.
 
 mod leader;
 mod member;
+mod service;
 
-pub use leader::{BroadcastReceipt, LeaderRuntime};
+pub use leader::LeaderRuntime;
 pub use member::{MemberOptions, MemberRuntime, Reconnector};
+pub use service::{BroadcastReceipt, GroupHandle, LeaderService, ServiceConfig};
 
 use crossbeam_channel::Receiver;
 use std::time::{Duration, Instant};

@@ -1,0 +1,1184 @@
+//! The multi-enclave leader service: many groups in one process, bounded
+//! threads.
+//!
+//! A [`LeaderService`] hosts any number of independent enclaves (groups)
+//! behind **one** listener, with a fixed thread complement that does not
+//! grow with the group count:
+//!
+//! - one acceptor thread (plus one handler thread per *connection*, as
+//!   before — connections, not groups, are the unit of I/O concurrency),
+//! - one shared liveness ticker driving every group's ARQ retransmits,
+//!   heartbeat deadlines, and timeout evictions,
+//! - one shared [`SealPool`] of persistent AEAD workers that all groups'
+//!   admin fan-outs (rekey, broadcast, expel, evict) borrow instead of
+//!   spawning scoped threads per operation.
+//!
+//! Incoming frames are demultiplexed by the envelope's group tag
+//! ([`enclaves_wire::message::Envelope::group`]): each frame is routed to
+//! the [`GroupEntry`] registered under exactly that tag, and every group's
+//! core additionally *rejects* cross-enclave traffic
+//! ([`crate::error::RejectReason::WrongEnclave`]) and seals with the tag
+//! bound into the AEAD header AAD — isolation holds even against a
+//! registry-bypassing adversary.
+//!
+//! The single-group [`super::LeaderRuntime`] is a thin facade over this
+//! service, so every existing integration test exercises the shared
+//! machinery.
+//!
+//! Lock order: `registry` → `send_order` → `core` → `routes`. Nothing
+//! acquires an earlier lock while holding a later one.
+
+use crate::config::LeaderConfig;
+use crate::directory::Directory;
+use crate::liveness::{Clock, LivenessConfig, RealClock};
+use crate::protocol::{
+    AdminFanout, LeaderCore, LeaderEvent, SealJob, SealedAdminFrame, SealedBatch,
+};
+use crate::CoreError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use enclaves_net::{Frame, Link, Listener};
+use enclaves_wire::codec::{decode, encode};
+use enclaves_wire::message::Envelope;
+use enclaves_wire::{ActorId, GroupId};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Below this many jobs a fan-out seals inline on the calling thread:
+/// the channel round-trip to the pool costs more than the seals.
+const POOL_SEAL_MIN_JOBS: usize = 32;
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// What a [`GroupHandle::broadcast_data`] call actually put on the wire:
+/// the `(epoch, seq)` slot the payload was sealed into and the members it
+/// was fanned out to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastReceipt {
+    /// Group-key epoch the frame was sealed under.
+    pub epoch: u64,
+    /// Broadcast sequence number within the epoch.
+    pub seq: u64,
+    /// The roster at seal time.
+    pub recipients: Vec<ActorId>,
+}
+
+// ---------------------------------------------------------------------------
+// Shared seal pool
+// ---------------------------------------------------------------------------
+
+struct SealTask {
+    /// An owned chunk of jobs ([`SealJob`] carries all ordering material,
+    /// so sealing is pure and order-free across workers).
+    jobs: Vec<SealJob>,
+    /// Index of the chunk's first job in the originating batch.
+    offset: usize,
+    reply: Sender<(usize, Vec<SealedAdminFrame>)>,
+}
+
+/// A fixed set of persistent AEAD workers shared by every group in the
+/// service. Replaces the per-operation scoped threads of
+/// [`LeaderCore::seal_admin_jobs_parallel`]: under a thousand groups,
+/// spawning threads per rekey would thrash; here the workers are spawned
+/// once and fan-outs from any group borrow them via a channel.
+pub(crate) struct SealPool {
+    tx: Mutex<Option<Sender<SealTask>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl SealPool {
+    fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<SealTask>();
+        let mut workers = Vec::new();
+        if threads > 1 {
+            for i in 0..threads {
+                let rx: Receiver<SealTask> = rx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("enclaves-seal-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            let batch = LeaderCore::seal_admin_jobs(&task.jobs);
+                            // The submitter may have given up (pool raced
+                            // with shutdown); a dead reply channel is fine.
+                            let _ = task.reply.send((task.offset, batch.frames));
+                        }
+                    })
+                    .expect("spawn seal worker");
+                workers.push(handle);
+            }
+        }
+        SealPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// Seals a batch across the pool. Byte-identical to the serial
+    /// reference [`LeaderCore::seal_admin_jobs`]; small batches (or a
+    /// single-threaded pool) seal inline on the calling thread.
+    fn seal(&self, jobs: &[SealJob]) -> SealedBatch {
+        if self.threads <= 1 || jobs.len() < POOL_SEAL_MIN_JOBS {
+            return LeaderCore::seal_admin_jobs(jobs);
+        }
+        let Some(tx) = self.tx.lock().clone() else {
+            // Pool already shut down (late fan-out during teardown).
+            return LeaderCore::seal_admin_jobs(jobs);
+        };
+        let start = Instant::now();
+        let workers = self.threads.min(jobs.len());
+        let chunk = jobs.len().div_ceil(workers);
+        let (reply_tx, reply_rx) = unbounded();
+        let mut sent = 0usize;
+        for (i, jobs_chunk) in jobs.chunks(chunk).enumerate() {
+            let task = SealTask {
+                jobs: jobs_chunk.to_vec(),
+                offset: i * chunk,
+                reply: reply_tx.clone(),
+            };
+            if tx.send(task).is_err() {
+                // Workers gone: seal everything inline instead.
+                return LeaderCore::seal_admin_jobs(jobs);
+            }
+            sent += 1;
+        }
+        drop(reply_tx);
+        let mut frames: Vec<Option<SealedAdminFrame>> = Vec::new();
+        frames.resize_with(jobs.len(), || None);
+        for _ in 0..sent {
+            let Ok((offset, sealed)) = reply_rx.recv() else {
+                return LeaderCore::seal_admin_jobs(jobs);
+            };
+            for (i, frame) in sealed.into_iter().enumerate() {
+                frames[offset + i] = Some(frame);
+            }
+        }
+        SealedBatch {
+            frames: frames
+                .into_iter()
+                .map(|f| f.expect("every chunk sealed its slice"))
+                .collect(),
+            seal_ns: elapsed_ns(start),
+        }
+    }
+
+    fn shutdown(&self) {
+        drop(self.tx.lock().take());
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-group state
+// ---------------------------------------------------------------------------
+
+/// One registered enclave: its protocol core plus the routing and
+/// signalling state the runtime keeps per group.
+struct GroupEntry {
+    core: Mutex<LeaderCore>,
+    /// Links bound to authenticated identities *within this group*.
+    routes: Mutex<HashMap<ActorId, Sender<Frame>>>,
+    events_tx: Sender<LeaderEvent>,
+    /// Bumped on every roster change; [`GroupHandle::wait_member`] blocks
+    /// on the paired condvar instead of sleep-polling.
+    roster_gen: Mutex<u64>,
+    roster_cv: Condvar,
+    /// Serializes the emit+dispatch tail of admin fan-outs (rekey,
+    /// broadcast, expel) so an observer always sees the operation's events
+    /// before any member can see its frames. Per group: fan-outs in
+    /// different enclaves never contend.
+    send_order: Mutex<()>,
+}
+
+impl GroupEntry {
+    /// Routes envelopes to their recipients' links; unroutable envelopes
+    /// are handed back to the caller-supplied fallback (the current link,
+    /// during authentication).
+    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Frame>>) {
+        let routes = self.routes.lock();
+        for env in outgoing {
+            let frame: Frame = encode(&env).into();
+            if let Some(tx) = routes.get(&env.recipient) {
+                let _ = tx.send(frame);
+            } else if let Some(fb) = fallback {
+                let _ = fb.send(frame);
+            }
+        }
+    }
+
+    /// Fans one shared frame out to every routed recipient: N refcount
+    /// bumps, no per-recipient encoding or copying.
+    fn dispatch_shared(&self, frame: &Frame, recipients: &[ActorId]) {
+        let routes = self.routes.lock();
+        for recipient in recipients {
+            if let Some(tx) = routes.get(recipient) {
+                let _ = tx.send(Frame::clone(frame));
+            }
+        }
+    }
+
+    /// Routes pre-encoded frames to their recipients' links; unroutable
+    /// frames (e.g. handshake retransmits for members not yet bound) are
+    /// dropped — the peer's own ARQ covers them.
+    fn dispatch_frames<I: IntoIterator<Item = (ActorId, Frame)>>(&self, frames: I) {
+        let routes = self.routes.lock();
+        for (recipient, frame) in frames {
+            if let Some(tx) = routes.get(&recipient) {
+                let _ = tx.send(frame);
+            }
+        }
+    }
+
+    fn emit(&self, events: Vec<LeaderEvent>) {
+        let roster_changed = events.iter().any(|e| {
+            matches!(
+                e,
+                LeaderEvent::MemberJoined(_)
+                    | LeaderEvent::MemberLeft(_)
+                    | LeaderEvent::MemberEvicted(_)
+            )
+        });
+        for e in events {
+            let _ = self.events_tx.send(e);
+        }
+        if roster_changed {
+            *self.roster_gen.lock() += 1;
+            self.roster_cv.notify_all();
+        }
+    }
+
+    /// The out-of-lock tail of an admin fan-out: seal across the shared
+    /// pool, re-enter the core lock to commit the frames into the
+    /// retransmit caches, then emit the operation's events *before*
+    /// dispatching its frames (all still under this group's send-order
+    /// lock), so no observer can record a delivery before its send.
+    fn finish_fanout(&self, pool: &SealPool, fanout: AdminFanout, stage_ns: u64) {
+        let batch = pool.seal(&fanout.jobs);
+        {
+            let committed = Instant::now();
+            let mut core = self.core.lock();
+            core.commit_admin_frames(&batch);
+            core.note_lock_hold(stage_ns + elapsed_ns(committed));
+        }
+        self.emit(fanout.events);
+        self.dispatch_frames(
+            batch
+                .frames
+                .iter()
+                .map(|f| (f.member.clone(), Frame::clone(&f.frame))),
+        );
+        // A tree-rekey PathUpdate rides the same send-order window: one
+        // sealed frame, fanned out as refcount bumps.
+        if let Some(b) = &fanout.broadcast {
+            self.dispatch_shared(&b.frame, &b.recipients);
+        }
+    }
+}
+
+/// The timeout-driven `Oops(Ka)` path (Figure 3): frees the presumed-dead
+/// member's slot, severs its route, and runs the departure fan-out
+/// (notices, policy rekey) through the same staged out-of-lock seal
+/// pipeline as an expel.
+fn evict(entry: &GroupEntry, pool: &SealPool, user: &ActorId) {
+    let _order = entry.send_order.lock();
+    let staged = Instant::now();
+    let Ok(fanout) = entry.core.lock().begin_evict(user) else {
+        // The member departed on its own between the tick decision and
+        // this call; nothing to do.
+        return;
+    };
+    let stage_ns = elapsed_ns(staged);
+    entry.routes.lock().remove(user);
+    entry.finish_fanout(pool, fanout, stage_ns);
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+struct ServiceShared {
+    /// Registered groups, keyed by their wire tag. `None` is the single
+    /// legacy untagged group (byte-compatible pre-multigroup wire format).
+    registry: RwLock<HashMap<Option<GroupId>, Arc<GroupEntry>>>,
+    /// The liveness clock shared by every group: real time by default,
+    /// virtual under test.
+    clock: Arc<dyn Clock>,
+    /// Acceptor/ticker/link poll cadence.
+    poll: Duration,
+    seal: SealPool,
+    running: AtomicBool,
+    /// Frames whose group tag matched no registered enclave (dropped).
+    unroutable: AtomicU64,
+}
+
+/// Tuning for a [`LeaderService`] — the *service-wide* knobs (clock, poll
+/// cadence, seal-worker count). Per-group protocol policy stays in each
+/// group's [`LeaderConfig`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Liveness clock driving every hosted group. `None` = real time.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Ticker/acceptor/link poll cadence.
+    pub poll: Duration,
+    /// Seal-pool worker count. `None` = available parallelism.
+    pub seal_threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            clock: None,
+            poll: LivenessConfig::default().poll,
+            seal_threads: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("clock", &self.clock.as_ref().map(|_| "<clock>"))
+            .field("poll", &self.poll)
+            .field("seal_threads", &self.seal_threads)
+            .finish()
+    }
+}
+
+/// A multi-enclave leader service: one listener, one ticker, one seal
+/// pool, any number of groups. See the module docs for the threading
+/// model.
+pub struct LeaderService {
+    shared: Arc<ServiceShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LeaderService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderService")
+            .field("groups", &self.group_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeaderService {
+    /// Spawns the service on a listener: one acceptor thread, one shared
+    /// liveness ticker, and the shared seal pool. Groups are added with
+    /// [`LeaderService::add_group`].
+    #[must_use]
+    pub fn spawn(listener: Box<dyn Listener>, config: ServiceConfig) -> Self {
+        let clock: Arc<dyn Clock> = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(RealClock::new()));
+        let seal_threads = config.seal_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let shared = Arc::new(ServiceShared {
+            registry: RwLock::new(HashMap::new()),
+            clock,
+            poll: config.poll,
+            seal: SealPool::new(seal_threads),
+            running: AtomicBool::new(true),
+            unroutable: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("enclaves-svc-acceptor".into())
+            .spawn(move || {
+                while accept_shared.running.load(Ordering::Relaxed) {
+                    match listener.accept_timeout(accept_shared.poll) {
+                        Ok(link) => {
+                            let link_shared = Arc::clone(&accept_shared);
+                            let _ = std::thread::Builder::new()
+                                .name("enclaves-svc-link".into())
+                                .spawn(move || link_loop(&link_shared, link));
+                        }
+                        Err(enclaves_net::NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn service acceptor");
+
+        // One liveness timer for the whole service: every poll interval it
+        // sweeps the registry and asks each group's core which ARQ frames
+        // are due and which members have exhausted their budget or missed
+        // their heartbeat deadline. Each group's deadlines come from its
+        // own core state against the shared clock, so one group's load
+        // cannot stretch another's timeouts (the tick-fairness test pins
+        // this).
+        let tick_shared = Arc::clone(&shared);
+        let ticker = std::thread::Builder::new()
+            .name("enclaves-svc-ticker".into())
+            .spawn(move || {
+                while tick_shared.running.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick_shared.poll);
+                    let now = tick_shared.clock.now();
+                    // Snapshot the entries, then drop the registry lock
+                    // before touching any group's core (lock order:
+                    // registry strictly precedes the per-group locks).
+                    let entries: Vec<Arc<GroupEntry>> =
+                        tick_shared.registry.read().values().cloned().collect();
+                    for entry in entries {
+                        let tick = entry.core.lock().tick(now);
+                        entry.dispatch_frames(tick.frames);
+                        for user in &tick.evict {
+                            evict(&entry, &tick_shared.seal, user);
+                        }
+                    }
+                }
+            })
+            .expect("spawn service ticker");
+
+        LeaderService {
+            shared,
+            acceptor: Some(acceptor),
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Registers a group under the tag in `config.group` (`None` = the
+    /// single legacy untagged group) and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPhase`] if a group with the same tag is already
+    /// registered.
+    pub fn add_group(
+        &self,
+        leader_id: ActorId,
+        directory: Directory,
+        config: LeaderConfig,
+    ) -> Result<GroupHandle, CoreError> {
+        let key = config.group.clone();
+        let (events_tx, events_rx) = unbounded();
+        let entry = Arc::new(GroupEntry {
+            core: Mutex::new(LeaderCore::new(leader_id, directory, config)),
+            routes: Mutex::new(HashMap::new()),
+            events_tx,
+            roster_gen: Mutex::new(0),
+            roster_cv: Condvar::new(),
+            send_order: Mutex::new(()),
+        });
+        let mut registry = self.shared.registry.write();
+        if registry.contains_key(&key) {
+            return Err(CoreError::BadPhase {
+                operation: "add group",
+                phase: "group tag already registered",
+            });
+        }
+        registry.insert(key.clone(), Arc::clone(&entry));
+        drop(registry);
+        Ok(GroupHandle {
+            shared: Arc::clone(&self.shared),
+            entry,
+            events_rx,
+            group: key,
+        })
+    }
+
+    /// Deregisters a group: subsequent frames tagged for it are dropped
+    /// and the shared ticker stops driving it. Existing [`GroupHandle`]s
+    /// keep their (now unreachable) core alive. Returns whether the tag
+    /// was registered.
+    pub fn remove_group(&self, group: Option<&GroupId>) -> bool {
+        self.shared
+            .registry
+            .write()
+            .remove(&group.cloned())
+            .is_some()
+    }
+
+    /// Number of registered groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.shared.registry.read().len()
+    }
+
+    /// Frames dropped because their group tag matched no registered
+    /// enclave.
+    #[must_use]
+    pub fn unroutable_frames(&self) -> u64 {
+        self.shared.unroutable.load(Ordering::Relaxed)
+    }
+
+    /// One merged metric snapshot for the whole service: each group's
+    /// `leader.*` metrics relabelled `group.<id>.leader.*` (the legacy
+    /// untagged group keeps its bare names), disjoint by construction, so
+    /// the merge never sums across enclaves.
+    #[must_use]
+    pub fn snapshot(&self) -> enclaves_obs::Snapshot {
+        let entries: Vec<(Option<GroupId>, Arc<GroupEntry>)> = self
+            .shared
+            .registry
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        let mut merged = enclaves_obs::Snapshot::default();
+        for (key, entry) in entries {
+            let part = entry.core.lock().obs_registry().snapshot();
+            let part = match key {
+                Some(group) => part.with_prefix(&format!("group.{group}")),
+                None => part,
+            };
+            // Disjoint (per-group prefixed) names cannot hit the only
+            // merge failure, a shared-name histogram bucket mismatch.
+            merged
+                .merge_from(&part)
+                .expect("per-group metric names are disjoint");
+        }
+        merged
+    }
+
+    /// Stops the acceptor, ticker, seal workers, and handler threads.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        self.shared.seal.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-group handle
+// ---------------------------------------------------------------------------
+
+/// Operator handle to one group inside a [`LeaderService`]: the same API
+/// surface as the single-group [`super::LeaderRuntime`], scoped to this
+/// enclave.
+pub struct GroupHandle {
+    shared: Arc<ServiceShared>,
+    entry: Arc<GroupEntry>,
+    events_rx: Receiver<LeaderEvent>,
+    group: Option<GroupId>,
+}
+
+impl std::fmt::Debug for GroupHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupHandle")
+            .field("group", &self.group)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupHandle {
+    /// The enclave tag this handle is scoped to (`None` = the legacy
+    /// untagged group).
+    #[must_use]
+    pub fn group_id(&self) -> Option<&GroupId> {
+        self.group.as_ref()
+    }
+
+    /// The group's event stream.
+    #[must_use]
+    pub fn events(&self) -> &Receiver<LeaderEvent> {
+        &self.events_rx
+    }
+
+    /// Current members.
+    #[must_use]
+    pub fn roster(&self) -> Vec<ActorId> {
+        self.entry.core.lock().roster()
+    }
+
+    /// Current group-key epoch.
+    #[must_use]
+    pub fn epoch(&self) -> Option<u64> {
+        self.entry.core.lock().epoch()
+    }
+
+    /// Leader statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> crate::protocol::LeaderStats {
+        self.entry.core.lock().stats()
+    }
+
+    /// The core's metric registry (`leader.*` names); snapshots taken from
+    /// it see the live counters without taking the core lock again.
+    #[must_use]
+    pub fn obs_registry(&self) -> enclaves_obs::Registry {
+        self.entry.core.lock().obs_registry()
+    }
+
+    /// Attaches a protocol event stream to the core: every subsequent
+    /// protocol action (join, rekey, broadcast, retransmit, seal commit)
+    /// is emitted in happened-before order. Sends are emitted under the
+    /// core lock, before their frames reach any link.
+    pub fn attach_event_stream(&self, events: enclaves_obs::EventStream) {
+        self.entry.core.lock().set_event_stream(events);
+    }
+
+    /// Rotates the group key now. The core lock is held only to stage the
+    /// fan-out (nonce draws + slot bookkeeping) and to commit the sealed
+    /// frames; the n AEAD seals run out of lock on the shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn rekey(&self) -> Result<(), CoreError> {
+        let _order = self.entry.send_order.lock();
+        let staged = Instant::now();
+        let fanout = self.entry.core.lock().begin_rekey()?;
+        let stage_ns = elapsed_ns(staged);
+        self.entry
+            .finish_fanout(&self.shared.seal, fanout, stage_ns);
+        Ok(())
+    }
+
+    /// Broadcasts application data over the authenticated admin channel,
+    /// returning the exact roster the broadcast was addressed to (captured
+    /// under the core lock, so a concurrent join/leave cannot blur it —
+    /// the chaos oracle needs the precise recipient set). Seals run out of
+    /// lock, like [`GroupHandle::rekey`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn broadcast(&self, data: &[u8]) -> Result<Vec<ActorId>, CoreError> {
+        let _order = self.entry.send_order.lock();
+        let staged = Instant::now();
+        let (fanout, recipients) = {
+            let mut core = self.entry.core.lock();
+            let fanout = core.begin_admin_broadcast(data)?;
+            let recipients = core.roster();
+            (fanout, recipients)
+        };
+        let stage_ns = elapsed_ns(staged);
+        self.entry
+            .finish_fanout(&self.shared.seal, fanout, stage_ns);
+        Ok(recipients)
+    }
+
+    /// Broadcasts application data over the single-seal group-key data
+    /// plane: the payload is sealed once under the current group key and
+    /// the identical refcounted frame is handed to every member's link.
+    /// Returns a receipt identifying the frame's `(epoch, seq)` slot and
+    /// its recipients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors ([`CoreError::BadPhase`] if the group is
+    /// empty).
+    pub fn broadcast_data(&self, data: &[u8]) -> Result<BroadcastReceipt, CoreError> {
+        let broadcast = self.entry.core.lock().broadcast_group_data(data)?;
+        self.entry
+            .dispatch_shared(&broadcast.frame, &broadcast.recipients);
+        Ok(BroadcastReceipt {
+            epoch: broadcast.epoch,
+            seq: broadcast.seq,
+            recipients: broadcast.recipients,
+        })
+    }
+
+    /// Whether every in-flight admin exchange has been acknowledged: no
+    /// handshake half-open, no admin message awaiting its ack. Chaos runs
+    /// poll this after healing the network to know when the retransmission
+    /// layer has finished recovering.
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        self.entry.core.lock().outstanding_count() == 0
+    }
+
+    /// Expels a member. The departure fan-out (notices, policy rekey)
+    /// takes the same staged out-of-lock seal path as
+    /// [`GroupHandle::rekey`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if not connected.
+    pub fn expel(&self, user: &ActorId) -> Result<(), CoreError> {
+        let _order = self.entry.send_order.lock();
+        let staged = Instant::now();
+        let fanout = self.entry.core.lock().begin_expel(user)?;
+        let stage_ns = elapsed_ns(staged);
+        // Sever the route before any dispatch so the expelled member
+        // cannot receive post-expulsion frames.
+        self.entry.routes.lock().remove(user);
+        self.entry
+            .finish_fanout(&self.shared.seal, fanout, stage_ns);
+        Ok(())
+    }
+
+    /// Waits until `user` appears in the roster.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Timeout`] if the deadline passes first.
+    pub fn wait_member(&self, user: &ActorId, timeout: Duration) -> Result<(), CoreError> {
+        let deadline = Instant::now() + timeout;
+        // Block on the roster condvar instead of sleep-polling: the link
+        // threads notify it on every join/leave, so the wait wakes the
+        // moment the roster changes (plus spurious wakeups, handled by the
+        // re-check loop).
+        let mut gen = self.entry.roster_gen.lock();
+        loop {
+            if self.entry.core.lock().roster().contains(user) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::Timeout("member join"));
+            }
+            let _ = self.entry.roster_cv.wait_for(&mut gen, deadline - now);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link handling
+// ---------------------------------------------------------------------------
+
+/// Per-link handler: decodes frames, demultiplexes them to the entry
+/// registered under the envelope's group tag, pumps them into that
+/// group's core, and writes routed frames out. One link can in principle
+/// carry traffic for several groups (each binding its own route), though
+/// honest members speak for one.
+fn link_loop(shared: &Arc<ServiceShared>, link: Box<dyn Link>) {
+    let (out_tx, out_rx) = unbounded::<Frame>();
+    // Routes this link has bound, for cleanup: one per (group, identity)
+    // whose freshness was proven on this link.
+    let mut bound: Vec<(Arc<GroupEntry>, ActorId)> = Vec::new();
+
+    while shared.running.load(Ordering::Relaxed) {
+        // Flush anything routed to this link.
+        while let Ok(frame) = out_rx.try_recv() {
+            if link.send(frame).is_err() {
+                cleanup(&bound, &out_tx);
+                return;
+            }
+        }
+        match link.recv_timeout(shared.poll) {
+            Ok(frame) => {
+                let Ok(env) = decode::<Envelope>(&frame) else {
+                    continue; // malformed frame: drop
+                };
+                // Demux strictly by the (unauthenticated) group tag: a
+                // frame only ever reaches the enclave whose tag it
+                // carries, and that enclave's core re-checks the tag
+                // against its own configuration plus the AEAD binding.
+                let entry = shared.registry.read().get(&env.group).cloned();
+                let Some(entry) = entry else {
+                    shared.unroutable.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                let sender = env.sender.clone();
+                // Read the clock before taking the core lock so the
+                // liveness bookkeeping sees arrival time, not lock-grant
+                // time.
+                let now = shared.clock.now();
+                let result = entry.core.lock().handle_at(&env, now);
+                match result {
+                    Ok(output) => {
+                        // Bind this link to the claimed identity only on
+                        // messages whose acceptance proves *freshness*
+                        // (AuthAckKey/Ack echo a one-time nonce under the
+                        // session key). Accepted-but-replayable messages
+                        // (GroupData, duplicate AuthInitReq answered from
+                        // the ARQ cache) must NOT bind, or an attacker
+                        // replaying a captured frame from its own
+                        // connection could capture the member's route — a
+                        // denial of service.
+                        let proves_freshness = matches!(
+                            env.msg_type,
+                            enclaves_wire::message::MsgType::AuthAckKey
+                                | enclaves_wire::message::MsgType::Ack
+                        );
+                        let already = bound
+                            .iter()
+                            .any(|(e, u)| Arc::ptr_eq(e, &entry) && u == &sender);
+                        if proves_freshness && !already {
+                            entry.routes.lock().insert(sender.clone(), out_tx.clone());
+                            bound.push((Arc::clone(&entry), sender.clone()));
+                        }
+                        // A departing member's route is dropped so a later
+                        // rejoin (possibly on a new link) starts clean.
+                        for event in &output.events {
+                            if let LeaderEvent::MemberLeft(user)
+                            | LeaderEvent::MemberEvicted(user) = event
+                            {
+                                entry.routes.lock().remove(user);
+                            }
+                        }
+                        if env.msg_type == enclaves_wire::message::MsgType::AuthInitReq {
+                            // Handshake replies always return on the link
+                            // the request arrived on: the requester is not
+                            // (or no longer) route-bound, and any stale
+                            // route from a previous session must not
+                            // swallow the reply.
+                            for out_env in output.outgoing {
+                                let _ = out_tx.send(encode(&out_env).into());
+                            }
+                        } else {
+                            entry.dispatch(output.outgoing, Some(&out_tx));
+                        }
+                        // Tree-rekey PathUpdates are sealed once and fanned
+                        // out as refcount bumps, like data-plane broadcasts.
+                        for b in &output.broadcasts {
+                            entry.dispatch_shared(&b.frame, &b.recipients);
+                        }
+                        entry.emit(output.events);
+                    }
+                    Err(e) => {
+                        entry.emit(vec![LeaderEvent::Rejected {
+                            from: sender,
+                            reason: match e {
+                                CoreError::Rejected(r) => r,
+                                _ => crate::error::RejectReason::Malformed,
+                            },
+                        }]);
+                    }
+                }
+            }
+            Err(enclaves_net::NetError::Timeout) => continue,
+            Err(_) => {
+                cleanup(&bound, &out_tx);
+                return;
+            }
+        }
+    }
+}
+
+fn cleanup(bound: &[(Arc<GroupEntry>, ActorId)], out_tx: &Sender<Frame>) {
+    for (entry, user) in bound {
+        let mut routes = entry.routes.lock();
+        // Remove the route only if it still points at THIS link: the
+        // member may have reconnected, in which case a newer link owns the
+        // route and a late cleanup of the dead link must not sever it.
+        if routes.get(user).is_some_and(|tx| tx.same_channel(out_tx)) {
+            routes.remove(user);
+        }
+        // A vanished link does not remove the member from the group: the
+        // member may reconnect, or the application may expel it. The
+        // protocol state is authoritative.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LeaderConfig, RekeyPolicy};
+    use crate::protocol::{MemberEvent, MemberSession};
+    use crate::runtime::{MemberOptions, MemberRuntime};
+    use enclaves_crypto::keys::LongTermKey;
+    use enclaves_crypto::rng::SeededRng;
+    use enclaves_net::sim::{SimConfig, SimNet};
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    fn id(s: &str) -> ActorId {
+        ActorId::new(s).unwrap()
+    }
+
+    fn gid(s: &str) -> GroupId {
+        GroupId::new(s).unwrap()
+    }
+
+    fn directory(users: &[&str]) -> Directory {
+        let mut d = Directory::new();
+        for u in users {
+            d.register_password(&id(u), &format!("{u}-pw")).unwrap();
+        }
+        d
+    }
+
+    fn group_config(tag: &str) -> LeaderConfig {
+        LeaderConfig {
+            rekey_policy: RekeyPolicy::Manual,
+            group: Some(gid(tag)),
+            ..LeaderConfig::default()
+        }
+    }
+
+    fn join(
+        net: &SimNet,
+        conn: &str,
+        user: &str,
+        group: &str,
+        handle: &GroupHandle,
+    ) -> MemberRuntime {
+        let link = net.connect(conn, "svc").unwrap();
+        let member = MemberRuntime::connect_with(
+            Box::new(link),
+            id(user),
+            id("leader"),
+            &format!("{user}-pw"),
+            MemberOptions {
+                group: Some(gid(group)),
+                ..MemberOptions::default()
+            },
+        )
+        .unwrap();
+        member.wait_joined(WAIT).unwrap();
+        handle.wait_member(&id(user), WAIT).unwrap();
+        member
+    }
+
+    /// Two groups behind one listener: traffic routes to the right group,
+    /// broadcasts stay inside their enclave, and the merged snapshot
+    /// carries per-group labels.
+    #[test]
+    fn two_groups_share_one_service_with_isolated_routing() {
+        let net = SimNet::new(SimConfig::default());
+        let listener = net.listen("svc").unwrap();
+        let service = LeaderService::spawn(Box::new(listener), ServiceConfig::default());
+
+        // The same username exists in BOTH groups — the worst case for
+        // isolation, since both enclaves derive the same password key.
+        let red = service
+            .add_group(id("leader"), directory(&["alice"]), group_config("red"))
+            .unwrap();
+        let blue = service
+            .add_group(id("leader"), directory(&["alice"]), group_config("blue"))
+            .unwrap();
+        assert_eq!(service.group_count(), 2);
+
+        let alice_red = join(&net, "a-red", "alice", "red", &red);
+        let alice_blue = join(&net, "a-blue", "alice", "blue", &blue);
+
+        red.broadcast(b"red only").unwrap();
+        let event = alice_red
+            .wait_event(WAIT, |e| matches!(e, MemberEvent::AdminData(_)))
+            .unwrap();
+        assert_eq!(event, MemberEvent::AdminData(b"red only".to_vec()));
+        assert!(
+            alice_blue
+                .wait_event(Duration::from_millis(200), |e| matches!(
+                    e,
+                    MemberEvent::AdminData(_)
+                ))
+                .is_err(),
+            "a red broadcast must never surface in blue"
+        );
+
+        // Data-plane broadcasts are scoped the same way.
+        blue.broadcast_data(b"blue data").unwrap();
+        let event = alice_blue
+            .wait_event(WAIT, |e| matches!(e, MemberEvent::Broadcast { .. }))
+            .unwrap();
+        assert!(matches!(event, MemberEvent::Broadcast { data, .. } if data == b"blue data"));
+        assert!(alice_red
+            .wait_event(Duration::from_millis(200), |e| matches!(
+                e,
+                MemberEvent::Broadcast { .. }
+            ))
+            .is_err());
+
+        // The merged snapshot labels each group's metrics disjointly.
+        let snap = service.snapshot();
+        assert!(snap.counter("group.red.leader.accepted") > 0);
+        assert!(snap.counter("group.blue.leader.accepted") > 0);
+        assert_eq!(snap.counter("leader.accepted"), 0, "no unlabeled group");
+
+        service.shutdown();
+    }
+
+    /// A frame tagged for an unregistered enclave is dropped and counted,
+    /// and never perturbs registered groups.
+    #[test]
+    fn unregistered_group_tag_is_counted_and_dropped() {
+        let net = SimNet::new(SimConfig::default());
+        let listener = net.listen("svc").unwrap();
+        let service = LeaderService::spawn(Box::new(listener), ServiceConfig::default());
+        let red = service
+            .add_group(id("leader"), directory(&["alice"]), group_config("red"))
+            .unwrap();
+        let alice = join(&net, "a-red", "alice", "red", &red);
+
+        let ghost = Envelope {
+            msg_type: enclaves_wire::message::MsgType::GroupData,
+            sender: id("alice"),
+            recipient: id("leader"),
+            group: Some(gid("ghost")),
+            body: vec![0xAB; 24],
+        };
+        let link = net.connect("ghost-conn", "svc").unwrap();
+        link.send(encode(&ghost).into()).unwrap();
+        let deadline = Instant::now() + WAIT;
+        while service.unroutable_frames() == 0 {
+            assert!(Instant::now() < deadline, "unroutable frame not counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(red.stats().rejected, 0, "drop happens before any core");
+
+        // The registered group still works.
+        red.broadcast(b"fine").unwrap();
+        alice
+            .wait_event(WAIT, |e| matches!(e, MemberEvent::AdminData(_)))
+            .unwrap();
+        service.shutdown();
+    }
+
+    /// Registering the same tag twice is an error; removing frees the tag.
+    #[test]
+    fn duplicate_and_removed_group_tags() {
+        let net = SimNet::new(SimConfig::default());
+        let listener = net.listen("svc").unwrap();
+        let service = LeaderService::spawn(Box::new(listener), ServiceConfig::default());
+        let _red = service
+            .add_group(id("leader"), directory(&[]), group_config("red"))
+            .unwrap();
+        assert!(matches!(
+            service.add_group(id("leader"), directory(&[]), group_config("red")),
+            Err(CoreError::BadPhase { .. })
+        ));
+        assert!(service.remove_group(Some(&gid("red"))));
+        assert!(!service.remove_group(Some(&gid("red"))));
+        let _red2 = service
+            .add_group(id("leader"), directory(&[]), group_config("red"))
+            .unwrap();
+        assert_eq!(service.group_count(), 1);
+        service.shutdown();
+    }
+
+    /// One process hosts a thousand registered groups with a bounded
+    /// thread complement (acceptor + ticker + seal pool, not one thread
+    /// per group), and a group deep in the registry still serves members.
+    #[test]
+    fn thousand_groups_bounded_threads() {
+        let net = SimNet::new(SimConfig::default());
+        let listener = net.listen("svc").unwrap();
+        let service = LeaderService::spawn(
+            Box::new(listener),
+            ServiceConfig {
+                seal_threads: Some(2),
+                ..ServiceConfig::default()
+            },
+        );
+        for i in 0..1000 {
+            let tag = format!("g{i:04}");
+            let dir = if i == 937 {
+                directory(&["alice"])
+            } else {
+                directory(&[])
+            };
+            let mut config = group_config(&tag);
+            config.group = Some(gid(&tag));
+            service.add_group(id("leader"), dir, config).unwrap();
+        }
+        assert_eq!(service.group_count(), 1000);
+
+        // Let the shared ticker sweep the full registry a few times.
+        std::thread::sleep(Duration::from_millis(100));
+
+        #[cfg(target_os = "linux")]
+        {
+            let status = std::fs::read_to_string("/proc/self/status").unwrap();
+            let threads: usize = status
+                .lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!(
+                threads < 256,
+                "thread count must not scale with group count, got {threads}"
+            );
+        }
+
+        let deep = gid("g0937");
+        let link = net.connect("a-deep", "svc").unwrap();
+        let member = MemberRuntime::connect_with(
+            Box::new(link),
+            id("alice"),
+            id("leader"),
+            "alice-pw",
+            MemberOptions {
+                group: Some(deep),
+                ..MemberOptions::default()
+            },
+        )
+        .unwrap();
+        member.wait_joined(WAIT).unwrap();
+        service.shutdown();
+    }
+
+    /// The shared pool's output is byte-identical to the serial reference
+    /// seal, including after shutdown (inline fallback).
+    #[test]
+    fn seal_pool_matches_serial_reference() {
+        let users: Vec<String> = (0..40).map(|i| format!("m{i:02}")).collect();
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut dir = Directory::new();
+        for u in &refs {
+            dir.register_key(
+                &id(u),
+                LongTermKey::derive_from_password(&format!("pw-{u}"), u).unwrap(),
+            );
+        }
+        let mut leader = LeaderCore::with_rng(
+            id("leader"),
+            dir,
+            LeaderConfig {
+                rekey_policy: RekeyPolicy::Manual,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(7)),
+        );
+        let mut sessions: HashMap<ActorId, MemberSession> = HashMap::new();
+        for (i, u) in refs.iter().enumerate() {
+            let (session, init) = MemberSession::start_with_key(
+                id(u),
+                id("leader"),
+                LongTermKey::derive_from_password(&format!("pw-{u}"), u).unwrap(),
+                Box::new(SeededRng::from_seed(100 + i as u64)),
+            );
+            sessions.insert(id(u), session);
+            // Pump to quiescence across ALL sessions so the join notices
+            // to earlier members get acked and every channel is free to
+            // stage a job in the wide fan-out below.
+            let mut to_leader = vec![init];
+            while !to_leader.is_empty() {
+                let mut to_members = Vec::new();
+                for env in to_leader.drain(..) {
+                    if let Ok(out) = leader.handle(&env) {
+                        to_members.extend(out.outgoing);
+                    }
+                }
+                for env in to_members {
+                    if let Some(session) = sessions.get_mut(&env.recipient) {
+                        if let Ok(out) = session.handle(&env) {
+                            to_leader.extend(out.reply);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(leader.roster().len(), 40);
+        assert_eq!(leader.outstanding_count(), 0, "all channels free");
+        // An admin broadcast fans one job out per member (a tree rekey
+        // would stage only O(log N) jobs and dodge the pool).
+        let fanout = leader.begin_admin_broadcast(b"wide fanout").unwrap();
+        assert!(fanout.jobs.len() >= POOL_SEAL_MIN_JOBS);
+
+        let serial = LeaderCore::seal_admin_jobs(&fanout.jobs);
+        let pool = SealPool::new(4);
+        let pooled = pool.seal(&fanout.jobs);
+        assert_eq!(pooled.frames.len(), serial.frames.len());
+        for (p, s) in pooled.frames.iter().zip(serial.frames.iter()) {
+            assert_eq!(p.member, s.member);
+            assert_eq!(p.frame, s.frame, "pooled seal diverged for {}", p.member);
+        }
+
+        pool.shutdown();
+        let after = pool.seal(&fanout.jobs);
+        for (p, s) in after.frames.iter().zip(serial.frames.iter()) {
+            assert_eq!(p.frame, s.frame, "inline fallback diverged");
+        }
+    }
+}

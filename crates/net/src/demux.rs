@@ -1,0 +1,174 @@
+//! Transport-level group demultiplexing.
+//!
+//! A multi-enclave service carries frames for many independent groups
+//! over one listener. [`GroupDemux`] routes raw frames to per-group
+//! queues by *peeking* the group tag from the envelope header
+//! ([`enclaves_wire::message::Envelope::peek_group`]) — no body parse, no
+//! AEAD work, no allocation beyond the queue send — so a transport shard
+//! or proxy can fan frames out to per-group workers without touching the
+//! protocol layer.
+//!
+//! The header tag is **unauthenticated**: demux placement is a routing
+//! hint, never a security boundary. Isolation is enforced downstream by
+//! each group's core (explicit enclave check plus the AEAD header-AAD
+//! binding); a mislabeled frame simply arrives at a core that rejects it.
+
+use crate::link::Frame;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use enclaves_wire::message::Envelope;
+use enclaves_wire::GroupId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Routes raw frames to per-group queues by their (unauthenticated)
+/// envelope group tag. `None` is the legacy untagged group.
+#[derive(Default)]
+pub struct GroupDemux {
+    queues: RwLock<HashMap<Option<GroupId>, Sender<Frame>>>,
+    /// Frames whose header failed to parse.
+    malformed: AtomicU64,
+    /// Well-formed frames whose tag matched no registered queue (or whose
+    /// queue's receiver was dropped).
+    unroutable: AtomicU64,
+}
+
+impl std::fmt::Debug for GroupDemux {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupDemux")
+            .field("queues", &self.queues.read().len())
+            .field("malformed", &self.malformed.load(Ordering::Relaxed))
+            .field("unroutable", &self.unroutable.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl GroupDemux {
+    /// An empty demux: every frame is unroutable until queues register.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a queue for `group`, returning its receiving end. A
+    /// previous queue for the same tag (if any) is replaced; its receiver
+    /// starts reporting disconnection once drained.
+    pub fn register(&self, group: Option<GroupId>) -> Receiver<Frame> {
+        let (tx, rx) = unbounded();
+        self.queues.write().insert(group, tx);
+        rx
+    }
+
+    /// Removes the queue for `group`. Returns whether one was registered.
+    pub fn unregister(&self, group: Option<&GroupId>) -> bool {
+        self.queues.write().remove(&group.cloned()).is_some()
+    }
+
+    /// Routes one frame to the queue registered for its group tag.
+    /// Returns `true` if the frame was enqueued; malformed and unroutable
+    /// frames are counted and dropped.
+    pub fn route(&self, frame: Frame) -> bool {
+        let Ok(group) = Envelope::peek_group(&frame) else {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let queues = self.queues.read();
+        match queues.get(&group) {
+            Some(tx) if tx.send(frame).is_ok() => true,
+            _ => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Number of registered queues.
+    #[must_use]
+    pub fn queue_count(&self) -> usize {
+        self.queues.read().len()
+    }
+
+    /// Frames dropped because the envelope header failed to parse.
+    #[must_use]
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// Well-formed frames dropped because no live queue matched their tag.
+    #[must_use]
+    pub fn unroutable_frames(&self) -> u64 {
+        self.unroutable.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enclaves_wire::codec::encode;
+    use enclaves_wire::message::MsgType;
+    use enclaves_wire::ActorId;
+
+    fn frame(group: Option<&str>) -> Frame {
+        let env = Envelope {
+            msg_type: MsgType::GroupData,
+            sender: ActorId::new("alice").unwrap(),
+            recipient: ActorId::new("leader").unwrap(),
+            group: group.map(|g| GroupId::new(g).unwrap()),
+            body: vec![0xAB; 16],
+        };
+        encode(&env).into()
+    }
+
+    #[test]
+    fn routes_by_group_tag() {
+        let demux = GroupDemux::new();
+        let red = demux.register(Some(GroupId::new("red").unwrap()));
+        let blue = demux.register(Some(GroupId::new("blue").unwrap()));
+        let legacy = demux.register(None);
+
+        assert!(demux.route(frame(Some("red"))));
+        assert!(demux.route(frame(Some("blue"))));
+        assert!(demux.route(frame(Some("red"))));
+        assert!(demux.route(frame(None)));
+
+        assert_eq!(red.len(), 2);
+        assert_eq!(blue.len(), 1);
+        assert_eq!(legacy.len(), 1);
+        assert_eq!(demux.unroutable_frames(), 0);
+        assert_eq!(demux.malformed_frames(), 0);
+    }
+
+    #[test]
+    fn unknown_tag_and_garbage_are_counted_drops() {
+        let demux = GroupDemux::new();
+        let _red = demux.register(Some(GroupId::new("red").unwrap()));
+
+        assert!(!demux.route(frame(Some("green"))), "unregistered tag");
+        assert!(!demux.route(frame(None)), "no legacy queue registered");
+        assert_eq!(demux.unroutable_frames(), 2);
+
+        assert!(!demux.route(vec![0xFF, 0x00, 0x01].into()), "garbage");
+        assert_eq!(demux.malformed_frames(), 1);
+    }
+
+    #[test]
+    fn unregister_stops_routing() {
+        let demux = GroupDemux::new();
+        let red_id = GroupId::new("red").unwrap();
+        let red = demux.register(Some(red_id.clone()));
+        assert!(demux.route(frame(Some("red"))));
+        assert!(demux.unregister(Some(&red_id)));
+        assert!(!demux.unregister(Some(&red_id)), "already gone");
+        assert!(!demux.route(frame(Some("red"))));
+        assert_eq!(red.len(), 1, "frames routed before unregister remain");
+    }
+
+    #[test]
+    fn dropped_receiver_counts_as_unroutable() {
+        let demux = GroupDemux::new();
+        let rx = demux.register(None);
+        drop(rx);
+        assert!(!demux.route(frame(None)));
+        assert_eq!(demux.unroutable_frames(), 1);
+    }
+}

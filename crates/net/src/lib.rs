@@ -19,11 +19,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demux;
 pub mod link;
 pub mod sim;
 pub mod tcp;
 
 mod error;
 
+pub use demux::GroupDemux;
 pub use error::NetError;
 pub use link::{Frame, Link, Listener};

@@ -127,6 +127,26 @@ impl Snapshot {
         Ok(())
     }
 
+    /// Returns a copy with every metric name prefixed by `label` and a
+    /// dot: `leader.rekeys` under label `group.ops` becomes
+    /// `group.ops.leader.rekeys`. A multi-enclave service uses this to
+    /// merge its per-group registries into one snapshot whose names stay
+    /// disjoint per group — unlike a bare [`Snapshot::merge_from`], which
+    /// would sum same-named metrics across groups.
+    #[must_use]
+    pub fn with_prefix(&self, label: &str) -> Snapshot {
+        let rename = |name: &String| format!("{label}.{name}");
+        Snapshot {
+            counters: self.counters.iter().map(|(n, v)| (rename(n), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (rename(n), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (rename(n), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Encodes the snapshot as stable, integer-only JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -354,6 +374,26 @@ mod tests {
         assert_eq!(a.gauge("b.depth"), -6);
         assert_eq!(a.histograms["c.ns"].count, 6);
         assert_eq!(a.histograms["c.ns"].counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn with_prefix_relabels_every_section() {
+        let snap = sample().with_prefix("group.ops");
+        assert_eq!(snap.counter("group.ops.a.count"), 7);
+        assert_eq!(snap.gauge("group.ops.b.depth"), -3);
+        assert_eq!(snap.histograms["group.ops.c.ns"].count, 3);
+        assert!(snap.counters.keys().all(|k| k.starts_with("group.ops.")));
+    }
+
+    #[test]
+    fn prefixed_merge_keeps_groups_disjoint() {
+        let mut service = sample().with_prefix("group.ops");
+        service
+            .merge_from(&sample().with_prefix("group.eng"))
+            .unwrap();
+        assert_eq!(service.counter("group.ops.a.count"), 7);
+        assert_eq!(service.counter("group.eng.a.count"), 7);
+        assert_eq!(service.counter("a.count"), 0, "unprefixed name absent");
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum WireError {
     /// An actor identifier was empty, too long, or contained control
     /// characters.
     InvalidActorId,
+    /// A group identifier was empty, too long, or contained control
+    /// characters.
+    InvalidGroupId,
     /// A frame exceeded the transport's maximum frame size.
     FrameTooLarge,
     /// An I/O error occurred while framing (message preserved as text).
@@ -43,6 +46,7 @@ impl fmt::Display for WireError {
             WireError::UnknownTag { tag } => write!(f, "unknown tag byte {tag:#04x}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
             WireError::InvalidActorId => write!(f, "invalid actor identifier"),
+            WireError::InvalidGroupId => write!(f, "invalid group identifier"),
             WireError::FrameTooLarge => write!(f, "frame exceeds maximum size"),
             WireError::Io => write!(f, "i/o error during framing"),
         }

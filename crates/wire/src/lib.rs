@@ -4,6 +4,7 @@
 //! implementation in `enclaves-core`:
 //!
 //! * [`actor`] — actor (user/leader) identifiers.
+//! * [`group`] — enclave (group) identifiers for multi-enclave services.
 //! * [`codec`] — a small deterministic binary codec (type-tagged,
 //!   length-prefixed) with no reflection and no external schema.
 //! * [`message`] — the improved protocol of Section 3.2: envelopes carrying
@@ -28,8 +29,10 @@
 pub mod actor;
 pub mod codec;
 pub mod framing;
+pub mod group;
 pub mod legacy;
 pub mod message;
 
 pub use actor::ActorId;
 pub use codec::WireError;
+pub use group::GroupId;

@@ -9,6 +9,7 @@
 
 use crate::actor::ActorId;
 use crate::codec::{decode, encode, Decode, Encode, Reader, WireError, Writer};
+use crate::group::GroupId;
 use enclaves_crypto::aead::ChaCha20Poly1305;
 use enclaves_crypto::nonce::{AeadNonce, ProtocolNonce, AEAD_NONCE_LEN, PROTOCOL_NONCE_LEN};
 use enclaves_crypto::CryptoError;
@@ -75,6 +76,12 @@ impl MsgType {
     }
 }
 
+/// Flag bit set on the wire tag byte when the envelope carries a
+/// [`GroupId`]. Envelopes without a group id (single-group deployments)
+/// encode byte-identically to the pre-multigroup format, so legacy peers
+/// interoperate unchanged.
+const GROUP_TAG_FLAG: u8 = 0x80;
+
 /// A protocol message: cleartext header plus opaque body.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Envelope {
@@ -84,42 +91,96 @@ pub struct Envelope {
     pub sender: ActorId,
     /// Intended recipient.
     pub recipient: ActorId,
+    /// The enclave this frame belongs to, when addressed to (or sent by)
+    /// a multi-enclave service. `None` is the legacy single-group wire
+    /// form. The group id is part of [`Envelope::header_aad`], so every
+    /// seal is cryptographically bound to its enclave: a frame sealed
+    /// for enclave A can never verify in enclave B, even when both
+    /// enclaves share a member name and password.
+    pub group: Option<GroupId>,
     /// Body bytes (a [`SealedBody`] encoding for encrypted messages).
     pub body: Vec<u8>,
 }
 
 impl Envelope {
-    /// The header bytes bound as AEAD associated data: re-labeling or
-    /// re-addressing a sealed message breaks authentication.
+    /// The wire tag byte: the message type, with [`GROUP_TAG_FLAG`] set
+    /// when a group id follows the recipient.
+    fn tag_byte(&self) -> u8 {
+        let tag = self.msg_type as u8;
+        if self.group.is_some() {
+            tag | GROUP_TAG_FLAG
+        } else {
+            tag
+        }
+    }
+
+    /// The header bytes bound as AEAD associated data: re-labeling,
+    /// re-addressing, or re-homing a sealed message into another enclave
+    /// breaks authentication.
     #[must_use]
     pub fn header_aad(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u8(self.msg_type as u8);
+        w.put_u8(self.tag_byte());
         self.sender.encode(&mut w);
         self.recipient.encode(&mut w);
+        if let Some(group) = &self.group {
+            group.encode(&mut w);
+        }
         w.finish()
+    }
+
+    /// Reads only the group id out of an encoded envelope, without
+    /// copying the body — the cheap header peek a multi-enclave service
+    /// uses to demux an incoming frame to its group before any
+    /// cryptography runs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from the header fields (the body is not
+    /// validated).
+    pub fn peek_group(bytes: &[u8]) -> Result<Option<GroupId>, WireError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.take_u8()?;
+        MsgType::from_u8(tag & !GROUP_TAG_FLAG)?;
+        let _sender = ActorId::decode(&mut r)?;
+        let _recipient = ActorId::decode(&mut r)?;
+        if tag & GROUP_TAG_FLAG != 0 {
+            Ok(Some(GroupId::decode(&mut r)?))
+        } else {
+            Ok(None)
+        }
     }
 }
 
 impl Encode for Envelope {
     fn encode(&self, w: &mut Writer) {
-        w.put_u8(self.msg_type as u8);
+        w.put_u8(self.tag_byte());
         self.sender.encode(w);
         self.recipient.encode(w);
+        if let Some(group) = &self.group {
+            group.encode(w);
+        }
         w.put_bytes(&self.body);
     }
 }
 
 impl Decode for Envelope {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let msg_type = MsgType::from_u8(r.take_u8()?)?;
+        let tag = r.take_u8()?;
+        let msg_type = MsgType::from_u8(tag & !GROUP_TAG_FLAG)?;
         let sender = ActorId::decode(r)?;
         let recipient = ActorId::decode(r)?;
+        let group = if tag & GROUP_TAG_FLAG != 0 {
+            Some(GroupId::decode(r)?)
+        } else {
+            None
+        };
         let body = r.take_bytes()?.to_vec();
         Ok(Envelope {
             msg_type,
             sender,
             recipient,
+            group,
             body,
         })
     }
@@ -559,14 +620,31 @@ impl Decode for GroupDataWire {
     }
 }
 
-/// Associated data for group-data seals: binds the original sender and the
-/// key epoch, but not the recipient (group data is multicast).
+/// Appends the multicast AAD group-binding suffix: a presence byte, then
+/// the group id when there is one. Multicast receivers derive the group
+/// from their *own* configuration (not from the attacker-controlled
+/// header), so a frame sealed in enclave A fails authentication against
+/// any member of enclave B.
+fn put_group(w: &mut Writer, group: Option<&GroupId>) {
+    match group {
+        Some(g) => {
+            w.put_u8(1);
+            g.encode(w);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+/// Associated data for group-data seals: binds the original sender, the
+/// key epoch, and the enclave — but not the recipient (group data is
+/// multicast).
 #[must_use]
-pub fn group_data_aad(sender: &ActorId, epoch: u64) -> Vec<u8> {
+pub fn group_data_aad(sender: &ActorId, epoch: u64, group: Option<&GroupId>) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(MsgType::GroupData as u8);
     sender.encode(&mut w);
     w.put_u64(epoch);
+    put_group(&mut w, group);
     w.finish()
 }
 
@@ -609,15 +687,21 @@ impl Decode for GroupBroadcastWire {
 }
 
 /// Associated data for group-broadcast seals: binds the originating
-/// leader, the key epoch, and the sequence number — but not the
-/// recipient, since the identical frame goes to every member.
+/// leader, the key epoch, the sequence number, and the enclave — but not
+/// the recipient, since the identical frame goes to every member.
 #[must_use]
-pub fn group_broadcast_aad(leader: &ActorId, epoch: u64, seq: u64) -> Vec<u8> {
+pub fn group_broadcast_aad(
+    leader: &ActorId,
+    epoch: u64,
+    seq: u64,
+    group: Option<&GroupId>,
+) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(MsgType::GroupBroadcast as u8);
     leader.encode(&mut w);
     w.put_u64(epoch);
     w.put_u64(seq);
+    put_group(&mut w, group);
     w.finish()
 }
 
@@ -691,7 +775,7 @@ impl Decode for PathUpdateWire {
 /// refreshed leaf, and the target node. Tampering with `leaf_count` or
 /// `updated_leaf` would silently change the member's derive-up walk, so
 /// both are authenticated here rather than trusted from the plaintext
-/// outer frame.
+/// outer frame. The enclave is bound last, like the other multicast AADs.
 #[must_use]
 pub fn path_update_aad(
     leader: &ActorId,
@@ -699,6 +783,7 @@ pub fn path_update_aad(
     leaf_count: u32,
     updated_leaf: u32,
     node_index: u32,
+    group: Option<&GroupId>,
 ) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(MsgType::PathUpdate as u8);
@@ -707,6 +792,7 @@ pub fn path_update_aad(
     w.put_u32(leaf_count);
     w.put_u32(updated_leaf);
     w.put_u32(node_index);
+    put_group(&mut w, group);
     w.finish()
 }
 
@@ -797,16 +883,165 @@ mod tests {
         ProtocolNonce::from_bytes([b; 16])
     }
 
+    fn ops() -> GroupId {
+        GroupId::new("ops").unwrap()
+    }
+
     #[test]
     fn envelope_roundtrip() {
         let env = Envelope {
             msg_type: MsgType::AdminMsg,
             sender: leader(),
             recipient: alice(),
+            group: None,
             body: vec![1, 2, 3],
         };
         let bytes = encode(&env);
         assert_eq!(decode::<Envelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn grouped_envelope_roundtrip() {
+        let env = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: leader(),
+            recipient: alice(),
+            group: Some(ops()),
+            body: vec![1, 2, 3],
+        };
+        let bytes = encode(&env);
+        assert_eq!(decode::<Envelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn ungrouped_envelope_is_byte_identical_to_legacy_format() {
+        // The legacy (pre-multigroup) encoding: tag byte, sender,
+        // recipient, body — no flag bit, no group field. A `group: None`
+        // envelope must still produce exactly these bytes.
+        let env = Envelope {
+            msg_type: MsgType::GroupData,
+            sender: alice(),
+            recipient: leader(),
+            group: None,
+            body: vec![9, 8, 7],
+        };
+        let mut w = Writer::new();
+        w.put_u8(MsgType::GroupData as u8);
+        alice().encode(&mut w);
+        leader().encode(&mut w);
+        w.put_bytes(&[9, 8, 7]);
+        assert_eq!(encode(&env), w.finish());
+    }
+
+    #[test]
+    fn peek_group_reads_header_only() {
+        let grouped = Envelope {
+            msg_type: MsgType::Heartbeat,
+            sender: alice(),
+            recipient: leader(),
+            group: Some(ops()),
+            // Deliberately *not* a valid length-prefixed body: the peek
+            // must not look at it.
+            body: vec![],
+        };
+        let mut bytes = encode(&grouped);
+        // Truncate into the body's length prefix; the header is intact.
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Envelope::peek_group(&bytes).unwrap(), Some(ops()));
+
+        let plain = Envelope {
+            msg_type: MsgType::Heartbeat,
+            sender: alice(),
+            recipient: leader(),
+            group: None,
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(Envelope::peek_group(&encode(&plain)).unwrap(), None);
+        assert!(Envelope::peek_group(&[]).is_err());
+        assert!(Envelope::peek_group(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn header_aad_binds_the_group() {
+        let base = Envelope {
+            msg_type: MsgType::AdminMsg,
+            sender: leader(),
+            recipient: alice(),
+            group: Some(ops()),
+            body: vec![],
+        };
+        let other_group = Envelope {
+            group: Some(GroupId::new("eng").unwrap()),
+            ..base.clone()
+        };
+        let no_group = Envelope {
+            group: None,
+            ..base.clone()
+        };
+        assert_ne!(base.header_aad(), other_group.header_aad());
+        assert_ne!(base.header_aad(), no_group.header_aad());
+        assert_ne!(other_group.header_aad(), no_group.header_aad());
+    }
+
+    #[test]
+    fn sealed_frame_cannot_cross_enclaves() {
+        // Same member name, same password (hence same key) registered in
+        // two enclaves of one service: the group id in the AAD is the
+        // *only* thing separating their seals, and it must be enough.
+        let key = [0x5au8; 32];
+        let n = AeadNonce::from_bytes([3; 12]);
+        let init = AuthInitPlain {
+            user: alice(),
+            leader: leader(),
+            nonce: nonce(7),
+        };
+        let env_a = Envelope {
+            msg_type: MsgType::AuthInitReq,
+            sender: alice(),
+            recipient: leader(),
+            group: Some(ops()),
+            body: vec![],
+        };
+        let env_b = Envelope {
+            group: Some(GroupId::new("eng").unwrap()),
+            ..env_a.clone()
+        };
+        let body = seal(&key, n, &env_a.header_aad(), &init);
+        assert!(open::<AuthInitPlain>(&key, &env_a.header_aad(), &body).is_ok());
+        assert!(matches!(
+            open::<AuthInitPlain>(&key, &env_b.header_aad(), &body),
+            Err(OpenError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn multicast_aads_bind_the_group() {
+        let ops = ops();
+        let eng = GroupId::new("eng").unwrap();
+        assert_ne!(
+            group_data_aad(&alice(), 3, Some(&ops)),
+            group_data_aad(&alice(), 3, Some(&eng))
+        );
+        assert_ne!(
+            group_data_aad(&alice(), 3, Some(&ops)),
+            group_data_aad(&alice(), 3, None)
+        );
+        assert_ne!(
+            group_broadcast_aad(&leader(), 3, 9, Some(&ops)),
+            group_broadcast_aad(&leader(), 3, 9, Some(&eng))
+        );
+        assert_ne!(
+            group_broadcast_aad(&leader(), 3, 9, Some(&ops)),
+            group_broadcast_aad(&leader(), 3, 9, None)
+        );
+        assert_ne!(
+            path_update_aad(&leader(), 5, 8, 3, 9, Some(&ops)),
+            path_update_aad(&leader(), 5, 8, 3, 9, Some(&eng))
+        );
+        assert_ne!(
+            path_update_aad(&leader(), 5, 8, 3, 9, Some(&ops)),
+            path_update_aad(&leader(), 5, 8, 3, 9, None)
+        );
     }
 
     #[test]
@@ -911,6 +1146,7 @@ mod tests {
             msg_type: MsgType::AuthAckKey,
             sender: alice(),
             recipient: leader(),
+            group: None,
             body: vec![],
         };
         let env2 = Envelope {
@@ -1052,14 +1288,14 @@ mod tests {
 
     #[test]
     fn path_update_aad_binds_every_field() {
-        let base = path_update_aad(&leader(), 5, 8, 3, 9);
-        assert_ne!(base, path_update_aad(&alice(), 5, 8, 3, 9));
-        assert_ne!(base, path_update_aad(&leader(), 6, 8, 3, 9));
-        assert_ne!(base, path_update_aad(&leader(), 5, 9, 3, 9));
-        assert_ne!(base, path_update_aad(&leader(), 5, 8, 4, 9));
-        assert_ne!(base, path_update_aad(&leader(), 5, 8, 3, 10));
+        let base = path_update_aad(&leader(), 5, 8, 3, 9, None);
+        assert_ne!(base, path_update_aad(&alice(), 5, 8, 3, 9, None));
+        assert_ne!(base, path_update_aad(&leader(), 6, 8, 3, 9, None));
+        assert_ne!(base, path_update_aad(&leader(), 5, 9, 3, 9, None));
+        assert_ne!(base, path_update_aad(&leader(), 5, 8, 4, 9, None));
+        assert_ne!(base, path_update_aad(&leader(), 5, 8, 3, 10, None));
         // Distinct domain from the broadcast AAD.
-        assert_ne!(base, group_broadcast_aad(&leader(), 5, 9));
+        assert_ne!(base, group_broadcast_aad(&leader(), 5, 9, None));
     }
 
     #[test]
@@ -1075,12 +1311,12 @@ mod tests {
 
     #[test]
     fn group_broadcast_aad_binds_leader_epoch_and_seq() {
-        let base = group_broadcast_aad(&leader(), 3, 9);
-        assert_ne!(base, group_broadcast_aad(&alice(), 3, 9));
-        assert_ne!(base, group_broadcast_aad(&leader(), 4, 9));
-        assert_ne!(base, group_broadcast_aad(&leader(), 3, 10));
+        let base = group_broadcast_aad(&leader(), 3, 9, None);
+        assert_ne!(base, group_broadcast_aad(&alice(), 3, 9, None));
+        assert_ne!(base, group_broadcast_aad(&leader(), 4, 9, None));
+        assert_ne!(base, group_broadcast_aad(&leader(), 3, 10, None));
         // Distinct from the member-originated group-data AAD domain.
-        assert_ne!(base, group_data_aad(&leader(), 3));
+        assert_ne!(base, group_data_aad(&leader(), 3, None));
     }
 
     #[test]

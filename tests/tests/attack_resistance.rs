@@ -151,6 +151,7 @@ fn forged_close_does_not_expel() {
         msg_type: enclaves_wire::message::MsgType::ReqClose,
         sender: id("alice"),
         recipient: id("leader"),
+        group: None,
         body: enclaves_wire::message::seal(
             &[0x66; 32],
             enclaves_crypto::nonce::AeadNonce::from_bytes([0; 12]),
@@ -158,6 +159,7 @@ fn forged_close_does_not_expel() {
                 msg_type: enclaves_wire::message::MsgType::ReqClose,
                 sender: id("alice"),
                 recipient: id("leader"),
+                group: None,
                 body: vec![],
             }
             .header_aad(),

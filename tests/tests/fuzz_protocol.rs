@@ -121,6 +121,7 @@ proptest! {
             msg_type: MsgType::from_u8(msg_type).unwrap(),
             sender: if to_leader { member_id(0) } else { ActorId::new("leader").unwrap() },
             recipient: if to_leader { ActorId::new("leader").unwrap() } else { member_id(0) },
+            group: None,
             body,
         };
         if to_leader {
