@@ -28,6 +28,16 @@
 //! the same total membership hosted as 1000 × 32-member enclaves versus
 //! one 32 000-member group, gated at the sharded side staying within 2×
 //! of the monolith per sealed byte.
+//!
+//! With `--load` it runs the real-socket load rig (EXPERIMENTS.md row
+//! S16) and writes `BENCH_load.json`: a leader service on the
+//! readiness-loop transport driven by a swarm child process
+//! (re-executing this binary with the internal `--load-swarm` flag)
+//! hosting 10 000 virtual members — one real TCP connection each —
+//! through a join storm, broadcast waves, a full rekey, and churn.
+//! Gated on both processes staying under 64 threads regardless of member
+//! count, plus join/broadcast p99 ceilings. `--load-members N` overrides
+//! the member count (the CI smoke step runs N = 1000).
 
 use enclaves_bench::FanoutGroup;
 use enclaves_core::attacks;
@@ -492,7 +502,173 @@ fn run_multigroup() {
     );
 }
 
+/// Hard ceilings for the load-rig gates. Thread counts are the headline
+/// claim (connection count must not leak into thread count); the latency
+/// ceilings are deliberately loose — they catch wedges and quadratic
+/// blowups, not micro-regressions, because CI hosts vary wildly.
+const LOAD_MAX_THREADS: u64 = 64;
+const LOAD_MAX_JOIN_P99_NS: u64 = 120_000_000_000;
+const LOAD_MAX_BROADCAST_P99_NS: u64 = 30_000_000_000;
+
+fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn run_load() {
+    let members = flag_value("--load-members")
+        .map(|v| v.parse().expect("--load-members takes a number"))
+        .unwrap_or(10_000);
+    let cfg = enclaves_load_test::LoadConfig {
+        members,
+        // Churn a fixed 1% of the fleet (min 1) so small smoke runs and
+        // the 10k design point exercise the same relative churn.
+        churn: (members / 100).max(1),
+        ..enclaves_load_test::LoadConfig::default()
+    };
+
+    println!("-- Load rig: readiness-loop transport at scale (row S16) -------");
+    println!();
+    println!(
+        "  {} members x 1 TCP connection, {} broadcast waves, {}-member churn",
+        cfg.members, cfg.waves, cfg.churn
+    );
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--load-swarm");
+    let mut coord =
+        enclaves_load_test::ProcessCoordinator::spawn(&mut cmd).expect("spawn swarm child");
+
+    let registry = enclaves_obs::Registry::new();
+    let start = Instant::now();
+    let outcome =
+        enclaves_load_test::run_leader(&cfg, &registry, &mut coord).expect("load rig run");
+    let wall = start.elapsed();
+
+    let row = |name: &str, s: &enclaves_load_test::Summary| {
+        println!(
+            "  {name:>10} {:>7} samples  p50 {:>9.3}ms  p99 {:>9.3}ms  p999 {:>9.3}ms",
+            s.count,
+            s.p50 as f64 / 1e6,
+            s.p99 as f64 / 1e6,
+            s.p999 as f64 / 1e6,
+        );
+    };
+    println!();
+    row("join", &outcome.join);
+    row("broadcast", &outcome.broadcast);
+    row("rekey", &outcome.rekey);
+    row("rejoin", &outcome.rejoin);
+    println!();
+    println!(
+        "  threads: leader {} / swarm {} (gate < {LOAD_MAX_THREADS}); wall {:.1}s",
+        outcome.leader_threads,
+        outcome.swarm_threads,
+        wall.as_secs_f64()
+    );
+
+    // `>=`, not `==`: the swarm self-heals dropped connections by
+    // rejoining, and a healed member legitimately contributes an extra
+    // join (and, mid-rotation, an extra rekey) sample.
+    assert!(outcome.join.count >= cfg.members, "every member joined");
+    assert!(
+        outcome.broadcast.count >= cfg.members * cfg.waves,
+        "every broadcast delivered"
+    );
+    assert!(outcome.rekey.count >= cfg.members, "every member rekeyed");
+    assert!(outcome.rejoin.count >= cfg.churn, "churn cohort joined");
+    assert!(
+        outcome.leader_threads < LOAD_MAX_THREADS,
+        "leader threads {} must stay under {LOAD_MAX_THREADS} regardless of member count",
+        outcome.leader_threads
+    );
+    assert!(
+        outcome.swarm_threads < LOAD_MAX_THREADS,
+        "swarm threads {} must stay under {LOAD_MAX_THREADS} regardless of member count",
+        outcome.swarm_threads
+    );
+    assert!(
+        outcome.join.p99 < LOAD_MAX_JOIN_P99_NS,
+        "join p99 {}ns over ceiling",
+        outcome.join.p99
+    );
+    assert!(
+        outcome.broadcast.p99 < LOAD_MAX_BROADCAST_P99_NS,
+        "broadcast p99 {}ns over ceiling",
+        outcome.broadcast.p99
+    );
+
+    let snap = registry.snapshot();
+    let mut json = String::from("{\n  \"experiment\": \"load_rig\",\n");
+    let _ = writeln!(json, "  \"members\": {},", outcome.members);
+    let _ = writeln!(json, "  \"waves\": {},", outcome.waves);
+    let _ = writeln!(json, "  \"churn\": {},", outcome.churn);
+    let _ = writeln!(json, "  \"wall_ns\": {},", wall.as_nanos());
+    let _ = writeln!(json, "  \"leader_threads\": {},", outcome.leader_threads);
+    let _ = writeln!(json, "  \"swarm_threads\": {},", outcome.swarm_threads);
+    for (name, s) in [
+        ("join", &outcome.join),
+        ("broadcast", &outcome.broadcast),
+        ("rekey", &outcome.rekey),
+        ("rejoin", &outcome.rejoin),
+    ] {
+        let _ = writeln!(json, "  \"{name}\": {{");
+        let _ = writeln!(json, "    \"count\": {},", s.count);
+        let _ = writeln!(json, "    \"min_ns\": {},", s.min);
+        let _ = writeln!(json, "    \"p50_ns\": {},", s.p50);
+        let _ = writeln!(json, "    \"p99_ns\": {},", s.p99);
+        let _ = writeln!(json, "    \"p999_ns\": {},", s.p999);
+        let _ = writeln!(json, "    \"max_ns\": {}", s.max);
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(
+        json,
+        "  \"loop_frames_in\": {},",
+        snap.counter("net.loop.frames_in")
+    );
+    let _ = writeln!(
+        json,
+        "  \"loop_frames_out\": {},",
+        snap.counter("net.loop.frames_out")
+    );
+    let _ = writeln!(
+        json,
+        "  \"loop_partial_writes\": {},",
+        snap.counter("net.loop.partial_writes")
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"enforced (threads < {LOAD_MAX_THREADS}, join p99 < {}s, broadcast p99 < {}s)\"",
+        LOAD_MAX_JOIN_P99_NS / 1_000_000_000,
+        LOAD_MAX_BROADCAST_P99_NS / 1_000_000_000
+    );
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json");
+    std::fs::write(path, json).expect("write BENCH_load.json");
+    println!("  all load gates passed; wrote BENCH_load.json");
+}
+
 fn main() {
+    // Internal: this process is a swarm child spawned by `--load`. Stdio
+    // belongs to the rig protocol, so print nothing and exit on result.
+    if std::env::args().any(|a| a == "--load-swarm") {
+        let mut coord = enclaves_load_test::StdioCoordinator;
+        if let Err(e) = enclaves_load_test::run_swarm(&mut coord) {
+            eprintln!("swarm child failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--load") {
+        run_load();
+        return;
+    }
     if std::env::args().any(|a| a == "--fanout") {
         run_fanout();
         return;

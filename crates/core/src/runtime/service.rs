@@ -36,7 +36,7 @@ use crate::protocol::{
 };
 use crate::CoreError;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use enclaves_net::{Frame, Link, Listener};
+use enclaves_net::{Frame, Link, Listener, MuxEndpoint, MuxEvent, MuxNet, MuxToken};
 use enclaves_wire::codec::{decode, encode};
 use enclaves_wire::message::Envelope;
 use enclaves_wire::{ActorId, GroupId};
@@ -177,6 +177,51 @@ impl SealPool {
 }
 
 // ---------------------------------------------------------------------------
+// Route sinks
+// ---------------------------------------------------------------------------
+
+/// Where frames routed to one authenticated member go: the per-link
+/// outbound channel of a threaded connection, or a connection token on a
+/// readiness-loop [`MuxNet`]. The routing tables and the dispatch paths
+/// are identical for both transports.
+#[derive(Clone)]
+enum RouteSink {
+    /// Thread-per-link backend: a channel drained by that link's handler
+    /// thread.
+    Channel(Sender<Frame>),
+    /// Readiness-loop backend: frames are enqueued on the loop's bounded
+    /// outbound queue for this connection.
+    Mux { net: MuxNet, token: MuxToken },
+}
+
+impl RouteSink {
+    fn send(&self, frame: Frame) {
+        match self {
+            // A dead link (receiver gone) or a severed mux connection
+            // drops the frame, as before: the transport guarantees
+            // nothing, the ARQ layer recovers.
+            RouteSink::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            RouteSink::Mux { net, token } => {
+                let _ = net.send_to(*token, frame);
+            }
+        }
+    }
+
+    /// Whether both sinks refer to the same underlying connection — the
+    /// guard that keeps a late cleanup of a dead link from severing the
+    /// route a reconnected member rebound on a newer one.
+    fn same_conn(&self, other: &RouteSink) -> bool {
+        match (self, other) {
+            (RouteSink::Channel(a), RouteSink::Channel(b)) => a.same_channel(b),
+            (RouteSink::Mux { token: a, .. }, RouteSink::Mux { token: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Per-group state
 // ---------------------------------------------------------------------------
 
@@ -185,7 +230,7 @@ impl SealPool {
 struct GroupEntry {
     core: Mutex<LeaderCore>,
     /// Links bound to authenticated identities *within this group*.
-    routes: Mutex<HashMap<ActorId, Sender<Frame>>>,
+    routes: Mutex<HashMap<ActorId, RouteSink>>,
     events_tx: Sender<LeaderEvent>,
     /// Bumped on every roster change; [`GroupHandle::wait_member`] blocks
     /// on the paired condvar instead of sleep-polling.
@@ -202,14 +247,14 @@ impl GroupEntry {
     /// Routes envelopes to their recipients' links; unroutable envelopes
     /// are handed back to the caller-supplied fallback (the current link,
     /// during authentication).
-    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&Sender<Frame>>) {
+    fn dispatch(&self, outgoing: Vec<Envelope>, fallback: Option<&RouteSink>) {
         let routes = self.routes.lock();
         for env in outgoing {
             let frame: Frame = encode(&env).into();
-            if let Some(tx) = routes.get(&env.recipient) {
-                let _ = tx.send(frame);
+            if let Some(sink) = routes.get(&env.recipient) {
+                sink.send(frame);
             } else if let Some(fb) = fallback {
-                let _ = fb.send(frame);
+                fb.send(frame);
             }
         }
     }
@@ -219,8 +264,8 @@ impl GroupEntry {
     fn dispatch_shared(&self, frame: &Frame, recipients: &[ActorId]) {
         let routes = self.routes.lock();
         for recipient in recipients {
-            if let Some(tx) = routes.get(recipient) {
-                let _ = tx.send(Frame::clone(frame));
+            if let Some(sink) = routes.get(recipient) {
+                sink.send(Frame::clone(frame));
             }
         }
     }
@@ -231,8 +276,8 @@ impl GroupEntry {
     fn dispatch_frames<I: IntoIterator<Item = (ActorId, Frame)>>(&self, frames: I) {
         let routes = self.routes.lock();
         for (recipient, frame) in frames {
-            if let Some(tx) = routes.get(&recipient) {
-                let _ = tx.send(frame);
+            if let Some(sink) = routes.get(&recipient) {
+                sink.send(frame);
             }
         }
     }
@@ -357,7 +402,9 @@ impl std::fmt::Debug for ServiceConfig {
 /// model.
 pub struct LeaderService {
     shared: Arc<ServiceShared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    /// I/O threads: the acceptor (thread-per-link mode) or the fixed
+    /// shard handlers (readiness-loop mode).
+    io: Vec<std::thread::JoinHandle<()>>,
     ticker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -375,21 +422,7 @@ impl LeaderService {
     /// [`LeaderService::add_group`].
     #[must_use]
     pub fn spawn(listener: Box<dyn Listener>, config: ServiceConfig) -> Self {
-        let clock: Arc<dyn Clock> = config
-            .clock
-            .clone()
-            .unwrap_or_else(|| Arc::new(RealClock::new()));
-        let seal_threads = config.seal_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
-        let shared = Arc::new(ServiceShared {
-            registry: RwLock::new(HashMap::new()),
-            clock,
-            poll: config.poll,
-            seal: SealPool::new(seal_threads),
-            running: AtomicBool::new(true),
-            unroutable: AtomicU64::new(0),
-        });
+        let shared = Self::build_shared(&config);
 
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -410,15 +443,73 @@ impl LeaderService {
             })
             .expect("spawn service acceptor");
 
-        // One liveness timer for the whole service: every poll interval it
-        // sweeps the registry and asks each group's core which ARQ frames
-        // are due and which members have exhausted their budget or missed
-        // their heartbeat deadline. Each group's deadlines come from its
-        // own core state against the shared clock, so one group's load
-        // cannot stretch another's timeouts (the tick-fairness test pins
-        // this).
-        let tick_shared = Arc::clone(&shared);
-        let ticker = std::thread::Builder::new()
+        let ticker = Self::spawn_ticker(&shared);
+        LeaderService {
+            shared,
+            io: vec![acceptor],
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Spawns the service in readiness-loop mode on a [`MuxEndpoint`]
+    /// (from [`MuxNet::listen_events`]): no acceptor thread and no
+    /// thread-per-connection — one handler thread per event shard drains
+    /// accepted/frame/closed events for the connections pinned to it, so
+    /// the whole service runs at `shards + 2 + seal_threads` threads
+    /// regardless of how many members connect.
+    ///
+    /// The caller keeps the endpoint's [`MuxNet`] alive and shuts it down
+    /// *after* [`LeaderService::shutdown`].
+    #[must_use]
+    pub fn spawn_mux(mut endpoint: MuxEndpoint, config: ServiceConfig) -> Self {
+        let shared = Self::build_shared(&config);
+        let net = endpoint.net();
+        let mut io = Vec::new();
+        for (i, shard_rx) in endpoint.take_shards().into_iter().enumerate() {
+            let shard_shared = Arc::clone(&shared);
+            let shard_net = net.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("enclaves-svc-shard-{i}"))
+                .spawn(move || shard_loop(&shard_shared, &shard_net, &shard_rx))
+                .expect("spawn service shard handler");
+            io.push(handle);
+        }
+        let ticker = Self::spawn_ticker(&shared);
+        LeaderService {
+            shared,
+            io,
+            ticker: Some(ticker),
+        }
+    }
+
+    fn build_shared(config: &ServiceConfig) -> Arc<ServiceShared> {
+        let clock: Arc<dyn Clock> = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(RealClock::new()));
+        let seal_threads = config.seal_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        Arc::new(ServiceShared {
+            registry: RwLock::new(HashMap::new()),
+            clock,
+            poll: config.poll,
+            seal: SealPool::new(seal_threads),
+            running: AtomicBool::new(true),
+            unroutable: AtomicU64::new(0),
+        })
+    }
+
+    /// One liveness timer for the whole service: every poll interval it
+    /// sweeps the registry and asks each group's core which ARQ frames
+    /// are due and which members have exhausted their budget or missed
+    /// their heartbeat deadline. Each group's deadlines come from its
+    /// own core state against the shared clock, so one group's load
+    /// cannot stretch another's timeouts (the tick-fairness test pins
+    /// this).
+    fn spawn_ticker(shared: &Arc<ServiceShared>) -> std::thread::JoinHandle<()> {
+        let tick_shared = Arc::clone(shared);
+        std::thread::Builder::new()
             .name("enclaves-svc-ticker".into())
             .spawn(move || {
                 while tick_shared.running.load(Ordering::Relaxed) {
@@ -438,13 +529,7 @@ impl LeaderService {
                     }
                 }
             })
-            .expect("spawn service ticker");
-
-        LeaderService {
-            shared,
-            acceptor: Some(acceptor),
-            ticker: Some(ticker),
-        }
+            .expect("spawn service ticker")
     }
 
     /// Registers a group under the tag in `config.group` (`None` = the
@@ -541,10 +626,11 @@ impl LeaderService {
         merged
     }
 
-    /// Stops the acceptor, ticker, seal workers, and handler threads.
+    /// Stops the I/O threads (acceptor or shard handlers), ticker, and
+    /// seal workers.
     pub fn shutdown(mut self) {
         self.shared.running.store(false, Ordering::Relaxed);
-        if let Some(h) = self.acceptor.take() {
+        for h in self.io.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.ticker.take() {
@@ -740,131 +826,197 @@ impl GroupHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Link handling
+// Connection handling (shared by both transports)
 // ---------------------------------------------------------------------------
 
-/// Per-link handler: decodes frames, demultiplexes them to the entry
-/// registered under the envelope's group tag, pumps them into that
-/// group's core, and writes routed frames out. One link can in principle
-/// carry traffic for several groups (each binding its own route), though
-/// honest members speak for one.
+/// Per-connection ingestion state, transport-independent: where replies
+/// to this connection go, and which routes it has bound (one per
+/// (group, identity) whose freshness was proven on it) for cleanup.
+struct ConnCtx {
+    sink: RouteSink,
+    bound: Vec<(Arc<GroupEntry>, ActorId)>,
+}
+
+impl ConnCtx {
+    fn new(sink: RouteSink) -> Self {
+        ConnCtx {
+            sink,
+            bound: Vec::new(),
+        }
+    }
+
+    /// Ingests one inbound frame: decodes it, demultiplexes to the entry
+    /// registered under the envelope's group tag, pumps it into that
+    /// group's core, and routes the resulting frames. One connection can
+    /// in principle carry traffic for several groups (each binding its
+    /// own route), though honest members speak for one.
+    fn handle_frame(&mut self, shared: &ServiceShared, frame: &Frame) {
+        let Ok(env) = decode::<Envelope>(frame) else {
+            return; // malformed frame: drop
+        };
+        // Demux strictly by the (unauthenticated) group tag: a frame
+        // only ever reaches the enclave whose tag it carries, and that
+        // enclave's core re-checks the tag against its own configuration
+        // plus the AEAD binding.
+        let entry = shared.registry.read().get(&env.group).cloned();
+        let Some(entry) = entry else {
+            shared.unroutable.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let sender = env.sender.clone();
+        // Read the clock before taking the core lock so the liveness
+        // bookkeeping sees arrival time, not lock-grant time.
+        let now = shared.clock.now();
+        let result = entry.core.lock().handle_at(&env, now);
+        match result {
+            Ok(output) => {
+                // Bind this connection to the claimed identity only on
+                // messages whose acceptance proves *freshness*
+                // (AuthAckKey/Ack echo a one-time nonce under the
+                // session key). Accepted-but-replayable messages
+                // (GroupData, duplicate AuthInitReq answered from the
+                // ARQ cache) must NOT bind, or an attacker replaying a
+                // captured frame from its own connection could capture
+                // the member's route — a denial of service.
+                let proves_freshness = matches!(
+                    env.msg_type,
+                    enclaves_wire::message::MsgType::AuthAckKey
+                        | enclaves_wire::message::MsgType::Ack
+                );
+                let already = self
+                    .bound
+                    .iter()
+                    .any(|(e, u)| Arc::ptr_eq(e, &entry) && u == &sender);
+                if proves_freshness && !already {
+                    entry
+                        .routes
+                        .lock()
+                        .insert(sender.clone(), self.sink.clone());
+                    self.bound.push((Arc::clone(&entry), sender.clone()));
+                }
+                // A departing member's route is dropped so a later
+                // rejoin (possibly on a new connection) starts clean.
+                for event in &output.events {
+                    if let LeaderEvent::MemberLeft(user) | LeaderEvent::MemberEvicted(user) = event
+                    {
+                        entry.routes.lock().remove(user);
+                    }
+                }
+                if env.msg_type == enclaves_wire::message::MsgType::AuthInitReq {
+                    // Handshake replies always return on the connection
+                    // the request arrived on: the requester is not (or no
+                    // longer) route-bound, and any stale route from a
+                    // previous session must not swallow the reply.
+                    for out_env in output.outgoing {
+                        self.sink.send(encode(&out_env).into());
+                    }
+                } else {
+                    entry.dispatch(output.outgoing, Some(&self.sink));
+                }
+                // Tree-rekey PathUpdates are sealed once and fanned out
+                // as refcount bumps, like data-plane broadcasts.
+                for b in &output.broadcasts {
+                    entry.dispatch_shared(&b.frame, &b.recipients);
+                }
+                entry.emit(output.events);
+            }
+            Err(e) => {
+                entry.emit(vec![LeaderEvent::Rejected {
+                    from: sender,
+                    reason: match e {
+                        CoreError::Rejected(r) => r,
+                        _ => crate::error::RejectReason::Malformed,
+                    },
+                }]);
+            }
+        }
+    }
+
+    /// Unbinds every route this connection held, unless a newer
+    /// connection has already rebound it: the member may have
+    /// reconnected, and a late cleanup of the dead connection must not
+    /// sever the fresh route. A vanished connection does not remove the
+    /// member from the group — the member may reconnect, or the
+    /// application may expel it; the protocol state is authoritative.
+    fn cleanup(&self) {
+        for (entry, user) in &self.bound {
+            let mut routes = entry.routes.lock();
+            if routes.get(user).is_some_and(|s| s.same_conn(&self.sink)) {
+                routes.remove(user);
+            }
+        }
+    }
+}
+
+/// Thread-per-link handler: pumps one link's inbound frames through a
+/// [`ConnCtx`] and flushes its outbound channel.
 fn link_loop(shared: &Arc<ServiceShared>, link: Box<dyn Link>) {
     let (out_tx, out_rx) = unbounded::<Frame>();
-    // Routes this link has bound, for cleanup: one per (group, identity)
-    // whose freshness was proven on this link.
-    let mut bound: Vec<(Arc<GroupEntry>, ActorId)> = Vec::new();
+    let mut ctx = ConnCtx::new(RouteSink::Channel(out_tx));
 
     while shared.running.load(Ordering::Relaxed) {
         // Flush anything routed to this link.
         while let Ok(frame) = out_rx.try_recv() {
             if link.send(frame).is_err() {
-                cleanup(&bound, &out_tx);
+                ctx.cleanup();
                 return;
             }
         }
         match link.recv_timeout(shared.poll) {
-            Ok(frame) => {
-                let Ok(env) = decode::<Envelope>(&frame) else {
-                    continue; // malformed frame: drop
-                };
-                // Demux strictly by the (unauthenticated) group tag: a
-                // frame only ever reaches the enclave whose tag it
-                // carries, and that enclave's core re-checks the tag
-                // against its own configuration plus the AEAD binding.
-                let entry = shared.registry.read().get(&env.group).cloned();
-                let Some(entry) = entry else {
-                    shared.unroutable.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                let sender = env.sender.clone();
-                // Read the clock before taking the core lock so the
-                // liveness bookkeeping sees arrival time, not lock-grant
-                // time.
-                let now = shared.clock.now();
-                let result = entry.core.lock().handle_at(&env, now);
-                match result {
-                    Ok(output) => {
-                        // Bind this link to the claimed identity only on
-                        // messages whose acceptance proves *freshness*
-                        // (AuthAckKey/Ack echo a one-time nonce under the
-                        // session key). Accepted-but-replayable messages
-                        // (GroupData, duplicate AuthInitReq answered from
-                        // the ARQ cache) must NOT bind, or an attacker
-                        // replaying a captured frame from its own
-                        // connection could capture the member's route — a
-                        // denial of service.
-                        let proves_freshness = matches!(
-                            env.msg_type,
-                            enclaves_wire::message::MsgType::AuthAckKey
-                                | enclaves_wire::message::MsgType::Ack
-                        );
-                        let already = bound
-                            .iter()
-                            .any(|(e, u)| Arc::ptr_eq(e, &entry) && u == &sender);
-                        if proves_freshness && !already {
-                            entry.routes.lock().insert(sender.clone(), out_tx.clone());
-                            bound.push((Arc::clone(&entry), sender.clone()));
-                        }
-                        // A departing member's route is dropped so a later
-                        // rejoin (possibly on a new link) starts clean.
-                        for event in &output.events {
-                            if let LeaderEvent::MemberLeft(user)
-                            | LeaderEvent::MemberEvicted(user) = event
-                            {
-                                entry.routes.lock().remove(user);
-                            }
-                        }
-                        if env.msg_type == enclaves_wire::message::MsgType::AuthInitReq {
-                            // Handshake replies always return on the link
-                            // the request arrived on: the requester is not
-                            // (or no longer) route-bound, and any stale
-                            // route from a previous session must not
-                            // swallow the reply.
-                            for out_env in output.outgoing {
-                                let _ = out_tx.send(encode(&out_env).into());
-                            }
-                        } else {
-                            entry.dispatch(output.outgoing, Some(&out_tx));
-                        }
-                        // Tree-rekey PathUpdates are sealed once and fanned
-                        // out as refcount bumps, like data-plane broadcasts.
-                        for b in &output.broadcasts {
-                            entry.dispatch_shared(&b.frame, &b.recipients);
-                        }
-                        entry.emit(output.events);
-                    }
-                    Err(e) => {
-                        entry.emit(vec![LeaderEvent::Rejected {
-                            from: sender,
-                            reason: match e {
-                                CoreError::Rejected(r) => r,
-                                _ => crate::error::RejectReason::Malformed,
-                            },
-                        }]);
-                    }
-                }
-            }
+            Ok(frame) => ctx.handle_frame(shared, &frame),
             Err(enclaves_net::NetError::Timeout) => continue,
             Err(_) => {
-                cleanup(&bound, &out_tx);
+                ctx.cleanup();
                 return;
             }
         }
     }
 }
 
-fn cleanup(bound: &[(Arc<GroupEntry>, ActorId)], out_tx: &Sender<Frame>) {
-    for (entry, user) in bound {
-        let mut routes = entry.routes.lock();
-        // Remove the route only if it still points at THIS link: the
-        // member may have reconnected, in which case a newer link owns the
-        // route and a late cleanup of the dead link must not sever it.
-        if routes.get(user).is_some_and(|tx| tx.same_channel(out_tx)) {
-            routes.remove(user);
+/// Readiness-loop shard handler: drains one event shard, maintaining a
+/// [`ConnCtx`] per connection pinned to this shard. The loop thread owns
+/// the sockets; this thread only runs protocol work, so the service's
+/// thread count is `shards`, not `connections`.
+fn shard_loop(
+    shared: &Arc<ServiceShared>,
+    net: &MuxNet,
+    shard_rx: &crossbeam_channel::Receiver<MuxEvent>,
+) {
+    let mut conns: HashMap<MuxToken, ConnCtx> = HashMap::new();
+    while shared.running.load(Ordering::Relaxed) {
+        match shard_rx.recv_timeout(shared.poll) {
+            Ok(MuxEvent::Accepted { token, .. }) => {
+                conns.insert(
+                    token,
+                    ConnCtx::new(RouteSink::Mux {
+                        net: net.clone(),
+                        token,
+                    }),
+                );
+            }
+            Ok(MuxEvent::Frame { token, frame }) => {
+                // Insert on demand too: delivery is in order per
+                // connection, but an endpoint restart could replay
+                // frames without their Accepted.
+                let ctx = conns.entry(token).or_insert_with(|| {
+                    ConnCtx::new(RouteSink::Mux {
+                        net: net.clone(),
+                        token,
+                    })
+                });
+                ctx.handle_frame(shared, &frame);
+            }
+            Ok(MuxEvent::Closed { token }) => {
+                if let Some(ctx) = conns.remove(&token) {
+                    ctx.cleanup();
+                }
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
         }
-        // A vanished link does not remove the member from the group: the
-        // member may reconnect, or the application may expel it. The
-        // protocol state is authoritative.
+    }
+    for ctx in conns.values() {
+        ctx.cleanup();
     }
 }
 

@@ -11,16 +11,22 @@
 //!   demonstrations run on this substrate.
 //! * [`tcp`] — a real TCP transport (threads + length-prefixed frames) for
 //!   the runnable examples.
+//! * [`mux`] — a real TCP transport where **one** readiness-loop thread
+//!   owns every socket (vendored mio-style poller): bounded thread count
+//!   independent of connection count, bounded outbound queues with an
+//!   explicit slow-consumer policy. This is the backend the 10k-member
+//!   load rig runs on.
 //!
-//! Both implement the [`link::Link`] / [`link::Listener`] traits consumed
-//! by the runtime in `enclaves-core`, so the same leader/member code runs
-//! on either.
+//! All of them implement the [`link::Link`] / [`link::Listener`] traits
+//! consumed by the runtime in `enclaves-core`, so the same leader/member
+//! code runs on any backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod demux;
 pub mod link;
+pub mod mux;
 pub mod sim;
 pub mod tcp;
 
@@ -29,3 +35,6 @@ mod error;
 pub use demux::GroupDemux;
 pub use error::NetError;
 pub use link::{Frame, Link, Listener};
+pub use mux::{
+    MuxAcceptor, MuxConfig, MuxEndpoint, MuxEvent, MuxLink, MuxNet, MuxOverflow, MuxToken,
+};

@@ -9,8 +9,9 @@ use crossbeam_channel::{unbounded, Receiver};
 use enclaves_obs::{Counter, Registry};
 use enclaves_wire::framing::{read_frame, write_frame};
 use parking_lot::Mutex;
+use polling::{Event, Poller};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frame counters for the TCP transport, registered as
 /// `net.tcp_frames_in` / `net.tcp_frames_out`.
@@ -137,10 +138,19 @@ impl Link for TcpLink {
 }
 
 /// A TCP acceptor for the leader side.
+///
+/// The listener stays permanently nonblocking and accept readiness is
+/// awaited through a poller, so [`Listener::accept_timeout`] neither
+/// busy-sleeps nor toggles the socket's blocking mode per call.
 pub struct TcpAcceptor {
     listener: TcpListener,
     local: SocketAddr,
+    poller: Poller,
     obs: Option<TcpObs>,
+    /// Accept-path failures, visible as `net.tcp_accept_errors` when
+    /// bound with a registry (a private registry otherwise) — never
+    /// silently swallowed.
+    accept_errors: Counter,
 }
 
 impl std::fmt::Debug for TcpAcceptor {
@@ -158,28 +168,48 @@ impl TcpAcceptor {
     ///
     /// [`NetError::Io`] if the bind fails.
     pub fn bind(addr: SocketAddr) -> Result<Self, NetError> {
-        let listener = TcpListener::bind(addr).map_err(|e| NetError::Io(e.to_string()))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| NetError::Io(e.to_string()))?;
-        Ok(TcpAcceptor {
-            listener,
-            local,
-            obs: None,
-        })
+        Self::bind_inner(addr, None, Registry::new().counter("net.tcp_accept_errors"))
     }
 
     /// Binds like [`TcpAcceptor::bind`]; every accepted link mirrors its
     /// frame traffic into `registry` as `net.tcp_frames_in` /
-    /// `net.tcp_frames_out` (shared across all accepted links).
+    /// `net.tcp_frames_out` (shared across all accepted links), and
+    /// accept-path failures count into `net.tcp_accept_errors`.
     ///
     /// # Errors
     ///
     /// [`NetError::Io`] if the bind fails.
     pub fn bind_with_registry(addr: SocketAddr, registry: &Registry) -> Result<Self, NetError> {
-        let mut acceptor = Self::bind(addr)?;
-        acceptor.obs = Some(TcpObs::new(registry));
-        Ok(acceptor)
+        Self::bind_inner(
+            addr,
+            Some(TcpObs::new(registry)),
+            registry.counter("net.tcp_accept_errors"),
+        )
+    }
+
+    fn bind_inner(
+        addr: SocketAddr,
+        obs: Option<TcpObs>,
+        accept_errors: Counter,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Io(e.to_string()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let poller = Poller::new().map_err(|e| NetError::Io(e.to_string()))?;
+        poller
+            .add(&listener, Event::readable(0))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(TcpAcceptor {
+            listener,
+            local,
+            poller,
+            obs,
+            accept_errors,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -191,31 +221,39 @@ impl TcpAcceptor {
 
 impl Listener for TcpAcceptor {
     fn accept_timeout(&self, timeout: Duration) -> Result<Box<dyn Link>, NetError> {
-        self.listener
-            .set_nonblocking(false)
-            .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
-        // std's TcpListener has no accept timeout; emulate with a read
-        // timeout on the listener socket via nonblocking + poll loop.
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
-        let deadline = std::time::Instant::now() + timeout;
+        // std's TcpListener has no accept timeout; wait for accept
+        // readiness through the poller instead of busy-polling.
+        let deadline = Instant::now() + timeout;
+        let mut events = Vec::with_capacity(1);
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.listener.set_nonblocking(false).ok();
-                    stream
-                        .set_nonblocking(false)
-                        .map_err(|e| NetError::AcceptFailed(e.to_string()))?;
+                    // The link side runs blocking reader threads; the
+                    // listener itself stays nonblocking.
+                    stream.set_nonblocking(false).map_err(|e| {
+                        self.accept_errors.inc();
+                        NetError::AcceptFailed(e.to_string())
+                    })?;
                     return Ok(Box::new(TcpLink::from_stream(stream, self.obs.clone())?));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(NetError::Timeout);
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    events.clear();
+                    self.poller
+                        .wait(&mut events, Some(deadline - now))
+                        .map_err(|e| {
+                            self.accept_errors.inc();
+                            NetError::AcceptFailed(e.to_string())
+                        })?;
                 }
-                Err(e) => return Err(NetError::AcceptFailed(e.to_string())),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.accept_errors.inc();
+                    return Err(NetError::AcceptFailed(e.to_string()));
+                }
             }
         }
     }

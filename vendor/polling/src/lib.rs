@@ -1,0 +1,691 @@
+//! Offline API-compatible subset of the `polling` crate: portable
+//! level-triggered readiness polling for nonblocking sockets.
+//!
+//! Two backends:
+//!
+//! * **epoll** (Linux): the real thing — `epoll_create1` / `epoll_ctl` /
+//!   `epoll_wait` declared directly against libc's stable syscall wrappers
+//!   (the build environment has no crates.io access, so there is no `libc`
+//!   crate to lean on). One epoll instance per [`Poller`], a
+//!   `UnixStream::pair` as the wakeup channel.
+//! * **probe** (everything else, and forceable for tests): a degenerate
+//!   but *correct* level-triggered poller that reports every registered
+//!   key as ready each tick. Consumers of a readiness API must tolerate
+//!   spurious readiness (nonblocking I/O returns `WouldBlock`), so this
+//!   backend trades syscall efficiency for portability without changing
+//!   any observable semantics.
+//!
+//! Like the real crate, this is the only place in the workspace where
+//! `unsafe` exists; it is confined to the epoll FFI in [`sys`] and every
+//! call site documents its invariant. All consumer crates keep
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+
+/// Interest in, or readiness of, one registered source.
+///
+/// `key` is caller-chosen and opaque to the poller; readiness events
+/// carry it back. [`Poller::notify`] wakeups are internal and never
+/// surface as events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier for the source.
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    #[must_use]
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    #[must_use]
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    #[must_use]
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// Key reserved for the internal wakeup channel; user sources must not
+/// register with it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Direct FFI onto glibc's epoll wrappers. The workspace vendors its
+    //! dependencies and has no `libc` crate, so the four symbols used
+    //! here are declared by hand; all four have been ABI-stable since
+    //! Linux 2.6.
+
+    use std::io;
+
+    // The kernel declares `struct epoll_event` packed on x86-64 (and only
+    // there): a mismatched layout would corrupt the event buffer.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        fd: i32,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return
+            // is reported through errno.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        pub fn ctl(&self, op: i32, fd: i32, events: u32, key: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: key };
+            // SAFETY: `ev` outlives the call; the kernel copies it before
+            // returning. DEL ignores the pointer on modern kernels but a
+            // valid one is passed anyway for pre-2.6.9 compatibility.
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Waits for readiness; fills `buf` with up to `buf.len()` events.
+        pub fn wait(&self, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let max = i32::try_from(buf.len()).unwrap_or(i32::MAX);
+            loop {
+                // SAFETY: `buf` is valid for `max` elements and the
+                // kernel writes at most `max` entries.
+                let rc = unsafe { epoll_wait(self.fd, buf.as_mut_ptr(), max, timeout_ms) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `self.fd` is a valid epoll fd owned by this struct.
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+struct EpollBackend {
+    epoll: sys::Epoll,
+    /// Wakeup channel: writing one byte to `waker_tx` makes the reader
+    /// end readable, which interrupts `epoll_wait`.
+    waker_tx: std::os::unix::net::UnixStream,
+    waker_rx: std::os::unix::net::UnixStream,
+    /// Scratch buffer for `epoll_wait`, guarded so `wait` can take
+    /// `&self` (the poller is shared across threads).
+    buf: Mutex<Vec<sys::EpollEvent>>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new() -> io::Result<Self> {
+        let epoll = sys::Epoll::new()?;
+        let (waker_tx, waker_rx) = std::os::unix::net::UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        epoll.ctl(
+            sys::EPOLL_CTL_ADD,
+            waker_rx.as_raw_fd(),
+            sys::EPOLLIN,
+            NOTIFY_KEY as u64,
+        )?;
+        Ok(EpollBackend {
+            epoll,
+            waker_tx,
+            waker_rx,
+            buf: Mutex::new(vec![sys::EpollEvent { events: 0, data: 0 }; 1024]),
+        })
+    }
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(t) => {
+                // Round up so sub-millisecond timeouts still sleep.
+                let ms = t.as_millis().min(i32::MAX as u128) as i64;
+                let ms = if ms == 0 && !t.is_zero() { 1 } else { ms };
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        };
+        let mut buf = self.buf.lock().expect("poller buffer lock");
+        let n = self.epoll.wait(&mut buf, timeout_ms)?;
+        let mut delivered = 0usize;
+        for raw in buf.iter().take(n) {
+            // Copy out of the (possibly packed) kernel struct before use.
+            let bits = { raw.events };
+            let key = { raw.data } as usize;
+            if key == NOTIFY_KEY {
+                // Drain the wakeup channel so the next wait blocks again.
+                let mut sink = [0u8; 64];
+                while let Ok(n) = std::io::Read::read(&mut (&self.waker_rx), &mut sink) {
+                    if n < sink.len() {
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Errors and hangups are surfaced as "ready in every
+            // direction the caller asked about": the next nonblocking
+            // I/O call observes the actual condition.
+            let err = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+            events.push(Event {
+                key,
+                readable: bits & sys::EPOLLIN != 0 || err,
+                writable: bits & sys::EPOLLOUT != 0 || err,
+            });
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    fn notify(&self) -> io::Result<()> {
+        // A full pipe already guarantees a pending wakeup.
+        match std::io::Write::write(&mut (&self.waker_tx), &[1]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Portable fallback: every registered source is reported ready (per its
+/// registered interest) once per tick. Spurious readiness is permitted by
+/// the readiness contract — consumers retry and observe `WouldBlock` — so
+/// this backend is semantically sound, merely O(sources) per tick.
+struct ProbeBackend {
+    state: Mutex<ProbeState>,
+    cv: Condvar,
+}
+
+struct ProbeState {
+    interest: HashMap<i32, Event>,
+    notified: bool,
+}
+
+/// How often the probe backend re-reports readiness while waiting.
+const PROBE_TICK: Duration = Duration::from_millis(1);
+
+impl ProbeBackend {
+    fn new() -> Self {
+        ProbeBackend {
+            state: Mutex::new(ProbeState {
+                interest: HashMap::new(),
+                notified: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.state.lock().expect("probe state lock");
+        loop {
+            if state.notified {
+                state.notified = false;
+                return Ok(Self::collect(&state, events));
+            }
+            if !state.interest.is_empty() {
+                // Readiness can only be discovered by probing: hand every
+                // registered source back after at most one tick.
+                let (s, _) = self
+                    .cv
+                    .wait_timeout(state, Self::tick_until(deadline))
+                    .expect("probe cv");
+                state = s;
+                if state.notified {
+                    state.notified = false;
+                }
+                return Ok(Self::collect(&state, events));
+            }
+            // Nothing registered: block until notified or deadline.
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(0);
+                    }
+                    let (s, _) = self.cv.wait_timeout(state, d - now).expect("probe cv");
+                    state = s;
+                    if !state.notified && Instant::now() >= d {
+                        return Ok(0);
+                    }
+                }
+                None => {
+                    state = self.cv.wait(state).expect("probe cv");
+                }
+            }
+        }
+    }
+
+    fn tick_until(deadline: Option<Instant>) -> Duration {
+        match deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(PROBE_TICK),
+            None => PROBE_TICK,
+        }
+    }
+
+    fn collect(state: &ProbeState, events: &mut Vec<Event>) -> usize {
+        for interest in state.interest.values() {
+            if interest.readable || interest.writable {
+                events.push(*interest);
+            }
+        }
+        events.len()
+    }
+
+    fn notify(&self) {
+        let mut state = self.state.lock().expect("probe state lock");
+        state.notified = true;
+        self.cv.notify_all();
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Probe(ProbeBackend),
+}
+
+/// A level-triggered readiness poller over nonblocking sources.
+///
+/// All methods take `&self`; the poller is `Sync` and one thread may
+/// block in [`Poller::wait`] while others register sources or
+/// [`Poller::notify`] it awake.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Probe(_) => "probe",
+        };
+        f.debug_struct("Poller").field("backend", &name).finish()
+    }
+}
+
+impl Poller {
+    /// Creates a poller on the best backend for this platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend-creation failures (fd exhaustion).
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poller {
+                backend: Backend::Epoll(EpollBackend::new()?),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Ok(Self::with_probe_backend())
+        }
+    }
+
+    /// Creates a poller on the portable probe backend regardless of
+    /// platform — used by tests to prove consumers do not depend on
+    /// epoll-specific behaviour.
+    #[must_use]
+    pub fn with_probe_backend() -> Self {
+        Poller {
+            backend: Backend::Probe(ProbeBackend::new()),
+        }
+    }
+
+    /// Registers `source` with the given interest. `interest.key` must
+    /// not be [`NOTIFY_KEY`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures (already registered, bad fd).
+    #[cfg(unix)]
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved",
+            ));
+        }
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.epoll.ctl(
+                sys::EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                EpollBackend::interest_bits(interest),
+                interest.key as u64,
+            ),
+            Backend::Probe(b) => {
+                b.state
+                    .lock()
+                    .expect("probe state lock")
+                    .interest
+                    .insert(source.as_raw_fd(), interest);
+                b.notify();
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces the interest registered for `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures (not registered, bad fd).
+    #[cfg(unix)]
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.epoll.ctl(
+                sys::EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                EpollBackend::interest_bits(interest),
+                interest.key as u64,
+            ),
+            Backend::Probe(b) => {
+                b.state
+                    .lock()
+                    .expect("probe state lock")
+                    .interest
+                    .insert(source.as_raw_fd(), interest);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deregisters `source`. Must be called before the fd is closed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures (not registered).
+    #[cfg(unix)]
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.epoll.ctl(sys::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0),
+            Backend::Probe(b) => {
+                b.state
+                    .lock()
+                    .expect("probe state lock")
+                    .interest
+                    .remove(&source.as_raw_fd());
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one source is ready, the poller is
+    /// [`Poller::notify`]d, or `timeout` expires (`None` = forever).
+    /// Ready events are *appended* to `events`; returns how many were
+    /// appended. A wakeup via `notify` can return `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.wait(events, timeout),
+            Backend::Probe(b) => b.wait(events, timeout),
+        }
+    }
+
+    /// Wakes a thread blocked in [`Poller::wait`] from any other thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn notify(&self) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(b) => b.notify(),
+            Backend::Probe(b) => {
+                b.notify();
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pollers() -> Vec<(&'static str, Poller)> {
+        vec![
+            ("native", Poller::new().unwrap()),
+            ("probe", Poller::with_probe_backend()),
+        ]
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        for (name, poller) in pollers() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller.add(&listener, Event::readable(7)).unwrap();
+
+            let mut events = Vec::new();
+            // Nothing pending: a short wait returns no source events.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            // (The probe backend may spuriously report readiness; only
+            // the epoll backend asserts silence.)
+
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            events.clear();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .unwrap();
+                if events.iter().any(|e| e.key == 7 && e.readable) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "[{name}] no readiness event");
+                events.clear();
+            }
+            assert!(listener.accept().is_ok(), "[{name}] accept after readiness");
+            poller.delete(&listener).unwrap();
+        }
+    }
+
+    #[test]
+    fn connected_stream_reports_writable_and_modify_narrows() {
+        for (name, poller) in pollers() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            stream.set_nonblocking(true).unwrap();
+            poller.add(&stream, Event::all(3)).unwrap();
+            let mut events = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .unwrap();
+                if events.iter().any(|e| e.key == 3 && e.writable) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "[{name}] never writable");
+                events.clear();
+            }
+            // Narrow to read interest: an idle stream produces nothing
+            // (epoll) or read-only spurious events (probe).
+            poller.modify(&stream, Event::readable(3)).unwrap();
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| !e.writable),
+                "[{name}] writable after narrowing: {events:?}"
+            );
+            poller.delete(&stream).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_wakes_blocked_wait() {
+        for (name, poller) in pollers() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = std::sync::Arc::clone(&poller);
+            let start = Instant::now();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "[{name}] notify did not interrupt wait"
+            );
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_times_out() {
+        for (name, poller) in pollers() {
+            let mut events = Vec::new();
+            let start = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(40)))
+                .unwrap();
+            assert!(
+                start.elapsed() >= Duration::from_millis(35),
+                "[{name}] returned early"
+            );
+            assert!(events.is_empty(), "[{name}] events on empty poller");
+        }
+    }
+
+    #[test]
+    fn data_roundtrip_under_readiness() {
+        for (name, poller) in pollers() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller.add(&server, Event::readable(11)).unwrap();
+
+            client.write_all(b"ping").unwrap();
+            let mut events = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            let mut got = Vec::new();
+            while got.len() < 4 {
+                events.clear();
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .unwrap();
+                if events.iter().any(|e| e.key == 11 && e.readable) {
+                    let mut buf = [0u8; 16];
+                    match server.read(&mut buf) {
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("[{name}] read failed: {e}"),
+                    }
+                }
+                assert!(Instant::now() < deadline, "[{name}] data never arrived");
+            }
+            assert_eq!(&got, b"ping", "[{name}]");
+            poller.delete(&server).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_key_is_rejected() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(poller.add(&listener, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}
