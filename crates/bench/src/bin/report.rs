@@ -38,6 +38,15 @@
 //! Gated on both processes staying under 64 threads regardless of member
 //! count, plus join/broadcast p99 ceilings. `--load-members N` overrides
 //! the member count (the CI smoke step runs N = 1000).
+//!
+//! With `--recovery` it runs the durable-restart experiment
+//! (EXPERIMENTS.md row S17) and writes `BENCH_recovery.json`: 1000
+//! journaled enclaves built through real handshakes, torn down, and
+//! recovered with one cold `open_with_journal` — gated on every stream
+//! replaying, every epoch landing strictly past its pre-shutdown value,
+//! and the whole replay staying inside a loose wall-clock ceiling.
+//! `--recovery-groups N` overrides the enclave count (the CI smoke step
+//! runs N = 100).
 
 use enclaves_bench::FanoutGroup;
 use enclaves_core::attacks;
@@ -654,6 +663,175 @@ fn run_load() {
     println!("  all load gates passed; wrote BENCH_load.json");
 }
 
+/// Hard ceiling for the recovery-rig gate: the whole journal replay —
+/// every stream decoded, verified, re-executed, and re-registered — must
+/// finish inside this budget. Deliberately loose for the same reason as
+/// the load gates: it catches wedges and quadratic blowups across CI
+/// hosts, not micro-regressions.
+const RECOVERY_MAX_WALL_NS: u128 = 120_000_000_000;
+
+/// Members journaled into every recovery-rig group.
+const RECOVERY_MEMBERS: usize = 3;
+
+fn run_recovery() {
+    use enclaves_bench::{leader_id, member_id, member_key, pump, settle};
+    use enclaves_core::config::{LeaderConfig, RekeyPolicy};
+    use enclaves_core::directory::Directory;
+    use enclaves_core::journal::{genesis_for, label_for, JournalDir};
+    use enclaves_core::protocol::{LeaderCore, MemberSession};
+    use enclaves_core::runtime::{LeaderService, ServiceConfig};
+    use enclaves_crypto::rng::SeededRng;
+    use enclaves_net::sim::{SimConfig, SimNet};
+    use enclaves_wire::GroupId;
+
+    let groups: usize = flag_value("--recovery-groups")
+        .map(|v| v.parse().expect("--recovery-groups takes a number"))
+        .unwrap_or(1000);
+
+    println!("-- Recovery rig: sealed-journal replay at scale (row S17) ------");
+    println!();
+    println!(
+        "  {groups} enclaves x {RECOVERY_MEMBERS} members, every transition journaled, \
+         then one cold restart"
+    );
+
+    let dir = std::env::temp_dir().join(format!("enclaves-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create recovery dir");
+    let journal = JournalDir::open_or_init(&dir).expect("init journal dir");
+
+    // Build phase: one journaled core per enclave, driven through real
+    // handshakes so every stream holds genesis + N joins + a rekey.
+    let build_start = Instant::now();
+    let mut built_epochs = vec![0u64; groups];
+    for (g, built_epoch) in built_epochs.iter_mut().enumerate() {
+        let tag = GroupId::new(format!("g{g}")).expect("generated tag");
+        let mut directory = Directory::new();
+        for i in 0..RECOVERY_MEMBERS {
+            directory.register_key(&member_id(i), member_key(i));
+        }
+        let config = LeaderConfig {
+            rekey_policy: RekeyPolicy::OnJoinAndLeave,
+            group: Some(tag.clone()),
+            ..LeaderConfig::default()
+        };
+        let label = label_for(Some(&tag));
+        let genesis = genesis_for(&leader_id(), &directory, &config);
+        let writer = journal
+            .create_stream(&label, &genesis)
+            .expect("fresh stream");
+        let mut leader = LeaderCore::with_rng(
+            leader_id(),
+            directory,
+            config,
+            Box::new(SeededRng::from_seed(g as u64)),
+        );
+        leader.attach_journal(writer);
+        let mut members = Vec::new();
+        for i in 0..RECOVERY_MEMBERS {
+            let (session, init) = MemberSession::start_with_key_in_group(
+                member_id(i),
+                leader_id(),
+                member_key(i),
+                Box::new(SeededRng::from_seed((g * RECOVERY_MEMBERS + i) as u64)),
+                Some(tag.clone()),
+            );
+            members.push(session);
+            pump(&mut leader, &mut members, init);
+        }
+        let out = leader.rekey_now().expect("populated group rekeys");
+        settle(&mut leader, &mut members, out.outgoing);
+        *built_epoch = leader.epoch().expect("epoch established");
+    }
+    let build_wall = build_start.elapsed();
+
+    // The measured restart: one cold `open_with_journal` over every
+    // stream the dead service left behind.
+    let net = SimNet::new(SimConfig::default());
+    let listener = net.listen("recovery-leader").expect("fresh sim net");
+    let start = Instant::now();
+    let (service, report) =
+        LeaderService::open_with_journal(Box::new(listener), &dir, ServiceConfig::default())
+            .expect("journal directory replays");
+    let recover_wall = start.elapsed();
+
+    let records_per_group = (1 + RECOVERY_MEMBERS + 1) as u64; // genesis + joins + rekey
+    println!();
+    println!(
+        "  build {:>9.1}ms   replay {:>9.1}ms   {:.3}ms/group   {} records",
+        build_wall.as_secs_f64() * 1e3,
+        recover_wall.as_secs_f64() * 1e3,
+        recover_wall.as_secs_f64() * 1e3 / groups.max(1) as f64,
+        records_per_group * groups as u64,
+    );
+
+    assert!(
+        report.failed.is_empty(),
+        "no stream may fail replay: {:?}",
+        report.failed.iter().map(|f| &f.stream).collect::<Vec<_>>()
+    );
+    assert_eq!(report.recovered.len(), groups, "every enclave recovers");
+    for recovered in &report.recovered {
+        let g: usize = recovered
+            .group
+            .as_ref()
+            .and_then(|t| t.as_str().strip_prefix('g'))
+            .and_then(|n| n.parse().ok())
+            .expect("recovered tag names a built group");
+        assert_eq!(recovered.members, RECOVERY_MEMBERS, "roster rebuilt");
+        assert_eq!(recovered.records, records_per_group, "full stream replayed");
+        assert!(recovered.fenced, "the rekeys left a fence");
+        let epoch = recovered.epoch.expect("epoch recovered");
+        assert!(
+            epoch > built_epochs[g],
+            "group g{g} must recover strictly past its pre-shutdown epoch \
+             ({epoch} vs {})",
+            built_epochs[g]
+        );
+    }
+    let snap = service.snapshot();
+    assert_eq!(snap.counter("recovery.groups_ok"), groups as u64);
+    assert_eq!(snap.counter("recovery.groups_failed"), 0);
+    assert_eq!(
+        snap.counter("recovery.records_replayed"),
+        records_per_group * groups as u64
+    );
+    assert!(
+        recover_wall.as_nanos() < RECOVERY_MAX_WALL_NS,
+        "replay wall {}ns over the {}s ceiling",
+        recover_wall.as_nanos(),
+        RECOVERY_MAX_WALL_NS / 1_000_000_000
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut json = String::from("{\n  \"experiment\": \"recovery_rig\",\n");
+    let _ = writeln!(json, "  \"groups\": {groups},");
+    let _ = writeln!(json, "  \"members_per_group\": {RECOVERY_MEMBERS},");
+    let _ = writeln!(
+        json,
+        "  \"records_replayed\": {},",
+        records_per_group * groups as u64
+    );
+    let _ = writeln!(json, "  \"build_wall_ns\": {},", build_wall.as_nanos());
+    let _ = writeln!(json, "  \"replay_wall_ns\": {},", recover_wall.as_nanos());
+    let _ = writeln!(
+        json,
+        "  \"replay_ns_per_group\": {},",
+        recover_wall.as_nanos() / groups.max(1) as u128
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"enforced (all {groups} groups recovered, epochs strictly \
+         advanced, wall < {}s)\"",
+        RECOVERY_MAX_WALL_NS / 1_000_000_000
+    );
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, json).expect("write BENCH_recovery.json");
+    println!("  all recovery gates passed; wrote BENCH_recovery.json");
+}
+
 fn main() {
     // Internal: this process is a swarm child spawned by `--load`. Stdio
     // belongs to the rig protocol, so print nothing and exit on result.
@@ -667,6 +845,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--load") {
         run_load();
+        return;
+    }
+    if std::env::args().any(|a| a == "--recovery") {
+        run_recovery();
         return;
     }
     if std::env::args().any(|a| a == "--fanout") {

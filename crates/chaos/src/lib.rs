@@ -38,4 +38,7 @@ pub mod world;
 pub use fabric::{Fabric, SimFabric, TcpProxyFabric};
 pub use schedule::{ChaosEvent, Schedule};
 pub use shrink::{shrink_failure, ShrunkFailure};
-pub use world::{run_multigroup, run_schedule, ChaosOptions, ChaosOutcome, MultigroupOutcome};
+pub use world::{
+    run_crash_restart, run_multigroup, run_schedule, ChaosOptions, ChaosOutcome,
+    CrashRestartOutcome, MultigroupOutcome,
+};

@@ -3,7 +3,7 @@
 //! send/delivery into a live trace, finalizes the run (calm → heal →
 //! quiesce → probe), and hands the trace to the §5.4 oracle.
 
-use crate::fabric::Fabric;
+use crate::fabric::{Fabric, SimFabric};
 use crate::schedule::{ChaosEvent, Schedule};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use enclaves_core::config::{LeaderConfig, RekeyPolicy};
@@ -15,13 +15,14 @@ use enclaves_core::runtime::{
     ServiceConfig,
 };
 use enclaves_core::CoreError;
-use enclaves_net::sim::SimStats;
+use enclaves_net::sim::{SimListener, SimStats};
 use enclaves_net::Listener;
 use enclaves_obs::{EventStream, ProtocolEvent, Registry, Snapshot};
 use enclaves_verify::live::{check_trace, LiveEvent, Violation};
 use enclaves_verify::obs::obs_trace;
 use enclaves_wire::{ActorId, GroupId};
 use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -744,6 +745,317 @@ pub fn run_multigroup(
         cross_group_violations,
         service_snapshot,
         net_stats: fabric.sim_stats(),
+    }
+}
+
+/// The verdict of a kill-9 → restart-from-journal run: the usual chaos
+/// outcome computed over the whole two-generation trace, plus the
+/// recovery facts the crash-recovery battery asserts on.
+#[derive(Debug)]
+pub struct CrashRestartOutcome {
+    /// Oracle verdict, trace, and merged metrics across both leader
+    /// generations (the snapshot includes the restarted service's
+    /// `recovery.*` counters).
+    pub outcome: ChaosOutcome,
+    /// Leader epoch at the instant of the kill (`None`: nobody ever
+    /// joined before the crash).
+    pub pre_crash_epoch: Option<u64>,
+    /// The epoch the journal replay + fence advance produced, before any
+    /// member re-admitted itself.
+    pub recovered_epoch: Option<u64>,
+    /// Leader epoch at the end of the run.
+    pub final_epoch: Option<u64>,
+    /// Roster size the journal replay reconstructed (members the dead
+    /// leader still owed a group to).
+    pub recovered_members: usize,
+    /// Journal records replayed at restart (including the genesis).
+    pub recovered_records: u64,
+    /// Whether a fence file bounded the recovery epoch.
+    pub recovered_fenced: bool,
+    /// Streams whose recovery failed (empty on a healthy run).
+    pub failed_streams: Vec<String>,
+}
+
+/// Executes `schedule` against a journaled leader service, then kills the
+/// leader the way `kill -9` would — no `Close` frames, no flush, the
+/// listener name simply vanishes from the network — restarts a fresh
+/// service from the same journal directory, runs `post_events` against
+/// the recovered group, and finalizes as usual. Member runtimes live
+/// through the whole run: their liveness layer detects the dead wire and
+/// re-admits them through auto-rejoin once the restarted leader answers.
+///
+/// The trace spans both generations and feeds the same §5.4 oracle (both
+/// ingestion paths), so convergence after the restart is checked by the
+/// same properties as any other run — plus the recovery facts in
+/// [`CrashRestartOutcome`].
+///
+/// Takes the simulator fabric concretely: reclaiming and re-binding the
+/// leader's listener name between generations is a simulator-only
+/// operation.
+///
+/// # Panics
+///
+/// Panics if `options.liveness` is off (without auto-rejoin no member
+/// could survive the leader's death), or if the simulated network
+/// refuses the restart listener.
+#[must_use]
+pub fn run_crash_restart(
+    fabric: &mut SimFabric,
+    listener: SimListener,
+    schedule: &Schedule,
+    post_events: &[ChaosEvent],
+    options: &ChaosOptions,
+    journal_dir: &Path,
+) -> CrashRestartOutcome {
+    assert!(
+        options.liveness,
+        "run_crash_restart needs the liveness layer: auto-rejoin is the \
+         only path back into the group after the leader dies"
+    );
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    let leader_id = ActorId::new("leader").expect("static name");
+    let net_registry = Registry::default();
+    fabric.attach_registry(&net_registry);
+    let obs_stream = EventStream::new();
+
+    let mut directory = Directory::new();
+    let mut members: Vec<MemberSlot> = (0..schedule.members)
+        .map(|i| {
+            let name = format!("m{i}");
+            let id = ActorId::new(&name).expect("generated name");
+            let password = format!("{name}-pw");
+            directory
+                .register_password(&id, &password)
+                .expect("fresh directory");
+            MemberSlot {
+                name,
+                id,
+                password,
+                state: MemberState::Absent,
+                runtime: None,
+                forwarder: None,
+                registries: Vec::new(),
+            }
+        })
+        .collect();
+
+    let wiring = LivenessWiring {
+        clock: VirtualClock::new(),
+        seed: schedule.seed,
+    };
+    let mut leader_config = LeaderConfig {
+        rekey_policy: options.rekey_policy,
+        tree_rekey: options.tree_rekey,
+        ..LeaderConfig::default()
+    };
+    leader_config.liveness = chaos_liveness(wiring.seed);
+    leader_config.liveness.auto_rejoin = false; // member-side knob
+
+    // Generation 1: a journaled service on a fresh (or empty) directory.
+    let (service, _) = LeaderService::open_with_journal(
+        Box::new(listener),
+        journal_dir,
+        ServiceConfig {
+            clock: Some(Arc::new(wiring.clock.clone()) as Arc<dyn Clock>),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("journal directory must initialize");
+    let handle = service
+        .add_group(leader_id.clone(), directory, leader_config)
+        .expect("fresh service");
+    handle.attach_event_stream(obs_stream.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut collectors = vec![spawn_leader_collector(
+        &sink,
+        handle.events().clone(),
+        Arc::clone(&stop),
+    )];
+
+    let pump = {
+        let clock = wiring.clock.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("chaos-time-pump".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(PUMP_TICK);
+                    clock.advance(PUMP_STEP);
+                }
+            })
+            .expect("spawn chaos time pump")
+    };
+
+    for event in &schedule.events {
+        execute(
+            fabric,
+            &handle,
+            &leader_id,
+            &mut members,
+            &sink,
+            &obs_stream,
+            options,
+            Some(&wiring),
+            event,
+        );
+    }
+
+    let pre_crash_epoch = handle.epoch();
+    let gen1_registry = handle.obs_registry();
+
+    // The kill: unbind the listener name first (no new connection can
+    // reach a dying process), then tear the service down without a single
+    // protocol frame — exactly what the members observe when the leader
+    // process is killed mid-flight. Their runtimes stay up; the rejoin
+    // loop's reconnector fails (nothing listens) and backs off until the
+    // restarted service answers.
+    //
+    // The kill is an injected fault that severs every member↔leader
+    // link at once: record the same per-member fault marker a scripted
+    // partition leaves, so the oracle can attribute any liveness
+    // eviction during the rejoin storm to the fault rather than flag a
+    // false judgment.
+    for slot in &members {
+        if slot.runtime.is_some() {
+            record(
+                &sink,
+                LiveEvent::Partitioned {
+                    member: slot.name.clone(),
+                },
+            );
+        }
+    }
+    assert!(
+        fabric.net.unlisten("leader"),
+        "the leader listener must exist until the kill"
+    );
+    drop(handle);
+    service.shutdown();
+
+    // Generation 2: restart from the journal under the same virtual
+    // clock. The replay rebuilds the roster and epoch and advances past
+    // the fence before the listener takes its first connection.
+    let listener = fabric
+        .net
+        .listen("leader")
+        .expect("the kill released the leader name");
+    let (service, mut report) = LeaderService::open_with_journal(
+        Box::new(listener),
+        journal_dir,
+        ServiceConfig {
+            clock: Some(Arc::new(wiring.clock.clone()) as Arc<dyn Clock>),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("journal must replay after a crash");
+    let failed_streams: Vec<String> = report.failed.iter().map(|f| f.stream.clone()).collect();
+    assert_eq!(
+        report.recovered.len(),
+        1,
+        "exactly the one journaled group must come back"
+    );
+    let recovered = report.recovered.remove(0);
+    let handle = recovered.handle;
+    handle.attach_event_stream(obs_stream.clone());
+    collectors.push(spawn_leader_collector(
+        &sink,
+        handle.events().clone(),
+        Arc::clone(&stop),
+    ));
+
+    // Members the driver crashed before the kill are in the recovered
+    // roster but have no process to rejoin from: expel them now (their
+    // `Crashed` markers justify the departure to the oracle) instead of
+    // letting finalize wait out its whole convergence deadline on slots
+    // that can never converge.
+    for slot in members.iter_mut() {
+        if slot.runtime.is_none() && handle.roster().contains(&slot.id) {
+            let _ = handle.expel(&slot.id);
+            if slot.state == MemberState::Crashed {
+                slot.state = MemberState::Departed;
+            }
+        }
+    }
+
+    for event in post_events {
+        execute(
+            fabric,
+            &handle,
+            &leader_id,
+            &mut members,
+            &sink,
+            &obs_stream,
+            options,
+            Some(&wiring),
+            event,
+        );
+    }
+
+    finalize(fabric, &handle, &mut members, &sink, true);
+
+    let final_epoch = handle.epoch();
+    // The restarted service's snapshot carries generation 2's `leader.*`
+    // registry (the group is untagged, so the names are bare) plus the
+    // service-level `recovery.*` counters.
+    let gen2_snapshot = service.snapshot();
+    drop(handle);
+    service.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    for slot in &mut members {
+        if let Some(rt) = slot.runtime.take() {
+            rt.abandon();
+        }
+        if let Some(h) = slot.forwarder.take() {
+            let _ = h.join();
+        }
+    }
+    for collector in collectors {
+        let _ = collector.join();
+    }
+    let _ = pump.join();
+
+    let trace = Arc::try_unwrap(sink)
+        .map(Mutex::into_inner)
+        .unwrap_or_default();
+
+    let mut snapshot = net_registry.snapshot();
+    snapshot
+        .merge_from(&gen1_registry.snapshot())
+        .expect("uniform histogram bounds");
+    snapshot
+        .merge_from(&gen2_snapshot)
+        .expect("uniform histogram bounds");
+    for slot in &members {
+        for registry in &slot.registries {
+            snapshot
+                .merge_from(&registry.snapshot())
+                .expect("uniform histogram bounds");
+        }
+    }
+
+    let obs_events = obs_stream.events();
+    let mut obs_live = obs_trace(&obs_events);
+    if let Some(last @ LiveEvent::Final { .. }) = trace.last() {
+        obs_live.push(last.clone());
+    }
+    let obs_violations = check_trace(&obs_live);
+
+    CrashRestartOutcome {
+        outcome: ChaosOutcome {
+            violations: check_trace(&trace),
+            trace,
+            net_stats: fabric.sim_stats(),
+            snapshot,
+            obs_events,
+            obs_violations,
+        },
+        pre_crash_epoch,
+        recovered_epoch: recovered.epoch,
+        final_epoch,
+        recovered_members: recovered.members,
+        recovered_records: recovered.records,
+        recovered_fenced: recovered.fenced,
+        failed_streams,
     }
 }
 

@@ -88,6 +88,13 @@ impl Directory {
         self.users.remove(user).is_some()
     }
 
+    /// Iterates over all registered users and their long-term keys (in
+    /// arbitrary order). Used to snapshot the directory into a journal
+    /// genesis record.
+    pub fn entries(&self) -> impl Iterator<Item = (&ActorId, &LongTermKey)> {
+        self.users.iter()
+    }
+
     /// The number of registered users.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -33,6 +33,9 @@ pub enum CoreError {
     RuntimeGone,
     /// Timed out waiting for a protocol step.
     Timeout(&'static str),
+    /// The write-ahead journal failed: the transition was *not* durably
+    /// committed and must not be dispatched.
+    Journal(crate::journal::JournalError),
 }
 
 /// Why an incoming message was rejected.
@@ -84,6 +87,7 @@ impl fmt::Display for CoreError {
             CoreError::Net(e) => write!(f, "network failure: {e}"),
             CoreError::RuntimeGone => write!(f, "runtime worker terminated"),
             CoreError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            CoreError::Journal(e) => write!(f, "journal failure: {e}"),
         }
     }
 }
@@ -105,6 +109,12 @@ impl From<WireError> for CoreError {
 impl From<NetError> for CoreError {
     fn from(e: NetError) -> Self {
         CoreError::Net(e)
+    }
+}
+
+impl From<crate::journal::JournalError> for CoreError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        CoreError::Journal(e)
     }
 }
 

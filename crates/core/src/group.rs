@@ -167,6 +167,42 @@ impl GroupState {
         self.current.as_ref().map_or(1, |e| e.epoch + 1)
     }
 
+    /// Installs an explicit epoch with externally supplied key material,
+    /// resetting the per-epoch counters. Unlike
+    /// [`advance_epoch_with`](Self::advance_epoch_with) the epoch number
+    /// is chosen by the caller: crash recovery uses this to jump strictly
+    /// past the journal fence rather than to `current + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not strictly exceed the current epoch —
+    /// installing a rewind would hand members a key they must reject.
+    pub fn install_epoch(&mut self, epoch: u64, key: GroupKey, iv: [u8; 12]) {
+        let current = self.current.as_ref().map_or(0, |e| e.epoch);
+        assert!(
+            epoch > current,
+            "epoch install must advance ({current} -> {epoch})"
+        );
+        self.traffic_since_rekey = 0;
+        self.broadcast_seq = 0;
+        self.current = Some(GroupEpoch { epoch, key, iv });
+    }
+
+    /// Installs an explicit epoch with a key and IV drawn from `rng`
+    /// (IV first, then key — the same draw order as
+    /// [`GroupEpoch::first`]/[`GroupEpoch::next`], so RNG tapes replay
+    /// identically). Used by crash recovery on the flat (non-tree) path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not strictly exceed the current epoch.
+    pub fn install_fresh_epoch<R: CryptoRng + ?Sized>(&mut self, epoch: u64, rng: &mut R) {
+        let mut iv = [0u8; 12];
+        rng.fill_bytes(&mut iv);
+        let key = GroupKey::generate(rng);
+        self.install_epoch(epoch, key, iv);
+    }
+
     /// Claims the next data-plane broadcast sequence number for the
     /// current epoch.
     pub fn next_broadcast_seq(&mut self) -> u64 {
@@ -307,6 +343,44 @@ mod tests {
         assert!(!view.install(2, old.clone(), [2; 12]));
         assert!(!view.install(1, old, [3; 12]));
         assert_eq!(view.key, k2);
+    }
+
+    #[test]
+    fn install_epoch_jumps_forward_only() {
+        let mut rng = SeededRng::from_seed(3);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        g.count_traffic();
+        g.next_broadcast_seq();
+        g.install_fresh_epoch(7, &mut rng);
+        assert_eq!(g.current_epoch().unwrap().epoch, 7);
+        // Counters reset like any other rekey.
+        assert_eq!(g.next_broadcast_seq(), 0);
+        assert_eq!(g.count_traffic(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch install must advance")]
+    fn install_epoch_rejects_rewind() {
+        let mut rng = SeededRng::from_seed(3);
+        let mut g = GroupState::new();
+        g.join(id("alice"), &mut rng);
+        g.install_fresh_epoch(5, &mut rng);
+        g.install_fresh_epoch(5, &mut rng);
+    }
+
+    #[test]
+    fn install_fresh_epoch_matches_tape_draw_order() {
+        // The recovery path regenerates key material by replaying a tape;
+        // the draw order must match GroupEpoch::first (IV, then key).
+        let mut a = SeededRng::from_seed(9);
+        let mut b = SeededRng::from_seed(9);
+        let mut g = GroupState::new();
+        g.install_fresh_epoch(1, &mut a);
+        let direct = GroupEpoch::first(&mut b);
+        let installed = g.current_epoch().unwrap();
+        assert_eq!(installed.key, direct.key);
+        assert_eq!(installed.iv, direct.iv);
     }
 
     #[test]

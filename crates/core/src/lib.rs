@@ -27,6 +27,9 @@
 //!   both runtimes share (heartbeats, backoff, timeout eviction, rejoin).
 //! * [`group`], [`config`], [`directory`] — group state, rekey policy, and
 //!   the leader's user directory.
+//! * [`journal`] — the sealed write-ahead journal of roster/epoch
+//!   transitions that lets a crashed leader recover every enclave and
+//!   re-admit members through the auto-rejoin path.
 //!
 //! # Quickstart
 //!
@@ -71,6 +74,7 @@ pub mod attacks;
 pub mod config;
 pub mod directory;
 pub mod group;
+pub mod journal;
 pub mod legacy;
 pub mod liveness;
 pub mod protocol;

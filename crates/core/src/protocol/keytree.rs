@@ -294,6 +294,34 @@ impl KeyTree {
         self.leaf_of.get(member).copied()
     }
 
+    /// Serializes the tree's durable state — shape, rotation cursor, node
+    /// keys, and leaf occupancy — into `out`. The byte-identity probe
+    /// used by the journal-replay machinery: a tree rebuilt from the
+    /// journal must serialize to exactly the live tree's bytes.
+    pub fn digest_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.leaf_count.to_be_bytes());
+        out.extend_from_slice(&self.next_refresh.to_be_bytes());
+        for key in &self.node_keys {
+            match key {
+                Some(k) => {
+                    out.push(1);
+                    out.extend_from_slice(k);
+                }
+                None => out.push(0),
+            }
+        }
+        for occupant in &self.occupants {
+            match occupant {
+                Some(member) => {
+                    out.push(1);
+                    out.extend_from_slice(member.as_str().as_bytes());
+                    out.push(0);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
     /// True when eviction churn has left more blank than occupied leaves
     /// in a non-trivial tree — the trigger for the [`reinit`](Self::reinit)
     /// fallback, which compacts the tree and restores the `O(log N)`
@@ -407,6 +435,24 @@ impl KeyTree {
         }
         self.next_refresh = (slot + 1) % self.leaf_count;
         self.refresh_path(slot, None, true, rng)
+    }
+
+    /// Re-draws an existing member's leaf secret and refreshes its path —
+    /// the crash-recovery re-admission step. After a leader restart the
+    /// member is still in the recovered roster and tree, but its leaf key
+    /// predates the crash; re-running the join-style refresh retires every
+    /// key on its old path before the member is handed the current tree
+    /// over its fresh session. Returns `None` if the member is not in the
+    /// tree.
+    pub fn refresh_member<R: CryptoRng + ?Sized>(
+        &mut self,
+        member: &ActorId,
+        rng: &mut R,
+    ) -> Option<PathUpdatePlan> {
+        let slot = self.leaf_of(member)?;
+        let mut leaf_secret = [0u8; 32];
+        rng.fill_bytes(&mut leaf_secret);
+        Some(self.refresh_path(slot, Some(leaf_secret), false, rng))
     }
 
     /// Rebuilds a compact tree from scratch: blank leaves vanish, every
@@ -932,6 +978,38 @@ mod tests {
         }
         assert_eq!(tree.leaf_count(), 0);
         assert!(tree.root_key().is_none());
+    }
+
+    #[test]
+    fn refresh_member_retires_old_leaf_and_others_follow() {
+        let mut rng = SeededRng::from_seed(41);
+        let mut tree = KeyTree::new();
+        let members: Vec<ActorId> = (0..6).map(|i| id(&format!("m{i}"))).collect();
+        let mut plans = Vec::new();
+        for m in &members {
+            plans.push(tree.add(m.clone(), &mut rng));
+        }
+        // Re-admission refresh for m2: its leaf key must change, the other
+        // members must each be able to follow from exactly one seal, and
+        // everyone (including the snapshot-resynced m2) converges on the
+        // new root.
+        let old_leaf = tree.path_keys(&id("m2")).unwrap().1[0];
+        let others: Vec<ActorId> = members
+            .iter()
+            .filter(|m| **m != id("m2"))
+            .cloned()
+            .collect();
+        let mut views = member_views(&tree, &others);
+        let plan = tree.refresh_member(&id("m2"), &mut rng).expect("in tree");
+        apply_plan(&mut views, &plan);
+        let new_leaf = tree.path_keys(&id("m2")).unwrap().1[0];
+        assert_ne!(old_leaf, new_leaf, "leaf key must be retired");
+        let root = tree.root_key().unwrap();
+        for (who, view) in &views {
+            assert_eq!(view.root_key(), Some(&root), "{who} lost the root");
+        }
+        // A member not in the tree yields no plan.
+        assert!(tree.refresh_member(&id("ghost"), &mut rng).is_none());
     }
 
     #[test]

@@ -5,6 +5,9 @@ use crate::config::LeaderConfig;
 use crate::directory::Directory;
 use crate::error::{CoreError, RejectReason};
 use crate::group::GroupState;
+use crate::journal::{
+    config_from_genesis, JournalError, JournalWriter, ReplayedStream, TapePlayer, TapeRecorder,
+};
 use crate::protocol::keytree::{KeyTree, NodeKey, PathUpdatePlan};
 use crate::protocol::{broadcast_nonce, SEQ_LEADER};
 use enclaves_crypto::aead::ChaCha20Poly1305;
@@ -14,6 +17,7 @@ use enclaves_crypto::rng::{CryptoRng, OsEntropyRng};
 use enclaves_crypto::treekdf;
 use enclaves_obs::{Counter, EventKind, EventStream, Histogram, Registry};
 use enclaves_wire::codec::{encode, encode_into};
+use enclaves_wire::journal::{EpochStamp, JournalOp, JournalPayload, JournalTransition};
 use enclaves_wire::message::{
     group_broadcast_aad, group_data_aad, open, path_update_aad, seal, AdminPayload, AdminPlain,
     AuthInitPlain, ClosePlain, Envelope, GroupBroadcastWire, GroupDataWire, HeartbeatPlain,
@@ -146,6 +150,8 @@ struct LeaderObs {
     retransmits: Counter,
     evictions: Counter,
     heartbeats: Counter,
+    journal_appends: Counter,
+    journal_bytes: Counter,
     seal_batch_ns: Histogram,
     lock_hold_batch_ns: Histogram,
     path_depth: Histogram,
@@ -170,6 +176,8 @@ impl LeaderObs {
             retransmits: registry.counter("leader.retransmits"),
             evictions: registry.counter("leader.evictions"),
             heartbeats: registry.counter("leader.heartbeats"),
+            journal_appends: registry.counter("leader.journal.appends"),
+            journal_bytes: registry.counter("leader.journal.bytes"),
             seal_batch_ns: registry.histogram("leader.seal_batch_ns"),
             lock_hold_batch_ns: registry.histogram("leader.lock_hold_batch_ns"),
             path_depth: registry.histogram("leader.path_depth"),
@@ -377,6 +385,11 @@ pub struct LeaderCore {
     /// hold per-member channel secrets, interior keys are HKDF-derived
     /// from children, and the root feeds `treekdf::derive_group`.
     tree: Option<KeyTree>,
+    /// The attached write-ahead journal writer (`None` for an ephemeral
+    /// core). When present, every membership/epoch transition is sealed
+    /// into the journal *before* its frames are staged or dispatched, so
+    /// a crash never loses a transition members may have observed.
+    journal: Option<JournalWriter>,
     obs: LeaderObs,
     /// Scratch buffer reused across data-plane broadcasts so a steady
     /// stream of them does not reallocate the envelope encoding each time.
@@ -424,6 +437,7 @@ impl LeaderCore {
             group: GroupState::new(),
             enclave,
             tree,
+            journal: None,
             obs: LeaderObs::new(),
             frame_buf: Vec::new(),
             now: Duration::ZERO,
@@ -669,17 +683,33 @@ impl LeaderCore {
             ..LeaderOutput::default()
         };
 
-        self.group.join(user.clone(), self.rng.as_mut());
-        if self.tree.is_some() {
-            output.merge(self.tree_join(&user)?);
-            return Ok(output);
-        }
-        let rekeyed = if self.config.rekey_policy.rekey_on_join() && self.group.len() > 1 {
-            self.group.rekey(self.rng.as_mut());
-            self.obs.rekeys.inc();
-            true
-        } else {
-            false
+        // Apply the membership transition over a recorded RNG tape, then
+        // commit it to the journal *before* any frame is staged: a crash
+        // after this point replays to exactly this state.
+        let mut tape = Vec::new();
+        let outcome = {
+            let mut rec = TapeRecorder::new(self.rng.as_mut(), &mut tape);
+            apply_join(
+                &mut self.group,
+                &mut self.tree,
+                &self.config,
+                &user,
+                &mut rec,
+            )
+        };
+        self.journal_commit(JournalOp::Join(user.clone()), tape)?;
+        let rekeyed = match outcome {
+            JoinOutcome::Tree { plan, epoch } => {
+                self.obs.rekeys.inc();
+                output.merge(self.tree_join_fanout(&user, &plan, epoch)?);
+                return Ok(output);
+            }
+            JoinOutcome::Flat { rekeyed } => {
+                if rekeyed {
+                    self.obs.rekeys.inc();
+                }
+                rekeyed
+            }
         };
 
         // Welcome the new member with the roster and the (possibly fresh)
@@ -719,12 +749,13 @@ impl LeaderCore {
                 .collect();
             for other in others {
                 if notices {
-                    output.merge(
-                        self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?,
-                    );
+                    output.merge(self.enqueue_admin_connected(
+                        &other,
+                        AdminPayload::MemberJoined(user.clone()),
+                    )?);
                 }
                 if rekeyed {
-                    output.merge(self.enqueue_admin(&other, new_key_payload.clone())?);
+                    output.merge(self.enqueue_admin_connected(&other, new_key_payload.clone())?);
                 }
             }
         }
@@ -735,20 +766,17 @@ impl LeaderCore {
         Ok(output)
     }
 
-    /// Tree-mode join: place the new member in the rekey tree, refresh its
-    /// leaf-to-root path, and advance the epoch to the key the fresh root
-    /// derives. The joiner learns its direct path from an admin `PathSync`
-    /// riding behind its `Welcome`; everyone else learns the rewritten
-    /// keys from the `O(log N)` `PathUpdate` broadcast.
-    fn tree_join(&mut self, user: &ActorId) -> Result<LeaderOutput, CoreError> {
-        let plan = self
-            .tree
-            .as_mut()
-            .expect("tree mode")
-            .add(user.clone(), self.rng.as_mut());
-        let epoch = self.advance_tree_epoch(&plan.root_key);
-        self.obs.rekeys.inc();
-
+    /// Tree-mode join fan-out: the member was already placed in the rekey
+    /// tree and the epoch advanced (and journaled) by [`apply_join`]. The
+    /// joiner learns its direct path from an admin `PathSync` riding
+    /// behind its `Welcome`; everyone else learns the rewritten keys from
+    /// the `O(log N)` `PathUpdate` broadcast.
+    fn tree_join_fanout(
+        &mut self,
+        user: &ActorId,
+        plan: &PathUpdatePlan,
+        epoch: u64,
+    ) -> Result<LeaderOutput, CoreError> {
         let mut output = LeaderOutput::default();
         // The Welcome carries the fresh epoch's key so the joiner is live
         // on the data plane immediately; the PathSync behind it seeds its
@@ -775,24 +803,17 @@ impl LeaderCore {
                 .filter(|m| m != user)
                 .collect();
             for other in others {
-                output.merge(self.enqueue_admin(&other, AdminPayload::MemberJoined(user.clone()))?);
+                output.merge(
+                    self.enqueue_admin_connected(&other, AdminPayload::MemberJoined(user.clone()))?,
+                );
             }
         }
-        if let Some(frame) = self.build_path_update_frame(&plan, epoch, Some(user)) {
+        if let Some(frame) = self.build_path_update_frame(plan, epoch, Some(user)) {
             output.broadcasts.push(frame);
         }
         self.obs.emit(|| EventKind::Rekeyed { epoch });
         output.events.push(LeaderEvent::Rekeyed(epoch));
         Ok(output)
-    }
-
-    /// Derives the next epoch's group key from a fresh tree root and
-    /// commits it. `derive_group` binds the epoch number into the KDF, so
-    /// distinct epochs always yield distinct keys and IVs.
-    fn advance_tree_epoch(&mut self, root_key: &NodeKey) -> u64 {
-        let epoch = self.group.next_epoch_number();
-        let (key, iv) = treekdf::derive_group(root_key, epoch);
-        self.group.advance_epoch_with(GroupKey::from_bytes(key), iv)
     }
 
     /// The `PathSync` payload carrying `user`'s current direct path, with
@@ -957,11 +978,30 @@ impl LeaderCore {
     /// the protocol handling is identical for all three paths (the paper's
     /// `Oops(Ka)` close is one transition however it was triggered).
     fn depart_fanout(&mut self, user: &ActorId, kind: Departure) -> Result<AdminFanout, CoreError> {
-        let was_member = self.group.leave(user);
         let mut fanout = AdminFanout::default();
-        if !was_member {
+        // Apply the transition over a recorded RNG tape; journal it before
+        // staging a single frame. A non-member is not a transition and is
+        // not journaled.
+        let mut tape = Vec::new();
+        let outcome = {
+            let mut rec = TapeRecorder::new(self.rng.as_mut(), &mut tape);
+            apply_depart(
+                &mut self.group,
+                &mut self.tree,
+                &self.config,
+                user,
+                &mut rec,
+            )
+        };
+        if matches!(outcome, DepartOutcome::NotMember) {
             return Ok(fanout);
         }
+        let op = match kind {
+            Departure::Close => JournalOp::Leave(user.clone()),
+            Departure::Expel => JournalOp::Expel(user.clone()),
+            Departure::Evict => JournalOp::Evict(user.clone()),
+        };
+        self.journal_commit(op, tape)?;
         fanout.events.push(match kind {
             Departure::Close | Departure::Expel => LeaderEvent::MemberLeft(user.clone()),
             Departure::Evict => LeaderEvent::MemberEvicted(user.clone()),
@@ -978,92 +1018,75 @@ impl LeaderCore {
             }
         });
 
-        if self.tree.is_some() {
-            self.tree_depart(user, &mut fanout)?;
-            return Ok(fanout);
-        }
-
-        let rekeyed = if self.config.rekey_policy.rekey_on_leave() && !self.group.is_empty() {
-            self.group.rekey(self.rng.as_mut());
-            self.obs.rekeys.inc();
-            true
-        } else {
-            false
-        };
-        let new_key_payload = self.group.current_epoch().map(|e| {
-            (
-                e.epoch,
-                AdminPayload::NewGroupKey {
-                    epoch: e.epoch,
-                    key: *e.key.as_bytes(),
-                    iv: e.iv,
-                },
-            )
-        });
-
-        let notices = self.config.membership_notices;
-        if notices || rekeyed {
-            for other in self.group.roster() {
-                if notices {
-                    fanout
-                        .jobs
-                        .extend(self.stage_admin(&other, AdminPayload::MemberLeft(user.clone()))?);
-                }
-                if rekeyed {
-                    if let Some((_, payload)) = &new_key_payload {
-                        fanout
-                            .jobs
-                            .extend(self.stage_admin(&other, payload.clone())?);
-                    }
-                }
-            }
-        }
-        if rekeyed {
-            if let Some((epoch, _)) = new_key_payload {
+        match outcome {
+            DepartOutcome::NotMember => unreachable!("handled above"),
+            // The tree (and group) is now empty: nobody left to rekey.
+            DepartOutcome::TreeEmpty => Ok(fanout),
+            DepartOutcome::Tree { plan, epoch } => {
+                self.obs.rekeys.inc();
+                fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
                 self.obs.emit(|| EventKind::Rekeyed { epoch });
                 fanout.events.push(LeaderEvent::Rekeyed(epoch));
+                Ok(fanout)
+            }
+            DepartOutcome::TreeReinit { epoch } => {
+                self.obs.rekeys.inc();
+                self.tree_resync_fanout(epoch, &mut fanout)?;
+                Ok(fanout)
+            }
+            DepartOutcome::Flat { rekeyed } => {
+                if rekeyed {
+                    self.obs.rekeys.inc();
+                }
+                let new_key_payload = self.group.current_epoch().map(|e| {
+                    (
+                        e.epoch,
+                        AdminPayload::NewGroupKey {
+                            epoch: e.epoch,
+                            key: *e.key.as_bytes(),
+                            iv: e.iv,
+                        },
+                    )
+                });
+
+                let notices = self.config.membership_notices;
+                if notices || rekeyed {
+                    for other in self.group.roster() {
+                        if notices {
+                            fanout.jobs.extend(self.stage_admin_connected(
+                                &other,
+                                AdminPayload::MemberLeft(user.clone()),
+                            )?);
+                        }
+                        if rekeyed {
+                            if let Some((_, payload)) = &new_key_payload {
+                                fanout
+                                    .jobs
+                                    .extend(self.stage_admin_connected(&other, payload.clone())?);
+                            }
+                        }
+                    }
+                }
+                if rekeyed {
+                    if let Some((epoch, _)) = new_key_payload {
+                        self.obs.emit(|| EventKind::Rekeyed { epoch });
+                        fanout.events.push(LeaderEvent::Rekeyed(epoch));
+                    }
+                }
+                Ok(fanout)
             }
         }
-        Ok(fanout)
     }
 
-    /// Tree-mode departure: blank the departed member's leaf and rewrite
-    /// its former path, so every key it held is retired — no seal in the
-    /// resulting `PathUpdate` targets a key the departee knows. Falls back
-    /// to a full reinit (`O(N)` admin resyncs) when churn has left the
-    /// tree mostly blank.
-    fn tree_depart(&mut self, user: &ActorId, fanout: &mut AdminFanout) -> Result<(), CoreError> {
-        let tree = self.tree.as_mut().expect("tree mode");
-        let Some(plan) = tree.remove(user, self.rng.as_mut()) else {
-            // The tree (and group) is now empty: nobody left to rekey.
-            return Ok(());
-        };
-        if self.tree.as_ref().expect("tree mode").is_pathological() {
-            return self.tree_reinit(fanout);
-        }
-        let epoch = self.advance_tree_epoch(&plan.root_key);
-        self.obs.rekeys.inc();
-        fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
-        self.obs.emit(|| EventKind::Rekeyed { epoch });
-        fanout.events.push(LeaderEvent::Rekeyed(epoch));
-        Ok(())
-    }
-
-    /// The pathological-roster fallback: rebuild a compact tree with
-    /// fresh keys and resync every member over its reliable admin channel
-    /// — `O(N)` admin seals once, restoring the `O(log N)` bound for
-    /// every subsequent path update.
-    fn tree_reinit(&mut self, fanout: &mut AdminFanout) -> Result<(), CoreError> {
-        let Some(root) = self
-            .tree
-            .as_mut()
-            .expect("tree mode")
-            .reinit(self.rng.as_mut())
-        else {
-            return Ok(());
-        };
-        let epoch = self.advance_tree_epoch(&root);
-        self.obs.rekeys.inc();
+    /// The fan-out half of a full tree reinit: resync every member's
+    /// direct path over its reliable admin channel — `O(N)` admin seals
+    /// once, restoring the `O(log N)` bound for every subsequent path
+    /// update.
+    fn tree_resync_fanout(
+        &mut self,
+        epoch: u64,
+        fanout: &mut AdminFanout,
+    ) -> Result<(), CoreError> {
         for member in self.group.roster() {
             let Some((e, payload)) = self.path_sync_payload(&member) else {
                 continue;
@@ -1071,7 +1094,9 @@ impl LeaderCore {
             if let Some(Slot::Connected(channel)) = self.slots.get_mut(&member) {
                 channel.synced_epoch = channel.synced_epoch.max(e);
             }
-            fanout.jobs.extend(self.stage_admin(&member, payload)?);
+            fanout
+                .jobs
+                .extend(self.stage_admin_connected(&member, payload)?);
         }
         self.obs.emit(|| EventKind::Rekeyed { epoch });
         fanout.events.push(LeaderEvent::Rekeyed(epoch));
@@ -1212,6 +1237,37 @@ impl LeaderCore {
             return Ok(LeaderOutput::default());
         };
         self.enqueue_admin(user, payload)
+    }
+
+    /// Fan-out variant of [`LeaderCore::stage_admin`]: a roster member
+    /// with no connected channel is skipped (`Ok(None)`) instead of an
+    /// error. After a journal recovery the whole roster is sessionless
+    /// until each member re-authenticates, and a fan-out triggered by the
+    /// first re-admission must not abort on the members still in flight —
+    /// they learn the current roster and key material from their own
+    /// re-admission `Welcome`.
+    fn stage_admin_connected(
+        &mut self,
+        user: &ActorId,
+        payload: AdminPayload,
+    ) -> Result<Option<SealJob>, CoreError> {
+        match self.stage_admin(user, payload) {
+            Err(CoreError::UnknownUser(_)) => Ok(None),
+            other => other,
+        }
+    }
+
+    /// [`LeaderCore::enqueue_admin`] with the same skip-if-absent rule as
+    /// [`LeaderCore::stage_admin_connected`], for serial fan-out loops.
+    fn enqueue_admin_connected(
+        &mut self,
+        user: &ActorId,
+        payload: AdminPayload,
+    ) -> Result<LeaderOutput, CoreError> {
+        match self.enqueue_admin(user, payload) {
+            Err(CoreError::UnknownUser(_)) => Ok(LeaderOutput::default()),
+            other => other,
+        }
     }
 
     /// Queues (or immediately sends) an admin payload to one member — the
@@ -1604,39 +1660,41 @@ impl LeaderCore {
         if self.group.is_empty() {
             return Ok(fanout);
         }
-        if self.tree.is_some() {
-            // Tree mode: refresh one leaf-to-root path (rotating over the
-            // roster) and multicast the copath seals — zero admin seals,
-            // `O(log N)` AEAD work. The refreshed member follows from the
-            // broadcast too: its first seal targets its own leaf key.
-            let plan = self
-                .tree
-                .as_mut()
-                .expect("tree mode")
-                .refresh_next(self.rng.as_mut());
-            let epoch = self.advance_tree_epoch(&plan.root_key);
-            self.obs.rekeys.inc();
-            fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
-            self.obs.emit(|| EventKind::Rekeyed { epoch });
-            fanout.events.push(LeaderEvent::Rekeyed(epoch));
-            return Ok(fanout);
-        }
-        self.group.rekey(self.rng.as_mut());
-        self.obs.rekeys.inc();
-        let epoch = self.group.current_epoch().expect("nonempty group has key");
-        let payload = AdminPayload::NewGroupKey {
-            epoch: epoch.epoch,
-            key: *epoch.key.as_bytes(),
-            iv: epoch.iv,
+        let mut tape = Vec::new();
+        let outcome = {
+            let mut rec = TapeRecorder::new(self.rng.as_mut(), &mut tape);
+            apply_rekey(&mut self.group, &mut self.tree, &mut rec)
         };
-        let epoch_num = epoch.epoch;
-        for member in self.group.roster() {
-            fanout
-                .jobs
-                .extend(self.stage_admin(&member, payload.clone())?);
+        self.journal_commit(JournalOp::Rekey, tape)?;
+        self.obs.rekeys.inc();
+        match outcome {
+            RekeyOutcome::Tree { plan, epoch } => {
+                // Tree mode: one leaf-to-root path was refreshed (rotating
+                // over the roster); multicast the copath seals — zero admin
+                // seals, `O(log N)` AEAD work. The refreshed member follows
+                // from the broadcast too: its first seal targets its own
+                // leaf key.
+                fanout.broadcast = self.build_path_update_frame(&plan, epoch, None);
+                self.obs.emit(|| EventKind::Rekeyed { epoch });
+                fanout.events.push(LeaderEvent::Rekeyed(epoch));
+            }
+            RekeyOutcome::Flat => {
+                let epoch = self.group.current_epoch().expect("nonempty group has key");
+                let payload = AdminPayload::NewGroupKey {
+                    epoch: epoch.epoch,
+                    key: *epoch.key.as_bytes(),
+                    iv: epoch.iv,
+                };
+                let epoch_num = epoch.epoch;
+                for member in self.group.roster() {
+                    fanout
+                        .jobs
+                        .extend(self.stage_admin_connected(&member, payload.clone())?);
+                }
+                self.obs.emit(|| EventKind::Rekeyed { epoch: epoch_num });
+                fanout.events.push(LeaderEvent::Rekeyed(epoch_num));
+            }
         }
-        self.obs.emit(|| EventKind::Rekeyed { epoch: epoch_num });
-        fanout.events.push(LeaderEvent::Rekeyed(epoch_num));
         Ok(fanout)
     }
 
@@ -1667,9 +1725,9 @@ impl LeaderCore {
         let mut fanout = AdminFanout::default();
         let recipients = self.group.roster();
         for member in &recipients {
-            fanout
-                .jobs
-                .extend(self.stage_admin(member, AdminPayload::AppData(Arc::clone(&shared)))?);
+            fanout.jobs.extend(
+                self.stage_admin_connected(member, AdminPayload::AppData(Arc::clone(&shared)))?,
+            );
         }
         self.obs.emit(|| EventKind::AdminSend {
             payload: data.to_vec(),
@@ -1771,6 +1829,337 @@ impl LeaderCore {
             return Err(CoreError::UnknownUser(user.to_string()));
         }
         self.depart_fanout(user, Departure::Expel)
+    }
+
+    /// Attaches a write-ahead journal writer. Every subsequent
+    /// membership/epoch transition is sealed into the journal *before*
+    /// its frames are staged or dispatched.
+    pub fn attach_journal(&mut self, writer: JournalWriter) {
+        self.journal = Some(writer);
+    }
+
+    /// True if a journal writer is attached.
+    #[must_use]
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Seals one transition record — the operation, its RNG tape, and the
+    /// resulting epoch stamp — into the attached journal. A no-op for an
+    /// ephemeral core. On error the transition was *not* durably
+    /// committed; the caller must propagate rather than dispatch frames.
+    fn journal_commit(&mut self, op: JournalOp, tape: Vec<u8>) -> Result<(), CoreError> {
+        let Some(writer) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let transition = JournalTransition {
+            op,
+            tape,
+            stamp: stamp_of(&self.group),
+        };
+        let (_, bytes) = writer.append(&JournalPayload::Transition(transition))?;
+        self.obs.journal_appends.inc();
+        self.obs.journal_bytes.add(bytes);
+        Ok(())
+    }
+
+    /// Rebuilds a core from a replayed journal stream: the genesis
+    /// configuration plus a deterministic re-execution of every recorded
+    /// transition over its RNG tape. The rebuilt core carries the
+    /// recorded roster, epoch, and key tree — byte-identical to the
+    /// crashed core's durable state — but no live sessions: members
+    /// re-authenticate through the auto-rejoin path.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::ReplayDivergence`] if re-execution does not land
+    /// exactly on a record's stamp (wrong epoch or key material, or an
+    /// RNG-tape length mismatch): the journal and the code disagree and
+    /// the rebuilt state cannot be trusted.
+    pub fn recover(replay: &ReplayedStream) -> Result<LeaderCore, JournalError> {
+        let (leader, directory, config) = config_from_genesis(&replay.genesis);
+        let mut core = LeaderCore::new(leader, directory, config);
+        for (i, t) in replay.transitions.iter().enumerate() {
+            let seq = i as u64 + 2; // record 1 is the genesis
+            let mut player = TapePlayer::new(t.tape.clone());
+            match &t.op {
+                JournalOp::Join(user) => {
+                    apply_join(
+                        &mut core.group,
+                        &mut core.tree,
+                        &core.config,
+                        user,
+                        &mut player,
+                    );
+                }
+                JournalOp::Leave(user) | JournalOp::Expel(user) | JournalOp::Evict(user) => {
+                    apply_depart(
+                        &mut core.group,
+                        &mut core.tree,
+                        &core.config,
+                        user,
+                        &mut player,
+                    );
+                }
+                JournalOp::Rekey => {
+                    if core.group.is_empty() {
+                        return Err(JournalError::ReplayDivergence {
+                            seq,
+                            detail: "rekey recorded for an empty group".into(),
+                        });
+                    }
+                    apply_rekey(&mut core.group, &mut core.tree, &mut player);
+                }
+                JournalOp::Recover { target_epoch } => {
+                    apply_recover(&mut core.group, &mut core.tree, *target_epoch, &mut player);
+                }
+            }
+            let stamp = stamp_of(&core.group);
+            if stamp.epoch != t.stamp.epoch {
+                return Err(JournalError::ReplayDivergence {
+                    seq,
+                    detail: format!("epoch {} != recorded {}", stamp.epoch, t.stamp.epoch),
+                });
+            }
+            if stamp != t.stamp {
+                return Err(JournalError::ReplayDivergence {
+                    seq,
+                    detail: "regenerated key material differs from the stamp".into(),
+                });
+            }
+            if player.underrun() || player.leftover() > 0 {
+                return Err(JournalError::ReplayDivergence {
+                    seq,
+                    detail: format!(
+                        "rng tape mismatch (underrun: {}, leftover: {} bytes)",
+                        player.underrun(),
+                        player.leftover()
+                    ),
+                });
+            }
+        }
+        Ok(core)
+    }
+
+    /// Advances a recovered core into a fresh epoch strictly past both
+    /// the replayed epoch and the journal fence, and journals the jump.
+    /// Members of the old epoch cannot be rewound onto it, and a stale
+    /// journal restore (the rewind attack) can never re-issue an epoch
+    /// members have already seen — the fence file outlives the stream.
+    /// Returns the new epoch number, or `None` for a group that never
+    /// established one (nothing to fence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal append failures.
+    pub fn recovery_advance(&mut self, fence: Option<u64>) -> Result<Option<u64>, CoreError> {
+        if self.group.current_epoch().is_none() && fence.is_none() {
+            return Ok(None);
+        }
+        let target = self
+            .group
+            .next_epoch_number()
+            .max(fence.unwrap_or(0).saturating_add(1));
+        let mut tape = Vec::new();
+        {
+            let mut rec = TapeRecorder::new(self.rng.as_mut(), &mut tape);
+            apply_recover(&mut self.group, &mut self.tree, target, &mut rec);
+        }
+        self.obs.rekeys.inc();
+        self.journal_commit(
+            JournalOp::Recover {
+                target_epoch: target,
+            },
+            tape,
+        )?;
+        Ok(Some(target))
+    }
+
+    /// A digest of this core's durable state — roster, epoch stamp, and
+    /// key tree. The byte-identity probe for journal-replay tests: a
+    /// recovered core must produce exactly the live core's digest.
+    #[must_use]
+    pub fn durable_digest(&self) -> [u8; 32] {
+        let mut bytes = Vec::new();
+        for member in self.group.roster() {
+            bytes.extend_from_slice(member.as_str().as_bytes());
+            bytes.push(0);
+        }
+        let stamp = stamp_of(&self.group);
+        bytes.extend_from_slice(&stamp.epoch.to_be_bytes());
+        bytes.extend_from_slice(&stamp.key);
+        bytes.extend_from_slice(&stamp.iv);
+        match &self.tree {
+            Some(tree) => {
+                bytes.push(1);
+                tree.digest_into(&mut bytes);
+            }
+            None => bytes.push(0),
+        }
+        enclaves_crypto::sha256::sha256(&bytes)
+    }
+}
+
+/// Outcome of the join transition ([`apply_join`]): mutations only, no
+/// fan-out.
+enum JoinOutcome {
+    /// Flat mode; `rekeyed` per the join policy.
+    Flat { rekeyed: bool },
+    /// Tree mode: the member holds a (fresh or refreshed) leaf and the
+    /// epoch advanced to the new root's derivation.
+    Tree { plan: PathUpdatePlan, epoch: u64 },
+}
+
+/// Outcome of the departure transition ([`apply_depart`]).
+enum DepartOutcome {
+    /// The user was not a member; nothing changed (and nothing was
+    /// journaled).
+    NotMember,
+    /// Flat mode; `rekeyed` per the leave policy.
+    Flat { rekeyed: bool },
+    /// Tree mode and the group is now empty: no epoch advance.
+    TreeEmpty,
+    /// Tree mode: the departed path was rewritten.
+    Tree { plan: PathUpdatePlan, epoch: u64 },
+    /// Tree mode: churn left the tree pathological and it was rebuilt
+    /// from scratch — every member needs an admin path resync.
+    TreeReinit { epoch: u64 },
+}
+
+/// Outcome of the explicit-rekey transition ([`apply_rekey`]).
+enum RekeyOutcome {
+    Flat,
+    Tree { plan: PathUpdatePlan, epoch: u64 },
+}
+
+/// Derives the next epoch's group key from a fresh tree root and commits
+/// it. `derive_group` binds the epoch number into the KDF, so distinct
+/// epochs always yield distinct keys and IVs.
+fn advance_tree_epoch(group: &mut GroupState, root_key: &NodeKey) -> u64 {
+    let epoch = group.next_epoch_number();
+    let (key, iv) = treekdf::derive_group(root_key, epoch);
+    group.advance_epoch_with(GroupKey::from_bytes(key), iv)
+}
+
+/// The join transition over explicit state — the *only* mutation path for
+/// a join, shared verbatim between live handling (under a [`TapeRecorder`])
+/// and journal replay (under a [`TapePlayer`]), which is what makes replay
+/// a pure function of the journal bytes.
+fn apply_join(
+    group: &mut GroupState,
+    tree: &mut Option<KeyTree>,
+    config: &LeaderConfig,
+    user: &ActorId,
+    rng: &mut dyn CryptoRng,
+) -> JoinOutcome {
+    group.join(user.clone(), rng);
+    if let Some(tree) = tree.as_mut() {
+        // A re-admission — the member survived in the recovered roster
+        // and tree while its session died with the old leader — refreshes
+        // the existing leaf instead of re-adding it, retiring every key
+        // on its possibly compromised old path.
+        let plan = if tree.leaf_of(user).is_some() {
+            tree.refresh_member(user, rng)
+                .expect("member is in the tree")
+        } else {
+            tree.add(user.clone(), rng)
+        };
+        let epoch = advance_tree_epoch(group, &plan.root_key);
+        return JoinOutcome::Tree { plan, epoch };
+    }
+    let rekeyed = config.rekey_policy.rekey_on_join() && group.len() > 1;
+    if rekeyed {
+        group.rekey(rng);
+    }
+    JoinOutcome::Flat { rekeyed }
+}
+
+/// The departure transition over explicit state; see [`apply_join`] for
+/// why this is a free function. In tree mode the departed member's leaf
+/// is blanked and its former path rewritten, so every key it held is
+/// retired; a mostly-blank tree is rebuilt outright.
+fn apply_depart(
+    group: &mut GroupState,
+    tree: &mut Option<KeyTree>,
+    config: &LeaderConfig,
+    user: &ActorId,
+    rng: &mut dyn CryptoRng,
+) -> DepartOutcome {
+    if !group.leave(user) {
+        return DepartOutcome::NotMember;
+    }
+    if let Some(t) = tree.as_mut() {
+        let Some(plan) = t.remove(user, rng) else {
+            return DepartOutcome::TreeEmpty;
+        };
+        if t.is_pathological() {
+            let Some(root) = t.reinit(rng) else {
+                return DepartOutcome::TreeEmpty;
+            };
+            let epoch = advance_tree_epoch(group, &root);
+            return DepartOutcome::TreeReinit { epoch };
+        }
+        let epoch = advance_tree_epoch(group, &plan.root_key);
+        return DepartOutcome::Tree { plan, epoch };
+    }
+    let rekeyed = config.rekey_policy.rekey_on_leave() && !group.is_empty();
+    if rekeyed {
+        group.rekey(rng);
+    }
+    DepartOutcome::Flat { rekeyed }
+}
+
+/// The explicit-rekey transition over explicit state; see [`apply_join`]
+/// for why this is a free function. The caller guarantees a non-empty
+/// group.
+fn apply_rekey(
+    group: &mut GroupState,
+    tree: &mut Option<KeyTree>,
+    rng: &mut dyn CryptoRng,
+) -> RekeyOutcome {
+    if let Some(t) = tree.as_mut() {
+        let plan = t.refresh_next(rng);
+        let epoch = advance_tree_epoch(group, &plan.root_key);
+        return RekeyOutcome::Tree { plan, epoch };
+    }
+    group.rekey(rng);
+    RekeyOutcome::Flat
+}
+
+/// The recovery-epoch transition: installs a caller-chosen epoch number
+/// (strictly past everything replayed *and* fenced) with fresh key
+/// material — from a refreshed tree root when a populated tree survived
+/// replay, from the RNG otherwise.
+fn apply_recover(
+    group: &mut GroupState,
+    tree: &mut Option<KeyTree>,
+    target_epoch: u64,
+    rng: &mut dyn CryptoRng,
+) {
+    match tree.as_mut() {
+        Some(t) if t.occupied() > 0 => {
+            let plan = t.refresh_next(rng);
+            let (key, iv) = treekdf::derive_group(&plan.root_key, target_epoch);
+            group.install_epoch(target_epoch, GroupKey::from_bytes(key), iv);
+        }
+        _ => group.install_fresh_epoch(target_epoch, rng),
+    }
+}
+
+/// The current epoch as a journal [`EpochStamp`] (epoch 0 and zeroed
+/// material before the first key is established).
+fn stamp_of(group: &GroupState) -> EpochStamp {
+    match group.current_epoch() {
+        Some(e) => EpochStamp {
+            epoch: e.epoch,
+            key: *e.key.as_bytes(),
+            iv: e.iv,
+        },
+        None => EpochStamp {
+            epoch: 0,
+            key: [0; 32],
+            iv: [0; 12],
+        },
     }
 }
 
@@ -2901,5 +3290,124 @@ mod tests {
         // The honest flow still works afterwards.
         w.rekey();
         w.assert_converged();
+    }
+
+    // -----------------------------------------------------------------
+    // Write-ahead journal: live core vs recovered core.
+    // -----------------------------------------------------------------
+
+    /// A scratch journal directory removed on drop.
+    struct TempJournal(std::path::PathBuf);
+
+    impl TempJournal {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "enclaves-leader-journal-{}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            TempJournal(path)
+        }
+    }
+
+    impl Drop for TempJournal {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn journaled_flat_core_recovers_byte_identical() {
+        use crate::journal::{genesis_for, label_for, JournalDir, ReadMode};
+        let tmp = TempJournal::new("flat");
+        let dir = JournalDir::open_or_init(&tmp.0).unwrap();
+        let mut l = LeaderCore::with_rng(
+            id("leader"),
+            directory(&["alice", "bob"]),
+            LeaderConfig {
+                rekey_policy: RekeyPolicy::OnJoinAndLeave,
+                ..LeaderConfig::default()
+            },
+            Box::new(SeededRng::from_seed(7)),
+        );
+        let genesis = genesis_for(l.leader_id(), &l.directory, &l.config);
+        l.attach_journal(dir.create_stream(&label_for(None), &genesis).unwrap());
+
+        let (mut alice, init_a) = member("alice", 500);
+        pump(&mut l, &mut alice, init_a);
+        let (mut bob, init_b) = member("bob", 501);
+        join_second(&mut l, &mut [("alice", &mut alice)], &mut bob, init_b);
+        l.rekey_now().unwrap();
+        let env = alice.leave().unwrap();
+        l.handle(&env).unwrap();
+        assert!(l.stats().rekeys >= 3);
+
+        let replay = dir
+            .replay_stream(&label_for(None), ReadMode::Strict)
+            .unwrap();
+        let recovered = LeaderCore::recover(&replay).unwrap();
+        assert_eq!(recovered.roster(), l.roster());
+        assert_eq!(recovered.epoch(), l.epoch());
+        assert_eq!(
+            recovered.durable_digest(),
+            l.durable_digest(),
+            "replay must land byte-identically on the live state"
+        );
+    }
+
+    #[test]
+    fn journaled_tree_core_recovers_and_advances_past_fence() {
+        use crate::journal::{genesis_for, label_for, JournalDir, ReadMode};
+        let tmp = TempJournal::new("tree");
+        let dir = JournalDir::open_or_init(&tmp.0).unwrap();
+        let users = names(6);
+        let refs: Vec<&str> = users.iter().map(String::as_str).collect();
+        let mut w = TreeWorld::new(&refs);
+        let genesis = genesis_for(w.l.leader_id(), &w.l.directory, &w.l.config);
+        w.l.attach_journal(dir.create_stream(&label_for(None), &genesis).unwrap());
+        for (i, u) in users.iter().enumerate() {
+            w.join(u, 520 + i as u64);
+        }
+        w.leave("m2");
+        w.rekey();
+        w.assert_converged();
+        let live_epoch = w.l.epoch().unwrap();
+
+        let replay = dir
+            .replay_stream(&label_for(None), ReadMode::Strict)
+            .unwrap();
+        assert_eq!(
+            replay.fenced_epoch,
+            Some(live_epoch),
+            "the fence tracks the highest journaled epoch"
+        );
+        let mut recovered = LeaderCore::recover(&replay).unwrap();
+        assert_eq!(recovered.durable_digest(), w.l.durable_digest());
+
+        // The post-recovery epoch jump lands strictly past the fence and
+        // is itself journaled: a second replay reproduces it exactly.
+        recovered.attach_journal(dir.open_writer(&label_for(None), &replay).unwrap());
+        let new_epoch = recovered
+            .recovery_advance(replay.fenced_epoch)
+            .unwrap()
+            .unwrap();
+        assert!(new_epoch > live_epoch);
+        let replay2 = dir
+            .replay_stream(&label_for(None), ReadMode::Strict)
+            .unwrap();
+        let recovered2 = LeaderCore::recover(&replay2).unwrap();
+        assert_eq!(recovered2.epoch(), Some(new_epoch));
+        assert_eq!(recovered2.durable_digest(), recovered.durable_digest());
+    }
+
+    #[test]
+    fn recovery_advance_without_epoch_or_fence_is_a_no_op() {
+        let mut l = leader(&["alice"], RekeyPolicy::Manual);
+        assert_eq!(l.recovery_advance(None).unwrap(), None);
+        assert_eq!(l.epoch(), None);
+        // With a fence but no epoch (stale-journal restore of a pre-join
+        // stream), the core still jumps past the fence.
+        assert_eq!(l.recovery_advance(Some(9)).unwrap(), Some(10));
+        assert_eq!(l.epoch(), Some(10));
     }
 }

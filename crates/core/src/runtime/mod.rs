@@ -24,7 +24,10 @@ mod service;
 
 pub use leader::LeaderRuntime;
 pub use member::{MemberOptions, MemberRuntime, Reconnector};
-pub use service::{BroadcastReceipt, GroupHandle, LeaderService, ServiceConfig};
+pub use service::{
+    BroadcastReceipt, FailedGroup, GroupHandle, LeaderService, RecoveredGroup, RecoveryReport,
+    ServiceConfig,
+};
 
 use crossbeam_channel::Receiver;
 use std::time::{Duration, Instant};

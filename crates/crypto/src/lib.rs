@@ -25,6 +25,7 @@
 //!   (node keys, chained path secrets, and the per-epoch group key/IV
 //!   derived from the tree root).
 //! * [`constant_time`] — constant-time comparison helpers.
+//! * [`crc`] — CRC-32 (IEEE) for journal record fast-fail framing.
 //! * [`rng`] — a seedable CSPRNG abstraction so simulations are
 //!   deterministic while real deployments use OS entropy.
 //! * [`x25519`] — RFC 7748 Diffie-Hellman, enabling the paper's
@@ -55,6 +56,7 @@
 pub mod aead;
 pub mod chacha20;
 pub mod constant_time;
+pub mod crc;
 pub mod hkdf;
 pub mod hmac;
 pub mod keys;

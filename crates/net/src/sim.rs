@@ -349,6 +349,16 @@ impl SimNet {
         })
     }
 
+    /// Deregisters a listener name, freeing it for a fresh [`listen`]
+    /// (`SimListener` has no drop-deregistration — a crashed process's
+    /// name must be reclaimed explicitly before its replacement binds).
+    /// Returns whether the name was registered.
+    ///
+    /// [`listen`]: SimNet::listen
+    pub fn unlisten(&self, name: &str) -> bool {
+        self.inner.lock().listeners.remove(name).is_some()
+    }
+
     /// Connects `from_name` to the listener `to_name`, returning the
     /// member-side link.
     ///

@@ -11,6 +11,8 @@
 //!   AEAD-sealed bodies, plus the plaintext structures that get sealed.
 //! * [`legacy`] — the original protocol of Section 2.2, implemented for the
 //!   baseline/attack demonstrations.
+//! * [`journal`] — plaintext record formats for the leader's write-ahead
+//!   journal (genesis configuration + RNG-taped transitions).
 //! * [`framing`] — length-prefixed framing over any `Read`/`Write` stream.
 //!
 //! # Design
@@ -30,6 +32,7 @@ pub mod actor;
 pub mod codec;
 pub mod framing;
 pub mod group;
+pub mod journal;
 pub mod legacy;
 pub mod message;
 
